@@ -1,0 +1,134 @@
+//! One benchmark per paper table/figure: each measures the end-to-end
+//! cost of regenerating that experiment's core result (channel run +
+//! analysis), so regressions in any layer of the stack show up against
+//! the experiment that exercises it.
+//!
+//! Run with `cargo bench --workspace`; the repro binary (`repro all`)
+//! produces the scientific output, these benches track its cost.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use palc::channel::Scenario;
+use palc::prelude::*;
+use palc_optics::source::{SkyCondition, Sun};
+use std::hint::black_box;
+
+fn fig05_ideal_decode(c: &mut Criterion) {
+    let scenario = Scenario::indoor_bench(Packet::from_bits("10").unwrap(), 0.03, 0.20);
+    c.bench_function("fig05/bench_run_and_decode", |b| {
+        b.iter(|| {
+            let trace = scenario.run(black_box(42));
+            AdaptiveDecoder::default().with_expected_bits(2).decode(&trace)
+        })
+    });
+}
+
+fn fig06_capacity(c: &mut Criterion) {
+    let analyzer = palc::capacity::CapacityAnalyzer { trials: 1, ..Default::default() };
+    c.bench_function("fig06/one_sweep_point", |b| {
+        b.iter(|| analyzer.is_decodable(black_box(0.03), black_box(0.20)))
+    });
+}
+
+fn fig07_ceiling(c: &mut Criterion) {
+    let scenario = Scenario::ceiling_office(Packet::from_bits("10").unwrap(), 0.03, 500.0);
+    let decoder = AdaptiveDecoder { smooth_window_s: 0.012, ..AdaptiveDecoder::default() }
+        .with_expected_bits(2);
+    c.bench_function("fig07/ceiling_run_and_decode", |b| {
+        b.iter(|| {
+            let trace = scenario.run(black_box(7));
+            decoder.decode(&trace)
+        })
+    });
+}
+
+fn fig08_dtw(c: &mut Criterion) {
+    let mut db = TemplateDb::new();
+    for bits in ["00", "10"] {
+        db.add(
+            bits,
+            &Scenario::indoor_bench(Packet::from_bits(bits).unwrap(), 0.03, 0.20).run(42),
+        );
+    }
+    let clf = DtwClassifier::new(db);
+    let probe = {
+        use palc_scene::Tag;
+        let packet = Packet::from_bits("10").unwrap();
+        let tag = Tag::from_packet(&packet, 0.03);
+        let len = tag.length_m();
+        Scenario::indoor_bench_tag(tag, 0.20, Trajectory::fig8_speed_doubling(0.08, len + 0.16))
+            .run(21)
+    };
+    c.bench_function("fig08/dtw_classification", |b| b.iter(|| clf.classify(black_box(&probe))));
+}
+
+fn fig10_collision(c: &mut Criterion) {
+    // Synthetic two-packet trace (the channel cost is benched elsewhere).
+    let fs = 250.0;
+    let samples: Vec<f64> = (0..2500)
+        .map(|i| {
+            let t = i as f64 / fs;
+            100.0
+                + 40.0 * (2.0 * std::f64::consts::PI * 0.4 * t).sin().signum()
+                + 40.0 * (2.0 * std::f64::consts::PI * 1.0 * t).sin().signum()
+        })
+        .collect();
+    let trace = Trace::new(samples, fs);
+    let analyzer = CollisionAnalyzer::default();
+    c.bench_function("fig10/collision_analysis", |b| b.iter(|| analyzer.analyze(black_box(&trace))));
+}
+
+fn fig11_receivers(c: &mut Criterion) {
+    c.bench_function("fig11/characterize_all_receivers", |b| {
+        b.iter(palc_frontend::characterize)
+    });
+}
+
+fn fig13_signatures(c: &mut Criterion) {
+    let volvo =
+        Scenario::outdoor_car(CarModel::volvo_v40(), None, 0.75, Sun::cloudy_noon(3)).run_clean();
+    let bmw =
+        Scenario::outdoor_car(CarModel::bmw_3(), None, 0.75, Sun::cloudy_noon(3)).run_clean();
+    let det = CarShapeDetector::from_traces(&[("Volvo V40", &volvo), ("BMW 3", &bmw)]);
+    let probe = Scenario::outdoor_car(CarModel::bmw_3(), None, 0.75, Sun::cloudy_noon(6)).run(5);
+    c.bench_function("fig13/identify_car", |b| b.iter(|| det.identify(black_box(&probe))));
+}
+
+fn fig15_17_outdoor(c: &mut Criterion) {
+    let mut g = c.benchmark_group("outdoor_two_phase");
+    g.sample_size(10);
+    for (name, lux, height) in
+        [("fig15_450lux_25cm", 450.0, 0.25), ("fig17_6200lux_75cm", 6200.0, 0.75)]
+    {
+        let sun = Sun::new(lux, 30.0, SkyCondition::Cloudy { drift: 0.05 }, 11);
+        let scenario = Scenario::outdoor_car(
+            CarModel::volvo_v40(),
+            Some(Packet::from_bits("00").unwrap()),
+            height,
+            sun,
+        );
+        let trace = scenario.run(1);
+        let decoder = TwoPhaseDecoder::new(CarModel::volvo_v40(), 0.10, 2);
+        g.bench_function(name, |b| b.iter(|| decoder.decode(black_box(&trace))));
+    }
+    g.finish();
+}
+
+fn fig16_cap(c: &mut Criterion) {
+    use palc_frontend::ApertureCap;
+    c.bench_function("fig16/apply_cap_and_swing_check", |b| {
+        b.iter(|| {
+            let capped =
+                ApertureCap::paper_cap().apply(&OpticalReceiver::opt101(PdGain::G2));
+            capped.min_detectable_swing_lux(black_box(100.0))
+        })
+    });
+}
+
+criterion_group! {
+    name = figures;
+    config = Criterion::default().sample_size(10);
+    targets = fig05_ideal_decode, fig06_capacity, fig07_ceiling, fig08_dtw,
+              fig10_collision, fig11_receivers, fig13_signatures,
+              fig15_17_outdoor, fig16_cap
+}
+criterion_main!(figures);

@@ -1,0 +1,101 @@
+//! Micro-benchmarks of the DSP and channel kernels that dominate the
+//! system's runtime: the FFT behind the collision analyzer, the DTW
+//! behind the classifier, peak detection and the full adaptive decode,
+//! and one channel-sample integration step.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn sine(freq: f64, fs: f64, n: usize) -> Vec<f64> {
+    (0..n).map(|i| (2.0 * std::f64::consts::PI * freq * i as f64 / fs).sin()).collect()
+}
+
+fn bench_fft(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fft");
+    for n in [256usize, 1024, 4096] {
+        let signal = sine(5.0, 256.0, n);
+        g.bench_with_input(BenchmarkId::new("power_spectrum", n), &signal, |b, s| {
+            b.iter(|| palc_dsp::power_spectrum(black_box(s), 256.0, palc_dsp::window::Window::Hann))
+        });
+    }
+    g.finish();
+}
+
+fn bench_dtw(c: &mut Criterion) {
+    let mut g = c.benchmark_group("dtw");
+    for n in [128usize, 256, 512] {
+        let a = sine(3.0, 100.0, n);
+        let b_sig = sine(3.3, 100.0, n);
+        g.bench_with_input(BenchmarkId::new("full", n), &(a.clone(), b_sig.clone()), |b, (x, y)| {
+            b.iter(|| palc_dsp::dtw(black_box(x), black_box(y)))
+        });
+        g.bench_with_input(BenchmarkId::new("banded_10pct", n), &(a, b_sig), |b, (x, y)| {
+            b.iter(|| palc_dsp::dtw_banded(black_box(x), black_box(y), n / 10))
+        });
+    }
+    g.finish();
+}
+
+fn bench_peaks(c: &mut Criterion) {
+    let signal: Vec<f64> = (0..4000)
+        .map(|i| {
+            let t = i as f64 / 2000.0;
+            (2.0 * std::f64::consts::PI * 10.0 * t).sin().max(0.0)
+                + 0.02 * ((i * 2654435761usize) as f64 / usize::MAX as f64)
+        })
+        .collect();
+    c.bench_function("peaks/persistence_4k", |b| {
+        b.iter(|| palc_dsp::peaks::find_peaks_persistence(black_box(&signal), 0.25))
+    });
+    c.bench_function("peaks/walk_4k", |b| {
+        b.iter(|| {
+            palc_dsp::find_peaks(
+                black_box(&signal),
+                &palc_dsp::PeakConfig { min_prominence: 0.25, min_distance: 10 },
+            )
+        })
+    });
+}
+
+fn bench_decode(c: &mut Criterion) {
+    use palc::prelude::*;
+    // One pre-rendered indoor trace; measure pure decode cost.
+    let scenario = palc::channel::Scenario::indoor_bench(
+        Packet::from_bits("1101").unwrap(),
+        0.03,
+        0.20,
+    );
+    let trace = scenario.run(42);
+    let decoder = AdaptiveDecoder::default().with_expected_bits(4);
+    c.bench_function("decode/adaptive_indoor_4bit", |b| {
+        b.iter(|| decoder.decode(black_box(&trace)))
+    });
+}
+
+fn bench_channel_sample(c: &mut Criterion) {
+    use palc::prelude::*;
+    let scenario = palc::channel::Scenario::indoor_bench(
+        Packet::from_bits("10").unwrap(),
+        0.03,
+        0.20,
+    );
+    c.bench_function("channel/illuminance_sample_indoor", |b| {
+        b.iter(|| scenario.channel().illuminance_at(black_box(2.0)))
+    });
+    let outdoor = palc::channel::Scenario::outdoor_car(
+        CarModel::volvo_v40(),
+        Some(Packet::from_bits("00").unwrap()),
+        0.75,
+        palc_optics::source::Sun::cloudy_noon(1),
+    );
+    c.bench_function("channel/illuminance_sample_outdoor", |b| {
+        b.iter(|| outdoor.channel().illuminance_at(black_box(0.6)))
+    });
+}
+
+criterion_group! {
+    name = kernels;
+    config = Criterion::default().sample_size(20);
+    targets = bench_fft, bench_dtw, bench_peaks, bench_decode, bench_channel_sample
+}
+criterion_main!(kernels);

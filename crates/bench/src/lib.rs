@@ -1,0 +1,3 @@
+//! palc-bench: Criterion benchmarks live in benches/ (kernels.rs, figures.rs).
+//!
+//! Run with `cargo bench --workspace`.

@@ -1,0 +1,232 @@
+//! Channel capacity analysis (Sec. 4.1, Fig. 6).
+//!
+//! The paper's two design questions for this channel:
+//!
+//! > *What symbol width should the designer use on objects to be able to
+//! > decode information? And given this symbol width, what channel
+//! > capacity can the designer expect?*
+//!
+//! [`CapacityAnalyzer`] answers them empirically, exactly as the paper
+//! does: sweep emitter/receiver height × symbol width on the indoor
+//! bench, decode repeatedly, and report
+//!
+//! * the **decodable region** — for each symbol width, the maximal height
+//!   at which packets still decode (Fig. 6(a); linear boundary), and
+//! * the **throughput curve** — for each height, the narrowest decodable
+//!   width converted to symbols/second at the bench speed (Fig. 6(b);
+//!   steep decay).
+//!
+//! A Shannon-style analytical bound ([`shannon_symbol_rate`]) is included
+//! for comparison with the empirical sweep.
+
+use crate::channel::Scenario;
+use crate::decode::AdaptiveDecoder;
+use palc_phy::metrics::LinkTally;
+use palc_phy::{Bits, Packet};
+
+/// Empirical capacity sweeps on the indoor bench.
+#[derive(Debug, Clone)]
+pub struct CapacityAnalyzer {
+    /// Payload used for the sweep packets.
+    pub payload: Bits,
+    /// Trials per configuration (different noise seeds).
+    pub trials: usize,
+    /// Required delivery ratio for a configuration to count as decodable.
+    pub min_delivery: f64,
+    /// Base seed; trial `i` of configuration `k` uses `seed + k·trials + i`.
+    pub seed: u64,
+}
+
+impl Default for CapacityAnalyzer {
+    fn default() -> Self {
+        CapacityAnalyzer {
+            payload: Bits::parse("10").expect("static"),
+            trials: 3,
+            min_delivery: 1.0,
+            seed: 1000,
+        }
+    }
+}
+
+impl CapacityAnalyzer {
+    /// Runs `trials` passes at one configuration and tallies outcomes.
+    pub fn tally(&self, symbol_width_m: f64, height_m: f64) -> LinkTally {
+        let packet = Packet::new(self.payload.clone());
+        let scenario = Scenario::indoor_bench(packet, symbol_width_m, height_m);
+        let decoder =
+            AdaptiveDecoder::default().with_expected_bits(self.payload.len());
+        let mut tally = LinkTally::new();
+        let cfg_key = ((symbol_width_m * 1e4) as u64) ^ ((height_m * 1e4) as u64).rotate_left(17);
+        for i in 0..self.trials {
+            let trace = scenario.run(self.seed ^ cfg_key ^ i as u64);
+            match decoder.decode(&trace) {
+                Ok(out) => tally.record(&self.payload, &out.payload),
+                Err(_) => tally.record_miss(),
+            }
+        }
+        tally
+    }
+
+    /// Whether a configuration is decodable under the analyzer's policy.
+    pub fn is_decodable(&self, symbol_width_m: f64, height_m: f64) -> bool {
+        self.tally(symbol_width_m, height_m).is_decodable(self.min_delivery)
+    }
+
+    /// Fig. 6(a): for each width, the maximal decodable height from the
+    /// candidate list (`None` if no candidate height works).
+    pub fn decodable_region(
+        &self,
+        widths_m: &[f64],
+        heights_m: &[f64],
+    ) -> Vec<(f64, Option<f64>)> {
+        widths_m
+            .iter()
+            .map(|&w| {
+                let mut best = None;
+                for &h in heights_m {
+                    if self.is_decodable(w, h) {
+                        best = Some(best.map_or(h, |b: f64| b.max(h)));
+                    }
+                }
+                (w, best)
+            })
+            .collect()
+    }
+
+    /// Fig. 6(b): for each height, the narrowest decodable width converted
+    /// to throughput (symbols/s) at `speed_mps`.
+    pub fn throughput_vs_height(
+        &self,
+        heights_m: &[f64],
+        widths_m: &[f64],
+        speed_mps: f64,
+    ) -> Vec<(f64, Option<f64>)> {
+        assert!(speed_mps > 0.0);
+        heights_m
+            .iter()
+            .map(|&h| {
+                let narrowest = widths_m
+                    .iter()
+                    .cloned()
+                    .filter(|&w| self.is_decodable(w, h))
+                    .fold(f64::INFINITY, f64::min);
+                let tput = if narrowest.is_finite() {
+                    Some(speed_mps / narrowest)
+                } else {
+                    None
+                };
+                (h, tput)
+            })
+            .collect()
+    }
+}
+
+/// Shannon-style analytical symbol-rate bound for a binary-amplitude
+/// channel: with SNR (linear power ratio) and a receiver able to resolve
+/// `symbol_rate` changes per second, the achievable bit rate is
+/// `symbol_rate · (1 − H(p_e))` with `p_e = Q(√SNR / 2)` — a crude but
+/// useful bound for sanity-checking the empirical sweeps.
+pub fn shannon_symbol_rate(snr_linear: f64, symbol_rate_hz: f64) -> f64 {
+    if snr_linear <= 0.0 || symbol_rate_hz <= 0.0 {
+        return 0.0;
+    }
+    let pe = q_function(snr_linear.sqrt() / 2.0).clamp(1e-12, 0.5);
+    let h = -(pe * pe.log2() + (1.0 - pe) * (1.0 - pe).log2());
+    symbol_rate_hz * (1.0 - h)
+}
+
+/// Gaussian tail probability Q(x) via the complementary error function
+/// (Abramowitz–Stegun rational approximation, |ε| < 1.5e-7).
+fn q_function(x: f64) -> f64 {
+    0.5 * erfc(x / std::f64::consts::SQRT_2)
+}
+
+fn erfc(x: f64) -> f64 {
+    let z = x.abs();
+    let t = 1.0 / (1.0 + 0.5 * z);
+    let poly = t * (-z * z
+        - 1.26551223
+        + t * (1.00002368
+            + t * (0.37409196
+                + t * (0.09678418
+                    + t * (-0.18628806
+                        + t * (0.27886807
+                            + t * (-1.13520398
+                                + t * (1.48851587
+                                    + t * (-0.82215223 + t * 0.17087277)))))))))
+    .exp();
+    if x >= 0.0 {
+        poly
+    } else {
+        2.0 - poly
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fast_analyzer() -> CapacityAnalyzer {
+        CapacityAnalyzer { trials: 1, ..Default::default() }
+    }
+
+    #[test]
+    fn near_and_wide_is_decodable() {
+        // 3 cm symbols at 20 cm: the Fig. 5 configuration must decode.
+        assert!(fast_analyzer().is_decodable(0.03, 0.20));
+    }
+
+    #[test]
+    fn too_high_is_not_decodable() {
+        // Narrow symbols, very high bench: blur + SNR kill the link.
+        assert!(!fast_analyzer().is_decodable(0.015, 0.55));
+    }
+
+    #[test]
+    fn decodable_region_boundary_grows_with_width() {
+        // The Fig. 6(a) shape: wider symbols decode from higher up.
+        let a = fast_analyzer();
+        let heights = [0.20, 0.30, 0.40, 0.50];
+        let region = a.decodable_region(&[0.02, 0.06], &heights);
+        let h_narrow = region[0].1.unwrap_or(0.0);
+        let h_wide = region[1].1.unwrap_or(0.0);
+        assert!(
+            h_wide >= h_narrow,
+            "wider symbols must reach at least as high: {h_narrow} vs {h_wide}"
+        );
+        assert!(h_wide >= 0.30, "6 cm symbols should decode from 30 cm+");
+    }
+
+    #[test]
+    fn throughput_decreases_with_height() {
+        let a = fast_analyzer();
+        let widths = [0.015, 0.03, 0.045, 0.06, 0.075];
+        let t = a.throughput_vs_height(&[0.20, 0.45], &widths, 0.08);
+        let t_low = t[0].1.unwrap_or(0.0);
+        let t_high = t[1].1.unwrap_or(0.0);
+        assert!(
+            t_low >= t_high,
+            "throughput must not grow with height: {t_low} vs {t_high}"
+        );
+        assert!(t_low >= 0.08 / 0.03, "at 20 cm, 3 cm symbols (Fig. 5) must work");
+    }
+
+    #[test]
+    fn shannon_bound_behaves() {
+        // More SNR, more capacity; zero SNR, nothing.
+        assert_eq!(shannon_symbol_rate(0.0, 10.0), 0.0);
+        let low = shannon_symbol_rate(1.0, 10.0);
+        let high = shannon_symbol_rate(100.0, 10.0);
+        assert!(high > low);
+        assert!(high <= 10.0 + 1e-9, "cannot exceed the symbol rate");
+        // At huge SNR the bound approaches the symbol rate.
+        assert!(shannon_symbol_rate(1e6, 10.0) > 9.99);
+    }
+
+    #[test]
+    fn q_function_sane() {
+        assert!((q_function(0.0) - 0.5).abs() < 1e-6);
+        assert!(q_function(3.0) < 0.0014);
+        assert!(q_function(-3.0) > 0.998);
+    }
+}

@@ -1,0 +1,507 @@
+//! The end-to-end passive channel simulator.
+//!
+//! This is the replacement for the paper's physical testbed (see
+//! DESIGN.md §2). The receiver looks straight down from `receiver_z_m`;
+//! at every ADC tick the simulator integrates the reflected light over the
+//! receiver's ground footprint:
+//!
+//! ```text
+//! E_rx(t) = stray(t) + Σ_patches  K(φ) · T_fog · ρ_eff · E(patch, t)
+//!                       · A · cos²φ / (π d²)
+//! ```
+//!
+//! where `K` is the FoV angular kernel, `ρ_eff` the material's effective
+//! reflectance towards the receiver (diffuse + mirror-geometry specular
+//! lobe), and `stray` the unmodulated ambient pedestal entering the
+//! aperture directly. The result feeds the [`palc_frontend::Frontend`]
+//! chain (noise → detector → amp → ADC) to produce the RSS [`Trace`].
+//!
+//! ## Where spatial resolution comes from
+//!
+//! Three regimes, all emerging from the same integral, explain the paper's
+//! seemingly contradictory FoV observations:
+//!
+//! * **Indoor bench (Figs. 5–6):** the LED lamp is *narrow-beam* and rides
+//!   with the receiver, so only a small ground spot is lit — the lamp, not
+//!   the wide photodiode, sets the resolution (like a barcode scanner's
+//!   illumination spot). Raising lamp+receiver grows the spot linearly,
+//!   giving the linear decodable boundary of Fig. 6(a).
+//! * **Ceiling lights (Fig. 7):** ground illuminance is near-uniform, but
+//!   the fixture is a *discrete* overhead source: the aluminium strips
+//!   return a specular lobe only where the mirror geometry lines up with
+//!   the receiver, which re-localises the kernel (noisier than the bench,
+//!   exactly as the figure shows).
+//! * **Overcast outdoors (Sec. 5):** skylight is fully diffuse — no
+//!   mirror geometry at all — so the *receiver's* FoV is the only focusing
+//!   element. The wide-FoV PD therefore fails until capped (Fig. 16) while
+//!   the narrow-FoV RX-LED decodes (Fig. 17).
+
+use crate::trace::Trace;
+use palc_frontend::{Frontend, OpticalReceiver, PdGain};
+use palc_optics::source::{CeilingPanel, PointLamp, Sun};
+use palc_optics::{LightSource, Vec3};
+use palc_phy::Packet;
+use palc_scene::{CarModel, Environment, MobileObject, Tag, Trajectory};
+
+/// Spatial integration settings.
+#[derive(Debug, Clone, Copy)]
+pub struct Resolution {
+    /// Along-track patch size, metres.
+    pub along_m: f64,
+    /// Number of cross-track slices across the footprint (odd).
+    pub lateral_slices: usize,
+}
+
+impl Default for Resolution {
+    fn default() -> Self {
+        Resolution { along_m: 0.01, lateral_slices: 5 }
+    }
+}
+
+/// A complete passive-communication scene.
+pub struct PassiveChannel {
+    /// Static surroundings (ground material, fog, stray-light fraction).
+    pub environment: Environment,
+    /// The ambient light source.
+    pub source: Box<dyn LightSource + Send + Sync>,
+    /// Mobile objects carrying reflective surfaces.
+    pub objects: Vec<MobileObject>,
+    /// Receiver aperture height above the ground plane, metres.
+    pub receiver_z_m: f64,
+    /// The receiver chain (detector + amp + ADC).
+    pub frontend: Frontend,
+    /// Integration resolution.
+    pub resolution: Resolution,
+}
+
+impl PassiveChannel {
+    /// Noise-free illuminance (lux) at the receiver aperture at time `t`.
+    pub fn illuminance_at(&self, t: f64) -> f64 {
+        let h = self.receiver_z_m;
+        let fov = self.frontend.receiver.fov();
+        let rx_pos = Vec3::new(0.0, 0.0, h);
+
+        // Unmodulated pedestal: skylight / room scatter leaking into the
+        // aperture. Scales with the acceptance solid angle — a narrow
+        // receiver pointed at the ground geometrically cannot collect
+        // much sky.
+        let omega_frac = fov.effective_solid_angle() / (2.0 * std::f64::consts::PI);
+        let mut total = self.environment.stray_fraction
+            * omega_frac
+            * self.source.illuminance_at(rx_pos, t).max(0.0);
+
+        // Footprint bounds on the ground plane.
+        let r_max = fov.footprint_radius(h).max(self.resolution.along_m);
+        let dx = self.resolution.along_m;
+        let slices = self.resolution.lateral_slices.max(1) | 1; // force odd
+        let dy = 2.0 * r_max / slices as f64;
+
+        let steps = (2.0 * r_max / dx).ceil() as usize;
+        for ix in 0..steps {
+            let x = -r_max + (ix as f64 + 0.5) * dx;
+            for iy in 0..slices {
+                let y = -r_max + (iy as f64 + 0.5) * dy;
+                total += self.patch_contribution(x, y, dx, dy, t, rx_pos);
+            }
+        }
+        total
+    }
+
+    /// Contribution of the ground/object patch at `(x, y)` (size dx×dy).
+    fn patch_contribution(
+        &self,
+        x: f64,
+        y: f64,
+        dx: f64,
+        dy: f64,
+        t: f64,
+        rx_pos: Vec3,
+    ) -> f64 {
+        // Fast reject: a patch that receives (almost) no light contributes
+        // nothing regardless of its material. Under a narrow bench lamp
+        // this skips the vast majority of the wide-FoV footprint.
+        let probe = self.source.illuminance_at(Vec3::new(x, y, 0.0), t).max(0.0);
+        if probe < 1e-7 {
+            return 0.0;
+        }
+
+        // Top-most surface at this point: objects occlude the ground and
+        // lower objects.
+        let mut material = self.environment.ground;
+        let mut surf_z = 0.0;
+        for obj in &self.objects {
+            if (y - obj.lane_y_m()).abs() > obj.lateral_m() / 2.0 {
+                continue;
+            }
+            if let Some(s) = obj.sample_at(x, t) {
+                if s.height_m >= surf_z {
+                    material = s.material;
+                    surf_z = s.height_m;
+                }
+            }
+        }
+
+        let dz = rx_pos.z - surf_z;
+        if dz <= 1e-6 {
+            return 0.0; // surface at or above the receiver
+        }
+        let patch = Vec3::new(x, y, surf_z);
+        let to_rx = rx_pos - patch;
+        let d = to_rx.norm();
+        let cos_in = dz / d; // angle off the receiver's -z axis == off patch normal
+        let weight = self.frontend.receiver.fov().angular_weight(cos_in.acos());
+        if weight <= 0.0 {
+            return 0.0;
+        }
+
+        let e_patch = self.source.illuminance_at(patch, t).max(0.0);
+        if e_patch <= 0.0 {
+            return 0.0;
+        }
+
+        // Effective reflectance: diffuse always; specular through the
+        // mirror-geometry Phong lobe when the source has a direction.
+        let rho = match self.source.direction_from(patch) {
+            Some(to_source) => {
+                let incoming = -to_source;
+                let mirror = incoming
+                    .reflect_about(Vec3::UNIT_Z)
+                    .unwrap_or(Vec3::UNIT_Z);
+                let cos_mirror = mirror.cos_angle(to_rx);
+                material.reflectance_towards(cos_mirror)
+            }
+            // Diffuse sky: a specular surface reflects the (uniform) sky
+            // toward the receiver, behaving like a diffuse reflector of the
+            // same total albedo.
+            None => material.total_reflectance(),
+        };
+
+        let transmission = self.environment.path_transmission(d);
+        // Lambertian secondary source: L = ρE/π; received
+        // E = L·A·cosθ_out·cosθ_in/d².
+        rho * e_patch / std::f64::consts::PI * (dx * dy) * cos_in * cos_in / (d * d)
+            * weight
+            * transmission
+    }
+
+    /// Runs the channel for `duration_s`, returning the noise-free
+    /// illuminance series at the ADC rate (useful for tests and analysis).
+    pub fn run_illuminance(&self, duration_s: f64) -> Vec<f64> {
+        let fs = self.frontend.sample_rate_hz();
+        let n = (duration_s * fs).ceil() as usize;
+        (0..n).map(|i| self.illuminance_at(i as f64 / fs)).collect()
+    }
+
+    /// Coarse estimate of the peak aperture illuminance over a run —
+    /// the quantity a deployment's gain-calibration pass measures.
+    pub fn peak_illuminance(&self, duration_s: f64, probes: usize) -> f64 {
+        let probes = probes.max(2);
+        (0..probes)
+            .map(|i| self.illuminance_at(i as f64 * duration_s / (probes - 1) as f64))
+            .fold(0.0, f64::max)
+    }
+
+    /// Runs the channel for `duration_s` through the full frontend,
+    /// returning the RSS trace the paper's algorithms consume.
+    pub fn run(&self, duration_s: f64) -> Trace {
+        let lux = self.run_illuminance(duration_s);
+        let rss = self.frontend.capture_f64(&lux, self.source.spectrum());
+        Trace::new(rss, self.frontend.sample_rate_hz())
+    }
+}
+
+/// Ready-made experimental setups matching the paper's sections.
+pub struct Scenario {
+    channel: PassiveChannel,
+    duration_s: f64,
+}
+
+impl Scenario {
+    /// Wraps an explicit channel and duration, then runs the deployment's
+    /// gain calibration: a coarse noiseless probe of the peak aperture
+    /// illuminance sets the LM358 gain so the detector's output spans the
+    /// ADC window (the OpenVLC driver's gain-control step). Optical
+    /// saturation happens *before* this gain and is unaffected.
+    pub fn custom(channel: PassiveChannel, duration_s: f64) -> Self {
+        let mut scenario = Scenario { channel, duration_s };
+        scenario.calibrate_gain();
+        scenario
+    }
+
+    /// Re-runs gain calibration (call after swapping receiver or scene).
+    pub fn calibrate_gain(&mut self) {
+        let peak_lux = self.channel.peak_illuminance(self.duration_s, 96);
+        let peak_out = self.channel.frontend.receiver.respond(peak_lux);
+        if peak_out > 1e-9 {
+            let rail = self.channel.frontend.amplifier.rail_high_v;
+            self.channel.frontend.amplifier.gain = 0.75 * rail / peak_out;
+        }
+    }
+
+    /// The Sec. 4.1 dark-room bench: a narrow-beam LED lamp co-located
+    /// with a bare PD(G1) receiver at `height_m`, a tag compiled from
+    /// `packet` at `symbol_width_m` passing at 8 cm/s on a cart.
+    pub fn indoor_bench(packet: Packet, symbol_width_m: f64, height_m: f64) -> Self {
+        let tag = Tag::from_packet(&packet, symbol_width_m);
+        Self::indoor_bench_tag(tag, height_m, Trajectory::indoor_bench())
+    }
+
+    /// Indoor bench with an explicit tag and trajectory (used by the
+    /// Fig. 8 variable-speed experiment).
+    pub fn indoor_bench_tag(tag: Tag, height_m: f64, trajectory: Trajectory) -> Self {
+        // Narrow-beam bench lamp riding with the receiver: ~6° half-power,
+        // so the illumination spot — not the wide photodiode — sets the
+        // spatial resolution (see the module docs).
+        let order = palc_optics::photometry::lambertian_order_from_half_angle(6.0);
+        // 10 cd keeps the specular return of the HIGH strips below the
+        // PD(G1) saturation point (450 lux) even at the lowest bench
+        // height — the paper's dark-room link never rails.
+        let lamp = PointLamp::new(Vec3::new(0.0, 0.0, height_m), 10.0).with_order(order);
+        let receiver = OpticalReceiver::opt101(PdGain::G1);
+        let frontend = Frontend::indoor(receiver, 0);
+        let lead_m = 0.08; // spot clearance before the tag arrives
+        let tag_len = tag.length_m();
+        let object = MobileObject::cart(tag, trajectory).starting_at(-lead_m);
+        let travel = tag_len + 2.0 * lead_m;
+        let duration = object.trajectory().time_to_travel(travel) + 0.2;
+        let resolution = Resolution {
+            along_m: (tag_len / 400.0).clamp(0.002, 0.01),
+            lateral_slices: 3,
+        };
+        Scenario::custom(
+            PassiveChannel {
+                environment: Environment::dark_room(),
+                source: Box::new(lamp),
+                objects: vec![object],
+                receiver_z_m: height_m,
+                frontend,
+                resolution,
+            },
+            duration,
+        )
+    }
+
+    /// The Fig. 7 office: fluorescent ceiling panel at 2.3 m producing
+    /// `mean_lux` below, receiver at 0.2 m, tag at 8 cm/s.
+    pub fn ceiling_office(packet: Packet, symbol_width_m: f64, mean_lux: f64) -> Self {
+        let tag = Tag::from_packet(&packet, symbol_width_m);
+        let panel = CeilingPanel::fluorescent(2.3, mean_lux);
+        let receiver = OpticalReceiver::opt101(PdGain::G2);
+        let frontend = Frontend::new(receiver, palc_frontend::Mcp3008 { vref: 3.3, sample_rate_hz: 500.0 }, 0);
+        let lead_m = 0.08;
+        let tag_len = tag.length_m();
+        let object =
+            MobileObject::cart(tag, Trajectory::indoor_bench()).starting_at(-lead_m);
+        let duration =
+            object.trajectory().time_to_travel(tag_len + 2.0 * lead_m) + 0.2;
+        Scenario::custom(
+            PassiveChannel {
+                environment: Environment::lit_office(),
+                source: Box::new(panel),
+                objects: vec![object],
+                receiver_z_m: 0.2,
+                frontend,
+                resolution: Resolution { along_m: 0.004, lateral_slices: 3 },
+            },
+            duration,
+        )
+    }
+
+    /// The Sec. 5 outdoor car pass: `car` with `packet` on the roof at
+    /// 10 cm symbols, receiver `height_above_roof_m` above the roof, under
+    /// `sun`. Receiver defaults to the RX-LED; see
+    /// [`Scenario::with_receiver`].
+    pub fn outdoor_car(
+        car: CarModel,
+        packet: Option<Packet>,
+        height_above_roof_m: f64,
+        sun: Sun,
+    ) -> Self {
+        let tag = packet.map(|p| Tag::from_packet(&p, 0.10).with_lateral(0.5));
+        let roof_z = car.max_height_m();
+        let car_len = car.length_m();
+        let lead_m = 1.0;
+        let object = MobileObject::car(car, tag, Trajectory::car_18kmh())
+            .starting_at(-lead_m);
+        let duration = object.trajectory().time_to_travel(car_len + 2.0 * lead_m) + 0.1;
+        let receiver = OpticalReceiver::rx_led();
+        let frontend = Frontend::outdoor(receiver, 0);
+        Scenario::custom(
+            PassiveChannel {
+                environment: Environment::parking_lot(),
+                source: Box::new(sun),
+                objects: vec![object],
+                receiver_z_m: roof_z + height_above_roof_m,
+                frontend,
+                resolution: Resolution { along_m: 0.02, lateral_slices: 5 },
+            },
+            duration,
+        )
+    }
+
+    /// Swaps the receiver (keeping its sampling rate), e.g. to run the
+    /// Fig. 16 PD-with-cap variants. Re-runs gain calibration.
+    pub fn with_receiver(mut self, receiver: OpticalReceiver) -> Self {
+        self.channel.frontend.receiver = receiver;
+        self.channel.frontend.amplifier = palc_frontend::Lm358::openvlc();
+        self.calibrate_gain();
+        self
+    }
+
+    /// Replaces the environment (e.g. to add fog). Re-runs gain
+    /// calibration.
+    pub fn with_environment(mut self, environment: Environment) -> Self {
+        self.channel.environment = environment;
+        self.channel.frontend.amplifier = palc_frontend::Lm358::openvlc();
+        self.calibrate_gain();
+        self
+    }
+
+    /// Access to the underlying channel.
+    pub fn channel(&self) -> &PassiveChannel {
+        &self.channel
+    }
+
+    /// Mutable access (advanced setups: extra objects, custom resolution).
+    pub fn channel_mut(&mut self) -> &mut PassiveChannel {
+        &mut self.channel
+    }
+
+    /// Planned run duration, seconds.
+    pub fn duration_s(&self) -> f64 {
+        self.duration_s
+    }
+
+    /// Runs the scenario with the given noise seed and returns the RSS
+    /// trace.
+    pub fn run(&self, seed: u64) -> Trace {
+        // Same frontend (incl. calibrated gain), fresh noise seed.
+        let mut fe = Frontend::new(
+            self.channel.frontend.receiver.clone(),
+            self.channel.frontend.adc,
+            seed,
+        );
+        fe.amplifier = self.channel.frontend.amplifier;
+        let lux = self.channel.run_illuminance(self.duration_s);
+        let rss = fe.capture_f64(&lux, self.channel.source.spectrum());
+        Trace::new(rss, fe.sample_rate_hz())
+    }
+
+    /// Runs without noise/quantisation: the noise-free illuminance trace.
+    pub fn run_clean(&self) -> Trace {
+        Trace::new(
+            self.channel.run_illuminance(self.duration_s),
+            self.channel.frontend.sample_rate_hz(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use palc_dsp::stats;
+
+    fn packet(bits: &str) -> Packet {
+        Packet::from_bits(bits).unwrap()
+    }
+
+    #[test]
+    fn empty_scene_is_steady_pedestal() {
+        let sc = Scenario::indoor_bench(packet("0"), 0.03, 0.2);
+        let mut ch = Scenario::indoor_bench(packet("0"), 0.03, 0.2);
+        ch.channel_mut().objects.clear();
+        let lux = ch.channel().run_illuminance(0.3);
+        let (lo, hi) = stats::minmax(&lux);
+        assert!(hi > 0.0, "some light must reach the receiver");
+        assert!((hi - lo) / hi < 0.01, "no motion -> steady signal");
+        drop(sc);
+    }
+
+    #[test]
+    fn passing_tag_modulates_the_signal() {
+        let sc = Scenario::indoor_bench(packet("00"), 0.03, 0.2);
+        let trace = sc.run_clean();
+        let depth = trace.modulation_depth();
+        assert!(depth > 0.2, "modulation depth {depth}");
+    }
+
+    #[test]
+    fn alternating_pattern_produces_matching_extrema_counts() {
+        // '00' -> HLHLHLHL: 4 H strips -> at least 3 interior valleys
+        // between them in the clean trace.
+        let sc = Scenario::indoor_bench(packet("00"), 0.03, 0.2);
+        let trace = sc.run_clean();
+        let norm = trace.normalized();
+        let cfg = palc_dsp::PeakConfig { min_prominence: 0.3, min_distance: 4 };
+        let peaks = palc_dsp::find_peaks(&norm, &cfg);
+        assert!(
+            (3..=5).contains(&peaks.len()),
+            "expected ~4 peaks for HLHLHLHL, got {}",
+            peaks.len()
+        );
+    }
+
+    #[test]
+    fn higher_bench_weakens_modulation() {
+        let near = Scenario::indoor_bench(packet("0"), 0.03, 0.2).run_clean();
+        let far = Scenario::indoor_bench(packet("0"), 0.03, 0.5).run_clean();
+        assert!(
+            near.modulation_depth() > far.modulation_depth(),
+            "near {} vs far {}",
+            near.modulation_depth(),
+            far.modulation_depth()
+        );
+    }
+
+    #[test]
+    fn absolute_signal_falls_steeply_with_height() {
+        // Lamp and receiver rise together: reflected signal ~ 1/h^4.
+        let e1 = {
+            let mut s = Scenario::indoor_bench(packet("0"), 0.03, 0.2);
+            s.channel_mut().objects.clear();
+            stats::mean(&s.channel().run_illuminance(0.1))
+        };
+        let e2 = {
+            let mut s = Scenario::indoor_bench(packet("0"), 0.03, 0.4);
+            s.channel_mut().objects.clear();
+            stats::mean(&s.channel().run_illuminance(0.1))
+        };
+        assert!(e1 > 4.0 * e2, "pedestal must fall steeply: {e1} vs {e2}");
+    }
+
+    #[test]
+    fn outdoor_scene_runs_and_shows_car() {
+        let sc = Scenario::outdoor_car(
+            CarModel::volvo_v40(),
+            None,
+            0.75,
+            Sun::cloudy_noon(1),
+        );
+        let trace = sc.run_clean();
+        assert!(trace.len() > 1000);
+        // The car must visibly modulate the trace.
+        assert!(trace.modulation_depth() > 0.05, "depth {}", trace.modulation_depth());
+    }
+
+    #[test]
+    fn seeded_runs_are_reproducible() {
+        let sc = Scenario::indoor_bench(packet("0"), 0.03, 0.2);
+        assert_eq!(sc.run(7).samples(), sc.run(7).samples());
+        assert_ne!(sc.run(7).samples(), sc.run(8).samples());
+    }
+
+    #[test]
+    fn fog_attenuates_the_outdoor_signal() {
+        use palc_scene::Fog;
+        let clear = Scenario::outdoor_car(CarModel::bmw_3(), None, 0.75, Sun::cloudy_noon(2));
+        let foggy = Scenario::outdoor_car(CarModel::bmw_3(), None, 0.75, Sun::cloudy_noon(2))
+            .with_environment(Environment::parking_lot().with_fog(Fog::with_visibility(20.0)));
+        // Compare only the reflected (modulated) component: the stray
+        // pedestal is unaffected by ground-path fog in this model.
+        let span = |t: &Trace| {
+            let (lo, hi) = t.minmax();
+            hi - lo
+        };
+        assert!(span(&foggy.run_clean()) < span(&clear.run_clean()));
+    }
+}

@@ -1,0 +1,285 @@
+//! DTW waveform classification (Sec. 4.2).
+//!
+//! When the channel distorts a signal beyond symbol decoding — the paper's
+//! example is an object that doubles its speed mid-packet (Fig. 8) — the
+//! decoding problem becomes a *classification* problem: *“We could compare
+//! the distorted signal against a database of clean signals (obtained
+//! under ideal scenarios) to see which one is the best match.”*
+//!
+//! [`TemplateDb`] stores clean reference traces (normalised in amplitude
+//! and resampled to a canonical length, since the paper compares on
+//! normalised axes), and [`DtwClassifier`] ranks templates by normalised
+//! DTW distance. The paper's numbers for Fig. 8 — 326 to the wrong
+//! template, 172 to the right one, 131 self-reference — are raw
+//! accumulated distances; we report both raw and path-normalised values.
+
+use crate::trace::Trace;
+use palc_dsp::dtw::dtw_banded;
+use palc_dsp::resample::resample_to_len;
+use palc_dsp::stats::normalize_minmax;
+
+/// Canonical number of samples templates are stored at.
+pub const TEMPLATE_LEN: usize = 256;
+
+/// A database of clean reference signals.
+#[derive(Debug, Clone, Default)]
+pub struct TemplateDb {
+    entries: Vec<(String, Vec<f64>)>,
+}
+
+impl TemplateDb {
+    /// An empty database.
+    pub fn new() -> Self {
+        TemplateDb::default()
+    }
+
+    /// Adds a clean trace under `label`. The trace is min–max normalised
+    /// and resampled to [`TEMPLATE_LEN`].
+    pub fn add(&mut self, label: impl Into<String>, trace: &Trace) {
+        self.add_samples(label, trace.samples());
+    }
+
+    /// Adds raw samples under `label`.
+    pub fn add_samples(&mut self, label: impl Into<String>, samples: &[f64]) {
+        let canon = resample_to_len(&normalize_minmax(samples), TEMPLATE_LEN);
+        self.entries.push((label.into(), canon));
+    }
+
+    /// Number of templates.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the database is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Labels in insertion order.
+    pub fn labels(&self) -> impl Iterator<Item = &str> {
+        self.entries.iter().map(|(l, _)| l.as_str())
+    }
+
+    /// The canonical samples for `label`, if present.
+    pub fn template(&self, label: &str) -> Option<&[f64]> {
+        self.entries.iter().find(|(l, _)| l == label).map(|(_, s)| s.as_slice())
+    }
+}
+
+/// Distance of a probe to one template.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Match {
+    /// Template label.
+    pub label: String,
+    /// Raw accumulated DTW distance (the kind of number the paper quotes).
+    pub distance: f64,
+    /// Distance normalised by warping-path length.
+    pub normalized: f64,
+}
+
+/// Result of classifying a probe trace.
+#[derive(Debug, Clone)]
+pub struct Classification {
+    /// All template matches, best (smallest normalised distance) first.
+    pub ranking: Vec<Match>,
+}
+
+impl Classification {
+    /// The winning label.
+    pub fn best(&self) -> &Match {
+        &self.ranking[0]
+    }
+
+    /// Separation ratio between the best and second-best normalised
+    /// distances (≥ 1; higher = more confident). 1.0 when there is only
+    /// one template.
+    pub fn margin(&self) -> f64 {
+        if self.ranking.len() < 2 || self.ranking[0].normalized == 0.0 {
+            return f64::INFINITY;
+        }
+        self.ranking[1].normalized / self.ranking[0].normalized
+    }
+}
+
+/// A DTW nearest-template classifier.
+#[derive(Debug, Clone, Default)]
+pub struct DtwClassifier {
+    db: TemplateDb,
+    /// Sakoe–Chiba band half-width in canonical samples; `None` allows
+    /// unconstrained warping. Constraining the warp matters when the
+    /// classes differ by *where* features sit (car trunk vs. hatch) rather
+    /// than by feature content — unconstrained DTW would warp the
+    /// difference away.
+    band: Option<usize>,
+}
+
+impl DtwClassifier {
+    /// Builds a classifier over a template database (unconstrained warp).
+    pub fn new(db: TemplateDb) -> Self {
+        DtwClassifier { db, band: None }
+    }
+
+    /// Constrains warping to a Sakoe–Chiba band of the given half-width
+    /// (in canonical template samples, out of [`TEMPLATE_LEN`]).
+    pub fn with_band(mut self, band: usize) -> Self {
+        self.band = Some(band.max(1));
+        self
+    }
+
+    /// The underlying database.
+    pub fn db(&self) -> &TemplateDb {
+        &self.db
+    }
+
+    /// Classifies a probe trace against every template. Panics on an
+    /// empty database — that is a configuration error.
+    pub fn classify(&self, probe: &Trace) -> Classification {
+        self.classify_samples(probe.samples())
+    }
+
+    /// Classifies raw probe samples.
+    pub fn classify_samples(&self, samples: &[f64]) -> Classification {
+        assert!(!self.db.is_empty(), "classifier needs at least one template");
+        let canon = resample_to_len(&normalize_minmax(samples), TEMPLATE_LEN);
+        let mut ranking: Vec<Match> = self
+            .db
+            .entries
+            .iter()
+            .map(|(label, tpl)| {
+                let out = dtw_banded(&canon, tpl, self.band.unwrap_or(usize::MAX));
+                Match {
+                    label: label.clone(),
+                    distance: out.distance,
+                    normalized: out.normalized(),
+                }
+            })
+            .collect();
+        ranking.sort_by(|a, b| a.normalized.total_cmp(&b.normalized));
+        Classification { ranking }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use palc_phy::Symbol;
+
+    fn symbol_wave(symbols: &str, sps: usize) -> Vec<f64> {
+        let syms = Symbol::parse_sequence(symbols).unwrap();
+        let mut out = vec![0.05; sps];
+        for s in syms {
+            for k in 0..sps {
+                let t = k as f64 / (sps - 1) as f64;
+                let bump = (std::f64::consts::PI * t).sin();
+                out.push(match s {
+                    Symbol::High => 0.08 + 0.9 * bump,
+                    Symbol::Low => 0.05 + 0.04 * bump,
+                });
+            }
+        }
+        out.extend(vec![0.05; sps]);
+        out
+    }
+
+    fn fig8_distorted() -> Vec<f64> {
+        // 'HLHL' at base speed + 'LHHL' at double speed.
+        let mut out = vec![0.05; 40];
+        for (s, sps) in [("HLHL", 40usize), ("LHHL", 20)] {
+            for sym in Symbol::parse_sequence(s).unwrap() {
+                for k in 0..sps {
+                    let t = k as f64 / (sps - 1) as f64;
+                    let bump = (std::f64::consts::PI * t).sin();
+                    out.push(match sym {
+                        Symbol::High => 0.08 + 0.9 * bump,
+                        Symbol::Low => 0.05 + 0.04 * bump,
+                    });
+                }
+            }
+        }
+        out.extend(vec![0.05; 40]);
+        out
+    }
+
+    fn fig8_db() -> TemplateDb {
+        let mut db = TemplateDb::new();
+        db.add_samples("00", &symbol_wave("HLHLHLHL", 40)); // Fig. 5(a)
+        db.add_samples("10", &symbol_wave("HLHLLHHL", 40)); // Fig. 5(b)
+        db
+    }
+
+    #[test]
+    fn fig8_probe_classifies_as_10() {
+        // The paper's scenario: the distorted packet is the '10' code.
+        let clf = DtwClassifier::new(fig8_db());
+        let result = clf.classify_samples(&fig8_distorted());
+        assert_eq!(result.best().label, "10");
+        assert!(result.margin() > 1.05, "margin {}", result.margin());
+    }
+
+    #[test]
+    fn distance_ordering_matches_paper_shape() {
+        // Paper: d(probe, '00') = 326 > d(probe, '10') = 172. Absolute
+        // values depend on lengths; the ordering and a clear gap must hold.
+        let clf = DtwClassifier::new(fig8_db());
+        let result = clf.classify_samples(&fig8_distorted());
+        let d10 = result.ranking.iter().find(|m| m.label == "10").unwrap().distance;
+        let d00 = result.ranking.iter().find(|m| m.label == "00").unwrap().distance;
+        // Paper ratio is 326/172 ≈ 1.9 on their raw traces; on the
+        // canonicalised 256-sample templates the gap narrows but the
+        // ordering and a clear margin must hold.
+        assert!(d00 > 1.1 * d10, "d00 {d00} vs d10 {d10}");
+    }
+
+    #[test]
+    fn clean_probe_matches_its_own_template_nearly_perfectly() {
+        let clf = DtwClassifier::new(fig8_db());
+        let result = clf.classify_samples(&symbol_wave("HLHLHLHL", 40));
+        assert_eq!(result.best().label, "00");
+        assert!(result.best().normalized < 0.02);
+    }
+
+    #[test]
+    fn amplitude_scaling_does_not_matter() {
+        // Templates and probes are normalised: a 10x brighter probe
+        // classifies identically.
+        let clf = DtwClassifier::new(fig8_db());
+        let bright: Vec<f64> = fig8_distorted().iter().map(|v| v * 10.0 + 3.0).collect();
+        assert_eq!(clf.classify_samples(&bright).best().label, "10");
+    }
+
+    #[test]
+    fn duration_scaling_does_not_matter() {
+        // A slower pass (more samples) of the same code still matches.
+        let clf = DtwClassifier::new(fig8_db());
+        let slow = symbol_wave("HLHLLHHL", 90);
+        assert_eq!(clf.classify_samples(&slow).best().label, "10");
+    }
+
+    #[test]
+    fn ranking_is_sorted_and_complete() {
+        let mut db = fig8_db();
+        db.add_samples("11", &symbol_wave("HLHLLHLH", 40));
+        let clf = DtwClassifier::new(db);
+        let result = clf.classify_samples(&fig8_distorted());
+        assert_eq!(result.ranking.len(), 3);
+        for w in result.ranking.windows(2) {
+            assert!(w[0].normalized <= w[1].normalized);
+        }
+    }
+
+    #[test]
+    fn db_accessors() {
+        let db = fig8_db();
+        assert_eq!(db.len(), 2);
+        assert!(!db.is_empty());
+        assert_eq!(db.labels().collect::<Vec<_>>(), vec!["00", "10"]);
+        assert_eq!(db.template("00").unwrap().len(), TEMPLATE_LEN);
+        assert!(db.template("zz").is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one template")]
+    fn empty_db_panics() {
+        DtwClassifier::new(TemplateDb::new()).classify_samples(&[1.0, 2.0]);
+    }
+}

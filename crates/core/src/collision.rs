@@ -1,0 +1,250 @@
+//! ‘Packet’ collision analysis in the frequency domain (Sec. 4.3).
+//!
+//! When two tags pass under the same FoV their reflections add, producing
+//! the optical equivalent of a packet collision. The paper distinguishes
+//! three cases by which packet dominates the reflected light (Fig. 10):
+//!
+//! * **Case 1 / Case 2** — one packet dominates: the time-domain decoder
+//!   still works, and the FFT shows a single dominant line.
+//! * **Case 3** — equal shares: the time-domain signal is undecodable,
+//!   but the FFT reveals *two* spectral lines, telling the receiver that
+//!   two distinct object types are present (partial information).
+//!
+//! [`CollisionAnalyzer`] runs both views: it attempts a time-domain decode
+//! and computes the spectral peak set, packaging them in a
+//! [`CollisionReport`].
+
+use crate::decode::{AdaptiveDecoder, DecodedPacket};
+use crate::trace::Trace;
+use palc_dsp::fft::power_spectrum;
+use palc_dsp::window::Window;
+
+/// What the analyzer concluded about channel occupancy.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Occupancy {
+    /// No meaningful modulation found.
+    Idle,
+    /// One dominant symbol frequency — a single packet (or a dominated
+    /// collision, Cases 1–2).
+    Single {
+        /// Dominant symbol-pattern frequency, Hz.
+        freq_hz: f64,
+    },
+    /// Multiple distinct symbol frequencies — overlapping packets of
+    /// different symbol widths (Case 3).
+    Multiple {
+        /// Detected frequencies, strongest first, Hz.
+        freqs_hz: Vec<f64>,
+    },
+}
+
+/// Full collision analysis result.
+#[derive(Debug, Clone)]
+pub struct CollisionReport {
+    /// The time-domain decode attempt (succeeds for Cases 1–2).
+    pub decoded: Option<DecodedPacket>,
+    /// Spectral peaks `(freq_hz, power)` above the detection floor,
+    /// strongest first.
+    pub spectral_peaks: Vec<(f64, f64)>,
+    /// The occupancy verdict.
+    pub occupancy: Occupancy,
+}
+
+/// Analyzer configuration.
+#[derive(Debug, Clone)]
+pub struct CollisionAnalyzer {
+    /// Time-domain decoder used for the first attempt.
+    pub decoder: AdaptiveDecoder,
+    /// Ignore spectral content below this frequency (ambient drift and
+    /// pedestal), Hz.
+    pub min_freq_hz: f64,
+    /// A peak counts as a *distinct* packet when its power is at least
+    /// this fraction of the strongest peak.
+    pub rel_power_threshold: f64,
+    /// Two peaks closer than this (relative to the lower frequency) are
+    /// considered the same fundamental (e.g. a line and its leakage).
+    pub min_rel_separation: f64,
+    /// Traces with a Michelson modulation depth below this are declared
+    /// idle without spectral analysis — an empty lane is receiver noise,
+    /// whose strongest spectral bins are not packets.
+    pub min_modulation_depth: f64,
+    /// A spectral peak only counts as a packet line when its power exceeds
+    /// this multiple of the *median* in-band bin power. Receiver noise has
+    /// a flat spectrum (peak ≈ 10-30× median); packet symbol patterns are
+    /// lines hundreds of times above the floor.
+    pub min_peak_to_median: f64,
+}
+
+impl Default for CollisionAnalyzer {
+    fn default() -> Self {
+        CollisionAnalyzer {
+            decoder: AdaptiveDecoder::default(),
+            min_freq_hz: 0.25,
+            rel_power_threshold: 0.30,
+            min_rel_separation: 0.5,
+            min_modulation_depth: 0.10,
+            min_peak_to_median: 50.0,
+        }
+    }
+}
+
+impl CollisionAnalyzer {
+    /// Analyzes a trace in both domains.
+    ///
+    /// The spectral view is computed over the *active* region of the trace
+    /// (where the packets are actually under the FoV): the packet-passage
+    /// envelope is a large square-ish transient whose harmonics would
+    /// otherwise bury the symbol lines.
+    pub fn analyze(&self, trace: &Trace) -> CollisionReport {
+        if trace.modulation_depth() < self.min_modulation_depth {
+            return CollisionReport {
+                decoded: None,
+                spectral_peaks: Vec::new(),
+                occupancy: Occupancy::Idle,
+            };
+        }
+        let decoded = self.decoder.decode(trace).ok();
+
+        let active = crate::vehicle::crop_active_region(trace, 0.15);
+        let samples = match active {
+            Some((a, b)) => &trace.samples()[a..=b],
+            None => trace.samples(),
+        };
+        let ps = power_spectrum(samples, trace.sample_rate_hz(), Window::Hann);
+        // Significance floor: the strongest in-band line must stand far
+        // above the median bin (receiver noise is spectrally flat).
+        let start_bin = ps.bin_of_freq(self.min_freq_hz).max(1);
+        let mut band: Vec<f64> = ps.power[start_bin..].to_vec();
+        band.sort_by(f64::total_cmp);
+        let median = band.get(band.len() / 2).copied().unwrap_or(0.0);
+        let strongest = band.last().copied().unwrap_or(0.0);
+        if strongest <= self.min_peak_to_median * median {
+            return CollisionReport {
+                decoded,
+                spectral_peaks: Vec::new(),
+                occupancy: Occupancy::Idle,
+            };
+        }
+        let raw_peaks = ps.spectral_peaks(self.min_freq_hz, self.rel_power_threshold, 8);
+
+        // Merge near-coincident lines (fundamental + leakage); keep
+        // harmonics of a already-kept line out of the distinct set too,
+        // since a square wave's 3rd harmonic is not a second packet.
+        let mut distinct: Vec<(f64, f64)> = Vec::new();
+        for (f, p) in raw_peaks {
+            let dup = distinct.iter().any(|&(g, _)| {
+                let near = (f - g).abs() / g.min(f) < self.min_rel_separation;
+                let harmonic = {
+                    let ratio = f.max(g) / f.min(g);
+                    (ratio - ratio.round()).abs() < 0.1 && ratio.round() >= 2.0
+                };
+                near || harmonic
+            });
+            if !dup {
+                distinct.push((f, p));
+            }
+        }
+
+        let occupancy = match distinct.len() {
+            0 => Occupancy::Idle,
+            1 => Occupancy::Single { freq_hz: distinct[0].0 },
+            _ => Occupancy::Multiple {
+                freqs_hz: distinct.iter().map(|&(f, _)| f).collect(),
+            },
+        };
+
+        CollisionReport { decoded, spectral_peaks: distinct, occupancy }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A square-ish modulation at `freq` Hz with relative amplitude `amp`.
+    fn packet_wave(freq: f64, amp: f64, fs: f64, n: usize) -> Vec<f64> {
+        (0..n)
+            .map(|i| {
+                let t = i as f64 / fs;
+                amp * (0.5 + 0.5 * (2.0 * std::f64::consts::PI * freq * t).sin().signum())
+            })
+            .collect()
+    }
+
+    fn overlap(a: &[f64], b: &[f64], pedestal: f64) -> Trace {
+        let samples: Vec<f64> =
+            a.iter().zip(b).map(|(x, y)| pedestal + x + y).collect();
+        Trace::new(samples, 256.0)
+    }
+
+    #[test]
+    fn case1_low_frequency_dominates() {
+        let lo = packet_wave(2.0, 1.0, 256.0, 1024);
+        let hi = packet_wave(8.0, 0.15, 256.0, 1024);
+        let report = CollisionAnalyzer::default().analyze(&overlap(&lo, &hi, 0.2));
+        match report.occupancy {
+            Occupancy::Single { freq_hz } => {
+                assert!((freq_hz - 2.0).abs() < 0.5, "dominant at {freq_hz}")
+            }
+            other => panic!("expected Single, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn case2_high_frequency_dominates() {
+        let lo = packet_wave(2.0, 0.15, 256.0, 1024);
+        let hi = packet_wave(8.0, 1.0, 256.0, 1024);
+        let report = CollisionAnalyzer::default().analyze(&overlap(&lo, &hi, 0.2));
+        match report.occupancy {
+            Occupancy::Single { freq_hz } => {
+                assert!((freq_hz - 8.0).abs() < 0.8, "dominant at {freq_hz}")
+            }
+            other => panic!("expected Single, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn case3_equal_share_reveals_two_lines() {
+        let lo = packet_wave(2.0, 1.0, 256.0, 1024);
+        let hi = packet_wave(7.0, 1.0, 256.0, 1024);
+        let report = CollisionAnalyzer::default().analyze(&overlap(&lo, &hi, 0.2));
+        match &report.occupancy {
+            Occupancy::Multiple { freqs_hz } => {
+                assert!(freqs_hz.iter().any(|f| (f - 2.0).abs() < 0.5), "{freqs_hz:?}");
+                assert!(freqs_hz.iter().any(|f| (f - 7.0).abs() < 0.8), "{freqs_hz:?}");
+            }
+            other => panic!("expected Multiple, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn idle_channel_reports_idle() {
+        let trace = Trace::new(vec![0.5; 1024], 256.0);
+        let report = CollisionAnalyzer::default().analyze(&trace);
+        assert_eq!(report.occupancy, Occupancy::Idle);
+        assert!(report.decoded.is_none());
+    }
+
+    #[test]
+    fn harmonics_are_not_counted_as_second_packet() {
+        // A single 2 Hz square wave has strong odd harmonics at 6, 10 Hz;
+        // they must not produce a Multiple verdict.
+        let lo = packet_wave(2.0, 1.0, 256.0, 2048);
+        let trace = Trace::new(lo.iter().map(|v| v + 0.1).collect(), 256.0);
+        let report = CollisionAnalyzer::default().analyze(&trace);
+        match report.occupancy {
+            Occupancy::Single { freq_hz } => assert!((freq_hz - 2.0).abs() < 0.4),
+            other => panic!("harmonics misread as {other:?}"),
+        }
+    }
+
+    #[test]
+    fn spectral_peaks_are_sorted_by_power() {
+        let lo = packet_wave(2.0, 1.0, 256.0, 1024);
+        let hi = packet_wave(7.0, 0.8, 256.0, 1024);
+        let report = CollisionAnalyzer::default().analyze(&overlap(&lo, &hi, 0.0));
+        for w in report.spectral_peaks.windows(2) {
+            assert!(w[0].1 >= w[1].1);
+        }
+    }
+}

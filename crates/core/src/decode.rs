@@ -1,0 +1,517 @@
+//! The calibration-free adaptive-threshold decoder (Sec. 4.1).
+//!
+//! The paper's decoder needs no a-priori calibration because *each packet
+//! determines its own parameters*: the fixed `HLHL` preamble exposes two
+//! peaks (A, C) and a valley (B), from which the decoder derives
+//!
+//! ```text
+//! τr = ((rA − rB) + (rC − rB)) / 2      (magnitude threshold)
+//! τt = ((tB − tA) + (tC − tB)) / 2      (symbol period)
+//! ```
+//!
+//! Subsequent RSS samples are grouped into windows of length `τt`; a
+//! window whose maximum exceeds the magnitude threshold is HIGH, else LOW
+//! (Fig. 5(a) annotates A, B, C on the trace).
+//!
+//! One interpretation choice is made explicit: the paper uses τr — a peak-
+//! to-valley *swing* — directly as the comparison level. On normalised
+//! traces whose valley sits near zero the two readings coincide; on traces
+//! with a raised valley, comparing against the *midpoint* `rB + τr/2` is
+//! strictly more robust. [`ThresholdMode`] selects either; the default is
+//! the midpoint, and a unit test pins that both decode the clean Fig. 5
+//! traces identically.
+
+use crate::trace::Trace;
+use palc_dsp::filter::moving_average;
+use palc_dsp::peaks::{find_peaks_persistence, find_valleys_persistence};
+use palc_dsp::stats::normalize_minmax;
+use palc_phy::{manchester_decode, Bits, ManchesterError, Symbol, PREAMBLE, PREAMBLE_LEN};
+
+/// How the magnitude threshold is applied.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ThresholdMode {
+    /// Compare window maxima against `rB + τr/2` (midpoint; default).
+    #[default]
+    Midpoint,
+    /// Compare window maxima against `τr` itself, as the paper's formula
+    /// reads literally.
+    PaperLiteral,
+}
+
+/// One of the three preamble calibration points (A, B, C in Fig. 5(a)).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CalPoint {
+    /// Time of the extremum, seconds.
+    pub t: f64,
+    /// Normalised RSS value at the extremum.
+    pub r: f64,
+}
+
+/// A successfully decoded packet with its derived calibration.
+#[derive(Debug, Clone)]
+pub struct DecodedPacket {
+    /// The full symbol sequence read from the trace (preamble + data).
+    pub symbols: Vec<Symbol>,
+    /// The Manchester-decoded payload.
+    pub payload: Bits,
+    /// Magnitude threshold τr (the swing).
+    pub tau_r: f64,
+    /// Period threshold τt, seconds.
+    pub tau_t: f64,
+    /// The comparison level actually used for HIGH/LOW decisions.
+    pub threshold_level: f64,
+    /// Preamble peak A.
+    pub point_a: CalPoint,
+    /// Preamble valley B.
+    pub point_b: CalPoint,
+    /// Preamble peak C.
+    pub point_c: CalPoint,
+}
+
+impl DecodedPacket {
+    /// The decoded sequence in the paper's notation (`HLHL.LHHL`).
+    pub fn notation(&self) -> String {
+        Symbol::format_sequence(&self.symbols, true)
+    }
+
+    /// Estimated throughput of this packet, symbols per second.
+    pub fn symbol_rate_hz(&self) -> f64 {
+        if self.tau_t > 0.0 {
+            1.0 / self.tau_t
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Decoding failures.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DecodeError {
+    /// Trace too short or too flat to find the A/B/C calibration points.
+    NoPreamble {
+        /// Peaks found (need ≥ 2).
+        peaks_found: usize,
+        /// Valleys found between the first two peaks (need ≥ 1).
+        valleys_found: usize,
+    },
+    /// Symbols were read but the first four were not `HLHL`.
+    BadPreamble {
+        /// What was read instead.
+        got: String,
+    },
+    /// The data region was not valid Manchester code — the typical result
+    /// of inter-symbol blur or speed distortion.
+    Manchester(ManchesterError),
+}
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DecodeError::NoPreamble { peaks_found, valleys_found } => write!(
+                f,
+                "no decodable preamble: {peaks_found} peak(s), {valleys_found} valley(s)"
+            ),
+            DecodeError::BadPreamble { got } => write!(f, "preamble read as {got}, want HLHL"),
+            DecodeError::Manchester(e) => write!(f, "data field: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+impl From<ManchesterError> for DecodeError {
+    fn from(e: ManchesterError) -> Self {
+        DecodeError::Manchester(e)
+    }
+}
+
+/// Midpoint of the half-height crossings around a peak: walk left and
+/// right from `idx` until `smooth` drops below `level`, and return the
+/// centre time of that span.
+fn refine_peak_time(trace: &Trace, smooth: &[f64], idx: usize, level: f64) -> f64 {
+    let mut left = idx;
+    while left > 0 && smooth[left - 1] >= level {
+        left -= 1;
+    }
+    let mut right = idx;
+    while right + 1 < smooth.len() && smooth[right + 1] >= level {
+        right += 1;
+    }
+    0.5 * (trace.time_of(left) + trace.time_of(right))
+}
+
+/// The Sec. 4.1 decoder.
+#[derive(Debug, Clone)]
+pub struct AdaptiveDecoder {
+    /// Minimum persistence (on the normalised trace) for calibration
+    /// extrema.
+    pub min_prominence: f64,
+    /// Pre-decode smoothing window, seconds (0 disables).
+    pub smooth_window_s: f64,
+    /// Symbol-timing tracking gain in `[0, 1)`: each classified symbol's
+    /// extremum nudges the window grid by this fraction of the observed
+    /// offset, compensating the τt estimation error that otherwise
+    /// accumulates over long payloads. 0 reproduces the paper's fixed
+    /// windows exactly.
+    pub resync_gain: f64,
+    /// Fraction shaved off each side of a symbol window before taking the
+    /// maximum, guarding against transition overlap.
+    pub window_shrink: f64,
+    /// Stop after this many payload bits if set; otherwise read until the
+    /// trace ends.
+    pub expected_bits: Option<usize>,
+    /// Threshold interpretation.
+    pub threshold_mode: ThresholdMode,
+}
+
+impl Default for AdaptiveDecoder {
+    fn default() -> Self {
+        AdaptiveDecoder {
+            min_prominence: 0.25,
+            smooth_window_s: 0.004,
+            window_shrink: 0.30,
+            expected_bits: None,
+            threshold_mode: ThresholdMode::Midpoint,
+            resync_gain: 0.25,
+        }
+    }
+}
+
+impl AdaptiveDecoder {
+    /// Decoder that stops after `bits` payload bits.
+    pub fn with_expected_bits(mut self, bits: usize) -> Self {
+        self.expected_bits = Some(bits);
+        self
+    }
+
+    /// Reads the symbol sequence from a trace without interpreting it as
+    /// a packet. Returns the symbols and the derived calibration.
+    pub fn read_symbols(&self, trace: &Trace) -> Result<DecodedPacket, DecodeError> {
+        let fs = trace.sample_rate_hz();
+        let norm = normalize_minmax(trace.samples());
+        let window = ((self.smooth_window_s * fs).round() as usize).max(1);
+        let smooth = moving_average(&norm, window);
+
+        // --- Calibration: find A, B, C -----------------------------------
+        // Persistence-based extrema survive ADC quantisation plateaus and
+        // equal-height twin peaks (see palc_dsp::peaks).
+        let peaks = find_peaks_persistence(&smooth, self.min_prominence);
+        if peaks.len() < 2 {
+            return Err(DecodeError::NoPreamble {
+                peaks_found: peaks.len(),
+                valleys_found: 0,
+            });
+        }
+        let a = peaks[0];
+        let c = peaks[1];
+        let valleys = find_valleys_persistence(&smooth, self.min_prominence);
+        let between: Vec<_> =
+            valleys.iter().filter(|v| v.index > a.index && v.index < c.index).collect();
+        let b = between
+            .iter()
+            .min_by(|x, y| x.value.total_cmp(&y.value))
+            .copied()
+            .copied()
+            .ok_or(DecodeError::NoPreamble {
+                peaks_found: peaks.len(),
+                valleys_found: between.len(),
+            })?;
+
+        let (ra, rb, rc) = (a.value, b.value, c.value);
+        // On noisy flat-topped peaks, the single maximal sample can sit
+        // anywhere on the plateau; the midpoint between the half-height
+        // crossings is the robust symbol-centre estimate.
+        let half_level_a = rb + 0.5 * (ra - rb);
+        let half_level_c = rb + 0.5 * (rc - rb);
+        let ta = refine_peak_time(trace, &smooth, a.index, half_level_a);
+        let tb = trace.time_of(b.index);
+        let tc = refine_peak_time(trace, &smooth, c.index, half_level_c);
+        let tau_r = ((ra - rb) + (rc - rb)) / 2.0;
+        let tau_t = ((tb - ta) + (tc - tb)) / 2.0;
+        if tau_t <= 0.0 {
+            return Err(DecodeError::NoPreamble { peaks_found: peaks.len(), valleys_found: 1 });
+        }
+        let threshold_level = match self.threshold_mode {
+            ThresholdMode::Midpoint => rb + tau_r / 2.0,
+            ThresholdMode::PaperLiteral => tau_r,
+        };
+
+        // --- Windowed classification --------------------------------------
+        // Peak A marks the centre of symbol 0; symbol k is centred at
+        // tA + k·τt.
+        let max_symbols = match self.expected_bits {
+            Some(bits) => PREAMBLE_LEN + 2 * bits,
+            None => usize::MAX,
+        };
+        let mut symbols = Vec::new();
+        let mut k = 0usize;
+        let mut drift = 0.0; // timing-tracker phase correction, seconds
+        let mut tau_eff = tau_t; // timing-tracker period estimate
+        while symbols.len() < max_symbols {
+            let center = ta + k as f64 * tau_eff + drift;
+            let half = tau_eff * (0.5 - self.window_shrink);
+            let lo = trace.index_of(center - half);
+            let hi = trace.index_of(center + half).min(smooth.len() - 1);
+            if center - half > trace.duration_s() {
+                break; // ran off the end of the trace
+            }
+            let window = &smooth[lo..=hi];
+            let (max_i, win_max) = window
+                .iter()
+                .enumerate()
+                .max_by(|a, b| a.1.total_cmp(b.1))
+                .map(|(i, &v)| (i, v))
+                .unwrap_or((0, f64::MIN));
+            // `>=` matters: on a normalised clean trace the literal τr
+            // equals the peak value exactly.
+            let is_high = win_max >= threshold_level;
+            symbols.push(if is_high { Symbol::High } else { Symbol::Low });
+
+            // Timing tracking: a HIGH symbol's peak marks its true centre;
+            // nudge the grid towards it. LOW symbols are excluded — their
+            // blurred, flat bottoms give no reliable timing reference.
+            if self.resync_gain > 0.0 && window.len() > 2 && is_high {
+                let extremum_i = max_i;
+                let t_meas = trace.time_of(lo + extremum_i);
+                let err = (t_meas - center).clamp(-0.3 * tau_eff, 0.3 * tau_eff);
+                // Only trust interior extrema: one at the window edge is a
+                // neighbouring symbol bleeding in.
+                if extremum_i > 0 && extremum_i < window.len() - 1 && k > 0 {
+                    // Split the correction between phase and period (the
+                    // period share fixes the systematic τt estimation
+                    // error that compounds over long payloads).
+                    drift += self.resync_gain * err * 0.5;
+                    tau_eff += self.resync_gain * err * 0.5 / k as f64;
+                }
+            }
+            k += 1;
+            if self.expected_bits.is_none() {
+                // Open-ended read: stop when the next window would start
+                // beyond the trace.
+                let next_start = ta + (k as f64 - 0.5 + self.window_shrink) * tau_t;
+                if next_start >= trace.duration_s() {
+                    break;
+                }
+            }
+        }
+
+        // Trim trailing LOW padding in open-ended mode: after the tag has
+        // passed, the dark ground reads LOW forever. A trailing `LL` pair
+        // is never valid Manchester, so strip such pairs, then one last
+        // odd LOW. Valid endings (`HL` for a 0-bit, `LH` for a 1-bit)
+        // survive untouched.
+        if self.expected_bits.is_none() {
+            loop {
+                let data_len = symbols.len() - PREAMBLE_LEN.min(symbols.len());
+                if data_len >= 2
+                    && data_len % 2 == 0
+                    && symbols[symbols.len() - 2..] == [Symbol::Low, Symbol::Low]
+                {
+                    symbols.truncate(symbols.len() - 2);
+                } else if data_len % 2 == 1 && symbols.last() == Some(&Symbol::Low) {
+                    symbols.pop();
+                } else {
+                    break;
+                }
+            }
+        }
+
+        Ok(DecodedPacket {
+            symbols,
+            payload: Bits::new(),
+            tau_r,
+            tau_t,
+            threshold_level,
+            point_a: CalPoint { t: ta, r: ra },
+            point_b: CalPoint { t: tb, r: rb },
+            point_c: CalPoint { t: tc, r: rc },
+        })
+    }
+
+    /// Full decode: read symbols, verify the preamble, Manchester-decode
+    /// the data field.
+    pub fn decode(&self, trace: &Trace) -> Result<DecodedPacket, DecodeError> {
+        let mut read = self.read_symbols(trace)?;
+        if read.symbols.len() < PREAMBLE_LEN
+            || read.symbols[..PREAMBLE_LEN] != PREAMBLE
+        {
+            return Err(DecodeError::BadPreamble {
+                got: Symbol::format_sequence(
+                    &read.symbols[..read.symbols.len().min(PREAMBLE_LEN)],
+                    false,
+                ),
+            });
+        }
+        let data = &read.symbols[PREAMBLE_LEN..];
+        read.payload = manchester_decode(data)?;
+        Ok(read)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Builds a clean synthetic trace for a symbol string: smooth bumps
+    /// for H, near-floor for L, `sps` samples per symbol at `fs` Hz.
+    fn synth_trace(symbols: &str, sps: usize, fs: f64) -> Trace {
+        let syms = Symbol::parse_sequence(symbols).unwrap();
+        let mut samples = vec![0.05; sps]; // lead-in: dark ground
+        for s in syms {
+            for k in 0..sps {
+                let t = k as f64 / (sps - 1) as f64;
+                let bump = (std::f64::consts::PI * t).sin();
+                samples.push(match s {
+                    Symbol::High => 0.08 + 0.9 * bump,
+                    Symbol::Low => 0.05 + 0.04 * bump,
+                });
+            }
+        }
+        samples.extend(vec![0.05; sps]); // tail
+        Trace::new(samples, fs)
+    }
+
+    #[test]
+    fn decodes_fig5a() {
+        let trace = synth_trace("HLHLHLHL", 40, 100.0);
+        let out = AdaptiveDecoder::default().decode(&trace).unwrap();
+        assert_eq!(out.payload.to_string(), "00");
+        assert_eq!(out.notation(), "HLHL.HLHL");
+    }
+
+    #[test]
+    fn decodes_fig5b() {
+        let trace = synth_trace("HLHLLHHL", 40, 100.0);
+        let out = AdaptiveDecoder::default().decode(&trace).unwrap();
+        assert_eq!(out.payload.to_string(), "10");
+        assert_eq!(out.notation(), "HLHL.LHHL");
+    }
+
+    #[test]
+    fn calibration_points_are_ordered_and_sane() {
+        let trace = synth_trace("HLHLLHHL", 40, 100.0);
+        let out = AdaptiveDecoder::default().decode(&trace).unwrap();
+        assert!(out.point_a.t < out.point_b.t && out.point_b.t < out.point_c.t);
+        assert!(out.point_a.r > out.point_b.r && out.point_c.r > out.point_b.r);
+        // Symbol period: 40 samples at 100 Hz = 0.4 s.
+        assert!((out.tau_t - 0.4).abs() < 0.06, "tau_t {}", out.tau_t);
+        assert!(out.tau_r > 0.7, "tau_r {}", out.tau_r);
+    }
+
+    #[test]
+    fn symbol_rate_reported() {
+        let trace = synth_trace("HLHLHLHL", 40, 100.0);
+        let out = AdaptiveDecoder::default().decode(&trace).unwrap();
+        assert!((out.symbol_rate_hz() - 2.5).abs() < 0.4);
+    }
+
+    #[test]
+    fn longer_payloads_roundtrip() {
+        for bits in ["0", "1", "01", "1101", "011010"] {
+            let packet = palc_phy::Packet::from_bits(bits).unwrap();
+            let notation: String = packet
+                .to_symbols()
+                .iter()
+                .map(|s| s.letter())
+                .collect();
+            let trace = synth_trace(&notation, 30, 100.0);
+            let out = AdaptiveDecoder::default()
+                .with_expected_bits(bits.len())
+                .decode(&trace)
+                .unwrap();
+            assert_eq!(out.payload.to_string(), bits, "payload {bits}");
+        }
+    }
+
+    #[test]
+    fn both_threshold_modes_agree_on_clean_traces() {
+        let trace = synth_trace("HLHLLHHL", 40, 100.0);
+        let mid = AdaptiveDecoder::default().decode(&trace).unwrap();
+        let lit = AdaptiveDecoder {
+            threshold_mode: ThresholdMode::PaperLiteral,
+            ..AdaptiveDecoder::default()
+        }
+        .decode(&trace)
+        .unwrap();
+        assert_eq!(mid.payload, lit.payload);
+    }
+
+    #[test]
+    fn flat_trace_has_no_preamble() {
+        let trace = Trace::new(vec![0.5; 500], 100.0);
+        match AdaptiveDecoder::default().decode(&trace) {
+            Err(DecodeError::NoPreamble { .. }) => {}
+            other => panic!("expected NoPreamble, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn single_bump_is_not_a_preamble() {
+        let trace = synth_trace("H", 40, 100.0);
+        assert!(matches!(
+            AdaptiveDecoder::default().decode(&trace),
+            Err(DecodeError::NoPreamble { .. })
+        ));
+    }
+
+    #[test]
+    fn leading_low_signal_reads_shifted_or_fails() {
+        // A trace that starts LOW aliases: the decoder anchors on the
+        // first *peak*, so a leading L is invisible and the read starts at
+        // the first H. Pin the documented behaviour: either an error, or a
+        // decode whose symbol stream genuinely starts with the HLHL it
+        // anchored on — never a panic, never a claim of a leading L.
+        let trace = synth_trace("LHLHLH", 40, 100.0);
+        match AdaptiveDecoder::default().decode(&trace) {
+            Err(_) => {}
+            Ok(out) => assert_eq!(&out.symbols[..4], &PREAMBLE),
+        }
+    }
+
+    #[test]
+    fn variable_speed_distorts_the_read_as_in_fig8() {
+        // Template 'HLHL LHHL' with the data half at double speed: the
+        // fixed-τt windows mis-read the tail, as the paper reports
+        // ("HLHL.HL" instead of "HLHL.LHHL").
+        let mut samples = vec![0.05; 40];
+        for (s, sps) in [("HLHL", 40usize), ("LHHL", 20)] {
+            for sym in Symbol::parse_sequence(s).unwrap() {
+                for k in 0..sps {
+                    let t = k as f64 / (sps - 1) as f64;
+                    let bump = (std::f64::consts::PI * t).sin();
+                    samples.push(match sym {
+                        Symbol::High => 0.08 + 0.9 * bump,
+                        Symbol::Low => 0.05 + 0.04 * bump,
+                    });
+                }
+            }
+        }
+        samples.extend(vec![0.05; 40]);
+        let trace = Trace::new(samples, 100.0);
+        let decoder = AdaptiveDecoder::default().with_expected_bits(2);
+        match decoder.decode(&trace) {
+            Ok(out) => assert_ne!(out.payload.to_string(), "10", "must not decode correctly"),
+            Err(_) => {} // equally acceptable: the distortion is detected
+        }
+    }
+
+    #[test]
+    fn smoothing_suppresses_ripple_double_peaks() {
+        // Add 100 Hz ripple on top of the symbols (the Fig. 7 condition)
+        // and check the decoder still reads the packet.
+        let clean = synth_trace("HLHLHLHL", 60, 300.0);
+        let rippled: Vec<f64> = clean
+            .samples()
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| {
+                let t = i as f64 / 300.0;
+                v * (1.0 + 0.06 * (2.0 * std::f64::consts::PI * 100.0 * t).sin())
+            })
+            .collect();
+        let trace = Trace::new(rippled, 300.0);
+        let decoder = AdaptiveDecoder { smooth_window_s: 0.012, ..Default::default() };
+        let out = decoder.decode(&trace).unwrap();
+        assert_eq!(out.payload.to_string(), "00");
+    }
+}

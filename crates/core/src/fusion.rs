@@ -1,0 +1,201 @@
+//! Networked receivers (Sec. 6, item 5 — implemented extension).
+//!
+//! *“If the receivers in our system are networked, then they can share the
+//! information about the tracked objects and thus could improve the
+//! system's performance.”* This module implements the natural first
+//! design: receivers publish their local detections (decoded payloads
+//! with timestamps and confidences) to a fusion centre, which groups
+//! detections of the same physical pass by time proximity and resolves
+//! disagreements by confidence-weighted majority vote.
+//!
+//! The paper leaves *how to connect these low-end receivers* open; the
+//! fusion centre here is transport-agnostic — it consumes a stream of
+//! [`Detection`] values however they arrived.
+
+use palc_phy::Bits;
+
+/// A single receiver's local decode of one object pass.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Detection {
+    /// Which receiver produced this detection.
+    pub receiver_id: u32,
+    /// Local timestamp of the pass (receiver clocks assumed loosely
+    /// synchronised), seconds.
+    pub time_s: f64,
+    /// The decoded payload.
+    pub payload: Bits,
+    /// Decoder confidence in `[0, 1]` (e.g. modulation depth or DTW
+    /// margin mapped to the unit interval).
+    pub confidence: f64,
+}
+
+/// One fused object-pass event.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FusedEvent {
+    /// Consensus payload.
+    pub payload: Bits,
+    /// Mean timestamp of the contributing detections.
+    pub time_s: f64,
+    /// Number of receivers that contributed.
+    pub receivers: usize,
+    /// Number of receivers that agreed with the consensus.
+    pub agreeing: usize,
+    /// Total confidence mass behind the consensus.
+    pub support: f64,
+}
+
+impl FusedEvent {
+    /// Agreement ratio among contributing receivers.
+    pub fn agreement(&self) -> f64 {
+        if self.receivers == 0 {
+            0.0
+        } else {
+            self.agreeing as f64 / self.receivers as f64
+        }
+    }
+}
+
+/// Groups detections into events and votes on payloads.
+#[derive(Debug, Clone)]
+pub struct FusionCenter {
+    /// Detections within this window (seconds) of each other belong to
+    /// the same physical pass.
+    pub window_s: f64,
+}
+
+impl Default for FusionCenter {
+    fn default() -> Self {
+        FusionCenter { window_s: 1.0 }
+    }
+}
+
+impl FusionCenter {
+    /// Fuses a batch of detections into events, ordered by time.
+    ///
+    /// Detections are sorted by time, chained into clusters with gaps
+    /// below `window_s`, and each cluster is resolved by
+    /// confidence-weighted vote over payloads.
+    pub fn fuse(&self, detections: &[Detection]) -> Vec<FusedEvent> {
+        if detections.is_empty() {
+            return Vec::new();
+        }
+        let mut sorted: Vec<&Detection> = detections.iter().collect();
+        sorted.sort_by(|a, b| a.time_s.total_cmp(&b.time_s));
+
+        let mut events = Vec::new();
+        let mut cluster: Vec<&Detection> = vec![sorted[0]];
+        for d in &sorted[1..] {
+            if d.time_s - cluster.last().unwrap().time_s <= self.window_s {
+                cluster.push(d);
+            } else {
+                events.push(self.resolve(&cluster));
+                cluster = vec![d];
+            }
+        }
+        events.push(self.resolve(&cluster));
+        events
+    }
+
+    fn resolve(&self, cluster: &[&Detection]) -> FusedEvent {
+        // Confidence-weighted vote per distinct payload.
+        let mut tallies: Vec<(Bits, f64, usize)> = Vec::new();
+        for d in cluster {
+            match tallies.iter_mut().find(|(p, _, _)| p == &d.payload) {
+                Some((_, support, count)) => {
+                    *support += d.confidence.max(0.0);
+                    *count += 1;
+                }
+                None => tallies.push((d.payload.clone(), d.confidence.max(0.0), 1)),
+            }
+        }
+        let (payload, support, agreeing) = tallies
+            .into_iter()
+            .max_by(|a, b| a.1.total_cmp(&b.1).then(a.2.cmp(&b.2)))
+            .expect("cluster is non-empty");
+        let time_s = cluster.iter().map(|d| d.time_s).sum::<f64>() / cluster.len() as f64;
+        FusedEvent { payload, time_s, receivers: cluster.len(), agreeing, support }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn det(rx: u32, t: f64, bits: &str, conf: f64) -> Detection {
+        Detection {
+            receiver_id: rx,
+            time_s: t,
+            payload: Bits::parse(bits).unwrap(),
+            confidence: conf,
+        }
+    }
+
+    #[test]
+    fn single_detection_passes_through() {
+        let events = FusionCenter::default().fuse(&[det(1, 10.0, "10", 0.9)]);
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].payload.to_string(), "10");
+        assert_eq!(events[0].receivers, 1);
+    }
+
+    #[test]
+    fn majority_overrides_a_flipped_receiver() {
+        let events = FusionCenter::default().fuse(&[
+            det(1, 10.0, "10", 0.8),
+            det(2, 10.2, "10", 0.7),
+            det(3, 10.4, "11", 0.6), // the outlier
+        ]);
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].payload.to_string(), "10");
+        assert_eq!(events[0].agreeing, 2);
+        assert!((events[0].agreement() - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn high_confidence_minority_can_win() {
+        let events = FusionCenter::default().fuse(&[
+            det(1, 5.0, "01", 0.95),
+            det(2, 5.1, "00", 0.10),
+            det(3, 5.2, "00", 0.10),
+        ]);
+        assert_eq!(events[0].payload.to_string(), "01");
+    }
+
+    #[test]
+    fn distant_detections_form_separate_events() {
+        let events = FusionCenter::default().fuse(&[
+            det(1, 10.0, "10", 0.9),
+            det(1, 30.0, "11", 0.9),
+        ]);
+        assert_eq!(events.len(), 2);
+        assert!(events[0].time_s < events[1].time_s);
+    }
+
+    #[test]
+    fn chained_clustering_uses_gaps_not_span() {
+        // Three detections each 0.8 s apart with a 1.0 s window chain into
+        // one event even though the total span exceeds the window.
+        let events = FusionCenter::default().fuse(&[
+            det(1, 0.0, "1", 0.5),
+            det(2, 0.8, "1", 0.5),
+            det(3, 1.6, "1", 0.5),
+        ]);
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].receivers, 3);
+    }
+
+    #[test]
+    fn empty_input_gives_no_events() {
+        assert!(FusionCenter::default().fuse(&[]).is_empty());
+    }
+
+    #[test]
+    fn unsorted_input_is_handled() {
+        let events = FusionCenter::default().fuse(&[
+            det(2, 30.0, "11", 0.9),
+            det(1, 10.0, "10", 0.9),
+        ]);
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].payload.to_string(), "10");
+    }
+}

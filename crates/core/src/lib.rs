@@ -1,0 +1,79 @@
+//! # palc — Passive Communication with Ambient Light
+//!
+//! A faithful, simulation-backed implementation of the CoNEXT'16 paper
+//! *“Passive Communication with Ambient Light”* (Wang, Zuniga,
+//! Giustiniano). The paper's channel has three block elements (Sec. 2):
+//! **emitters** (any unmodulated light source), **‘packets’** (strips of
+//! reflective materials on mobile objects) and **receivers** (a single
+//! photodiode or an LED wired as one). This crate assembles the substrate
+//! crates into the paper's algorithms:
+//!
+//! * [`channel`] — the end-to-end channel simulator: scene → illuminance
+//!   at the receiver aperture → frontend → RSS trace.
+//! * [`decode`] — the calibration-free adaptive-threshold decoder of
+//!   Sec. 4.1 (preamble points A/B/C, thresholds τr and τt).
+//! * [`classify`] — the DTW template classifier of Sec. 4.2 for distorted
+//!   (variable-speed) signals.
+//! * [`collision`] — the FFT collision analysis of Sec. 4.3.
+//! * [`selector`] — the PD/RX-LED selection logic of Sec. 4.4 (Fig. 11).
+//! * [`vehicle`] — the two-phase vehicular decoder of Sec. 5 (car-shape
+//!   long preamble, then symbol decode).
+//! * [`capacity`] — the channel capacity analyses behind Fig. 6.
+//! * [`speed`] — maximal supported object speed (Sec. 6 item 3, the
+//!   paper's deferred follow-up analysis).
+//! * [`fusion`] — networked receivers sharing detections (Sec. 6 item 5).
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use palc::prelude::*;
+//!
+//! // The Fig. 5(a) experiment: a '00' packet, 3 cm symbols, dark room.
+//! let scenario = palc::channel::Scenario::indoor_bench(
+//!     Packet::from_bits("00").unwrap(),
+//!     0.03, // symbol width, m
+//!     0.20, // emitter/receiver height, m
+//! );
+//! let trace = scenario.run(42);
+//! let decoded = AdaptiveDecoder::default().decode(&trace).unwrap();
+//! assert_eq!(decoded.payload.to_string(), "00");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod capacity;
+pub mod channel;
+pub mod classify;
+pub mod collision;
+pub mod decode;
+pub mod fusion;
+pub mod selector;
+pub mod speed;
+pub mod trace;
+pub mod vehicle;
+
+pub use capacity::CapacityAnalyzer;
+pub use channel::{PassiveChannel, Scenario};
+pub use classify::{DtwClassifier, TemplateDb};
+pub use collision::{CollisionAnalyzer, CollisionReport};
+pub use decode::{AdaptiveDecoder, DecodeError, DecodedPacket};
+pub use selector::ReceiverSelector;
+pub use trace::Trace;
+pub use vehicle::{CarShapeDetector, TwoPhaseDecoder};
+
+/// Commonly used items across the workspace, importable in one line.
+pub mod prelude {
+    pub use crate::capacity::CapacityAnalyzer;
+    pub use crate::channel::{PassiveChannel, Scenario};
+    pub use crate::classify::{DtwClassifier, TemplateDb};
+    pub use crate::collision::{CollisionAnalyzer, CollisionReport};
+    pub use crate::decode::{AdaptiveDecoder, DecodedPacket};
+    pub use crate::selector::ReceiverSelector;
+    pub use crate::trace::Trace;
+    pub use crate::vehicle::{CarShapeDetector, TwoPhaseDecoder};
+    pub use palc_frontend::{Frontend, OpticalReceiver, PdGain};
+    pub use palc_optics::{FieldOfView, LightSource, Material, Vec3};
+    pub use palc_phy::{Bits, Packet, Symbol};
+    pub use palc_scene::{CarModel, Environment, MobileObject, Tag, Trajectory};
+}

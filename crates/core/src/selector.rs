@@ -1,0 +1,141 @@
+//! Receiver selection by ambient noise floor (Sec. 4.4).
+//!
+//! *“A receiver with two optical components (PD and RX-LED) can alleviate
+//! the noise floor problem by properly selecting the component that
+//! provides reliable passive communication for the given ambient light
+//! conditions.”*
+//!
+//! The policy implemented here is the one the Fig. 11 table implies: among
+//! the candidates that are **not saturated** at the measured ambient level
+//! (with a safety margin — ambient fluctuates), pick the **most
+//! sensitive**. If everything is saturated, fall back to the most
+//! saturation-resistant device (better railed occasionally than deaf).
+
+use palc_frontend::{OpticalReceiver, PdGain};
+
+/// A dual/multi-receiver selector.
+#[derive(Debug, Clone)]
+pub struct ReceiverSelector {
+    candidates: Vec<OpticalReceiver>,
+    /// The ambient level is multiplied by this factor before the
+    /// saturation check, to keep headroom for fluctuations (clouds,
+    /// specular glints). 1.3 by default.
+    pub headroom: f64,
+}
+
+impl ReceiverSelector {
+    /// The paper's receiver: all three PD gains plus the RX-LED.
+    pub fn openvlc_dual() -> Self {
+        ReceiverSelector {
+            candidates: vec![
+                OpticalReceiver::opt101(PdGain::G1),
+                OpticalReceiver::opt101(PdGain::G2),
+                OpticalReceiver::opt101(PdGain::G3),
+                OpticalReceiver::rx_led(),
+            ],
+            headroom: 1.3,
+        }
+    }
+
+    /// A selector over explicit candidates.
+    pub fn new(candidates: Vec<OpticalReceiver>) -> Self {
+        assert!(!candidates.is_empty(), "selector needs candidates");
+        ReceiverSelector { candidates, headroom: 1.3 }
+    }
+
+    /// The candidate set.
+    pub fn candidates(&self) -> &[OpticalReceiver] {
+        &self.candidates
+    }
+
+    /// Picks the receiver for a measured ambient illuminance.
+    pub fn select(&self, ambient_lux: f64) -> &OpticalReceiver {
+        let needed = ambient_lux.max(0.0) * self.headroom;
+        self.candidates
+            .iter()
+            .filter(|rx| !rx.is_saturated_by(needed))
+            .max_by(|a, b| a.sensitivity().total_cmp(&b.sensitivity()))
+            .unwrap_or_else(|| {
+                // Everything saturated: take the most resistant device.
+                self.candidates
+                    .iter()
+                    .max_by(|a, b| a.saturation_lux().total_cmp(&b.saturation_lux()))
+                    .expect("candidates is non-empty")
+            })
+    }
+
+    /// Convenience: the label of the selected receiver.
+    pub fn select_label(&self, ambient_lux: f64) -> &'static str {
+        self.select(ambient_lux).label()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dark_room_uses_the_most_sensitive_gain() {
+        let sel = ReceiverSelector::openvlc_dual();
+        assert_eq!(sel.select_label(2.0), "PD(G1)");
+        assert_eq!(sel.select_label(100.0), "PD(G1)");
+    }
+
+    #[test]
+    fn medium_room_steps_down_to_g2() {
+        // 450 lux saturates G1 (and the 1.3 headroom pushes the boundary
+        // below it).
+        let sel = ReceiverSelector::openvlc_dual();
+        assert_eq!(sel.select_label(450.0), "PD(G2)");
+    }
+
+    #[test]
+    fn bright_indoor_uses_g3() {
+        let sel = ReceiverSelector::openvlc_dual();
+        assert_eq!(sel.select_label(2000.0), "PD(G3)");
+    }
+
+    #[test]
+    fn outdoor_day_uses_the_led() {
+        // Sec. 4.4: "outdoor scenarios during the day can easily go above
+        // 10 klux … The RX-LED … is thus more suitable for outdoor".
+        let sel = ReceiverSelector::openvlc_dual();
+        assert_eq!(sel.select_label(6200.0), "LED");
+        assert_eq!(sel.select_label(15_000.0), "LED");
+    }
+
+    #[test]
+    fn beyond_everything_falls_back_to_most_resistant() {
+        let sel = ReceiverSelector::openvlc_dual();
+        assert_eq!(sel.select_label(80_000.0), "LED");
+    }
+
+    #[test]
+    fn selection_boundaries_are_monotone() {
+        // Sweeping ambient upward must never go back to a more sensitive
+        // (lower-saturation) device.
+        let sel = ReceiverSelector::openvlc_dual();
+        let mut last_sat = 0.0;
+        for lux in (0..500).map(|i| i as f64 * 100.0) {
+            let sat = sel.select(lux).saturation_lux();
+            assert!(sat >= last_sat, "regressed at {lux} lux");
+            last_sat = sat;
+        }
+    }
+
+    #[test]
+    fn headroom_shifts_the_boundary() {
+        let mut sel = ReceiverSelector::openvlc_dual();
+        sel.headroom = 1.0;
+        // Exactly at 440 lux with no headroom, G1 (sat 450) still works.
+        assert_eq!(sel.select_label(440.0), "PD(G1)");
+        sel.headroom = 2.0;
+        assert_eq!(sel.select_label(440.0), "PD(G2)");
+    }
+
+    #[test]
+    #[should_panic(expected = "needs candidates")]
+    fn empty_selector_rejected() {
+        ReceiverSelector::new(Vec::new());
+    }
+}

@@ -1,0 +1,172 @@
+//! Maximal supported object speed (Sec. 6, item 3 — implemented
+//! extension).
+//!
+//! *“Maximal supported speed of an object. This is mainly determined by
+//! the PD's response time to light changes and the receiver's sampling
+//! rate. We will exploit this in a follow-up work.”*
+//!
+//! Both limits are first-class in our frontend models, so the follow-up
+//! analysis can be done here:
+//!
+//! * **detector bandwidth**: a symbol shorter than the detector's
+//!   response time is low-passed away. With a first-order detector of
+//!   bandwidth `B`, a symbol must last at least `k/B` (k ≈ 3 settling
+//!   time-constants ⇒ `k = 3/(2π) ≈ 0.48`) to develop most of its swing;
+//! * **sampling rate**: the windowed-maximum decoder needs several
+//!   samples per symbol; below [`MIN_SAMPLES_PER_SYMBOL`] the τt windows
+//!   cannot be placed reliably.
+//!
+//! [`max_speed_mps`] combines them; [`SpeedSweep`] verifies the analytic
+//! bound empirically against the channel simulator.
+
+use crate::channel::Scenario;
+use crate::decode::AdaptiveDecoder;
+use palc_frontend::{Frontend, OpticalReceiver};
+use palc_phy::Packet;
+use palc_scene::{Tag, Trajectory};
+
+/// Minimum samples per symbol for reliable windowed-maximum decoding.
+pub const MIN_SAMPLES_PER_SYMBOL: f64 = 4.0;
+
+/// Settling factor: a first-order system reaches 95 % of a step in 3τ,
+/// with τ = 1/(2πB); a symbol must last at least that.
+pub const SETTLING_TIME_CONSTANTS: f64 = 3.0;
+
+/// Analytic speed limit for a symbol of `symbol_width_m` read by
+/// `receiver` sampled at `sample_rate_hz`.
+///
+/// Returns the binding limit and which mechanism binds.
+pub fn max_speed_mps(
+    receiver: &OpticalReceiver,
+    sample_rate_hz: f64,
+    symbol_width_m: f64,
+) -> (f64, SpeedLimit) {
+    assert!(sample_rate_hz > 0.0 && symbol_width_m > 0.0);
+    let tau = SETTLING_TIME_CONSTANTS / (2.0 * std::f64::consts::PI * receiver.bandwidth_hz());
+    let v_bandwidth = symbol_width_m / tau;
+    let v_sampling = symbol_width_m * sample_rate_hz / MIN_SAMPLES_PER_SYMBOL;
+    if v_bandwidth <= v_sampling {
+        (v_bandwidth, SpeedLimit::DetectorBandwidth)
+    } else {
+        (v_sampling, SpeedLimit::SamplingRate)
+    }
+}
+
+/// Which mechanism caps the speed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SpeedLimit {
+    /// The detector's response time smears symbols together first.
+    DetectorBandwidth,
+    /// The ADC runs out of samples per symbol first.
+    SamplingRate,
+}
+
+/// Empirical speed sweep on the indoor bench: finds the highest speed at
+/// which a test packet still decodes.
+#[derive(Debug, Clone)]
+pub struct SpeedSweep {
+    /// Symbol width of the test tag, metres.
+    pub symbol_width_m: f64,
+    /// Bench height, metres.
+    pub height_m: f64,
+    /// Trials per speed.
+    pub trials: u64,
+}
+
+impl Default for SpeedSweep {
+    fn default() -> Self {
+        SpeedSweep { symbol_width_m: 0.03, height_m: 0.20, trials: 2 }
+    }
+}
+
+impl SpeedSweep {
+    /// Whether the bench link decodes at `speed_mps` (all trials must).
+    pub fn decodes_at(&self, speed_mps: f64) -> bool {
+        let packet = Packet::from_bits("10").expect("static");
+        let tag = Tag::from_packet(&packet, self.symbol_width_m);
+        let scenario = Scenario::indoor_bench_tag(
+            tag,
+            self.height_m,
+            Trajectory::Constant { speed_mps },
+        );
+        let decoder = AdaptiveDecoder::default().with_expected_bits(2);
+        (0..self.trials).all(|seed| {
+            decoder
+                .decode(&scenario.run(900 + seed))
+                .map(|o| o.payload.to_string() == "10")
+                .unwrap_or(false)
+        })
+    }
+
+    /// Highest decodable speed from `candidates` (sorted ascending), or
+    /// `None` if even the slowest fails.
+    pub fn max_decodable(&self, candidates: &[f64]) -> Option<f64> {
+        candidates.iter().cloned().take_while(|&v| self.decodes_at(v)).last()
+    }
+}
+
+/// The frontend's own speed budget: convenience over [`max_speed_mps`]
+/// using the frontend's configured rates.
+pub fn frontend_speed_budget(frontend: &Frontend, symbol_width_m: f64) -> (f64, SpeedLimit) {
+    max_speed_mps(&frontend.receiver, frontend.sample_rate_hz(), symbol_width_m)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use palc_frontend::{Mcp3008, PdGain};
+
+    #[test]
+    fn car_scenario_is_within_budget() {
+        // 18 km/h with 10 cm symbols at 2 kS/s must be comfortably inside
+        // both limits — the paper decodes it.
+        let rx = OpticalReceiver::rx_led();
+        let (v_max, _) = max_speed_mps(&rx, 2000.0, 0.10);
+        assert!(v_max > 5.0, "budget {v_max} m/s must exceed 18 km/h");
+    }
+
+    #[test]
+    fn sampling_binds_at_low_rates() {
+        let rx = OpticalReceiver::opt101(PdGain::G3); // fast detector
+        let (v, limit) = max_speed_mps(&rx, 100.0, 0.10);
+        assert_eq!(limit, SpeedLimit::SamplingRate);
+        assert!((v - 100.0 * 0.10 / 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bandwidth_binds_for_slow_detectors_at_high_rates() {
+        let rx = OpticalReceiver::rx_led(); // 900 Hz junction
+        let (_, limit) = max_speed_mps(&rx, 100_000.0, 0.10);
+        assert_eq!(limit, SpeedLimit::DetectorBandwidth);
+    }
+
+    #[test]
+    fn wider_symbols_allow_higher_speeds() {
+        let rx = OpticalReceiver::opt101(PdGain::G1);
+        let (v_narrow, _) = max_speed_mps(&rx, 2000.0, 0.05);
+        let (v_wide, _) = max_speed_mps(&rx, 2000.0, 0.10);
+        assert!((v_wide / v_narrow - 2.0).abs() < 1e-9, "linear in symbol width");
+    }
+
+    #[test]
+    fn empirical_sweep_finds_a_finite_limit() {
+        // The indoor bench samples at 250 Hz: the analytic sampling limit
+        // for 3 cm symbols is 250·0.03/4 ≈ 1.9 m/s. The empirical limit
+        // must be finite and below the analytic bound.
+        let sweep = SpeedSweep { trials: 1, ..Default::default() };
+        let speeds = [0.08, 0.32, 1.0, 2.5, 6.0];
+        let measured = sweep.max_decodable(&speeds).expect("bench speed must decode");
+        let fe = Frontend::indoor(OpticalReceiver::opt101(PdGain::G1), 0);
+        let (analytic, _) = frontend_speed_budget(&fe, 0.03);
+        assert!(measured <= analytic * 1.5, "measured {measured} vs analytic {analytic}");
+        assert!(measured >= 0.08, "the paper's bench speed must work");
+    }
+
+    #[test]
+    fn frontend_budget_matches_direct_call() {
+        let fe = Frontend::outdoor(OpticalReceiver::rx_led(), 0);
+        let a = frontend_speed_budget(&fe, 0.10);
+        let b = max_speed_mps(&OpticalReceiver::rx_led(), 2000.0, 0.10);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,144 @@
+//! RSS traces: the receiver's view of the world.
+//!
+//! Everything downstream of the channel — decoding, classification,
+//! collision analysis — consumes a [`Trace`]: a sampled RSS series plus
+//! its sampling rate. The paper plots traces two ways, and both accessors
+//! are provided: raw ADC units (Figs. 15–17) and min–max-normalised
+//! (Figs. 5, 7, 8, 10, 13, 14).
+
+use palc_dsp::stats;
+
+/// A sampled RSS trace.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Trace {
+    samples: Vec<f64>,
+    sample_rate_hz: f64,
+}
+
+impl Trace {
+    /// Wraps samples captured at `sample_rate_hz`.
+    pub fn new(samples: Vec<f64>, sample_rate_hz: f64) -> Self {
+        assert!(sample_rate_hz > 0.0, "sample rate must be positive");
+        Trace { samples, sample_rate_hz }
+    }
+
+    /// The raw samples.
+    pub fn samples(&self) -> &[f64] {
+        &self.samples
+    }
+
+    /// Sampling rate, Hz.
+    pub fn sample_rate_hz(&self) -> f64 {
+        self.sample_rate_hz
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Whether the trace is empty.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Trace duration, seconds.
+    pub fn duration_s(&self) -> f64 {
+        self.samples.len() as f64 / self.sample_rate_hz
+    }
+
+    /// Time of sample `i`, seconds.
+    pub fn time_of(&self, i: usize) -> f64 {
+        i as f64 / self.sample_rate_hz
+    }
+
+    /// Sample index nearest to time `t` (clamped).
+    pub fn index_of(&self, t: f64) -> usize {
+        if self.samples.is_empty() {
+            return 0;
+        }
+        ((t * self.sample_rate_hz).round().max(0.0) as usize).min(self.samples.len() - 1)
+    }
+
+    /// Min–max-normalised copy of the samples — the “Normalized RSS” axis
+    /// used by most of the paper's figures.
+    pub fn normalized(&self) -> Vec<f64> {
+        stats::normalize_minmax(&self.samples)
+    }
+
+    /// A sub-trace covering `[t0, t1)` seconds.
+    pub fn slice_time(&self, t0: f64, t1: f64) -> Trace {
+        let i0 = self.index_of(t0.min(t1));
+        let i1 = self.index_of(t1.max(t0));
+        Trace::new(self.samples[i0..=i1.min(self.samples.len() - 1)].to_vec(), self.sample_rate_hz)
+    }
+
+    /// Michelson modulation depth of the trace (decile-based).
+    pub fn modulation_depth(&self) -> f64 {
+        stats::modulation_depth(&self.samples)
+    }
+
+    /// Mean RSS value.
+    pub fn mean(&self) -> f64 {
+        stats::mean(&self.samples)
+    }
+
+    /// (min, max) RSS.
+    pub fn minmax(&self) -> (f64, f64) {
+        stats::minmax(&self.samples)
+    }
+
+    /// `(time_s, value)` pairs — convenient for plotting / CSV output.
+    pub fn points(&self) -> impl Iterator<Item = (f64, f64)> + '_ {
+        self.samples.iter().enumerate().map(|(i, &v)| (self.time_of(i), v))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn duration_and_time_mapping() {
+        let t = Trace::new(vec![0.0; 2000], 2000.0);
+        assert!((t.duration_s() - 1.0).abs() < 1e-12);
+        assert!((t.time_of(1000) - 0.5).abs() < 1e-12);
+        assert_eq!(t.index_of(0.5), 1000);
+        assert_eq!(t.index_of(99.0), 1999); // clamped
+    }
+
+    #[test]
+    fn normalized_is_zero_to_one() {
+        let t = Trace::new(vec![10.0, 30.0, 20.0], 100.0);
+        assert_eq!(t.normalized(), vec![0.0, 1.0, 0.5]);
+    }
+
+    #[test]
+    fn slice_time_extracts_window() {
+        let samples: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        let t = Trace::new(samples, 100.0);
+        let s = t.slice_time(0.25, 0.50);
+        assert_eq!(s.samples()[0], 25.0);
+        assert_eq!(*s.samples().last().unwrap(), 50.0);
+    }
+
+    #[test]
+    fn slice_handles_reversed_bounds() {
+        let t = Trace::new((0..10).map(|i| i as f64).collect(), 10.0);
+        let s = t.slice_time(0.8, 0.2);
+        assert_eq!(s.samples()[0], 2.0);
+    }
+
+    #[test]
+    fn points_pair_time_and_value() {
+        let t = Trace::new(vec![5.0, 6.0], 2.0);
+        let pts: Vec<(f64, f64)> = t.points().collect();
+        assert_eq!(pts, vec![(0.0, 5.0), (0.5, 6.0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn rejects_zero_rate() {
+        Trace::new(vec![1.0], 0.0);
+    }
+}

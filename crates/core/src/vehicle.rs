@@ -1,0 +1,464 @@
+//! The two-phase vehicular decoder (Sec. 5).
+//!
+//! Outdoors the packet rides on a car roof, and the car itself announces
+//! it: *“The ability to detect the shape of the car with the RX-LED
+//! allows us to use the car's optical signature as a long-duration
+//! preamble of the packet, indicating when the receiver needs to get ready
+//! to decode information”*. The decode then proceeds in two phases
+//! (Sec. 5.2):
+//!
+//! 1. find the long-duration preamble — the hood ‘peak’ and windshield
+//!    ‘valley’ (points A and B of Fig. 13);
+//! 2. run the Sec. 4.1 adaptive decoder over the roof region.
+//!
+//! One practical refinement over the indoor decoder is required (and
+//! documented here because the paper's prose glosses over it): the roof
+//! paint and the first HIGH strip are both strong reflectors, so they
+//! merge into one wide plateau — the first *peak* is not a clean symbol
+//! centre. Phase 1 therefore also estimates the car's speed from the
+//! known hood→windshield geometry (that is exactly what a long preamble
+//! is for), and phase 2 anchors its symbol grid on the first data *dip*
+//! (the preamble's first LOW), deriving the magnitude threshold from the
+//! surrounding extrema per Sec. 4.1.
+//!
+//! [`CarShapeDetector`] additionally classifies *which* car passed from
+//! its signature (the Figs. 13–14 baseline), using the DTW machinery of
+//! Sec. 4.2.
+
+use crate::classify::{DtwClassifier, TemplateDb};
+use crate::decode::{CalPoint, DecodeError, DecodedPacket};
+use crate::trace::Trace;
+use palc_dsp::filter::moving_average;
+use palc_dsp::peaks::{find_peaks_persistence, find_valleys_persistence, half_crossing_center};
+use palc_dsp::stats::normalize_minmax;
+use palc_phy::{manchester_decode, Symbol, PREAMBLE, PREAMBLE_LEN};
+use palc_scene::CarModel;
+
+/// Result of phase 1: the located long-duration preamble.
+#[derive(Debug, Clone, Copy)]
+pub struct LongPreamble {
+    /// Time of the hood peak, seconds.
+    pub hood_t: f64,
+    /// Time of the windshield valley, seconds.
+    pub windshield_t: f64,
+    /// Estimated car speed, m/s.
+    pub speed_mps: f64,
+    /// Estimated start of the roof region, seconds.
+    pub roof_start_t: f64,
+    /// Estimated end of the roof region, seconds.
+    pub roof_end_t: f64,
+}
+
+/// The two-phase outdoor decoder for a known car model and symbol width.
+#[derive(Debug, Clone)]
+pub struct TwoPhaseDecoder {
+    car: CarModel,
+    /// Symbol width of the roof tag, metres (10 cm in the paper).
+    pub symbol_width_m: f64,
+    /// Expected payload bits.
+    pub expected_bits: usize,
+    /// Peak prominence for signature features on the normalised trace.
+    pub feature_prominence: f64,
+    /// Smoothing window for phase 1, seconds.
+    pub smooth_window_s: f64,
+}
+
+impl TwoPhaseDecoder {
+    /// Decoder for `car` carrying a tag with `symbol_width_m` symbols and
+    /// `expected_bits` payload bits.
+    pub fn new(car: CarModel, symbol_width_m: f64, expected_bits: usize) -> Self {
+        assert!(symbol_width_m > 0.0);
+        TwoPhaseDecoder {
+            car,
+            symbol_width_m,
+            expected_bits,
+            feature_prominence: 0.25,
+            smooth_window_s: 0.01,
+        }
+    }
+
+    /// Distance from the centre of the car's *front bright region* (bumper
+    /// + hood — the receiver cannot tell painted metal segments apart, so
+    /// they read as one plateau) to the windshield centre. This is the
+    /// geometric scale phase 1 pairs with the measured peak→valley time to
+    /// estimate speed.
+    fn hood_to_windshield_m(&self) -> f64 {
+        let mut acc = 0.0;
+        let mut front_end = None;
+        let mut ws_center = None;
+        for s in self.car.segments() {
+            if s.name == "windshield" {
+                front_end = Some(acc);
+                ws_center = Some(acc + s.length_m / 2.0);
+                break;
+            }
+            acc += s.length_m;
+        }
+        match (front_end, ws_center) {
+            (Some(f), Some(w)) => w - f / 2.0,
+            _ => panic!("car {} lacks a windshield segment", self.car.name),
+        }
+    }
+
+    /// Phase 1: locate the car's long-duration preamble in the trace.
+    pub fn find_preamble(&self, trace: &Trace) -> Result<LongPreamble, DecodeError> {
+        let fs = trace.sample_rate_hz();
+        let norm = normalize_minmax(trace.samples());
+        let window = ((self.smooth_window_s * fs).round() as usize).max(1);
+        let smooth = moving_average(&norm, window);
+        let peaks = find_peaks_persistence(&smooth, self.feature_prominence);
+        let valleys = find_valleys_persistence(&smooth, self.feature_prominence);
+        let hood = peaks.first().ok_or(DecodeError::NoPreamble {
+            peaks_found: 0,
+            valleys_found: valleys.len(),
+        })?;
+        let windshield = valleys
+            .iter()
+            .find(|v| v.index > hood.index)
+            .ok_or(DecodeError::NoPreamble { peaks_found: peaks.len(), valleys_found: 0 })?;
+
+        // The hood and windshield are long plateaus in the trace;
+        // half-crossing midpoints give their true centres (a persistence
+        // extremum can sit anywhere on a noisy plateau).
+        let level = 0.5 * (hood.value + windshield.value);
+        let fs_inv = 1.0 / fs;
+        let hood_t = half_crossing_center(&smooth, hood.index, level, true) * fs_inv;
+        let windshield_t =
+            half_crossing_center(&smooth, windshield.index, level, false) * fs_inv;
+        let dt = windshield_t - hood_t;
+        if dt <= 0.0 {
+            return Err(DecodeError::NoPreamble {
+                peaks_found: peaks.len(),
+                valleys_found: valleys.len(),
+            });
+        }
+        let speed_mps = self.hood_to_windshield_m() / dt;
+
+        // Roof extent from the car geometry, measured from the windshield
+        // centre.
+        let (roof_a, roof_b) = self.car.roof_span();
+        let mut acc = 0.0;
+        let mut ws_center = 0.0;
+        for s in self.car.segments() {
+            if s.name == "windshield" {
+                ws_center = acc + s.length_m / 2.0;
+            }
+            acc += s.length_m;
+        }
+        let roof_start_t = windshield_t + (roof_a - ws_center) / speed_mps;
+        let roof_end_t = windshield_t + (roof_b - ws_center) / speed_mps;
+        Ok(LongPreamble { hood_t, windshield_t, speed_mps, roof_start_t, roof_end_t })
+    }
+
+    /// Phase 2: decode the roof tag using the speed estimate from phase 1.
+    pub fn decode(&self, trace: &Trace) -> Result<DecodedPacket, DecodeError> {
+        let pre = self.find_preamble(trace)?;
+        self.decode_with_preamble(trace, &pre)
+    }
+
+    /// Phase 2 with an explicit phase-1 result.
+    pub fn decode_with_preamble(
+        &self,
+        trace: &Trace,
+        pre: &LongPreamble,
+    ) -> Result<DecodedPacket, DecodeError> {
+        let fs = trace.sample_rate_hz();
+        let tau_t = self.symbol_width_m / pre.speed_mps;
+        let norm = normalize_minmax(trace.samples());
+        let window = ((tau_t * fs * 0.2).round() as usize).max(1);
+        let smooth = moving_average(&norm, window);
+
+        // Find the tag's first LOW dip inside the roof region. Restrict to
+        // the roof window with a margin of one symbol.
+        let lo_i = trace.index_of(pre.roof_start_t);
+        let hi_i = trace.index_of(pre.roof_end_t);
+        if hi_i <= lo_i + 4 {
+            return Err(DecodeError::NoPreamble { peaks_found: 1, valleys_found: 0 });
+        }
+        let roof = &smooth[lo_i..=hi_i];
+        let valleys = find_valleys_persistence(roof, 0.08);
+        // The anchor dip must be the tag's first LOW (L1): a true L1 is
+        // preceded by a bright shoulder (roof paint merged with the H0
+        // strip), which rejects windshield residue leaking in at the
+        // window's leading edge.
+        let mut sorted_roof = roof.to_vec();
+        sorted_roof.sort_by(f64::total_cmp);
+        let bright = sorted_roof[(sorted_roof.len() * 7) / 10];
+        let sym = (tau_t * fs) as usize;
+        let first_dip = valleys
+            .iter()
+            .find(|v| {
+                let shoulder_hi = v.index.saturating_sub(sym / 3);
+                let shoulder_lo = v.index.saturating_sub(sym + sym / 2);
+                shoulder_hi > shoulder_lo
+                    && roof[shoulder_lo..shoulder_hi]
+                        .iter()
+                        .any(|&x| x >= bright)
+            })
+            .ok_or(DecodeError::NoPreamble { peaks_found: 1, valleys_found: 0 })?;
+        let dip_idx = lo_i + first_dip.index;
+        let t_l1 = trace.time_of(dip_idx);
+
+        // Sec. 4.1 thresholds from the dip and its shoulders: A = max in
+        // the symbol before the dip, C = max in the symbol after, B = dip.
+        let seg = |t0: f64, t1: f64| -> f64 {
+            let a = trace.index_of(t0);
+            let b = trace.index_of(t1).min(smooth.len() - 1);
+            smooth[a..=b].iter().cloned().fold(f64::MIN, f64::max)
+        };
+        let ra = seg(t_l1 - 1.2 * tau_t, t_l1 - 0.2 * tau_t);
+        let rc = seg(t_l1 + 0.2 * tau_t, t_l1 + 1.2 * tau_t);
+        let rb = smooth[dip_idx];
+        let tau_r = ((ra - rb) + (rc - rb)) / 2.0;
+        if tau_r <= 0.0 {
+            return Err(DecodeError::NoPreamble { peaks_found: 1, valleys_found: 1 });
+        }
+        let threshold = rb + tau_r / 2.0;
+        // Re-centre the anchor on the dip's half-crossing midpoint: the
+        // minimum sample of a noisy dip can sit anywhere across its width.
+        // L1 is flanked by H0 and H2, so the below-threshold region is
+        // exactly one symbol wide.
+        let t_l1 = half_crossing_center(&smooth, dip_idx, threshold, false) / fs;
+
+        // Symbol grid: the dip is the centre of symbol 1 (the preamble's
+        // first LOW). Outdoors the sharp features are the LOW dips (the
+        // HIGH strips merge with the flat paint background), so the
+        // timing tracker locks onto dip minima.
+        let n_symbols = PREAMBLE_LEN + 2 * self.expected_bits;
+        let mut symbols = Vec::with_capacity(n_symbols);
+        let mut drift = 0.0;
+        let mut tau_eff = tau_t;
+        for k in 0..n_symbols {
+            let center = t_l1 + (k as f64 - 1.0) * tau_eff + drift;
+            let half = 0.32 * tau_eff;
+            let a = trace.index_of(center - half);
+            let b = trace.index_of(center + half).min(smooth.len() - 1);
+            let window = &smooth[a..=b];
+            let win_max = window.iter().cloned().fold(f64::MIN, f64::max);
+            let is_high = win_max > threshold;
+            symbols.push(if is_high { Symbol::High } else { Symbol::Low });
+            if !is_high && window.len() > 2 && k > 1 {
+                let (min_i, _) = window
+                    .iter()
+                    .enumerate()
+                    .min_by(|x, y| x.1.total_cmp(y.1))
+                    .expect("window non-empty");
+                if min_i > 0 && min_i < window.len() - 1 {
+                    let t_meas = trace.time_of(a + min_i);
+                    let err = (t_meas - center).clamp(-0.3 * tau_eff, 0.3 * tau_eff);
+                    drift += 0.15 * err;
+                    tau_eff += 0.15 * err / (k - 1) as f64;
+                }
+            }
+        }
+
+        if symbols[..PREAMBLE_LEN] != PREAMBLE {
+            return Err(DecodeError::BadPreamble {
+                got: Symbol::format_sequence(&symbols[..PREAMBLE_LEN], false),
+            });
+        }
+        let payload = manchester_decode(&symbols[PREAMBLE_LEN..])?;
+        Ok(DecodedPacket {
+            symbols,
+            payload,
+            tau_r,
+            tau_t,
+            threshold_level: threshold,
+            point_a: CalPoint { t: t_l1 - tau_t, r: ra },
+            point_b: CalPoint { t: t_l1, r: rb },
+            point_c: CalPoint { t: t_l1 + tau_t, r: rc },
+        })
+    }
+}
+
+/// Crops the active (object-present) span of a pass trace: the region
+/// between the first and last *sustained* crossings of `threshold` on a
+/// smoothed min–max-normalised copy (single noise spikes on the idle floor
+/// must not widen the crop). Returns `None` when nothing sustained crosses.
+pub fn crop_active_region(trace: &Trace, threshold: f64) -> Option<(usize, usize)> {
+    let window = ((trace.sample_rate_hz() * 0.01) as usize).max(3);
+    let smooth = moving_average(&normalize_minmax(trace.samples()), window);
+    let run = window.max(4);
+    let first = (0..smooth.len().saturating_sub(run))
+        .find(|&i| smooth[i..i + run].iter().all(|&v| v > threshold))?;
+    let last = (run..smooth.len())
+        .rev()
+        .find(|&i| smooth[i - run..=i].iter().all(|&v| v > threshold))?;
+    if last > first + 8 {
+        Some((first, last))
+    } else {
+        None
+    }
+}
+
+/// Classifies which car passed from its optical signature (Figs. 13–14).
+#[derive(Debug, Clone)]
+pub struct CarShapeDetector {
+    classifier: DtwClassifier,
+    /// Normalised activity level above which the trace is considered to
+    /// contain the car (used to crop lead-in/lead-out).
+    pub activity_threshold: f64,
+}
+
+impl CarShapeDetector {
+    /// Detector over geometric signatures of the given car models.
+    pub fn new(cars: &[CarModel]) -> Self {
+        assert!(!cars.is_empty());
+        let mut db = TemplateDb::new();
+        for car in cars {
+            db.add_samples(car.name, &car.reflectance_signature(256));
+        }
+        CarShapeDetector {
+            classifier: DtwClassifier::new(db).with_band(crate::classify::TEMPLATE_LEN / 20),
+            activity_threshold: 0.25,
+        }
+    }
+
+    /// Detector with measured (simulated clean-pass) templates instead of
+    /// geometric ones; often more accurate because it includes the height
+    /// weighting of the real channel. Templates are cropped to their
+    /// active region exactly like probes will be.
+    pub fn from_traces(entries: &[(&str, &Trace)]) -> Self {
+        assert!(!entries.is_empty());
+        let threshold = 0.25;
+        let mut db = TemplateDb::new();
+        for (label, trace) in entries {
+            match crop_active_region(trace, threshold) {
+                Some((a, b)) => db.add_samples(*label, &trace.samples()[a..=b]),
+                None => db.add(*label, trace),
+            }
+        }
+        CarShapeDetector {
+            classifier: DtwClassifier::new(db).with_band(crate::classify::TEMPLATE_LEN / 20),
+            activity_threshold: threshold,
+        }
+    }
+
+    /// Crops the active (car-present) region of a pass trace. See
+    /// [`crop_active_region`].
+    pub fn crop_active(&self, trace: &Trace) -> Option<(usize, usize)> {
+        crop_active_region(trace, self.activity_threshold)
+    }
+
+    /// Classifies a pass trace, returning the best-matching car name and
+    /// the DTW margin (best vs. second distance ratio; higher = surer).
+    pub fn identify(&self, trace: &Trace) -> Option<(String, f64)> {
+        let (a, b) = self.crop_active(trace)?;
+        let window = ((trace.sample_rate_hz() * 0.01) as usize).max(3);
+        let smooth = moving_average(trace.samples(), window);
+        let result = self.classifier.classify_samples(&smooth[a..=b]);
+        Some((result.best().label.clone(), result.margin()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::channel::Scenario;
+    use palc_optics::source::Sun;
+    use palc_phy::Packet;
+
+    fn car_pass(car: CarModel, bits: Option<&str>, height: f64, sun: Sun, seed: u64) -> Trace {
+        let packet = bits.map(|b| Packet::from_bits(b).unwrap());
+        Scenario::outdoor_car(car, packet, height, sun).run(seed)
+    }
+
+    #[test]
+    fn phase1_finds_hood_and_windshield() {
+        let trace = car_pass(CarModel::volvo_v40(), None, 0.75, Sun::cloudy_noon(3), 1);
+        let dec = TwoPhaseDecoder::new(CarModel::volvo_v40(), 0.10, 2);
+        let pre = dec.find_preamble(&trace).unwrap();
+        assert!(pre.windshield_t > pre.hood_t);
+        // 18 km/h = 5 m/s; the estimate should land within 25 %.
+        assert!(
+            (pre.speed_mps - 5.0).abs() / 5.0 < 0.25,
+            "speed estimate {} m/s",
+            pre.speed_mps
+        );
+        assert!(pre.roof_end_t > pre.roof_start_t);
+    }
+
+    #[test]
+    fn fig17a_decodes_hlhl_hlhl() {
+        // 75 cm above the roof, cloudy noon (6200 lux), code '00'.
+        let trace = car_pass(CarModel::volvo_v40(), Some("00"), 0.75, Sun::cloudy_noon(4), 2);
+        let dec = TwoPhaseDecoder::new(CarModel::volvo_v40(), 0.10, 2);
+        let out = dec.decode(&trace).unwrap();
+        assert_eq!(out.payload.to_string(), "00");
+        assert_eq!(out.notation(), "HLHL.HLHL");
+    }
+
+    #[test]
+    fn fig17c_decodes_hlhl_lhhl() {
+        let trace = car_pass(
+            CarModel::volvo_v40(),
+            Some("10"),
+            0.75,
+            Sun::new(5500.0, 40.0, palc_optics::source::SkyCondition::Cloudy { drift: 0.05 }, 9),
+            3,
+        );
+        let dec = TwoPhaseDecoder::new(CarModel::volvo_v40(), 0.10, 2);
+        let out = dec.decode(&trace).unwrap();
+        assert_eq!(out.payload.to_string(), "10");
+    }
+
+    #[test]
+    fn throughput_matches_paper_50_symbols_per_second() {
+        let trace = car_pass(CarModel::volvo_v40(), Some("00"), 0.75, Sun::cloudy_noon(5), 4);
+        let dec = TwoPhaseDecoder::new(CarModel::volvo_v40(), 0.10, 2);
+        let out = dec.decode(&trace).unwrap();
+        // τt should be ~20 ms -> ~50 symbols/s.
+        assert!(
+            (out.symbol_rate_hz() - 50.0).abs() < 12.0,
+            "symbol rate {}",
+            out.symbol_rate_hz()
+        );
+    }
+
+    #[test]
+    fn cars_are_distinguishable_by_signature() {
+        // Templates from clean calibration passes (the paper's "baseline:
+        // car's shape detection" runs), probes from noisy passes with a
+        // different seed and sun.
+        let volvo_clean = Scenario::outdoor_car(
+            CarModel::volvo_v40(),
+            None,
+            0.75,
+            Sun::cloudy_noon(3),
+        )
+        .run_clean();
+        let bmw_clean =
+            Scenario::outdoor_car(CarModel::bmw_3(), None, 0.75, Sun::cloudy_noon(3))
+                .run_clean();
+        let det = CarShapeDetector::from_traces(&[
+            ("Volvo V40", &volvo_clean),
+            ("BMW 3", &bmw_clean),
+        ]);
+        let volvo = car_pass(CarModel::volvo_v40(), None, 0.75, Sun::cloudy_noon(6), 5);
+        let bmw = car_pass(CarModel::bmw_3(), None, 0.75, Sun::cloudy_noon(6), 5);
+        assert_eq!(det.identify(&volvo).unwrap().0, "Volvo V40");
+        assert_eq!(det.identify(&bmw).unwrap().0, "BMW 3");
+    }
+
+    #[test]
+    fn geometric_detector_separates_its_own_signatures() {
+        let det = CarShapeDetector::new(&[CarModel::volvo_v40(), CarModel::bmw_3()]);
+        let volvo_sig = CarModel::volvo_v40().reflectance_signature(256);
+        let r = det.classifier.classify_samples(&volvo_sig);
+        assert_eq!(r.best().label, "Volvo V40");
+    }
+
+    #[test]
+    fn flat_trace_has_no_car() {
+        let det = CarShapeDetector::new(&[CarModel::volvo_v40()]);
+        let flat = Trace::new(vec![0.3; 1000], 2000.0);
+        assert!(det.identify(&flat).is_none());
+    }
+
+    #[test]
+    fn preamble_fails_gracefully_on_flat_trace() {
+        let dec = TwoPhaseDecoder::new(CarModel::volvo_v40(), 0.10, 2);
+        let flat = Trace::new(vec![0.3; 1000], 2000.0);
+        assert!(dec.find_preamble(&flat).is_err());
+    }
+}

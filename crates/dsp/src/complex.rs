@@ -1,0 +1,217 @@
+//! Minimal complex-number arithmetic for the FFT.
+//!
+//! The workspace policy is to avoid external numeric crates, so this module
+//! provides exactly the operations the spectral code needs: addition,
+//! subtraction, multiplication, conjugation, magnitude, and the unit
+//! exponential `e^{iθ}` used to generate twiddle factors.
+
+use std::ops::{Add, AddAssign, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// A complex number with `f64` components.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Complex {
+    /// Real part.
+    pub re: f64,
+    /// Imaginary part.
+    pub im: f64,
+}
+
+impl Complex {
+    /// The additive identity `0 + 0i`.
+    pub const ZERO: Complex = Complex { re: 0.0, im: 0.0 };
+    /// The multiplicative identity `1 + 0i`.
+    pub const ONE: Complex = Complex { re: 1.0, im: 0.0 };
+    /// The imaginary unit `0 + 1i`.
+    pub const I: Complex = Complex { re: 0.0, im: 1.0 };
+
+    /// Creates a complex number from Cartesian components.
+    #[inline]
+    pub const fn new(re: f64, im: f64) -> Self {
+        Complex { re, im }
+    }
+
+    /// Creates a purely real complex number.
+    #[inline]
+    pub const fn from_real(re: f64) -> Self {
+        Complex { re, im: 0.0 }
+    }
+
+    /// Returns `e^{iθ} = cos θ + i sin θ` (a point on the unit circle).
+    ///
+    /// This is the twiddle-factor generator for the FFT.
+    #[inline]
+    pub fn cis(theta: f64) -> Self {
+        let (s, c) = theta.sin_cos();
+        Complex { re: c, im: s }
+    }
+
+    /// Complex conjugate `re − i·im`.
+    #[inline]
+    pub fn conj(self) -> Self {
+        Complex { re: self.re, im: -self.im }
+    }
+
+    /// Squared magnitude `re² + im²`; cheaper than [`Complex::abs`] when only
+    /// relative power matters (as in power spectra).
+    #[inline]
+    pub fn norm_sqr(self) -> f64 {
+        self.re * self.re + self.im * self.im
+    }
+
+    /// Magnitude `√(re² + im²)`.
+    #[inline]
+    pub fn abs(self) -> f64 {
+        self.re.hypot(self.im)
+    }
+
+    /// Argument (phase angle) in radians, in `(−π, π]`.
+    #[inline]
+    pub fn arg(self) -> f64 {
+        self.im.atan2(self.re)
+    }
+
+    /// Multiplication by a real scalar.
+    #[inline]
+    pub fn scale(self, k: f64) -> Self {
+        Complex { re: self.re * k, im: self.im * k }
+    }
+}
+
+impl Add for Complex {
+    type Output = Complex;
+    #[inline]
+    fn add(self, rhs: Complex) -> Complex {
+        Complex { re: self.re + rhs.re, im: self.im + rhs.im }
+    }
+}
+
+impl AddAssign for Complex {
+    #[inline]
+    fn add_assign(&mut self, rhs: Complex) {
+        self.re += rhs.re;
+        self.im += rhs.im;
+    }
+}
+
+impl Sub for Complex {
+    type Output = Complex;
+    #[inline]
+    fn sub(self, rhs: Complex) -> Complex {
+        Complex { re: self.re - rhs.re, im: self.im - rhs.im }
+    }
+}
+
+impl SubAssign for Complex {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Complex) {
+        self.re -= rhs.re;
+        self.im -= rhs.im;
+    }
+}
+
+impl Mul for Complex {
+    type Output = Complex;
+    #[inline]
+    fn mul(self, rhs: Complex) -> Complex {
+        Complex {
+            re: self.re * rhs.re - self.im * rhs.im,
+            im: self.re * rhs.im + self.im * rhs.re,
+        }
+    }
+}
+
+impl MulAssign for Complex {
+    #[inline]
+    fn mul_assign(&mut self, rhs: Complex) {
+        *self = *self * rhs;
+    }
+}
+
+impl Neg for Complex {
+    type Output = Complex;
+    #[inline]
+    fn neg(self) -> Complex {
+        Complex { re: -self.re, im: -self.im }
+    }
+}
+
+impl From<f64> for Complex {
+    #[inline]
+    fn from(re: f64) -> Self {
+        Complex::from_real(re)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const EPS: f64 = 1e-12;
+
+    #[test]
+    fn addition_and_subtraction_are_componentwise() {
+        let a = Complex::new(1.0, 2.0);
+        let b = Complex::new(3.0, -4.0);
+        assert_eq!(a + b, Complex::new(4.0, -2.0));
+        assert_eq!(a - b, Complex::new(-2.0, 6.0));
+    }
+
+    #[test]
+    fn multiplication_follows_i_squared_is_minus_one() {
+        assert_eq!(Complex::I * Complex::I, Complex::new(-1.0, 0.0));
+        let a = Complex::new(1.0, 2.0);
+        let b = Complex::new(3.0, 4.0);
+        // (1+2i)(3+4i) = 3+4i+6i+8i² = -5+10i
+        assert_eq!(a * b, Complex::new(-5.0, 10.0));
+    }
+
+    #[test]
+    fn cis_lies_on_unit_circle() {
+        for k in 0..16 {
+            let theta = k as f64 * std::f64::consts::PI / 8.0;
+            let z = Complex::cis(theta);
+            assert!((z.abs() - 1.0).abs() < EPS);
+            assert!((z.arg() - theta.sin().atan2(theta.cos())).abs() < EPS);
+        }
+    }
+
+    #[test]
+    fn conjugate_negates_imaginary_part() {
+        let z = Complex::new(2.5, -7.0);
+        assert_eq!(z.conj(), Complex::new(2.5, 7.0));
+        // z · z̄ = |z|²
+        assert!(((z * z.conj()).re - z.norm_sqr()).abs() < EPS);
+        assert!((z * z.conj()).im.abs() < EPS);
+    }
+
+    #[test]
+    fn norm_sqr_matches_abs_squared() {
+        let z = Complex::new(3.0, 4.0);
+        assert!((z.abs() - 5.0).abs() < EPS);
+        assert!((z.norm_sqr() - 25.0).abs() < EPS);
+    }
+
+    #[test]
+    fn scale_multiplies_both_components() {
+        let z = Complex::new(1.0, -2.0).scale(3.0);
+        assert_eq!(z, Complex::new(3.0, -6.0));
+    }
+
+    #[test]
+    fn assign_operators_match_binary_operators() {
+        let mut z = Complex::new(1.0, 1.0);
+        z += Complex::new(2.0, 3.0);
+        assert_eq!(z, Complex::new(3.0, 4.0));
+        z -= Complex::new(1.0, 1.0);
+        assert_eq!(z, Complex::new(2.0, 3.0));
+        z *= Complex::I;
+        assert_eq!(z, Complex::new(-3.0, 2.0));
+    }
+
+    #[test]
+    fn negation_and_from_real() {
+        assert_eq!(-Complex::new(1.0, -2.0), Complex::new(-1.0, 2.0));
+        let z: Complex = 4.0.into();
+        assert_eq!(z, Complex::new(4.0, 0.0));
+    }
+}

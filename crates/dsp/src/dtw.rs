@@ -1,0 +1,254 @@
+//! Dynamic Time Warping (DTW).
+//!
+//! Section 4.2 of the paper handles channel distortion caused by objects
+//! moving at *variable* speed: the threshold decoder mis-reads the stretched
+//! signal, so decoding is reframed as classification — the distorted trace
+//! is compared against a database of clean templates and assigned to the
+//! nearest one. The paper uses DTW as the similarity measure and reports,
+//! for the Fig. 8 trace, normalised distances of 326 (wrong template) vs.
+//! 172 (correct template), with 131 as the self-reference.
+//!
+//! Three variants are provided:
+//!
+//! * [`dtw`] — the classic full dynamic program, O(n·m) time and memory
+//!   (two rolling rows, so O(min(n, m)) working memory).
+//! * [`dtw_banded`] — Sakoe–Chiba band constraint, which both speeds up the
+//!   computation and forbids pathological warpings.
+//! * [`dtw_normalized`] — distance divided by the warping-path length, the
+//!   "normalized distance" the paper quotes; it makes distances comparable
+//!   across traces of different durations.
+
+/// Outcome of a DTW comparison: the raw accumulated distance and the length
+/// of the optimal warping path, from which a normalised distance can be
+/// derived.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DtwOutcome {
+    /// Accumulated cost along the optimal warping path.
+    pub distance: f64,
+    /// Number of steps on the optimal warping path.
+    pub path_len: usize,
+}
+
+impl DtwOutcome {
+    /// Distance divided by path length — comparable across durations.
+    pub fn normalized(&self) -> f64 {
+        if self.path_len == 0 {
+            0.0
+        } else {
+            self.distance / self.path_len as f64
+        }
+    }
+}
+
+#[inline]
+fn local_cost(a: f64, b: f64) -> f64 {
+    (a - b).abs()
+}
+
+/// Full DTW between sequences `a` and `b` with absolute-difference local
+/// cost and the standard (↑, →, ↗) step pattern.
+///
+/// Returns the accumulated distance and the optimal path length. Empty
+/// inputs yield an infinite distance unless *both* are empty, which yields
+/// zero (two empty signals are identical).
+///
+/// ```
+/// use palc_dsp::{dtw, dtw_normalized};
+///
+/// let template = [0.0, 1.0, 1.0, 0.0];
+/// let stretched = [0.0, 0.0, 1.0, 1.0, 1.0, 1.0, 0.0, 0.0]; // 2x slower
+/// assert_eq!(dtw(&template, &stretched).distance, 0.0); // warp absorbs speed
+/// assert!(dtw_normalized(&template, &[1.0, 0.0, 0.0, 1.0]) > 0.1);
+/// ```
+pub fn dtw(a: &[f64], b: &[f64]) -> DtwOutcome {
+    dtw_banded(a, b, usize::MAX)
+}
+
+/// DTW constrained to a Sakoe–Chiba band of half-width `band` (in samples).
+///
+/// Cells with `|i − j·n/m| > band` are never visited. A band of
+/// `usize::MAX` degenerates to the full DTW. If the band is too narrow for
+/// any path to exist the distance is `f64::INFINITY`.
+pub fn dtw_banded(a: &[f64], b: &[f64], band: usize) -> DtwOutcome {
+    let (n, m) = (a.len(), b.len());
+    if n == 0 && m == 0 {
+        return DtwOutcome { distance: 0.0, path_len: 0 };
+    }
+    if n == 0 || m == 0 {
+        return DtwOutcome { distance: f64::INFINITY, path_len: 0 };
+    }
+
+    // cost[i][j] = cost of aligning a[..=i] with b[..=j].
+    // steps[i][j] = path length achieving that cost. We keep two rolling
+    // rows of each to bound memory at O(m).
+    const INF: f64 = f64::INFINITY;
+    let slope = n as f64 / m as f64;
+    let in_band = |i: usize, j: usize| -> bool {
+        if band == usize::MAX {
+            return true;
+        }
+        let center = j as f64 * slope;
+        (i as f64 - center).abs() <= band as f64
+    };
+
+    let mut prev_cost = vec![INF; m];
+    let mut prev_steps = vec![0usize; m];
+    let mut cur_cost = vec![INF; m];
+    let mut cur_steps = vec![0usize; m];
+
+    for i in 0..n {
+        for x in cur_cost.iter_mut() {
+            *x = INF;
+        }
+        for j in 0..m {
+            if !in_band(i, j) {
+                continue;
+            }
+            let c = local_cost(a[i], b[j]);
+            if i == 0 && j == 0 {
+                cur_cost[0] = c;
+                cur_steps[0] = 1;
+                continue;
+            }
+            // Candidate predecessors: (i-1, j), (i, j-1), (i-1, j-1).
+            let mut best = INF;
+            let mut best_steps = 0usize;
+            if i > 0 && prev_cost[j] < best {
+                best = prev_cost[j];
+                best_steps = prev_steps[j];
+            }
+            if j > 0 && cur_cost[j - 1] < best {
+                best = cur_cost[j - 1];
+                best_steps = cur_steps[j - 1];
+            }
+            if i > 0 && j > 0 && prev_cost[j - 1] < best {
+                best = prev_cost[j - 1];
+                best_steps = prev_steps[j - 1];
+            }
+            if best.is_finite() {
+                cur_cost[j] = best + c;
+                cur_steps[j] = best_steps + 1;
+            }
+        }
+        std::mem::swap(&mut prev_cost, &mut cur_cost);
+        std::mem::swap(&mut prev_steps, &mut cur_steps);
+    }
+
+    DtwOutcome { distance: prev_cost[m - 1], path_len: prev_steps[m - 1] }
+}
+
+/// Normalised DTW distance (distance / path length), the quantity the paper
+/// reports in Sec. 4.2.
+pub fn dtw_normalized(a: &[f64], b: &[f64]) -> f64 {
+    dtw(a, b).normalized()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_sequences_have_zero_distance() {
+        let x = vec![0.1, 0.9, 0.2, 0.8, 0.5];
+        let out = dtw(&x, &x);
+        assert_eq!(out.distance, 0.0);
+        assert_eq!(out.path_len, x.len());
+    }
+
+    #[test]
+    fn dtw_is_symmetric() {
+        let a = vec![0.0, 1.0, 0.0, 1.0, 0.5];
+        let b = vec![0.0, 0.0, 1.0, 1.0, 0.0, 0.4];
+        let ab = dtw(&a, &b);
+        let ba = dtw(&b, &a);
+        assert!((ab.distance - ba.distance).abs() < 1e-12);
+    }
+
+    #[test]
+    fn time_stretched_copy_is_much_closer_than_different_signal() {
+        // A square wave, a 2x time-stretched copy, and a shifted square wave.
+        let base: Vec<f64> = (0..40).map(|i| if (i / 10) % 2 == 0 { 1.0 } else { 0.0 }).collect();
+        let stretched: Vec<f64> =
+            (0..80).map(|i| if (i / 20) % 2 == 0 { 1.0 } else { 0.0 }).collect();
+        let different: Vec<f64> =
+            (0..40).map(|i| if (i / 5) % 2 == 0 { 1.0 } else { 0.0 }).collect();
+        let d_stretch = dtw_normalized(&base, &stretched);
+        let d_diff = dtw_normalized(&base, &different);
+        assert!(
+            d_stretch < 0.25 * d_diff,
+            "stretch {d_stretch} should be far smaller than different {d_diff}"
+        );
+    }
+
+    #[test]
+    fn variable_speed_classification_matches_paper_scenario() {
+        // Emulate Sec. 4.2: template A = 'HLHL HLHL' ('00'), template
+        // B = 'HLHL LHHL' ('10'); the probe is B with its second half
+        // played at double speed. DTW must classify the probe as B.
+        fn symbol_wave(syms: &[u8], samples_per_sym: usize) -> Vec<f64> {
+            syms.iter()
+                .flat_map(|&s| std::iter::repeat(s as f64).take(samples_per_sym))
+                .collect()
+        }
+        let ta = symbol_wave(&[1, 0, 1, 0, 1, 0, 1, 0], 20);
+        let tb = symbol_wave(&[1, 0, 1, 0, 0, 1, 1, 0], 20);
+        let mut probe = symbol_wave(&[1, 0, 1, 0], 20);
+        probe.extend(symbol_wave(&[0, 1, 1, 0], 10)); // double speed tail
+        let da = dtw_normalized(&probe, &ta);
+        let db = dtw_normalized(&probe, &tb);
+        assert!(db < da, "probe must match template B: dA={da}, dB={db}");
+    }
+
+    #[test]
+    fn banded_matches_full_when_band_is_wide() {
+        let a: Vec<f64> = (0..30).map(|i| (i as f64 * 0.3).sin()).collect();
+        let b: Vec<f64> = (0..35).map(|i| (i as f64 * 0.28).sin()).collect();
+        let full = dtw(&a, &b);
+        let banded = dtw_banded(&a, &b, 40);
+        assert!((full.distance - banded.distance).abs() < 1e-12);
+    }
+
+    #[test]
+    fn banded_is_lower_bounded_by_full() {
+        // Constraining the path can only increase (or keep) the distance.
+        let a: Vec<f64> = (0..50).map(|i| ((i as f64) * 0.2).sin()).collect();
+        let b: Vec<f64> = (0..50).map(|i| ((i as f64) * 0.2 + 1.0).sin()).collect();
+        let full = dtw(&a, &b).distance;
+        for band in [2usize, 5, 10] {
+            let d = dtw_banded(&a, &b, band).distance;
+            assert!(d >= full - 1e-12, "band {band}: {d} < {full}");
+        }
+    }
+
+    #[test]
+    fn empty_inputs() {
+        assert_eq!(dtw(&[], &[]).distance, 0.0);
+        assert!(dtw(&[1.0], &[]).distance.is_infinite());
+        assert!(dtw(&[], &[1.0]).distance.is_infinite());
+    }
+
+    #[test]
+    fn single_elements_compare_directly() {
+        let out = dtw(&[2.0], &[5.0]);
+        assert!((out.distance - 3.0).abs() < 1e-12);
+        assert_eq!(out.path_len, 1);
+    }
+
+    #[test]
+    fn normalized_divides_by_path_length() {
+        let a = vec![0.0; 10];
+        let b = vec![1.0; 10];
+        let out = dtw(&a, &b);
+        // Diagonal path: 10 steps, each cost 1.
+        assert!((out.distance - 10.0).abs() < 1e-12);
+        assert!((out.normalized() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn constant_offset_scales_distance() {
+        let a = vec![0.0, 0.0, 0.0];
+        let d1 = dtw(&a, &[1.0, 1.0, 1.0]).distance;
+        let d2 = dtw(&a, &[2.0, 2.0, 2.0]).distance;
+        assert!((d2 - 2.0 * d1).abs() < 1e-12);
+    }
+}

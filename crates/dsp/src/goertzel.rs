@@ -1,0 +1,123 @@
+//! Goertzel algorithm: single-bin DFT.
+//!
+//! The paper's vision deploys many “tiny box” receivers. A full FFT per
+//! trace is cheap on a workstation but not on a coin-cell microcontroller;
+//! when the question is only “is there energy near frequency f?” — e.g.
+//! checking for the known symbol rate of an approaching tag — the Goertzel
+//! recurrence answers it in O(n) with two state variables.
+
+/// Computes the power of `signal` at `target_hz` given `sample_rate_hz`,
+/// normalised by the window length so results are comparable across trace
+/// lengths. The signal mean is removed first (ambient pedestal).
+pub fn goertzel_power(signal: &[f64], target_hz: f64, sample_rate_hz: f64) -> f64 {
+    assert!(sample_rate_hz > 0.0, "sample rate must be positive");
+    assert!(
+        target_hz >= 0.0 && target_hz <= sample_rate_hz / 2.0,
+        "target frequency {target_hz} outside [0, Nyquist]"
+    );
+    let n = signal.len();
+    if n == 0 {
+        return 0.0;
+    }
+    let mean = signal.iter().sum::<f64>() / n as f64;
+    let omega = 2.0 * std::f64::consts::PI * target_hz / sample_rate_hz;
+    let coeff = 2.0 * omega.cos();
+    let mut s_prev = 0.0;
+    let mut s_prev2 = 0.0;
+    for &x in signal {
+        let s = (x - mean) + coeff * s_prev - s_prev2;
+        s_prev2 = s_prev;
+        s_prev = s;
+    }
+    let power = s_prev * s_prev + s_prev2 * s_prev2 - coeff * s_prev * s_prev2;
+    power / n as f64
+}
+
+/// Scans a set of candidate frequencies and returns the one with maximal
+/// Goertzel power, with that power. Returns `None` for an empty candidate
+/// list or empty signal.
+pub fn strongest_of(
+    signal: &[f64],
+    candidates_hz: &[f64],
+    sample_rate_hz: f64,
+) -> Option<(f64, f64)> {
+    if signal.is_empty() {
+        return None;
+    }
+    candidates_hz
+        .iter()
+        .map(|&f| (f, goertzel_power(signal, f, sample_rate_hz)))
+        .max_by(|a, b| a.1.total_cmp(&b.1))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tone(freq: f64, fs: f64, n: usize) -> Vec<f64> {
+        (0..n).map(|i| (2.0 * std::f64::consts::PI * freq * i as f64 / fs).sin()).collect()
+    }
+
+    #[test]
+    fn detects_matching_tone() {
+        let fs = 2000.0;
+        let x = tone(50.0, fs, 2000);
+        let on = goertzel_power(&x, 50.0, fs);
+        let off = goertzel_power(&x, 125.0, fs);
+        assert!(on > 100.0 * off, "on={on} off={off}");
+    }
+
+    #[test]
+    fn power_scales_with_amplitude_squared() {
+        let fs = 1000.0;
+        let x1 = tone(40.0, fs, 1000);
+        let x2: Vec<f64> = x1.iter().map(|&v| 3.0 * v).collect();
+        let p1 = goertzel_power(&x1, 40.0, fs);
+        let p2 = goertzel_power(&x2, 40.0, fs);
+        assert!((p2 / p1 - 9.0).abs() < 0.01, "ratio {}", p2 / p1);
+    }
+
+    #[test]
+    fn dc_pedestal_is_ignored() {
+        let fs = 1000.0;
+        let x: Vec<f64> = tone(40.0, fs, 1000).iter().map(|v| v + 500.0).collect();
+        let p = goertzel_power(&x, 40.0, fs);
+        let p_clean = goertzel_power(&tone(40.0, fs, 1000), 40.0, fs);
+        assert!((p - p_clean).abs() / p_clean < 0.01);
+    }
+
+    #[test]
+    fn strongest_of_picks_true_frequency() {
+        let fs = 2000.0;
+        let x = tone(30.0, fs, 4000);
+        let (f, _) = strongest_of(&x, &[10.0, 20.0, 30.0, 40.0, 50.0], fs).unwrap();
+        assert_eq!(f, 30.0);
+    }
+
+    #[test]
+    fn agrees_with_fft_on_square_wave() {
+        // Fundamental of a 5 Hz square wave must dominate for both methods.
+        let fs = 256.0;
+        let x: Vec<f64> = (0..1024)
+            .map(|i| (2.0 * std::f64::consts::PI * 5.0 * i as f64 / fs).sin().signum())
+            .collect();
+        let g5 = goertzel_power(&x, 5.0, fs);
+        let g7 = goertzel_power(&x, 7.0, fs);
+        assert!(g5 > 10.0 * g7);
+        let ps = crate::fft::power_spectrum(&x, fs, crate::window::Window::Hann);
+        let (f, _) = ps.dominant_frequency(1.0).unwrap();
+        assert!((f - 5.0).abs() < 0.5);
+    }
+
+    #[test]
+    fn empty_signal_is_zero_power() {
+        assert_eq!(goertzel_power(&[], 10.0, 100.0), 0.0);
+        assert!(strongest_of(&[], &[10.0], 100.0).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "Nyquist")]
+    fn rejects_above_nyquist() {
+        goertzel_power(&[1.0, 2.0], 80.0, 100.0);
+    }
+}

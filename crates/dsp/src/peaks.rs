@@ -1,0 +1,453 @@
+//! Peak and valley detection.
+//!
+//! The calibration-free decoder of Sec. 4.1 begins by locating the first two
+//! peaks and the first valley of the preamble — points **A**, **B** and **C**
+//! in Fig. 5(a) — from which it derives its magnitude and period thresholds.
+//! Raw RSS traces carry receiver noise and mains ripple, so a robust
+//! detector needs a *prominence* criterion (how far a peak rises above the
+//! surrounding terrain) and a *minimum separation* so that ripple wiggles on
+//! top of one symbol are not counted as separate peaks.
+
+/// A detected local extremum.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Peak {
+    /// Sample index of the extremum.
+    pub index: usize,
+    /// Signal value at the extremum.
+    pub value: f64,
+    /// Topographic prominence: height above the higher of the two
+    /// surrounding saddle points (for valleys: depth below).
+    pub prominence: f64,
+}
+
+/// Detection parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct PeakConfig {
+    /// Minimum prominence for a peak to be reported, in signal units.
+    pub min_prominence: f64,
+    /// Minimum distance between reported peaks, in samples. When two
+    /// candidate peaks are closer, the more prominent one wins.
+    pub min_distance: usize,
+}
+
+impl Default for PeakConfig {
+    fn default() -> Self {
+        PeakConfig { min_prominence: 0.0, min_distance: 1 }
+    }
+}
+
+/// Finds local maxima of `signal` subject to `config`.
+///
+/// Plateaus (runs of equal samples higher than both neighbours) are reported
+/// once, at the centre of the plateau. Results are sorted by index.
+pub fn find_peaks(signal: &[f64], config: &PeakConfig) -> Vec<Peak> {
+    let candidates = plateau_maxima(signal);
+    let with_prom: Vec<Peak> = candidates
+        .into_iter()
+        .map(|idx| Peak {
+            index: idx,
+            value: signal[idx],
+            prominence: prominence_at(signal, idx),
+        })
+        .filter(|p| p.prominence >= config.min_prominence)
+        .collect();
+    enforce_min_distance(with_prom, config.min_distance)
+}
+
+/// Finds local minima of `signal` (peaks of the negated signal).
+pub fn find_valleys(signal: &[f64], config: &PeakConfig) -> Vec<Peak> {
+    let negated: Vec<f64> = signal.iter().map(|&x| -x).collect();
+    find_peaks(&negated, config)
+        .into_iter()
+        .map(|p| Peak { index: p.index, value: signal[p.index], prominence: p.prominence })
+        .collect()
+}
+
+/// Indices of strict/plateau local maxima.
+fn plateau_maxima(signal: &[f64]) -> Vec<usize> {
+    let n = signal.len();
+    let mut out = Vec::new();
+    if n < 3 {
+        return out;
+    }
+    let mut i = 1;
+    while i < n - 1 {
+        if signal[i] > signal[i - 1] {
+            // Walk any plateau.
+            let start = i;
+            let mut j = i;
+            while j + 1 < n && signal[j + 1] == signal[i] {
+                j += 1;
+            }
+            if j + 1 < n && signal[j + 1] < signal[i] {
+                out.push((start + j) / 2);
+            }
+            i = j + 1;
+        } else {
+            i += 1;
+        }
+    }
+    out
+}
+
+/// Topographic prominence of the local maximum at `idx`.
+///
+/// Walk left and right until a sample higher than `signal[idx]` is found
+/// (or the edge); the minimum encountered on each side is a saddle. The
+/// prominence is `signal[idx] − max(left_saddle, right_saddle)`; a peak
+/// unchallenged on one side uses the other side's saddle (edge peaks use
+/// the global walk minimum).
+fn prominence_at(signal: &[f64], idx: usize) -> f64 {
+    let peak = signal[idx];
+    let mut left_min = peak;
+    let mut left_bounded = false;
+    for j in (0..idx).rev() {
+        if signal[j] > peak {
+            left_bounded = true;
+            break;
+        }
+        left_min = left_min.min(signal[j]);
+    }
+    let mut right_min = peak;
+    let mut right_bounded = false;
+    for &v in &signal[idx + 1..] {
+        if v > peak {
+            right_bounded = true;
+            break;
+        }
+        right_min = right_min.min(v);
+    }
+    let saddle = match (left_bounded, right_bounded) {
+        (true, true) => left_min.max(right_min),
+        (true, false) => left_min,
+        (false, true) => right_min,
+        (false, false) => left_min.min(right_min),
+    };
+    peak - saddle
+}
+
+/// Persistence-based peak detection (topographic persistence via
+/// union-find), robust to the quantisation plateaus and equal-height twin
+/// peaks that defeat walk-based prominence on ADC traces: when two equal
+/// maxima are separated by a shallow notch, exactly one survives with the
+/// pair's full persistence while the other dies at the notch.
+///
+/// Returns peaks whose persistence (birth − death level) is at least
+/// `min_persistence`, sorted by index. The `prominence` field carries the
+/// persistence. The global maximum always persists to the global minimum.
+pub fn find_peaks_persistence(signal: &[f64], min_persistence: f64) -> Vec<Peak> {
+    let n = signal.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    // Order samples by descending value; ties by ascending index so the
+    // left-most of equal peaks survives (deterministic).
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&a, &b| signal[b].total_cmp(&signal[a]).then(a.cmp(&b)));
+
+    // Union-find with per-component birth value and peak index.
+    let mut parent: Vec<usize> = (0..n).collect();
+    let mut active = vec![false; n];
+    let mut birth = vec![f64::NEG_INFINITY; n];
+    let mut peak_at = vec![0usize; n];
+
+    fn find(parent: &mut [usize], mut i: usize) -> usize {
+        while parent[i] != i {
+            parent[i] = parent[parent[i]];
+            i = parent[i];
+        }
+        i
+    }
+
+    let mut out = Vec::new();
+    for &i in &order {
+        let v = signal[i];
+        active[i] = true;
+        birth[i] = v;
+        peak_at[i] = i;
+        let left = i.checked_sub(1).filter(|&j| active[j]).map(|j| find(&mut parent, j));
+        let right = (i + 1 < n && active[i + 1]).then(|| find(&mut parent, i + 1));
+        match (left, right) {
+            (None, None) => {} // new summit
+            (Some(r), None) | (None, Some(r)) => {
+                parent[i] = r;
+            }
+            (Some(l), Some(r)) => {
+                // Merging two ridges at saddle level v: the younger (lower
+                // birth) component dies here.
+                let (survivor, victim) =
+                    if birth[l] >= birth[r] { (l, r) } else { (r, l) };
+                let persistence = birth[victim] - v;
+                if persistence >= min_persistence {
+                    out.push(Peak {
+                        index: peak_at[victim],
+                        value: birth[victim],
+                        prominence: persistence,
+                    });
+                }
+                parent[victim] = survivor;
+                parent[i] = survivor;
+            }
+        }
+    }
+    // Surviving components (the global maximum's ridge).
+    let (gmin, _) = signal.iter().fold((f64::INFINITY, 0.0), |(lo, _), &v| (lo.min(v), 0.0));
+    let mut seen_roots = Vec::new();
+    for i in 0..n {
+        let r = find(&mut parent, i);
+        if !seen_roots.contains(&r) {
+            seen_roots.push(r);
+            let persistence = birth[r] - gmin;
+            if persistence >= min_persistence {
+                out.push(Peak { index: peak_at[r], value: birth[r], prominence: persistence });
+            }
+        }
+    }
+    out.sort_by_key(|p| p.index);
+    out
+}
+
+/// Centre (fractional index) of the contiguous region around `idx` where
+/// the signal stays on the extremum's side of `level`: `above = true`
+/// walks the region with `signal >= level` (for peaks), `above = false`
+/// the region with `signal <= level` (for valleys).
+///
+/// On noisy plateau-topped extrema, the single maximal sample can sit
+/// anywhere on the plateau; the half-crossing midpoint is the robust
+/// centre estimate used by the decoders for their timing references.
+pub fn half_crossing_center(signal: &[f64], idx: usize, level: f64, above: bool) -> f64 {
+    assert!(idx < signal.len(), "index out of range");
+    let on_side = |v: f64| if above { v >= level } else { v <= level };
+    let mut left = idx;
+    while left > 0 && on_side(signal[left - 1]) {
+        left -= 1;
+    }
+    let mut right = idx;
+    while right + 1 < signal.len() && on_side(signal[right + 1]) {
+        right += 1;
+    }
+    0.5 * (left as f64 + right as f64)
+}
+
+/// Persistence-based valley detection: [`find_peaks_persistence`] on the
+/// negated signal, with values mapped back.
+pub fn find_valleys_persistence(signal: &[f64], min_persistence: f64) -> Vec<Peak> {
+    let negated: Vec<f64> = signal.iter().map(|&x| -x).collect();
+    find_peaks_persistence(&negated, min_persistence)
+        .into_iter()
+        .map(|p| Peak { index: p.index, value: signal[p.index], prominence: p.prominence })
+        .collect()
+}
+
+/// Greedy non-maximum suppression: keep the most prominent peaks and drop
+/// any peak within `min_distance` samples of an already-kept one.
+fn enforce_min_distance(mut peaks: Vec<Peak>, min_distance: usize) -> Vec<Peak> {
+    if min_distance <= 1 || peaks.len() <= 1 {
+        peaks.sort_by_key(|p| p.index);
+        return peaks;
+    }
+    peaks.sort_by(|a, b| b.prominence.total_cmp(&a.prominence));
+    let mut kept: Vec<Peak> = Vec::with_capacity(peaks.len());
+    for p in peaks {
+        if kept.iter().all(|k| p.index.abs_diff(k.index) >= min_distance) {
+            kept.push(p);
+        }
+    }
+    kept.sort_by_key(|p| p.index);
+    kept
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn simple_triangle_peak() {
+        let x = [0.0, 1.0, 2.0, 1.0, 0.0];
+        let peaks = find_peaks(&x, &PeakConfig::default());
+        assert_eq!(peaks.len(), 1);
+        assert_eq!(peaks[0].index, 2);
+        assert_eq!(peaks[0].value, 2.0);
+        assert_eq!(peaks[0].prominence, 2.0);
+    }
+
+    #[test]
+    fn plateau_reports_center() {
+        let x = [0.0, 1.0, 1.0, 1.0, 0.0];
+        let peaks = find_peaks(&x, &PeakConfig::default());
+        assert_eq!(peaks.len(), 1);
+        assert_eq!(peaks[0].index, 2);
+    }
+
+    #[test]
+    fn prominence_filters_ripple() {
+        // Big peak with a small ripple peak on its shoulder.
+        let x = [0.0, 0.2, 1.0, 0.8, 0.85, 0.3, 0.0];
+        let all = find_peaks(&x, &PeakConfig { min_prominence: 0.0, min_distance: 1 });
+        assert_eq!(all.len(), 2);
+        let strong = find_peaks(&x, &PeakConfig { min_prominence: 0.5, min_distance: 1 });
+        assert_eq!(strong.len(), 1);
+        assert_eq!(strong[0].index, 2);
+    }
+
+    #[test]
+    fn min_distance_keeps_most_prominent() {
+        let x = [0.0, 1.0, 0.5, 0.9, 0.0, 0.0, 0.8, 0.0];
+        let peaks = find_peaks(&x, &PeakConfig { min_prominence: 0.0, min_distance: 4 });
+        // Peaks at 1 (prom 1.0), 3 (prom 0.4), 6 (prom 0.8). With distance 4,
+        // index 3 is suppressed by index 1; index 6 is 5 away from 1 -> kept.
+        assert_eq!(peaks.iter().map(|p| p.index).collect::<Vec<_>>(), vec![1, 6]);
+    }
+
+    #[test]
+    fn valleys_mirror_peaks() {
+        let x = [1.0, 0.0, 1.0, 0.2, 1.0];
+        let valleys = find_valleys(&x, &PeakConfig::default());
+        assert_eq!(valleys.iter().map(|v| v.index).collect::<Vec<_>>(), vec![1, 3]);
+        assert_eq!(valleys[0].value, 0.0);
+        assert!(valleys[0].prominence > valleys[1].prominence);
+    }
+
+    #[test]
+    fn monotone_signal_has_no_interior_peaks() {
+        let x: Vec<f64> = (0..10).map(|i| i as f64).collect();
+        assert!(find_peaks(&x, &PeakConfig::default()).is_empty());
+        assert!(find_valleys(&x, &PeakConfig::default()).is_empty());
+    }
+
+    #[test]
+    fn short_signals_yield_nothing() {
+        assert!(find_peaks(&[], &PeakConfig::default()).is_empty());
+        assert!(find_peaks(&[1.0], &PeakConfig::default()).is_empty());
+        assert!(find_peaks(&[1.0, 2.0], &PeakConfig::default()).is_empty());
+    }
+
+    #[test]
+    fn preamble_abc_detection_scenario() {
+        // A synthetic HLHL preamble: peaks A and C, valley B between them —
+        // exactly the three points the Sec. 4.1 decoder needs.
+        let mut x = Vec::new();
+        for &level in &[1.0, 0.1, 0.95, 0.08] {
+            for k in 0..20 {
+                // smooth half-sine bumps toward the level
+                let t = k as f64 / 19.0;
+                x.push(level * (std::f64::consts::PI * t).sin().max(0.05));
+            }
+        }
+        let cfg = PeakConfig { min_prominence: 0.3, min_distance: 10 };
+        let peaks = find_peaks(&x, &cfg);
+        let valleys = find_valleys(&x, &cfg);
+        assert!(peaks.len() >= 2, "need peaks A and C, got {peaks:?}");
+        assert!(!valleys.is_empty(), "need valley B");
+        let a = peaks[0].index;
+        let c = peaks[1].index;
+        let b = valleys.iter().find(|v| v.index > a && v.index < c);
+        assert!(b.is_some(), "valley B must lie between A and C");
+    }
+
+    #[test]
+    fn results_sorted_by_index() {
+        let x = [0.0, 0.5, 0.0, 1.0, 0.0, 0.7, 0.0];
+        let peaks = find_peaks(&x, &PeakConfig::default());
+        let idx: Vec<usize> = peaks.iter().map(|p| p.index).collect();
+        let mut sorted = idx.clone();
+        sorted.sort_unstable();
+        assert_eq!(idx, sorted);
+    }
+
+    #[test]
+    fn persistence_finds_simple_peaks() {
+        let x = [0.0, 1.0, 0.2, 0.8, 0.0];
+        let peaks = find_peaks_persistence(&x, 0.1);
+        assert_eq!(peaks.len(), 2);
+        assert_eq!(peaks[0].index, 1);
+        assert!((peaks[0].prominence - 1.0).abs() < 1e-12); // global: to min
+        assert_eq!(peaks[1].index, 3);
+        assert!((peaks[1].prominence - 0.6).abs() < 1e-12); // dies at 0.2
+    }
+
+    #[test]
+    fn persistence_kills_quantization_twins() {
+        // Two equal-height maxima separated by a one-LSB notch: exactly one
+        // peak must survive — the failure mode of walk-based prominence on
+        // ADC traces.
+        let x = [0.0, 0.5, 0.826, 0.81, 0.826, 0.5, 0.0];
+        let peaks = find_peaks_persistence(&x, 0.1);
+        assert_eq!(peaks.len(), 1, "{peaks:?}");
+        assert_eq!(peaks[0].index, 2); // left-most of the tie survives
+        // And the walk-based detector demonstrably reports both.
+        let walk = find_peaks(&x, &PeakConfig { min_prominence: 0.1, min_distance: 1 });
+        assert_eq!(walk.len(), 2);
+    }
+
+    #[test]
+    fn persistence_separates_real_peaks_from_notch() {
+        // Two genuine symbols (deep valley between) plus a shallow notch on
+        // the first: persistence 0.3 keeps exactly the two symbols.
+        let x = [0.0, 0.8, 0.75, 0.82, 0.1, 0.9, 0.0];
+        let peaks = find_peaks_persistence(&x, 0.3);
+        assert_eq!(peaks.len(), 2, "{peaks:?}");
+        assert_eq!(peaks[0].index, 3);
+        assert_eq!(peaks[1].index, 5);
+    }
+
+    #[test]
+    fn persistence_valleys_mirror_peaks() {
+        let x = [1.0, 0.0, 1.0, 0.2, 1.0];
+        let valleys = find_valleys_persistence(&x, 0.1);
+        assert_eq!(valleys.len(), 2);
+        assert_eq!(valleys[0].index, 1);
+        assert_eq!(valleys[0].value, 0.0);
+        assert_eq!(valleys[1].index, 3);
+        assert_eq!(valleys[1].value, 0.2);
+    }
+
+    #[test]
+    fn half_crossing_center_recovers_plateau_middle() {
+        // Noisy plateau: max sample at index 2, but the plateau spans 2..=6.
+        let x = [0.0, 0.2, 0.95, 0.9, 0.92, 0.91, 0.94, 0.3, 0.0];
+        let c = half_crossing_center(&x, 2, 0.5, true);
+        assert!((c - 4.0).abs() < 0.51, "center {c}");
+        // Valley variant.
+        let y: Vec<f64> = x.iter().map(|v| 1.0 - v).collect();
+        let c = half_crossing_center(&y, 2, 0.5, false);
+        assert!((c - 4.0).abs() < 0.51, "valley center {c}");
+    }
+
+    #[test]
+    fn persistence_on_flat_or_empty() {
+        assert!(find_peaks_persistence(&[], 0.1).is_empty());
+        let flat = find_peaks_persistence(&[0.5; 10], 0.1);
+        assert!(flat.is_empty(), "flat signal has zero persistence everywhere");
+        // With zero threshold, the flat signal is one giant plateau-peak.
+        let flat0 = find_peaks_persistence(&[0.5; 10], 0.0);
+        assert_eq!(flat0.len(), 1);
+    }
+
+    #[test]
+    fn persistence_threshold_filters_noise() {
+        // Sine + small wiggles: a threshold above the wiggle amplitude and
+        // the boundary-summit persistence keeps only the two carrier peaks.
+        let x: Vec<f64> = (0..200)
+            .map(|i| {
+                let t = i as f64 / 200.0;
+                (2.0 * std::f64::consts::PI * 2.0 * t).sin()
+                    + 0.05 * (2.0 * std::f64::consts::PI * 40.0 * t).sin()
+            })
+            .collect();
+        let peaks = find_peaks_persistence(&x, 1.5);
+        assert_eq!(peaks.len(), 2, "{peaks:?}");
+        // At a looser threshold the rising trailing edge also counts as a
+        // (real) boundary summit.
+        assert_eq!(find_peaks_persistence(&x, 0.5).len(), 3);
+    }
+
+    #[test]
+    fn edge_peak_prominence_uses_walk_minimum() {
+        // Highest point adjacent to the edge.
+        let x = [0.0, 5.0, 1.0, 2.0, 1.5];
+        let peaks = find_peaks(&x, &PeakConfig::default());
+        let top = peaks.iter().find(|p| p.index == 1).unwrap();
+        assert_eq!(top.prominence, 5.0);
+    }
+}

@@ -1,0 +1,137 @@
+//! Resampling utilities.
+//!
+//! The paper compares traces on a *normalised time* axis (Figs. 13–17):
+//! passes at different speeds or sampling rates produce different sample
+//! counts, so before template comparison (DTW database, car-signature
+//! matching) traces are linearly resampled to a common length.
+
+/// Linearly resamples `signal` by the rational-ish factor implied by the
+/// source and destination rates. The output covers the same time span.
+pub fn resample_linear(signal: &[f64], src_rate_hz: f64, dst_rate_hz: f64) -> Vec<f64> {
+    assert!(src_rate_hz > 0.0 && dst_rate_hz > 0.0, "rates must be positive");
+    if signal.is_empty() {
+        return Vec::new();
+    }
+    let duration = signal.len() as f64 / src_rate_hz;
+    let out_len = (duration * dst_rate_hz).round().max(1.0) as usize;
+    resample_to_len(signal, out_len)
+}
+
+/// Linearly resamples `signal` to exactly `out_len` samples spanning the
+/// same interval (endpoints preserved).
+pub fn resample_to_len(signal: &[f64], out_len: usize) -> Vec<f64> {
+    if signal.is_empty() || out_len == 0 {
+        return Vec::new();
+    }
+    if signal.len() == 1 {
+        return vec![signal[0]; out_len];
+    }
+    if out_len == 1 {
+        return vec![signal[0]];
+    }
+    let n = signal.len();
+    let scale = (n - 1) as f64 / (out_len - 1) as f64;
+    (0..out_len)
+        .map(|i| {
+            let pos = i as f64 * scale;
+            let lo = pos.floor() as usize;
+            let hi = (lo + 1).min(n - 1);
+            let frac = pos - lo as f64;
+            signal[lo] * (1.0 - frac) + signal[hi] * frac
+        })
+        .collect()
+}
+
+/// Keeps every `factor`-th sample after averaging each block of `factor`
+/// samples (a crude anti-alias). `factor == 1` is the identity.
+pub fn decimate(signal: &[f64], factor: usize) -> Vec<f64> {
+    assert!(factor >= 1, "decimation factor must be >= 1");
+    if factor == 1 {
+        return signal.to_vec();
+    }
+    signal
+        .chunks(factor)
+        .map(|chunk| chunk.iter().sum::<f64>() / chunk.len() as f64)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_when_rates_match() {
+        let x = vec![1.0, 2.0, 3.0, 4.0];
+        let y = resample_linear(&x, 100.0, 100.0);
+        assert_eq!(y.len(), x.len());
+        for (a, b) in x.iter().zip(&y) {
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn endpoints_are_preserved() {
+        let x = vec![5.0, 1.0, 9.0, 2.0, 7.0];
+        let y = resample_to_len(&x, 17);
+        assert_eq!(y[0], 5.0);
+        assert_eq!(*y.last().unwrap(), 7.0);
+    }
+
+    #[test]
+    fn upsampling_interpolates_linearly() {
+        let x = vec![0.0, 1.0];
+        let y = resample_to_len(&x, 5);
+        let expect = [0.0, 0.25, 0.5, 0.75, 1.0];
+        for (a, b) in y.iter().zip(expect.iter()) {
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn downsampling_a_line_stays_on_the_line() {
+        let x: Vec<f64> = (0..101).map(|i| i as f64 * 0.1).collect();
+        let y = resample_to_len(&x, 11);
+        for (i, v) in y.iter().enumerate() {
+            assert!((v - i as f64).abs() < 1e-9, "y[{i}] = {v}");
+        }
+    }
+
+    #[test]
+    fn resample_preserves_duration() {
+        // 1 s of signal at 2 kHz -> 0.5 kHz must give ~500 samples.
+        let x = vec![0.0; 2000];
+        let y = resample_linear(&x, 2000.0, 500.0);
+        assert_eq!(y.len(), 500);
+    }
+
+    #[test]
+    fn degenerate_cases() {
+        assert!(resample_to_len(&[], 10).is_empty());
+        assert!(resample_to_len(&[1.0, 2.0], 0).is_empty());
+        assert_eq!(resample_to_len(&[3.0], 4), vec![3.0; 4]);
+        assert_eq!(resample_to_len(&[3.0, 9.0], 1), vec![3.0]);
+    }
+
+    #[test]
+    fn decimate_averages_blocks() {
+        let x = vec![1.0, 3.0, 5.0, 7.0, 10.0];
+        let y = decimate(&x, 2);
+        assert_eq!(y, vec![2.0, 6.0, 10.0]);
+    }
+
+    #[test]
+    fn decimate_by_one_is_identity() {
+        let x = vec![1.0, 2.0, 3.0];
+        assert_eq!(decimate(&x, 1), x);
+    }
+
+    #[test]
+    fn sine_shape_survives_round_trip() {
+        let x: Vec<f64> = (0..200).map(|i| (i as f64 * 0.1).sin()).collect();
+        let down = resample_to_len(&x, 50);
+        let up = resample_to_len(&down, 200);
+        let err: f64 =
+            x.iter().zip(&up).map(|(a, b)| (a - b).abs()).sum::<f64>() / x.len() as f64;
+        assert!(err < 0.02, "mean abs error {err}");
+    }
+}

@@ -1,0 +1,218 @@
+//! Descriptive statistics, normalisation, and link-quality estimators.
+//!
+//! Every figure in the paper plots *normalised RSS*; [`normalize_minmax`]
+//! is that normalisation. [`modulation_depth`] quantifies the HIGH/LOW
+//! contrast that ultimately decides decodability (the paper's Fig. 7
+//! observation that a lit room shrinks the symbol contrast), and
+//! [`snr_db`] expresses the same as a ratio against the noise floor.
+
+/// Arithmetic mean; zero for an empty slice.
+pub fn mean(x: &[f64]) -> f64 {
+    if x.is_empty() {
+        0.0
+    } else {
+        x.iter().sum::<f64>() / x.len() as f64
+    }
+}
+
+/// Population variance; zero for slices shorter than 2.
+pub fn variance(x: &[f64]) -> f64 {
+    if x.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(x);
+    x.iter().map(|&v| (v - m) * (v - m)).sum::<f64>() / x.len() as f64
+}
+
+/// Population standard deviation.
+pub fn std_dev(x: &[f64]) -> f64 {
+    variance(x).sqrt()
+}
+
+/// Root mean square.
+pub fn rms(x: &[f64]) -> f64 {
+    if x.is_empty() {
+        0.0
+    } else {
+        (x.iter().map(|&v| v * v).sum::<f64>() / x.len() as f64).sqrt()
+    }
+}
+
+/// Minimum and maximum in one pass. Returns `(0.0, 0.0)` for empty input.
+pub fn minmax(x: &[f64]) -> (f64, f64) {
+    if x.is_empty() {
+        return (0.0, 0.0);
+    }
+    let mut lo = f64::INFINITY;
+    let mut hi = f64::NEG_INFINITY;
+    for &v in x {
+        lo = lo.min(v);
+        hi = hi.max(v);
+    }
+    (lo, hi)
+}
+
+/// Min–max normalisation to `[0, 1]` — the “Normalized RSS” axis of every
+/// figure in the paper. A constant signal maps to all zeros.
+pub fn normalize_minmax(x: &[f64]) -> Vec<f64> {
+    let (lo, hi) = minmax(x);
+    let span = hi - lo;
+    if span <= 0.0 {
+        return vec![0.0; x.len()];
+    }
+    x.iter().map(|&v| (v - lo) / span).collect()
+}
+
+/// Z-score normalisation (zero mean, unit variance). A constant signal maps
+/// to all zeros.
+pub fn normalize_zscore(x: &[f64]) -> Vec<f64> {
+    let m = mean(x);
+    let s = std_dev(x);
+    if s <= 0.0 {
+        return vec![0.0; x.len()];
+    }
+    x.iter().map(|&v| (v - m) / s).collect()
+}
+
+/// Michelson modulation depth `(hi − lo) / (hi + lo)` between the upper and
+/// lower deciles of the signal — a robust proxy for HIGH/LOW symbol
+/// contrast in an RSS trace. Returns 0 for signals that never leave zero.
+pub fn modulation_depth(x: &[f64]) -> f64 {
+    if x.len() < 4 {
+        return 0.0;
+    }
+    let mut sorted = x.to_vec();
+    sorted.sort_by(f64::total_cmp);
+    let n = sorted.len();
+    let lo_decile = mean(&sorted[..(n / 10).max(1)]);
+    let hi_decile = mean(&sorted[n - (n / 10).max(1)..]);
+    let denom = hi_decile + lo_decile;
+    if denom.abs() < f64::EPSILON {
+        0.0
+    } else {
+        ((hi_decile - lo_decile) / denom).max(0.0)
+    }
+}
+
+/// Signal-to-noise ratio in dB: the variance of `signal` against the
+/// variance of `noise` (both measured, e.g. signal during a pass vs. a
+/// quiet stretch of the same trace). Returns `f64::INFINITY` for zero
+/// noise with nonzero signal, and 0 dB when both are zero.
+pub fn snr_db(signal: &[f64], noise: &[f64]) -> f64 {
+    let ps = variance(signal);
+    let pn = variance(noise);
+    if pn == 0.0 {
+        return if ps == 0.0 { 0.0 } else { f64::INFINITY };
+    }
+    10.0 * (ps / pn).log10()
+}
+
+/// Quantile of the data (`q` in `[0,1]`) by linear interpolation on the
+/// sorted sample. Empty input yields 0.
+pub fn quantile(x: &[f64], q: f64) -> f64 {
+    if x.is_empty() {
+        return 0.0;
+    }
+    let mut sorted = x.to_vec();
+    sorted.sort_by(f64::total_cmp);
+    let q = q.clamp(0.0, 1.0);
+    let pos = q * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = (lo + 1).min(sorted.len() - 1);
+    let frac = pos - lo as f64;
+    sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_variance_std_of_known_sample() {
+        let x = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert!((mean(&x) - 5.0).abs() < 1e-12);
+        assert!((variance(&x) - 4.0).abs() < 1e-12);
+        assert!((std_dev(&x) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rms_of_unit_square_wave_is_one() {
+        let x = [1.0, -1.0, 1.0, -1.0];
+        assert!((rms(&x) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn minmax_single_pass() {
+        assert_eq!(minmax(&[3.0, -1.0, 7.0, 0.0]), (-1.0, 7.0));
+        assert_eq!(minmax(&[]), (0.0, 0.0));
+    }
+
+    #[test]
+    fn normalize_minmax_hits_bounds() {
+        let y = normalize_minmax(&[10.0, 20.0, 15.0]);
+        assert_eq!(y[0], 0.0);
+        assert_eq!(y[1], 1.0);
+        assert!((y[2] - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn normalize_constant_is_zeros() {
+        assert_eq!(normalize_minmax(&[4.0; 5]), vec![0.0; 5]);
+        assert_eq!(normalize_zscore(&[4.0; 5]), vec![0.0; 5]);
+    }
+
+    #[test]
+    fn zscore_has_zero_mean_unit_std() {
+        let x: Vec<f64> = (0..100).map(|i| (i as f64 * 0.37).sin() * 3.0 + 7.0).collect();
+        let z = normalize_zscore(&x);
+        assert!(mean(&z).abs() < 1e-9);
+        assert!((std_dev(&z) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn modulation_depth_of_clean_square_wave_is_high() {
+        let x: Vec<f64> =
+            (0..200).map(|i| if (i / 20) % 2 == 0 { 1.0 } else { 0.1 }).collect();
+        let d = modulation_depth(&x);
+        assert!(d > 0.7, "depth {d}");
+    }
+
+    #[test]
+    fn modulation_depth_shrinks_with_pedestal() {
+        // Same swing on top of a big ambient pedestal -> lower contrast,
+        // the Fig. 7 phenomenon.
+        let dark: Vec<f64> =
+            (0..200).map(|i| if (i / 20) % 2 == 0 { 1.0 } else { 0.1 }).collect();
+        let lit: Vec<f64> =
+            (0..200).map(|i| if (i / 20) % 2 == 0 { 10.0 } else { 9.1 }).collect();
+        assert!(modulation_depth(&lit) < 0.2 * modulation_depth(&dark));
+    }
+
+    #[test]
+    fn snr_db_behaviour() {
+        let sig: Vec<f64> = (0..100).map(|i| ((i as f64) * 0.3).sin()).collect();
+        let noise: Vec<f64> = (0..100).map(|i| 0.1 * ((i as f64) * 1.7).sin()).collect();
+        let snr = snr_db(&sig, &noise);
+        assert!(snr > 15.0 && snr < 25.0, "snr {snr}");
+        assert!(snr_db(&sig, &[0.0; 10]).is_infinite());
+        assert_eq!(snr_db(&[0.0; 10], &[0.0; 10]), 0.0);
+    }
+
+    #[test]
+    fn quantile_interpolates() {
+        let x = [1.0, 2.0, 3.0, 4.0];
+        assert!((quantile(&x, 0.0) - 1.0).abs() < 1e-12);
+        assert!((quantile(&x, 1.0) - 4.0).abs() < 1e-12);
+        assert!((quantile(&x, 0.5) - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_slices_do_not_panic() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(variance(&[]), 0.0);
+        assert_eq!(rms(&[]), 0.0);
+        assert_eq!(quantile(&[], 0.5), 0.0);
+        assert!(normalize_minmax(&[]).is_empty());
+        assert_eq!(modulation_depth(&[]), 0.0);
+    }
+}

@@ -1,0 +1,138 @@
+//! Window functions for spectral analysis.
+//!
+//! The collision analysis of Sec. 4.3 computes FFTs over finite RSS traces;
+//! windowing controls the leakage between the two colliding packets'
+//! spectral lines. The rectangular window is the paper's implicit choice
+//! (it plots raw FFTs); Hann is the default for our collision detector
+//! because the two packets' fundamentals can be close in frequency.
+
+/// Supported window shapes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Window {
+    /// No weighting (all ones). Highest resolution, worst leakage.
+    Rect,
+    /// Hann (raised cosine). Good general-purpose leakage suppression.
+    #[default]
+    Hann,
+    /// Hamming. Slightly narrower main lobe than Hann, higher first sidelobe.
+    Hamming,
+    /// Blackman. Wide main lobe, very low sidelobes.
+    Blackman,
+}
+
+impl Window {
+    /// Returns the window coefficients for a window of length `n`.
+    ///
+    /// For `n == 0` returns an empty vector; for `n == 1` returns `[1.0]`
+    /// (every window degenerates to a single unity coefficient).
+    pub fn coefficients(self, n: usize) -> Vec<f64> {
+        if n == 0 {
+            return Vec::new();
+        }
+        if n == 1 {
+            return vec![1.0];
+        }
+        let m = (n - 1) as f64;
+        (0..n)
+            .map(|i| {
+                let x = i as f64 / m; // 0..=1
+                let two_pi_x = 2.0 * std::f64::consts::PI * x;
+                match self {
+                    Window::Rect => 1.0,
+                    Window::Hann => 0.5 * (1.0 - two_pi_x.cos()),
+                    Window::Hamming => 0.54 - 0.46 * two_pi_x.cos(),
+                    Window::Blackman => {
+                        0.42 - 0.5 * two_pi_x.cos()
+                            + 0.08 * (2.0 * two_pi_x).cos()
+                    }
+                }
+            })
+            .collect()
+    }
+
+    /// Coherent gain of the window: the mean of its coefficients. Used to
+    /// rescale spectral amplitudes so different windows are comparable.
+    pub fn coherent_gain(self, n: usize) -> f64 {
+        if n == 0 {
+            return 0.0;
+        }
+        self.coefficients(n).iter().sum::<f64>() / n as f64
+    }
+}
+
+/// Applies a window in place to `signal`.
+pub fn apply_window(signal: &mut [f64], window: Window) {
+    let coeffs = window.coefficients(signal.len());
+    for (x, w) in signal.iter_mut().zip(coeffs) {
+        *x *= w;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rect_is_all_ones() {
+        assert!(Window::Rect.coefficients(8).iter().all(|&w| w == 1.0));
+    }
+
+    #[test]
+    fn hann_endpoints_are_zero_and_midpoint_is_one() {
+        let w = Window::Hann.coefficients(9);
+        assert!(w[0].abs() < 1e-12);
+        assert!(w[8].abs() < 1e-12);
+        assert!((w[4] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hamming_endpoints_are_008() {
+        let w = Window::Hamming.coefficients(11);
+        assert!((w[0] - 0.08).abs() < 1e-12);
+        assert!((w[10] - 0.08).abs() < 1e-12);
+    }
+
+    #[test]
+    fn blackman_is_nonnegative_and_peaks_at_center() {
+        let w = Window::Blackman.coefficients(33);
+        assert!(w.iter().all(|&x| x >= -1e-12));
+        let max = w.iter().cloned().fold(f64::MIN, f64::max);
+        assert!((w[16] - max).abs() < 1e-12);
+    }
+
+    #[test]
+    fn all_windows_are_symmetric() {
+        for win in [Window::Rect, Window::Hann, Window::Hamming, Window::Blackman] {
+            let w = win.coefficients(16);
+            for i in 0..8 {
+                assert!(
+                    (w[i] - w[15 - i]).abs() < 1e-12,
+                    "{win:?} not symmetric at {i}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn degenerate_lengths() {
+        for win in [Window::Rect, Window::Hann, Window::Hamming, Window::Blackman] {
+            assert!(win.coefficients(0).is_empty());
+            assert_eq!(win.coefficients(1), vec![1.0]);
+        }
+    }
+
+    #[test]
+    fn coherent_gain_of_rect_is_one() {
+        assert!((Window::Rect.coherent_gain(64) - 1.0).abs() < 1e-12);
+        // Hann's asymptotic coherent gain is 0.5.
+        assert!((Window::Hann.coherent_gain(4096) - 0.5).abs() < 1e-3);
+    }
+
+    #[test]
+    fn apply_window_scales_in_place() {
+        let mut x = vec![2.0; 5];
+        apply_window(&mut x, Window::Hann);
+        assert!(x[0].abs() < 1e-12);
+        assert!((x[2] - 2.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,136 @@
+//! MCP3008 analog-to-digital converter.
+//!
+//! A 10-bit successive-approximation ADC (Fig. 3 lists it on the OpenVLC
+//! board). Two of its properties shape the received traces:
+//!
+//! * **quantisation** — 1024 levels over the reference span; in dim scenes
+//!   the HIGH/LOW swing can approach a handful of LSBs, putting a hard
+//!   floor under the decodable modulation depth;
+//! * **sampling rate** — the paper samples at 2 kS/s outdoors (Sec. 5);
+//!   with a car at 18 km/h and 10 cm symbols (50 sym/s) that is 40
+//!   samples per symbol.
+
+/// A 10-bit SAR ADC with a configurable reference and sampling rate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Mcp3008 {
+    /// Reference voltage: inputs at or above map to the top code.
+    pub vref: f64,
+    /// Sampling rate, samples per second.
+    pub sample_rate_hz: f64,
+}
+
+/// Number of quantisation levels (2^10).
+pub const LEVELS: u16 = 1024;
+
+impl Mcp3008 {
+    /// The paper's outdoor configuration: 3.3 V reference, 2 kS/s.
+    pub fn openvlc_outdoor() -> Self {
+        Mcp3008 { vref: 3.3, sample_rate_hz: 2000.0 }
+    }
+
+    /// Indoor bench configuration: same reference, gentler rate (the
+    /// indoor signals change at sub-hertz symbol rates).
+    pub fn openvlc_indoor() -> Self {
+        Mcp3008 { vref: 3.3, sample_rate_hz: 250.0 }
+    }
+
+    /// Converts a voltage to a 10-bit code, clamped to the valid range.
+    #[inline]
+    pub fn quantize(&self, v: f64) -> u16 {
+        if !v.is_finite() || v <= 0.0 {
+            return 0;
+        }
+        let code = (v / self.vref * LEVELS as f64).floor();
+        (code.min((LEVELS - 1) as f64)) as u16
+    }
+
+    /// Converts a code back to the centre of its voltage bin.
+    #[inline]
+    pub fn to_voltage(&self, code: u16) -> f64 {
+        (code.min(LEVELS - 1) as f64 + 0.5) * self.vref / LEVELS as f64
+    }
+
+    /// Quantises a whole voltage series.
+    pub fn quantize_all(&self, vs: &[f64]) -> Vec<u16> {
+        vs.iter().map(|&v| self.quantize(v)).collect()
+    }
+
+    /// Size of one LSB in volts.
+    pub fn lsb_v(&self) -> f64 {
+        self.vref / LEVELS as f64
+    }
+
+    /// Samples per symbol for an object moving at `speed_mps` with symbols
+    /// `symbol_width_m` wide. The decoder needs several samples per symbol;
+    /// below ~4 the windowed-maximum rule of Sec. 4.1 becomes unreliable.
+    pub fn samples_per_symbol(&self, speed_mps: f64, symbol_width_m: f64) -> f64 {
+        assert!(speed_mps > 0.0 && symbol_width_m > 0.0);
+        self.sample_rate_hz * symbol_width_m / speed_mps
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_scale_maps_to_top_code() {
+        let adc = Mcp3008::openvlc_outdoor();
+        assert_eq!(adc.quantize(3.3), LEVELS - 1);
+        assert_eq!(adc.quantize(99.0), LEVELS - 1);
+    }
+
+    #[test]
+    fn zero_and_negative_map_to_zero() {
+        let adc = Mcp3008::openvlc_outdoor();
+        assert_eq!(adc.quantize(0.0), 0);
+        assert_eq!(adc.quantize(-1.0), 0);
+        assert_eq!(adc.quantize(f64::NAN), 0);
+    }
+
+    #[test]
+    fn quantization_is_monotone() {
+        let adc = Mcp3008::openvlc_outdoor();
+        let mut prev = 0u16;
+        for i in 0..=1000 {
+            let v = i as f64 * 3.3 / 1000.0;
+            let code = adc.quantize(v);
+            assert!(code >= prev, "non-monotone at {v}");
+            prev = code;
+        }
+    }
+
+    #[test]
+    fn roundtrip_error_is_within_half_lsb() {
+        let adc = Mcp3008::openvlc_outdoor();
+        for i in 0..100 {
+            let v = 0.01 + i as f64 * 0.032;
+            let back = adc.to_voltage(adc.quantize(v));
+            assert!((back - v).abs() <= adc.lsb_v() / 2.0 + 1e-12, "v={v} back={back}");
+        }
+    }
+
+    #[test]
+    fn paper_outdoor_rate_gives_40_samples_per_symbol() {
+        // 18 km/h = 5 m/s, 10 cm symbols, 2 kS/s -> 40 samples/symbol.
+        let adc = Mcp3008::openvlc_outdoor();
+        let spp = adc.samples_per_symbol(5.0, 0.10);
+        assert!((spp - 40.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn lsb_size() {
+        let adc = Mcp3008::openvlc_outdoor();
+        assert!((adc.lsb_v() - 3.3 / 1024.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn quantize_all_matches_scalar() {
+        let adc = Mcp3008::openvlc_outdoor();
+        let vs = [0.0, 1.0, 2.0, 3.3];
+        let codes = adc.quantize_all(&vs);
+        for (v, c) in vs.iter().zip(&codes) {
+            assert_eq!(adc.quantize(*v), *c);
+        }
+    }
+}

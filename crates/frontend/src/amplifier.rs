@@ -1,0 +1,97 @@
+//! LM358 amplifier stage.
+//!
+//! The OpenVLC board buffers the detector output with an LM358 before the
+//! ADC (Fig. 3). For this system the op-amp matters for one reason: its
+//! output *rails*. Whatever headroom the detector has, the electrical
+//! chain clips at the supply — a second saturation mechanism on top of the
+//! optical one modelled in [`crate::receiver`].
+
+/// An idealised non-inverting amplifier with supply rails.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Lm358 {
+    /// Voltage gain.
+    pub gain: f64,
+    /// Output offset, volts.
+    pub offset_v: f64,
+    /// Lower rail, volts. The LM358 is a single-supply part that swings
+    /// to (almost) ground.
+    pub rail_low_v: f64,
+    /// Upper rail, volts (V⁺ − 1.5 V for a real LM358).
+    pub rail_high_v: f64,
+}
+
+impl Lm358 {
+    /// The OpenVLC configuration: detector output (normalised lux·gain
+    /// units, up to ~550 at device saturation) scaled into a 0–3.3 V ADC
+    /// window with ~10 % headroom above the strongest device saturation
+    /// level, so that optical saturation — not electrical clipping — is
+    /// the binding limit, as in the paper's Fig. 11 measurements.
+    pub fn openvlc() -> Self {
+        // max device output: PD G1 railing = 450 lux × 1.0 = 450;
+        // RX-LED railing = 35 000 × 0.013 = 455; G2 = 540. Scale 540 -> 3 V.
+        Lm358 { gain: 3.0 / 540.0, offset_v: 0.0, rail_low_v: 0.0, rail_high_v: 3.3 }
+    }
+
+    /// Amplifies one sample, clipping at the rails.
+    #[inline]
+    pub fn amplify(&self, x: f64) -> f64 {
+        (x * self.gain + self.offset_v).clamp(self.rail_low_v, self.rail_high_v)
+    }
+
+    /// Amplifies a slice into a new vector.
+    pub fn amplify_all(&self, xs: &[f64]) -> Vec<f64> {
+        xs.iter().map(|&x| self.amplify(x)).collect()
+    }
+
+    /// The input level at which the output reaches the upper rail.
+    pub fn input_clip_level(&self) -> f64 {
+        if self.gain <= 0.0 {
+            f64::INFINITY
+        } else {
+            (self.rail_high_v - self.offset_v) / self.gain
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear_in_range() {
+        let amp = Lm358 { gain: 2.0, offset_v: 0.1, rail_low_v: 0.0, rail_high_v: 5.0 };
+        assert!((amp.amplify(1.0) - 2.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn clips_at_rails() {
+        let amp = Lm358 { gain: 2.0, offset_v: 0.0, rail_low_v: 0.0, rail_high_v: 3.3 };
+        assert_eq!(amp.amplify(10.0), 3.3);
+        assert_eq!(amp.amplify(-1.0), 0.0);
+    }
+
+    #[test]
+    fn openvlc_keeps_device_saturation_in_window() {
+        // The binding saturation must stay optical: every device's railing
+        // output must sit below the electrical clip level.
+        let amp = Lm358::openvlc();
+        for railing_output in [450.0, 540.0, 445.0, 455.0] {
+            assert!(
+                railing_output < amp.input_clip_level(),
+                "device output {railing_output} would clip electrically"
+            );
+        }
+    }
+
+    #[test]
+    fn amplify_all_maps_each_sample() {
+        let amp = Lm358 { gain: 1.0, offset_v: 0.0, rail_low_v: 0.0, rail_high_v: 10.0 };
+        assert_eq!(amp.amplify_all(&[1.0, 2.0]), vec![1.0, 2.0]);
+    }
+
+    #[test]
+    fn clip_level_of_zero_gain_is_infinite() {
+        let amp = Lm358 { gain: 0.0, offset_v: 0.0, rail_low_v: 0.0, rail_high_v: 3.3 };
+        assert!(amp.input_clip_level().is_infinite());
+    }
+}

@@ -1,0 +1,120 @@
+//! The aperture cap of Fig. 16.
+//!
+//! In the 100 lux outdoor scenario the PD's wide FoV mixes reflections
+//! from the car's whole roof into the tag signal: *“the PD has a large
+//! FoV, thus the car's metal roof adds interference at the receiver. By
+//! reducing the PD's FoV with a small physical cap (1.2×1.2×2.8 cm), we
+//! filter out much of the interference and decode the information …
+//! regardless of the RSS drop resulting from the smaller impinging light”*
+//! (Sec. 5.2).
+//!
+//! A cap is a square tube: it narrows the acceptance cone *and* throws
+//! away light (the RSS drop the paper notes). Both effects are modelled.
+
+use crate::receiver::OpticalReceiver;
+use palc_optics::FieldOfView;
+
+/// A square-tube aperture cap placed over a receiver.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ApertureCap {
+    /// Inner side of the square opening, metres.
+    pub side_m: f64,
+    /// Tube depth, metres.
+    pub depth_m: f64,
+}
+
+impl ApertureCap {
+    /// The paper's cap: 1.2 cm square opening, 2.8 cm deep.
+    pub fn paper_cap() -> Self {
+        ApertureCap { side_m: 0.012, depth_m: 0.028 }
+    }
+
+    /// Creates a cap with the given dimensions.
+    pub fn new(side_m: f64, depth_m: f64) -> Self {
+        assert!(side_m > 0.0 && depth_m > 0.0, "cap dimensions must be positive");
+        ApertureCap { side_m, depth_m }
+    }
+
+    /// The restricted field of view the capped receiver sees.
+    pub fn restricted_fov(&self) -> FieldOfView {
+        FieldOfView::from_aperture_tube(self.side_m, self.depth_m)
+    }
+
+    /// The fraction of on-axis light that still reaches the detector,
+    /// estimated as the solid-angle ratio of the capped vs. bare FoV.
+    /// This produces the Fig. 16(b) “RSS drop”.
+    pub fn throughput(&self, bare: FieldOfView) -> f64 {
+        let capped = self.restricted_fov().effective_solid_angle();
+        let open = bare.effective_solid_angle();
+        if open <= 0.0 {
+            return 0.0;
+        }
+        (capped / open).min(1.0)
+    }
+
+    /// Applies the cap to a receiver: narrows its FoV and raises its
+    /// input-referred noise floor by the lost-light factor (less light,
+    /// same electronic noise ⇒ worse input-referred SNR).
+    pub fn apply(&self, rx: &OpticalReceiver) -> OpticalReceiver {
+        let t = self.throughput(rx.fov()).max(1e-6);
+        rx.clone()
+            .with_fov(self.restricted_fov())
+            .with_noise_floor(rx.noise_floor_lux() / t.sqrt())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::receiver::PdGain;
+
+    #[test]
+    fn paper_cap_narrows_below_25_degrees() {
+        let fov = ApertureCap::paper_cap().restricted_fov();
+        assert!(fov.half_angle_deg() < 25.0, "{}", fov.half_angle_deg());
+    }
+
+    #[test]
+    fn throughput_is_a_genuine_loss() {
+        let cap = ApertureCap::paper_cap();
+        let bare = FieldOfView::photodiode_bare();
+        let t = cap.throughput(bare);
+        assert!(t > 0.0 && t < 0.3, "throughput {t}");
+    }
+
+    #[test]
+    fn applying_the_cap_trades_fov_for_noise() {
+        let rx = OpticalReceiver::opt101(PdGain::G2);
+        let capped = ApertureCap::paper_cap().apply(&rx);
+        assert!(capped.fov().half_angle_deg() < rx.fov().half_angle_deg());
+        assert!(capped.noise_floor_lux() > rx.noise_floor_lux());
+        // Sensitivity and saturation are optical-path properties of the
+        // detector and stay put.
+        assert_eq!(capped.sensitivity(), rx.sensitivity());
+        assert_eq!(capped.saturation_lux(), rx.saturation_lux());
+    }
+
+    #[test]
+    fn fig16_geometry_footprint_shrinks_below_symbol_scale() {
+        // At the 25 cm receiver height of Fig. 16 the capped footprint
+        // radius must come down to symbol scale (10 cm), the condition for
+        // decodability.
+        let capped = ApertureCap::paper_cap().restricted_fov();
+        assert!(capped.footprint_radius(0.25) < 0.12);
+        assert!(FieldOfView::photodiode_bare().footprint_radius(0.25) > 0.40);
+    }
+
+    #[test]
+    fn wider_opening_passes_more_light() {
+        let bare = FieldOfView::photodiode_bare();
+        let narrow = ApertureCap::new(0.008, 0.028).throughput(bare);
+        let wide = ApertureCap::new(0.020, 0.028).throughput(bare);
+        assert!(wide > narrow);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn rejects_degenerate_dimensions() {
+        ApertureCap::new(0.0, 0.028);
+    }
+}

@@ -1,0 +1,187 @@
+//! The composed receiver chain: illuminance in, RSS samples out.
+//!
+//! `Frontend` wires together the stages the OpenVLC board implements in
+//! hardware (Fig. 3):
+//!
+//! ```text
+//! illuminance (lux, FoV-integrated by the channel)
+//!   → spectral weighting          (receiver × source spectra, Sec. 4.4)
+//!   → + shot/thermal noise        (seeded)
+//!   → detector response           (sensitivity & optical saturation)
+//!   → bandwidth low-pass          (detector response time)
+//!   → LM358 gain + rails
+//!   → MCP3008 10-bit quantisation
+//! ```
+//!
+//! The output is the "RSS" the paper plots: raw ADC codes (Figs. 15–17)
+//! or min–max-normalised traces (Figs. 5, 7, 8, 10, 13, 14).
+
+use crate::adc::Mcp3008;
+use crate::amplifier::Lm358;
+use crate::noise::NoiseModel;
+use crate::receiver::OpticalReceiver;
+use palc_dsp::filter::SinglePoleLowPass;
+use palc_optics::spectrum::Spectrum;
+
+/// A full receiver frontend.
+#[derive(Debug, Clone)]
+pub struct Frontend {
+    /// The optical detector.
+    pub receiver: OpticalReceiver,
+    /// The amplifier stage.
+    pub amplifier: Lm358,
+    /// The ADC stage.
+    pub adc: Mcp3008,
+    seed: u64,
+}
+
+impl Frontend {
+    /// Builds a frontend around `receiver` with OpenVLC amp/ADC defaults
+    /// and the given noise seed.
+    pub fn new(receiver: OpticalReceiver, adc: Mcp3008, seed: u64) -> Self {
+        Frontend { receiver, amplifier: Lm358::openvlc(), adc, seed }
+    }
+
+    /// Outdoor configuration (2 kS/s), as used in Sec. 5.
+    pub fn outdoor(receiver: OpticalReceiver, seed: u64) -> Self {
+        Frontend::new(receiver, Mcp3008::openvlc_outdoor(), seed)
+    }
+
+    /// Indoor bench configuration (250 S/s).
+    pub fn indoor(receiver: OpticalReceiver, seed: u64) -> Self {
+        Frontend::new(receiver, Mcp3008::openvlc_indoor(), seed)
+    }
+
+    /// Sampling rate of this frontend, Hz.
+    pub fn sample_rate_hz(&self) -> f64 {
+        self.adc.sample_rate_hz
+    }
+
+    /// Processes an illuminance series (lux at the receiver aperture,
+    /// sampled at the ADC rate) lit by a source with spectrum `spd`, and
+    /// returns raw ADC codes — the RSS trace.
+    pub fn capture(&self, illuminance_lux: &[f64], spd: &Spectrum) -> Vec<u16> {
+        let spectral = self.receiver.spectral_factor(spd);
+        let mut noise = NoiseModel::new(
+            self.receiver.noise_floor_lux(),
+            self.receiver.shot_coeff(),
+            self.seed,
+        );
+        let mut lp = SinglePoleLowPass::new(
+            self.receiver.bandwidth_hz().min(self.adc.sample_rate_hz * 0.45),
+            self.adc.sample_rate_hz,
+        );
+        illuminance_lux
+            .iter()
+            .map(|&e| {
+                let weighted = e.max(0.0) * spectral;
+                let noisy = (weighted + noise.sample(weighted)).max(0.0);
+                let detected = self.receiver.respond(noisy);
+                let filtered = lp.step(detected);
+                let v = self.amplifier.amplify(filtered);
+                self.adc.quantize(v)
+            })
+            .collect()
+    }
+
+    /// Like [`Frontend::capture`] but returning the codes as `f64` — the
+    /// form every decoder in `palc` consumes.
+    pub fn capture_f64(&self, illuminance_lux: &[f64], spd: &Spectrum) -> Vec<f64> {
+        self.capture(illuminance_lux, spd).into_iter().map(f64::from).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::receiver::PdGain;
+    use palc_dsp::stats;
+
+    fn square_lux(base: f64, swing: f64, n: usize, period: usize) -> Vec<f64> {
+        (0..n)
+            .map(|i| base + if (i / period) % 2 == 0 { swing } else { 0.0 })
+            .collect()
+    }
+
+    #[test]
+    fn stronger_light_gives_higher_codes() {
+        let fe = Frontend::outdoor(OpticalReceiver::opt101(PdGain::G3), 1);
+        let dim = fe.capture_f64(&vec![50.0; 500], &Spectrum::white_led());
+        let bright = fe.capture_f64(&vec![2000.0; 500], &Spectrum::white_led());
+        assert!(stats::mean(&bright) > stats::mean(&dim) + 10.0);
+    }
+
+    #[test]
+    fn square_wave_survives_the_chain() {
+        let fe = Frontend::outdoor(OpticalReceiver::opt101(PdGain::G2), 2);
+        let lux = square_lux(100.0, 200.0, 2000, 100);
+        let rss = fe.capture_f64(&lux, &Spectrum::white_led());
+        let depth = stats::modulation_depth(&rss);
+        assert!(depth > 0.3, "modulation depth {depth}");
+    }
+
+    #[test]
+    fn saturated_receiver_flattens_modulation() {
+        // G1 saturates at 450 lux: a square wave riding on a 5000 lux
+        // pedestal comes out flat — the "links disappear abruptly" failure.
+        let fe = Frontend::outdoor(OpticalReceiver::opt101(PdGain::G1), 3);
+        let lux = square_lux(5000.0, 400.0, 2000, 100);
+        let rss = fe.capture_f64(&lux, &Spectrum::white_led());
+        let depth = stats::modulation_depth(&rss);
+        assert!(depth < 0.02, "saturated depth {depth}");
+    }
+
+    #[test]
+    fn led_survives_the_same_pedestal() {
+        let fe = Frontend::outdoor(OpticalReceiver::rx_led(), 3);
+        let lux = square_lux(5000.0, 1500.0, 4000, 100);
+        let rss = fe.capture_f64(&lux, &Spectrum::daylight());
+        let depth = stats::modulation_depth(&rss);
+        assert!(depth > 0.05, "LED depth {depth}");
+    }
+
+    #[test]
+    fn led_cannot_see_small_swings_in_dim_light() {
+        // The Fig. 15(b) failure: at 100 lux the swing (tens of lux)
+        // drowns in the LED's input-referred noise and quantisation.
+        let fe = Frontend::outdoor(OpticalReceiver::rx_led(), 4);
+        let lux = square_lux(60.0, 40.0, 4000, 100);
+        let rss = fe.capture_f64(&lux, &Spectrum::daylight());
+        // Quantised output swing: the LED's sensitivity (0.013) maps a
+        // 40 lux swing to ~0.5 normalised units = a fraction of one LSB.
+        let (lo, hi) = stats::minmax(&rss);
+        assert!(hi - lo <= 3.0, "LED resolved {lo}..{hi}");
+    }
+
+    #[test]
+    fn pd_g2_sees_the_same_dim_swing() {
+        let fe = Frontend::outdoor(OpticalReceiver::opt101(PdGain::G2), 4);
+        let lux = square_lux(60.0, 40.0, 4000, 100);
+        let rss = fe.capture_f64(&lux, &Spectrum::daylight());
+        let depth = stats::modulation_depth(&rss);
+        assert!(depth > 0.05, "PD depth {depth}");
+    }
+
+    #[test]
+    fn capture_is_reproducible_per_seed() {
+        let fe1 = Frontend::outdoor(OpticalReceiver::opt101(PdGain::G2), 9);
+        let fe2 = Frontend::outdoor(OpticalReceiver::opt101(PdGain::G2), 9);
+        let lux = square_lux(100.0, 100.0, 300, 30);
+        assert_eq!(fe1.capture(&lux, &Spectrum::white_led()), fe2.capture(&lux, &Spectrum::white_led()));
+    }
+
+    #[test]
+    fn codes_stay_in_10_bits() {
+        let fe = Frontend::outdoor(OpticalReceiver::opt101(PdGain::G1), 5);
+        let lux: Vec<f64> = (0..1000).map(|i| i as f64 * 50.0).collect();
+        for code in fe.capture(&lux, &Spectrum::white_led()) {
+            assert!(code < 1024);
+        }
+    }
+
+    #[test]
+    fn empty_input_gives_empty_output() {
+        let fe = Frontend::outdoor(OpticalReceiver::rx_led(), 0);
+        assert!(fe.capture(&[], &Spectrum::daylight()).is_empty());
+    }
+}

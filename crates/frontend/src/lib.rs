@@ -1,0 +1,44 @@
+//! # palc-frontend — receiver frontend models
+//!
+//! The paper's receiver is the OpenVLC board (Fig. 3): a TI **OPT101**
+//! photodiode and a 5 mm red **LED wired as a photodetector**, behind an
+//! **LM358** op-amp and an **MCP3008** 10-bit ADC. This crate models that
+//! signal chain:
+//!
+//! * [`receiver`] — the two optical front ends with the exact
+//!   saturation/sensitivity trade-off of Fig. 11 (PD gains G1/G2/G3
+//!   saturating at 450/1200/5000 lux with relative sensitivities
+//!   1/0.45/0.089; RX-LED at 35 000 lux and 0.013).
+//! * [`noise`] — seeded shot + thermal noise, input-referred in lux.
+//! * [`amplifier`] — LM358 gain stage with rail clipping.
+//! * [`adc`] — MCP3008 quantisation at a configurable sampling rate
+//!   (2 kS/s in the paper's outdoor runs).
+//! * [`aperture`] — the 1.2×1.2×2.8 cm cap that narrows the PD's FoV in
+//!   Fig. 16.
+//! * [`chain`] — the composed frontend: illuminance series in, RSS
+//!   samples out.
+//! * [`characterize`] — the lux-sweep experiment that regenerates the
+//!   Fig. 11 table from the models.
+//! * [`power`] — energy and bill-of-materials model backing the paper's
+//!   sustainability claims (1.5 mW photodiode vs >1 W camera; ~$50
+//!   prototype).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod adc;
+pub mod amplifier;
+pub mod aperture;
+pub mod chain;
+pub mod characterize;
+pub mod noise;
+pub mod power;
+pub mod receiver;
+
+pub use adc::Mcp3008;
+pub use amplifier::Lm358;
+pub use aperture::ApertureCap;
+pub use chain::Frontend;
+pub use characterize::{characterize, Characterization};
+pub use noise::NoiseModel;
+pub use receiver::{OpticalReceiver, PdGain};

@@ -1,0 +1,142 @@
+//! Receiver noise model.
+//!
+//! Two physical components, both input-referred (expressed in lux so they
+//! can be added to illuminance before the device response):
+//!
+//! * **thermal/electronic noise** — Gaussian with constant RMS, from the
+//!   transimpedance stage and the detector's dark current;
+//! * **shot noise** — photon-counting noise with RMS growing as the square
+//!   root of the incident light, which is why a brighter noise floor
+//!   (Sec. 4.1: “because we have an illuminated area, the noise floor is
+//!   higher”) degrades the HIGH/LOW contrast even before saturation.
+//!
+//! The generator is seeded ([`rand::rngs::StdRng`]) so every simulated
+//! trace in the test-suite and the repro harness is reproducible.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A seeded Gaussian noise source, input-referred in lux.
+#[derive(Debug, Clone)]
+pub struct NoiseModel {
+    rng: StdRng,
+    thermal_rms_lux: f64,
+    shot_coeff: f64,
+}
+
+impl NoiseModel {
+    /// Creates a noise model with the given thermal RMS (lux) and shot
+    /// coefficient (lux RMS per √lux), seeded for reproducibility.
+    pub fn new(thermal_rms_lux: f64, shot_coeff: f64, seed: u64) -> Self {
+        NoiseModel {
+            rng: StdRng::seed_from_u64(seed),
+            thermal_rms_lux: thermal_rms_lux.max(0.0),
+            shot_coeff: shot_coeff.max(0.0),
+        }
+    }
+
+    /// A noiseless model (for unit-testing signal paths in isolation).
+    pub fn noiseless() -> Self {
+        NoiseModel::new(0.0, 0.0, 0)
+    }
+
+    /// Total RMS at a given mean illuminance.
+    pub fn rms_at(&self, e_lux: f64) -> f64 {
+        (self.thermal_rms_lux.powi(2) + self.shot_coeff.powi(2) * e_lux.max(0.0)).sqrt()
+    }
+
+    /// Draws one noise sample appropriate for mean illuminance `e_lux`.
+    pub fn sample(&mut self, e_lux: f64) -> f64 {
+        let sigma = self.rms_at(e_lux);
+        if sigma == 0.0 {
+            return 0.0;
+        }
+        sigma * self.standard_normal()
+    }
+
+    /// Adds noise to a whole illuminance series in place.
+    pub fn corrupt(&mut self, series: &mut [f64]) {
+        for x in series.iter_mut() {
+            let n = self.sample(*x);
+            *x = (*x + n).max(0.0); // illuminance cannot go negative
+        }
+    }
+
+    /// Box–Muller standard normal draw.
+    fn standard_normal(&mut self) -> f64 {
+        loop {
+            let u1: f64 = self.rng.gen::<f64>();
+            if u1 > f64::MIN_POSITIVE {
+                let u2: f64 = self.rng.gen::<f64>();
+                return (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn noiseless_is_exactly_zero() {
+        let mut n = NoiseModel::noiseless();
+        for e in [0.0, 100.0, 10_000.0] {
+            assert_eq!(n.sample(e), 0.0);
+        }
+    }
+
+    #[test]
+    fn same_seed_same_noise() {
+        let mut a = NoiseModel::new(1.0, 0.02, 7);
+        let mut b = NoiseModel::new(1.0, 0.02, 7);
+        for _ in 0..100 {
+            assert_eq!(a.sample(50.0), b.sample(50.0));
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = NoiseModel::new(1.0, 0.02, 7);
+        let mut b = NoiseModel::new(1.0, 0.02, 8);
+        let va: Vec<f64> = (0..10).map(|_| a.sample(50.0)).collect();
+        let vb: Vec<f64> = (0..10).map(|_| b.sample(50.0)).collect();
+        assert_ne!(va, vb);
+    }
+
+    #[test]
+    fn sample_statistics_match_model() {
+        let mut n = NoiseModel::new(2.0, 0.0, 42);
+        let k = 20_000;
+        let samples: Vec<f64> = (0..k).map(|_| n.sample(0.0)).collect();
+        let mean = samples.iter().sum::<f64>() / k as f64;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / k as f64;
+        assert!(mean.abs() < 0.1, "mean {mean}");
+        assert!((var.sqrt() - 2.0).abs() < 0.1, "std {}", var.sqrt());
+    }
+
+    #[test]
+    fn shot_noise_grows_with_light() {
+        let n = NoiseModel::new(0.5, 0.1, 1);
+        assert!(n.rms_at(10_000.0) > n.rms_at(100.0));
+        assert!(n.rms_at(0.0) >= 0.5 - 1e-12);
+    }
+
+    #[test]
+    fn corrupt_keeps_illuminance_nonnegative() {
+        let mut n = NoiseModel::new(50.0, 0.0, 3);
+        let mut series = vec![1.0; 1000];
+        n.corrupt(&mut series);
+        assert!(series.iter().all(|&x| x >= 0.0));
+        // And it genuinely changed the series.
+        assert!(series.iter().any(|&x| (x - 1.0).abs() > 1.0));
+    }
+
+    #[test]
+    fn rms_combines_in_quadrature() {
+        let n = NoiseModel::new(3.0, 0.4, 0);
+        let e = 25.0;
+        let expect = (9.0f64 + 0.16 * 25.0).sqrt();
+        assert!((n.rms_at(e) - expect).abs() < 1e-12);
+    }
+}

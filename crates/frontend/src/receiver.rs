@@ -1,0 +1,339 @@
+//! Optical receiver models: OPT101 photodiode and LED-as-receiver.
+//!
+//! Section 4.4 frames the core receiver trade-off: *“the PD at gain
+//! control level G1 saturates at 450 lux … At G3, the PD works for noise
+//! floors up to 5000 lux. But outdoor scenarios during the day can easily
+//! go above 10 klux. The RX-LED, instead, can work when the noise floor is
+//! up to 35,000 lux … the RX-LED is less sensitive than the PD.”*
+//!
+//! The model is deliberately simple and measurable: a receiver maps input
+//! illuminance (lux at its aperture, spectrum-weighted) to a normalised
+//! output level
+//!
+//! ```text
+//! out(E) = sensitivity × min(E + dark, saturation_lux)
+//! ```
+//!
+//! so a lux sweep recovers the sensitivity as the low-end slope and the
+//! saturation point as the knee — exactly the Fig. 11 table. The FoV,
+//! spectral response, input-referred noise, and response-time bandwidth
+//! complete the device description; the full sample pipeline lives in
+//! [`crate::chain`].
+
+use palc_optics::spectrum::{SpectralResponse, Spectrum};
+use palc_optics::FieldOfView;
+
+/// OPT101 transimpedance gain setting. Fig. 3's board exposes three
+/// discrete gain levels via the external feedback network.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PdGain {
+    /// High gain: most sensitive, saturates in a medium-lit room.
+    G1,
+    /// Medium gain.
+    G2,
+    /// Low gain: usable up to ~5 klux.
+    G3,
+}
+
+impl PdGain {
+    /// All gain levels, high to low.
+    pub const ALL: [PdGain; 3] = [PdGain::G1, PdGain::G2, PdGain::G3];
+
+    /// Relative sensitivity, normalised to G1 (Fig. 11).
+    pub fn sensitivity(self) -> f64 {
+        match self {
+            PdGain::G1 => 1.0,
+            PdGain::G2 => 0.45,
+            PdGain::G3 => 0.089,
+        }
+    }
+
+    /// Input illuminance at which the output rails, lux (Fig. 11).
+    pub fn saturation_lux(self) -> f64 {
+        match self {
+            PdGain::G1 => 450.0,
+            PdGain::G2 => 1200.0,
+            PdGain::G3 => 5000.0,
+        }
+    }
+}
+
+/// Which physical device a receiver is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReceiverKind {
+    /// TI OPT101 monolithic photodiode at a given gain.
+    Photodiode(PdGain),
+    /// HLMP-EG08 5 mm red LED in photovoltaic mode.
+    RxLed,
+}
+
+/// A complete optical front-end description.
+#[derive(Debug, Clone)]
+pub struct OpticalReceiver {
+    kind: ReceiverKind,
+    fov: FieldOfView,
+    spectral: SpectralResponse,
+    /// Relative output per input lux (normalised to PD G1 = 1).
+    sensitivity: f64,
+    /// Input lux where the output rails.
+    saturation_lux: f64,
+    /// Input-referred RMS noise, lux. Roughly inversely proportional to
+    /// sensitivity: a weak detector needs more light for the same SNR.
+    noise_floor_lux: f64,
+    /// Shot-noise coefficient: RMS contribution `shot × √E` lux.
+    shot_coeff: f64,
+    /// −3 dB bandwidth of the detector + transimpedance stage, Hz. Limits
+    /// the maximal supported object speed (paper Sec. 6, item 3).
+    bandwidth_hz: f64,
+    /// Residual output with no light, lux-equivalent. The paper operates
+    /// the RX-LED in photovoltaic mode precisely to minimise this.
+    dark_lux: f64,
+}
+
+impl OpticalReceiver {
+    /// The OPT101 photodiode at gain `gain`, bare (wide FoV).
+    pub fn opt101(gain: PdGain) -> Self {
+        OpticalReceiver {
+            kind: ReceiverKind::Photodiode(gain),
+            fov: FieldOfView::photodiode_bare(),
+            spectral: SpectralResponse::silicon_photodiode(),
+            sensitivity: gain.sensitivity(),
+            saturation_lux: gain.saturation_lux(),
+            // Input-referred noise grows as gain drops: the same output
+            // noise divided by a smaller gain.
+            noise_floor_lux: 0.10 / gain.sensitivity(),
+            shot_coeff: 0.02,
+            // OPT101 bandwidth falls with feedback resistance (gain).
+            bandwidth_hz: match gain {
+                PdGain::G1 => 2_000.0,
+                PdGain::G2 => 6_000.0,
+                PdGain::G3 => 14_000.0,
+            },
+            dark_lux: 0.3,
+        }
+    }
+
+    /// The red LED as a receiver, photovoltaic mode: narrow FoV, narrow
+    /// optical band, low sensitivity, extreme saturation headroom.
+    pub fn rx_led() -> Self {
+        OpticalReceiver {
+            kind: ReceiverKind::RxLed,
+            fov: FieldOfView::rx_led(),
+            spectral: SpectralResponse::red_led_detector(),
+            sensitivity: 0.013,
+            saturation_lux: 35_000.0,
+            // Sized between the paper's two boundary cases at 25 cm: a
+            // ~0.5 lux aperture swing (100 lux overcast dusk, Fig. 15(b))
+            // must drown below 3σ, while a ~2.3 lux swing (450 lux,
+            // Fig. 15(a)) must clear it. Also larger than any PD gain's
+            // floor — the LED is the *less sensitive* device (Fig. 11).
+            noise_floor_lux: 0.35,
+            shot_coeff: 0.03,
+            // LED junctions are slow detectors; photovoltaic mode slower.
+            bandwidth_hz: 900.0,
+            dark_lux: 0.05, // photovoltaic mode minimises dark current
+        }
+    }
+
+    /// Replaces the field of view (used by the aperture cap of Fig. 16).
+    pub fn with_fov(mut self, fov: FieldOfView) -> Self {
+        self.fov = fov;
+        self
+    }
+
+    /// Scales the input-referred noise floor (for sensitivity analyses).
+    pub fn with_noise_floor(mut self, lux: f64) -> Self {
+        self.noise_floor_lux = lux.max(0.0);
+        self
+    }
+
+    /// Device identity.
+    pub fn kind(&self) -> ReceiverKind {
+        self.kind
+    }
+
+    /// Short label for tables and logs: `PD(G1)`, `PD(G2)`, `PD(G3)`, `LED`.
+    pub fn label(&self) -> &'static str {
+        match self.kind {
+            ReceiverKind::Photodiode(PdGain::G1) => "PD(G1)",
+            ReceiverKind::Photodiode(PdGain::G2) => "PD(G2)",
+            ReceiverKind::Photodiode(PdGain::G3) => "PD(G3)",
+            ReceiverKind::RxLed => "LED",
+        }
+    }
+
+    /// Angular acceptance.
+    pub fn fov(&self) -> FieldOfView {
+        self.fov
+    }
+
+    /// Spectral response curve.
+    pub fn spectral(&self) -> &SpectralResponse {
+        &self.spectral
+    }
+
+    /// Relative sensitivity (output per lux, PD G1 = 1).
+    pub fn sensitivity(&self) -> f64 {
+        self.sensitivity
+    }
+
+    /// Saturating input level, lux.
+    pub fn saturation_lux(&self) -> f64 {
+        self.saturation_lux
+    }
+
+    /// Input-referred RMS noise floor, lux.
+    pub fn noise_floor_lux(&self) -> f64 {
+        self.noise_floor_lux
+    }
+
+    /// Shot-noise coefficient (RMS lux contribution per √lux).
+    pub fn shot_coeff(&self) -> f64 {
+        self.shot_coeff
+    }
+
+    /// Detector bandwidth, Hz.
+    pub fn bandwidth_hz(&self) -> f64 {
+        self.bandwidth_hz
+    }
+
+    /// Spectral efficiency for light of the given SPD, relative to the
+    /// white-LED reference the Fig. 11 sensitivities were calibrated
+    /// against.
+    pub fn spectral_factor(&self, spd: &Spectrum) -> f64 {
+        let reference = self.spectral.overlap(&Spectrum::white_led());
+        if reference <= 0.0 {
+            return 0.0;
+        }
+        self.spectral.overlap(spd) / reference
+    }
+
+    /// Noise-free static response: normalised output for a steady input of
+    /// `e_lux` (already spectrum-weighted). The two-parameter curve whose
+    /// slope and knee the characterisation experiment measures.
+    pub fn respond(&self, e_lux: f64) -> f64 {
+        let input = (e_lux.max(0.0) + self.dark_lux).min(self.saturation_lux);
+        self.sensitivity * input
+    }
+
+    /// True when a steady ambient of `e_lux` rails the device — the
+    /// “links disappear abruptly” failure of Sec. 3.
+    pub fn is_saturated_by(&self, e_lux: f64) -> bool {
+        e_lux + self.dark_lux >= self.saturation_lux
+    }
+
+    /// Smallest modulation (lux swing) distinguishable from noise at the
+    /// given ambient, using a conservative 3σ criterion; `None` when the
+    /// device is saturated (no modulation survives the rail).
+    pub fn min_detectable_swing_lux(&self, ambient_lux: f64) -> Option<f64> {
+        if self.is_saturated_by(ambient_lux) {
+            return None;
+        }
+        let sigma =
+            (self.noise_floor_lux.powi(2) + self.shot_coeff.powi(2) * ambient_lux).sqrt();
+        Some(3.0 * sigma)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig11_parameters_are_wired_through() {
+        assert_eq!(OpticalReceiver::opt101(PdGain::G1).saturation_lux(), 450.0);
+        assert_eq!(OpticalReceiver::opt101(PdGain::G2).saturation_lux(), 1200.0);
+        assert_eq!(OpticalReceiver::opt101(PdGain::G3).saturation_lux(), 5000.0);
+        assert_eq!(OpticalReceiver::rx_led().saturation_lux(), 35_000.0);
+        assert_eq!(OpticalReceiver::opt101(PdGain::G1).sensitivity(), 1.0);
+        assert_eq!(OpticalReceiver::opt101(PdGain::G2).sensitivity(), 0.45);
+        assert_eq!(OpticalReceiver::opt101(PdGain::G3).sensitivity(), 0.089);
+        assert_eq!(OpticalReceiver::rx_led().sensitivity(), 0.013);
+    }
+
+    #[test]
+    fn response_is_linear_then_flat() {
+        let rx = OpticalReceiver::opt101(PdGain::G1);
+        let low = rx.respond(100.0);
+        let mid = rx.respond(200.0);
+        // Linear region: doubling input (minus dark) ~doubles output.
+        assert!((mid / low - 2.0).abs() < 0.01);
+        // Beyond saturation the output stops growing.
+        assert_eq!(rx.respond(450.0), rx.respond(10_000.0));
+    }
+
+    #[test]
+    fn saturation_ordering_matches_fig11() {
+        // G1 rails in a medium room; the LED survives full daylight.
+        let room = 450.0;
+        assert!(OpticalReceiver::opt101(PdGain::G1).is_saturated_by(room));
+        assert!(!OpticalReceiver::opt101(PdGain::G3).is_saturated_by(room));
+        assert!(!OpticalReceiver::rx_led().is_saturated_by(15_000.0));
+        assert!(OpticalReceiver::rx_led().is_saturated_by(40_000.0));
+    }
+
+    #[test]
+    fn led_needs_bigger_swings_than_pd() {
+        // Sensitivity gap: at the 100 lux dusk of Fig. 15(b)/16, the LED's
+        // minimum detectable swing exceeds every unsaturated PD gain's ->
+        // the LED link dies first in dim scenes.
+        let led = OpticalReceiver::rx_led().min_detectable_swing_lux(100.0).unwrap();
+        for gain in PdGain::ALL {
+            let pd = OpticalReceiver::opt101(gain).min_detectable_swing_lux(100.0);
+            if let Some(pd) = pd {
+                if gain != PdGain::G3 {
+                    assert!(led > pd, "led {led} vs {gain:?} {pd}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn saturated_device_detects_nothing() {
+        let rx = OpticalReceiver::opt101(PdGain::G1);
+        assert!(rx.min_detectable_swing_lux(6000.0).is_none());
+    }
+
+    #[test]
+    fn pd_fov_is_wide_led_fov_is_narrow() {
+        let pd = OpticalReceiver::opt101(PdGain::G2);
+        let led = OpticalReceiver::rx_led();
+        assert!(pd.fov().half_angle_deg() > 45.0);
+        assert!(led.fov().half_angle_deg() < 15.0);
+    }
+
+    #[test]
+    fn spectral_factor_is_one_for_reference_source() {
+        let rx = OpticalReceiver::rx_led();
+        let f = rx.spectral_factor(&Spectrum::white_led());
+        assert!((f - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn led_rejects_deep_red_light() {
+        let rx = OpticalReceiver::rx_led();
+        let deep_red = Spectrum::gaussian(730.0, 10.0);
+        assert!(rx.spectral_factor(&deep_red) < 0.1);
+    }
+
+    #[test]
+    fn labels_match_fig11_rows() {
+        assert_eq!(OpticalReceiver::opt101(PdGain::G1).label(), "PD(G1)");
+        assert_eq!(OpticalReceiver::opt101(PdGain::G2).label(), "PD(G2)");
+        assert_eq!(OpticalReceiver::opt101(PdGain::G3).label(), "PD(G3)");
+        assert_eq!(OpticalReceiver::rx_led().label(), "LED");
+    }
+
+    #[test]
+    fn with_fov_overrides_acceptance() {
+        let capped = OpticalReceiver::opt101(PdGain::G2)
+            .with_fov(FieldOfView::from_aperture_tube(0.012, 0.028));
+        assert!(capped.fov().half_angle_deg() < 25.0);
+    }
+
+    #[test]
+    fn negative_input_clamps_to_dark() {
+        let rx = OpticalReceiver::opt101(PdGain::G1);
+        assert_eq!(rx.respond(-10.0), rx.respond(0.0));
+    }
+}

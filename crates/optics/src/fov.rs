@@ -1,0 +1,213 @@
+//! Receiver field of view.
+//!
+//! The FoV is the single most consequential receiver parameter in the
+//! paper: *“A wide FoV provides a wider coverage but it also exposes the
+//! receiver to more interference … A narrow FoV provides the opposite
+//! trade-off”* (Sec. 3, Fig. 2(b)). It determines
+//!
+//! * the ground **footprint** a receiver integrates over — the footprint
+//!   radius `h·tan θ` is the spatial blur that causes inter-symbol
+//!   interference, giving the linear decodable-region boundary of
+//!   Fig. 6(a);
+//! * why the wide-FoV OPT101 cannot decode a 10 cm tag from a car roof
+//!   (Fig. 16(a)) until a small aperture cap narrows it (Fig. 16(b));
+//! * why the RX-LED (narrow FoV) decodes the same scene cleanly (Fig. 17).
+//!
+//! The angular acceptance is modelled as a raised-cosine kernel: full
+//! sensitivity on-axis, smoothly falling to zero at the half-angle. This
+//! matches real photodiode/LED angular response curves better than a hard
+//! cone and avoids non-physical discontinuities in simulated traces.
+
+/// Angular acceptance of an optical receiver looking straight down.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FieldOfView {
+    /// Half-angle of the acceptance cone, radians, in `(0, π/2)`.
+    half_angle_rad: f64,
+    /// Exponent of the raised-cosine rolloff; higher = flatter centre with
+    /// steeper edges. 2.0 is a good fit for bare photodiodes.
+    rolloff: f64,
+}
+
+impl FieldOfView {
+    /// Creates a FoV from a half-angle in degrees (must be in (0°, 90°)).
+    pub fn from_half_angle_deg(deg: f64) -> Self {
+        assert!(deg > 0.0 && deg < 90.0, "half-angle {deg}° outside (0°, 90°)");
+        FieldOfView { half_angle_rad: deg.to_radians(), rolloff: 2.0 }
+    }
+
+    /// Overrides the rolloff exponent.
+    pub fn with_rolloff(mut self, rolloff: f64) -> Self {
+        self.rolloff = rolloff.max(0.5);
+        self
+    }
+
+    /// Bare OPT101 photodiode: very wide acceptance (~±60°).
+    pub fn photodiode_bare() -> Self {
+        FieldOfView::from_half_angle_deg(60.0)
+    }
+
+    /// A 5 mm LED used as a receiver: its lens narrows acceptance to
+    /// roughly ±9° — the "narrow FoV" property of Sec. 4.4.
+    pub fn rx_led() -> Self {
+        FieldOfView::from_half_angle_deg(9.0).with_rolloff(3.0)
+    }
+
+    /// The paper's aperture cap (1.2 × 1.2 × 2.8 cm) in front of the PD:
+    /// a square tube of side `side_m` and length `depth_m` limits rays to
+    /// `atan((side)/depth)` off-axis (a slightly generous estimate that
+    /// ignores corner paths).
+    pub fn from_aperture_tube(side_m: f64, depth_m: f64) -> Self {
+        assert!(side_m > 0.0 && depth_m > 0.0);
+        let half = (side_m / depth_m).atan();
+        FieldOfView { half_angle_rad: half.min(89f64.to_radians()), rolloff: 1.5 }
+    }
+
+    /// Half-angle in radians.
+    pub fn half_angle_rad(&self) -> f64 {
+        self.half_angle_rad
+    }
+
+    /// Half-angle in degrees.
+    pub fn half_angle_deg(&self) -> f64 {
+        self.half_angle_rad.to_degrees()
+    }
+
+    /// Radius of the ground footprint for a receiver at height `h` looking
+    /// straight down: `h·tan θ`.
+    pub fn footprint_radius(&self, height_m: f64) -> f64 {
+        assert!(height_m >= 0.0);
+        height_m * self.half_angle_rad.tan()
+    }
+
+    /// Angular weight for a ray arriving `off_axis_rad` off the optical
+    /// axis: raised cosine `cos^r(π/2 · φ/θ_half)` inside the cone, zero
+    /// outside. Always in `[0, 1]`, 1 on-axis.
+    pub fn angular_weight(&self, off_axis_rad: f64) -> f64 {
+        let phi = off_axis_rad.abs();
+        if phi >= self.half_angle_rad {
+            return 0.0;
+        }
+        let x = std::f64::consts::FRAC_PI_2 * phi / self.half_angle_rad;
+        x.cos().powf(self.rolloff)
+    }
+
+    /// Weight of a ground point at lateral distance `lateral_m` from the
+    /// receiver's nadir, for a receiver at height `height_m`. Convenience
+    /// over [`FieldOfView::angular_weight`].
+    pub fn ground_weight(&self, lateral_m: f64, height_m: f64) -> f64 {
+        if height_m <= 0.0 {
+            return if lateral_m.abs() < 1e-12 { 1.0 } else { 0.0 };
+        }
+        self.angular_weight((lateral_m / height_m).atan())
+    }
+
+    /// Effective solid angle of the acceptance cone, steradians:
+    /// `∫ weight(φ)·sinφ dφ dψ` (numerically integrated). Wider FoV ⇒ more
+    /// ambient light collected ⇒ earlier saturation — the other half of
+    /// the Sec. 4.4 trade-off.
+    pub fn effective_solid_angle(&self) -> f64 {
+        let steps = 256;
+        let dphi = self.half_angle_rad / steps as f64;
+        let mut acc = 0.0;
+        for i in 0..steps {
+            let phi = (i as f64 + 0.5) * dphi;
+            acc += self.angular_weight(phi) * phi.sin() * dphi;
+        }
+        2.0 * std::f64::consts::PI * acc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn footprint_grows_linearly_with_height() {
+        let fov = FieldOfView::from_half_angle_deg(45.0);
+        let r1 = fov.footprint_radius(0.2);
+        let r2 = fov.footprint_radius(0.4);
+        assert!((r2 - 2.0 * r1).abs() < 1e-12);
+        // tan 45° = 1 ⇒ radius equals height.
+        assert!((r1 - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn weight_is_one_on_axis_zero_outside() {
+        let fov = FieldOfView::from_half_angle_deg(30.0);
+        assert!((fov.angular_weight(0.0) - 1.0).abs() < 1e-12);
+        assert_eq!(fov.angular_weight(31f64.to_radians()), 0.0);
+        assert_eq!(fov.angular_weight(-31f64.to_radians()), 0.0);
+    }
+
+    #[test]
+    fn weight_decreases_monotonically() {
+        let fov = FieldOfView::photodiode_bare();
+        let mut prev = f64::INFINITY;
+        for i in 0..60 {
+            let w = fov.angular_weight((i as f64).to_radians());
+            assert!(w <= prev + 1e-12, "non-monotone at {i}°");
+            prev = w;
+        }
+    }
+
+    #[test]
+    fn rx_led_is_much_narrower_than_bare_pd() {
+        let led = FieldOfView::rx_led();
+        let pd = FieldOfView::photodiode_bare();
+        assert!(led.half_angle_deg() < 0.25 * pd.half_angle_deg());
+        assert!(led.effective_solid_angle() < 0.1 * pd.effective_solid_angle());
+    }
+
+    #[test]
+    fn paper_aperture_cap_narrows_the_pd() {
+        // 1.2 cm square, 2.8 cm deep (Sec. 5.2).
+        let capped = FieldOfView::from_aperture_tube(0.012, 0.028);
+        let bare = FieldOfView::photodiode_bare();
+        assert!(capped.half_angle_deg() < 25.0, "{}", capped.half_angle_deg());
+        assert!(capped.half_angle_deg() < bare.half_angle_deg());
+        // Footprint at the Fig. 16 height (25 cm) shrinks below ~11 cm,
+        // comparable to one 10 cm symbol -> decodable.
+        assert!(capped.footprint_radius(0.25) < 0.12);
+        assert!(bare.footprint_radius(0.25) > 0.4);
+    }
+
+    #[test]
+    fn ground_weight_degenerates_gracefully_at_zero_height() {
+        let fov = FieldOfView::photodiode_bare();
+        assert_eq!(fov.ground_weight(0.0, 0.0), 1.0);
+        assert_eq!(fov.ground_weight(0.1, 0.0), 0.0);
+    }
+
+    #[test]
+    fn ground_weight_matches_angular_weight() {
+        let fov = FieldOfView::from_half_angle_deg(40.0);
+        let h: f64 = 0.3;
+        let lateral: f64 = 0.1;
+        let phi = (lateral / h).atan();
+        assert!((fov.ground_weight(lateral, h) - fov.angular_weight(phi)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn solid_angle_increases_with_half_angle() {
+        let narrow = FieldOfView::from_half_angle_deg(10.0);
+        let wide = FieldOfView::from_half_angle_deg(50.0);
+        assert!(wide.effective_solid_angle() > narrow.effective_solid_angle());
+        // And is bounded by the hard-cone solid angle 2π(1−cos θ).
+        let hard = 2.0 * std::f64::consts::PI * (1.0 - 50f64.to_radians().cos());
+        assert!(wide.effective_solid_angle() <= hard + 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside")]
+    fn rejects_bad_half_angle() {
+        FieldOfView::from_half_angle_deg(95.0);
+    }
+
+    #[test]
+    fn higher_rolloff_flattens_less_in_tails() {
+        let soft = FieldOfView::from_half_angle_deg(30.0).with_rolloff(1.0);
+        let sharp = FieldOfView::from_half_angle_deg(30.0).with_rolloff(4.0);
+        let phi = 20f64.to_radians();
+        assert!(sharp.angular_weight(phi) < soft.angular_weight(phi));
+    }
+}

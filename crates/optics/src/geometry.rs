@@ -1,0 +1,232 @@
+//! Minimal 3-D vector geometry.
+//!
+//! The simulator's coordinate convention, used everywhere in the
+//! workspace:
+//!
+//! * `x` — the along-track axis: mobile objects (hand-moved tags, cars)
+//!   travel in +x under the receiver.
+//! * `y` — the cross-track (lateral) axis.
+//! * `z` — height above the ground plane (`z = 0` is the workplane /
+//!   tarmac; the paper's "height" parameters are `z` values).
+//!
+//! The receiver looks straight down (−z), as in the paper's Fig. 1 and
+//! Fig. 12 setups (photodiode above a passing object).
+
+use std::ops::{Add, Div, Mul, Neg, Sub};
+
+/// A 3-D vector / point with `f64` components, in metres.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Vec3 {
+    /// Along-track component (direction of motion), metres.
+    pub x: f64,
+    /// Cross-track component, metres.
+    pub y: f64,
+    /// Vertical component (height above ground), metres.
+    pub z: f64,
+}
+
+impl Vec3 {
+    /// The origin.
+    pub const ZERO: Vec3 = Vec3 { x: 0.0, y: 0.0, z: 0.0 };
+    /// Unit vector along +x (direction of travel).
+    pub const UNIT_X: Vec3 = Vec3 { x: 1.0, y: 0.0, z: 0.0 };
+    /// Unit vector along +y.
+    pub const UNIT_Y: Vec3 = Vec3 { x: 0.0, y: 1.0, z: 0.0 };
+    /// Unit vector along +z (up).
+    pub const UNIT_Z: Vec3 = Vec3 { x: 0.0, y: 0.0, z: 1.0 };
+
+    /// Creates a vector from components.
+    #[inline]
+    pub const fn new(x: f64, y: f64, z: f64) -> Self {
+        Vec3 { x, y, z }
+    }
+
+    /// A point on the ground plane (`z = 0`).
+    #[inline]
+    pub const fn ground(x: f64, y: f64) -> Self {
+        Vec3 { x, y, z: 0.0 }
+    }
+
+    /// Dot product.
+    #[inline]
+    pub fn dot(self, rhs: Vec3) -> f64 {
+        self.x * rhs.x + self.y * rhs.y + self.z * rhs.z
+    }
+
+    /// Cross product.
+    #[inline]
+    pub fn cross(self, rhs: Vec3) -> Vec3 {
+        Vec3 {
+            x: self.y * rhs.z - self.z * rhs.y,
+            y: self.z * rhs.x - self.x * rhs.z,
+            z: self.x * rhs.y - self.y * rhs.x,
+        }
+    }
+
+    /// Euclidean norm.
+    #[inline]
+    pub fn norm(self) -> f64 {
+        self.dot(self).sqrt()
+    }
+
+    /// Squared norm (cheaper when only comparing distances).
+    #[inline]
+    pub fn norm_sqr(self) -> f64 {
+        self.dot(self)
+    }
+
+    /// Distance to another point.
+    #[inline]
+    pub fn distance(self, other: Vec3) -> f64 {
+        (self - other).norm()
+    }
+
+    /// Unit vector in the same direction; `None` for the zero vector.
+    #[inline]
+    pub fn normalized(self) -> Option<Vec3> {
+        let n = self.norm();
+        if n > 0.0 {
+            Some(self / n)
+        } else {
+            None
+        }
+    }
+
+    /// Cosine of the angle between two vectors; 0 if either is zero.
+    #[inline]
+    pub fn cos_angle(self, other: Vec3) -> f64 {
+        let denom = self.norm() * other.norm();
+        if denom > 0.0 {
+            (self.dot(other) / denom).clamp(-1.0, 1.0)
+        } else {
+            0.0
+        }
+    }
+
+    /// Angle between two vectors in radians, in `[0, π]`.
+    #[inline]
+    pub fn angle_to(self, other: Vec3) -> f64 {
+        self.cos_angle(other).acos()
+    }
+
+    /// Mirror reflection of an *incoming* direction about a surface normal
+    /// `n` (both need not be unit length; the result is unit length, or
+    /// `None` for degenerate inputs). Used by the specular term of the
+    /// material model: an aluminium-tape strip reflects the source mostly
+    /// into the mirror direction.
+    pub fn reflect_about(self, n: Vec3) -> Option<Vec3> {
+        let d = self.normalized()?;
+        let n = n.normalized()?;
+        Some(d - n * (2.0 * d.dot(n)))
+    }
+}
+
+impl Add for Vec3 {
+    type Output = Vec3;
+    #[inline]
+    fn add(self, rhs: Vec3) -> Vec3 {
+        Vec3::new(self.x + rhs.x, self.y + rhs.y, self.z + rhs.z)
+    }
+}
+
+impl Sub for Vec3 {
+    type Output = Vec3;
+    #[inline]
+    fn sub(self, rhs: Vec3) -> Vec3 {
+        Vec3::new(self.x - rhs.x, self.y - rhs.y, self.z - rhs.z)
+    }
+}
+
+impl Mul<f64> for Vec3 {
+    type Output = Vec3;
+    #[inline]
+    fn mul(self, k: f64) -> Vec3 {
+        Vec3::new(self.x * k, self.y * k, self.z * k)
+    }
+}
+
+impl Div<f64> for Vec3 {
+    type Output = Vec3;
+    #[inline]
+    fn div(self, k: f64) -> Vec3 {
+        Vec3::new(self.x / k, self.y / k, self.z / k)
+    }
+}
+
+impl Neg for Vec3 {
+    type Output = Vec3;
+    #[inline]
+    fn neg(self) -> Vec3 {
+        Vec3::new(-self.x, -self.y, -self.z)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const EPS: f64 = 1e-12;
+
+    #[test]
+    fn arithmetic_is_componentwise() {
+        let a = Vec3::new(1.0, 2.0, 3.0);
+        let b = Vec3::new(4.0, -5.0, 6.0);
+        assert_eq!(a + b, Vec3::new(5.0, -3.0, 9.0));
+        assert_eq!(a - b, Vec3::new(-3.0, 7.0, -3.0));
+        assert_eq!(a * 2.0, Vec3::new(2.0, 4.0, 6.0));
+        assert_eq!(a / 2.0, Vec3::new(0.5, 1.0, 1.5));
+        assert_eq!(-a, Vec3::new(-1.0, -2.0, -3.0));
+    }
+
+    #[test]
+    fn dot_and_cross_of_unit_axes() {
+        assert_eq!(Vec3::UNIT_X.dot(Vec3::UNIT_Y), 0.0);
+        assert_eq!(Vec3::UNIT_X.cross(Vec3::UNIT_Y), Vec3::UNIT_Z);
+        assert_eq!(Vec3::UNIT_Y.cross(Vec3::UNIT_Z), Vec3::UNIT_X);
+    }
+
+    #[test]
+    fn norms_and_distance() {
+        let v = Vec3::new(3.0, 4.0, 0.0);
+        assert!((v.norm() - 5.0).abs() < EPS);
+        assert!((v.norm_sqr() - 25.0).abs() < EPS);
+        assert!((Vec3::ZERO.distance(v) - 5.0).abs() < EPS);
+    }
+
+    #[test]
+    fn normalized_has_unit_length() {
+        let v = Vec3::new(1.0, -2.0, 2.0).normalized().unwrap();
+        assert!((v.norm() - 1.0).abs() < EPS);
+        assert!(Vec3::ZERO.normalized().is_none());
+    }
+
+    #[test]
+    fn angles() {
+        assert!((Vec3::UNIT_X.angle_to(Vec3::UNIT_Y) - std::f64::consts::FRAC_PI_2).abs() < EPS);
+        assert!((Vec3::UNIT_X.cos_angle(Vec3::UNIT_X) - 1.0).abs() < EPS);
+        assert!((Vec3::UNIT_X.cos_angle(-Vec3::UNIT_X) + 1.0).abs() < EPS);
+        assert_eq!(Vec3::ZERO.cos_angle(Vec3::UNIT_X), 0.0);
+    }
+
+    #[test]
+    fn reflection_about_ground_normal() {
+        // Light coming down at 45° in the x–z plane reflects up at 45°.
+        let incoming = Vec3::new(1.0, 0.0, -1.0);
+        let reflected = incoming.reflect_about(Vec3::UNIT_Z).unwrap();
+        assert!((reflected.x - 1.0 / 2f64.sqrt()).abs() < EPS);
+        assert!((reflected.z - 1.0 / 2f64.sqrt()).abs() < EPS);
+        assert!(reflected.y.abs() < EPS);
+    }
+
+    #[test]
+    fn straight_down_reflects_straight_up() {
+        let r = (-Vec3::UNIT_Z).reflect_about(Vec3::UNIT_Z).unwrap();
+        assert!((r - Vec3::UNIT_Z).norm() < EPS);
+    }
+
+    #[test]
+    fn ground_constructor_sits_on_plane() {
+        let p = Vec3::ground(2.0, 3.0);
+        assert_eq!(p.z, 0.0);
+    }
+}

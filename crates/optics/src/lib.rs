@@ -1,0 +1,43 @@
+//! # palc-optics — photometric optics substrate
+//!
+//! The CoNEXT'16 paper's channel is optical end-to-end: an unmodulated
+//! ambient source illuminates the ground plane, a strip of reflective
+//! materials disturbs the reflected field, and a small-aperture receiver
+//! integrates whatever falls inside its field of view. This crate models
+//! that chain:
+//!
+//! * [`geometry`] — 3-D vectors and the receiver/emitter poses.
+//! * [`photometry`] — photometric quantities (lux, candela) and the
+//!   Lambertian point-source illuminance law used throughout VLC.
+//! * [`spectrum`] — coarse spectral power distributions (41 bins across
+//!   380–780 nm) for sources and spectral responses for receivers; the
+//!   overlap integral explains part of the RX-LED's low sensitivity
+//!   (Sec. 4.4: “narrow optical bandwidth”).
+//! * [`material`] — diffuse + specular reflectance models with presets for
+//!   the paper's materials: aluminium tape, black paper napkin, tarmac,
+//!   car paint, windshield glass.
+//! * [`source`] — light-source models: LED lamp (Lambertian point source),
+//!   fluorescent ceiling panel with 100 Hz rectified-mains ripple
+//!   (Fig. 7), and the sun with slow cloud drift (Sec. 5).
+//! * [`fov`] — the receiver's field-of-view kernel and ground footprint,
+//!   the quantity behind inter-symbol blur (Fig. 2(b)), the decodable
+//!   region (Fig. 6(a)) and the aperture-cap experiment (Fig. 16).
+//!
+//! Everything is deterministic: stochastic elements (cloud drift) are
+//! driven by explicit seeds so experiments reproduce bit-for-bit.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod fov;
+pub mod geometry;
+pub mod material;
+pub mod photometry;
+pub mod source;
+pub mod spectrum;
+
+pub use fov::FieldOfView;
+pub use geometry::Vec3;
+pub use material::Material;
+pub use source::{CeilingPanel, CompositeSource, LightSource, PointLamp, Sun};
+pub use spectrum::{SpectralResponse, Spectrum};

@@ -1,0 +1,230 @@
+//! Reflective materials.
+//!
+//! The paper encodes symbols with materials: *“Aluminum tape, which has a
+//! relatively high reflection coefficient and low diffused reflections (to
+//! represent the symbol HIGH); black paper napkins, which have a lower
+//! reflection coefficient and higher diffused reflections (to represent the
+//! symbol LOW)”* (Sec. 4). A material is therefore two numbers plus a lobe
+//! width: a diffuse (Lambertian) albedo and a specular albedo with a Phong
+//! exponent controlling how mirror-like the specular lobe is.
+//!
+//! Presets cover every surface the paper's experiments involve: the two
+//! symbol materials, the black-paper "tarmac" ground, and the car body
+//! segments (metal hood/roof/trunk vs. glass windshields) whose contrast
+//! produces the optical signatures of Figs. 13–14.
+
+/// A reflective surface model: `albedo = diffuse + specular` energy split.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Material {
+    /// Human-readable name (used by repro output and debugging).
+    pub name: &'static str,
+    /// Diffuse (Lambertian) albedo in `[0, 1]`.
+    pub diffuse: f64,
+    /// Specular albedo in `[0, 1]`; `diffuse + specular <= 1`.
+    pub specular: f64,
+    /// Phong exponent of the specular lobe: higher = more mirror-like.
+    pub gloss: f64,
+}
+
+impl Material {
+    /// Creates a material, clamping albedos into physical range and
+    /// rescaling if their sum exceeds 1 (no surface reflects more light
+    /// than it receives).
+    pub fn new(name: &'static str, diffuse: f64, specular: f64, gloss: f64) -> Self {
+        let d = diffuse.clamp(0.0, 1.0);
+        let s = specular.clamp(0.0, 1.0);
+        let sum = d + s;
+        let (d, s) = if sum > 1.0 { (d / sum, s / sum) } else { (d, s) };
+        Material { name, diffuse: d, specular: s, gloss: gloss.max(1.0) }
+    }
+
+    /// Total reflectance (fraction of incident light re-emitted).
+    #[inline]
+    pub fn total_reflectance(&self) -> f64 {
+        self.diffuse + self.specular
+    }
+
+    /// Effective reflectance towards a receiver given the cosine of the
+    /// angle between the mirror direction of the dominant source and the
+    /// patch→receiver direction (`cos_mirror`, in `[−1, 1]`).
+    ///
+    /// The diffuse part is direction-independent; the specular part is a
+    /// normalised Phong lobe `(g+1)/2 · cosᵍ` so that glossier materials
+    /// concentrate (not create) energy.
+    pub fn reflectance_towards(&self, cos_mirror: f64) -> f64 {
+        let spec = if self.specular > 0.0 && cos_mirror > 0.0 {
+            self.specular * (self.gloss + 1.0) / 2.0 * cos_mirror.powf(self.gloss)
+        } else {
+            0.0
+        };
+        self.diffuse + spec
+    }
+
+    // ----- Paper presets -------------------------------------------------
+
+    /// Aluminium tape — the HIGH symbol. Real foil tape is dominated by
+    /// its specular lobe (“strong reflection, low power loss”, and the
+    /// paper explicitly picks it for its *low diffused reflections*): a
+    /// small diffuse residue plus a tight mirror-like lobe.
+    pub fn aluminum_tape() -> Self {
+        Material::new("aluminum-tape", 0.08, 0.80, 140.0)
+    }
+
+    /// Black paper napkin — the LOW symbol: weak, fully diffuse.
+    pub fn black_napkin() -> Self {
+        Material::new("black-napkin", 0.06, 0.0, 1.0)
+    }
+
+    /// Black paper covering the workplane (“to resemble tarmac”).
+    pub fn black_paper() -> Self {
+        Material::new("black-paper", 0.05, 0.0, 1.0)
+    }
+
+    /// Real asphalt, slightly brighter than black paper.
+    pub fn tarmac() -> Self {
+        Material::new("tarmac", 0.12, 0.0, 1.0)
+    }
+
+    /// Painted car body metal (hood/roof/trunk): glossy and bright —
+    /// the peaks of Figs. 13–14.
+    pub fn car_paint() -> Self {
+        Material::new("car-paint", 0.35, 0.45, 12.0)
+    }
+
+    /// Windshield glass viewed from above: most light passes into the
+    /// cabin, little returns — the valleys of Figs. 13–14.
+    pub fn windshield_glass() -> Self {
+        Material::new("windshield", 0.04, 0.08, 40.0)
+    }
+
+    /// White printer paper (used in some indoor scenes).
+    pub fn white_paper() -> Self {
+        Material::new("white-paper", 0.75, 0.05, 2.0)
+    }
+
+    /// A front-surface mirror: the theoretical best HIGH symbol.
+    pub fn mirror() -> Self {
+        Material::new("mirror", 0.02, 0.95, 200.0)
+    }
+
+    /// Dark rough cloth: the theoretical best LOW symbol (“a dark and
+    /// rugged cloth — minimal reflection, high power loss, scattered in
+    /// all directions”, Sec. 2).
+    pub fn dark_cloth() -> Self {
+        Material::new("dark-cloth", 0.03, 0.0, 1.0)
+    }
+
+    /// Returns this material with its albedos scaled by `k` — the model
+    /// for dirt/dust films over a tag (Sec. 3, “channel distortions”).
+    pub fn soiled(&self, k: f64) -> Material {
+        let k = k.clamp(0.0, 1.0);
+        Material {
+            name: self.name,
+            diffuse: self.diffuse * k,
+            // Dirt kills gloss faster than it kills diffuse return: a dusty
+            // mirror scatters. Move the lost specular energy into diffuse.
+            specular: self.specular * k * k,
+            gloss: 1.0 + (self.gloss - 1.0) * k,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_are_physical() {
+        for m in [
+            Material::aluminum_tape(),
+            Material::black_napkin(),
+            Material::black_paper(),
+            Material::tarmac(),
+            Material::car_paint(),
+            Material::windshield_glass(),
+            Material::white_paper(),
+            Material::mirror(),
+            Material::dark_cloth(),
+        ] {
+            assert!(m.diffuse >= 0.0 && m.specular >= 0.0, "{m:?}");
+            assert!(m.total_reflectance() <= 1.0 + 1e-12, "{m:?}");
+            assert!(m.gloss >= 1.0);
+        }
+    }
+
+    #[test]
+    fn high_symbol_outshines_low_symbol() {
+        // The fundamental premise of the coding scheme, in both regimes:
+        // under diffuse sky light (total reflectance) and near the mirror
+        // direction of a discrete source (Phong lobe).
+        let hi = Material::aluminum_tape();
+        let lo = Material::black_napkin();
+        assert!(hi.total_reflectance() > 5.0 * lo.total_reflectance());
+        // The foil lobe is mirror-tight (gloss 140 ⇒ ~half-power within
+        // ~5-6° of the mirror direction).
+        for cos in [0.998, 0.999, 1.0] {
+            assert!(
+                hi.reflectance_towards(cos) > 10.0 * lo.reflectance_towards(cos),
+                "contrast too low at cos {cos}"
+            );
+        }
+        // Even far off the lobe the HIGH symbol is never dimmer.
+        assert!(hi.reflectance_towards(0.0) >= lo.reflectance_towards(0.0));
+    }
+
+    #[test]
+    fn specular_lobe_concentrates_along_mirror_direction() {
+        let m = Material::aluminum_tape();
+        assert!(m.reflectance_towards(1.0) > m.reflectance_towards(0.999));
+        assert!(m.reflectance_towards(0.999) > m.reflectance_towards(0.99));
+        // Far off the lobe only the diffuse residue remains.
+        assert!((m.reflectance_towards(0.5) - m.diffuse) < 1e-6);
+    }
+
+    #[test]
+    fn diffuse_material_is_direction_independent() {
+        let m = Material::black_napkin();
+        assert_eq!(m.reflectance_towards(1.0), m.reflectance_towards(0.0));
+    }
+
+    #[test]
+    fn car_paint_vs_glass_contrast_drives_signatures() {
+        // Looking straight down with the sun overhead: metal returns far
+        // more than windshield glass -> the peaks/valleys of Fig. 13.
+        let paint = Material::car_paint();
+        let glass = Material::windshield_glass();
+        assert!(paint.reflectance_towards(0.9) > 4.0 * glass.reflectance_towards(0.9));
+    }
+
+    #[test]
+    fn overbright_input_is_rescaled() {
+        let m = Material::new("bogus", 0.9, 0.9, 5.0);
+        assert!((m.total_reflectance() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn soiling_reduces_contrast() {
+        let hi = Material::aluminum_tape();
+        let dirty = hi.soiled(0.4);
+        assert!(dirty.total_reflectance() < hi.total_reflectance());
+        assert!(dirty.gloss < hi.gloss);
+        // Fully soiled -> negligible specular.
+        let caked = hi.soiled(0.0);
+        assert_eq!(caked.specular, 0.0);
+    }
+
+    #[test]
+    fn phong_lobe_is_energy_normalised() {
+        // Integrating (g+1)/2·cosᵍ over the hemisphere solid angle with
+        // cos-weighting approximately conserves the specular albedo; here
+        // we just check it doesn't exceed a generous bound on-axis.
+        let m = Material::mirror();
+        assert!(m.reflectance_towards(1.0) <= m.diffuse + m.specular * (m.gloss + 1.0) / 2.0);
+    }
+
+    #[test]
+    fn negative_cos_contributes_nothing_specular() {
+        let m = Material::aluminum_tape();
+        assert_eq!(m.reflectance_towards(-0.5), m.diffuse);
+    }
+}

@@ -1,0 +1,192 @@
+//! Photometric quantities and laws.
+//!
+//! The paper works entirely in photometric units: the receiver's "noise
+//! floor" is quoted in lux (450, 1200, 5000, 35 000 lux in Fig. 11; 100 /
+//! 450 / 3700 / 5500 / 6200 lux in the outdoor experiments). This module
+//! provides the illuminance laws used by the source models, plus named
+//! constants for the ambient conditions the paper mentions so the repro
+//! harness reads like the paper.
+
+use crate::geometry::Vec3;
+
+/// Typical ambient illuminance levels (lux). The named values are the ones
+/// the paper's experiments quote.
+pub mod ambient {
+    /// Dark office with blinds closed and lights off (Sec. 4.1 setup).
+    pub const DARK_ROOM_LUX: f64 = 2.0;
+    /// Poorly lit outdoor scene, late afternoon under heavy clouds
+    /// (Fig. 15(b), Fig. 16): the paper's 100 lux condition.
+    pub const DIM_OUTDOOR_LUX: f64 = 100.0;
+    /// Medium illuminated room (the saturation point of the PD at G1 in
+    /// Fig. 11 "maps roughly to a medium illuminated room").
+    pub const MEDIUM_ROOM_LUX: f64 = 450.0;
+    /// Cloudy day, late afternoon (Fig. 17(b)).
+    pub const CLOUDY_AFTERNOON_LUX: f64 = 3700.0;
+    /// Cloudy day variant used in Fig. 17(c).
+    pub const CLOUDY_BRIGHT_LUX: f64 = 5500.0;
+    /// Cloudy day at noon (Fig. 17(a)).
+    pub const CLOUDY_NOON_LUX: f64 = 6200.0;
+    /// Clear daylight, which "can easily go above 10 klux" (Sec. 4.4).
+    pub const DAYLIGHT_LUX: f64 = 15_000.0;
+    /// Direct summer sun, the upper end the RX-LED must survive.
+    pub const FULL_SUN_LUX: f64 = 60_000.0;
+}
+
+/// Illuminance (lux) at `target` produced by a Lambertian point source of
+/// luminous intensity `intensity_cd` (candela on-axis) located at `source`,
+/// emitting downward (−z) with Lambertian mode number `m`.
+///
+/// This is the standard VLC link model: the emitter radiates
+/// `I(φ) = I₀·cosᵐ(φ)` around its −z axis, and the receiving surface is
+/// horizontal (normal +z), so the received illuminance is
+/// `E = I₀ · cosᵐ(φ) · cos(θ_inc) / d²` with `φ = θ_inc` for a
+/// down-pointing source above a horizontal plane.
+///
+/// Returns 0 when the target is not below the source's emitting hemisphere.
+pub fn lambertian_illuminance(source: Vec3, intensity_cd: f64, m: f64, target: Vec3) -> f64 {
+    let to_target = target - source;
+    let d2 = to_target.norm_sqr();
+    if d2 <= 0.0 {
+        return 0.0;
+    }
+    let d = d2.sqrt();
+    // Angle off the source's -z axis.
+    let cos_phi = (-to_target.z) / d;
+    if cos_phi <= 0.0 {
+        return 0.0; // target above the source plane
+    }
+    // Incidence on a horizontal surface equals phi for a down-pointing
+    // source over a horizontal plane.
+    let cos_theta = cos_phi;
+    intensity_cd * cos_phi.powf(m) * cos_theta / d2
+}
+
+/// Converts a Lambertian half-power semi-angle (degrees) to the mode
+/// number `m` used in [`lambertian_illuminance`]:
+/// `m = −ln 2 / ln(cos θ_half)`.
+pub fn lambertian_order_from_half_angle(half_angle_deg: f64) -> f64 {
+    let half = half_angle_deg.to_radians();
+    let c = half.cos();
+    assert!(c > 0.0 && c < 1.0, "half-power angle must be in (0°, 90°)");
+    -(2f64.ln()) / c.ln()
+}
+
+/// Luminous exitance (lm/m²) of an ideal diffuse (Lambertian) reflector of
+/// albedo `rho` under illuminance `e_lux`; its luminance is `M/π`.
+#[inline]
+pub fn diffuse_exitance(e_lux: f64, rho: f64) -> f64 {
+    e_lux * rho
+}
+
+/// Illuminance contributed at a receiver by a small diffusely reflecting
+/// patch.
+///
+/// The patch (area `patch_area` m², albedo folded into `exitance`) behaves
+/// as a Lambertian secondary source of luminance `L = exitance / π`; a
+/// receiver at distance `d` whose line of sight makes `cos_out` with the
+/// patch normal and `cos_in` with its own optical axis receives
+/// `E = L · A · cos_out · cos_in / d²`.
+#[inline]
+pub fn patch_illuminance_at_receiver(
+    exitance: f64,
+    patch_area: f64,
+    cos_out: f64,
+    cos_in: f64,
+    distance: f64,
+) -> f64 {
+    if distance <= 0.0 || cos_out <= 0.0 || cos_in <= 0.0 {
+        return 0.0;
+    }
+    (exitance / std::f64::consts::PI) * patch_area * cos_out * cos_in / (distance * distance)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn on_axis_follows_inverse_square() {
+        let src = Vec3::new(0.0, 0.0, 1.0);
+        let e1 = lambertian_illuminance(src, 100.0, 1.0, Vec3::ZERO);
+        let src2 = Vec3::new(0.0, 0.0, 2.0);
+        let e2 = lambertian_illuminance(src2, 100.0, 1.0, Vec3::ZERO);
+        assert!((e1 / e2 - 4.0).abs() < 1e-9, "ratio {}", e1 / e2);
+    }
+
+    #[test]
+    fn on_axis_value_is_intensity_over_d2() {
+        let e = lambertian_illuminance(Vec3::new(0.0, 0.0, 2.0), 80.0, 1.5, Vec3::ZERO);
+        assert!((e - 80.0 / 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn off_axis_is_dimmer() {
+        let src = Vec3::new(0.0, 0.0, 1.0);
+        let on = lambertian_illuminance(src, 100.0, 1.0, Vec3::ZERO);
+        let off = lambertian_illuminance(src, 100.0, 1.0, Vec3::ground(0.5, 0.0));
+        assert!(off < on);
+        assert!(off > 0.0);
+    }
+
+    #[test]
+    fn higher_mode_is_more_directional() {
+        let src = Vec3::new(0.0, 0.0, 1.0);
+        let target = Vec3::ground(0.7, 0.0);
+        let wide = lambertian_illuminance(src, 100.0, 1.0, target);
+        let narrow = lambertian_illuminance(src, 100.0, 20.0, target);
+        assert!(narrow < wide);
+    }
+
+    #[test]
+    fn target_above_source_receives_nothing() {
+        let src = Vec3::new(0.0, 0.0, 1.0);
+        assert_eq!(lambertian_illuminance(src, 100.0, 1.0, Vec3::new(0.0, 0.0, 2.0)), 0.0);
+        assert_eq!(lambertian_illuminance(src, 100.0, 1.0, src), 0.0);
+    }
+
+    #[test]
+    fn half_angle_60_gives_m_1() {
+        // The textbook identity: 60° half-power angle ⇔ m = 1.
+        let m = lambertian_order_from_half_angle(60.0);
+        assert!((m - 1.0).abs() < 1e-9, "m = {m}");
+    }
+
+    #[test]
+    fn narrower_half_angle_gives_larger_m() {
+        assert!(
+            lambertian_order_from_half_angle(10.0) > lambertian_order_from_half_angle(45.0)
+        );
+    }
+
+    #[test]
+    fn patch_contribution_scales_linearly_with_area_and_exitance() {
+        let base = patch_illuminance_at_receiver(100.0, 0.01, 1.0, 1.0, 0.5);
+        assert!(base > 0.0);
+        assert!(
+            (patch_illuminance_at_receiver(200.0, 0.01, 1.0, 1.0, 0.5) - 2.0 * base).abs()
+                < 1e-12
+        );
+        assert!(
+            (patch_illuminance_at_receiver(100.0, 0.02, 1.0, 1.0, 0.5) - 2.0 * base).abs()
+                < 1e-12
+        );
+    }
+
+    #[test]
+    fn patch_contribution_zero_for_backfacing_or_degenerate() {
+        assert_eq!(patch_illuminance_at_receiver(10.0, 0.1, -0.5, 1.0, 1.0), 0.0);
+        assert_eq!(patch_illuminance_at_receiver(10.0, 0.1, 1.0, 0.0, 1.0), 0.0);
+        assert_eq!(patch_illuminance_at_receiver(10.0, 0.1, 1.0, 1.0, 0.0), 0.0);
+    }
+
+    #[test]
+    fn ambient_constants_are_ordered() {
+        use ambient::*;
+        assert!(DARK_ROOM_LUX < DIM_OUTDOOR_LUX);
+        assert!(DIM_OUTDOOR_LUX < MEDIUM_ROOM_LUX);
+        assert!(MEDIUM_ROOM_LUX < CLOUDY_AFTERNOON_LUX);
+        assert!(CLOUDY_AFTERNOON_LUX < CLOUDY_NOON_LUX);
+        assert!(CLOUDY_NOON_LUX < DAYLIGHT_LUX);
+        assert!(DAYLIGHT_LUX < FULL_SUN_LUX);
+    }
+}

@@ -1,0 +1,317 @@
+//! Coarse spectral power distributions and receiver spectral responses.
+//!
+//! Section 4.4 of the paper attributes the RX-LED's low sensitivity to two
+//! properties, one of them its **narrow optical bandwidth**: an LED used in
+//! photovoltaic mode only responds to wavelengths at or slightly below its
+//! own emission band, while a silicon photodiode responds across (and
+//! beyond) the whole visible range. To model that, sources carry a
+//! spectral power distribution (SPD) and receivers a spectral response;
+//! their normalised overlap scales the receiver's effective sensitivity.
+//!
+//! We sample 380–780 nm in 41 bins of 10 nm — coarse, but the only quantity
+//! consumed downstream is the scalar overlap integral, which is insensitive
+//! to finer sampling.
+
+/// Number of spectral bins.
+pub const BINS: usize = 41;
+/// Wavelength of bin 0, nm.
+pub const LAMBDA_MIN_NM: f64 = 380.0;
+/// Bin width, nm.
+pub const LAMBDA_STEP_NM: f64 = 10.0;
+
+/// Wavelength at the centre of bin `i`.
+#[inline]
+pub fn wavelength_of_bin(i: usize) -> f64 {
+    LAMBDA_MIN_NM + i as f64 * LAMBDA_STEP_NM
+}
+
+/// A relative spectral power distribution over 380–780 nm.
+///
+/// Values are non-negative and normalised so the distribution sums to 1;
+/// only the *shape* matters (absolute level lives in the photometric
+/// domain, as lux).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Spectrum {
+    bins: [f64; BINS],
+}
+
+impl Spectrum {
+    /// Builds a spectrum from raw bin weights, normalising to unit sum.
+    /// All-zero input yields a flat spectrum.
+    pub fn from_bins(raw: [f64; BINS]) -> Self {
+        let mut bins = raw;
+        for b in &mut bins {
+            *b = b.max(0.0);
+        }
+        let sum: f64 = bins.iter().sum();
+        if sum <= 0.0 {
+            return Self::flat();
+        }
+        for b in &mut bins {
+            *b /= sum;
+        }
+        Spectrum { bins }
+    }
+
+    /// Uniform (flat) spectrum.
+    pub fn flat() -> Self {
+        Spectrum { bins: [1.0 / BINS as f64; BINS] }
+    }
+
+    /// Gaussian line centred at `center_nm` with standard deviation
+    /// `sigma_nm`.
+    pub fn gaussian(center_nm: f64, sigma_nm: f64) -> Self {
+        let mut raw = [0.0; BINS];
+        for (i, r) in raw.iter_mut().enumerate() {
+            let d = (wavelength_of_bin(i) - center_nm) / sigma_nm;
+            *r = (-0.5 * d * d).exp();
+        }
+        Spectrum::from_bins(raw)
+    }
+
+    /// Blackbody (Planck) spectrum at temperature `t_kelvin`, restricted to
+    /// the visible band. Used for the sun (~5778 K) and incandescent
+    /// lamps (~2700 K).
+    pub fn blackbody(t_kelvin: f64) -> Self {
+        assert!(t_kelvin > 0.0);
+        // Planck's law, relative units: B(λ) ∝ 1/λ⁵ · 1/(e^{hc/λkT} − 1).
+        const HC_OVER_K: f64 = 1.438_776_9e-2; // m·K
+        let mut raw = [0.0; BINS];
+        for (i, r) in raw.iter_mut().enumerate() {
+            let lambda_m = wavelength_of_bin(i) * 1e-9;
+            let x = HC_OVER_K / (lambda_m * t_kelvin);
+            *r = 1.0 / (lambda_m.powi(5) * (x.exp() - 1.0));
+        }
+        Spectrum::from_bins(raw)
+    }
+
+    /// A phosphor-converted white LED: narrow blue pump at 450 nm plus a
+    /// broad yellow phosphor hump at ~560 nm. This is the spectrum of the
+    /// paper's LED lamp emitter.
+    pub fn white_led() -> Self {
+        let blue = Spectrum::gaussian(450.0, 12.0);
+        let phosphor = Spectrum::gaussian(560.0, 60.0);
+        blue.mix(&phosphor, 0.30)
+    }
+
+    /// A tri-phosphor fluorescent tube: mercury lines at 436/546/611 nm.
+    /// This is the paper's office ceiling light.
+    pub fn fluorescent() -> Self {
+        let mut raw = [0.0; BINS];
+        for (center, weight, sigma) in
+            [(436.0, 0.8, 8.0), (546.0, 1.0, 8.0), (611.0, 0.9, 10.0)]
+        {
+            for (i, r) in raw.iter_mut().enumerate() {
+                let d: f64 = (wavelength_of_bin(i) - center) / sigma;
+                *r += weight * (-0.5 * d * d).exp();
+            }
+        }
+        Spectrum::from_bins(raw)
+    }
+
+    /// Daylight: blackbody at 5778 K (a good visible-band approximation of
+    /// the solar spectrum at ground level for our purposes).
+    pub fn daylight() -> Self {
+        Spectrum::blackbody(5778.0)
+    }
+
+    /// Incandescent bulb at 2700 K.
+    pub fn incandescent() -> Self {
+        Spectrum::blackbody(2700.0)
+    }
+
+    /// Linear mix: `(1 − w)·self + w·other`, renormalised.
+    pub fn mix(&self, other: &Spectrum, w: f64) -> Spectrum {
+        let w = w.clamp(0.0, 1.0);
+        let mut raw = [0.0; BINS];
+        for i in 0..BINS {
+            raw[i] = (1.0 - w) * self.bins[i] + w * other.bins[i];
+        }
+        Spectrum::from_bins(raw)
+    }
+
+    /// Bin weights (sum to 1).
+    pub fn bins(&self) -> &[f64; BINS] {
+        &self.bins
+    }
+
+    /// Wavelength of the strongest bin, nm.
+    pub fn peak_wavelength(&self) -> f64 {
+        let (i, _) = self
+            .bins
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.total_cmp(b.1))
+            .expect("spectrum has bins");
+        wavelength_of_bin(i)
+    }
+}
+
+/// A receiver's relative spectral response: per-bin quantum efficiency in
+/// `[0, 1]`, *not* normalised (a broader detector really does collect more
+/// of a broadband source).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpectralResponse {
+    bins: [f64; BINS],
+}
+
+impl SpectralResponse {
+    /// Builds a response from raw per-bin efficiencies, clamped to `[0,1]`.
+    pub fn from_bins(raw: [f64; BINS]) -> Self {
+        let mut bins = raw;
+        for b in &mut bins {
+            *b = b.clamp(0.0, 1.0);
+        }
+        SpectralResponse { bins }
+    }
+
+    /// Ideal detector: unit response everywhere.
+    pub fn ideal() -> Self {
+        SpectralResponse { bins: [1.0; BINS] }
+    }
+
+    /// Silicon photodiode (OPT101-like): response rising from ~0.45 at
+    /// 380 nm towards a plateau near the red end of the visible band
+    /// (silicon peaks around 850–950 nm, beyond our band).
+    pub fn silicon_photodiode() -> Self {
+        let mut raw = [0.0; BINS];
+        for (i, r) in raw.iter_mut().enumerate() {
+            let lambda = wavelength_of_bin(i);
+            *r = (0.45 + 0.55 * (lambda - 380.0) / 400.0).clamp(0.0, 1.0);
+        }
+        SpectralResponse::from_bins(raw)
+    }
+
+    /// A red LED operated as a photodetector: LEDs detect only wavelengths
+    /// at or below their emission band, so the response is a narrow band
+    /// just blue of 630 nm. This is the “narrow optical bandwidth” of
+    /// Sec. 4.4.
+    pub fn red_led_detector() -> Self {
+        let mut raw = [0.0; BINS];
+        for (i, r) in raw.iter_mut().enumerate() {
+            let lambda = wavelength_of_bin(i);
+            let d = (lambda - 600.0) / 20.0;
+            let band = (-0.5 * d * d).exp();
+            // Hard cutoff above the emission wavelength: photons with less
+            // energy than the bandgap are not absorbed.
+            *r = if lambda > 640.0 { 0.0 } else { band };
+        }
+        SpectralResponse::from_bins(raw)
+    }
+
+    /// Per-bin efficiencies.
+    pub fn bins(&self) -> &[f64; BINS] {
+        &self.bins
+    }
+
+    /// Effective collection efficiency for a source spectrum: `Σ SPD·R`,
+    /// in `[0, 1]`. An ideal detector returns 1 for any source.
+    pub fn overlap(&self, spd: &Spectrum) -> f64 {
+        self.bins.iter().zip(spd.bins().iter()).map(|(r, s)| r * s).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spectra_are_normalised() {
+        for s in [
+            Spectrum::flat(),
+            Spectrum::white_led(),
+            Spectrum::fluorescent(),
+            Spectrum::daylight(),
+            Spectrum::incandescent(),
+            Spectrum::gaussian(550.0, 30.0),
+        ] {
+            let sum: f64 = s.bins().iter().sum();
+            assert!((sum - 1.0).abs() < 1e-9, "sum = {sum}");
+            assert!(s.bins().iter().all(|&b| b >= 0.0));
+        }
+    }
+
+    #[test]
+    fn blackbody_peak_shifts_blue_with_temperature() {
+        // Wien displacement within the visible window: hotter -> bluer.
+        let hot = Spectrum::blackbody(8000.0);
+        let cold = Spectrum::blackbody(2700.0);
+        assert!(hot.peak_wavelength() < cold.peak_wavelength());
+    }
+
+    #[test]
+    fn incandescent_is_red_heavy() {
+        let s = Spectrum::incandescent();
+        let red: f64 = (30..BINS).map(|i| s.bins()[i]).sum();
+        let blue: f64 = (0..10).map(|i| s.bins()[i]).sum();
+        assert!(red > 3.0 * blue, "red {red} vs blue {blue}");
+    }
+
+    #[test]
+    fn white_led_has_blue_pump_and_phosphor_hump() {
+        let s = Spectrum::white_led();
+        let b450 = s.bins()[((450.0 - LAMBDA_MIN_NM) / LAMBDA_STEP_NM) as usize];
+        let b500 = s.bins()[((500.0 - LAMBDA_MIN_NM) / LAMBDA_STEP_NM) as usize];
+        let b560 = s.bins()[((560.0 - LAMBDA_MIN_NM) / LAMBDA_STEP_NM) as usize];
+        // Local dip between the pump and the phosphor.
+        assert!(b450 > b500, "pump {b450} dip {b500}");
+        assert!(b560 > b500, "phosphor {b560} dip {b500}");
+    }
+
+    #[test]
+    fn ideal_detector_has_unit_overlap() {
+        let r = SpectralResponse::ideal();
+        for s in [Spectrum::white_led(), Spectrum::daylight(), Spectrum::fluorescent()] {
+            assert!((r.overlap(&s) - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn led_detector_is_much_narrower_than_photodiode() {
+        // The Sec. 4.4 asymmetry: for any of the paper's sources, the
+        // silicon PD collects several times more than the red RX-LED.
+        let pd = SpectralResponse::silicon_photodiode();
+        let led = SpectralResponse::red_led_detector();
+        for s in [Spectrum::white_led(), Spectrum::daylight(), Spectrum::fluorescent()] {
+            let r_pd = pd.overlap(&s);
+            let r_led = led.overlap(&s);
+            // ≥2× spectrally; the rest of the paper's 1 : 0.013 sensitivity
+            // gap comes from aperture area and gain, modelled in the
+            // frontend crate.
+            assert!(
+                r_pd > 2.0 * r_led,
+                "pd {r_pd} vs led {r_led} for peak {} nm",
+                s.peak_wavelength()
+            );
+        }
+    }
+
+    #[test]
+    fn led_detector_rejects_longer_wavelengths() {
+        let led = SpectralResponse::red_led_detector();
+        let deep_red = Spectrum::gaussian(720.0, 10.0);
+        assert!(led.overlap(&deep_red) < 0.01);
+    }
+
+    #[test]
+    fn mix_is_convex() {
+        let a = Spectrum::gaussian(450.0, 10.0);
+        let b = Spectrum::gaussian(650.0, 10.0);
+        let m = a.mix(&b, 0.5);
+        let sum: f64 = m.bins().iter().sum();
+        assert!((sum - 1.0).abs() < 1e-9);
+        assert!(m.bins()[7] > 0.0 && m.bins()[27] > 0.0);
+    }
+
+    #[test]
+    fn degenerate_spectrum_falls_back_to_flat() {
+        let s = Spectrum::from_bins([0.0; BINS]);
+        assert_eq!(s, Spectrum::flat());
+    }
+
+    #[test]
+    fn bin_wavelengths_cover_visible_band() {
+        assert_eq!(wavelength_of_bin(0), 380.0);
+        assert_eq!(wavelength_of_bin(BINS - 1), 780.0);
+    }
+}

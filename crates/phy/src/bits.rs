@@ -1,0 +1,168 @@
+//! A small bit-vector with the conversions the workspace needs.
+//!
+//! Payloads in the paper are tiny — the evaluation uses 2-bit codes
+//! (`'00'`, `'10'`) — but applications like the food-truck id of Fig. 1
+//! want a few bytes. `Bits` keeps the representation explicit
+//! (MSB-first) and provides text / integer round-trips used by examples
+//! and the repro harness.
+
+use std::fmt;
+
+/// An ordered sequence of bits, most significant first.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub struct Bits(Vec<bool>);
+
+impl Bits {
+    /// Empty bit string.
+    pub fn new() -> Self {
+        Bits(Vec::new())
+    }
+
+    /// From a bool slice.
+    pub fn from_bools(bits: &[bool]) -> Self {
+        Bits(bits.to_vec())
+    }
+
+    /// Parses a string of `0`/`1` characters (other characters rejected).
+    pub fn parse(s: &str) -> Option<Self> {
+        s.chars()
+            .map(|c| match c {
+                '0' => Some(false),
+                '1' => Some(true),
+                _ => None,
+            })
+            .collect::<Option<Vec<bool>>>()
+            .map(Bits)
+    }
+
+    /// The low `n` bits of `value`, MSB first. Panics if `n > 64`.
+    pub fn from_u64(value: u64, n: usize) -> Self {
+        assert!(n <= 64, "at most 64 bits");
+        Bits((0..n).rev().map(|i| (value >> i) & 1 == 1).collect())
+    }
+
+    /// Interprets the bits as an MSB-first unsigned integer. Panics if
+    /// longer than 64 bits.
+    pub fn to_u64(&self) -> u64 {
+        assert!(self.0.len() <= 64, "at most 64 bits");
+        self.0.iter().fold(0, |acc, &b| (acc << 1) | b as u64)
+    }
+
+    /// From bytes, each expanded MSB-first.
+    pub fn from_bytes(bytes: &[u8]) -> Self {
+        Bits(
+            bytes
+                .iter()
+                .flat_map(|&b| (0..8).rev().map(move |i| (b >> i) & 1 == 1))
+                .collect(),
+        )
+    }
+
+    /// Number of bits.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// True if there are no bits.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// Immutable view of the underlying bools.
+    pub fn as_slice(&self) -> &[bool] {
+        &self.0
+    }
+
+    /// Iterates over the bits.
+    pub fn iter(&self) -> impl Iterator<Item = bool> + '_ {
+        self.0.iter().copied()
+    }
+
+    /// Appends a bit.
+    pub fn push(&mut self, bit: bool) {
+        self.0.push(bit);
+    }
+
+    /// Hamming distance to another bit string of the *same length*.
+    /// Panics on length mismatch — comparing codes of different lengths
+    /// is a logic error in codebook construction.
+    pub fn hamming_distance(&self, other: &Bits) -> usize {
+        assert_eq!(self.len(), other.len(), "hamming distance needs equal lengths");
+        self.0.iter().zip(&other.0).filter(|(a, b)| a != b).count()
+    }
+}
+
+impl fmt::Display for Bits {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for &b in &self.0 {
+            write!(f, "{}", if b { '1' } else { '0' })?;
+        }
+        Ok(())
+    }
+}
+
+impl FromIterator<bool> for Bits {
+    fn from_iter<T: IntoIterator<Item = bool>>(iter: T) -> Self {
+        Bits(iter.into_iter().collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_and_display_roundtrip() {
+        let b = Bits::parse("10110").unwrap();
+        assert_eq!(b.len(), 5);
+        assert_eq!(b.to_string(), "10110");
+        assert!(Bits::parse("10a").is_none());
+        assert_eq!(Bits::parse("").unwrap(), Bits::new());
+    }
+
+    #[test]
+    fn u64_roundtrip_msb_first() {
+        let b = Bits::from_u64(0b1011, 4);
+        assert_eq!(b.to_string(), "1011");
+        assert_eq!(b.to_u64(), 0b1011);
+        // Leading zeros preserved by width.
+        let b = Bits::from_u64(1, 4);
+        assert_eq!(b.to_string(), "0001");
+    }
+
+    #[test]
+    fn bytes_expand_msb_first() {
+        let b = Bits::from_bytes(&[0b1000_0001]);
+        assert_eq!(b.to_string(), "10000001");
+        assert_eq!(b.len(), 8);
+    }
+
+    #[test]
+    fn hamming_distance_counts_differences() {
+        let a = Bits::parse("1010").unwrap();
+        let b = Bits::parse("1001").unwrap();
+        assert_eq!(a.hamming_distance(&b), 2);
+        assert_eq!(a.hamming_distance(&a), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal lengths")]
+    fn hamming_distance_rejects_length_mismatch() {
+        Bits::parse("10").unwrap().hamming_distance(&Bits::parse("100").unwrap());
+    }
+
+    #[test]
+    fn push_and_iter() {
+        let mut b = Bits::new();
+        b.push(true);
+        b.push(false);
+        assert_eq!(b.iter().collect::<Vec<_>>(), vec![true, false]);
+        assert!(!b.is_empty());
+    }
+
+    #[test]
+    fn from_iterator() {
+        let b: Bits = [true, true, false].into_iter().collect();
+        assert_eq!(b.to_string(), "110");
+    }
+}

@@ -1,0 +1,248 @@
+//! Codebook design for the classification fallback.
+//!
+//! When the channel distorts signals beyond symbol-level decoding, the
+//! paper switches to waveform classification against clean templates
+//! (Sec. 4.2), and notes: *“Clearly, in this case we will not be able to
+//! use 2^N codes. We will be constrained to use far less codes making sure
+//! that their inter-Hamming distances are maximized to have codes that are
+//! as different as possible from each other.”*
+//!
+//! [`Codebook::max_min_hamming`] implements that selection with the
+//! classic *lexicode* construction: for a candidate distance `d`, scan all
+//! words in lexicographic order and keep every word at distance `>= d`
+//! from all kept words; binary-search the largest `d` that yields enough
+//! codes. Lexicodes reproduce many optimal codes (repetition, parity,
+//! Hamming) at the tiny block lengths this channel supports, and the
+//! construction is fully deterministic.
+
+use crate::bits::Bits;
+
+/// A set of equal-length codes with a guaranteed minimum pairwise Hamming
+/// distance.
+///
+/// ```
+/// use palc_phy::{Bits, Codebook};
+///
+/// // Four 4-bit codes for four object classes, as far apart as possible.
+/// let book = Codebook::max_min_hamming(4, 4);
+/// assert!(book.min_distance() >= 2);
+///
+/// // Nearest-code decoding tolerates ⌊(d_min−1)/2⌋ bit flips.
+/// let noisy = Bits::parse("0001").unwrap();
+/// let (class, distance) = book.nearest(&noisy);
+/// assert!(distance <= 1);
+/// let _ = class;
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Codebook {
+    codes: Vec<Bits>,
+    bits_per_code: usize,
+}
+
+impl Codebook {
+    /// Builds a codebook of `count` codes of `n_bits` bits each with the
+    /// largest minimum pairwise Hamming distance the lexicode construction
+    /// achieves.
+    ///
+    /// Panics if `count` exceeds `2^n_bits` or `n_bits > 20` (the channel
+    /// physically cannot carry long codes; 20 bits is already a 4.8 m strip
+    /// at 10 cm symbols).
+    pub fn max_min_hamming(count: usize, n_bits: usize) -> Self {
+        assert!(n_bits <= 20, "codes longer than 20 bits are not physical for this channel");
+        assert!(n_bits > 0, "codes need at least one bit");
+        assert!(count > 0, "codebook needs at least one code");
+        let space = 1u64 << n_bits;
+        assert!(
+            count as u64 <= space,
+            "cannot pick {count} distinct codes from {space}"
+        );
+
+        // Largest d whose lexicode contains at least `count` words.
+        // d = n_bits always admits 2 words (all-zeros / all-ones); d = 1
+        // admits the whole space, so a solution always exists.
+        let mut best = Vec::new();
+        for d in (1..=n_bits as u32).rev() {
+            if let Some(words) = Self::lexicode(space, d, count) {
+                best = words;
+                break;
+            }
+        }
+        Codebook {
+            codes: best.into_iter().map(|w| Bits::from_u64(w, n_bits)).collect(),
+            bits_per_code: n_bits,
+        }
+    }
+
+    /// First-fit lexicographic scan: keep every word at distance >= `d`
+    /// from all kept words; stop as soon as `count` words are found.
+    fn lexicode(space: u64, d: u32, count: usize) -> Option<Vec<u64>> {
+        let mut chosen: Vec<u64> = Vec::with_capacity(count);
+        for w in 0..space {
+            if chosen.iter().all(|&c| (c ^ w).count_ones() >= d) {
+                chosen.push(w);
+                if chosen.len() == count {
+                    return Some(chosen);
+                }
+            }
+        }
+        None
+    }
+
+    /// Builds a codebook from explicit codes, verifying equal lengths and
+    /// uniqueness.
+    pub fn from_codes(codes: Vec<Bits>) -> Self {
+        assert!(!codes.is_empty(), "empty codebook");
+        let n = codes[0].len();
+        assert!(codes.iter().all(|c| c.len() == n), "codes must share a length");
+        for (i, a) in codes.iter().enumerate() {
+            for b in &codes[i + 1..] {
+                assert_ne!(a, b, "duplicate code {a}");
+            }
+        }
+        Codebook { codes, bits_per_code: n }
+    }
+
+    /// The codes, in construction order.
+    pub fn codes(&self) -> &[Bits] {
+        &self.codes
+    }
+
+    /// Number of codes.
+    pub fn len(&self) -> usize {
+        self.codes.len()
+    }
+
+    /// True if the codebook holds no codes (never, by construction).
+    pub fn is_empty(&self) -> bool {
+        self.codes.is_empty()
+    }
+
+    /// Bits per code.
+    pub fn bits_per_code(&self) -> usize {
+        self.bits_per_code
+    }
+
+    /// Minimum pairwise Hamming distance of the book (`usize::MAX` for a
+    /// single-code book).
+    pub fn min_distance(&self) -> usize {
+        let mut best = usize::MAX;
+        for (i, a) in self.codes.iter().enumerate() {
+            for b in &self.codes[i + 1..] {
+                best = best.min(a.hamming_distance(b));
+            }
+        }
+        best
+    }
+
+    /// Index of the code nearest (in Hamming distance) to `word`, with the
+    /// distance. Ties break toward the lower index.
+    pub fn nearest(&self, word: &Bits) -> (usize, usize) {
+        self.codes
+            .iter()
+            .enumerate()
+            .map(|(i, c)| (i, c.hamming_distance(word)))
+            .min_by_key(|&(i, d)| (d, i))
+            .expect("codebook is non-empty")
+    }
+
+    /// Number of bit errors this book can *correct* by nearest-code
+    /// decoding: `⌊(d_min − 1) / 2⌋`.
+    pub fn correctable_errors(&self) -> usize {
+        match self.min_distance() {
+            usize::MAX => 0,
+            d => (d.saturating_sub(1)) / 2,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn two_codes_are_antipodal() {
+        let book = Codebook::max_min_hamming(2, 6);
+        assert_eq!(book.min_distance(), 6);
+        assert_eq!(book.codes()[0].to_string(), "000000");
+        assert_eq!(book.codes()[1].to_string(), "111111");
+    }
+
+    #[test]
+    fn four_codes_of_four_bits_reach_distance_two() {
+        // Best possible min distance for 4 codes in 4 bits is 2 (extended
+        // codes would need more bits); greedy must achieve it.
+        let book = Codebook::max_min_hamming(4, 4);
+        assert!(book.min_distance() >= 2, "min distance {}", book.min_distance());
+    }
+
+    #[test]
+    fn repetition_code_emerges_for_two_of_n() {
+        for n in 1..=10 {
+            let book = Codebook::max_min_hamming(2, n);
+            assert_eq!(book.min_distance(), n);
+        }
+    }
+
+    #[test]
+    fn lexicode_beats_dense_packing() {
+        // 4 codes from the 3-bit cube: the lexicode picks the even-weight
+        // tetrahedron {000, 011, 101, 110} with min distance 2; naive
+        // enumeration 000,001,010,011 would only reach 1.
+        let book = Codebook::max_min_hamming(4, 3);
+        assert_eq!(book.min_distance(), 2);
+    }
+
+    #[test]
+    fn full_space_has_distance_one() {
+        let book = Codebook::max_min_hamming(8, 3);
+        assert_eq!(book.len(), 8);
+        assert_eq!(book.min_distance(), 1);
+    }
+
+    #[test]
+    fn nearest_decoding_corrects_within_budget() {
+        let book = Codebook::max_min_hamming(2, 5); // d_min = 5, corrects 2
+        assert_eq!(book.correctable_errors(), 2);
+        // Flip two bits of code 1 (11111): still decodes to index 1.
+        let corrupted = Bits::parse("10101").unwrap();
+        let (idx, dist) = book.nearest(&corrupted);
+        assert_eq!(idx, 1);
+        assert_eq!(dist, 2);
+    }
+
+    #[test]
+    fn deterministic_construction() {
+        let a = Codebook::max_min_hamming(5, 6);
+        let b = Codebook::max_min_hamming(5, 6);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn explicit_codebook_checks_invariants() {
+        let book = Codebook::from_codes(vec![
+            Bits::parse("00").unwrap(),
+            Bits::parse("11").unwrap(),
+        ]);
+        assert_eq!(book.min_distance(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate")]
+    fn explicit_codebook_rejects_duplicates() {
+        Codebook::from_codes(vec![Bits::parse("01").unwrap(), Bits::parse("01").unwrap()]);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot pick")]
+    fn rejects_oversubscription() {
+        Codebook::max_min_hamming(9, 3);
+    }
+
+    #[test]
+    fn single_code_book() {
+        let book = Codebook::max_min_hamming(1, 4);
+        assert_eq!(book.len(), 1);
+        assert_eq!(book.min_distance(), usize::MAX);
+        assert_eq!(book.correctable_errors(), 0);
+    }
+}

@@ -1,0 +1,35 @@
+//! # palc-phy — the paper's PHY layer
+//!
+//! Data in the passive channel is carried by space, not time: a packet is
+//! a *physical strip of materials* attached to a mobile object (Sec. 4,
+//! Fig. 4). This crate implements everything about that representation
+//! that is independent of optics and motion:
+//!
+//! * [`symbol`] — the two channel symbols, `HIGH` (strong reflector) and
+//!   `LOW` (weak reflector).
+//! * [`bits`] — a small bit-vector type with text/integer conversions.
+//! * [`manchester`] — the paper's line code: `0 → HIGH·LOW`,
+//!   `1 → LOW·HIGH`.
+//! * [`packet`] — the packet format: a fixed `HIGH·LOW·HIGH·LOW` preamble
+//!   followed by `2N` data symbols for `N` bits.
+//! * [`codebook`] — code selection for the classification fallback of
+//!   Sec. 4.2: when decoding is impossible, far fewer than `2^N` codes
+//!   are used and their pairwise Hamming distances are maximised.
+//! * [`metrics`] — symbol/bit/packet error rates for evaluation.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bits;
+pub mod codebook;
+pub mod manchester;
+pub mod metrics;
+pub mod packet;
+pub mod symbol;
+
+pub use bits::Bits;
+pub use codebook::Codebook;
+pub use manchester::{manchester_decode, manchester_encode, ManchesterError};
+pub use metrics::{bit_error_rate, packet_error, symbol_error_rate};
+pub use packet::{Packet, PREAMBLE, PREAMBLE_LEN};
+pub use symbol::Symbol;

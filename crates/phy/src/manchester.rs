@@ -1,0 +1,173 @@
+//! Manchester line code.
+//!
+//! *“To enable an easy and stable decoding at the receiver, we use
+//! Manchester codes: a ‘0’-bit is mapped to HIGH-LOW, and a ‘1’-bit is
+//! mapped to LOW-HIGH”* (Sec. 4). Manchester coding guarantees a
+//! reflectance transition inside every bit, which keeps the adaptive
+//! thresholds of the Sec. 4.1 decoder anchored even over long runs of
+//! identical bits — crucial here because there is no transmitter clock at
+//! all, only the object's motion.
+
+use crate::bits::Bits;
+use crate::symbol::Symbol;
+
+/// Errors produced when interpreting a symbol sequence as Manchester data.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ManchesterError {
+    /// The sequence has an odd number of symbols; bits occupy two each.
+    OddLength(usize),
+    /// Symbol pair at bit position `index` was `HIGH·HIGH` or `LOW·LOW`,
+    /// which encodes nothing.
+    InvalidPair {
+        /// Bit index (pair index) where the violation occurred.
+        index: usize,
+    },
+}
+
+impl std::fmt::Display for ManchesterError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ManchesterError::OddLength(n) => {
+                write!(f, "symbol sequence length {n} is odd; Manchester bits need pairs")
+            }
+            ManchesterError::InvalidPair { index } => {
+                write!(f, "invalid Manchester pair (no mid-bit transition) at bit {index}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ManchesterError {}
+
+/// Encodes bits into symbols: `0 → HIGH·LOW`, `1 → LOW·HIGH` — exactly the
+/// paper's mapping. Output length is `2 × bits.len()`.
+pub fn manchester_encode(bits: &Bits) -> Vec<Symbol> {
+    let mut out = Vec::with_capacity(bits.len() * 2);
+    for bit in bits.iter() {
+        if bit {
+            out.push(Symbol::Low);
+            out.push(Symbol::High);
+        } else {
+            out.push(Symbol::High);
+            out.push(Symbol::Low);
+        }
+    }
+    out
+}
+
+/// Decodes a symbol sequence back into bits, enforcing the mid-bit
+/// transition rule.
+pub fn manchester_decode(symbols: &[Symbol]) -> Result<Bits, ManchesterError> {
+    if symbols.len() % 2 != 0 {
+        return Err(ManchesterError::OddLength(symbols.len()));
+    }
+    let mut bits = Bits::new();
+    for (i, pair) in symbols.chunks_exact(2).enumerate() {
+        match (pair[0], pair[1]) {
+            (Symbol::High, Symbol::Low) => bits.push(false),
+            (Symbol::Low, Symbol::High) => bits.push(true),
+            _ => return Err(ManchesterError::InvalidPair { index: i }),
+        }
+    }
+    Ok(bits)
+}
+
+/// Best-effort decode for noisy symbol streams: invalid pairs decode to the
+/// provided `fallback` bit and are reported. Used by evaluation code that
+/// wants a bit error rate even from partly corrupted traces.
+pub fn manchester_decode_lossy(symbols: &[Symbol], fallback: bool) -> (Bits, Vec<usize>) {
+    let mut bits = Bits::new();
+    let mut bad = Vec::new();
+    for (i, pair) in symbols.chunks_exact(2).enumerate() {
+        match (pair[0], pair[1]) {
+            (Symbol::High, Symbol::Low) => bits.push(false),
+            (Symbol::Low, Symbol::High) => bits.push(true),
+            _ => {
+                bits.push(fallback);
+                bad.push(i);
+            }
+        }
+    }
+    (bits, bad)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_mapping_for_zero_and_one() {
+        let zero = manchester_encode(&Bits::parse("0").unwrap());
+        assert_eq!(zero, vec![Symbol::High, Symbol::Low]);
+        let one = manchester_encode(&Bits::parse("1").unwrap());
+        assert_eq!(one, vec![Symbol::Low, Symbol::High]);
+    }
+
+    #[test]
+    fn fig5_codes() {
+        // Fig. 5(a): data '00' -> HLHL. Fig. 5(b): data '10' -> LHHL.
+        let s00 = manchester_encode(&Bits::parse("00").unwrap());
+        assert_eq!(Symbol::format_sequence(&s00, false), "HLHL");
+        let s10 = manchester_encode(&Bits::parse("10").unwrap());
+        assert_eq!(Symbol::format_sequence(&s10, false), "LHHL");
+    }
+
+    #[test]
+    fn roundtrip_various_payloads() {
+        for s in ["", "0", "1", "01", "1100", "10110100", "111111", "000000"] {
+            let bits = Bits::parse(s).unwrap();
+            let enc = manchester_encode(&bits);
+            assert_eq!(enc.len(), 2 * bits.len());
+            let dec = manchester_decode(&enc).unwrap();
+            assert_eq!(dec, bits, "roundtrip failed for {s}");
+        }
+    }
+
+    #[test]
+    fn every_bit_has_a_transition() {
+        let bits = Bits::parse("0011010111").unwrap();
+        let enc = manchester_encode(&bits);
+        for pair in enc.chunks_exact(2) {
+            assert_ne!(pair[0], pair[1], "Manchester guarantees a mid-bit transition");
+        }
+    }
+
+    #[test]
+    fn odd_length_is_rejected() {
+        let err = manchester_decode(&[Symbol::High]).unwrap_err();
+        assert_eq!(err, ManchesterError::OddLength(1));
+    }
+
+    #[test]
+    fn invalid_pair_is_located() {
+        let symbols = vec![
+            Symbol::High,
+            Symbol::Low, // bit 0 ok ('0')
+            Symbol::High,
+            Symbol::High, // bit 1 invalid
+        ];
+        let err = manchester_decode(&symbols).unwrap_err();
+        assert_eq!(err, ManchesterError::InvalidPair { index: 1 });
+    }
+
+    #[test]
+    fn lossy_decode_reports_bad_pairs() {
+        let symbols = vec![
+            Symbol::Low,
+            Symbol::High, // '1'
+            Symbol::Low,
+            Symbol::Low, // invalid
+            Symbol::High,
+            Symbol::Low, // '0'
+        ];
+        let (bits, bad) = manchester_decode_lossy(&symbols, false);
+        assert_eq!(bits.to_string(), "100");
+        assert_eq!(bad, vec![1]);
+    }
+
+    #[test]
+    fn error_messages_are_informative() {
+        assert!(ManchesterError::OddLength(5).to_string().contains("odd"));
+        assert!(ManchesterError::InvalidPair { index: 3 }.to_string().contains("bit 3"));
+    }
+}

@@ -1,0 +1,192 @@
+//! Error metrics for evaluating decoders over the passive channel.
+//!
+//! The paper evaluates qualitatively (decodable / not decodable); a
+//! production library needs numbers. These are the standard link metrics,
+//! defined over symbol sequences and bit strings, plus an aggregator used
+//! by the capacity sweeps of Fig. 6 (a configuration is “decodable” when
+//! its packet error rate over repeated trials is below a target).
+
+use crate::bits::Bits;
+use crate::symbol::Symbol;
+
+/// Fraction of symbol positions that differ. Sequences of different
+/// lengths compare over the shorter prefix and count the length mismatch
+/// as errors — a truncated read *is* an error in this channel.
+pub fn symbol_error_rate(sent: &[Symbol], received: &[Symbol]) -> f64 {
+    let n = sent.len().max(received.len());
+    if n == 0 {
+        return 0.0;
+    }
+    let overlap = sent.len().min(received.len());
+    let mismatched = sent
+        .iter()
+        .zip(received.iter())
+        .filter(|(a, b)| a != b)
+        .count();
+    let missing = n - overlap;
+    (mismatched + missing) as f64 / n as f64
+}
+
+/// Fraction of bit positions that differ, with the same length-mismatch
+/// policy as [`symbol_error_rate`].
+pub fn bit_error_rate(sent: &Bits, received: &Bits) -> f64 {
+    let n = sent.len().max(received.len());
+    if n == 0 {
+        return 0.0;
+    }
+    let mismatched = sent
+        .iter()
+        .zip(received.iter())
+        .filter(|(a, b)| a != b)
+        .count();
+    let missing = n - sent.len().min(received.len());
+    (mismatched + missing) as f64 / n as f64
+}
+
+/// Whether a packet-level error occurred (any payload difference).
+pub fn packet_error(sent: &Bits, received: &Bits) -> bool {
+    sent != received
+}
+
+/// Running tally of trial outcomes for a sweep point.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LinkTally {
+    /// Number of trials recorded.
+    pub trials: usize,
+    /// Trials whose payload decoded exactly.
+    pub successes: usize,
+    /// Sum of per-trial bit error rates (for averaging).
+    bit_error_sum: f64,
+}
+
+impl LinkTally {
+    /// Creates an empty tally.
+    pub fn new() -> Self {
+        LinkTally::default()
+    }
+
+    /// Records one trial.
+    pub fn record(&mut self, sent: &Bits, received: &Bits) {
+        self.trials += 1;
+        if !packet_error(sent, received) {
+            self.successes += 1;
+        }
+        self.bit_error_sum += bit_error_rate(sent, received);
+    }
+
+    /// Records a trial that produced no packet at all.
+    pub fn record_miss(&mut self) {
+        self.trials += 1;
+        self.bit_error_sum += 1.0;
+    }
+
+    /// Packet delivery ratio in `[0, 1]`; 0 with no trials.
+    pub fn delivery_ratio(&self) -> f64 {
+        if self.trials == 0 {
+            0.0
+        } else {
+            self.successes as f64 / self.trials as f64
+        }
+    }
+
+    /// Packet error rate (1 − delivery ratio).
+    pub fn packet_error_rate(&self) -> f64 {
+        1.0 - self.delivery_ratio()
+    }
+
+    /// Mean bit error rate across trials.
+    pub fn mean_bit_error_rate(&self) -> f64 {
+        if self.trials == 0 {
+            0.0
+        } else {
+            self.bit_error_sum / self.trials as f64
+        }
+    }
+
+    /// The decodability criterion used by the Fig. 6 sweeps: the
+    /// configuration counts as decodable when the delivery ratio meets
+    /// `min_ratio`.
+    pub fn is_decodable(&self, min_ratio: f64) -> bool {
+        self.trials > 0 && self.delivery_ratio() >= min_ratio
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn syms(s: &str) -> Vec<Symbol> {
+        Symbol::parse_sequence(s).unwrap()
+    }
+
+    #[test]
+    fn identical_sequences_have_zero_ser() {
+        assert_eq!(symbol_error_rate(&syms("HLHL"), &syms("HLHL")), 0.0);
+    }
+
+    #[test]
+    fn ser_counts_mismatches() {
+        assert!((symbol_error_rate(&syms("HLHL"), &syms("HLLL")) - 0.25).abs() < 1e-12);
+        assert!((symbol_error_rate(&syms("HLHL"), &syms("LHLH")) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ser_penalises_truncation() {
+        // Paper Sec. 4.2: distorted decode returned 6 symbols for an
+        // 8-symbol packet ("HLHL.HL"). Two missing symbols are errors.
+        let rate = symbol_error_rate(&syms("HLHLLHHL"), &syms("HLHLHL"));
+        // Positions 0..6: HLHL-LH vs HLHL-HL -> 2 mismatches at indices 4,5
+        // plus 2 missing = 4/8.
+        assert!((rate - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ber_matches_manual_count() {
+        let a = Bits::parse("1010").unwrap();
+        let b = Bits::parse("1110").unwrap();
+        assert!((bit_error_rate(&a, &b) - 0.25).abs() < 1e-12);
+        assert_eq!(bit_error_rate(&a, &a), 0.0);
+    }
+
+    #[test]
+    fn ber_of_empty_is_zero() {
+        assert_eq!(bit_error_rate(&Bits::new(), &Bits::new()), 0.0);
+        assert_eq!(symbol_error_rate(&[], &[]), 0.0);
+    }
+
+    #[test]
+    fn packet_error_is_exact_match() {
+        let a = Bits::parse("10").unwrap();
+        assert!(!packet_error(&a, &a));
+        assert!(packet_error(&a, &Bits::parse("11").unwrap()));
+        assert!(packet_error(&a, &Bits::parse("1").unwrap()));
+    }
+
+    #[test]
+    fn tally_accumulates() {
+        let sent = Bits::parse("1011").unwrap();
+        let mut t = LinkTally::new();
+        t.record(&sent, &sent);
+        t.record(&sent, &Bits::parse("1010").unwrap());
+        t.record_miss();
+        assert_eq!(t.trials, 3);
+        assert_eq!(t.successes, 1);
+        assert!((t.delivery_ratio() - 1.0 / 3.0).abs() < 1e-12);
+        assert!((t.packet_error_rate() - 2.0 / 3.0).abs() < 1e-12);
+        let expected_ber = (0.0 + 0.25 + 1.0) / 3.0;
+        assert!((t.mean_bit_error_rate() - expected_ber).abs() < 1e-12);
+    }
+
+    #[test]
+    fn decodability_threshold() {
+        let sent = Bits::parse("1").unwrap();
+        let mut t = LinkTally::new();
+        for _ in 0..9 {
+            t.record(&sent, &sent);
+        }
+        t.record_miss();
+        assert!(t.is_decodable(0.9));
+        assert!(!t.is_decodable(0.95));
+        assert!(!LinkTally::new().is_decodable(0.0));
+    }
+}

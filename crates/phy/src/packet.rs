@@ -1,0 +1,209 @@
+//! The packet format: `Preamble + Data` (Fig. 4).
+//!
+//! *“Each packet has two fields: preamble and data. The preamble is fixed
+//! and consists of four symbols HIGH-LOW-HIGH-LOW … The Data field comes
+//! after the preamble and includes 2N symbols, representing the modulated
+//! N-bit data”* (Sec. 4).
+//!
+//! Note a deliberate quirk of the format that the decoder must live with:
+//! the preamble `HLHL` is bit-identical to the Manchester encoding of the
+//! payload `00`, so a packet carrying `00` reads `HLHLHLHL` — preamble and
+//! data are only separable by *position*, not by pattern. Our tests pin
+//! that property.
+
+use crate::bits::Bits;
+use crate::manchester::{manchester_decode, manchester_encode, ManchesterError};
+use crate::symbol::Symbol;
+
+/// The fixed preamble: `HIGH·LOW·HIGH·LOW`.
+pub const PREAMBLE: [Symbol; 4] = [Symbol::High, Symbol::Low, Symbol::High, Symbol::Low];
+
+/// Preamble length in symbols.
+pub const PREAMBLE_LEN: usize = PREAMBLE.len();
+
+/// A passive-channel packet: `N` payload bits framed by the fixed preamble.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Packet {
+    payload: Bits,
+}
+
+impl Packet {
+    /// Creates a packet carrying `payload`.
+    pub fn new(payload: Bits) -> Self {
+        Packet { payload }
+    }
+
+    /// Parses a payload written as a bit string, e.g. `Packet::from_bits("10")`.
+    ///
+    /// Returns `None` for non-binary characters.
+    pub fn from_bits(s: &str) -> Option<Self> {
+        Bits::parse(s).map(Packet::new)
+    }
+
+    /// The payload bits.
+    pub fn payload(&self) -> &Bits {
+        &self.payload
+    }
+
+    /// Payload length in bits (`N`).
+    pub fn payload_bits(&self) -> usize {
+        self.payload.len()
+    }
+
+    /// Total length in symbols: `4 + 2N`.
+    pub fn symbol_len(&self) -> usize {
+        PREAMBLE_LEN + 2 * self.payload.len()
+    }
+
+    /// The full on-air (on-surface) symbol sequence: preamble then
+    /// Manchester-encoded payload.
+    pub fn to_symbols(&self) -> Vec<Symbol> {
+        let mut out = Vec::with_capacity(self.symbol_len());
+        out.extend_from_slice(&PREAMBLE);
+        out.extend(manchester_encode(&self.payload));
+        out
+    }
+
+    /// Renders the symbol sequence in the paper's notation (`HLHL.LHHL`).
+    pub fn notation(&self) -> String {
+        Symbol::format_sequence(&self.to_symbols(), true)
+    }
+
+    /// Physical length of the packet strip for a given symbol width.
+    pub fn strip_length_m(&self, symbol_width_m: f64) -> f64 {
+        self.symbol_len() as f64 * symbol_width_m
+    }
+
+    /// Reassembles a packet from a received symbol sequence: verifies the
+    /// preamble, then Manchester-decodes the remainder.
+    pub fn from_symbols(symbols: &[Symbol]) -> Result<Packet, PacketError> {
+        if symbols.len() < PREAMBLE_LEN {
+            return Err(PacketError::TooShort(symbols.len()));
+        }
+        let (head, data) = symbols.split_at(PREAMBLE_LEN);
+        if head != PREAMBLE {
+            return Err(PacketError::BadPreamble {
+                got: Symbol::format_sequence(head, false),
+            });
+        }
+        let payload = manchester_decode(data)?;
+        Ok(Packet::new(payload))
+    }
+}
+
+/// Errors when reassembling a packet from received symbols.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PacketError {
+    /// Fewer symbols than a preamble.
+    TooShort(usize),
+    /// Leading four symbols were not `HLHL`.
+    BadPreamble {
+        /// What was received instead.
+        got: String,
+    },
+    /// Payload was not valid Manchester code.
+    BadPayload(ManchesterError),
+}
+
+impl From<ManchesterError> for PacketError {
+    fn from(e: ManchesterError) -> Self {
+        PacketError::BadPayload(e)
+    }
+}
+
+impl std::fmt::Display for PacketError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PacketError::TooShort(n) => write!(f, "only {n} symbols; too short for a preamble"),
+            PacketError::BadPreamble { got } => write!(f, "bad preamble: got {got}, want HLHL"),
+            PacketError::BadPayload(e) => write!(f, "bad payload: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for PacketError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preamble_is_hlhl() {
+        assert_eq!(Symbol::format_sequence(&PREAMBLE, false), "HLHL");
+    }
+
+    #[test]
+    fn fig5a_packet_notation() {
+        // Data '00' -> full sequence HLHL.HLHL (Fig. 5(a)).
+        let p = Packet::from_bits("00").unwrap();
+        assert_eq!(p.notation(), "HLHL.HLHL");
+        assert_eq!(p.symbol_len(), 8);
+    }
+
+    #[test]
+    fn fig5b_packet_notation() {
+        // Data '10' -> full sequence HLHL.LHHL (Fig. 5(b)).
+        let p = Packet::from_bits("10").unwrap();
+        assert_eq!(p.notation(), "HLHL.LHHL");
+    }
+
+    #[test]
+    fn preamble_is_positionally_not_pattern_separable() {
+        // The '00' packet is HLHLHLHL: its tail equals its head. Document
+        // the format quirk the decoder handles by position.
+        let p = Packet::from_bits("00").unwrap();
+        let syms = p.to_symbols();
+        assert_eq!(&syms[..4], &syms[4..]);
+    }
+
+    #[test]
+    fn symbols_roundtrip() {
+        for s in ["", "0", "1", "10", "1101", "01010101"] {
+            let p = Packet::from_bits(s).unwrap();
+            let back = Packet::from_symbols(&p.to_symbols()).unwrap();
+            assert_eq!(back, p, "roundtrip failed for payload {s}");
+        }
+    }
+
+    #[test]
+    fn strip_length_matches_fig17_setup() {
+        // 2-bit payload at 10 cm symbols = 8 symbols = 80 cm of car roof.
+        let p = Packet::from_bits("00").unwrap();
+        assert!((p.strip_length_m(0.10) - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bad_preamble_is_reported() {
+        let mut syms = Packet::from_bits("0").unwrap().to_symbols();
+        syms[0] = Symbol::Low;
+        match Packet::from_symbols(&syms) {
+            Err(PacketError::BadPreamble { got }) => assert_eq!(got, "LLHL"),
+            other => panic!("expected BadPreamble, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn short_input_is_reported() {
+        assert_eq!(
+            Packet::from_symbols(&[Symbol::High]),
+            Err(PacketError::TooShort(1))
+        );
+    }
+
+    #[test]
+    fn corrupt_payload_is_reported() {
+        let mut syms = Packet::from_bits("00").unwrap().to_symbols();
+        syms[5] = Symbol::High; // makes pair HH
+        match Packet::from_symbols(&syms) {
+            Err(PacketError::BadPayload(ManchesterError::InvalidPair { index: 0 })) => {}
+            other => panic!("expected BadPayload, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn empty_payload_is_a_bare_preamble() {
+        let p = Packet::new(Bits::new());
+        assert_eq!(p.notation(), "HLHL");
+        assert_eq!(Packet::from_symbols(&p.to_symbols()).unwrap(), p);
+    }
+}

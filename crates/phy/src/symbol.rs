@@ -1,0 +1,118 @@
+//! Channel symbols.
+//!
+//! The passive channel has exactly two symbols (Sec. 4, “Coding”):
+//! **HIGH**, realised by a material with a high reflection coefficient and
+//! low diffusion (aluminium tape), and **LOW**, realised by a weak diffuse
+//! reflector (black paper napkin). The receiver perceives HIGH as a burst
+//! of elevated RSS and LOW as a dip.
+
+use std::fmt;
+
+/// One channel symbol.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Symbol {
+    /// Strong reflection — aluminium tape in the paper's experiments.
+    High,
+    /// Weak reflection — black paper napkin.
+    Low,
+}
+
+impl Symbol {
+    /// The complementary symbol.
+    #[inline]
+    pub fn flipped(self) -> Symbol {
+        match self {
+            Symbol::High => Symbol::Low,
+            Symbol::Low => Symbol::High,
+        }
+    }
+
+    /// Single-letter form used throughout the paper's figures: `H` / `L`.
+    #[inline]
+    pub fn letter(self) -> char {
+        match self {
+            Symbol::High => 'H',
+            Symbol::Low => 'L',
+        }
+    }
+
+    /// Parses `H`/`L` (case-insensitive).
+    pub fn from_letter(c: char) -> Option<Symbol> {
+        match c.to_ascii_uppercase() {
+            'H' => Some(Symbol::High),
+            'L' => Some(Symbol::Low),
+            _ => None,
+        }
+    }
+
+    /// Parses a whole symbol string like `"HLHL.LHHL"`; dots and spaces
+    /// are ignored (the paper writes codes as `HLHL.HLHL`).
+    pub fn parse_sequence(s: &str) -> Option<Vec<Symbol>> {
+        s.chars()
+            .filter(|c| !matches!(c, '.' | ' ' | '-' | '_'))
+            .map(Symbol::from_letter)
+            .collect()
+    }
+
+    /// Formats a symbol slice as the paper writes it, with a dot after the
+    /// 4-symbol preamble when `mark_preamble` is set:  `HLHL.LHHL`.
+    pub fn format_sequence(symbols: &[Symbol], mark_preamble: bool) -> String {
+        let mut out = String::with_capacity(symbols.len() + 1);
+        for (i, s) in symbols.iter().enumerate() {
+            if mark_preamble && i == 4 {
+                out.push('.');
+            }
+            out.push(s.letter());
+        }
+        out
+    }
+}
+
+impl fmt::Display for Symbol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.letter())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flipping_is_an_involution() {
+        assert_eq!(Symbol::High.flipped(), Symbol::Low);
+        assert_eq!(Symbol::Low.flipped(), Symbol::High);
+        assert_eq!(Symbol::High.flipped().flipped(), Symbol::High);
+    }
+
+    #[test]
+    fn letters_roundtrip() {
+        for s in [Symbol::High, Symbol::Low] {
+            assert_eq!(Symbol::from_letter(s.letter()), Some(s));
+        }
+        assert_eq!(Symbol::from_letter('h'), Some(Symbol::High));
+        assert_eq!(Symbol::from_letter('x'), None);
+    }
+
+    #[test]
+    fn parses_paper_notation() {
+        let seq = Symbol::parse_sequence("HLHL.LHHL").unwrap();
+        assert_eq!(seq.len(), 8);
+        assert_eq!(seq[0], Symbol::High);
+        assert_eq!(seq[4], Symbol::Low);
+        assert!(Symbol::parse_sequence("HLXL").is_none());
+    }
+
+    #[test]
+    fn formats_with_preamble_dot() {
+        let seq = Symbol::parse_sequence("HLHLLHHL").unwrap();
+        assert_eq!(Symbol::format_sequence(&seq, true), "HLHL.LHHL");
+        assert_eq!(Symbol::format_sequence(&seq, false), "HLHLLHHL");
+    }
+
+    #[test]
+    fn display_matches_letter() {
+        assert_eq!(Symbol::High.to_string(), "H");
+        assert_eq!(Symbol::Low.to_string(), "L");
+    }
+}

@@ -1,0 +1,67 @@
+//! Shared output helpers for the reproduction harness: ASCII plots,
+//! aligned tables, and CSV emission, all to stdout so results can be
+//! redirected and diffed.
+
+use palc::trace::Trace;
+
+/// Prints a section header for one experiment.
+pub fn header(id: &str, title: &str, paper_expectation: &str) {
+    println!();
+    println!("================================================================");
+    println!("{id} — {title}");
+    println!("paper: {paper_expectation}");
+    println!("================================================================");
+}
+
+/// Prints a labelled PASS/FAIL verdict line for qualitative checks.
+pub fn verdict(label: &str, ok: bool, detail: &str) {
+    println!("[{}] {label}: {detail}", if ok { "PASS" } else { "FAIL" });
+}
+
+/// Renders a trace as a down-sampled ASCII strip chart (the stand-in for
+/// the paper's figure panels). `rows` samples are shown.
+pub fn plot_trace(title: &str, trace: &Trace, rows: usize) {
+    println!("--- {title} (fs = {} Hz, {:.2} s) ---", trace.sample_rate_hz(), trace.duration_s());
+    let norm = trace.normalized();
+    if norm.is_empty() {
+        println!("(empty trace)");
+        return;
+    }
+    let step = (norm.len() / rows.max(1)).max(1);
+    for i in (0..norm.len()).step_by(step) {
+        let v = norm[i];
+        let bar: String = std::iter::repeat('#').take((v * 60.0).round() as usize).collect();
+        println!("{:8.3}s {:6.3} |{bar}", trace.time_of(i), v);
+    }
+}
+
+/// Renders an x/y series as an aligned two-column table.
+pub fn series(title: &str, x_label: &str, y_label: &str, points: &[(f64, f64)]) {
+    println!("--- {title} ---");
+    println!("{x_label:>14}  {y_label:>14}");
+    for &(x, y) in points {
+        println!("{x:>14.4}  {y:>14.4}");
+    }
+}
+
+/// Renders an x/y series where y may be missing (non-decodable points).
+pub fn series_opt(title: &str, x_label: &str, y_label: &str, points: &[(f64, Option<f64>)]) {
+    println!("--- {title} ---");
+    println!("{x_label:>14}  {y_label:>14}");
+    for &(x, y) in points {
+        match y {
+            Some(y) => println!("{x:>14.4}  {y:>14.4}"),
+            None => println!("{x:>14.4}  {:>14}", "-"),
+        }
+    }
+}
+
+/// Emits a series as CSV (for plotting outside the harness).
+pub fn csv(title: &str, headers: &[&str], rows: &[Vec<f64>]) {
+    println!("--- csv: {title} ---");
+    println!("{}", headers.join(","));
+    for row in rows {
+        let cells: Vec<String> = row.iter().map(|v| format!("{v:.6}")).collect();
+        println!("{}", cells.join(","));
+    }
+}

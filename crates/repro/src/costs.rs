@@ -1,0 +1,54 @@
+//! COSTS — the sustainability claims of Secs. 1–2.
+//!
+//! * photodiode receiver ~1.5 mW sensor power vs >1000 mW for a camera;
+//! * a credit-card solar panel can sustain the receiver outdoors;
+//! * the prototype costs ≈ $50 (vs $220 000 for a dedicated-radio
+//!   wireless-barcode reader [15]).
+
+use crate::common;
+use palc_frontend::power::{prototype_bom, prototype_cost_usd, PowerBudget};
+
+pub fn run() {
+    common::header(
+        "COSTS",
+        "energy and bill-of-materials comparison",
+        "PD 1.5 mW vs camera >1 W; prototype ~ $50; solar autonomy feasible",
+    );
+
+    println!("{:>22} {:>12} {:>14} {:>10} {:>10}", "receiver", "sensor mW", "conversion mW", "logic mW", "total mW");
+    for (name, b) in [
+        ("photodiode (OPT101)", PowerBudget::photodiode_receiver()),
+        ("RX-LED (photovoltaic)", PowerBudget::rx_led_receiver()),
+        ("camera pipeline [3]", PowerBudget::camera_receiver()),
+    ] {
+        println!(
+            "{name:>22} {:>12.2} {:>14.2} {:>10.2} {:>10.2}",
+            b.sensor_mw, b.conversion_mw, b.logic_mw, b.total_mw()
+        );
+    }
+    let pd = PowerBudget::photodiode_receiver();
+    let cam = PowerBudget::camera_receiver();
+    common::verdict(
+        "camera burns >100x the photodiode receiver",
+        cam.total_mw() > 100.0 * pd.total_mw(),
+        &format!("{:.0} mW vs {:.1} mW", cam.total_mw(), pd.total_mw()),
+    );
+    common::verdict(
+        "credit-card solar panel sustains the PD receiver outdoors",
+        pd.solar_autonomous(1000.0) && !cam.solar_autonomous(1000.0),
+        "46 cm2 at ~1 mW/cm2 daylight harvest",
+    );
+
+    println!();
+    println!("{:>26} {:>36} {:>8}", "part", "role", "USD");
+    for line in prototype_bom() {
+        println!("{:>26} {:>36} {:>8.2}", line.part, line.role, line.usd);
+    }
+    let total = prototype_cost_usd();
+    println!("{:>26} {:>36} {:>8.2}", "TOTAL", "", total);
+    common::verdict(
+        "prototype costs about $50",
+        (40.0..=60.0).contains(&total),
+        &format!("${total:.0} vs the paper's ~$50 (and $220,000 for [15])"),
+    );
+}

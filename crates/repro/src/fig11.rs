@@ -1,0 +1,62 @@
+//! FIG11 — supported noise floor of the optical receivers (Sec. 4.4).
+//!
+//! The paper's table:
+//!
+//! | receiver | saturation | sensitivity |
+//! |----------|------------|-------------|
+//! | PD (G1)  |    450 lux |       1     |
+//! | PD (G2)  |   1200 lux |       0.45  |
+//! | PD (G3)  |   5000 lux |       0.089 |
+//! | LED      | 35 000 lux |       0.013 |
+//!
+//! The harness *re-measures* both columns by sweeping steady ambient
+//! levels through the receiver models and locating the response knee and
+//! low-end slope, then exercises the receiver-selection policy the table
+//! implies.
+
+use crate::common;
+use palc::prelude::*;
+use palc_frontend::characterize;
+
+pub fn run() {
+    common::header(
+        "FIG11",
+        "saturation and sensitivity of PD gains and RX-LED",
+        "450/1200/5000/35000 lux; sensitivities 1/0.45/0.089/0.013 (normalised to PD G1)",
+    );
+    let expected: [(&str, f64, f64); 4] = [
+        ("PD(G1)", 450.0, 1.0),
+        ("PD(G2)", 1200.0, 0.45),
+        ("PD(G3)", 5000.0, 0.089),
+        ("LED", 35_000.0, 0.013),
+    ];
+    println!("{:>8} {:>16} {:>16} {:>14} {:>14}", "receiver", "sat (measured)", "sat (paper)", "sens (meas)", "sens (paper)");
+    let rows = characterize();
+    let mut all_ok = true;
+    for (row, (label, sat, sens)) in rows.iter().zip(expected.iter()) {
+        println!(
+            "{:>8} {:>16.0} {:>16.0} {:>14.4} {:>14.3}",
+            row.label, row.saturation_lux, sat, row.normalized_sensitivity, sens
+        );
+        let ok = (row.saturation_lux - sat).abs() / sat < 0.02
+            && (row.normalized_sensitivity - sens).abs() / sens < 0.02
+            && row.label == *label;
+        all_ok &= ok;
+    }
+    common::verdict("measured table matches Fig. 11 within 2%", all_ok, "see rows above");
+
+    // The selection policy the table implies (Sec. 4.4 conclusion).
+    let selector = ReceiverSelector::openvlc_dual();
+    println!();
+    println!("receiver selection vs ambient level:");
+    for lux in [2.0, 100.0, 450.0, 2000.0, 6200.0, 15_000.0, 60_000.0] {
+        println!("{lux:>10.0} lux -> {}", selector.select_label(lux));
+    }
+    common::verdict(
+        "indoor levels pick a PD gain, outdoor daylight picks the LED",
+        selector.select_label(100.0).starts_with("PD")
+            && selector.select_label(2000.0).starts_with("PD")
+            && selector.select_label(15_000.0) == "LED",
+        "policy boundaries shown above",
+    );
+}

@@ -1,0 +1,87 @@
+//! `repro` — regenerates every table and figure of the CoNEXT'16 paper
+//! *“Passive Communication with Ambient Light”* from the `palc` workspace
+//! models.
+//!
+//! ```text
+//! repro <experiment> [...]   run selected experiments
+//! repro all                  run everything (the EXPERIMENTS.md source)
+//! repro list                 list available experiments
+//! ```
+//!
+//! Each experiment prints the paper's expectation, the regenerated
+//! series/trace, and explicit `[PASS]`/`[FAIL]` verdicts on the
+//! qualitative claims (who wins, what decodes, which way curves bend).
+
+mod common;
+mod costs;
+mod fig05;
+mod fig06;
+mod fig07;
+mod fig08;
+mod fig10;
+mod fig11;
+mod fig13;
+mod fig15;
+mod fig16;
+mod fig17;
+mod maxspeed;
+
+const EXPERIMENTS: &[(&str, &str, fn())] = &[
+    ("fig5", "received signals in the ideal scenario (Sec. 4.1)", fig05::run),
+    ("fig6a", "decodable region: height vs symbol width (Fig. 6a)", fig06::run),
+    ("fig6b", "throughput vs height (Fig. 6b, runs with fig6a)", fig06::run),
+    ("fig7", "decoding under mains ceiling lights (Fig. 7)", fig07::run),
+    ("fig8", "variable speed: decoder fails, DTW classifies (Fig. 8)", fig08::run),
+    ("fig10", "packet collisions in time and frequency domain (Fig. 10)", fig10::run),
+    ("fig11", "receiver saturation/sensitivity table (Fig. 11)", fig11::run),
+    ("fig13", "car optical signatures, Volvo vs BMW (Figs. 13-14)", fig13::run),
+    ("fig15", "RX-LED at 450 vs 100 lux (Fig. 15)", fig15::run),
+    ("fig16", "PD with and without the aperture cap (Fig. 16)", fig16::run),
+    ("fig17", "well-illuminated outdoor decodes (Fig. 17)", fig17::run),
+    ("maxspeed", "maximal supported speed analysis (Sec. 6 item 3)", maxspeed::run),
+    ("costs", "power and bill-of-materials claims (Secs. 1-2)", costs::run),
+];
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() || args[0] == "help" || args[0] == "--help" {
+        usage();
+        return;
+    }
+    if args[0] == "list" {
+        for (name, desc, _) in EXPERIMENTS {
+            println!("{name:>8}  {desc}");
+        }
+        return;
+    }
+    if args[0] == "all" {
+        let mut seen: Vec<fn()> = Vec::new();
+        for (_, _, f) in EXPERIMENTS {
+            // fig6a/fig6b share one runner; dedupe by function pointer.
+            if seen.iter().any(|&g| std::ptr::fn_addr_eq(g, *f)) {
+                continue;
+            }
+            seen.push(*f);
+            f();
+        }
+        return;
+    }
+    for arg in &args {
+        match EXPERIMENTS.iter().find(|(name, _, _)| name == arg) {
+            Some((_, _, f)) => f(),
+            None => {
+                eprintln!("unknown experiment '{arg}'");
+                usage();
+                std::process::exit(2);
+            }
+        }
+    }
+}
+
+fn usage() {
+    eprintln!("usage: repro <experiment...>|all|list");
+    eprintln!("experiments:");
+    for (name, desc, _) in EXPERIMENTS {
+        eprintln!("  {name:>8}  {desc}");
+    }
+}

@@ -1,0 +1,72 @@
+//! MAXSPEED — maximal supported object speed (Sec. 6, item 3).
+//!
+//! The paper defers this analysis to follow-up work, naming the two
+//! mechanisms: *“the PD's response time to light changes and the
+//! receiver's sampling rate”*. Both are first-class in our frontend
+//! models, so the analysis is run here: analytic budgets per receiver,
+//! checked against an empirical speed sweep on the simulated bench.
+
+use crate::common;
+use palc::speed::{frontend_speed_budget, max_speed_mps, SpeedLimit, SpeedSweep};
+use palc_frontend::{Frontend, Mcp3008, OpticalReceiver, PdGain};
+
+pub fn run() {
+    common::header(
+        "MAXSPEED",
+        "maximal supported object speed (paper future-work item 3)",
+        "bounded by detector response time and sampling rate; 18 km/h outdoor case must fit",
+    );
+
+    println!(
+        "{:>8} {:>12} {:>12} {:>14} {:>18}",
+        "receiver", "bandwidth", "fs (S/s)", "v_max (10cm)", "binding limit"
+    );
+    for (rx, fs) in [
+        (OpticalReceiver::opt101(PdGain::G1), 2000.0),
+        (OpticalReceiver::opt101(PdGain::G3), 2000.0),
+        (OpticalReceiver::rx_led(), 2000.0),
+        (OpticalReceiver::rx_led(), 500.0),
+    ] {
+        let (v, limit) = max_speed_mps(&rx, fs, 0.10);
+        println!(
+            "{:>8} {:>10.0}Hz {:>12.0} {:>11.1} m/s {:>18}",
+            rx.label(),
+            rx.bandwidth_hz(),
+            fs,
+            v,
+            match limit {
+                SpeedLimit::DetectorBandwidth => "detector",
+                SpeedLimit::SamplingRate => "sampling",
+            }
+        );
+    }
+
+    // The paper's outdoor configuration must be inside the budget.
+    let fe = Frontend::outdoor(OpticalReceiver::rx_led(), 0);
+    let (budget, _) = frontend_speed_budget(&fe, 0.10);
+    common::verdict(
+        "18 km/h (5 m/s) fits the outdoor RX-LED budget",
+        budget > 5.0,
+        &format!("budget {budget:.1} m/s"),
+    );
+
+    // Empirical sweep on the indoor bench (3 cm symbols, 250 S/s).
+    let sweep = SpeedSweep { trials: 1, ..Default::default() };
+    let candidates = [0.08, 0.16, 0.32, 0.64, 1.0, 1.6, 2.5, 4.0];
+    let measured = sweep.max_decodable(&candidates);
+    let bench_fe = Frontend::new(
+        OpticalReceiver::opt101(PdGain::G1),
+        Mcp3008 { vref: 3.3, sample_rate_hz: 250.0 },
+        0,
+    );
+    let (analytic, limit) = frontend_speed_budget(&bench_fe, 0.03);
+    println!(
+        "indoor bench sweep: max decodable {:?} m/s; analytic budget {:.2} m/s ({:?})",
+        measured, analytic, limit
+    );
+    common::verdict(
+        "empirical limit is finite and consistent with the analytic bound",
+        measured.map(|v| v <= analytic * 1.5 && v >= 0.08).unwrap_or(false),
+        &format!("measured {measured:?} vs analytic {analytic:.2} m/s"),
+    );
+}

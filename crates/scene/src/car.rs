@@ -1,0 +1,252 @@
+//! Optical profiles of the evaluation cars.
+//!
+//! Section 5.1 uses the cars themselves as signal: *“The top part of the
+//! cars have two different materials, metal and glass, with different
+//! lengths and shapes. Thus, their optical signatures should be unique …
+//! the metal parts of the cars — hoods (A), roofs (C) and trunks (E) —
+//! reflect much more light (peaks) than the front and rear windshields
+//! (B and D)”* (Figs. 13–14). The signature then serves as a
+//! *long-duration preamble* telling the receiver a packet is coming.
+//!
+//! A [`CarModel`] is a front-to-back run of segments, each with a length,
+//! a material (car paint vs. windshield glass) and a height. The Volvo
+//! V40 (compact hatchback: short rear, no separate trunk deck) and BMW 3
+//! series (sedan: distinct trunk) presets encode the two body styles whose
+//! different waveforms Fig. 13 vs. Fig. 14 show.
+
+use palc_optics::Material;
+
+/// One longitudinal segment of a car's top surface.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CarSegment {
+    /// Human-readable name (`hood`, `windshield`, …).
+    pub name: &'static str,
+    /// Length along the direction of travel, metres.
+    pub length_m: f64,
+    /// Surface material.
+    pub material: Material,
+    /// Height of this surface above the road, metres.
+    pub height_m: f64,
+}
+
+/// A car's top-surface optical profile, front bumper at local `x = 0`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CarModel {
+    /// Model name, used in figures and logs.
+    pub name: &'static str,
+    segments: Vec<CarSegment>,
+}
+
+impl CarModel {
+    /// Builds a car from explicit segments.
+    pub fn new(name: &'static str, segments: Vec<CarSegment>) -> Self {
+        assert!(!segments.is_empty(), "a car needs segments");
+        assert!(segments.iter().all(|s| s.length_m > 0.0), "segment lengths must be positive");
+        CarModel { name, segments }
+    }
+
+    /// Volvo V40: compact hatchback, 4.37 m. The rear glass slopes
+    /// directly into a short tail — four signature features (A hood peak,
+    /// B windshield valley, C roof peak, D rear-glass valley), matching
+    /// Fig. 13.
+    pub fn volvo_v40() -> Self {
+        let paint = Material::car_paint();
+        let glass = Material::windshield_glass();
+        CarModel::new(
+            "Volvo V40",
+            vec![
+                CarSegment { name: "front-bumper", length_m: 0.45, material: paint, height_m: 0.55 },
+                CarSegment { name: "hood", length_m: 0.95, material: paint, height_m: 0.90 },
+                CarSegment { name: "windshield", length_m: 0.75, material: glass, height_m: 1.15 },
+                CarSegment { name: "roof", length_m: 1.30, material: paint, height_m: 1.42 },
+                // The V40's hatch glass slopes all the way down to a short
+                // spoiler lip; seen from above the tailgate is a sliver,
+                // which is why Fig. 13 shows only four features (A-D) while
+                // the sedan's trunk deck adds a fifth (E) in Fig. 14.
+                CarSegment { name: "rear-glass", length_m: 0.77, material: glass, height_m: 1.20 },
+                CarSegment { name: "tailgate", length_m: 0.15, material: paint, height_m: 0.95 },
+            ],
+        )
+    }
+
+    /// BMW 3 series: sedan, 4.63 m, with a distinct trunk deck — five
+    /// signature features (A, B, C, D and the E trunk peak), matching
+    /// Fig. 14.
+    pub fn bmw_3() -> Self {
+        let paint = Material::car_paint();
+        let glass = Material::windshield_glass();
+        CarModel::new(
+            "BMW 3",
+            vec![
+                CarSegment { name: "front-bumper", length_m: 0.50, material: paint, height_m: 0.55 },
+                CarSegment { name: "hood", length_m: 1.10, material: paint, height_m: 0.88 },
+                CarSegment { name: "windshield", length_m: 0.70, material: glass, height_m: 1.12 },
+                CarSegment { name: "roof", length_m: 1.05, material: paint, height_m: 1.40 },
+                CarSegment { name: "rear-glass", length_m: 0.55, material: glass, height_m: 1.20 },
+                CarSegment { name: "trunk", length_m: 0.73, material: paint, height_m: 0.95 },
+            ],
+        )
+    }
+
+    /// The segments, front to back.
+    pub fn segments(&self) -> &[CarSegment] {
+        &self.segments
+    }
+
+    /// Overall length, metres.
+    pub fn length_m(&self) -> f64 {
+        self.segments.iter().map(|s| s.length_m).sum()
+    }
+
+    /// Segment under local coordinate `x` (0 = front bumper), or `None`
+    /// outside the car.
+    pub fn segment_at(&self, x: f64) -> Option<&CarSegment> {
+        if x < 0.0 {
+            return None;
+        }
+        let mut acc = 0.0;
+        for s in &self.segments {
+            acc += s.length_m;
+            if x < acc {
+                return Some(s);
+            }
+        }
+        None
+    }
+
+    /// Local x-range `[start, end)` of the roof segment — where the paper
+    /// mounts the tag (“We place a ‘packet’ on the roof of a car”).
+    pub fn roof_span(&self) -> (f64, f64) {
+        let mut acc = 0.0;
+        for s in &self.segments {
+            if s.name == "roof" {
+                return (acc, acc + s.length_m);
+            }
+            acc += s.length_m;
+        }
+        panic!("car {} has no roof segment", self.name);
+    }
+
+    /// Maximum surface height, metres (the roof).
+    pub fn max_height_m(&self) -> f64 {
+        self.segments.iter().map(|s| s.height_m).fold(0.0, f64::max)
+    }
+
+    /// The car's ideal (geometry-only) reflectance signature sampled at
+    /// `n` uniform points along its length: total reflectance per point.
+    /// This is the clean template the Sec. 5.2 long-preamble detector
+    /// matches against.
+    pub fn reflectance_signature(&self, n: usize) -> Vec<f64> {
+        assert!(n >= 2);
+        let len = self.length_m();
+        (0..n)
+            .map(|i| {
+                let x = i as f64 / (n - 1) as f64 * (len - 1e-9);
+                self.segment_at(x).map(|s| s.material.total_reflectance()).unwrap_or(0.0)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_have_realistic_lengths() {
+        assert!((CarModel::volvo_v40().length_m() - 4.37).abs() < 0.01);
+        assert!((CarModel::bmw_3().length_m() - 4.63).abs() < 0.01);
+    }
+
+    #[test]
+    fn metal_segments_outshine_glass_segments() {
+        for car in [CarModel::volvo_v40(), CarModel::bmw_3()] {
+            let hood = car.segments().iter().find(|s| s.name == "hood").unwrap();
+            let shield = car.segments().iter().find(|s| s.name == "windshield").unwrap();
+            assert!(
+                hood.material.total_reflectance() > 3.0 * shield.material.total_reflectance(),
+                "{}",
+                car.name
+            );
+        }
+    }
+
+    #[test]
+    fn bmw_has_a_trunk_volvo_does_not() {
+        // The feature that distinguishes Fig. 14 (five features) from
+        // Fig. 13 (four): the sedan's separate trunk deck.
+        assert!(CarModel::bmw_3().segments().iter().any(|s| s.name == "trunk"));
+        assert!(!CarModel::volvo_v40().segments().iter().any(|s| s.name == "trunk"));
+    }
+
+    #[test]
+    fn segment_lookup_covers_whole_length() {
+        let car = CarModel::volvo_v40();
+        assert_eq!(car.segment_at(0.1).unwrap().name, "front-bumper");
+        assert_eq!(car.segment_at(1.0).unwrap().name, "hood");
+        assert_eq!(car.segment_at(2.0).unwrap().name, "windshield");
+        assert_eq!(car.segment_at(3.0).unwrap().name, "roof");
+        assert!(car.segment_at(car.length_m() + 0.01).is_none());
+        assert!(car.segment_at(-0.1).is_none());
+    }
+
+    #[test]
+    fn roof_span_is_inside_the_car() {
+        for car in [CarModel::volvo_v40(), CarModel::bmw_3()] {
+            let (a, b) = car.roof_span();
+            assert!(a > 0.0 && b < car.length_m() && b - a > 1.0, "{}: {a}..{b}", car.name);
+        }
+    }
+
+    #[test]
+    fn roof_is_the_highest_point() {
+        let car = CarModel::bmw_3();
+        let (a, _) = car.roof_span();
+        assert_eq!(car.segment_at(a + 0.1).unwrap().height_m, car.max_height_m());
+    }
+
+    #[test]
+    fn signatures_differ_between_cars() {
+        // Figs. 13–14: "the different designs of the cars are accurately
+        // reflected by their waveforms". Compare resampled signatures.
+        let v = CarModel::volvo_v40().reflectance_signature(200);
+        let b = CarModel::bmw_3().reflectance_signature(200);
+        let diff: f64 =
+            v.iter().zip(&b).map(|(x, y)| (x - y).abs()).sum::<f64>() / v.len() as f64;
+        assert!(diff > 0.05, "signatures too similar: {diff}");
+    }
+
+    #[test]
+    fn signature_shows_peak_valley_peak_structure() {
+        // Scanning front to back must encounter: high (hood), low
+        // (windshield), high (roof) — the A/B/C structure of Fig. 13.
+        let car = CarModel::volvo_v40();
+        let sig = car.reflectance_signature(400);
+        let hood_r = Material::car_paint().total_reflectance();
+        let glass_r = Material::windshield_glass().total_reflectance();
+        let first_high = sig.iter().position(|&r| (r - hood_r).abs() < 1e-9).unwrap();
+        let first_low =
+            sig.iter().skip(first_high).position(|&r| (r - glass_r).abs() < 1e-9).unwrap();
+        let next_high = sig
+            .iter()
+            .skip(first_high + first_low)
+            .position(|&r| (r - hood_r).abs() < 1e-9)
+            .unwrap();
+        assert!(first_low > 0 && next_high > 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "no roof")]
+    fn roofless_car_panics_on_roof_span() {
+        let car = CarModel::new(
+            "go-kart",
+            vec![CarSegment {
+                name: "frame",
+                length_m: 1.5,
+                material: Material::car_paint(),
+                height_m: 0.4,
+            }],
+        );
+        car.roof_span();
+    }
+}

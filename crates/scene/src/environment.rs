@@ -1,0 +1,126 @@
+//! Environments: ground plane, atmosphere, and scene presets.
+//!
+//! Section 3 lists channel distortions the system must survive — *“fog,
+//! humidity, dirt on top of the reflective surfaces”*. Dirt lives on the
+//! tag ([`crate::tag::Tag::with_dirt`]); fog and the ground's own
+//! reflectance live here.
+
+use palc_optics::Material;
+
+/// Homogeneous fog/haze attenuating light along its path (Beer–Lambert).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Fog {
+    /// Extinction coefficient, 1/m. Meteorological-visibility conversions:
+    /// `sigma ≈ 3.912 / visibility_m` (Koschmieder).
+    pub extinction_per_m: f64,
+}
+
+impl Fog {
+    /// Fog with the given meteorological visibility (distance at which
+    /// contrast falls to 2 %), metres.
+    pub fn with_visibility(visibility_m: f64) -> Self {
+        assert!(visibility_m > 0.0);
+        Fog { extinction_per_m: 3.912 / visibility_m }
+    }
+
+    /// Fraction of light surviving a path of `distance_m` metres.
+    pub fn transmission(&self, distance_m: f64) -> f64 {
+        (-self.extinction_per_m * distance_m.max(0.0)).exp()
+    }
+}
+
+/// The static surroundings of an experiment.
+#[derive(Debug, Clone)]
+pub struct Environment {
+    /// What the ground plane is made of.
+    pub ground: Material,
+    /// Optional fog.
+    pub fog: Option<Fog>,
+    /// Stray ambient light entering the receiver directly (not via the
+    /// ground): skylight, reflections off walls. Expressed as a fraction
+    /// of the source's ground-level illuminance that reaches the receiver
+    /// aperture as an unmodulated pedestal.
+    pub stray_fraction: f64,
+}
+
+impl Environment {
+    /// The Sec. 4.1 dark office: workplane covered with black paper
+    /// (“to resemble tarmac”), blinds closed, negligible stray light.
+    pub fn dark_room() -> Self {
+        Environment { ground: Material::black_paper(), fog: None, stray_fraction: 0.02 }
+    }
+
+    /// The Fig. 7 lit office: same black workplane, but ceiling lights
+    /// fill the room with scattered light — a higher unmodulated pedestal
+    /// (“because we have an illuminated area, the noise floor is higher”).
+    pub fn lit_office() -> Self {
+        Environment { ground: Material::black_paper(), fog: None, stray_fraction: 0.25 }
+    }
+
+    /// The Sec. 5 outdoor parking lot: tarmac ground; under an overcast
+    /// sky a large share of the receiver's input is direct skylight.
+    pub fn parking_lot() -> Self {
+        Environment { ground: Material::tarmac(), fog: None, stray_fraction: 0.35 }
+    }
+
+    /// Adds fog to the environment.
+    pub fn with_fog(mut self, fog: Fog) -> Self {
+        self.fog = Some(fog);
+        self
+    }
+
+    /// Path transmission between two points a given distance apart
+    /// (1.0 without fog).
+    pub fn path_transmission(&self, distance_m: f64) -> f64 {
+        self.fog.map_or(1.0, |f| f.transmission(distance_m))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fog_transmission_decays_exponentially() {
+        let fog = Fog { extinction_per_m: 0.5 };
+        let t1 = fog.transmission(1.0);
+        let t2 = fog.transmission(2.0);
+        assert!((t2 - t1 * t1).abs() < 1e-12, "Beer-Lambert multiplicativity");
+        assert_eq!(fog.transmission(0.0), 1.0);
+        assert_eq!(fog.transmission(-1.0), 1.0);
+    }
+
+    #[test]
+    fn visibility_conversion_is_koschmieder() {
+        let fog = Fog::with_visibility(100.0);
+        // At the visibility distance, transmission = e^-3.912 ≈ 2 %.
+        assert!((fog.transmission(100.0) - 0.02).abs() < 0.001);
+    }
+
+    #[test]
+    fn presets_have_expected_ground() {
+        assert_eq!(Environment::dark_room().ground.name, "black-paper");
+        assert_eq!(Environment::parking_lot().ground.name, "tarmac");
+    }
+
+    #[test]
+    fn stray_light_ordering_matches_paper() {
+        // Dark room ≪ lit office ≤ outdoor overcast.
+        let dark = Environment::dark_room().stray_fraction;
+        let lit = Environment::lit_office().stray_fraction;
+        let out = Environment::parking_lot().stray_fraction;
+        assert!(dark < lit && lit <= out);
+    }
+
+    #[test]
+    fn clear_environment_transmits_fully() {
+        assert_eq!(Environment::dark_room().path_transmission(100.0), 1.0);
+    }
+
+    #[test]
+    fn foggy_environment_attenuates() {
+        let env = Environment::parking_lot().with_fog(Fog::with_visibility(50.0));
+        assert!(env.path_transmission(10.0) < 0.5);
+        assert!(env.path_transmission(1.0) > env.path_transmission(10.0));
+    }
+}

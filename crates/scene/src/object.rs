@@ -1,0 +1,304 @@
+//! Mobile objects: a surface moving along a trajectory in a lane.
+//!
+//! The channel simulator asks one question of the scene, many times per
+//! sample: *what surface (if any) is at world coordinate `x` at time `t`,
+//! and at what height?* A [`MobileObject`] answers it by combining a
+//! surface (bare tag on a cart, LCD tag, or a car with an optional
+//! roof-mounted tag), a [`Trajectory`], a starting position, and a lane
+//! offset (used by the collision experiments of Sec. 4.3, where two
+//! packets share the receiver's FoV with different lateral shares).
+
+use crate::car::CarModel;
+use crate::tag::{LcdShutterTag, Tag};
+use crate::trajectory::Trajectory;
+use palc_optics::Material;
+
+/// What the simulator sees at a queried point of an object.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SurfaceSample {
+    /// The reflective material at the point.
+    pub material: Material,
+    /// Height of the surface above the ground plane, metres.
+    pub height_m: f64,
+}
+
+/// The kinds of surface an object can carry.
+#[derive(Debug, Clone)]
+pub enum Surface {
+    /// A bare tag lying on (or carted just above) the ground plane.
+    Tag(Tag),
+    /// A time-switching LCD-shutter tag (Sec. 6 extension).
+    Lcd(LcdShutterTag),
+    /// A car, optionally with a tag centred on its roof.
+    Car {
+        /// The car's optical profile.
+        model: CarModel,
+        /// Optional roof tag.
+        roof_tag: Option<Tag>,
+    },
+}
+
+/// A mobile object in the scene.
+#[derive(Debug, Clone)]
+pub struct MobileObject {
+    surface: Surface,
+    trajectory: Trajectory,
+    /// World x of the surface's leading edge at `t = 0`, metres.
+    start_x_m: f64,
+    /// Lateral offset of the object's centreline from the receiver's
+    /// nadir, metres.
+    lane_y_m: f64,
+    /// Height of a bare tag's surface above ground, metres.
+    tag_height_m: f64,
+}
+
+impl MobileObject {
+    /// A tag on a low cart (2 cm surface height), directly under the
+    /// receiver's lane.
+    pub fn cart(tag: Tag, trajectory: Trajectory) -> Self {
+        MobileObject {
+            surface: Surface::Tag(tag),
+            trajectory,
+            start_x_m: 0.0,
+            lane_y_m: 0.0,
+            tag_height_m: 0.02,
+        }
+    }
+
+    /// An LCD-shutter tag on a cart.
+    pub fn lcd_cart(tag: LcdShutterTag, trajectory: Trajectory) -> Self {
+        MobileObject {
+            surface: Surface::Lcd(tag),
+            trajectory,
+            start_x_m: 0.0,
+            lane_y_m: 0.0,
+            tag_height_m: 0.02,
+        }
+    }
+
+    /// A car with an optional tag centred on its roof.
+    pub fn car(model: CarModel, roof_tag: Option<Tag>, trajectory: Trajectory) -> Self {
+        if let Some(tag) = &roof_tag {
+            let (a, b) = model.roof_span();
+            assert!(
+                tag.length_m() <= b - a + 1e-9,
+                "roof tag ({} m) longer than the roof ({} m)",
+                tag.length_m(),
+                b - a
+            );
+        }
+        MobileObject {
+            surface: Surface::Car { model, roof_tag },
+            trajectory,
+            start_x_m: 0.0,
+            lane_y_m: 0.0,
+            tag_height_m: 0.02,
+        }
+    }
+
+    /// Sets the leading-edge world position at `t = 0`.
+    pub fn starting_at(mut self, x_m: f64) -> Self {
+        self.start_x_m = x_m;
+        self
+    }
+
+    /// Sets the lane (lateral) offset from the receiver nadir.
+    pub fn in_lane(mut self, y_m: f64) -> Self {
+        self.lane_y_m = y_m;
+        self
+    }
+
+    /// Sets a bare tag's surface height.
+    pub fn at_height(mut self, h_m: f64) -> Self {
+        assert!(h_m >= 0.0);
+        self.tag_height_m = h_m;
+        self
+    }
+
+    /// The motion profile.
+    pub fn trajectory(&self) -> &Trajectory {
+        &self.trajectory
+    }
+
+    /// Lane offset, metres.
+    pub fn lane_y_m(&self) -> f64 {
+        self.lane_y_m
+    }
+
+    /// Object length along the direction of travel, metres.
+    pub fn length_m(&self) -> f64 {
+        match &self.surface {
+            Surface::Tag(tag) => tag.length_m(),
+            Surface::Lcd(lcd) => lcd.length_m(),
+            Surface::Car { model, .. } => model.length_m(),
+        }
+    }
+
+    /// Lateral extent of the object, metres.
+    pub fn lateral_m(&self) -> f64 {
+        match &self.surface {
+            Surface::Tag(tag) => tag.lateral_m(),
+            Surface::Lcd(_) => 0.30,
+            Surface::Car { .. } => 1.80,
+        }
+    }
+
+    /// World x of the leading edge at time `t`.
+    pub fn leading_edge_at(&self, t: f64) -> f64 {
+        self.start_x_m + self.trajectory.displacement(t)
+    }
+
+    /// Time at which the object's *leading edge* reaches world `x`.
+    pub fn time_to_reach(&self, x_m: f64) -> f64 {
+        self.trajectory.time_to_travel((x_m - self.start_x_m).max(0.0))
+    }
+
+    /// Surface sample at world coordinate `x` at time `t`, or `None` where
+    /// this object is not present.
+    pub fn sample_at(&self, world_x: f64, t: f64) -> Option<SurfaceSample> {
+        // Local coordinate measured from the leading edge: because the
+        // object moves in +x, the leading edge is the largest world x the
+        // object occupies, and local 0 (the strip laid first) passes the
+        // receiver first.
+        let local = self.leading_edge_at(t) - world_x;
+        if local < 0.0 || local > self.length_m() {
+            return None;
+        }
+        match &self.surface {
+            Surface::Tag(tag) => tag
+                .material_at(local)
+                .map(|m| SurfaceSample { material: m, height_m: self.tag_height_m }),
+            Surface::Lcd(lcd) => lcd
+                .material_at(local, t)
+                .map(|m| SurfaceSample { material: m, height_m: self.tag_height_m }),
+            Surface::Car { model, roof_tag } => {
+                if let Some(tag) = roof_tag {
+                    let (a, b) = model.roof_span();
+                    let tag_start = a + ((b - a) - tag.length_m()) / 2.0;
+                    if let Some(m) = tag.material_at(local - tag_start) {
+                        let roof_h =
+                            model.segment_at(local).map(|s| s.height_m).unwrap_or(1.4);
+                        return Some(SurfaceSample { material: m, height_m: roof_h + 0.002 });
+                    }
+                }
+                model
+                    .segment_at(local)
+                    .map(|s| SurfaceSample { material: s.material, height_m: s.height_m })
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use palc_phy::{Bits, Packet};
+
+    fn tag(bits: &str, w: f64) -> Tag {
+        Tag::from_packet(&Packet::new(Bits::parse(bits).unwrap()), w)
+    }
+
+    #[test]
+    fn cart_moves_leading_edge() {
+        let obj = MobileObject::cart(tag("00", 0.03), Trajectory::indoor_bench())
+            .starting_at(-0.5);
+        assert_eq!(obj.leading_edge_at(0.0), -0.5);
+        assert!((obj.leading_edge_at(10.0) - 0.3).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sample_outside_extent_is_none() {
+        let obj = MobileObject::cart(tag("00", 0.03), Trajectory::indoor_bench());
+        assert!(obj.sample_at(0.5, 0.0).is_none()); // ahead of the object
+        assert!(obj.sample_at(-0.5, 0.0).is_none()); // behind it
+    }
+
+    #[test]
+    fn leading_strip_passes_first() {
+        // '10' -> HLHL.LHHL: strip 0 is H. As the object moves +x, a fixed
+        // point first sees strip 0.
+        let obj = MobileObject::cart(tag("10", 0.10), Trajectory::Constant { speed_mps: 1.0 })
+            .starting_at(0.0);
+        // At t=0.05 the leading edge is at 0.05; point 0.0 is 0.05 into
+        // the tag -> strip 0 (H).
+        let s = obj.sample_at(0.0, 0.05).unwrap();
+        assert_eq!(s.material.name, "aluminum-tape");
+        // At t=0.15, point 0.0 is 0.15 into the tag -> strip 1 (L).
+        let s = obj.sample_at(0.0, 0.15).unwrap();
+        assert_eq!(s.material.name, "black-napkin");
+    }
+
+    #[test]
+    fn time_to_reach_inverts_motion() {
+        let obj = MobileObject::cart(tag("00", 0.03), Trajectory::car_18kmh())
+            .starting_at(-10.0);
+        let t = obj.time_to_reach(0.0);
+        assert!((t - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn car_exposes_segments_and_roof_tag() {
+        let car = CarModel::volvo_v40();
+        let (a, b) = car.roof_span();
+        let tag8 = tag("00", 0.10); // 0.8 m
+        let obj = MobileObject::car(car.clone(), Some(tag8), Trajectory::car_18kmh())
+            .starting_at(0.0);
+        // Sample the middle of the roof at t such that leading edge far
+        // enough: t=1 -> leading edge 5 m; world x = 5 - local.
+        let roof_mid = (a + b) / 2.0;
+        let s = obj.sample_at(5.0 - roof_mid, 1.0).unwrap();
+        // Mid-roof lies inside the centred 0.8 m tag (roof is 1.3 m).
+        assert!(s.material.name == "aluminum-tape" || s.material.name == "black-napkin");
+        assert!(s.height_m > 1.4, "tag rides on the roof");
+        // The hood is still car paint.
+        let s = obj.sample_at(5.0 - 1.0, 1.0).unwrap();
+        assert_eq!(s.material.name, "car-paint");
+    }
+
+    #[test]
+    fn car_without_tag_shows_bare_segments() {
+        let obj =
+            MobileObject::car(CarModel::bmw_3(), None, Trajectory::car_18kmh()).starting_at(0.0);
+        let s = obj.sample_at(5.0 - 2.0, 1.0).unwrap(); // 2 m back: windshield
+        assert_eq!(s.material.name, "windshield");
+    }
+
+    #[test]
+    #[should_panic(expected = "longer than the roof")]
+    fn oversized_roof_tag_is_rejected() {
+        // 20 symbols × 10 cm = 2 m > 1.3 m roof.
+        let long_tag = tag("00000000", 0.10);
+        MobileObject::car(CarModel::volvo_v40(), Some(long_tag), Trajectory::car_18kmh());
+    }
+
+    #[test]
+    fn lane_offset_is_stored() {
+        let obj =
+            MobileObject::cart(tag("00", 0.03), Trajectory::indoor_bench()).in_lane(0.25);
+        assert_eq!(obj.lane_y_m(), 0.25);
+        assert_eq!(obj.lateral_m(), 0.30);
+    }
+
+    #[test]
+    fn lcd_cart_switches_over_time() {
+        let a = tag("00", 0.05);
+        let b = tag("11", 0.05);
+        let lcd = crate::tag::LcdShutterTag::new(vec![a, b], 0.5);
+        let obj = MobileObject::lcd_cart(lcd, Trajectory::Constant { speed_mps: 0.0 })
+            .starting_at(0.4);
+        // Static object: sample inside the data region (local 0.21 =
+        // symbol 4), where '00' shows H and '11' shows L.
+        let m0 = obj.sample_at(0.4 - 0.21, 0.1).unwrap().material.name;
+        let m1 = obj.sample_at(0.4 - 0.21, 0.6).unwrap().material.name;
+        assert_ne!(m0, m1, "frames must alternate");
+    }
+
+    #[test]
+    fn heights_default_and_override() {
+        let obj = MobileObject::cart(tag("0", 0.03), Trajectory::indoor_bench())
+            .starting_at(0.1)
+            .at_height(0.05);
+        let s = obj.sample_at(0.05, 0.0).unwrap();
+        assert_eq!(s.height_m, 0.05);
+    }
+}

@@ -1,0 +1,322 @@
+//! The physical ‘packet’: a strip of reflective materials.
+//!
+//! *“The symbol width, defined as the width of the material representing a
+//! symbol, remains constant within a packet, but different packets can
+//! have different symbol widths”* (Sec. 4). A [`Tag`] compiles a
+//! [`Packet`]'s symbol sequence into a run of material strips at a chosen
+//! symbol width; the channel simulator then samples its reflectance along
+//! the direction of motion.
+//!
+//! Distortions from Sec. 3 are first-class: [`Tag::with_dirt`] overlays
+//! random dirt patches (reduced, diffused reflectance), and
+//! [`LcdShutterTag`] implements the Sec. 6 future-work idea of a tag whose
+//! reflectance is switched electronically over time (Retro-VLC style).
+
+use palc_optics::Material;
+use palc_phy::{Packet, Symbol};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// One material strip of a tag.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Strip {
+    /// Width along the direction of motion, metres.
+    pub width_m: f64,
+    /// The reflective material of this strip.
+    pub material: Material,
+}
+
+/// A passive reflective tag: the paper's ‘packet’ made physical.
+///
+/// ```
+/// use palc_phy::Packet;
+/// use palc_scene::Tag;
+///
+/// // The Fig. 17 roof tag: payload '10' at 10 cm symbols.
+/// let tag = Tag::from_packet(&Packet::from_bits("10").unwrap(), 0.10);
+/// assert_eq!(tag.strips().len(), 8);                    // HLHL.LHHL
+/// assert!((tag.length_m() - 0.8).abs() < 1e-9);         // 80 cm of roof
+/// assert_eq!(tag.material_at(0.05).unwrap().name, "aluminum-tape");
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Tag {
+    strips: Vec<Strip>,
+    /// Extent across the direction of motion, metres.
+    lateral_m: f64,
+}
+
+/// Default materials implementing HIGH and LOW, per Sec. 4.
+pub fn default_symbol_materials() -> (Material, Material) {
+    (Material::aluminum_tape(), Material::black_napkin())
+}
+
+impl Tag {
+    /// Compiles `packet` into a tag with constant `symbol_width_m`,
+    /// aluminium tape for HIGH and black napkin for LOW (the paper's
+    /// choices), 30 cm lateral extent.
+    pub fn from_packet(packet: &Packet, symbol_width_m: f64) -> Self {
+        let (high, low) = default_symbol_materials();
+        Tag::from_packet_with_materials(packet, symbol_width_m, high, low)
+    }
+
+    /// Compiles `packet` with explicit HIGH/LOW materials.
+    pub fn from_packet_with_materials(
+        packet: &Packet,
+        symbol_width_m: f64,
+        high: Material,
+        low: Material,
+    ) -> Self {
+        assert!(symbol_width_m > 0.0, "symbol width must be positive");
+        let strips = packet
+            .to_symbols()
+            .into_iter()
+            .map(|s| Strip {
+                width_m: symbol_width_m,
+                material: match s {
+                    Symbol::High => high,
+                    Symbol::Low => low,
+                },
+            })
+            .collect();
+        Tag { strips, lateral_m: 0.30 }
+    }
+
+    /// Builds a tag directly from strips (for custom patterns).
+    pub fn from_strips(strips: Vec<Strip>) -> Self {
+        assert!(!strips.is_empty(), "a tag needs at least one strip");
+        assert!(strips.iter().all(|s| s.width_m > 0.0), "strip widths must be positive");
+        Tag { strips, lateral_m: 0.30 }
+    }
+
+    /// Overrides the lateral extent (cross-track size), metres.
+    pub fn with_lateral(mut self, lateral_m: f64) -> Self {
+        assert!(lateral_m > 0.0);
+        self.lateral_m = lateral_m;
+        self
+    }
+
+    /// The strips, leading edge first.
+    pub fn strips(&self) -> &[Strip] {
+        &self.strips
+    }
+
+    /// Total length along the direction of motion, metres.
+    pub fn length_m(&self) -> f64 {
+        self.strips.iter().map(|s| s.width_m).sum()
+    }
+
+    /// Lateral extent, metres.
+    pub fn lateral_m(&self) -> f64 {
+        self.lateral_m
+    }
+
+    /// Material at local coordinate `x` (0 = leading edge), or `None`
+    /// outside the tag.
+    pub fn material_at(&self, x: f64) -> Option<Material> {
+        if x < 0.0 {
+            return None;
+        }
+        let mut acc = 0.0;
+        for s in &self.strips {
+            acc += s.width_m;
+            if x < acc {
+                return Some(s.material);
+            }
+        }
+        None
+    }
+
+    /// Applies dirt: `coverage` ∈ [0,1] of the tag's length is covered by
+    /// patches whose reflectance is scaled by `severity` ∈ [0,1]
+    /// (0 = opaque mud). Patch placement is seeded and patches are placed
+    /// per-strip so symbol boundaries remain aligned (dirt does not move
+    /// symbols, it degrades their contrast).
+    pub fn with_dirt(mut self, coverage: f64, severity: f64, seed: u64) -> Self {
+        let coverage = coverage.clamp(0.0, 1.0);
+        let severity = severity.clamp(0.0, 1.0);
+        let mut rng = StdRng::seed_from_u64(seed);
+        for strip in &mut self.strips {
+            if rng.gen::<f64>() < coverage {
+                // Partial soiling of this strip; the effective factor mixes
+                // clean and dirty area within the strip.
+                let dirt_fraction: f64 = rng.gen_range(0.3..1.0);
+                let k = 1.0 - dirt_fraction * (1.0 - severity);
+                strip.material = strip.material.soiled(k);
+            }
+        }
+        self
+    }
+
+    /// Mean reflectance contrast between HIGH-candidate and LOW-candidate
+    /// strips: the Michelson contrast of total reflectance between the
+    /// brightest and dimmest strip classes. 0 for a single-material tag.
+    pub fn contrast(&self) -> f64 {
+        let rs: Vec<f64> = self.strips.iter().map(|s| s.material.total_reflectance()).collect();
+        let hi = rs.iter().cloned().fold(f64::MIN, f64::max);
+        let lo = rs.iter().cloned().fold(f64::MAX, f64::min);
+        if hi + lo <= 0.0 {
+            0.0
+        } else {
+            (hi - lo) / (hi + lo)
+        }
+    }
+}
+
+/// A dynamic tag: an LCD shutter stack over a retro-reflective backing,
+/// able to change its code over time (the paper's Sec. 6 extension,
+/// borrowed from Retro-VLC [9]). Electrically it still has a tiny
+/// footprint; optically it is a [`Tag`] whose strips switch between two
+/// states at `switch_period_s`.
+#[derive(Debug, Clone)]
+pub struct LcdShutterTag {
+    /// The sequence of frames (each a full tag) cycled over time.
+    frames: Vec<Tag>,
+    /// Seconds each frame is shown.
+    frame_period_s: f64,
+}
+
+impl LcdShutterTag {
+    /// Creates a dynamic tag cycling through `frames`, each shown for
+    /// `frame_period_s` seconds. All frames must have equal length.
+    pub fn new(frames: Vec<Tag>, frame_period_s: f64) -> Self {
+        assert!(!frames.is_empty(), "need at least one frame");
+        assert!(frame_period_s > 0.0);
+        let len = frames[0].length_m();
+        assert!(
+            frames.iter().all(|f| (f.length_m() - len).abs() < 1e-9),
+            "all frames must have the same physical length"
+        );
+        LcdShutterTag { frames, frame_period_s }
+    }
+
+    /// The frame visible at time `t`.
+    pub fn frame_at(&self, t: f64) -> &Tag {
+        let idx = ((t / self.frame_period_s).floor().max(0.0) as usize) % self.frames.len();
+        &self.frames[idx]
+    }
+
+    /// Material at local `x` at time `t`.
+    pub fn material_at(&self, x: f64, t: f64) -> Option<Material> {
+        self.frame_at(t).material_at(x)
+    }
+
+    /// Physical length, metres.
+    pub fn length_m(&self) -> f64 {
+        self.frames[0].length_m()
+    }
+
+    /// Number of frames in the cycle.
+    pub fn frame_count(&self) -> usize {
+        self.frames.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use palc_phy::Bits;
+
+    fn packet(bits: &str) -> Packet {
+        Packet::new(Bits::parse(bits).unwrap())
+    }
+
+    #[test]
+    fn compiles_fig5a_packet() {
+        // '00' -> HLHL.HLHL: 8 strips alternating tape/napkin.
+        let tag = Tag::from_packet(&packet("00"), 0.03);
+        assert_eq!(tag.strips().len(), 8);
+        assert!((tag.length_m() - 0.24).abs() < 1e-12);
+        for (i, s) in tag.strips().iter().enumerate() {
+            let expect = if i % 2 == 0 { "aluminum-tape" } else { "black-napkin" };
+            assert_eq!(s.material.name, expect, "strip {i}");
+        }
+    }
+
+    #[test]
+    fn material_lookup_respects_boundaries() {
+        let tag = Tag::from_packet(&packet("10"), 0.10);
+        // '10' -> HLHL.LHHL
+        assert_eq!(tag.material_at(0.05).unwrap().name, "aluminum-tape"); // H
+        assert_eq!(tag.material_at(0.15).unwrap().name, "black-napkin"); // L
+        assert_eq!(tag.material_at(0.45).unwrap().name, "black-napkin"); // 5th: L
+        assert_eq!(tag.material_at(0.55).unwrap().name, "aluminum-tape"); // 6th: H
+        assert!(tag.material_at(-0.01).is_none());
+        assert!(tag.material_at(0.80).is_none());
+    }
+
+    #[test]
+    fn fig17_tag_is_80cm_long() {
+        let tag = Tag::from_packet(&packet("00"), 0.10);
+        assert!((tag.length_m() - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn clean_tag_has_strong_contrast() {
+        let tag = Tag::from_packet(&packet("10"), 0.03);
+        assert!(tag.contrast() > 0.7, "contrast {}", tag.contrast());
+    }
+
+    #[test]
+    fn dirt_reduces_contrast_deterministically() {
+        let clean = Tag::from_packet(&packet("1010"), 0.03);
+        let dirty = clean.clone().with_dirt(1.0, 0.3, 5);
+        let dirty2 = clean.clone().with_dirt(1.0, 0.3, 5);
+        assert_eq!(dirty, dirty2, "same seed, same dirt");
+        // Dirt removes light: the mean strip reflectance must drop.
+        let mean_r = |t: &Tag| {
+            t.strips().iter().map(|s| s.material.total_reflectance()).sum::<f64>()
+                / t.strips().len() as f64
+        };
+        assert!(mean_r(&dirty) < mean_r(&clean));
+        // Geometry unchanged: dirt degrades contrast, not alignment.
+        assert_eq!(dirty.length_m(), clean.length_m());
+        assert_eq!(dirty.strips().len(), clean.strips().len());
+    }
+
+    #[test]
+    fn zero_coverage_dirt_is_identity() {
+        let clean = Tag::from_packet(&packet("10"), 0.03);
+        assert_eq!(clean.clone().with_dirt(0.0, 0.0, 1), clean);
+    }
+
+    #[test]
+    fn custom_strips_and_lateral() {
+        let tag = Tag::from_strips(vec![
+            Strip { width_m: 0.05, material: Material::mirror() },
+            Strip { width_m: 0.10, material: Material::dark_cloth() },
+        ])
+        .with_lateral(0.5);
+        assert!((tag.length_m() - 0.15).abs() < 1e-12);
+        assert_eq!(tag.lateral_m(), 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one strip")]
+    fn rejects_empty_tag() {
+        Tag::from_strips(Vec::new());
+    }
+
+    #[test]
+    fn lcd_tag_cycles_frames() {
+        let a = Tag::from_packet(&packet("00"), 0.05);
+        let b = Tag::from_packet(&packet("11"), 0.05);
+        let lcd = LcdShutterTag::new(vec![a.clone(), b.clone()], 1.0);
+        assert_eq!(lcd.frame_count(), 2);
+        assert_eq!(lcd.frame_at(0.5), &a);
+        assert_eq!(lcd.frame_at(1.5), &b);
+        assert_eq!(lcd.frame_at(2.5), &a); // wraps
+        // Both frames share the HLHL preamble; they differ in the data
+        // region (symbol 4): '00' data starts H, '11' data starts L.
+        let data_x = 4.0 * 0.05 + 0.01;
+        assert_eq!(lcd.material_at(data_x, 0.0).unwrap().name, "aluminum-tape");
+        assert_eq!(lcd.material_at(data_x, 1.0).unwrap().name, "black-napkin");
+    }
+
+    #[test]
+    #[should_panic(expected = "same physical length")]
+    fn lcd_tag_rejects_mismatched_frames() {
+        let a = Tag::from_packet(&packet("00"), 0.05);
+        let b = Tag::from_packet(&packet("0"), 0.05);
+        LcdShutterTag::new(vec![a, b], 1.0);
+    }
+}

@@ -1,0 +1,256 @@
+//! Motion profiles for mobile objects.
+//!
+//! The paper has no transmitter clock: the *speed of the object is the
+//! symbol clock*, which is why variable speed is a channel distortion
+//! (Sec. 4.2) rather than a nuisance. Profiles provided:
+//!
+//! * [`Trajectory::Constant`] — the ideal-scenario assumption of Sec. 4.1
+//!   (8 cm/s indoor experiments; 18 km/h car passes).
+//! * [`Trajectory::StepChange`] — the Fig. 8 experiment: *“This object
+//!   moves at a certain speed when its first half (preamble) passes the
+//!   receiver, and the speed is doubled when the second half (Data field)
+//!   passes by.”*
+//! * [`Trajectory::Ramp`] — smooth acceleration (a car braking or pulling
+//!   away).
+//! * [`Trajectory::Jittered`] — hand-moved objects with seeded speed
+//!   noise.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A one-dimensional motion profile: displacement along +x over time.
+#[derive(Debug, Clone)]
+pub enum Trajectory {
+    /// Constant speed, m/s.
+    Constant {
+        /// Speed, m/s (must be positive).
+        speed_mps: f64,
+    },
+    /// Constant `speed_mps` until `switch_after_m` of travel, then
+    /// `speed_mps × factor` (the Fig. 8 distortion with `factor = 2`).
+    StepChange {
+        /// Initial speed, m/s.
+        speed_mps: f64,
+        /// Distance travelled before the speed changes, metres.
+        switch_after_m: f64,
+        /// Speed multiplier after the switch.
+        factor: f64,
+    },
+    /// Linear speed ramp from `v0_mps` to `v1_mps` over `over_m` metres,
+    /// then constant at `v1_mps`.
+    Ramp {
+        /// Starting speed, m/s.
+        v0_mps: f64,
+        /// Final speed, m/s.
+        v1_mps: f64,
+        /// Distance over which the ramp completes, metres.
+        over_m: f64,
+    },
+    /// Constant nominal speed with piecewise speed jitter: every
+    /// `segment_m` metres the instantaneous speed is redrawn within
+    /// `±jitter` (relative), seeded. Models a hand-pushed trolley.
+    Jittered {
+        /// Nominal speed, m/s.
+        speed_mps: f64,
+        /// Relative jitter amplitude in `[0, 0.9]`.
+        jitter: f64,
+        /// Segment length between speed redraws, metres.
+        segment_m: f64,
+        /// RNG seed.
+        seed: u64,
+    },
+}
+
+impl Trajectory {
+    /// The paper's indoor bench speed: 8 cm/s (Fig. 6 caption).
+    pub fn indoor_bench() -> Self {
+        Trajectory::Constant { speed_mps: 0.08 }
+    }
+
+    /// The paper's car speed: 18 km/h = 5 m/s (Sec. 5).
+    pub fn car_18kmh() -> Self {
+        Trajectory::Constant { speed_mps: 5.0 }
+    }
+
+    /// The Fig. 8 profile for a packet of length `packet_len_m`: base
+    /// speed through the first half, doubled through the second half.
+    pub fn fig8_speed_doubling(base_mps: f64, packet_len_m: f64) -> Self {
+        Trajectory::StepChange {
+            speed_mps: base_mps,
+            switch_after_m: packet_len_m / 2.0,
+            factor: 2.0,
+        }
+    }
+
+    /// Displacement (metres) after `t` seconds; 0 for negative `t`.
+    pub fn displacement(&self, t: f64) -> f64 {
+        if t <= 0.0 {
+            return 0.0;
+        }
+        match *self {
+            Trajectory::Constant { speed_mps } => speed_mps * t,
+            Trajectory::StepChange { speed_mps, switch_after_m, factor } => {
+                let t_switch = switch_after_m / speed_mps;
+                if t <= t_switch {
+                    speed_mps * t
+                } else {
+                    switch_after_m + speed_mps * factor * (t - t_switch)
+                }
+            }
+            Trajectory::Ramp { v0_mps, v1_mps, over_m } => {
+                // Constant acceleration over `over_m`: v² = v0² + 2as.
+                let a = (v1_mps * v1_mps - v0_mps * v0_mps) / (2.0 * over_m);
+                if a.abs() < 1e-12 {
+                    return v0_mps * t;
+                }
+                let t_ramp = (v1_mps - v0_mps) / a;
+                if t <= t_ramp {
+                    v0_mps * t + 0.5 * a * t * t
+                } else {
+                    over_m + v1_mps * (t - t_ramp)
+                }
+            }
+            Trajectory::Jittered { speed_mps, jitter, segment_m, seed } => {
+                // Integrate segment by segment, redrawing speed per segment.
+                let jitter = jitter.clamp(0.0, 0.9);
+                let mut rng = StdRng::seed_from_u64(seed);
+                let mut pos = 0.0;
+                let mut clock = 0.0;
+                loop {
+                    let v = speed_mps * (1.0 + jitter * (rng.gen::<f64>() * 2.0 - 1.0));
+                    let seg_time = segment_m / v;
+                    if clock + seg_time >= t {
+                        return pos + v * (t - clock);
+                    }
+                    pos += segment_m;
+                    clock += seg_time;
+                }
+            }
+        }
+    }
+
+    /// Instantaneous speed at time `t`, via a centred difference (exact
+    /// for the piecewise profiles away from their breakpoints).
+    pub fn speed_at(&self, t: f64) -> f64 {
+        let dt = 1e-6;
+        (self.displacement(t + dt) - self.displacement((t - dt).max(0.0))) / (2.0 * dt)
+    }
+
+    /// Time needed to travel `distance_m` metres (bisection against the
+    /// monotone displacement function).
+    pub fn time_to_travel(&self, distance_m: f64) -> f64 {
+        assert!(distance_m >= 0.0);
+        if distance_m == 0.0 {
+            return 0.0;
+        }
+        let mut hi = 1.0;
+        while self.displacement(hi) < distance_m {
+            hi *= 2.0;
+            assert!(hi < 1e9, "trajectory never covers {distance_m} m");
+        }
+        let mut lo = 0.0;
+        for _ in 0..80 {
+            let mid = 0.5 * (lo + hi);
+            if self.displacement(mid) < distance_m {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        0.5 * (lo + hi)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_speed_is_linear() {
+        let tr = Trajectory::indoor_bench();
+        assert!((tr.displacement(1.0) - 0.08).abs() < 1e-12);
+        assert!((tr.displacement(10.0) - 0.8).abs() < 1e-12);
+        assert_eq!(tr.displacement(-1.0), 0.0);
+    }
+
+    #[test]
+    fn car_preset_is_5_mps() {
+        assert!((Trajectory::car_18kmh().speed_at(1.0) - 5.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn step_change_doubles_speed_after_half() {
+        let tr = Trajectory::fig8_speed_doubling(0.08, 0.24);
+        // First half: 0.12 m at 0.08 m/s = 1.5 s.
+        let t_half = tr.time_to_travel(0.12);
+        assert!((t_half - 1.5).abs() < 1e-6);
+        // Second half at 0.16 m/s: 0.75 s more.
+        let t_full = tr.time_to_travel(0.24);
+        assert!((t_full - 2.25).abs() < 1e-6);
+        assert!((tr.speed_at(1.0) - 0.08).abs() < 1e-6);
+        assert!((tr.speed_at(2.0) - 0.16).abs() < 1e-6);
+    }
+
+    #[test]
+    fn displacement_is_continuous_at_the_switch() {
+        let tr = Trajectory::StepChange { speed_mps: 1.0, switch_after_m: 2.0, factor: 3.0 };
+        let before = tr.displacement(2.0 - 1e-9);
+        let after = tr.displacement(2.0 + 1e-9);
+        assert!((after - before).abs() < 1e-6);
+    }
+
+    #[test]
+    fn ramp_accelerates_smoothly() {
+        let tr = Trajectory::Ramp { v0_mps: 1.0, v1_mps: 3.0, over_m: 4.0 };
+        assert!((tr.speed_at(0.001) - 1.0).abs() < 0.01);
+        let t_end = tr.time_to_travel(4.0);
+        assert!((tr.speed_at(t_end + 0.5) - 3.0).abs() < 0.01);
+        // Monotone displacement.
+        let mut prev = 0.0;
+        for i in 1..100 {
+            let d = tr.displacement(i as f64 * 0.05);
+            assert!(d > prev);
+            prev = d;
+        }
+    }
+
+    #[test]
+    fn flat_ramp_degenerates_to_constant() {
+        let tr = Trajectory::Ramp { v0_mps: 2.0, v1_mps: 2.0, over_m: 1.0 };
+        assert!((tr.displacement(3.0) - 6.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn jittered_is_reproducible_and_monotone() {
+        let tr = Trajectory::Jittered { speed_mps: 0.1, jitter: 0.4, segment_m: 0.02, seed: 7 };
+        let tr2 = Trajectory::Jittered { speed_mps: 0.1, jitter: 0.4, segment_m: 0.02, seed: 7 };
+        let mut prev = 0.0;
+        for i in 1..200 {
+            let t = i as f64 * 0.05;
+            let d = tr.displacement(t);
+            assert_eq!(d, tr2.displacement(t));
+            assert!(d >= prev, "displacement must be monotone");
+            prev = d;
+        }
+    }
+
+    #[test]
+    fn jittered_mean_speed_is_near_nominal() {
+        let tr = Trajectory::Jittered { speed_mps: 0.1, jitter: 0.3, segment_m: 0.01, seed: 3 };
+        let d = tr.displacement(100.0);
+        assert!((d / 100.0 - 0.1).abs() < 0.02, "mean speed {}", d / 100.0);
+    }
+
+    #[test]
+    fn time_to_travel_inverts_displacement() {
+        for tr in [
+            Trajectory::Constant { speed_mps: 0.5 },
+            Trajectory::StepChange { speed_mps: 0.5, switch_after_m: 1.0, factor: 2.0 },
+            Trajectory::Ramp { v0_mps: 0.2, v1_mps: 1.0, over_m: 2.0 },
+        ] {
+            let t = tr.time_to_travel(3.0);
+            assert!((tr.displacement(t) - 3.0).abs() < 1e-6, "{tr:?}");
+        }
+        assert_eq!(Trajectory::indoor_bench().time_to_travel(0.0), 0.0);
+    }
+}

@@ -1,0 +1,77 @@
+//! Collision lab: two tagged objects share the receiver's field of view
+//! (Sec. 4.3). When neither dominates, the time-domain decoder gives up —
+//! but the frequency domain still reports *how many kinds* of object
+//! passed, which is useful information for monitoring applications.
+//!
+//! ```sh
+//! cargo run --release --example collision_lab
+//! ```
+
+use palc_lab::core::channel::{PassiveChannel, Resolution, Scenario};
+use palc_lab::core::collision::Occupancy;
+use palc_lab::frontend::Mcp3008;
+use palc_lab::optics::source::{SkyCondition, Sun};
+use palc_lab::prelude::*;
+use palc_lab::scene::{Environment, MobileObject, Tag};
+
+/// Two strips side by side inside the RX-LED's sensing footprint.
+fn two_tag_scene(y_wide: f64, y_narrow: f64, seed: u64) -> Scenario {
+    let wide = Tag::from_packet(&Packet::from_bits("00").unwrap(), 0.10).with_lateral(0.008);
+    let narrow =
+        Tag::from_packet(&Packet::from_bits("00000000").unwrap(), 0.04).with_lateral(0.008);
+    let sun = Sun::new(1000.0, 35.0, SkyCondition::Cloudy { drift: 0.03 }, seed);
+    let objects = vec![
+        MobileObject::cart(wide, Trajectory::indoor_bench()).starting_at(-0.1).in_lane(y_wide),
+        MobileObject::cart(narrow, Trajectory::indoor_bench()).starting_at(-0.1).in_lane(y_narrow),
+    ];
+    Scenario::custom(
+        PassiveChannel {
+            environment: Environment::parking_lot(),
+            source: Box::new(sun),
+            objects,
+            receiver_z_m: 0.15,
+            frontend: Frontend::new(
+                OpticalReceiver::rx_led(),
+                Mcp3008 { vref: 3.3, sample_rate_hz: 250.0 },
+                0,
+            ),
+            resolution: Resolution { along_m: 0.004, lateral_slices: 9 },
+        },
+        (0.8 + 0.2) / 0.08 + 0.2,
+    )
+}
+
+fn main() {
+    let analyzer = CollisionAnalyzer::default();
+
+    println!("--- one packet dominating the FoV ---");
+    let trace = two_tag_scene(0.004, 0.015, 17).run(1);
+    let report = analyzer.analyze(&trace);
+    match &report.occupancy {
+        Occupancy::Single { freq_hz } => {
+            println!("single dominant symbol pattern at {freq_hz:.2} Hz — a readable channel")
+        }
+        other => println!("unexpected: {other:?}"),
+    }
+
+    println!("\n--- equal shares: a genuine collision ---");
+    let trace = two_tag_scene(-0.0095, 0.0095, 17).run(2);
+    let report = analyzer.analyze(&trace);
+    match &report.occupancy {
+        Occupancy::Multiple { freqs_hz } => {
+            println!(
+                "time-domain decode: {}",
+                if report.decoded.is_some() { "succeeded (lucky)" } else { "failed, as expected" }
+            );
+            println!("FFT sees {} distinct object types at {:?} Hz", freqs_hz.len(), freqs_hz);
+        }
+        other => println!("unexpected: {other:?}"),
+    }
+
+    println!("\n--- empty lane ---");
+    let mut idle = two_tag_scene(0.004, 0.015, 17);
+    idle.channel_mut().objects.clear();
+    let report = analyzer.analyze(&idle.run(3));
+    println!("occupancy: {:?}", report.occupancy);
+    assert_eq!(report.occupancy, Occupancy::Idle);
+}

@@ -1,0 +1,73 @@
+//! The paper's Fig. 1 application: food trucks wear reflective ‘packets’
+//! that encode their cargo type, and cheap roadside photodiode boxes read
+//! them as the trucks drive past.
+//!
+//! This example exercises:
+//! * codebook design — four cargo classes with maximised inter-code
+//!   Hamming distance (Sec. 4.2's requirement);
+//! * per-truck tags compiled at a roadside-friendly symbol width;
+//! * two networked receivers fusing their detections (Sec. 6, item 5).
+//!
+//! ```sh
+//! cargo run --release --example food_truck
+//! ```
+
+use palc_lab::core::channel::Scenario;
+use palc_lab::core::fusion::{Detection, FusionCenter};
+use palc_lab::phy::Codebook;
+use palc_lab::prelude::*;
+
+const CARGO: [&str; 4] = ["tacos", "coffee", "produce", "ice-cream"];
+
+fn main() {
+    // Four cargo classes, 4-bit codes, max-min Hamming distance.
+    let book = Codebook::max_min_hamming(CARGO.len(), 4);
+    println!(
+        "codebook (min Hamming distance {}): ",
+        book.min_distance()
+    );
+    for (name, code) in CARGO.iter().zip(book.codes()) {
+        println!("  {name:>10} -> {code}");
+    }
+
+    // Each truck drives under two receivers 30 s apart; both decode and
+    // report to the fusion centre.
+    let fusion = FusionCenter::default();
+    let mut detections = Vec::new();
+    for (truck_idx, (name, code)) in CARGO.iter().zip(book.codes()).enumerate() {
+        let packet = Packet::new(code.clone());
+        for (rx_id, time_offset) in [(1u32, 0.0), (2u32, 0.4)] {
+            // 4 cm symbols, receiver at 30 cm above the truck roofline.
+            let scenario = Scenario::indoor_bench(packet.clone(), 0.04, 0.30);
+            let trace = scenario.run(100 + truck_idx as u64 * 10 + rx_id as u64);
+            let decoder = AdaptiveDecoder::default().with_expected_bits(code.len());
+            if let Ok(out) = decoder.decode(&trace) {
+                detections.push(Detection {
+                    receiver_id: rx_id,
+                    time_s: truck_idx as f64 * 30.0 + time_offset,
+                    payload: out.payload.clone(),
+                    confidence: trace.modulation_depth(),
+                });
+            }
+        }
+    }
+
+    // Fuse per-pass detections and map codes back to cargo classes.
+    println!("\nfused events:");
+    let mut correct = 0;
+    for event in fusion.fuse(&detections) {
+        let (idx, dist) = book.nearest(&event.payload);
+        println!(
+            "  t={:6.1}s  {} receivers agree {:.0}%  code {} -> {} (Hamming distance {})",
+            event.time_s,
+            event.receivers,
+            event.agreement() * 100.0,
+            event.payload,
+            CARGO[idx],
+            dist
+        );
+        correct += (dist == 0) as usize;
+    }
+    println!("\n{correct}/{} trucks identified exactly", CARGO.len());
+    assert_eq!(correct, CARGO.len(), "all trucks must decode on the clean channel");
+}

@@ -1,0 +1,43 @@
+//! # palc-lab — workspace facade
+//!
+//! One-stop import for the whole `palc` workspace: the reproduction of
+//! *“Passive Communication with Ambient Light”* (Wang, Zuniga,
+//! Giustiniano — ACM CoNEXT 2016). The repository-level `examples/` and
+//! `tests/` build against this crate, exercising the public API exactly
+//! as a downstream user would.
+//!
+//! ```
+//! use palc_lab::prelude::*;
+//! ```
+//!
+//! Re-exported crates:
+//!
+//! * [`dsp`] — FFT, DTW, filters, peak detection ([`palc_dsp`]).
+//! * [`optics`] — photometry, spectra, materials, sources, FoV
+//!   ([`palc_optics`]).
+//! * [`frontend`] — photodiode / RX-LED / amplifier / ADC models
+//!   ([`palc_frontend`]).
+//! * [`scene`] — tags, trajectories, cars, environments ([`palc_scene`]).
+//! * [`phy`] — symbols, Manchester coding, packets, codebooks
+//!   ([`palc_phy`]).
+//! * [`core`] — the paper's algorithms: channel simulation, decoding,
+//!   classification, collision analysis, capacity ([`palc`]).
+
+#![forbid(unsafe_code)]
+
+pub use palc as core;
+pub use palc_dsp as dsp;
+pub use palc_frontend as frontend;
+pub use palc_optics as optics;
+pub use palc_phy as phy;
+pub use palc_scene as scene;
+
+/// Commonly used items, importable in one line.
+pub mod prelude {
+    pub use palc::prelude::*;
+    pub use palc_dsp::{dtw_normalized, normalize_minmax, power_spectrum};
+    pub use palc_frontend::{OpticalReceiver, PdGain};
+    pub use palc_optics::{FieldOfView, LightSource, Material, Vec3};
+    pub use palc_phy::{Bits, Packet, Symbol};
+    pub use palc_scene::{Tag, Trajectory};
+}

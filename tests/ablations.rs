@@ -1,0 +1,196 @@
+//! Ablation tests: each test disables one design choice the workspace
+//! makes on top of the paper's plain description and shows the failure
+//! the choice prevents. These pin *why* the implementation looks the way
+//! it does (see DESIGN.md §5-6).
+
+use palc_lab::core::channel::Scenario;
+use palc_lab::core::decode::{AdaptiveDecoder, ThresholdMode};
+use palc_lab::prelude::*;
+
+/// Ablation 1 — persistence-based vs walk-based peak detection.
+///
+/// ADC quantisation produces equal-height twin peaks split by one-LSB
+/// notches. Walk-based prominence reports both (each with full
+/// prominence); the decoder would pick A and C on the *same* symbol.
+#[test]
+fn ablation_persistence_vs_walk_peaks() {
+    use palc_lab::dsp::peaks::{find_peaks, find_peaks_persistence, PeakConfig};
+    // A quantised flat-top symbol: two 0.826 tops around a 0.81 notch.
+    let x = [0.0, 0.4, 0.826, 0.81, 0.826, 0.4, 0.0, 0.4, 0.826, 0.4, 0.0];
+    let walk = find_peaks(&x, &PeakConfig { min_prominence: 0.25, min_distance: 1 });
+    let pers = find_peaks_persistence(&x, 0.25);
+    assert!(walk.len() > 2, "walk-based sees phantom twins: {walk:?}");
+    assert_eq!(pers.len(), 2, "persistence sees the two physical symbols: {pers:?}");
+}
+
+/// Ablation 2 — symbol-timing tracker (resync) on long payloads.
+///
+/// The preamble-derived τt carries a few percent of error; over ≥6 bits
+/// the fixed grid drifts off the symbols. The tracker must rescue a
+/// payload that the rigid decoder (paper-literal windows) mis-reads.
+#[test]
+fn ablation_resync_rescues_long_payloads() {
+    let bits = "011010";
+    let scenario = Scenario::indoor_bench(Packet::from_bits(bits).unwrap(), 0.03, 0.25);
+    let trace = scenario.run(42);
+    let rigid = AdaptiveDecoder { resync_gain: 0.0, ..Default::default() }
+        .with_expected_bits(bits.len());
+    let tracking = AdaptiveDecoder::default().with_expected_bits(bits.len());
+    let rigid_ok =
+        rigid.decode(&trace).map(|o| o.payload.to_string() == bits).unwrap_or(false);
+    let tracking_ok =
+        tracking.decode(&trace).map(|o| o.payload.to_string() == bits).unwrap_or(false);
+    assert!(tracking_ok, "tracker must decode the 6-bit payload");
+    // The rigid decoder failing is the expected justification; if the
+    // channel happens to be kind on this seed, the tracker must still not
+    // be *worse*.
+    assert!(tracking_ok >= rigid_ok);
+}
+
+/// Ablation 3 — midpoint vs paper-literal threshold on a raised valley.
+///
+/// On traces whose LOW level sits well above zero (lit rooms), comparing
+/// window maxima against the raw swing τr (paper-literal) classifies
+/// every window LOW; the midpoint form `rB + τr/2` is the robust reading.
+#[test]
+fn ablation_threshold_midpoint_vs_literal() {
+    // Synthetic trace with valley at 0.5 and peaks at 1.0 (τr = 0.5 ⇒
+    // literal threshold 0.5 < everything ⇒ all HIGH... after
+    // normalisation the valley maps to 0 though, so build a trace whose
+    // *normalised* valley stays raised: add a darker lead-in.
+    let mut samples = vec![0.0; 50];
+    for sym in ["H", "L", "H", "L", "H", "L", "H", "L"] {
+        let level = if sym == "H" { 1.0 } else { 0.55 };
+        for k in 0..50 {
+            let t = k as f64 / 49.0;
+            samples.push(0.5 + (level - 0.5) * (std::f64::consts::PI * t).sin());
+        }
+    }
+    samples.extend(vec![0.0; 50]);
+    let trace = Trace::new(samples, 100.0);
+
+    let midpoint = AdaptiveDecoder::default().with_expected_bits(2);
+    let literal = AdaptiveDecoder {
+        threshold_mode: ThresholdMode::PaperLiteral,
+        ..Default::default()
+    }
+    .with_expected_bits(2);
+
+    let mid_ok =
+        midpoint.decode(&trace).map(|o| o.payload.to_string() == "00").unwrap_or(false);
+    assert!(mid_ok, "midpoint threshold reads the raised-valley trace");
+    let lit_ok =
+        literal.decode(&trace).map(|o| o.payload.to_string() == "00").unwrap_or(false);
+    assert!(!lit_ok, "paper-literal threshold must fail here, motivating the midpoint form");
+}
+
+/// Ablation 4 — Sakoe–Chiba band for car identification.
+///
+/// Unconstrained DTW warps away the *position* differences (trunk vs.
+/// hatch) that distinguish the two cars; the banded classifier keeps
+/// them. Uses geometric signatures to stay fast.
+#[test]
+fn ablation_banded_dtw_for_car_shapes() {
+    use palc_lab::core::classify::{DtwClassifier, TemplateDb, TEMPLATE_LEN};
+    let volvo = CarModel::volvo_v40().reflectance_signature(256);
+    let bmw = CarModel::bmw_3().reflectance_signature(256);
+    let mut db = TemplateDb::new();
+    db.add_samples("Volvo V40", &volvo);
+    db.add_samples("BMW 3", &bmw);
+
+    // A stretched Volvo probe (10% slower pass -> longer trace).
+    let probe = palc_lab::dsp::resample_to_len(&volvo, 282);
+
+    let banded = DtwClassifier::new(db.clone()).with_band(TEMPLATE_LEN / 20);
+    let result = banded.classify_samples(&probe);
+    assert_eq!(result.best().label, "Volvo V40");
+    // The margin with a band must beat the unconstrained margin: the band
+    // is what preserves the discriminating geometry.
+    let free = DtwClassifier::new(db).classify_samples(&probe);
+    assert!(
+        result.margin() >= free.margin() * 0.99,
+        "banded margin {} vs free {}",
+        result.margin(),
+        free.margin()
+    );
+}
+
+/// Ablation 5 — AGC (gain calibration) in the scenario builder.
+///
+/// Without the calibration pass the LM358 gain is sized for the PD(G1)
+/// indoor range; an outdoor RX-LED trace then spans a handful of ADC
+/// codes and quantisation destroys the modulation.
+#[test]
+fn ablation_agc_preserves_outdoor_dynamic_range() {
+    use palc_lab::optics::source::Sun;
+    let mut scenario = Scenario::outdoor_car(
+        CarModel::volvo_v40(),
+        Some(Packet::from_bits("00").unwrap()),
+        0.75,
+        Sun::cloudy_noon(4),
+    );
+    let with_agc = scenario.run(2);
+    // Disable the calibrated gain: reset to the stock amplifier.
+    scenario.channel_mut().frontend.amplifier = palc_lab::frontend::Lm358::openvlc();
+    let without_agc = scenario.run(2);
+
+    let span = |t: &Trace| {
+        let (lo, hi) = t.minmax();
+        hi - lo
+    };
+    assert!(
+        span(&with_agc) > 5.0 * span(&without_agc),
+        "AGC must widen the used ADC range: {} vs {} codes",
+        span(&with_agc),
+        span(&without_agc)
+    );
+}
+
+/// Ablation 6 — active-region cropping in the collision analyzer.
+///
+/// The packet-passage envelope is a large square transient; without
+/// cropping, its harmonics dominate the spectrum and the two symbol
+/// lines of a Case-3 collision are misread.
+#[test]
+fn ablation_collision_crop() {
+    use palc_lab::core::collision::Occupancy;
+    use palc_lab::dsp::fft::power_spectrum;
+    use palc_lab::dsp::window::Window;
+    // Two symbol tones inside a box envelope with long idle shoulders.
+    let fs = 256.0;
+    let n = 4096;
+    let samples: Vec<f64> = (0..n)
+        .map(|i| {
+            let t = i as f64 / fs;
+            let active = (4.0..12.0).contains(&t);
+            if active {
+                100.0
+                    + 30.0 * (2.0 * std::f64::consts::PI * 2.0 * t).sin().signum()
+                    + 30.0 * (2.0 * std::f64::consts::PI * 5.0 * t).sin().signum()
+            } else {
+                1.0
+            }
+        })
+        .collect();
+    let trace = Trace::new(samples, fs);
+
+    // The analyzer (which crops) sees both lines.
+    let report = CollisionAnalyzer::default().analyze(&trace);
+    match &report.occupancy {
+        Occupancy::Multiple { freqs_hz } => {
+            assert!(freqs_hz.iter().any(|f| (f - 2.0).abs() < 0.5), "{freqs_hz:?}");
+            assert!(freqs_hz.iter().any(|f| (f - 5.0).abs() < 0.5), "{freqs_hz:?}");
+        }
+        other => panic!("expected Multiple, got {other:?}"),
+    }
+
+    // Without cropping, the envelope pedestal injects massive low-band
+    // power relative to the symbol lines.
+    let uncropped = power_spectrum(trace.samples(), fs, Window::Hann);
+    let low_band: f64 = (1..uncropped.bin_of_freq(1.0)).map(|k| uncropped.power[k]).sum();
+    let line = uncropped.power[uncropped.bin_of_freq(2.0)];
+    assert!(
+        low_band > line,
+        "envelope harmonics ({low_band:.0}) must dominate the uncropped line ({line:.0})"
+    );
+}

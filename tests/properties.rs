@@ -1,0 +1,259 @@
+//! Property-based tests (proptest) on the workspace's core invariants.
+
+use palc_lab::dsp;
+use palc_lab::phy::{manchester_decode, manchester_encode, Bits, Codebook, Packet};
+use proptest::prelude::*;
+
+proptest! {
+    // ---------------- PHY ------------------------------------------------
+
+    #[test]
+    fn manchester_roundtrips_any_payload(bits in proptest::collection::vec(any::<bool>(), 0..64)) {
+        let payload = Bits::from_bools(&bits);
+        let symbols = manchester_encode(&payload);
+        prop_assert_eq!(symbols.len(), 2 * payload.len());
+        prop_assert_eq!(manchester_decode(&symbols).unwrap(), payload);
+    }
+
+    #[test]
+    fn packet_symbols_roundtrip(bits in proptest::collection::vec(any::<bool>(), 0..32)) {
+        let packet = Packet::new(Bits::from_bools(&bits));
+        let back = Packet::from_symbols(&packet.to_symbols()).unwrap();
+        prop_assert_eq!(back, packet);
+    }
+
+    #[test]
+    fn bits_u64_roundtrip(value in any::<u64>(), width in 1usize..=64) {
+        let masked = if width == 64 { value } else { value & ((1u64 << width) - 1) };
+        let bits = Bits::from_u64(masked, width);
+        prop_assert_eq!(bits.len(), width);
+        prop_assert_eq!(bits.to_u64(), masked);
+    }
+
+    #[test]
+    fn hamming_distance_is_a_metric(
+        a in proptest::collection::vec(any::<bool>(), 1..32),
+        flips in proptest::collection::vec(any::<bool>(), 1..32),
+    ) {
+        let n = a.len().min(flips.len());
+        let a = Bits::from_bools(&a[..n]);
+        let b: Bits = a.iter().zip(flips.iter()).map(|(x, &f)| x ^ f).collect();
+        let d = a.hamming_distance(&b);
+        prop_assert_eq!(d, flips[..n].iter().filter(|&&f| f).count());
+        prop_assert_eq!(b.hamming_distance(&a), d); // symmetry
+        prop_assert_eq!(a.hamming_distance(&a), 0); // identity
+    }
+
+    #[test]
+    fn codebook_nearest_corrects_within_budget(
+        n_bits in 3usize..=8,
+        count in 2usize..=4,
+        code_idx in 0usize..4,
+        flip_seed in any::<u64>(),
+    ) {
+        let book = Codebook::max_min_hamming(count, n_bits);
+        let idx = code_idx % book.len();
+        let budget = book.correctable_errors();
+        // Flip up to `budget` bits deterministically from the seed.
+        let mut word: Vec<bool> = book.codes()[idx].iter().collect();
+        let mut s = flip_seed;
+        let mut flipped = std::collections::HashSet::new();
+        for _ in 0..budget {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let pos = (s >> 33) as usize % n_bits;
+            if flipped.insert(pos) {
+                word[pos] = !word[pos];
+            }
+        }
+        let (found, dist) = book.nearest(&Bits::from_bools(&word));
+        prop_assert_eq!(found, idx, "flips {:?}", flipped);
+        prop_assert!(dist <= budget);
+    }
+
+    // ---------------- DSP ------------------------------------------------
+
+    #[test]
+    fn fft_parseval(signal in proptest::collection::vec(-100.0f64..100.0, 1..128)) {
+        let spec = dsp::fft(&signal);
+        let time: f64 = signal.iter().map(|v| v * v).sum();
+        let freq: f64 =
+            spec.iter().map(|z| z.norm_sqr()).sum::<f64>() / spec.len() as f64;
+        prop_assert!((time - freq).abs() <= 1e-6 * time.max(1.0), "{time} vs {freq}");
+    }
+
+    #[test]
+    fn fft_inverse_roundtrip(signal in proptest::collection::vec(-10.0f64..10.0, 1..100)) {
+        let spec = dsp::fft(&signal);
+        let back = dsp::fft_inverse(&spec);
+        for (i, x) in signal.iter().enumerate() {
+            prop_assert!((back[i].re - x).abs() < 1e-8);
+            prop_assert!(back[i].im.abs() < 1e-8);
+        }
+    }
+
+    #[test]
+    fn dtw_identity_and_symmetry(
+        a in proptest::collection::vec(0.0f64..1.0, 1..40),
+        b in proptest::collection::vec(0.0f64..1.0, 1..40),
+    ) {
+        prop_assert_eq!(dsp::dtw(&a, &a).distance, 0.0);
+        let ab = dsp::dtw(&a, &b).distance;
+        let ba = dsp::dtw(&b, &a).distance;
+        prop_assert!((ab - ba).abs() < 1e-9);
+        prop_assert!(ab >= 0.0);
+    }
+
+    #[test]
+    fn dtw_banded_never_below_full(
+        a in proptest::collection::vec(0.0f64..1.0, 2..30),
+        b in proptest::collection::vec(0.0f64..1.0, 2..30),
+        band in 1usize..10,
+    ) {
+        let full = dsp::dtw(&a, &b).distance;
+        let banded = dsp::dtw_banded(&a, &b, band).distance;
+        prop_assert!(banded >= full - 1e-9);
+    }
+
+    #[test]
+    fn normalize_minmax_bounds(signal in proptest::collection::vec(-1e6f64..1e6, 1..200)) {
+        let norm = dsp::normalize_minmax(&signal);
+        prop_assert_eq!(norm.len(), signal.len());
+        for v in &norm {
+            prop_assert!((0.0..=1.0).contains(v));
+        }
+        // Order preservation.
+        for i in 0..signal.len() {
+            for j in 0..signal.len() {
+                if signal[i] < signal[j] {
+                    prop_assert!(norm[i] <= norm[j]);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn resample_preserves_range(
+        signal in proptest::collection::vec(0.0f64..1.0, 2..100),
+        len in 2usize..200,
+    ) {
+        let out = dsp::resample_to_len(&signal, len);
+        prop_assert_eq!(out.len(), len);
+        let (lo, hi) = dsp::minmax(&signal);
+        for v in &out {
+            prop_assert!(*v >= lo - 1e-12 && *v <= hi + 1e-12, "interpolation overshoot");
+        }
+    }
+
+    #[test]
+    fn moving_average_is_bounded_by_input(
+        signal in proptest::collection::vec(-50.0f64..50.0, 1..100),
+        window in 1usize..15,
+    ) {
+        let out = dsp::moving_average(&signal, window);
+        let (lo, hi) = dsp::minmax(&signal);
+        for v in &out {
+            prop_assert!(*v >= lo - 1e-9 && *v <= hi + 1e-9);
+        }
+    }
+
+    #[test]
+    fn peaks_sorted_and_in_range(signal in proptest::collection::vec(0.0f64..1.0, 3..150)) {
+        let peaks = dsp::find_peaks(&signal, &dsp::PeakConfig::default());
+        for w in peaks.windows(2) {
+            prop_assert!(w[0].index < w[1].index);
+        }
+        for p in &peaks {
+            prop_assert!(p.index < signal.len());
+            prop_assert_eq!(p.value, signal[p.index]);
+            prop_assert!(p.prominence >= 0.0);
+        }
+    }
+
+    #[test]
+    fn persistence_peaks_subset_of_looser_threshold(
+        signal in proptest::collection::vec(0.0f64..1.0, 3..150),
+        t in 0.05f64..0.5,
+    ) {
+        use palc_lab::dsp::peaks::find_peaks_persistence;
+        let strict = find_peaks_persistence(&signal, t);
+        let loose = find_peaks_persistence(&signal, t / 2.0);
+        for p in &strict {
+            prop_assert!(
+                loose.iter().any(|q| q.index == p.index),
+                "strict peak at {} missing at looser threshold",
+                p.index
+            );
+        }
+    }
+
+    // ---------------- Frontend -------------------------------------------
+
+    #[test]
+    fn adc_quantization_monotone(a in 0.0f64..5.0, b in 0.0f64..5.0) {
+        let adc = palc_lab::frontend::Mcp3008::openvlc_outdoor();
+        if a <= b {
+            prop_assert!(adc.quantize(a) <= adc.quantize(b));
+        } else {
+            prop_assert!(adc.quantize(a) >= adc.quantize(b));
+        }
+    }
+
+    #[test]
+    fn receiver_response_monotone_and_saturating(
+        lux_a in 0.0f64..50_000.0,
+        lux_b in 0.0f64..50_000.0,
+    ) {
+        use palc_lab::frontend::{OpticalReceiver, PdGain};
+        for rx in [
+            OpticalReceiver::opt101(PdGain::G1),
+            OpticalReceiver::opt101(PdGain::G3),
+            OpticalReceiver::rx_led(),
+        ] {
+            let (lo, hi) = if lux_a <= lux_b { (lux_a, lux_b) } else { (lux_b, lux_a) };
+            prop_assert!(rx.respond(lo) <= rx.respond(hi) + 1e-12);
+            prop_assert!(rx.respond(hi) <= rx.respond(rx.saturation_lux()) + 1e-12);
+        }
+    }
+
+    // ---------------- Scene ----------------------------------------------
+
+    #[test]
+    fn trajectories_are_monotone(
+        speed in 0.01f64..10.0,
+        factor in 0.5f64..3.0,
+        switch in 0.05f64..2.0,
+        t_probe in proptest::collection::vec(0.0f64..20.0, 2..10),
+    ) {
+        use palc_lab::scene::Trajectory;
+        let trajectories = [
+            Trajectory::Constant { speed_mps: speed },
+            Trajectory::StepChange { speed_mps: speed, switch_after_m: switch, factor },
+            Trajectory::Jittered { speed_mps: speed, jitter: 0.3, segment_m: 0.05, seed: 1 },
+        ];
+        let mut ts = t_probe.clone();
+        ts.sort_by(f64::total_cmp);
+        for tr in &trajectories {
+            let mut prev = -1e-12;
+            for &t in &ts {
+                let d = tr.displacement(t);
+                prop_assert!(d >= prev - 1e-9, "{tr:?} not monotone at t={t}");
+                prev = d;
+            }
+        }
+    }
+
+    #[test]
+    fn tag_material_lookup_total_coverage(
+        bits in proptest::collection::vec(any::<bool>(), 1..8),
+        width in 0.01f64..0.2,
+        x_frac in 0.0f64..1.0,
+    ) {
+        use palc_lab::scene::Tag;
+        let packet = Packet::new(Bits::from_bools(&bits));
+        let tag = Tag::from_packet(&packet, width);
+        let x = x_frac * tag.length_m() * 0.999;
+        prop_assert!(tag.material_at(x).is_some(), "gap inside the tag at {x}");
+        prop_assert!(tag.material_at(tag.length_m() + 0.01).is_none());
+        prop_assert!(tag.material_at(-0.01).is_none());
+    }
+}
