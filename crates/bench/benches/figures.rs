@@ -6,48 +6,38 @@
 //! Run with `cargo bench --workspace`; the repro binary (`repro all`)
 //! produces the scientific output, these benches track its cost.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use palc::channel::Scenario;
 use palc::prelude::*;
+use palc_bench::{bench, black_box};
 use palc_optics::source::{SkyCondition, Sun};
-use std::hint::black_box;
 
-fn fig05_ideal_decode(c: &mut Criterion) {
+fn fig05_ideal_decode() {
     let scenario = Scenario::indoor_bench(Packet::from_bits("10").unwrap(), 0.03, 0.20);
-    c.bench_function("fig05/bench_run_and_decode", |b| {
-        b.iter(|| {
-            let trace = scenario.run(black_box(42));
-            AdaptiveDecoder::default().with_expected_bits(2).decode(&trace)
-        })
+    bench("fig05/bench_run_and_decode", || {
+        let trace = scenario.run(black_box(42));
+        AdaptiveDecoder::default().with_expected_bits(2).decode(&trace)
     });
 }
 
-fn fig06_capacity(c: &mut Criterion) {
+fn fig06_capacity() {
     let analyzer = palc::capacity::CapacityAnalyzer { trials: 1, ..Default::default() };
-    c.bench_function("fig06/one_sweep_point", |b| {
-        b.iter(|| analyzer.is_decodable(black_box(0.03), black_box(0.20)))
-    });
+    bench("fig06/one_sweep_point", || analyzer.is_decodable(black_box(0.03), black_box(0.20)));
 }
 
-fn fig07_ceiling(c: &mut Criterion) {
+fn fig07_ceiling() {
     let scenario = Scenario::ceiling_office(Packet::from_bits("10").unwrap(), 0.03, 500.0);
     let decoder = AdaptiveDecoder { smooth_window_s: 0.012, ..AdaptiveDecoder::default() }
         .with_expected_bits(2);
-    c.bench_function("fig07/ceiling_run_and_decode", |b| {
-        b.iter(|| {
-            let trace = scenario.run(black_box(7));
-            decoder.decode(&trace)
-        })
+    bench("fig07/ceiling_run_and_decode", || {
+        let trace = scenario.run(black_box(7));
+        decoder.decode(&trace)
     });
 }
 
-fn fig08_dtw(c: &mut Criterion) {
+fn fig08_dtw() {
     let mut db = TemplateDb::new();
     for bits in ["00", "10"] {
-        db.add(
-            bits,
-            &Scenario::indoor_bench(Packet::from_bits(bits).unwrap(), 0.03, 0.20).run(42),
-        );
+        db.add(bits, &Scenario::indoor_bench(Packet::from_bits(bits).unwrap(), 0.03, 0.20).run(42));
     }
     let clf = DtwClassifier::new(db);
     let probe = {
@@ -58,10 +48,10 @@ fn fig08_dtw(c: &mut Criterion) {
         Scenario::indoor_bench_tag(tag, 0.20, Trajectory::fig8_speed_doubling(0.08, len + 0.16))
             .run(21)
     };
-    c.bench_function("fig08/dtw_classification", |b| b.iter(|| clf.classify(black_box(&probe))));
+    bench("fig08/dtw_classification", || clf.classify(black_box(&probe)));
 }
 
-fn fig10_collision(c: &mut Criterion) {
+fn fig10_collision() {
     // Synthetic two-packet trace (the channel cost is benched elsewhere).
     let fs = 250.0;
     let samples: Vec<f64> = (0..2500)
@@ -74,28 +64,23 @@ fn fig10_collision(c: &mut Criterion) {
         .collect();
     let trace = Trace::new(samples, fs);
     let analyzer = CollisionAnalyzer::default();
-    c.bench_function("fig10/collision_analysis", |b| b.iter(|| analyzer.analyze(black_box(&trace))));
+    bench("fig10/collision_analysis", || analyzer.analyze(black_box(&trace)));
 }
 
-fn fig11_receivers(c: &mut Criterion) {
-    c.bench_function("fig11/characterize_all_receivers", |b| {
-        b.iter(palc_frontend::characterize)
-    });
+fn fig11_receivers() {
+    bench("fig11/characterize_all_receivers", palc_frontend::characterize);
 }
 
-fn fig13_signatures(c: &mut Criterion) {
+fn fig13_signatures() {
     let volvo =
         Scenario::outdoor_car(CarModel::volvo_v40(), None, 0.75, Sun::cloudy_noon(3)).run_clean();
-    let bmw =
-        Scenario::outdoor_car(CarModel::bmw_3(), None, 0.75, Sun::cloudy_noon(3)).run_clean();
+    let bmw = Scenario::outdoor_car(CarModel::bmw_3(), None, 0.75, Sun::cloudy_noon(3)).run_clean();
     let det = CarShapeDetector::from_traces(&[("Volvo V40", &volvo), ("BMW 3", &bmw)]);
     let probe = Scenario::outdoor_car(CarModel::bmw_3(), None, 0.75, Sun::cloudy_noon(6)).run(5);
-    c.bench_function("fig13/identify_car", |b| b.iter(|| det.identify(black_box(&probe))));
+    bench("fig13/identify_car", || det.identify(black_box(&probe)));
 }
 
-fn fig15_17_outdoor(c: &mut Criterion) {
-    let mut g = c.benchmark_group("outdoor_two_phase");
-    g.sample_size(10);
+fn fig15_17_outdoor() {
     for (name, lux, height) in
         [("fig15_450lux_25cm", 450.0, 0.25), ("fig17_6200lux_75cm", 6200.0, 0.75)]
     {
@@ -108,27 +93,36 @@ fn fig15_17_outdoor(c: &mut Criterion) {
         );
         let trace = scenario.run(1);
         let decoder = TwoPhaseDecoder::new(CarModel::volvo_v40(), 0.10, 2);
-        g.bench_function(name, |b| b.iter(|| decoder.decode(black_box(&trace))));
+        bench(&format!("outdoor_two_phase/{name}"), || decoder.decode(black_box(&trace)));
     }
-    g.finish();
 }
 
-fn fig16_cap(c: &mut Criterion) {
+fn fig16_cap() {
     use palc_frontend::ApertureCap;
-    c.bench_function("fig16/apply_cap_and_swing_check", |b| {
-        b.iter(|| {
-            let capped =
-                ApertureCap::paper_cap().apply(&OpticalReceiver::opt101(PdGain::G2));
-            capped.min_detectable_swing_lux(black_box(100.0))
-        })
+    bench("fig16/apply_cap_and_swing_check", || {
+        let capped = ApertureCap::paper_cap().apply(&OpticalReceiver::opt101(PdGain::G2));
+        capped.min_detectable_swing_lux(black_box(100.0))
     });
 }
 
-criterion_group! {
-    name = figures;
-    config = Criterion::default().sample_size(10);
-    targets = fig05_ideal_decode, fig06_capacity, fig07_ceiling, fig08_dtw,
-              fig10_collision, fig11_receivers, fig13_signatures,
-              fig15_17_outdoor, fig16_cap
+fn fig06_sweep_parallel() {
+    // The Fig. 6 grid through the parallel sweep runner — the figure-level
+    // cost the SweepRunner refactor targets.
+    let analyzer = palc::capacity::CapacityAnalyzer { trials: 1, ..Default::default() };
+    bench("fig06/grid_2x2_parallel_sweep", || {
+        analyzer.sweep(black_box(&[0.03, 0.06]), black_box(&[0.20, 0.30]))
+    });
 }
-criterion_main!(figures);
+
+fn main() {
+    fig05_ideal_decode();
+    fig06_capacity();
+    fig06_sweep_parallel();
+    fig07_ceiling();
+    fig08_dtw();
+    fig10_collision();
+    fig11_receivers();
+    fig13_signatures();
+    fig15_17_outdoor();
+    fig16_cap();
+}

@@ -1,42 +1,41 @@
 //! Micro-benchmarks of the DSP and channel kernels that dominate the
 //! system's runtime: the FFT behind the collision analyzer, the DTW
 //! behind the classifier, peak detection and the full adaptive decode,
-//! and one channel-sample integration step.
+//! channel-sample integration (staged vs full), and the end-to-end
+//! channel throughput kernel.
+//!
+//! Run with `cargo bench --workspace`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use std::hint::black_box;
+use palc_bench::{bench, black_box, group};
 
 fn sine(freq: f64, fs: f64, n: usize) -> Vec<f64> {
     (0..n).map(|i| (2.0 * std::f64::consts::PI * freq * i as f64 / fs).sin()).collect()
 }
 
-fn bench_fft(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fft");
+fn bench_fft() {
+    group("fft");
     for n in [256usize, 1024, 4096] {
         let signal = sine(5.0, 256.0, n);
-        g.bench_with_input(BenchmarkId::new("power_spectrum", n), &signal, |b, s| {
-            b.iter(|| palc_dsp::power_spectrum(black_box(s), 256.0, palc_dsp::window::Window::Hann))
+        bench(&format!("fft/power_spectrum/{n}"), || {
+            palc_dsp::power_spectrum(black_box(&signal), 256.0, palc_dsp::window::Window::Hann)
         });
     }
-    g.finish();
 }
 
-fn bench_dtw(c: &mut Criterion) {
-    let mut g = c.benchmark_group("dtw");
+fn bench_dtw() {
+    group("dtw");
     for n in [128usize, 256, 512] {
         let a = sine(3.0, 100.0, n);
-        let b_sig = sine(3.3, 100.0, n);
-        g.bench_with_input(BenchmarkId::new("full", n), &(a.clone(), b_sig.clone()), |b, (x, y)| {
-            b.iter(|| palc_dsp::dtw(black_box(x), black_box(y)))
-        });
-        g.bench_with_input(BenchmarkId::new("banded_10pct", n), &(a, b_sig), |b, (x, y)| {
-            b.iter(|| palc_dsp::dtw_banded(black_box(x), black_box(y), n / 10))
+        let b = sine(3.3, 100.0, n);
+        bench(&format!("dtw/full/{n}"), || palc_dsp::dtw(black_box(&a), black_box(&b)));
+        bench(&format!("dtw/banded_10pct/{n}"), || {
+            palc_dsp::dtw_banded(black_box(&a), black_box(&b), n / 10)
         });
     }
-    g.finish();
 }
 
-fn bench_peaks(c: &mut Criterion) {
+fn bench_peaks() {
+    group("peaks");
     let signal: Vec<f64> = (0..4000)
         .map(|i| {
             let t = i as f64 / 2000.0;
@@ -44,43 +43,39 @@ fn bench_peaks(c: &mut Criterion) {
                 + 0.02 * ((i * 2654435761usize) as f64 / usize::MAX as f64)
         })
         .collect();
-    c.bench_function("peaks/persistence_4k", |b| {
-        b.iter(|| palc_dsp::peaks::find_peaks_persistence(black_box(&signal), 0.25))
+    bench("peaks/persistence_4k", || {
+        palc_dsp::peaks::find_peaks_persistence(black_box(&signal), 0.25)
     });
-    c.bench_function("peaks/walk_4k", |b| {
-        b.iter(|| {
-            palc_dsp::find_peaks(
-                black_box(&signal),
-                &palc_dsp::PeakConfig { min_prominence: 0.25, min_distance: 10 },
-            )
-        })
+    bench("peaks/walk_4k", || {
+        palc_dsp::find_peaks(
+            black_box(&signal),
+            &palc_dsp::PeakConfig { min_prominence: 0.25, min_distance: 10 },
+        )
     });
 }
 
-fn bench_decode(c: &mut Criterion) {
+fn bench_decode() {
     use palc::prelude::*;
+    group("decode");
     // One pre-rendered indoor trace; measure pure decode cost.
-    let scenario = palc::channel::Scenario::indoor_bench(
-        Packet::from_bits("1101").unwrap(),
-        0.03,
-        0.20,
-    );
+    let scenario =
+        palc::channel::Scenario::indoor_bench(Packet::from_bits("1101").unwrap(), 0.03, 0.20);
     let trace = scenario.run(42);
     let decoder = AdaptiveDecoder::default().with_expected_bits(4);
-    c.bench_function("decode/adaptive_indoor_4bit", |b| {
-        b.iter(|| decoder.decode(black_box(&trace)))
-    });
+    bench("decode/adaptive_indoor_4bit", || decoder.decode(black_box(&trace)));
 }
 
-fn bench_channel_sample(c: &mut Criterion) {
+fn bench_channel_sample() {
     use palc::prelude::*;
-    let scenario = palc::channel::Scenario::indoor_bench(
-        Packet::from_bits("10").unwrap(),
-        0.03,
-        0.20,
-    );
-    c.bench_function("channel/illuminance_sample_indoor", |b| {
-        b.iter(|| scenario.channel().illuminance_at(black_box(2.0)))
+    group("channel");
+    let scenario =
+        palc::channel::Scenario::indoor_bench(Packet::from_bits("10").unwrap(), 0.03, 0.20);
+    bench("channel/illuminance_full_integral_indoor", || {
+        scenario.channel().illuminance_at(black_box(2.0))
+    });
+    let field = scenario.channel().static_field().expect("DC lamp");
+    bench("channel/illuminance_staged_indoor", || {
+        scenario.channel().illuminance_staged(black_box(&field), black_box(2.0))
     });
     let outdoor = palc::channel::Scenario::outdoor_car(
         CarModel::volvo_v40(),
@@ -88,14 +83,35 @@ fn bench_channel_sample(c: &mut Criterion) {
         0.75,
         palc_optics::source::Sun::cloudy_noon(1),
     );
-    c.bench_function("channel/illuminance_sample_outdoor", |b| {
-        b.iter(|| outdoor.channel().illuminance_at(black_box(0.6)))
+    bench("channel/illuminance_full_integral_outdoor", || {
+        outdoor.channel().illuminance_at(black_box(0.6))
+    });
+    let field = outdoor.channel().static_field().expect("separable sun");
+    bench("channel/illuminance_staged_outdoor", || {
+        outdoor.channel().illuminance_staged(black_box(&field), black_box(0.6))
     });
 }
 
-criterion_group! {
-    name = kernels;
-    config = Criterion::default().sample_size(20);
-    targets = bench_fft, bench_dtw, bench_peaks, bench_decode, bench_channel_sample
+fn bench_channel_throughput() {
+    group("channel_throughput (staged vs full, run_batch scaling)");
+    for r in palc_bench::throughput::channel_throughput(2) {
+        println!(
+            "channel_throughput/{:<16} staged {:>12.0} samples/s | full {:>12.0} | speedup {:>5.2}x | run_batch {:>4.2}x/{} threads",
+            r.scenario,
+            r.staged_samples_per_s,
+            r.full_samples_per_s,
+            r.speedup,
+            r.batch_parallel_speedup,
+            r.batch_threads,
+        );
+    }
 }
-criterion_main!(kernels);
+
+fn main() {
+    bench_fft();
+    bench_dtw();
+    bench_peaks();
+    bench_decode();
+    bench_channel_sample();
+    bench_channel_throughput();
+}

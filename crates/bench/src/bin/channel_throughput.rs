@@ -1,0 +1,29 @@
+//! Records the channel sampler's samples/sec baseline.
+//!
+//! ```text
+//! cargo run --release -p palc_bench --bin channel_throughput [-- out.json [reps]]
+//! ```
+//!
+//! Writes `BENCH_channel.json` (or the given path) and prints it.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let path = args.first().map(String::as_str).unwrap_or("BENCH_channel.json");
+    let reps: u64 = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(5);
+
+    let results = palc_bench::throughput::channel_throughput(reps);
+    for r in &results {
+        println!(
+            "{:<16} staged {:>12.0} samples/s | full {:>12.0} samples/s | speedup {:>5.2}x | run_batch {:>4.2}x on {} threads",
+            r.scenario,
+            r.staged_samples_per_s,
+            r.full_samples_per_s,
+            r.speedup,
+            r.batch_parallel_speedup,
+            r.batch_threads,
+        );
+    }
+    let json = palc_bench::throughput::to_json(&results);
+    std::fs::write(path, &json).unwrap_or_else(|e| panic!("writing {path}: {e}"));
+    println!("\nwrote {path}");
+}

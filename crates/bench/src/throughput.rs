@@ -1,0 +1,164 @@
+//! The `channel_throughput` kernel: samples/sec through the channel
+//! simulator for the three paper scenario families, staged sampler vs the
+//! full per-tick integral, plus `run_batch` multi-core scaling on a
+//! figure-style seed sweep.
+//!
+//! The binary `channel_throughput` records these numbers to
+//! `BENCH_channel.json` so every later PR has a perf trajectory.
+
+use palc::channel::Scenario;
+use palc::sweep::SweepRunner;
+use palc_optics::source::Sun;
+use palc_phy::Packet;
+use palc_scene::CarModel;
+use std::time::Instant;
+
+/// Throughput measurement for one scenario family.
+#[derive(Debug, Clone)]
+pub struct ChannelThroughput {
+    /// Scenario family id (`indoor_bench`, `ceiling_office`, `outdoor_car`).
+    pub scenario: String,
+    /// Samples per trace at this scenario's ADC rate.
+    pub trace_samples: usize,
+    /// Staged sampler (static-field reuse) throughput, samples/sec.
+    pub staged_samples_per_s: f64,
+    /// Full per-tick integral throughput, samples/sec.
+    pub full_samples_per_s: f64,
+    /// staged / full.
+    pub speedup: f64,
+    /// Wall-clock speedup of `run_batch` over the same seeds serially.
+    pub batch_parallel_speedup: f64,
+    /// Worker threads `run_batch` used.
+    pub batch_threads: usize,
+}
+
+fn scenarios() -> Vec<(String, Scenario)> {
+    vec![
+        (
+            "indoor_bench".into(),
+            Scenario::indoor_bench(Packet::from_bits("10").unwrap(), 0.03, 0.20),
+        ),
+        (
+            "ceiling_office".into(),
+            Scenario::ceiling_office(Packet::from_bits("10").unwrap(), 0.03, 500.0),
+        ),
+        (
+            "outdoor_car".into(),
+            Scenario::outdoor_car(
+                CarModel::volvo_v40(),
+                Some(Packet::from_bits("00").unwrap()),
+                0.75,
+                Sun::cloudy_noon(1),
+            ),
+        ),
+    ]
+}
+
+/// The pre-refactor batch path — the same reference implementation the
+/// golden-equivalence tests pin against.
+fn full_integral_run(sc: &Scenario, seed: u64) -> usize {
+    sc.run_full_integral(seed).len()
+}
+
+fn time_reps(mut f: impl FnMut(u64) -> usize, reps: u64) -> (f64, usize) {
+    let t = Instant::now();
+    let mut n = 0usize;
+    for seed in 0..reps {
+        n = f(seed);
+    }
+    (t.elapsed().as_secs_f64(), n)
+}
+
+/// Measures the three scenario families. `reps` runs per measurement
+/// (≥ 1); higher values smooth scheduler noise.
+pub fn channel_throughput(reps: u64) -> Vec<ChannelThroughput> {
+    let reps = reps.max(1);
+    scenarios()
+        .into_iter()
+        .map(|(name, sc)| {
+            // Warm-up: populates the scenario's static-field cache path
+            // and faults code in.
+            let _ = sc.run(0);
+            let _ = full_integral_run(&sc, 0);
+
+            let (staged_s, n) = time_reps(|seed| sc.run(seed).len(), reps);
+            let (full_s, _) = time_reps(|seed| full_integral_run(&sc, seed), reps);
+            let total = (n as u64 * reps) as f64;
+            let staged_rate = total / staged_s;
+            let full_rate = total / full_s;
+
+            // run_batch scaling on a figure-style seed sweep.
+            let runner = SweepRunner::new();
+            let seeds: Vec<u64> = (0..(4 * runner.threads() as u64).max(8)).collect();
+            let t = Instant::now();
+            let serial: Vec<_> = seeds.iter().map(|&s| sc.run(s)).collect();
+            let serial_s = t.elapsed().as_secs_f64();
+            let t = Instant::now();
+            let parallel = sc.run_batch_on(&runner, &seeds);
+            let parallel_s = t.elapsed().as_secs_f64();
+            assert_eq!(serial.len(), parallel.len());
+
+            ChannelThroughput {
+                scenario: name,
+                trace_samples: n,
+                staged_samples_per_s: staged_rate,
+                full_samples_per_s: full_rate,
+                speedup: staged_rate / full_rate,
+                batch_parallel_speedup: serial_s / parallel_s,
+                batch_threads: runner.threads(),
+            }
+        })
+        .collect()
+}
+
+/// Renders the measurements as the `BENCH_channel.json` document.
+pub fn to_json(results: &[ChannelThroughput]) -> String {
+    let mut out = String::from("{\n  \"bench\": \"channel_throughput\",\n  \"unit\": \"samples/sec\",\n  \"scenarios\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        out.push_str(&format!(
+            concat!(
+                "    {{\n",
+                "      \"scenario\": \"{}\",\n",
+                "      \"trace_samples\": {},\n",
+                "      \"staged_samples_per_s\": {:.0},\n",
+                "      \"full_integral_samples_per_s\": {:.0},\n",
+                "      \"staged_speedup\": {:.2},\n",
+                "      \"run_batch_parallel_speedup\": {:.2},\n",
+                "      \"run_batch_threads\": {}\n",
+                "    }}{}\n"
+            ),
+            r.scenario,
+            r.trace_samples,
+            r.staged_samples_per_s,
+            r.full_samples_per_s,
+            r.speedup,
+            r.batch_parallel_speedup,
+            r.batch_threads,
+            if i + 1 < results.len() { "," } else { "" },
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_shape_is_stable() {
+        let r = vec![ChannelThroughput {
+            scenario: "indoor_bench".into(),
+            trace_samples: 1300,
+            staged_samples_per_s: 123456.0,
+            full_samples_per_s: 12345.0,
+            speedup: 10.0,
+            batch_parallel_speedup: 3.5,
+            batch_threads: 8,
+        }];
+        let json = to_json(&r);
+        assert!(json.contains("\"scenario\": \"indoor_bench\""));
+        assert!(json.contains("\"staged_speedup\": 10.00"));
+        assert!(json.trim_end().ends_with('}'));
+    }
+}

@@ -21,6 +21,7 @@
 
 use crate::channel::Scenario;
 use crate::decode::AdaptiveDecoder;
+use crate::sweep::SweepRunner;
 use palc_phy::metrics::LinkTally;
 use palc_phy::{Bits, Packet};
 
@@ -53,8 +54,7 @@ impl CapacityAnalyzer {
     pub fn tally(&self, symbol_width_m: f64, height_m: f64) -> LinkTally {
         let packet = Packet::new(self.payload.clone());
         let scenario = Scenario::indoor_bench(packet, symbol_width_m, height_m);
-        let decoder =
-            AdaptiveDecoder::default().with_expected_bits(self.payload.len());
+        let decoder = AdaptiveDecoder::default().with_expected_bits(self.payload.len());
         let mut tally = LinkTally::new();
         let cfg_key = ((symbol_width_m * 1e4) as u64) ^ ((height_m * 1e4) as u64).rotate_left(17);
         for i in 0..self.trials {
@@ -72,25 +72,20 @@ impl CapacityAnalyzer {
         self.tally(symbol_width_m, height_m).is_decodable(self.min_delivery)
     }
 
+    /// Decodability of the full `widths × heights` grid, with every cell
+    /// (an independent build-run-decode experiment) fanned across cores by
+    /// [`SweepRunner`]. Both Fig. 6 panels read off this one sweep.
+    pub fn sweep(&self, widths_m: &[f64], heights_m: &[f64]) -> CapacitySweep {
+        let cells: Vec<(f64, f64)> =
+            widths_m.iter().flat_map(|&w| heights_m.iter().map(move |&h| (w, h))).collect();
+        let decodable = SweepRunner::new().map(&cells, |&(w, h)| self.is_decodable(w, h));
+        CapacitySweep { widths_m: widths_m.to_vec(), heights_m: heights_m.to_vec(), decodable }
+    }
+
     /// Fig. 6(a): for each width, the maximal decodable height from the
     /// candidate list (`None` if no candidate height works).
-    pub fn decodable_region(
-        &self,
-        widths_m: &[f64],
-        heights_m: &[f64],
-    ) -> Vec<(f64, Option<f64>)> {
-        widths_m
-            .iter()
-            .map(|&w| {
-                let mut best = None;
-                for &h in heights_m {
-                    if self.is_decodable(w, h) {
-                        best = Some(best.map_or(h, |b: f64| b.max(h)));
-                    }
-                }
-                (w, best)
-            })
-            .collect()
+    pub fn decodable_region(&self, widths_m: &[f64], heights_m: &[f64]) -> Vec<(f64, Option<f64>)> {
+        self.sweep(widths_m, heights_m).decodable_region()
     }
 
     /// Fig. 6(b): for each height, the narrowest decodable width converted
@@ -101,20 +96,60 @@ impl CapacityAnalyzer {
         widths_m: &[f64],
         speed_mps: f64,
     ) -> Vec<(f64, Option<f64>)> {
-        assert!(speed_mps > 0.0);
-        heights_m
+        self.sweep(widths_m, heights_m).throughput_vs_height(speed_mps)
+    }
+}
+
+/// A computed decodability grid: the result of one parallel
+/// [`CapacityAnalyzer::sweep`], from which both Fig. 6 panels (and any
+/// other reduction) can be read without re-running the channel.
+#[derive(Debug, Clone)]
+pub struct CapacitySweep {
+    widths_m: Vec<f64>,
+    heights_m: Vec<f64>,
+    /// Row-major `widths × heights` flags.
+    decodable: Vec<bool>,
+}
+
+impl CapacitySweep {
+    /// Whether the cell at (`width`, `height`) — by grid *index* — decoded.
+    pub fn cell(&self, width_idx: usize, height_idx: usize) -> bool {
+        self.decodable[width_idx * self.heights_m.len() + height_idx]
+    }
+
+    /// Fig. 6(a): for each width, the maximal decodable height.
+    pub fn decodable_region(&self) -> Vec<(f64, Option<f64>)> {
+        self.widths_m
             .iter()
-            .map(|&h| {
-                let narrowest = widths_m
+            .enumerate()
+            .map(|(wi, &w)| {
+                let mut best = None;
+                for (hi, &h) in self.heights_m.iter().enumerate() {
+                    if self.cell(wi, hi) {
+                        best = Some(best.map_or(h, |b: f64| b.max(h)));
+                    }
+                }
+                (w, best)
+            })
+            .collect()
+    }
+
+    /// Fig. 6(b): for each height, the narrowest decodable width as
+    /// throughput (symbols/s) at `speed_mps`.
+    pub fn throughput_vs_height(&self, speed_mps: f64) -> Vec<(f64, Option<f64>)> {
+        assert!(speed_mps > 0.0);
+        self.heights_m
+            .iter()
+            .enumerate()
+            .map(|(hi, &h)| {
+                let narrowest = self
+                    .widths_m
                     .iter()
-                    .cloned()
-                    .filter(|&w| self.is_decodable(w, h))
+                    .enumerate()
+                    .filter(|&(wi, _)| self.cell(wi, hi))
+                    .map(|(_, &w)| w)
                     .fold(f64::INFINITY, f64::min);
-                let tput = if narrowest.is_finite() {
-                    Some(speed_mps / narrowest)
-                } else {
-                    None
-                };
+                let tput = narrowest.is_finite().then(|| speed_mps / narrowest);
                 (h, tput)
             })
             .collect()
@@ -144,17 +179,16 @@ fn q_function(x: f64) -> f64 {
 fn erfc(x: f64) -> f64 {
     let z = x.abs();
     let t = 1.0 / (1.0 + 0.5 * z);
-    let poly = t * (-z * z
-        - 1.26551223
-        + t * (1.00002368
-            + t * (0.37409196
-                + t * (0.09678418
-                    + t * (-0.18628806
-                        + t * (0.27886807
-                            + t * (-1.13520398
-                                + t * (1.48851587
-                                    + t * (-0.82215223 + t * 0.17087277)))))))))
-    .exp();
+    let poly = t
+        * (-z * z - 1.26551223
+            + t * (1.00002368
+                + t * (0.37409196
+                    + t * (0.09678418
+                        + t * (-0.18628806
+                            + t * (0.27886807
+                                + t * (-1.13520398
+                                    + t * (1.48851587 + t * (-0.82215223 + t * 0.17087277)))))))))
+            .exp();
     if x >= 0.0 {
         poly
     } else {
@@ -204,10 +238,7 @@ mod tests {
         let t = a.throughput_vs_height(&[0.20, 0.45], &widths, 0.08);
         let t_low = t[0].1.unwrap_or(0.0);
         let t_high = t[1].1.unwrap_or(0.0);
-        assert!(
-            t_low >= t_high,
-            "throughput must not grow with height: {t_low} vs {t_high}"
-        );
+        assert!(t_low >= t_high, "throughput must not grow with height: {t_low} vs {t_high}");
         assert!(t_low >= 0.08 / 0.03, "at 20 cm, 3 cm symbols (Fig. 5) must work");
     }
 

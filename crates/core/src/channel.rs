@@ -35,13 +35,51 @@
 //!   mirror geometry at all — so the *receiver's* FoV is the only focusing
 //!   element. The wide-FoV PD therefore fails until capped (Fig. 16) while
 //!   the narrow-FoV RX-LED decodes (Fig. 17).
+//!
+//! ## Pipeline stages
+//!
+//! The simulator is a staged, streaming pipeline. The static part of the
+//! footprint integral is hoisted out of the per-tick loop, the frontend is
+//! a stateful per-sample processor, and whole sweeps fan out across cores:
+//!
+//! ```text
+//!  scene (tags, cars, trajectories)      optics (sources, materials, FoV)
+//!        │ surface_at(x, y, t)                │ illuminance / envelope
+//!        ▼                                    ▼
+//!  ┌───────────────────────────────────────────────────────────────────┐
+//!  │ channel — static/dynamic split                                    │
+//!  │   StaticField: background footprint integral (ground + stray      │
+//!  │   pedestal), integrated ONCE per scene, valid whenever the source │
+//!  │   factorises as profile(p) × envelope(t)                          │
+//!  │   per tick: static_total × envelope(t)                            │
+//!  │           + Σ over patches covered by objects (x_extent_at /      │
+//!  │             lane_band bounds) of (object patch − background patch)│
+//!  └───────────────────────────────┬───────────────────────────────────┘
+//!                                  │ E_rx(t), one sample at a time
+//!                                  ▼
+//!  frontend::FrontendState — noise RNG → detector → low-pass → amp → ADC
+//!                                  │
+//!                                  ▼
+//!  ChannelSampler: Iterator<Item = f64> — bounded-memory traces, online
+//!                                  │       decoding
+//!                                  ▼
+//!  Trace → decoders │ sweep::SweepRunner / Scenario::run_batch fan seeds
+//!                   │ and scenario grids across cores
+//! ```
+//!
+//! The unstaged reference path ([`PassiveChannel::illuminance_at`],
+//! [`PassiveChannel::run_illuminance`]) re-integrates the full footprint
+//! every tick; golden-equivalence tests pin the staged sampler to it.
 
+use crate::sweep::SweepRunner;
 use crate::trace::Trace;
-use palc_frontend::{Frontend, OpticalReceiver, PdGain};
+use palc_frontend::{Frontend, FrontendState, OpticalReceiver, PdGain};
 use palc_optics::source::{CeilingPanel, PointLamp, Sun};
+use palc_optics::Material;
 use palc_optics::{LightSource, Vec3};
 use palc_phy::Packet;
 use palc_scene::{CarModel, Environment, MobileObject, Tag, Trajectory};
+use std::sync::Arc;
 
 /// Spatial integration settings.
 #[derive(Debug, Clone, Copy)]
@@ -56,6 +94,51 @@ impl Default for Resolution {
     fn default() -> Self {
         Resolution { along_m: 0.01, lateral_slices: 5 }
     }
+}
+
+/// The footprint integration grid: one definition of the patch lattice
+/// both the full per-tick integral and [`StaticField`] walk. Keeping it
+/// in one place guarantees the staged path's patch indices can never
+/// desynchronise from the reference path's grid.
+#[derive(Debug, Clone, Copy)]
+struct FootprintGrid {
+    r_max: f64,
+    dx: f64,
+    dy: f64,
+    steps: usize,
+    slices: usize,
+}
+
+impl FootprintGrid {
+    /// Patch-centre x of column `ix`.
+    #[inline]
+    fn x(&self, ix: usize) -> f64 {
+        -self.r_max + (ix as f64 + 0.5) * self.dx
+    }
+
+    /// Patch-centre y of slice `iy`.
+    #[inline]
+    fn y(&self, iy: usize) -> f64 {
+        -self.r_max + (iy as f64 + 0.5) * self.dy
+    }
+}
+
+/// One object's footprint coverage at a given instant: its patch-index
+/// interval plus the exact world-coordinate bounds the centre-inclusion
+/// test uses.
+#[derive(Debug, Clone, Copy)]
+struct ObjectSpan {
+    lo: usize,
+    hi: usize,
+    x_lo: f64,
+    x_hi: f64,
+    y_lo: f64,
+    y_hi: f64,
+}
+
+impl ObjectSpan {
+    const EMPTY: ObjectSpan =
+        ObjectSpan { lo: 0, hi: 0, x_lo: 0.0, x_hi: 0.0, y_lo: 0.0, y_hi: 0.0 };
 }
 
 /// A complete passive-communication scene.
@@ -75,6 +158,18 @@ pub struct PassiveChannel {
 }
 
 impl PassiveChannel {
+    /// The footprint grid for the current receiver geometry/resolution.
+    fn grid(&self) -> FootprintGrid {
+        let h = self.receiver_z_m;
+        let fov = self.frontend.receiver.fov();
+        let r_max = fov.footprint_radius(h).max(self.resolution.along_m);
+        let dx = self.resolution.along_m;
+        let slices = self.resolution.lateral_slices.max(1) | 1; // force odd
+        let dy = 2.0 * r_max / slices as f64;
+        let steps = (2.0 * r_max / dx).ceil() as usize;
+        FootprintGrid { r_max, dx, dy, steps, slices }
+    }
+
     /// Noise-free illuminance (lux) at the receiver aperture at time `t`.
     pub fn illuminance_at(&self, t: f64) -> f64 {
         let h = self.receiver_z_m;
@@ -91,23 +186,22 @@ impl PassiveChannel {
             * self.source.illuminance_at(rx_pos, t).max(0.0);
 
         // Footprint bounds on the ground plane.
-        let r_max = fov.footprint_radius(h).max(self.resolution.along_m);
-        let dx = self.resolution.along_m;
-        let slices = self.resolution.lateral_slices.max(1) | 1; // force odd
-        let dy = 2.0 * r_max / slices as f64;
-
-        let steps = (2.0 * r_max / dx).ceil() as usize;
-        for ix in 0..steps {
-            let x = -r_max + (ix as f64 + 0.5) * dx;
-            for iy in 0..slices {
-                let y = -r_max + (iy as f64 + 0.5) * dy;
-                total += self.patch_contribution(x, y, dx, dy, t, rx_pos);
+        let g = self.grid();
+        let env = self.source.flicker_envelope(t);
+        for ix in 0..g.steps {
+            let x = g.x(ix);
+            for iy in 0..g.slices {
+                let y = g.y(iy);
+                total += self.patch_contribution(x, y, g.dx, g.dy, t, rx_pos, env);
             }
         }
         total
     }
 
     /// Contribution of the ground/object patch at `(x, y)` (size dx×dy).
+    /// `env` is the source's flicker envelope at `t` (hoisted out of the
+    /// per-patch loop by the callers — this is the hot path).
+    #[allow(clippy::too_many_arguments)]
     fn patch_contribution(
         &self,
         x: f64,
@@ -116,17 +210,31 @@ impl PassiveChannel {
         dy: f64,
         t: f64,
         rx_pos: Vec3,
+        env: Option<f64>,
     ) -> f64 {
         // Fast reject: a patch that receives (almost) no light contributes
         // nothing regardless of its material. Under a narrow bench lamp
-        // this skips the vast majority of the wide-FoV footprint.
+        // this skips the vast majority of the wide-FoV footprint. For
+        // envelope-separable sources the gate is applied to the
+        // *unit-envelope* probe `probe(t) / env(t)` — a time-invariant
+        // quantity — so the accept/reject decision for a given patch never
+        // flips across ticks and stays bit-consistent with the decision
+        // [`PassiveChannel::static_field`] froze at `t = 0`.
         let probe = self.source.illuminance_at(Vec3::new(x, y, 0.0), t).max(0.0);
-        if probe < 1e-7 {
+        let gate = match env {
+            Some(e) if e > 1e-12 => probe / e,
+            _ => probe,
+        };
+        if gate < 1e-7 {
             return 0.0;
         }
+        let (material, surf_z) = self.surface_at(x, y, t);
+        self.patch_from_surface(x, y, dx, dy, t, rx_pos, material, surf_z)
+    }
 
-        // Top-most surface at this point: objects occlude the ground and
-        // lower objects.
+    /// Top-most surface at `(x, y)` at time `t`: objects occlude the
+    /// ground and lower objects.
+    fn surface_at(&self, x: f64, y: f64, t: f64) -> (Material, f64) {
         let mut material = self.environment.ground;
         let mut surf_z = 0.0;
         for obj in &self.objects {
@@ -140,7 +248,22 @@ impl PassiveChannel {
                 }
             }
         }
+        (material, surf_z)
+    }
 
+    /// Contribution of a patch given an already-resolved surface.
+    #[allow(clippy::too_many_arguments)]
+    fn patch_from_surface(
+        &self,
+        x: f64,
+        y: f64,
+        dx: f64,
+        dy: f64,
+        t: f64,
+        rx_pos: Vec3,
+        material: Material,
+        surf_z: f64,
+    ) -> f64 {
         let dz = rx_pos.z - surf_z;
         if dz <= 1e-6 {
             return 0.0; // surface at or above the receiver
@@ -164,9 +287,7 @@ impl PassiveChannel {
         let rho = match self.source.direction_from(patch) {
             Some(to_source) => {
                 let incoming = -to_source;
-                let mirror = incoming
-                    .reflect_about(Vec3::UNIT_Z)
-                    .unwrap_or(Vec3::UNIT_Z);
+                let mirror = incoming.reflect_about(Vec3::UNIT_Z).unwrap_or(Vec3::UNIT_Z);
                 let cos_mirror = mirror.cos_angle(to_rx);
                 material.reflectance_towards(cos_mirror)
             }
@@ -184,20 +305,239 @@ impl PassiveChannel {
             * transmission
     }
 
+    /// Precomputes the static part of the footprint integral, or `None`
+    /// when the source does not factorise into `profile(p) × envelope(t)`
+    /// (see [`palc_optics::LightSource::flicker_envelope`]).
+    ///
+    /// The returned [`StaticField`] holds the stray-light pedestal and the
+    /// background (objects removed) contribution of every footprint patch,
+    /// normalised to unit envelope. It is valid until the environment,
+    /// source, receiver geometry, or resolution of this channel changes —
+    /// object *motion* never invalidates it; that is the whole point.
+    pub fn static_field(&self) -> Option<StaticField> {
+        let env0 = self.source.flicker_envelope(0.0)?;
+        if !env0.is_finite() || env0 <= 1e-12 {
+            return None; // degenerate envelope; keep the full path
+        }
+        let h = self.receiver_z_m;
+        let fov = self.frontend.receiver.fov();
+        let rx_pos = Vec3::new(0.0, 0.0, h);
+        let omega_frac = fov.effective_solid_angle() / (2.0 * std::f64::consts::PI);
+        let pedestal_base = self.environment.stray_fraction
+            * omega_frac
+            * self.source.illuminance_at(rx_pos, 0.0).max(0.0)
+            / env0;
+
+        // The same grid the full integral walks, in the same order.
+        let g = self.grid();
+        let mut bg = Vec::with_capacity(g.steps * g.slices);
+        let mut dark = Vec::with_capacity(g.steps * g.slices);
+        let mut bg_total = 0.0;
+        for ix in 0..g.steps {
+            let x = g.x(ix);
+            for iy in 0..g.slices {
+                let y = g.y(iy);
+                let probe = self.source.illuminance_at(Vec3::new(x, y, 0.0), 0.0).max(0.0);
+                // A patch is *dark* on material-independent grounds alone:
+                // no ground-level light, or outside the FoV cone even at
+                // ground level (elevating a surface only moves it further
+                // off-axis, so an object there is outside the cone too).
+                // The ground material's reflectance must NOT factor in:
+                // bg can be 0 over a zero-diffuse ground while an object
+                // passing over the same patch still contributes. The light
+                // gate uses the unit-envelope probe `probe(0) / env0` —
+                // the same time-invariant quantity `patch_contribution`
+                // gates on at every tick — so staged and full paths can
+                // never disagree about which patches are dark.
+                let d = (x * x + y * y + h * h).sqrt();
+                let in_cone = d > 0.0 && fov.angular_weight((h / d).acos()) > 0.0;
+                let unlit = probe / env0 < 1e-7;
+                let is_dark = unlit || !in_cone;
+                let contribution = if unlit {
+                    0.0
+                } else {
+                    self.patch_from_surface(
+                        x,
+                        y,
+                        g.dx,
+                        g.dy,
+                        0.0,
+                        rx_pos,
+                        self.environment.ground,
+                        0.0,
+                    ) / env0
+                };
+                bg.push(contribution);
+                dark.push(is_dark);
+                bg_total += contribution;
+            }
+        }
+        Some(StaticField { bg, dark, static_total: pedestal_base + bg_total, grid: g })
+    }
+
+    /// Noise-free illuminance at time `t` through the static/dynamic
+    /// split: the precomputed background scaled by the source's envelope,
+    /// plus a re-integration of only the patches currently covered by
+    /// mobile objects. Falls back to the full integral when the source's
+    /// envelope stops factorising.
+    ///
+    /// `field` must come from [`PassiveChannel::static_field`] on this
+    /// same channel configuration.
+    pub fn illuminance_staged(&self, field: &StaticField, t: f64) -> f64 {
+        let Some(env) = self.source.flicker_envelope(t) else {
+            return self.illuminance_at(t);
+        };
+        let rx_pos = Vec3::new(0.0, 0.0, self.receiver_z_m);
+        let g = &field.grid;
+        let mut total = field.static_total * env;
+
+        // Bounds of every object, clipped to patch-index ranges. The
+        // per-object interval is widened by one patch so centre-inclusion
+        // tests below stay exact at the edges. Spans live on the stack
+        // (spilling to the heap only beyond STACK_SPANS objects) — this
+        // runs once per ADC tick, the hot path of the whole simulator.
+        const STACK_SPANS: usize = 8;
+        let mut stack = [ObjectSpan::EMPTY; STACK_SPANS];
+        let mut heap: Vec<ObjectSpan> = Vec::new();
+        let mut count = 0usize;
+        for obj in &self.objects {
+            let (x_lo, x_hi) = obj.x_extent_at(t);
+            let (y_lo, y_hi) = obj.lane_band();
+            let lo = (((x_lo + g.r_max) / g.dx - 1.0).floor()).max(0.0) as usize;
+            let hi_f = ((x_hi + g.r_max) / g.dx + 1.0).ceil();
+            if hi_f <= 0.0 {
+                continue;
+            }
+            let hi = (hi_f as usize).min(g.steps);
+            if lo >= hi {
+                continue;
+            }
+            let span = ObjectSpan { lo, hi, x_lo, x_hi, y_lo, y_hi };
+            if count < STACK_SPANS {
+                stack[count] = span;
+            } else {
+                if heap.is_empty() {
+                    heap.extend_from_slice(&stack);
+                }
+                heap.push(span);
+            }
+            count += 1;
+        }
+        if count == 0 {
+            return total;
+        }
+        let spans: &mut [ObjectSpan] =
+            if count <= STACK_SPANS { &mut stack[..count] } else { &mut heap[..] };
+        spans.sort_unstable_by_key(|s| s.lo);
+
+        // Walk merged index intervals so overlapping objects never
+        // double-count a patch.
+        let mut cursor = 0usize;
+        for &ObjectSpan { lo, hi, .. } in spans.iter() {
+            let start = lo.max(cursor);
+            for ix in start..hi {
+                let x = g.x(ix);
+                for iy in 0..g.slices {
+                    let idx = ix * g.slices + iy;
+                    if field.dark[idx] {
+                        // Material-independently dark patch (no ground
+                        // light, or outside the FoV cone): the full
+                        // integral rejects it for any surface, so the
+                        // object delta is zero as well.
+                        continue;
+                    }
+                    let y = g.y(iy);
+                    let covered = spans
+                        .iter()
+                        .any(|s| x >= s.x_lo && x <= s.x_hi && y >= s.y_lo && y <= s.y_hi);
+                    if covered {
+                        total += self.patch_contribution(x, y, g.dx, g.dy, t, rx_pos, Some(env))
+                            - field.bg[idx] * env;
+                    }
+                }
+            }
+            cursor = cursor.max(hi);
+        }
+        total
+    }
+
     /// Runs the channel for `duration_s`, returning the noise-free
-    /// illuminance series at the ADC rate (useful for tests and analysis).
+    /// illuminance series at the ADC rate via the full per-tick integral
+    /// (the unstaged reference path; useful for tests and analysis).
     pub fn run_illuminance(&self, duration_s: f64) -> Vec<f64> {
         let fs = self.frontend.sample_rate_hz();
         let n = (duration_s * fs).ceil() as usize;
         (0..n).map(|i| self.illuminance_at(i as f64 / fs)).collect()
     }
 
+    /// A streaming sampler over this channel: per-tick staged illuminance
+    /// through a stateful frontend, as an `Iterator<Item = f64>` of RSS
+    /// codes. Precomputes the static field once (when the source permits).
+    pub fn sampler(&self, duration_s: f64, seed: u64) -> ChannelSampler<'_> {
+        self.sampler_with_field(duration_s, seed, self.static_field().map(Arc::new))
+    }
+
+    /// Like [`PassiveChannel::sampler`] with a pre-built static field
+    /// (e.g. [`Scenario`]'s cache), avoiding the per-run precomputation.
+    pub fn sampler_with_field(
+        &self,
+        duration_s: f64,
+        seed: u64,
+        field: Option<Arc<StaticField>>,
+    ) -> ChannelSampler<'_> {
+        // Same frontend configuration (incl. any calibrated gain), fresh
+        // noise seed — mirrors what Scenario::run always did.
+        let mut fe = Frontend::new(self.frontend.receiver.clone(), self.frontend.adc, seed);
+        fe.amplifier = self.frontend.amplifier;
+        let state = fe.streamer(self.source.spectrum());
+        let fs = self.frontend.sample_rate_hz();
+        ChannelSampler {
+            channel: self,
+            field,
+            state,
+            fs,
+            i: 0,
+            n: (duration_s * fs).ceil() as usize,
+        }
+    }
+
     /// Coarse estimate of the peak aperture illuminance over a run —
     /// the quantity a deployment's gain-calibration pass measures.
+    ///
+    /// Reuses the static-field precomputation, so each probe costs only
+    /// the object-covered patches. On the accuracy side, `probes` evenly
+    /// spaced time samples bound the true peak from below: the brightest
+    /// instant (a specular strip crossing the mirror geometry) can fall
+    /// between probes, and the error shrinks roughly linearly with the
+    /// probe spacing relative to one symbol's transit time. The OpenVLC
+    /// driver's gain-control step this models is itself a coarse pass —
+    /// `probes` in the tens-to-low-hundreds matches it, and since the
+    /// result only sets amplifier gain (aiming the peak at 75 % of the
+    /// rail), a few percent of underestimate just moves the operating
+    /// point slightly, it does not clip.
     pub fn peak_illuminance(&self, duration_s: f64, probes: usize) -> f64 {
+        self.peak_illuminance_with_field(self.static_field().as_ref(), duration_s, probes)
+    }
+
+    /// Like [`PassiveChannel::peak_illuminance`] with a caller-supplied
+    /// static field (`None` runs the full integral per probe) — the one
+    /// probe-placement implementation both the public estimator and
+    /// [`Scenario::calibrate_gain`] share.
+    pub fn peak_illuminance_with_field(
+        &self,
+        field: Option<&StaticField>,
+        duration_s: f64,
+        probes: usize,
+    ) -> f64 {
         let probes = probes.max(2);
         (0..probes)
-            .map(|i| self.illuminance_at(i as f64 * duration_s / (probes - 1) as f64))
+            .map(|i| {
+                let t = i as f64 * duration_s / (probes - 1) as f64;
+                match field {
+                    Some(f) => self.illuminance_staged(f, t),
+                    None => self.illuminance_at(t),
+                }
+            })
             .fold(0.0, f64::max)
     }
 
@@ -210,10 +550,119 @@ impl PassiveChannel {
     }
 }
 
+/// The precomputed, time-invariant part of a channel's footprint
+/// integral: stray pedestal plus per-patch background contributions
+/// (ground material, no objects), normalised to unit source envelope.
+///
+/// Built by [`PassiveChannel::static_field`]; consumed by
+/// [`PassiveChannel::illuminance_staged`] and [`ChannelSampler`]. Mobile
+/// objects never invalidate it — only changes to the environment, source,
+/// receiver geometry, or resolution do.
+#[derive(Debug, Clone)]
+pub struct StaticField {
+    /// Background contribution of patch `(ix, iy)` at `ix * slices + iy`,
+    /// unit envelope.
+    bg: Vec<f64>,
+    /// Whether the patch is dark on material-independent grounds (no
+    /// ground-level light or outside the FoV cone) — the only patches the
+    /// dynamic pass may skip, since `bg` can be 0 for reflectance reasons
+    /// that do not apply to an object covering the patch.
+    dark: Vec<bool>,
+    /// Stray pedestal + Σ `bg`, unit envelope.
+    static_total: f64,
+    /// The patch lattice this field was integrated on.
+    grid: FootprintGrid,
+}
+
+impl StaticField {
+    /// Number of footprint patches the full integral walks per tick (and
+    /// this field has hoisted out of the per-tick loop).
+    pub fn patch_count(&self) -> usize {
+        self.bg.len()
+    }
+
+    /// The precomputed static illuminance (pedestal + background) at unit
+    /// envelope, lux.
+    pub fn static_total(&self) -> f64 {
+        self.static_total
+    }
+}
+
+/// A streaming channel run: staged per-tick illuminance fed one sample at
+/// a time through a stateful frontend ([`FrontendState`]), yielding RSS
+/// codes as `f64`. Traces of arbitrary duration run in bounded memory,
+/// and a decoder can consume samples online as they are produced.
+///
+/// Created by [`PassiveChannel::sampler`] / [`Scenario::sampler`].
+/// Collecting it reproduces the corresponding batch run sample for
+/// sample: `scenario.sampler(seed).collect::<Vec<_>>()` equals
+/// `scenario.run(seed).samples()`.
+pub struct ChannelSampler<'a> {
+    channel: &'a PassiveChannel,
+    field: Option<Arc<StaticField>>,
+    state: FrontendState,
+    fs: f64,
+    i: usize,
+    n: usize,
+}
+
+impl ChannelSampler<'_> {
+    /// Sampling rate of the produced RSS stream, Hz.
+    pub fn sample_rate_hz(&self) -> f64 {
+        self.fs
+    }
+
+    /// Whether the staged (static-field) path is active, as opposed to
+    /// the full per-tick integral fallback.
+    pub fn is_staged(&self) -> bool {
+        self.field.is_some()
+    }
+
+    /// Drains the sampler into a [`Trace`].
+    pub fn into_trace(self) -> Trace {
+        let fs = self.fs;
+        Trace::new(self.collect(), fs)
+    }
+}
+
+impl Iterator for ChannelSampler<'_> {
+    type Item = f64;
+
+    fn next(&mut self) -> Option<f64> {
+        if self.i >= self.n {
+            return None;
+        }
+        let t = self.i as f64 / self.fs;
+        self.i += 1;
+        let lux = match &self.field {
+            Some(field) => self.channel.illuminance_staged(field, t),
+            None => self.channel.illuminance_at(t),
+        };
+        Some(self.state.step_f64(lux))
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let remaining = self.n - self.i;
+        (remaining, Some(remaining))
+    }
+}
+
+impl ExactSizeIterator for ChannelSampler<'_> {}
+
+/// Cached static field inside a [`Scenario`]: distinguishes "computed
+/// (possibly unavailable for this source)" from "stale after a caller
+/// mutated the channel".
+#[derive(Debug, Clone)]
+enum FieldCache {
+    Computed(Option<Arc<StaticField>>),
+    Stale,
+}
+
 /// Ready-made experimental setups matching the paper's sections.
 pub struct Scenario {
     channel: PassiveChannel,
     duration_s: f64,
+    field: FieldCache,
 }
 
 impl Scenario {
@@ -223,14 +672,19 @@ impl Scenario {
     /// ADC window (the OpenVLC driver's gain-control step). Optical
     /// saturation happens *before* this gain and is unaffected.
     pub fn custom(channel: PassiveChannel, duration_s: f64) -> Self {
-        let mut scenario = Scenario { channel, duration_s };
+        let mut scenario = Scenario { channel, duration_s, field: FieldCache::Stale };
         scenario.calibrate_gain();
         scenario
     }
 
     /// Re-runs gain calibration (call after swapping receiver or scene).
+    /// Also refreshes the scenario's cached static field, since both the
+    /// calibration probes and every subsequent run reuse it.
     pub fn calibrate_gain(&mut self) {
-        let peak_lux = self.channel.peak_illuminance(self.duration_s, 96);
+        let field = self.channel.static_field();
+        let peak_lux =
+            self.channel.peak_illuminance_with_field(field.as_ref(), self.duration_s, 96);
+        self.field = FieldCache::Computed(field.map(Arc::new));
         let peak_out = self.channel.frontend.receiver.respond(peak_lux);
         if peak_out > 1e-9 {
             let rail = self.channel.frontend.amplifier.rail_high_v;
@@ -264,10 +718,8 @@ impl Scenario {
         let object = MobileObject::cart(tag, trajectory).starting_at(-lead_m);
         let travel = tag_len + 2.0 * lead_m;
         let duration = object.trajectory().time_to_travel(travel) + 0.2;
-        let resolution = Resolution {
-            along_m: (tag_len / 400.0).clamp(0.002, 0.01),
-            lateral_slices: 3,
-        };
+        let resolution =
+            Resolution { along_m: (tag_len / 400.0).clamp(0.002, 0.01), lateral_slices: 3 };
         Scenario::custom(
             PassiveChannel {
                 environment: Environment::dark_room(),
@@ -287,13 +739,12 @@ impl Scenario {
         let tag = Tag::from_packet(&packet, symbol_width_m);
         let panel = CeilingPanel::fluorescent(2.3, mean_lux);
         let receiver = OpticalReceiver::opt101(PdGain::G2);
-        let frontend = Frontend::new(receiver, palc_frontend::Mcp3008 { vref: 3.3, sample_rate_hz: 500.0 }, 0);
+        let frontend =
+            Frontend::new(receiver, palc_frontend::Mcp3008 { vref: 3.3, sample_rate_hz: 500.0 }, 0);
         let lead_m = 0.08;
         let tag_len = tag.length_m();
-        let object =
-            MobileObject::cart(tag, Trajectory::indoor_bench()).starting_at(-lead_m);
-        let duration =
-            object.trajectory().time_to_travel(tag_len + 2.0 * lead_m) + 0.2;
+        let object = MobileObject::cart(tag, Trajectory::indoor_bench()).starting_at(-lead_m);
+        let duration = object.trajectory().time_to_travel(tag_len + 2.0 * lead_m) + 0.2;
         Scenario::custom(
             PassiveChannel {
                 environment: Environment::lit_office(),
@@ -321,8 +772,7 @@ impl Scenario {
         let roof_z = car.max_height_m();
         let car_len = car.length_m();
         let lead_m = 1.0;
-        let object = MobileObject::car(car, tag, Trajectory::car_18kmh())
-            .starting_at(-lead_m);
+        let object = MobileObject::car(car, tag, Trajectory::car_18kmh()).starting_at(-lead_m);
         let duration = object.trajectory().time_to_travel(car_len + 2.0 * lead_m) + 0.1;
         let receiver = OpticalReceiver::rx_led();
         let frontend = Frontend::outdoor(receiver, 0);
@@ -363,7 +813,11 @@ impl Scenario {
     }
 
     /// Mutable access (advanced setups: extra objects, custom resolution).
+    /// Marks the cached static field stale: every subsequent run
+    /// recomputes it until [`Scenario::calibrate_gain`] refreshes the
+    /// cache (which the `with_*` builders do automatically).
     pub fn channel_mut(&mut self) -> &mut PassiveChannel {
+        self.field = FieldCache::Stale;
         &mut self.channel
     }
 
@@ -372,27 +826,74 @@ impl Scenario {
         self.duration_s
     }
 
-    /// Runs the scenario with the given noise seed and returns the RSS
-    /// trace.
-    pub fn run(&self, seed: u64) -> Trace {
-        // Same frontend (incl. calibrated gain), fresh noise seed.
-        let mut fe = Frontend::new(
-            self.channel.frontend.receiver.clone(),
-            self.channel.frontend.adc,
-            seed,
-        );
-        fe.amplifier = self.channel.frontend.amplifier;
-        let lux = self.channel.run_illuminance(self.duration_s);
-        let rss = fe.capture_f64(&lux, self.channel.source.spectrum());
-        Trace::new(rss, fe.sample_rate_hz())
+    /// The scenario's static field: the cache when fresh, recomputed when
+    /// a caller took [`Scenario::channel_mut`] since the last calibration.
+    fn current_field(&self) -> Option<Arc<StaticField>> {
+        match &self.field {
+            // Cheap: shares the cached field by refcount.
+            FieldCache::Computed(f) => f.clone(),
+            // Stale (a caller took channel_mut without recalibrating):
+            // recomputed per run until calibrate_gain refreshes the cache.
+            FieldCache::Stale => self.channel.static_field().map(Arc::new),
+        }
     }
 
-    /// Runs without noise/quantisation: the noise-free illuminance trace.
+    /// A streaming sampler for this scenario with the given noise seed:
+    /// the staged channel feeding the stateful frontend one sample at a
+    /// time. `scenario.sampler(seed).collect::<Vec<f64>>()` equals
+    /// `scenario.run(seed).samples()`.
+    pub fn sampler(&self, seed: u64) -> ChannelSampler<'_> {
+        self.channel.sampler_with_field(self.duration_s, seed, self.current_field())
+    }
+
+    /// Runs the scenario with the given noise seed and returns the RSS
+    /// trace. Same frontend (incl. calibrated gain), fresh noise seed,
+    /// through the staged streaming sampler.
+    pub fn run(&self, seed: u64) -> Trace {
+        self.sampler(seed).into_trace()
+    }
+
+    /// Runs the scenario once per seed, fanning the independent runs
+    /// across threads with the workspace default [`SweepRunner`]. Results
+    /// are in seed order. The static field is shared across all runs.
+    pub fn run_batch(&self, seeds: &[u64]) -> Vec<Trace> {
+        self.run_batch_on(&SweepRunner::new(), seeds)
+    }
+
+    /// Like [`Scenario::run_batch`] with an explicit runner (thread count).
+    pub fn run_batch_on(&self, runner: &SweepRunner, seeds: &[u64]) -> Vec<Trace> {
+        let field = self.current_field();
+        runner.map(seeds, |&seed| {
+            self.channel.sampler_with_field(self.duration_s, seed, field.clone()).into_trace()
+        })
+    }
+
+    /// The pre-refactor batch path, kept verbatim as the reference the
+    /// staged sampler is pinned against: full per-tick footprint integral,
+    /// then one batch frontend capture with this scenario's calibrated
+    /// gain and the given seed. Golden-equivalence tests and the
+    /// `channel_throughput` perf baseline both measure against this one
+    /// implementation.
+    pub fn run_full_integral(&self, seed: u64) -> Trace {
+        let ch = &self.channel;
+        let mut fe = Frontend::new(ch.frontend.receiver.clone(), ch.frontend.adc, seed);
+        fe.amplifier = ch.frontend.amplifier;
+        let lux = ch.run_illuminance(self.duration_s);
+        Trace::new(fe.capture_f64(&lux, ch.source.spectrum()), fe.sample_rate_hz())
+    }
+
+    /// Runs without noise/quantisation: the noise-free illuminance trace
+    /// (staged when the source permits).
     pub fn run_clean(&self) -> Trace {
-        Trace::new(
-            self.channel.run_illuminance(self.duration_s),
-            self.channel.frontend.sample_rate_hz(),
-        )
+        let fs = self.channel.frontend.sample_rate_hz();
+        let n = (self.duration_s * fs).ceil() as usize;
+        let samples = match self.current_field() {
+            Some(field) => {
+                (0..n).map(|i| self.channel.illuminance_staged(&field, i as f64 / fs)).collect()
+            }
+            None => self.channel.run_illuminance(self.duration_s),
+        };
+        Trace::new(samples, fs)
     }
 }
 
@@ -471,12 +972,7 @@ mod tests {
 
     #[test]
     fn outdoor_scene_runs_and_shows_car() {
-        let sc = Scenario::outdoor_car(
-            CarModel::volvo_v40(),
-            None,
-            0.75,
-            Sun::cloudy_noon(1),
-        );
+        let sc = Scenario::outdoor_car(CarModel::volvo_v40(), None, 0.75, Sun::cloudy_noon(1));
         let trace = sc.run_clean();
         assert!(trace.len() > 1000);
         // The car must visibly modulate the trace.
@@ -488,6 +984,163 @@ mod tests {
         let sc = Scenario::indoor_bench(packet("0"), 0.03, 0.2);
         assert_eq!(sc.run(7).samples(), sc.run(7).samples());
         assert_ne!(sc.run(7).samples(), sc.run(8).samples());
+    }
+
+    /// The pre-refactor batch path (see [`Scenario::run_full_integral`]).
+    fn reference_run(sc: &Scenario, seed: u64) -> Vec<f64> {
+        sc.run_full_integral(seed).samples().to_vec()
+    }
+
+    fn assert_golden(sc: &Scenario, seed: u64, label: &str) {
+        let sampler = sc.sampler(seed);
+        assert!(sampler.is_staged(), "{label}: staged path must engage");
+        let streamed: Vec<f64> = sampler.collect();
+        let reference = reference_run(sc, seed);
+        assert_eq!(streamed.len(), reference.len(), "{label}: length");
+        for (i, (s, r)) in streamed.iter().zip(&reference).enumerate() {
+            assert!((s - r).abs() <= 1e-9, "{label}: sample {i} diverged: staged {s} vs full {r}");
+        }
+        // And the batch Scenario::run is the very same stream.
+        assert_eq!(sc.run(seed).samples(), &streamed[..], "{label}: run == sampler");
+    }
+
+    #[test]
+    fn golden_staged_matches_full_integral_indoor_bench() {
+        let sc = Scenario::indoor_bench(packet("10"), 0.03, 0.20);
+        assert_golden(&sc, 42, "indoor_bench");
+    }
+
+    #[test]
+    fn golden_staged_matches_full_integral_ceiling_office() {
+        let sc = Scenario::ceiling_office(packet("10"), 0.03, 500.0);
+        assert_golden(&sc, 7, "ceiling_office");
+    }
+
+    #[test]
+    fn golden_staged_matches_full_integral_outdoor_car() {
+        let sc = Scenario::outdoor_car(
+            CarModel::volvo_v40(),
+            Some(packet("00")),
+            0.75,
+            Sun::cloudy_noon(1),
+        );
+        assert_golden(&sc, 2, "outdoor_car");
+    }
+
+    #[test]
+    fn staged_illuminance_matches_full_with_two_objects_in_lanes() {
+        // Overlapping objects in different lanes exercise the merged-span
+        // walk and the any-object coverage test.
+        let mut sc = Scenario::indoor_bench(packet("10"), 0.03, 0.25);
+        let extra = {
+            let tag = palc_scene::Tag::from_packet(&packet("0"), 0.05);
+            MobileObject::cart(tag, Trajectory::indoor_bench()).starting_at(-0.12).in_lane(0.10)
+        };
+        sc.channel_mut().objects.push(extra);
+        let field = sc.channel().static_field().expect("static source");
+        let fs = sc.channel().frontend.sample_rate_hz();
+        let n = (sc.duration_s() * fs).ceil() as usize;
+        for i in (0..n).step_by(7) {
+            let t = i as f64 / fs;
+            let staged = sc.channel().illuminance_staged(&field, t);
+            let full = sc.channel().illuminance_at(t);
+            assert!(
+                (staged - full).abs() <= 1e-9 * full.max(1.0),
+                "t={t}: staged {staged} vs full {full}"
+            );
+        }
+    }
+
+    #[test]
+    fn staged_matches_full_over_zero_diffuse_ground() {
+        // Regression: a purely specular ground (diffuse 0) yields bg == 0
+        // for every off-mirror patch, but an object passing over those
+        // patches still reflects — the dynamic pass must not skip them.
+        let mut sc = Scenario::indoor_bench(packet("10"), 0.03, 0.25);
+        sc.channel_mut().environment.ground = Material::new("wet-mirror", 0.0, 0.5, 40.0);
+        sc.calibrate_gain();
+        let field = sc.channel().static_field().expect("static source");
+        let fs = sc.channel().frontend.sample_rate_hz();
+        let n = (sc.duration_s() * fs).ceil() as usize;
+        let mut saw_signal = false;
+        for i in (0..n).step_by(5) {
+            let t = i as f64 / fs;
+            let staged = sc.channel().illuminance_staged(&field, t);
+            let full = sc.channel().illuminance_at(t);
+            assert!(
+                (staged - full).abs() <= 1e-9 * full.max(1.0),
+                "t={t}: staged {staged} vs full {full}"
+            );
+            if full > 2.0 * field.static_total() {
+                saw_signal = true;
+            }
+        }
+        assert!(saw_signal, "the tag must visibly modulate over the dark ground");
+    }
+
+    #[test]
+    fn non_separable_source_falls_back_to_full_integral() {
+        use palc_optics::source::CompositeSource;
+        let mut sc = Scenario::ceiling_office(packet("0"), 0.03, 500.0);
+        sc.channel_mut().source = Box::new(CompositeSource::new(vec![
+            Box::new(CeilingPanel::fluorescent(2.3, 500.0)),
+            Box::new(Sun::overcast_dusk(3)),
+        ]));
+        sc.calibrate_gain();
+        assert!(sc.channel().static_field().is_none());
+        let sampler = sc.sampler(5);
+        assert!(!sampler.is_staged());
+        let streamed: Vec<f64> = sampler.collect();
+        assert_eq!(streamed, reference_run(&sc, 5));
+    }
+
+    #[test]
+    fn channel_mut_invalidates_static_cache() {
+        use palc_scene::Fog;
+        let mut sc = Scenario::outdoor_car(CarModel::bmw_3(), None, 0.75, Sun::cloudy_noon(4));
+        // Mutate through channel_mut WITHOUT recalibrating: runs must
+        // still agree with the full integral on the mutated scene.
+        sc.channel_mut().environment =
+            Environment::parking_lot().with_fog(Fog::with_visibility(30.0));
+        let streamed: Vec<f64> = sc.sampler(9).collect();
+        let reference = reference_run(&sc, 9);
+        for (i, (s, r)) in streamed.iter().zip(&reference).enumerate() {
+            assert!((s - r).abs() <= 1e-9, "sample {i}: {s} vs {r}");
+        }
+    }
+
+    #[test]
+    fn run_batch_matches_serial_runs() {
+        let sc = Scenario::indoor_bench(packet("0"), 0.03, 0.20);
+        let seeds = [1u64, 2, 3, 4, 5, 6];
+        let batch = sc.run_batch(&seeds);
+        for (seed, trace) in seeds.iter().zip(&batch) {
+            assert_eq!(trace.samples(), sc.run(*seed).samples(), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn sampler_reports_size_and_rate() {
+        let sc = Scenario::indoor_bench(packet("0"), 0.03, 0.20);
+        let sampler = sc.sampler(1);
+        let fs = sampler.sample_rate_hz();
+        let n = sampler.len();
+        assert_eq!(n, (sc.duration_s() * fs).ceil() as usize);
+        assert_eq!(sampler.count(), n);
+    }
+
+    #[test]
+    fn static_field_hoists_the_footprint() {
+        let sc = Scenario::indoor_bench(packet("10"), 0.03, 0.20);
+        let field = sc.channel().static_field().expect("DC lamp is separable");
+        assert!(field.patch_count() > 100, "indoor footprint is hundreds of patches");
+        assert!(field.static_total() > 0.0);
+        // Empty scene: staged value is exactly static_total × envelope.
+        let mut empty = Scenario::indoor_bench(packet("10"), 0.03, 0.20);
+        empty.channel_mut().objects.clear();
+        let f2 = empty.channel().static_field().unwrap();
+        let staged = empty.channel().illuminance_staged(&f2, 1.0);
+        assert_eq!(staged, f2.static_total());
     }
 
     #[test]

@@ -147,11 +147,7 @@ impl DtwClassifier {
             .iter()
             .map(|(label, tpl)| {
                 let out = dtw_banded(&canon, tpl, self.band.unwrap_or(usize::MAX));
-                Match {
-                    label: label.clone(),
-                    distance: out.distance,
-                    normalized: out.normalized(),
-                }
+                Match { label: label.clone(), distance: out.distance, normalized: out.normalized() }
             })
             .collect();
         ranking.sort_by(|a, b| a.normalized.total_cmp(&b.normalized));

@@ -148,9 +148,7 @@ impl CollisionAnalyzer {
         let occupancy = match distinct.len() {
             0 => Occupancy::Idle,
             1 => Occupancy::Single { freq_hz: distinct[0].0 },
-            _ => Occupancy::Multiple {
-                freqs_hz: distinct.iter().map(|&(f, _)| f).collect(),
-            },
+            _ => Occupancy::Multiple { freqs_hz: distinct.iter().map(|&(f, _)| f).collect() },
         };
 
         CollisionReport { decoded, spectral_peaks: distinct, occupancy }
@@ -172,8 +170,7 @@ mod tests {
     }
 
     fn overlap(a: &[f64], b: &[f64], pedestal: f64) -> Trace {
-        let samples: Vec<f64> =
-            a.iter().zip(b).map(|(x, y)| pedestal + x + y).collect();
+        let samples: Vec<f64> = a.iter().zip(b).map(|(x, y)| pedestal + x + y).collect();
         Trace::new(samples, 256.0)
     }
 

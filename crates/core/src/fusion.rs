@@ -163,10 +163,8 @@ mod tests {
 
     #[test]
     fn distant_detections_form_separate_events() {
-        let events = FusionCenter::default().fuse(&[
-            det(1, 10.0, "10", 0.9),
-            det(1, 30.0, "11", 0.9),
-        ]);
+        let events =
+            FusionCenter::default().fuse(&[det(1, 10.0, "10", 0.9), det(1, 30.0, "11", 0.9)]);
         assert_eq!(events.len(), 2);
         assert!(events[0].time_s < events[1].time_s);
     }
@@ -191,10 +189,8 @@ mod tests {
 
     #[test]
     fn unsorted_input_is_handled() {
-        let events = FusionCenter::default().fuse(&[
-            det(2, 30.0, "11", 0.9),
-            det(1, 10.0, "10", 0.9),
-        ]);
+        let events =
+            FusionCenter::default().fuse(&[det(2, 30.0, "11", 0.9), det(1, 10.0, "10", 0.9)]);
         assert_eq!(events.len(), 2);
         assert_eq!(events[0].payload.to_string(), "10");
     }

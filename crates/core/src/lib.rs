@@ -50,26 +50,29 @@ pub mod decode;
 pub mod fusion;
 pub mod selector;
 pub mod speed;
+pub mod sweep;
 pub mod trace;
 pub mod vehicle;
 
-pub use capacity::CapacityAnalyzer;
-pub use channel::{PassiveChannel, Scenario};
+pub use capacity::{CapacityAnalyzer, CapacitySweep};
+pub use channel::{ChannelSampler, PassiveChannel, Scenario, StaticField};
 pub use classify::{DtwClassifier, TemplateDb};
 pub use collision::{CollisionAnalyzer, CollisionReport};
 pub use decode::{AdaptiveDecoder, DecodeError, DecodedPacket};
 pub use selector::ReceiverSelector;
+pub use sweep::SweepRunner;
 pub use trace::Trace;
 pub use vehicle::{CarShapeDetector, TwoPhaseDecoder};
 
 /// Commonly used items across the workspace, importable in one line.
 pub mod prelude {
     pub use crate::capacity::CapacityAnalyzer;
-    pub use crate::channel::{PassiveChannel, Scenario};
+    pub use crate::channel::{ChannelSampler, PassiveChannel, Scenario};
     pub use crate::classify::{DtwClassifier, TemplateDb};
     pub use crate::collision::{CollisionAnalyzer, CollisionReport};
     pub use crate::decode::{AdaptiveDecoder, DecodedPacket};
     pub use crate::selector::ReceiverSelector;
+    pub use crate::sweep::SweepRunner;
     pub use crate::trace::Trace;
     pub use crate::vehicle::{CarShapeDetector, TwoPhaseDecoder};
     pub use palc_frontend::{Frontend, OpticalReceiver, PdGain};

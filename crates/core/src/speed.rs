@@ -84,11 +84,8 @@ impl SpeedSweep {
     pub fn decodes_at(&self, speed_mps: f64) -> bool {
         let packet = Packet::from_bits("10").expect("static");
         let tag = Tag::from_packet(&packet, self.symbol_width_m);
-        let scenario = Scenario::indoor_bench_tag(
-            tag,
-            self.height_m,
-            Trajectory::Constant { speed_mps },
-        );
+        let scenario =
+            Scenario::indoor_bench_tag(tag, self.height_m, Trajectory::Constant { speed_mps });
         let decoder = AdaptiveDecoder::default().with_expected_bits(2);
         (0..self.trials).all(|seed| {
             decoder
@@ -114,7 +111,7 @@ pub fn frontend_speed_budget(frontend: &Frontend, symbol_width_m: f64) -> (f64, 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use palc_frontend::{Mcp3008, PdGain};
+    use palc_frontend::PdGain;
 
     #[test]
     fn car_scenario_is_within_budget() {

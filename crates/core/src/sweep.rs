@@ -1,0 +1,177 @@
+//! Parallel sweep runner: fan independent scenario runs across threads.
+//!
+//! Every figure in the paper is a *sweep* — heights × symbol widths
+//! (Fig. 6), receivers × ambient levels (Fig. 11), seeds × scenarios
+//! (every delivery-ratio estimate). The runs are independent, so they
+//! parallelise perfectly; [`SweepRunner`] is the one place in the
+//! workspace that owns that fan-out. The repro harness, the capacity
+//! analyzer, and the bench kernels all route their grids through it.
+//!
+//! The build environment is offline (no `rayon`), so the runner is built
+//! directly on [`std::thread::scope`]: workers pull item indices from a
+//! shared atomic counter (work-stealing, so uneven per-item cost — e.g.
+//! tall scenarios that simulate longer traces — still balances), and
+//! results are reassembled in input order. The API is deliberately
+//! `rayon::par_iter`-shaped so a later swap is mechanical.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc;
+
+/// A thread-pool-shaped runner for embarrassingly parallel sweeps.
+#[derive(Debug, Clone, Copy)]
+pub struct SweepRunner {
+    threads: usize,
+}
+
+impl Default for SweepRunner {
+    fn default() -> Self {
+        SweepRunner::new()
+    }
+}
+
+impl SweepRunner {
+    /// A runner sized to the machine (one worker per available core).
+    pub fn new() -> Self {
+        let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+        SweepRunner { threads }
+    }
+
+    /// A runner with an explicit worker count (clamped to at least 1).
+    /// `with_threads(1)` runs inline on the calling thread — useful for
+    /// deterministic profiling and for measuring parallel speedup.
+    pub fn with_threads(threads: usize) -> Self {
+        SweepRunner { threads: threads.max(1) }
+    }
+
+    /// The number of worker threads this runner uses.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Applies `f` to every item, in parallel, returning the results in
+    /// input order. `f` only needs `Sync` (shared by reference across
+    /// workers); panics in `f` propagate to the caller.
+    pub fn map<T, R, F>(&self, items: &[T], f: F) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(&T) -> R + Sync,
+    {
+        self.map_indexed(items, |_, item| f(item))
+    }
+
+    /// Like [`SweepRunner::map`] but `f` also receives the item's index —
+    /// the usual way to derive per-run seeds.
+    pub fn map_indexed<T, R, F>(&self, items: &[T], f: F) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(usize, &T) -> R + Sync,
+    {
+        let workers = self.threads.min(items.len());
+        if workers <= 1 {
+            return items.iter().enumerate().map(|(i, item)| f(i, item)).collect();
+        }
+
+        let next = AtomicUsize::new(0);
+        let (tx, rx) = mpsc::channel::<(usize, R)>();
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                let tx = tx.clone();
+                let next = &next;
+                let f = &f;
+                scope.spawn(move || {
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= items.len() {
+                            break;
+                        }
+                        // A panic in `f` drops `tx`; the collector below then
+                        // comes up short and the scope re-raises the panic.
+                        let r = f(i, &items[i]);
+                        if tx.send((i, r)).is_err() {
+                            break;
+                        }
+                    }
+                });
+            }
+            drop(tx);
+            let mut slots: Vec<Option<R>> = (0..items.len()).map(|_| None).collect();
+            for (i, r) in rx {
+                slots[i] = Some(r);
+            }
+            slots
+        })
+        // A panicked worker is re-raised by the scope exit above, so a
+        // missing slot here is unreachable; the expect is a backstop.
+        .into_iter()
+        .map(|s| s.expect("worker dropped a sweep item"))
+        .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn map_preserves_input_order() {
+        let items: Vec<u64> = (0..257).collect();
+        let out = SweepRunner::new().map(&items, |&x| x * x);
+        let expect: Vec<u64> = items.iter().map(|&x| x * x).collect();
+        assert_eq!(out, expect);
+    }
+
+    #[test]
+    fn map_indexed_passes_matching_indices() {
+        let items = vec!["a", "b", "c", "d"];
+        let out = SweepRunner::with_threads(3).map_indexed(&items, |i, &s| format!("{i}:{s}"));
+        assert_eq!(out, vec!["0:a", "1:b", "2:c", "3:d"]);
+    }
+
+    #[test]
+    fn single_thread_runs_inline() {
+        let out = SweepRunner::with_threads(1).map(&[1, 2, 3], |&x| x + 1);
+        assert_eq!(out, vec![2, 3, 4]);
+        assert_eq!(SweepRunner::with_threads(0).threads(), 1);
+    }
+
+    #[test]
+    fn empty_and_tiny_inputs() {
+        let empty: Vec<i32> = Vec::new();
+        assert!(SweepRunner::new().map(&empty, |&x| x).is_empty());
+        assert_eq!(SweepRunner::new().map(&[7], |&x| x * 2), vec![14]);
+    }
+
+    #[test]
+    fn every_item_runs_exactly_once() {
+        let count = AtomicUsize::new(0);
+        let items: Vec<usize> = (0..1000).collect();
+        let out = SweepRunner::new().map(&items, |&x| {
+            count.fetch_add(1, Ordering::Relaxed);
+            x
+        });
+        assert_eq!(count.load(Ordering::Relaxed), 1000);
+        assert_eq!(out, items);
+    }
+
+    #[test]
+    fn parallel_and_serial_agree_on_float_work() {
+        let items: Vec<f64> = (0..64).map(|i| i as f64 * 0.37).collect();
+        let work = |&x: &f64| (0..100).fold(x, |acc, _| (acc.sin() + 1.0).sqrt());
+        let serial = SweepRunner::with_threads(1).map(&items, work);
+        let parallel = SweepRunner::new().map(&items, work);
+        assert_eq!(serial, parallel); // bitwise: same code, same inputs
+    }
+
+    #[test]
+    #[should_panic(expected = "scoped thread panicked")]
+    fn worker_panics_propagate() {
+        let items: Vec<usize> = (0..64).collect();
+        SweepRunner::with_threads(4).map(&items, |&x| {
+            assert!(x != 13, "sweep item 13");
+            x
+        });
+    }
+}

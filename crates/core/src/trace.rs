@@ -66,11 +66,18 @@ impl Trace {
         stats::normalize_minmax(&self.samples)
     }
 
-    /// A sub-trace covering `[t0, t1)` seconds.
+    /// A sub-trace covering the half-open window `[t0, t1)` seconds:
+    /// sample `i` (at time `i / fs`) is included iff `t0 <= i/fs < t1`.
+    ///
+    /// Total over all inputs: reversed bounds are swapped, windows outside
+    /// the trace clamp to it (possibly yielding an empty sub-trace), and
+    /// an empty trace slices to an empty trace instead of panicking.
     pub fn slice_time(&self, t0: f64, t1: f64) -> Trace {
-        let i0 = self.index_of(t0.min(t1));
-        let i1 = self.index_of(t1.max(t0));
-        Trace::new(self.samples[i0..=i1.min(self.samples.len() - 1)].to_vec(), self.sample_rate_hz)
+        let (t0, t1) = if t0 <= t1 { (t0, t1) } else { (t1, t0) };
+        let clamp =
+            |t: f64| ((t * self.sample_rate_hz).ceil().max(0.0) as usize).min(self.samples.len());
+        let (i0, i1) = (clamp(t0), clamp(t1));
+        Trace::new(self.samples[i0..i1].to_vec(), self.sample_rate_hz)
     }
 
     /// Michelson modulation depth of the trace (decile-based).
@@ -114,12 +121,20 @@ mod tests {
     }
 
     #[test]
-    fn slice_time_extracts_window() {
+    fn slice_time_extracts_half_open_window() {
         let samples: Vec<f64> = (0..100).map(|i| i as f64).collect();
         let t = Trace::new(samples, 100.0);
         let s = t.slice_time(0.25, 0.50);
+        // [t0, t1): the sample at exactly t1 is excluded.
+        assert_eq!(s.len(), 25);
         assert_eq!(s.samples()[0], 25.0);
-        assert_eq!(*s.samples().last().unwrap(), 50.0);
+        assert_eq!(*s.samples().last().unwrap(), 49.0);
+        // Adjacent windows tile the trace without overlap or gap.
+        let a = t.slice_time(0.0, 0.25);
+        let b = t.slice_time(0.25, 0.50);
+        assert_eq!(a.len() + b.len(), t.slice_time(0.0, 0.50).len());
+        assert_eq!(*a.samples().last().unwrap(), 24.0);
+        assert_eq!(b.samples()[0], 25.0);
     }
 
     #[test]
@@ -127,6 +142,26 @@ mod tests {
         let t = Trace::new((0..10).map(|i| i as f64).collect(), 10.0);
         let s = t.slice_time(0.8, 0.2);
         assert_eq!(s.samples()[0], 2.0);
+        assert_eq!(s.len(), 6); // [0.2, 0.8) at 10 Hz = samples 2..8
+    }
+
+    #[test]
+    fn slice_time_is_total_on_empty_and_out_of_range_windows() {
+        // Empty trace: no panic, empty result (the seed version
+        // underflowed on `len() - 1`).
+        let empty = Trace::new(Vec::new(), 100.0);
+        assert!(empty.slice_time(0.0, 1.0).is_empty());
+        assert!(empty.slice_time(-2.0, -1.0).is_empty());
+        // Windows entirely past the end or before the start clamp to
+        // empty rather than grabbing a boundary sample.
+        let t = Trace::new((0..10).map(|i| i as f64).collect(), 10.0);
+        assert!(t.slice_time(5.0, 6.0).is_empty());
+        assert!(t.slice_time(-1.0, -0.5).is_empty());
+        // Degenerate zero-width window is empty too.
+        assert!(t.slice_time(0.3, 0.3).is_empty());
+        // A window overlapping the tail clamps to the tail.
+        let tail = t.slice_time(0.8, 99.0);
+        assert_eq!(tail.samples(), &[8.0, 9.0]);
     }
 
     #[test]

@@ -78,7 +78,7 @@ impl TwoPhaseDecoder {
     }
 
     /// Distance from the centre of the car's *front bright region* (bumper
-    /// + hood — the receiver cannot tell painted metal segments apart, so
+    /// plus hood — the receiver cannot tell painted metal segments apart, so
     /// they read as one plateau) to the windshield centre. This is the
     /// geometric scale phase 1 pairs with the measured peak→valley time to
     /// estimate speed.
@@ -108,10 +108,9 @@ impl TwoPhaseDecoder {
         let smooth = moving_average(&norm, window);
         let peaks = find_peaks_persistence(&smooth, self.feature_prominence);
         let valleys = find_valleys_persistence(&smooth, self.feature_prominence);
-        let hood = peaks.first().ok_or(DecodeError::NoPreamble {
-            peaks_found: 0,
-            valleys_found: valleys.len(),
-        })?;
+        let hood = peaks
+            .first()
+            .ok_or(DecodeError::NoPreamble { peaks_found: 0, valleys_found: valleys.len() })?;
         let windshield = valleys
             .iter()
             .find(|v| v.index > hood.index)
@@ -123,8 +122,7 @@ impl TwoPhaseDecoder {
         let level = 0.5 * (hood.value + windshield.value);
         let fs_inv = 1.0 / fs;
         let hood_t = half_crossing_center(&smooth, hood.index, level, true) * fs_inv;
-        let windshield_t =
-            half_crossing_center(&smooth, windshield.index, level, false) * fs_inv;
+        let windshield_t = half_crossing_center(&smooth, windshield.index, level, false) * fs_inv;
         let dt = windshield_t - hood_t;
         if dt <= 0.0 {
             return Err(DecodeError::NoPreamble {
@@ -191,9 +189,7 @@ impl TwoPhaseDecoder {
                 let shoulder_hi = v.index.saturating_sub(sym / 3);
                 let shoulder_lo = v.index.saturating_sub(sym + sym / 2);
                 shoulder_hi > shoulder_lo
-                    && roof[shoulder_lo..shoulder_hi]
-                        .iter()
-                        .any(|&x| x >= bright)
+                    && roof[shoulder_lo..shoulder_hi].iter().any(|&x| x >= bright)
             })
             .ok_or(DecodeError::NoPreamble { peaks_found: 1, valleys_found: 0 })?;
         let dip_idx = lo_i + first_dip.index;
@@ -281,9 +277,8 @@ pub fn crop_active_region(trace: &Trace, threshold: f64) -> Option<(usize, usize
     let run = window.max(4);
     let first = (0..smooth.len().saturating_sub(run))
         .find(|&i| smooth[i..i + run].iter().all(|&v| v > threshold))?;
-    let last = (run..smooth.len())
-        .rev()
-        .find(|&i| smooth[i - run..=i].iter().all(|&v| v > threshold))?;
+    let last =
+        (run..smooth.len()).rev().find(|&i| smooth[i - run..=i].iter().all(|&v| v > threshold))?;
     if last > first + 8 {
         Some((first, last))
     } else {
@@ -370,11 +365,7 @@ mod tests {
         let pre = dec.find_preamble(&trace).unwrap();
         assert!(pre.windshield_t > pre.hood_t);
         // 18 km/h = 5 m/s; the estimate should land within 25 %.
-        assert!(
-            (pre.speed_mps - 5.0).abs() / 5.0 < 0.25,
-            "speed estimate {} m/s",
-            pre.speed_mps
-        );
+        assert!((pre.speed_mps - 5.0).abs() / 5.0 < 0.25, "speed estimate {} m/s", pre.speed_mps);
         assert!(pre.roof_end_t > pre.roof_start_t);
     }
 
@@ -408,11 +399,7 @@ mod tests {
         let dec = TwoPhaseDecoder::new(CarModel::volvo_v40(), 0.10, 2);
         let out = dec.decode(&trace).unwrap();
         // τt should be ~20 ms -> ~50 symbols/s.
-        assert!(
-            (out.symbol_rate_hz() - 50.0).abs() < 12.0,
-            "symbol rate {}",
-            out.symbol_rate_hz()
-        );
+        assert!((out.symbol_rate_hz() - 50.0).abs() < 12.0, "symbol rate {}", out.symbol_rate_hz());
     }
 
     #[test]
@@ -420,20 +407,13 @@ mod tests {
         // Templates from clean calibration passes (the paper's "baseline:
         // car's shape detection" runs), probes from noisy passes with a
         // different seed and sun.
-        let volvo_clean = Scenario::outdoor_car(
-            CarModel::volvo_v40(),
-            None,
-            0.75,
-            Sun::cloudy_noon(3),
-        )
-        .run_clean();
-        let bmw_clean =
-            Scenario::outdoor_car(CarModel::bmw_3(), None, 0.75, Sun::cloudy_noon(3))
+        let volvo_clean =
+            Scenario::outdoor_car(CarModel::volvo_v40(), None, 0.75, Sun::cloudy_noon(3))
                 .run_clean();
-        let det = CarShapeDetector::from_traces(&[
-            ("Volvo V40", &volvo_clean),
-            ("BMW 3", &bmw_clean),
-        ]);
+        let bmw_clean =
+            Scenario::outdoor_car(CarModel::bmw_3(), None, 0.75, Sun::cloudy_noon(3)).run_clean();
+        let det =
+            CarShapeDetector::from_traces(&[("Volvo V40", &volvo_clean), ("BMW 3", &bmw_clean)]);
         let volvo = car_pass(CarModel::volvo_v40(), None, 0.75, Sun::cloudy_noon(6), 5);
         let bmw = car_pass(CarModel::bmw_3(), None, 0.75, Sun::cloudy_noon(6), 5);
         assert_eq!(det.identify(&volvo).unwrap().0, "Volvo V40");

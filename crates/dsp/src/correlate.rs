@@ -14,9 +14,7 @@ pub fn cross_correlate(x: &[f64], template: &[f64]) -> Vec<f64> {
     if m == 0 || n < m {
         return Vec::new();
     }
-    (0..=n - m)
-        .map(|lag| x[lag..lag + m].iter().zip(template).map(|(a, b)| a * b).sum())
-        .collect()
+    (0..=n - m).map(|lag| x[lag..lag + m].iter().zip(template).map(|(a, b)| a * b).sum()).collect()
 }
 
 /// Zero-normalised cross-correlation (ZNCC / Pearson per window) of `x`

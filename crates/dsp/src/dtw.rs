@@ -96,7 +96,7 @@ pub fn dtw_banded(a: &[f64], b: &[f64], band: usize) -> DtwOutcome {
     let mut cur_cost = vec![INF; m];
     let mut cur_steps = vec![0usize; m];
 
-    for i in 0..n {
+    for (i, &ai) in a.iter().enumerate() {
         for x in cur_cost.iter_mut() {
             *x = INF;
         }
@@ -104,7 +104,7 @@ pub fn dtw_banded(a: &[f64], b: &[f64], band: usize) -> DtwOutcome {
             if !in_band(i, j) {
                 continue;
             }
-            let c = local_cost(a[i], b[j]);
+            let c = local_cost(ai, b[j]);
             if i == 0 && j == 0 {
                 cur_cost[0] = c;
                 cur_steps[0] = 1;
@@ -186,9 +186,7 @@ mod tests {
         // B = 'HLHL LHHL' ('10'); the probe is B with its second half
         // played at double speed. DTW must classify the probe as B.
         fn symbol_wave(syms: &[u8], samples_per_sym: usize) -> Vec<f64> {
-            syms.iter()
-                .flat_map(|&s| std::iter::repeat(s as f64).take(samples_per_sym))
-                .collect()
+            syms.iter().flat_map(|&s| std::iter::repeat_n(s as f64, samples_per_sym)).collect()
         }
         let ta = symbol_wave(&[1, 0, 1, 0, 1, 0, 1, 0], 20);
         let tb = symbol_wave(&[1, 0, 1, 0, 0, 1, 1, 0], 20);

@@ -176,17 +176,11 @@ impl PowerSpectrum {
 /// applying `window`.
 pub fn power_spectrum(signal: &[f64], sample_rate_hz: f64, window: Window) -> PowerSpectrum {
     assert!(sample_rate_hz > 0.0, "sample rate must be positive");
-    let mean = if signal.is_empty() {
-        0.0
-    } else {
-        signal.iter().sum::<f64>() / signal.len() as f64
-    };
+    let mean =
+        if signal.is_empty() { 0.0 } else { signal.iter().sum::<f64>() / signal.len() as f64 };
     let coeffs = window.coefficients(signal.len());
-    let centred: Vec<f64> = signal
-        .iter()
-        .zip(coeffs.iter())
-        .map(|(&x, &w)| (x - mean) * w)
-        .collect();
+    let centred: Vec<f64> =
+        signal.iter().zip(coeffs.iter()).map(|(&x, &w)| (x - mean) * w).collect();
     let spec = fft(&centred);
     let n = spec.len();
     let half = n / 2;
@@ -199,9 +193,7 @@ mod tests {
     use super::*;
 
     fn sine(freq: f64, fs: f64, n: usize) -> Vec<f64> {
-        (0..n)
-            .map(|i| (2.0 * std::f64::consts::PI * freq * i as f64 / fs).sin())
-            .collect()
+        (0..n).map(|i| (2.0 * std::f64::consts::PI * freq * i as f64 / fs).sin()).collect()
     }
 
     #[test]

@@ -74,11 +74,7 @@ pub fn detrend(signal: &[f64]) -> Vec<f64> {
         var_t += dt * dt;
     }
     let slope = if var_t > 0.0 { cov / var_t } else { 0.0 };
-    signal
-        .iter()
-        .enumerate()
-        .map(|(i, &x)| x - (mean_x + slope * (i as f64 - mean_t)))
-        .collect()
+    signal.iter().enumerate().map(|(i, &x)| x - (mean_x + slope * (i as f64 - mean_t))).collect()
 }
 
 /// First-order (single-pole) IIR low-pass filter.
@@ -222,8 +218,7 @@ mod tests {
 
     #[test]
     fn detrend_keeps_oscillation() {
-        let x: Vec<f64> =
-            (0..100).map(|i| 2.0 + 0.1 * i as f64 + (i as f64 * 0.5).sin()).collect();
+        let x: Vec<f64> = (0..100).map(|i| 2.0 + 0.1 * i as f64 + (i as f64 * 0.5).sin()).collect();
         let y = detrend(&x);
         let amp = y.iter().cloned().fold(f64::MIN, f64::max);
         assert!(amp > 0.8, "oscillation amplitude must survive detrending, got {amp}");

@@ -44,11 +44,7 @@ pub fn find_peaks(signal: &[f64], config: &PeakConfig) -> Vec<Peak> {
     let candidates = plateau_maxima(signal);
     let with_prom: Vec<Peak> = candidates
         .into_iter()
-        .map(|idx| Peak {
-            index: idx,
-            value: signal[idx],
-            prominence: prominence_at(signal, idx),
-        })
+        .map(|idx| Peak { index: idx, value: signal[idx], prominence: prominence_at(signal, idx) })
         .filter(|p| p.prominence >= config.min_prominence)
         .collect();
     enforce_min_distance(with_prom, config.min_distance)
@@ -175,8 +171,7 @@ pub fn find_peaks_persistence(signal: &[f64], min_persistence: f64) -> Vec<Peak>
             (Some(l), Some(r)) => {
                 // Merging two ridges at saddle level v: the younger (lower
                 // birth) component dies here.
-                let (survivor, victim) =
-                    if birth[l] >= birth[r] { (l, r) } else { (r, l) };
+                let (survivor, victim) = if birth[l] >= birth[r] { (l, r) } else { (r, l) };
                 let persistence = birth[victim] - v;
                 if persistence >= min_persistence {
                     out.push(Peak {
@@ -375,6 +370,7 @@ mod tests {
         let peaks = find_peaks_persistence(&x, 0.1);
         assert_eq!(peaks.len(), 1, "{peaks:?}");
         assert_eq!(peaks[0].index, 2); // left-most of the tie survives
+
         // And the walk-based detector demonstrably reports both.
         let walk = find_peaks(&x, &PeakConfig { min_prominence: 0.1, min_distance: 1 });
         assert_eq!(walk.len(), 2);

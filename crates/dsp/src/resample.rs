@@ -49,10 +49,7 @@ pub fn decimate(signal: &[f64], factor: usize) -> Vec<f64> {
     if factor == 1 {
         return signal.to_vec();
     }
-    signal
-        .chunks(factor)
-        .map(|chunk| chunk.iter().sum::<f64>() / chunk.len() as f64)
-        .collect()
+    signal.chunks(factor).map(|chunk| chunk.iter().sum::<f64>() / chunk.len() as f64).collect()
 }
 
 #[cfg(test)]
@@ -130,8 +127,7 @@ mod tests {
         let x: Vec<f64> = (0..200).map(|i| (i as f64 * 0.1).sin()).collect();
         let down = resample_to_len(&x, 50);
         let up = resample_to_len(&down, 200);
-        let err: f64 =
-            x.iter().zip(&up).map(|(a, b)| (a - b).abs()).sum::<f64>() / x.len() as f64;
+        let err: f64 = x.iter().zip(&up).map(|(a, b)| (a - b).abs()).sum::<f64>() / x.len() as f64;
         assert!(err < 0.02, "mean abs error {err}");
     }
 }

@@ -171,8 +171,7 @@ mod tests {
 
     #[test]
     fn modulation_depth_of_clean_square_wave_is_high() {
-        let x: Vec<f64> =
-            (0..200).map(|i| if (i / 20) % 2 == 0 { 1.0 } else { 0.1 }).collect();
+        let x: Vec<f64> = (0..200).map(|i| if (i / 20) % 2 == 0 { 1.0 } else { 0.1 }).collect();
         let d = modulation_depth(&x);
         assert!(d > 0.7, "depth {d}");
     }
@@ -181,10 +180,8 @@ mod tests {
     fn modulation_depth_shrinks_with_pedestal() {
         // Same swing on top of a big ambient pedestal -> lower contrast,
         // the Fig. 7 phenomenon.
-        let dark: Vec<f64> =
-            (0..200).map(|i| if (i / 20) % 2 == 0 { 1.0 } else { 0.1 }).collect();
-        let lit: Vec<f64> =
-            (0..200).map(|i| if (i / 20) % 2 == 0 { 10.0 } else { 9.1 }).collect();
+        let dark: Vec<f64> = (0..200).map(|i| if (i / 20) % 2 == 0 { 1.0 } else { 0.1 }).collect();
+        let lit: Vec<f64> = (0..200).map(|i| if (i / 20) % 2 == 0 { 10.0 } else { 9.1 }).collect();
         assert!(modulation_depth(&lit) < 0.2 * modulation_depth(&dark));
     }
 

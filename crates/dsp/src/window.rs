@@ -41,10 +41,7 @@ impl Window {
                     Window::Rect => 1.0,
                     Window::Hann => 0.5 * (1.0 - two_pi_x.cos()),
                     Window::Hamming => 0.54 - 0.46 * two_pi_x.cos(),
-                    Window::Blackman => {
-                        0.42 - 0.5 * two_pi_x.cos()
-                            + 0.08 * (2.0 * two_pi_x).cos()
-                    }
+                    Window::Blackman => 0.42 - 0.5 * two_pi_x.cos() + 0.08 * (2.0 * two_pi_x).cos(),
                 }
             })
             .collect()
@@ -105,10 +102,7 @@ mod tests {
         for win in [Window::Rect, Window::Hann, Window::Hamming, Window::Blackman] {
             let w = win.coefficients(16);
             for i in 0..8 {
-                assert!(
-                    (w[i] - w[15 - i]).abs() < 1e-12,
-                    "{win:?} not symmetric at {i}"
-                );
+                assert!((w[i] - w[15 - i]).abs() < 1e-12, "{win:?} not symmetric at {i}");
             }
         }
     }

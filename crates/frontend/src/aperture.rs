@@ -57,9 +57,7 @@ impl ApertureCap {
     /// same electronic noise ⇒ worse input-referred SNR).
     pub fn apply(&self, rx: &OpticalReceiver) -> OpticalReceiver {
         let t = self.throughput(rx.fov()).max(1e-6);
-        rx.clone()
-            .with_fov(self.restricted_fov())
-            .with_noise_floor(rx.noise_floor_lux() / t.sqrt())
+        rx.clone().with_fov(self.restricted_fov()).with_noise_floor(rx.noise_floor_lux() / t.sqrt())
     }
 }
 

@@ -57,37 +57,82 @@ impl Frontend {
         self.adc.sample_rate_hz
     }
 
+    /// Builds the stateful per-sample processor for this frontend under a
+    /// source with spectrum `spd`. The returned [`FrontendState`] owns the
+    /// noise RNG and low-pass memory, so illuminance samples can be fed
+    /// one at a time — traces of arbitrary duration run in bounded memory
+    /// and online decoding becomes possible. [`Frontend::capture`] is a
+    /// thin batch wrapper over this.
+    pub fn streamer(&self, spd: &Spectrum) -> FrontendState {
+        FrontendState {
+            spectral: self.receiver.spectral_factor(spd),
+            noise: NoiseModel::new(
+                self.receiver.noise_floor_lux(),
+                self.receiver.shot_coeff(),
+                self.seed,
+            ),
+            lp: SinglePoleLowPass::new(
+                self.receiver.bandwidth_hz().min(self.adc.sample_rate_hz * 0.45),
+                self.adc.sample_rate_hz,
+            ),
+            receiver: self.receiver.clone(),
+            amplifier: self.amplifier,
+            adc: self.adc,
+        }
+    }
+
     /// Processes an illuminance series (lux at the receiver aperture,
     /// sampled at the ADC rate) lit by a source with spectrum `spd`, and
     /// returns raw ADC codes — the RSS trace.
     pub fn capture(&self, illuminance_lux: &[f64], spd: &Spectrum) -> Vec<u16> {
-        let spectral = self.receiver.spectral_factor(spd);
-        let mut noise = NoiseModel::new(
-            self.receiver.noise_floor_lux(),
-            self.receiver.shot_coeff(),
-            self.seed,
-        );
-        let mut lp = SinglePoleLowPass::new(
-            self.receiver.bandwidth_hz().min(self.adc.sample_rate_hz * 0.45),
-            self.adc.sample_rate_hz,
-        );
-        illuminance_lux
-            .iter()
-            .map(|&e| {
-                let weighted = e.max(0.0) * spectral;
-                let noisy = (weighted + noise.sample(weighted)).max(0.0);
-                let detected = self.receiver.respond(noisy);
-                let filtered = lp.step(detected);
-                let v = self.amplifier.amplify(filtered);
-                self.adc.quantize(v)
-            })
-            .collect()
+        let mut state = self.streamer(spd);
+        illuminance_lux.iter().map(|&e| state.step(e)).collect()
     }
 
     /// Like [`Frontend::capture`] but returning the codes as `f64` — the
     /// form every decoder in `palc` consumes.
     pub fn capture_f64(&self, illuminance_lux: &[f64], spd: &Spectrum) -> Vec<f64> {
         self.capture(illuminance_lux, spd).into_iter().map(f64::from).collect()
+    }
+}
+
+/// The running state of a frontend processing one sample at a time:
+/// spectral weighting factor, seeded noise RNG, low-pass filter memory,
+/// and the (stateless) detector/amplifier/ADC stages.
+///
+/// Produced by [`Frontend::streamer`]; one illuminance sample in, one ADC
+/// code out. Feeding the same sequence of samples as a batch
+/// [`Frontend::capture`] call yields the identical code sequence.
+#[derive(Debug, Clone)]
+pub struct FrontendState {
+    spectral: f64,
+    noise: NoiseModel,
+    lp: SinglePoleLowPass,
+    receiver: OpticalReceiver,
+    amplifier: Lm358,
+    adc: Mcp3008,
+}
+
+impl FrontendState {
+    /// Processes one illuminance sample (lux) into a 10-bit ADC code.
+    pub fn step(&mut self, illuminance_lux: f64) -> u16 {
+        let weighted = illuminance_lux.max(0.0) * self.spectral;
+        let noisy = (weighted + self.noise.sample(weighted)).max(0.0);
+        let detected = self.receiver.respond(noisy);
+        let filtered = self.lp.step(detected);
+        let v = self.amplifier.amplify(filtered);
+        self.adc.quantize(v)
+    }
+
+    /// Like [`FrontendState::step`] but returning the code as `f64` — the
+    /// form the decoders consume.
+    pub fn step_f64(&mut self, illuminance_lux: f64) -> f64 {
+        f64::from(self.step(illuminance_lux))
+    }
+
+    /// Sampling rate of the underlying ADC, Hz.
+    pub fn sample_rate_hz(&self) -> f64 {
+        self.adc.sample_rate_hz
     }
 }
 
@@ -98,9 +143,7 @@ mod tests {
     use palc_dsp::stats;
 
     fn square_lux(base: f64, swing: f64, n: usize, period: usize) -> Vec<f64> {
-        (0..n)
-            .map(|i| base + if (i / period) % 2 == 0 { swing } else { 0.0 })
-            .collect()
+        (0..n).map(|i| base + if (i / period).is_multiple_of(2) { swing } else { 0.0 }).collect()
     }
 
     #[test]
@@ -167,7 +210,10 @@ mod tests {
         let fe1 = Frontend::outdoor(OpticalReceiver::opt101(PdGain::G2), 9);
         let fe2 = Frontend::outdoor(OpticalReceiver::opt101(PdGain::G2), 9);
         let lux = square_lux(100.0, 100.0, 300, 30);
-        assert_eq!(fe1.capture(&lux, &Spectrum::white_led()), fe2.capture(&lux, &Spectrum::white_led()));
+        assert_eq!(
+            fe1.capture(&lux, &Spectrum::white_led()),
+            fe2.capture(&lux, &Spectrum::white_led())
+        );
     }
 
     #[test]
@@ -183,5 +229,30 @@ mod tests {
     fn empty_input_gives_empty_output() {
         let fe = Frontend::outdoor(OpticalReceiver::rx_led(), 0);
         assert!(fe.capture(&[], &Spectrum::daylight()).is_empty());
+    }
+
+    #[test]
+    fn streaming_matches_batch_sample_for_sample() {
+        let fe = Frontend::outdoor(OpticalReceiver::opt101(PdGain::G2), 11);
+        let lux = square_lux(120.0, 150.0, 1500, 40);
+        let batch = fe.capture(&lux, &Spectrum::white_led());
+        let mut state = fe.streamer(&Spectrum::white_led());
+        let streamed: Vec<u16> = lux.iter().map(|&e| state.step(e)).collect();
+        assert_eq!(batch, streamed);
+    }
+
+    #[test]
+    fn streamer_runs_in_bounded_memory_over_long_traces() {
+        // A million samples through the stateful chain without ever
+        // materialising the input or output series.
+        let fe = Frontend::outdoor(OpticalReceiver::opt101(PdGain::G2), 1);
+        let mut state = fe.streamer(&Spectrum::white_led());
+        let mut acc = 0u64;
+        for i in 0..1_000_000u32 {
+            let e = 100.0 + 50.0 * ((i / 100) % 2) as f64;
+            acc += u64::from(state.step(e));
+        }
+        assert!(acc > 0);
+        assert!((state.sample_rate_hz() - 2000.0).abs() < 1e-12);
     }
 }

@@ -38,7 +38,7 @@ pub mod receiver;
 pub use adc::Mcp3008;
 pub use amplifier::Lm358;
 pub use aperture::ApertureCap;
-pub use chain::Frontend;
+pub use chain::{Frontend, FrontendState};
 pub use characterize::{characterize, Characterization};
 pub use noise::NoiseModel;
 pub use receiver::{OpticalReceiver, PdGain};

@@ -229,8 +229,7 @@ impl OpticalReceiver {
         if self.is_saturated_by(ambient_lux) {
             return None;
         }
-        let sigma =
-            (self.noise_floor_lux.powi(2) + self.shot_coeff.powi(2) * ambient_lux).sqrt();
+        let sigma = (self.noise_floor_lux.powi(2) + self.shot_coeff.powi(2) * ambient_lux).sqrt();
         Some(3.0 * sigma)
     }
 }

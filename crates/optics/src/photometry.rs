@@ -153,9 +153,7 @@ mod tests {
 
     #[test]
     fn narrower_half_angle_gives_larger_m() {
-        assert!(
-            lambertian_order_from_half_angle(10.0) > lambertian_order_from_half_angle(45.0)
-        );
+        assert!(lambertian_order_from_half_angle(10.0) > lambertian_order_from_half_angle(45.0));
     }
 
     #[test]
@@ -163,12 +161,10 @@ mod tests {
         let base = patch_illuminance_at_receiver(100.0, 0.01, 1.0, 1.0, 0.5);
         assert!(base > 0.0);
         assert!(
-            (patch_illuminance_at_receiver(200.0, 0.01, 1.0, 1.0, 0.5) - 2.0 * base).abs()
-                < 1e-12
+            (patch_illuminance_at_receiver(200.0, 0.01, 1.0, 1.0, 0.5) - 2.0 * base).abs() < 1e-12
         );
         assert!(
-            (patch_illuminance_at_receiver(100.0, 0.02, 1.0, 1.0, 0.5) - 2.0 * base).abs()
-                < 1e-12
+            (patch_illuminance_at_receiver(100.0, 0.02, 1.0, 1.0, 0.5) - 2.0 * base).abs() < 1e-12
         );
     }
 
@@ -180,6 +176,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::assertions_on_constants)]
     fn ambient_constants_are_ordered() {
         use ambient::*;
         assert!(DARK_ROOM_LUX < DIM_OUTDOOR_LUX);

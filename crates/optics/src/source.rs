@@ -36,6 +36,35 @@ pub trait LightSource {
 
     /// A short human-readable label for logs and repro output.
     fn label(&self) -> &str;
+
+    /// Whether [`LightSource::illuminance_at`] is independent of `t`
+    /// (a DC lamp, a clear-sky sun). Time-invariant sources let the
+    /// channel simulator integrate their entire ground footprint **once**
+    /// per scene instead of once per ADC tick.
+    fn is_time_invariant(&self) -> bool {
+        false
+    }
+
+    /// The source's multiplicative flicker/drift envelope at time `t`,
+    /// when its field factorises as
+    /// `illuminance_at(p, t) = profile(p) × envelope(t)`
+    /// with a purely spatial `profile` — mains ripple on a ceiling panel,
+    /// cloud drift under an overcast sky. Returns `None` when no such
+    /// factorisation exists (e.g. a composite of sources flickering out of
+    /// phase), which forces consumers back onto the full per-tick
+    /// integral.
+    ///
+    /// Contract: for any two times `t`, `u` and any point `p`,
+    /// `illuminance_at(p, t) · envelope(u) == illuminance_at(p, u) · envelope(t)`
+    /// (up to float rounding), and the envelope is strictly positive.
+    fn flicker_envelope(&self, t: f64) -> Option<f64> {
+        let _ = t;
+        if self.is_time_invariant() {
+            Some(1.0)
+        } else {
+            None
+        }
+    }
 }
 
 /// A Lambertian point source: the paper's LED lamp.
@@ -88,6 +117,10 @@ impl LightSource for PointLamp {
 
     fn label(&self) -> &str {
         "led-lamp"
+    }
+
+    fn is_time_invariant(&self) -> bool {
+        true // DC-driven: no ripple (Fig. 5 shows none)
     }
 }
 
@@ -168,6 +201,13 @@ impl LightSource for CeilingPanel {
     fn label(&self) -> &str {
         "ceiling-panel"
     }
+
+    fn flicker_envelope(&self, t: f64) -> Option<f64> {
+        // The lateral falloff is purely spatial and the ripple purely
+        // temporal, so the field factorises exactly. The envelope stays
+        // positive for any ripple depth < 1 (phosphor persistence).
+        Some(self.ripple(t))
+    }
 }
 
 /// Sky condition for the [`Sun`] model.
@@ -222,13 +262,7 @@ impl Sun {
                     .collect()
             }
         };
-        Sun {
-            mean_lux,
-            elevation_deg,
-            condition,
-            drift_components,
-            spectrum: Spectrum::daylight(),
-        }
+        Sun { mean_lux, elevation_deg, condition, drift_components, spectrum: Spectrum::daylight() }
     }
 
     /// Cloudy noon, ~6200 lux: the Fig. 17(a) condition.
@@ -276,6 +310,16 @@ impl LightSource for Sun {
 
     fn label(&self) -> &str {
         "sun"
+    }
+
+    fn is_time_invariant(&self) -> bool {
+        self.drift_components.is_empty()
+    }
+
+    fn flicker_envelope(&self, t: f64) -> Option<f64> {
+        // Spatially uniform: the cloud drift IS the whole time dependence.
+        // Component amplitudes sum to < 1, so the envelope stays positive.
+        Some(self.drift_factor(t))
     }
 }
 
@@ -329,9 +373,7 @@ impl LightSource for CompositeSource {
         // Dominant member's direction (by contribution at this point).
         self.members
             .iter()
-            .max_by(|a, b| {
-                a.illuminance_at(point, 0.0).total_cmp(&b.illuminance_at(point, 0.0))
-            })
+            .max_by(|a, b| a.illuminance_at(point, 0.0).total_cmp(&b.illuminance_at(point, 0.0)))
             .and_then(|s| s.direction_from(point))
     }
 
@@ -341,6 +383,14 @@ impl LightSource for CompositeSource {
 
     fn label(&self) -> &str {
         &self.label
+    }
+
+    fn is_time_invariant(&self) -> bool {
+        // A sum of time-invariant fields is time-invariant; mixed-envelope
+        // members (ripple + drift) do not factorise, so the default
+        // `flicker_envelope` correctly reports `None` unless all members
+        // are static.
+        self.members.iter().all(|s| s.is_time_invariant())
     }
 }
 
@@ -388,10 +438,9 @@ mod tests {
     fn ceiling_mean_is_approximately_nominal() {
         let panel = CeilingPanel::fluorescent(2.3, 500.0);
         let n = 10_000;
-        let mean: f64 = (0..n)
-            .map(|i| panel.illuminance_at(Vec3::ZERO, i as f64 * 1e-4))
-            .sum::<f64>()
-            / n as f64;
+        let mean: f64 =
+            (0..n).map(|i| panel.illuminance_at(Vec3::ZERO, i as f64 * 1e-4)).sum::<f64>()
+                / n as f64;
         assert!((mean - 500.0).abs() / 500.0 < 0.02, "mean {mean}");
     }
 
@@ -420,10 +469,7 @@ mod tests {
     #[test]
     fn clear_sun_is_steady_cloudy_sun_drifts() {
         let clear = Sun::new(10_000.0, 45.0, SkyCondition::Clear, 1);
-        assert_eq!(
-            clear.illuminance_at(Vec3::ZERO, 0.0),
-            clear.illuminance_at(Vec3::ZERO, 30.0)
-        );
+        assert_eq!(clear.illuminance_at(Vec3::ZERO, 0.0), clear.illuminance_at(Vec3::ZERO, 30.0));
         let cloudy = Sun::cloudy_noon(1);
         let a = cloudy.illuminance_at(Vec3::ZERO, 0.0);
         let b = cloudy.illuminance_at(Vec3::ZERO, 30.0);
@@ -473,5 +519,72 @@ mod tests {
     #[should_panic(expected = "at least one member")]
     fn composite_rejects_empty() {
         CompositeSource::new(Vec::new());
+    }
+
+    #[test]
+    fn time_invariance_classification() {
+        assert!(PointLamp::bench_lamp(0.3).is_time_invariant());
+        assert!(Sun::new(10_000.0, 45.0, SkyCondition::Clear, 1).is_time_invariant());
+        assert!(!Sun::cloudy_noon(1).is_time_invariant());
+        assert!(!CeilingPanel::fluorescent(2.3, 500.0).is_time_invariant());
+    }
+
+    fn check_envelope_factorisation(source: &dyn LightSource, points: &[Vec3], times: &[f64]) {
+        let env0 = source.flicker_envelope(0.0).expect("envelope");
+        assert!(env0 > 0.0);
+        for &p in points {
+            let base = source.illuminance_at(p, 0.0) / env0;
+            for &t in times {
+                let env = source.flicker_envelope(t).expect("envelope");
+                assert!(env > 0.0, "envelope must stay positive, got {env} at t={t}");
+                let expect = base * env;
+                let got = source.illuminance_at(p, t);
+                assert!(
+                    (got - expect).abs() <= 1e-9 * got.abs().max(1.0),
+                    "envelope contract broken at {p:?}, t={t}: {got} vs {expect}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn ceiling_envelope_factorises_the_field() {
+        let panel = CeilingPanel::fluorescent(2.3, 500.0);
+        let points = [Vec3::ZERO, Vec3::ground(0.5, 0.2), Vec3::ground(2.0, -1.0)];
+        let times: Vec<f64> = (0..40).map(|i| i as f64 * 0.0013).collect();
+        check_envelope_factorisation(&panel, &points, &times);
+    }
+
+    #[test]
+    fn sun_envelope_factorises_the_field() {
+        let sun = Sun::cloudy_noon(9);
+        let points = [Vec3::ZERO, Vec3::ground(1.0, 1.0)];
+        let times: Vec<f64> = (0..20).map(|i| i as f64 * 1.7).collect();
+        check_envelope_factorisation(&sun, &points, &times);
+    }
+
+    #[test]
+    fn static_lamp_envelope_is_unity() {
+        let lamp = PointLamp::bench_lamp(0.3);
+        assert_eq!(lamp.flicker_envelope(0.0), Some(1.0));
+        assert_eq!(lamp.flicker_envelope(12.7), Some(1.0));
+    }
+
+    #[test]
+    fn mixed_composite_has_no_envelope() {
+        // Ripple + drift cannot factorise into one envelope.
+        let comp = CompositeSource::new(vec![
+            Box::new(CeilingPanel::fluorescent(2.3, 500.0)),
+            Box::new(Sun::cloudy_noon(1)),
+        ]);
+        assert!(!comp.is_time_invariant());
+        assert!(comp.flicker_envelope(0.5).is_none());
+        // All-static composite does factorise (trivially).
+        let still = CompositeSource::new(vec![
+            Box::new(PointLamp::bench_lamp(0.3)),
+            Box::new(Sun::new(100.0, 45.0, SkyCondition::Clear, 0)),
+        ]);
+        assert!(still.is_time_invariant());
+        assert_eq!(still.flicker_envelope(3.0), Some(1.0));
     }
 }

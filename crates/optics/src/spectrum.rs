@@ -98,9 +98,7 @@ impl Spectrum {
     /// This is the paper's office ceiling light.
     pub fn fluorescent() -> Self {
         let mut raw = [0.0; BINS];
-        for (center, weight, sigma) in
-            [(436.0, 0.8, 8.0), (546.0, 1.0, 8.0), (611.0, 0.9, 10.0)]
-        {
+        for (center, weight, sigma) in [(436.0, 0.8, 8.0), (546.0, 1.0, 8.0), (611.0, 0.9, 10.0)] {
             for (i, r) in raw.iter_mut().enumerate() {
                 let d: f64 = (wavelength_of_bin(i) - center) / sigma;
                 *r += weight * (-0.5 * d * d).exp();
@@ -124,8 +122,8 @@ impl Spectrum {
     pub fn mix(&self, other: &Spectrum, w: f64) -> Spectrum {
         let w = w.clamp(0.0, 1.0);
         let mut raw = [0.0; BINS];
-        for i in 0..BINS {
-            raw[i] = (1.0 - w) * self.bins[i] + w * other.bins[i];
+        for ((r, &a), &b) in raw.iter_mut().zip(&self.bins).zip(&other.bins) {
+            *r = (1.0 - w) * a + w * b;
         }
         Spectrum::from_bins(raw)
     }

@@ -50,12 +50,7 @@ impl Bits {
 
     /// From bytes, each expanded MSB-first.
     pub fn from_bytes(bytes: &[u8]) -> Self {
-        Bits(
-            bytes
-                .iter()
-                .flat_map(|&b| (0..8).rev().map(move |i| (b >> i) & 1 == 1))
-                .collect(),
-        )
+        Bits(bytes.iter().flat_map(|&b| (0..8).rev().map(move |i| (b >> i) & 1 == 1)).collect())
     }
 
     /// Number of bits.

@@ -52,10 +52,7 @@ impl Codebook {
         assert!(n_bits > 0, "codes need at least one bit");
         assert!(count > 0, "codebook needs at least one code");
         let space = 1u64 << n_bits;
-        assert!(
-            count as u64 <= space,
-            "cannot pick {count} distinct codes from {space}"
-        );
+        assert!(count as u64 <= space, "cannot pick {count} distinct codes from {space}");
 
         // Largest d whose lexicode contains at least `count` words.
         // d = n_bits always admits 2 words (all-zeros / all-ones); d = 1
@@ -219,10 +216,8 @@ mod tests {
 
     #[test]
     fn explicit_codebook_checks_invariants() {
-        let book = Codebook::from_codes(vec![
-            Bits::parse("00").unwrap(),
-            Bits::parse("11").unwrap(),
-        ]);
+        let book =
+            Codebook::from_codes(vec![Bits::parse("00").unwrap(), Bits::parse("11").unwrap()]);
         assert_eq!(book.min_distance(), 2);
     }
 

@@ -58,7 +58,7 @@ pub fn manchester_encode(bits: &Bits) -> Vec<Symbol> {
 /// Decodes a symbol sequence back into bits, enforcing the mid-bit
 /// transition rule.
 pub fn manchester_decode(symbols: &[Symbol]) -> Result<Bits, ManchesterError> {
-    if symbols.len() % 2 != 0 {
+    if !symbols.len().is_multiple_of(2) {
         return Err(ManchesterError::OddLength(symbols.len()));
     }
     let mut bits = Bits::new();

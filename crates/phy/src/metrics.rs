@@ -18,11 +18,7 @@ pub fn symbol_error_rate(sent: &[Symbol], received: &[Symbol]) -> f64 {
         return 0.0;
     }
     let overlap = sent.len().min(received.len());
-    let mismatched = sent
-        .iter()
-        .zip(received.iter())
-        .filter(|(a, b)| a != b)
-        .count();
+    let mismatched = sent.iter().zip(received.iter()).filter(|(a, b)| a != b).count();
     let missing = n - overlap;
     (mismatched + missing) as f64 / n as f64
 }
@@ -34,11 +30,7 @@ pub fn bit_error_rate(sent: &Bits, received: &Bits) -> f64 {
     if n == 0 {
         return 0.0;
     }
-    let mismatched = sent
-        .iter()
-        .zip(received.iter())
-        .filter(|(a, b)| a != b)
-        .count();
+    let mismatched = sent.iter().zip(received.iter()).filter(|(a, b)| a != b).count();
     let missing = n - sent.len().min(received.len());
     (mismatched + missing) as f64 / n as f64
 }

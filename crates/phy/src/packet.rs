@@ -82,9 +82,7 @@ impl Packet {
         }
         let (head, data) = symbols.split_at(PREAMBLE_LEN);
         if head != PREAMBLE {
-            return Err(PacketError::BadPreamble {
-                got: Symbol::format_sequence(head, false),
-            });
+            return Err(PacketError::BadPreamble { got: Symbol::format_sequence(head, false) });
         }
         let payload = manchester_decode(data)?;
         Ok(Packet::new(payload))
@@ -184,10 +182,7 @@ mod tests {
 
     #[test]
     fn short_input_is_reported() {
-        assert_eq!(
-            Packet::from_symbols(&[Symbol::High]),
-            Err(PacketError::TooShort(1))
-        );
+        assert_eq!(Packet::from_symbols(&[Symbol::High]), Err(PacketError::TooShort(1)));
     }
 
     #[test]

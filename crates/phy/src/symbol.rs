@@ -48,10 +48,7 @@ impl Symbol {
     /// Parses a whole symbol string like `"HLHL.LHHL"`; dots and spaces
     /// are ignored (the paper writes codes as `HLHL.HLHL`).
     pub fn parse_sequence(s: &str) -> Option<Vec<Symbol>> {
-        s.chars()
-            .filter(|c| !matches!(c, '.' | ' ' | '-' | '_'))
-            .map(Symbol::from_letter)
-            .collect()
+        s.chars().filter(|c| !matches!(c, '.' | ' ' | '-' | '_')).map(Symbol::from_letter).collect()
     }
 
     /// Formats a symbol slice as the paper writes it, with a dot after the

@@ -1,8 +1,20 @@
-//! Shared output helpers for the reproduction harness: ASCII plots,
-//! aligned tables, and CSV emission, all to stdout so results can be
-//! redirected and diffed.
+//! Shared helpers for the reproduction harness: parallel sweep execution,
+//! ASCII plots, aligned tables, and CSV emission, all to stdout so
+//! results can be redirected and diffed.
 
+use palc::sweep::SweepRunner;
 use palc::trace::Trace;
+
+/// Runs `f` over `items` in parallel (order-preserving) — the harness's
+/// entry point for figure sweeps and repeated-trial loops. Output must
+/// happen *after* the sweep returns so stdout stays deterministic.
+pub fn parallel_sweep<T, R>(items: &[T], f: impl Fn(&T) -> R + Sync) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+{
+    SweepRunner::new().map(items, f)
+}
 
 /// Prints a section header for one experiment.
 pub fn header(id: &str, title: &str, paper_expectation: &str) {
@@ -30,7 +42,7 @@ pub fn plot_trace(title: &str, trace: &Trace, rows: usize) {
     let step = (norm.len() / rows.max(1)).max(1);
     for i in (0..norm.len()).step_by(step) {
         let v = norm[i];
-        let bar: String = std::iter::repeat('#').take((v * 60.0).round() as usize).collect();
+        let bar: String = std::iter::repeat_n('#', (v * 60.0).round() as usize).collect();
         println!("{:8.3}s {:6.3} |{bar}", trace.time_of(i), v);
     }
 }

@@ -15,7 +15,10 @@ pub fn run() {
         "PD 1.5 mW vs camera >1 W; prototype ~ $50; solar autonomy feasible",
     );
 
-    println!("{:>22} {:>12} {:>14} {:>10} {:>10}", "receiver", "sensor mW", "conversion mW", "logic mW", "total mW");
+    println!(
+        "{:>22} {:>12} {:>14} {:>10} {:>10}",
+        "receiver", "sensor mW", "conversion mW", "logic mW", "total mW"
+    );
     for (name, b) in [
         ("photodiode (OPT101)", PowerBudget::photodiode_receiver()),
         ("RX-LED (photovoltaic)", PowerBudget::rx_led_receiver()),
@@ -23,7 +26,10 @@ pub fn run() {
     ] {
         println!(
             "{name:>22} {:>12.2} {:>14.2} {:>10.2} {:>10.2}",
-            b.sensor_mw, b.conversion_mw, b.logic_mw, b.total_mw()
+            b.sensor_mw,
+            b.conversion_mw,
+            b.logic_mw,
+            b.total_mw()
         );
     }
     let pd = PowerBudget::photodiode_receiver();

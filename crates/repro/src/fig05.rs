@@ -30,8 +30,12 @@ pub fn run() {
                 );
                 println!(
                     "A = ({:.2} s, {:.2})  B = ({:.2} s, {:.2})  C = ({:.2} s, {:.2})",
-                    out.point_a.t, out.point_a.r, out.point_b.t, out.point_b.r,
-                    out.point_c.t, out.point_c.r
+                    out.point_a.t,
+                    out.point_a.r,
+                    out.point_b.t,
+                    out.point_b.r,
+                    out.point_c.t,
+                    out.point_c.r
                 );
                 common::verdict(
                     &format!("payload '{bits}'"),

@@ -14,8 +14,7 @@ use palc::capacity::CapacityAnalyzer;
 // boundary) appears over a taller range. Shape, not absolute numbers, is
 // the reproduction target.
 const WIDTHS: [f64; 5] = [0.015, 0.030, 0.045, 0.060, 0.075];
-const HEIGHTS: [f64; 10] =
-    [0.20, 0.30, 0.40, 0.50, 0.60, 0.70, 0.80, 0.90, 1.00, 1.10];
+const HEIGHTS: [f64; 10] = [0.20, 0.30, 0.40, 0.50, 0.60, 0.70, 0.80, 0.90, 1.00, 1.10];
 const BENCH_SPEED: f64 = 0.08;
 
 pub fn run() {
@@ -25,17 +24,18 @@ pub fn run() {
         "(a) linear decodable boundary; (b) capacity decays steeply with height",
     );
     let analyzer = CapacityAnalyzer { trials: 2, ..Default::default() };
+    // One parallel sweep of the widths × heights grid feeds both panels.
+    let sweep = analyzer.sweep(&WIDTHS, &HEIGHTS);
 
     // ---- Fig. 6(a) ------------------------------------------------------
-    let region = analyzer.decodable_region(&WIDTHS, &HEIGHTS);
+    let region = sweep.decodable_region();
     common::series_opt(
         "Fig. 6(a): symbol width (m) -> maximal decodable height (m)",
         "width_m",
         "max_height_m",
         &region,
     );
-    let boundary: Vec<(f64, f64)> =
-        region.iter().filter_map(|&(w, h)| h.map(|h| (w, h))).collect();
+    let boundary: Vec<(f64, f64)> = region.iter().filter_map(|&(w, h)| h.map(|h| (w, h))).collect();
     common::series(
         "Fig. 6(a) boundary (decodable points only)",
         "width_m",
@@ -64,7 +64,7 @@ pub fn run() {
     }
 
     // ---- Fig. 6(b) ------------------------------------------------------
-    let tput = analyzer.throughput_vs_height(&HEIGHTS, &WIDTHS, BENCH_SPEED);
+    let tput = sweep.throughput_vs_height(BENCH_SPEED);
     common::series_opt(
         "Fig. 6(b): height (m) -> throughput (symbols/s) at 8 cm/s",
         "height_m",
@@ -84,8 +84,11 @@ pub fn run() {
         common::verdict(
             "decay is steep (>=2x over the sweep)",
             first >= 2.0 * last,
-            &format!("{first:.2} sym/s at {:.2} m vs {last:.2} sym/s at {:.2} m",
-                usable.first().unwrap().0, usable.last().unwrap().0),
+            &format!(
+                "{first:.2} sym/s at {:.2} m vs {last:.2} sym/s at {:.2} m",
+                usable.first().unwrap().0,
+                usable.last().unwrap().0
+            ),
         );
     }
 }

@@ -22,11 +22,8 @@ pub fn run() {
     common::plot_trace("Fig. 7 trace: ceiling fixture, payload '10'", &trace, 48);
 
     // Decode with a ripple-sized smoothing window.
-    let decoder = AdaptiveDecoder {
-        smooth_window_s: 0.012,
-        ..AdaptiveDecoder::default()
-    }
-    .with_expected_bits(bits.len());
+    let decoder = AdaptiveDecoder { smooth_window_s: 0.012, ..AdaptiveDecoder::default() }
+        .with_expected_bits(bits.len());
     match decoder.decode(&trace) {
         Ok(out) => common::verdict(
             "decodes under ceiling lights",
@@ -50,9 +47,7 @@ pub fn run() {
     let fs = trace.sample_rate_hz();
     let ripple_ceiling = goertzel_power(trace.samples(), 100.0, fs);
     let sym_power = goertzel_power(trace.samples(), 1.33, fs);
-    println!(
-        "100 Hz ripple power {ripple_ceiling:.3}, symbol-rate (1.33 Hz) power {sym_power:.3}"
-    );
+    println!("100 Hz ripple power {ripple_ceiling:.3}, symbol-rate (1.33 Hz) power {sym_power:.3}");
     common::verdict(
         "AC ripple visible at 100 Hz",
         ripple_ceiling > 0.0 && ripple_ceiling > 1e-4 * sym_power,

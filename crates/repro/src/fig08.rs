@@ -35,8 +35,8 @@ pub fn run() {
     common::plot_trace("Fig. 8 distorted trace (speed doubles mid-packet)", &probe, 48);
 
     // Paper-faithful fixed windows (no timing tracker).
-    let rigid = AdaptiveDecoder { resync_gain: 0.0, ..AdaptiveDecoder::default() }
-        .with_expected_bits(2);
+    let rigid =
+        AdaptiveDecoder { resync_gain: 0.0, ..AdaptiveDecoder::default() }.with_expected_bits(2);
     let misread = match rigid.decode(&probe) {
         Ok(out) => {
             println!("fixed-window decoder read: {}", out.notation());
@@ -64,7 +64,10 @@ pub fn run() {
     let clf = DtwClassifier::new(db);
     let result = clf.classify(&probe);
     for m in &result.ranking {
-        println!("DTW distance to '{}': raw {:.1}, normalised {:.4}", m.label, m.distance, m.normalized);
+        println!(
+            "DTW distance to '{}': raw {:.1}, normalised {:.4}",
+            m.label, m.distance, m.normalized
+        );
     }
     // Self-reference: a second capture of the same distorted pass.
     let second = distorted_scenario(0).run(22);

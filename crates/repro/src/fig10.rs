@@ -42,17 +42,13 @@ fn collision_scenario(y_low: f64, y_high: f64) -> Scenario {
     let height = 0.15;
     let sun = Sun::new(1000.0, 35.0, SkyCondition::Cloudy { drift: 0.03 }, 17);
     let lead = 0.10;
-    let low = MobileObject::cart(low_tag(), Trajectory::indoor_bench())
-        .starting_at(-lead)
-        .in_lane(y_low);
+    let low =
+        MobileObject::cart(low_tag(), Trajectory::indoor_bench()).starting_at(-lead).in_lane(y_low);
     let high = MobileObject::cart(high_tag(), Trajectory::indoor_bench())
         .starting_at(-lead)
         .in_lane(y_high);
-    let frontend = Frontend::new(
-        OpticalReceiver::rx_led(),
-        Mcp3008 { vref: 3.3, sample_rate_hz: 250.0 },
-        0,
-    );
+    let frontend =
+        Frontend::new(OpticalReceiver::rx_led(), Mcp3008 { vref: 3.3, sample_rate_hz: 250.0 }, 0);
     let duration = (0.8 + 2.0 * lead) / 0.08 + 0.2;
     Scenario::custom(
         PassiveChannel {

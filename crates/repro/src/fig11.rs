@@ -30,7 +30,10 @@ pub fn run() {
         ("PD(G3)", 5000.0, 0.089),
         ("LED", 35_000.0, 0.013),
     ];
-    println!("{:>8} {:>16} {:>16} {:>14} {:>14}", "receiver", "sat (measured)", "sat (paper)", "sens (meas)", "sens (paper)");
+    println!(
+        "{:>8} {:>16} {:>16} {:>14} {:>14}",
+        "receiver", "sat (measured)", "sat (paper)", "sens (meas)", "sens (paper)"
+    );
     let rows = characterize();
     let mut all_ok = true;
     for (row, (label, sat, sens)) in rows.iter().zip(expected.iter()) {

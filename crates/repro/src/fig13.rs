@@ -59,20 +59,31 @@ pub fn run() {
     // Cross-identification with noisy passes.
     let detector =
         CarShapeDetector::from_traces(&[("Volvo V40", &volvo_clean), ("BMW 3", &bmw_clean)]);
+    let passes: Vec<(u64, &str, CarModel)> = [5u64, 9, 21]
+        .into_iter()
+        .flat_map(|seed| {
+            [("Volvo V40", CarModel::volvo_v40()), ("BMW 3", CarModel::bmw_3())]
+                .into_iter()
+                .map(move |(name, car)| (seed, name, car))
+        })
+        .collect();
+    // Each pass is an independent channel run + identification: sweep
+    // them across cores, then report in order.
+    let outcomes = common::parallel_sweep(&passes, |(seed, name, car)| {
+        let probe = Scenario::outdoor_car(car.clone(), None, 0.75, Sun::cloudy_noon(6)).run(*seed);
+        (*seed, *name, detector.identify(&probe))
+    });
     let mut correct = 0;
-    let mut total = 0;
-    for seed in [5u64, 9, 21] {
-        for (name, car) in [("Volvo V40", CarModel::volvo_v40()), ("BMW 3", CarModel::bmw_3())] {
-            let probe = Scenario::outdoor_car(car, None, 0.75, Sun::cloudy_noon(6)).run(seed);
-            total += 1;
-            if let Some((label, margin)) = detector.identify(&probe) {
+    let total = outcomes.len();
+    for (seed, name, outcome) in &outcomes {
+        match outcome {
+            Some((label, margin)) => {
                 println!("pass of {name} (seed {seed}) -> {label} (margin {margin:.3})");
                 if label == name {
                     correct += 1;
                 }
-            } else {
-                println!("pass of {name} (seed {seed}) -> not detected");
             }
+            None => println!("pass of {name} (seed {seed}) -> not detected"),
         }
     }
     common::verdict(

@@ -28,22 +28,15 @@ fn scenario(capped: bool) -> Scenario {
 fn decode_rate(capped: bool) -> (usize, Trace, f64) {
     let sc = scenario(capped);
     let decoder = TwoPhaseDecoder::new(CarModel::volvo_v40(), 0.10, 2);
-    let mut ok = 0;
-    let mut example = None;
-    for seed in 0..TRIALS {
-        let trace = sc.run(seed);
-        if let Ok(out) = decoder.decode(&trace) {
-            if out.payload.to_string() == "00" {
-                ok += 1;
-            }
-        }
-        if example.is_none() {
-            example = Some(trace);
-        }
-    }
+    let seeds: Vec<u64> = (0..TRIALS).collect();
+    let mut traces = sc.run_batch(&seeds);
+    let ok = traces
+        .iter()
+        .filter(|t| decoder.decode(t).map(|out| out.payload.to_string() == "00").unwrap_or(false))
+        .count();
     // Aperture-level light (pre-AGC) to quantify the cap's RSS drop.
     let peak_lux = sc.channel().peak_illuminance(sc.duration_s(), 64);
-    (ok, example.expect("trials ran"), peak_lux)
+    (ok, traces.swap_remove(0), peak_lux)
 }
 
 pub fn run() {

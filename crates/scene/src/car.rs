@@ -55,7 +55,12 @@ impl CarModel {
         CarModel::new(
             "Volvo V40",
             vec![
-                CarSegment { name: "front-bumper", length_m: 0.45, material: paint, height_m: 0.55 },
+                CarSegment {
+                    name: "front-bumper",
+                    length_m: 0.45,
+                    material: paint,
+                    height_m: 0.55,
+                },
                 CarSegment { name: "hood", length_m: 0.95, material: paint, height_m: 0.90 },
                 CarSegment { name: "windshield", length_m: 0.75, material: glass, height_m: 1.15 },
                 CarSegment { name: "roof", length_m: 1.30, material: paint, height_m: 1.42 },
@@ -78,7 +83,12 @@ impl CarModel {
         CarModel::new(
             "BMW 3",
             vec![
-                CarSegment { name: "front-bumper", length_m: 0.50, material: paint, height_m: 0.55 },
+                CarSegment {
+                    name: "front-bumper",
+                    length_m: 0.50,
+                    material: paint,
+                    height_m: 0.55,
+                },
                 CarSegment { name: "hood", length_m: 1.10, material: paint, height_m: 0.88 },
                 CarSegment { name: "windshield", length_m: 0.70, material: glass, height_m: 1.12 },
                 CarSegment { name: "roof", length_m: 1.05, material: paint, height_m: 1.40 },
@@ -211,8 +221,7 @@ mod tests {
         // reflected by their waveforms". Compare resampled signatures.
         let v = CarModel::volvo_v40().reflectance_signature(200);
         let b = CarModel::bmw_3().reflectance_signature(200);
-        let diff: f64 =
-            v.iter().zip(&b).map(|(x, y)| (x - y).abs()).sum::<f64>() / v.len() as f64;
+        let diff: f64 = v.iter().zip(&b).map(|(x, y)| (x - y).abs()).sum::<f64>() / v.len() as f64;
         assert!(diff > 0.05, "signatures too similar: {diff}");
     }
 

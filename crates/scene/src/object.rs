@@ -148,6 +148,24 @@ impl MobileObject {
         self.start_x_m + self.trajectory.displacement(t)
     }
 
+    /// World-x interval `[trailing, leading]` occupied by the object at
+    /// time `t`. This is the bounds query the staged channel sampler uses
+    /// to re-integrate only the footprint patches an object can actually
+    /// cover: [`MobileObject::sample_at`] returns `Some` exactly for
+    /// `world_x` inside this interval (and `None` strictly outside it).
+    pub fn x_extent_at(&self, t: f64) -> (f64, f64) {
+        let lead = self.leading_edge_at(t);
+        (lead - self.length_m(), lead)
+    }
+
+    /// Lateral band `[y_lo, y_hi]` the object sweeps: its lane offset
+    /// plus/minus half its lateral extent. The cross-track counterpart of
+    /// [`MobileObject::x_extent_at`].
+    pub fn lane_band(&self) -> (f64, f64) {
+        let half = self.lateral_m() / 2.0;
+        (self.lane_y_m - half, self.lane_y_m + half)
+    }
+
     /// Time at which the object's *leading edge* reaches world `x`.
     pub fn time_to_reach(&self, x_m: f64) -> f64 {
         self.trajectory.time_to_travel((x_m - self.start_x_m).max(0.0))
@@ -176,8 +194,7 @@ impl MobileObject {
                     let (a, b) = model.roof_span();
                     let tag_start = a + ((b - a) - tag.length_m()) / 2.0;
                     if let Some(m) = tag.material_at(local - tag_start) {
-                        let roof_h =
-                            model.segment_at(local).map(|s| s.height_m).unwrap_or(1.4);
+                        let roof_h = model.segment_at(local).map(|s| s.height_m).unwrap_or(1.4);
                         return Some(SurfaceSample { material: m, height_m: roof_h + 0.002 });
                     }
                 }
@@ -200,8 +217,7 @@ mod tests {
 
     #[test]
     fn cart_moves_leading_edge() {
-        let obj = MobileObject::cart(tag("00", 0.03), Trajectory::indoor_bench())
-            .starting_at(-0.5);
+        let obj = MobileObject::cart(tag("00", 0.03), Trajectory::indoor_bench()).starting_at(-0.5);
         assert_eq!(obj.leading_edge_at(0.0), -0.5);
         assert!((obj.leading_edge_at(10.0) - 0.3).abs() < 1e-9);
     }
@@ -230,8 +246,7 @@ mod tests {
 
     #[test]
     fn time_to_reach_inverts_motion() {
-        let obj = MobileObject::cart(tag("00", 0.03), Trajectory::car_18kmh())
-            .starting_at(-10.0);
+        let obj = MobileObject::cart(tag("00", 0.03), Trajectory::car_18kmh()).starting_at(-10.0);
         let t = obj.time_to_reach(0.0);
         assert!((t - 2.0).abs() < 1e-6);
     }
@@ -241,8 +256,8 @@ mod tests {
         let car = CarModel::volvo_v40();
         let (a, b) = car.roof_span();
         let tag8 = tag("00", 0.10); // 0.8 m
-        let obj = MobileObject::car(car.clone(), Some(tag8), Trajectory::car_18kmh())
-            .starting_at(0.0);
+        let obj =
+            MobileObject::car(car.clone(), Some(tag8), Trajectory::car_18kmh()).starting_at(0.0);
         // Sample the middle of the roof at t such that leading edge far
         // enough: t=1 -> leading edge 5 m; world x = 5 - local.
         let roof_mid = (a + b) / 2.0;
@@ -273,8 +288,7 @@ mod tests {
 
     #[test]
     fn lane_offset_is_stored() {
-        let obj =
-            MobileObject::cart(tag("00", 0.03), Trajectory::indoor_bench()).in_lane(0.25);
+        let obj = MobileObject::cart(tag("00", 0.03), Trajectory::indoor_bench()).in_lane(0.25);
         assert_eq!(obj.lane_y_m(), 0.25);
         assert_eq!(obj.lateral_m(), 0.30);
     }
@@ -284,13 +298,37 @@ mod tests {
         let a = tag("00", 0.05);
         let b = tag("11", 0.05);
         let lcd = crate::tag::LcdShutterTag::new(vec![a, b], 0.5);
-        let obj = MobileObject::lcd_cart(lcd, Trajectory::Constant { speed_mps: 0.0 })
-            .starting_at(0.4);
+        let obj =
+            MobileObject::lcd_cart(lcd, Trajectory::Constant { speed_mps: 0.0 }).starting_at(0.4);
         // Static object: sample inside the data region (local 0.21 =
         // symbol 4), where '00' shows H and '11' shows L.
         let m0 = obj.sample_at(0.4 - 0.21, 0.1).unwrap().material.name;
         let m1 = obj.sample_at(0.4 - 0.21, 0.6).unwrap().material.name;
         assert_ne!(m0, m1, "frames must alternate");
+    }
+
+    #[test]
+    fn x_extent_brackets_sample_support() {
+        let obj = MobileObject::cart(tag("10", 0.10), Trajectory::Constant { speed_mps: 1.0 })
+            .starting_at(-0.3);
+        for t in [0.0, 0.4, 1.1] {
+            let (lo, hi) = obj.x_extent_at(t);
+            assert!((hi - lo - obj.length_m()).abs() < 1e-12);
+            // sample_at is Some inside the extent, None strictly outside.
+            assert!(obj.sample_at(0.5 * (lo + hi), t).is_some());
+            assert!(obj.sample_at(lo - 1e-6, t).is_none());
+            assert!(obj.sample_at(hi + 1e-6, t).is_none());
+        }
+    }
+
+    #[test]
+    fn lane_band_matches_lateral_extent() {
+        let obj = MobileObject::cart(tag("00", 0.03), Trajectory::indoor_bench()).in_lane(0.25);
+        let (lo, hi) = obj.lane_band();
+        assert!((lo - 0.10).abs() < 1e-12 && (hi - 0.40).abs() < 1e-12);
+        let car = MobileObject::car(CarModel::bmw_3(), None, Trajectory::car_18kmh());
+        let (lo, hi) = car.lane_band();
+        assert!((hi - lo - car.lateral_m()).abs() < 1e-12);
     }
 
     #[test]

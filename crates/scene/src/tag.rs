@@ -305,6 +305,7 @@ mod tests {
         assert_eq!(lcd.frame_at(0.5), &a);
         assert_eq!(lcd.frame_at(1.5), &b);
         assert_eq!(lcd.frame_at(2.5), &a); // wraps
+
         // Both frames share the HLHL preamble; they differ in the data
         // region (symbol 4): '00' data starts H, '11' data starts L.
         let data_x = 4.0 * 0.05 + 0.01;

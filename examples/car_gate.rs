@@ -41,8 +41,9 @@ fn main() {
     for (car, permit, seed) in arrivals {
         let name = car.name;
         let packet = Packet::from_bits(permit).unwrap();
-        let pass = Scenario::outdoor_car(car.clone(), Some(packet), 0.75, Sun::cloudy_noon(40 + seed))
-            .run(seed);
+        let pass =
+            Scenario::outdoor_car(car.clone(), Some(packet), 0.75, Sun::cloudy_noon(40 + seed))
+                .run(seed);
 
         // Phase 0: which car is this?
         let Some((model, margin)) = detector.identify(&pass) else {

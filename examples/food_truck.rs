@@ -22,10 +22,7 @@ const CARGO: [&str; 4] = ["tacos", "coffee", "produce", "ice-cream"];
 fn main() {
     // Four cargo classes, 4-bit codes, max-min Hamming distance.
     let book = Codebook::max_min_hamming(CARGO.len(), 4);
-    println!(
-        "codebook (min Hamming distance {}): ",
-        book.min_distance()
-    );
+    println!("codebook (min Hamming distance {}): ", book.min_distance());
     for (name, code) in CARGO.iter().zip(book.codes()) {
         println!("  {name:>10} -> {code}");
     }
@@ -34,7 +31,7 @@ fn main() {
     // report to the fusion centre.
     let fusion = FusionCenter::default();
     let mut detections = Vec::new();
-    for (truck_idx, (name, code)) in CARGO.iter().zip(book.codes()).enumerate() {
+    for (truck_idx, (_name, code)) in CARGO.iter().zip(book.codes()).enumerate() {
         let packet = Packet::new(code.clone());
         for (rx_id, time_offset) in [(1u32, 0.0), (2u32, 0.4)] {
             // 4 cm symbols, receiver at 30 cm above the truck roofline.

@@ -54,17 +54,13 @@ fn main() {
         {
             let ch = scenario.channel_mut();
             ch.objects.clear();
-            ch.objects.push(
-                palc_lab::scene::MobileObject::cart(tag, trajectory).starting_at(-0.08),
-            );
+            ch.objects
+                .push(palc_lab::scene::MobileObject::cart(tag, trajectory).starting_at(-0.08));
         }
         let trace = scenario.run(200 + idx as u64);
 
-        let decoder = AdaptiveDecoder {
-            smooth_window_s: 0.012,
-            ..AdaptiveDecoder::default()
-        }
-        .with_expected_bits(code.len());
+        let decoder = AdaptiveDecoder { smooth_window_s: 0.012, ..AdaptiveDecoder::default() }
+            .with_expected_bits(code.len());
         match decoder.decode(&trace) {
             Ok(out) if &out.payload == code => {
                 decoded_ok += 1;

@@ -35,7 +35,12 @@ fn main() {
         .with_expected_bits(payload.len())
         .decode(&trace)
         .expect("clean channel decodes");
-    println!("decoded:  {}  (τr = {:.2}, τt = {:.3} s)", decoded.notation(), decoded.tau_r, decoded.tau_t);
+    println!(
+        "decoded:  {}  (τr = {:.2}, τt = {:.3} s)",
+        decoded.notation(),
+        decoded.tau_r,
+        decoded.tau_t
+    );
     assert_eq!(decoded.payload.to_string(), payload);
     println!("payload round-trip OK: {payload}");
 }

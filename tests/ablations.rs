@@ -33,11 +33,10 @@ fn ablation_resync_rescues_long_payloads() {
     let bits = "011010";
     let scenario = Scenario::indoor_bench(Packet::from_bits(bits).unwrap(), 0.03, 0.25);
     let trace = scenario.run(42);
-    let rigid = AdaptiveDecoder { resync_gain: 0.0, ..Default::default() }
-        .with_expected_bits(bits.len());
+    let rigid =
+        AdaptiveDecoder { resync_gain: 0.0, ..Default::default() }.with_expected_bits(bits.len());
     let tracking = AdaptiveDecoder::default().with_expected_bits(bits.len());
-    let rigid_ok =
-        rigid.decode(&trace).map(|o| o.payload.to_string() == bits).unwrap_or(false);
+    let rigid_ok = rigid.decode(&trace).map(|o| o.payload.to_string() == bits).unwrap_or(false);
     let tracking_ok =
         tracking.decode(&trace).map(|o| o.payload.to_string() == bits).unwrap_or(false);
     assert!(tracking_ok, "tracker must decode the 6-bit payload");
@@ -70,17 +69,13 @@ fn ablation_threshold_midpoint_vs_literal() {
     let trace = Trace::new(samples, 100.0);
 
     let midpoint = AdaptiveDecoder::default().with_expected_bits(2);
-    let literal = AdaptiveDecoder {
-        threshold_mode: ThresholdMode::PaperLiteral,
-        ..Default::default()
-    }
-    .with_expected_bits(2);
+    let literal =
+        AdaptiveDecoder { threshold_mode: ThresholdMode::PaperLiteral, ..Default::default() }
+            .with_expected_bits(2);
 
-    let mid_ok =
-        midpoint.decode(&trace).map(|o| o.payload.to_string() == "00").unwrap_or(false);
+    let mid_ok = midpoint.decode(&trace).map(|o| o.payload.to_string() == "00").unwrap_or(false);
     assert!(mid_ok, "midpoint threshold reads the raised-valley trace");
-    let lit_ok =
-        literal.decode(&trace).map(|o| o.payload.to_string() == "00").unwrap_or(false);
+    let lit_ok = literal.decode(&trace).map(|o| o.payload.to_string() == "00").unwrap_or(false);
     assert!(!lit_ok, "paper-literal threshold must fail here, motivating the midpoint form");
 }
 

@@ -1,259 +1,366 @@
-//! Property-based tests (proptest) on the workspace's core invariants.
+//! Property-based tests on the workspace's core invariants.
+//!
+//! The build environment is offline (no `proptest`), so these run on a
+//! small deterministic harness: [`cases`] derives one seeded RNG per
+//! case, generators draw structured inputs from it, and every failure
+//! message carries the case index so a run is exactly reproducible.
 
 use palc_lab::dsp;
 use palc_lab::phy::{manchester_decode, manchester_encode, Bits, Codebook, Packet};
-use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
-proptest! {
-    // ---------------- PHY ------------------------------------------------
+/// Runs `f` over `n` deterministic cases, each with its own seeded RNG.
+fn cases(n: usize, seed: u64, mut f: impl FnMut(&mut StdRng, usize)) {
+    for i in 0..n {
+        let mut rng = StdRng::seed_from_u64(seed ^ (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        f(&mut rng, i);
+    }
+}
 
-    #[test]
-    fn manchester_roundtrips_any_payload(bits in proptest::collection::vec(any::<bool>(), 0..64)) {
+fn vec_bool(rng: &mut StdRng, min_len: usize, max_len: usize) -> Vec<bool> {
+    let len = rng.gen_range(min_len..max_len + 1);
+    (0..len).map(|_| rng.gen::<bool>()).collect()
+}
+
+fn vec_f64(rng: &mut StdRng, lo: f64, hi: f64, min_len: usize, max_len: usize) -> Vec<f64> {
+    let len = rng.gen_range(min_len..max_len + 1);
+    (0..len).map(|_| rng.gen_range(lo..hi)).collect()
+}
+
+// ---------------- PHY ----------------------------------------------------
+
+#[test]
+fn manchester_roundtrips_any_payload() {
+    cases(64, 0xA1, |rng, i| {
+        let bits = vec_bool(rng, 0, 63);
         let payload = Bits::from_bools(&bits);
         let symbols = manchester_encode(&payload);
-        prop_assert_eq!(symbols.len(), 2 * payload.len());
-        prop_assert_eq!(manchester_decode(&symbols).unwrap(), payload);
-    }
+        assert_eq!(symbols.len(), 2 * payload.len(), "case {i}");
+        assert_eq!(manchester_decode(&symbols).unwrap(), payload, "case {i}");
+    });
+}
 
-    #[test]
-    fn packet_symbols_roundtrip(bits in proptest::collection::vec(any::<bool>(), 0..32)) {
+#[test]
+fn packet_symbols_roundtrip() {
+    cases(64, 0xA2, |rng, i| {
+        let bits = vec_bool(rng, 0, 31);
         let packet = Packet::new(Bits::from_bools(&bits));
         let back = Packet::from_symbols(&packet.to_symbols()).unwrap();
-        prop_assert_eq!(back, packet);
-    }
+        assert_eq!(back, packet, "case {i}");
+    });
+}
 
-    #[test]
-    fn bits_u64_roundtrip(value in any::<u64>(), width in 1usize..=64) {
+#[test]
+fn bits_u64_roundtrip() {
+    cases(128, 0xA3, |rng, i| {
+        let value = rng.gen::<u64>();
+        let width = rng.gen_range(1usize..65);
         let masked = if width == 64 { value } else { value & ((1u64 << width) - 1) };
         let bits = Bits::from_u64(masked, width);
-        prop_assert_eq!(bits.len(), width);
-        prop_assert_eq!(bits.to_u64(), masked);
-    }
+        assert_eq!(bits.len(), width, "case {i}");
+        assert_eq!(bits.to_u64(), masked, "case {i}");
+    });
+}
 
-    #[test]
-    fn hamming_distance_is_a_metric(
-        a in proptest::collection::vec(any::<bool>(), 1..32),
-        flips in proptest::collection::vec(any::<bool>(), 1..32),
-    ) {
-        let n = a.len().min(flips.len());
-        let a = Bits::from_bools(&a[..n]);
+#[test]
+fn hamming_distance_is_a_metric() {
+    cases(64, 0xA4, |rng, i| {
+        let a_bools = vec_bool(rng, 1, 31);
+        let flips = vec_bool(rng, 1, 31);
+        let n = a_bools.len().min(flips.len());
+        let a = Bits::from_bools(&a_bools[..n]);
         let b: Bits = a.iter().zip(flips.iter()).map(|(x, &f)| x ^ f).collect();
         let d = a.hamming_distance(&b);
-        prop_assert_eq!(d, flips[..n].iter().filter(|&&f| f).count());
-        prop_assert_eq!(b.hamming_distance(&a), d); // symmetry
-        prop_assert_eq!(a.hamming_distance(&a), 0); // identity
-    }
+        assert_eq!(d, flips[..n].iter().filter(|&&f| f).count(), "case {i}");
+        assert_eq!(b.hamming_distance(&a), d, "case {i}: symmetry");
+        assert_eq!(a.hamming_distance(&a), 0, "case {i}: identity");
+    });
+}
 
-    #[test]
-    fn codebook_nearest_corrects_within_budget(
-        n_bits in 3usize..=8,
-        count in 2usize..=4,
-        code_idx in 0usize..4,
-        flip_seed in any::<u64>(),
-    ) {
+#[test]
+fn codebook_nearest_corrects_within_budget() {
+    cases(48, 0xA5, |rng, i| {
+        let n_bits = rng.gen_range(3usize..9);
+        let count = rng.gen_range(2usize..5);
         let book = Codebook::max_min_hamming(count, n_bits);
-        let idx = code_idx % book.len();
+        let idx = rng.gen_range(0usize..4) % book.len();
         let budget = book.correctable_errors();
-        // Flip up to `budget` bits deterministically from the seed.
+        // Flip up to `budget` distinct bits.
         let mut word: Vec<bool> = book.codes()[idx].iter().collect();
-        let mut s = flip_seed;
         let mut flipped = std::collections::HashSet::new();
         for _ in 0..budget {
-            s = s.wrapping_mul(6364136223846793005).wrapping_add(1);
-            let pos = (s >> 33) as usize % n_bits;
+            let pos = rng.gen_range(0usize..n_bits);
             if flipped.insert(pos) {
                 word[pos] = !word[pos];
             }
         }
         let (found, dist) = book.nearest(&Bits::from_bools(&word));
-        prop_assert_eq!(found, idx, "flips {:?}", flipped);
-        prop_assert!(dist <= budget);
-    }
+        assert_eq!(found, idx, "case {i}: flips {flipped:?}");
+        assert!(dist <= budget, "case {i}");
+    });
+}
 
-    // ---------------- DSP ------------------------------------------------
+// ---------------- DSP ----------------------------------------------------
 
-    #[test]
-    fn fft_parseval(signal in proptest::collection::vec(-100.0f64..100.0, 1..128)) {
+#[test]
+fn fft_parseval() {
+    cases(48, 0xB1, |rng, i| {
+        let signal = vec_f64(rng, -100.0, 100.0, 1, 127);
         let spec = dsp::fft(&signal);
         let time: f64 = signal.iter().map(|v| v * v).sum();
-        let freq: f64 =
-            spec.iter().map(|z| z.norm_sqr()).sum::<f64>() / spec.len() as f64;
-        prop_assert!((time - freq).abs() <= 1e-6 * time.max(1.0), "{time} vs {freq}");
-    }
+        let freq: f64 = spec.iter().map(|z| z.norm_sqr()).sum::<f64>() / spec.len() as f64;
+        assert!((time - freq).abs() <= 1e-6 * time.max(1.0), "case {i}: {time} vs {freq}");
+    });
+}
 
-    #[test]
-    fn fft_inverse_roundtrip(signal in proptest::collection::vec(-10.0f64..10.0, 1..100)) {
+#[test]
+fn fft_inverse_roundtrip() {
+    cases(48, 0xB2, |rng, i| {
+        let signal = vec_f64(rng, -10.0, 10.0, 1, 99);
         let spec = dsp::fft(&signal);
         let back = dsp::fft_inverse(&spec);
-        for (i, x) in signal.iter().enumerate() {
-            prop_assert!((back[i].re - x).abs() < 1e-8);
-            prop_assert!(back[i].im.abs() < 1e-8);
+        for (j, x) in signal.iter().enumerate() {
+            assert!((back[j].re - x).abs() < 1e-8, "case {i} sample {j}");
+            assert!(back[j].im.abs() < 1e-8, "case {i} sample {j}");
         }
-    }
+    });
+}
 
-    #[test]
-    fn dtw_identity_and_symmetry(
-        a in proptest::collection::vec(0.0f64..1.0, 1..40),
-        b in proptest::collection::vec(0.0f64..1.0, 1..40),
-    ) {
-        prop_assert_eq!(dsp::dtw(&a, &a).distance, 0.0);
+#[test]
+fn dtw_identity_and_symmetry() {
+    cases(32, 0xB3, |rng, i| {
+        let a = vec_f64(rng, 0.0, 1.0, 1, 39);
+        let b = vec_f64(rng, 0.0, 1.0, 1, 39);
+        assert_eq!(dsp::dtw(&a, &a).distance, 0.0, "case {i}");
         let ab = dsp::dtw(&a, &b).distance;
         let ba = dsp::dtw(&b, &a).distance;
-        prop_assert!((ab - ba).abs() < 1e-9);
-        prop_assert!(ab >= 0.0);
-    }
+        assert!((ab - ba).abs() < 1e-9, "case {i}");
+        assert!(ab >= 0.0, "case {i}");
+    });
+}
 
-    #[test]
-    fn dtw_banded_never_below_full(
-        a in proptest::collection::vec(0.0f64..1.0, 2..30),
-        b in proptest::collection::vec(0.0f64..1.0, 2..30),
-        band in 1usize..10,
-    ) {
+#[test]
+fn dtw_banded_never_below_full() {
+    cases(32, 0xB4, |rng, i| {
+        let a = vec_f64(rng, 0.0, 1.0, 2, 29);
+        let b = vec_f64(rng, 0.0, 1.0, 2, 29);
+        let band = rng.gen_range(1usize..10);
         let full = dsp::dtw(&a, &b).distance;
         let banded = dsp::dtw_banded(&a, &b, band).distance;
-        prop_assert!(banded >= full - 1e-9);
-    }
+        assert!(banded >= full - 1e-9, "case {i}");
+    });
+}
 
-    #[test]
-    fn normalize_minmax_bounds(signal in proptest::collection::vec(-1e6f64..1e6, 1..200)) {
+#[test]
+fn normalize_minmax_bounds() {
+    cases(32, 0xB5, |rng, i| {
+        let signal = vec_f64(rng, -1e6, 1e6, 1, 199);
         let norm = dsp::normalize_minmax(&signal);
-        prop_assert_eq!(norm.len(), signal.len());
+        assert_eq!(norm.len(), signal.len(), "case {i}");
         for v in &norm {
-            prop_assert!((0.0..=1.0).contains(v));
+            assert!((0.0..=1.0).contains(v), "case {i}");
         }
         // Order preservation.
-        for i in 0..signal.len() {
-            for j in 0..signal.len() {
-                if signal[i] < signal[j] {
-                    prop_assert!(norm[i] <= norm[j]);
+        for a in 0..signal.len() {
+            for b in 0..signal.len() {
+                if signal[a] < signal[b] {
+                    assert!(norm[a] <= norm[b], "case {i}: order broken at ({a}, {b})");
                 }
             }
         }
-    }
+    });
+}
 
-    #[test]
-    fn resample_preserves_range(
-        signal in proptest::collection::vec(0.0f64..1.0, 2..100),
-        len in 2usize..200,
-    ) {
+#[test]
+fn resample_preserves_range() {
+    cases(48, 0xB6, |rng, i| {
+        let signal = vec_f64(rng, 0.0, 1.0, 2, 99);
+        let len = rng.gen_range(2usize..200);
         let out = dsp::resample_to_len(&signal, len);
-        prop_assert_eq!(out.len(), len);
+        assert_eq!(out.len(), len, "case {i}");
         let (lo, hi) = dsp::minmax(&signal);
         for v in &out {
-            prop_assert!(*v >= lo - 1e-12 && *v <= hi + 1e-12, "interpolation overshoot");
+            assert!(*v >= lo - 1e-12 && *v <= hi + 1e-12, "case {i}: interpolation overshoot");
         }
-    }
+    });
+}
 
-    #[test]
-    fn moving_average_is_bounded_by_input(
-        signal in proptest::collection::vec(-50.0f64..50.0, 1..100),
-        window in 1usize..15,
-    ) {
+#[test]
+fn moving_average_is_bounded_by_input() {
+    cases(48, 0xB7, |rng, i| {
+        let signal = vec_f64(rng, -50.0, 50.0, 1, 99);
+        let window = rng.gen_range(1usize..15);
         let out = dsp::moving_average(&signal, window);
         let (lo, hi) = dsp::minmax(&signal);
         for v in &out {
-            prop_assert!(*v >= lo - 1e-9 && *v <= hi + 1e-9);
+            assert!(*v >= lo - 1e-9 && *v <= hi + 1e-9, "case {i}");
         }
-    }
+    });
+}
 
-    #[test]
-    fn peaks_sorted_and_in_range(signal in proptest::collection::vec(0.0f64..1.0, 3..150)) {
+#[test]
+fn peaks_sorted_and_in_range() {
+    cases(48, 0xB8, |rng, i| {
+        let signal = vec_f64(rng, 0.0, 1.0, 3, 149);
         let peaks = dsp::find_peaks(&signal, &dsp::PeakConfig::default());
         for w in peaks.windows(2) {
-            prop_assert!(w[0].index < w[1].index);
+            assert!(w[0].index < w[1].index, "case {i}");
         }
         for p in &peaks {
-            prop_assert!(p.index < signal.len());
-            prop_assert_eq!(p.value, signal[p.index]);
-            prop_assert!(p.prominence >= 0.0);
+            assert!(p.index < signal.len(), "case {i}");
+            assert_eq!(p.value, signal[p.index], "case {i}");
+            assert!(p.prominence >= 0.0, "case {i}");
         }
-    }
+    });
+}
 
-    #[test]
-    fn persistence_peaks_subset_of_looser_threshold(
-        signal in proptest::collection::vec(0.0f64..1.0, 3..150),
-        t in 0.05f64..0.5,
-    ) {
+#[test]
+fn persistence_peaks_subset_of_looser_threshold() {
+    cases(48, 0xB9, |rng, i| {
         use palc_lab::dsp::peaks::find_peaks_persistence;
+        let signal = vec_f64(rng, 0.0, 1.0, 3, 149);
+        let t = rng.gen_range(0.05..0.5);
         let strict = find_peaks_persistence(&signal, t);
         let loose = find_peaks_persistence(&signal, t / 2.0);
         for p in &strict {
-            prop_assert!(
+            assert!(
                 loose.iter().any(|q| q.index == p.index),
-                "strict peak at {} missing at looser threshold",
+                "case {i}: strict peak at {} missing at looser threshold",
                 p.index
             );
         }
-    }
+    });
+}
 
-    // ---------------- Frontend -------------------------------------------
+// ---------------- Frontend -----------------------------------------------
 
-    #[test]
-    fn adc_quantization_monotone(a in 0.0f64..5.0, b in 0.0f64..5.0) {
+#[test]
+fn adc_quantization_monotone() {
+    cases(128, 0xC1, |rng, i| {
         let adc = palc_lab::frontend::Mcp3008::openvlc_outdoor();
+        let a = rng.gen_range(0.0..5.0);
+        let b = rng.gen_range(0.0..5.0);
         if a <= b {
-            prop_assert!(adc.quantize(a) <= adc.quantize(b));
+            assert!(adc.quantize(a) <= adc.quantize(b), "case {i}");
         } else {
-            prop_assert!(adc.quantize(a) >= adc.quantize(b));
+            assert!(adc.quantize(a) >= adc.quantize(b), "case {i}");
         }
-    }
+    });
+}
 
-    #[test]
-    fn receiver_response_monotone_and_saturating(
-        lux_a in 0.0f64..50_000.0,
-        lux_b in 0.0f64..50_000.0,
-    ) {
-        use palc_lab::frontend::{OpticalReceiver, PdGain};
+#[test]
+fn receiver_response_monotone_and_saturating() {
+    use palc_lab::frontend::{OpticalReceiver, PdGain};
+    cases(64, 0xC2, |rng, i| {
+        let lux_a = rng.gen_range(0.0..50_000.0);
+        let lux_b = rng.gen_range(0.0..50_000.0);
         for rx in [
             OpticalReceiver::opt101(PdGain::G1),
             OpticalReceiver::opt101(PdGain::G3),
             OpticalReceiver::rx_led(),
         ] {
             let (lo, hi) = if lux_a <= lux_b { (lux_a, lux_b) } else { (lux_b, lux_a) };
-            prop_assert!(rx.respond(lo) <= rx.respond(hi) + 1e-12);
-            prop_assert!(rx.respond(hi) <= rx.respond(rx.saturation_lux()) + 1e-12);
+            assert!(rx.respond(lo) <= rx.respond(hi) + 1e-12, "case {i}");
+            assert!(rx.respond(hi) <= rx.respond(rx.saturation_lux()) + 1e-12, "case {i}");
         }
-    }
+    });
+}
 
-    // ---------------- Scene ----------------------------------------------
+#[test]
+fn frontend_streaming_equals_batch_on_random_series() {
+    use palc_lab::frontend::{Frontend, OpticalReceiver, PdGain};
+    use palc_lab::optics::spectrum::Spectrum;
+    cases(16, 0xC3, |rng, i| {
+        let seed = rng.gen::<u64>();
+        let lux = vec_f64(rng, 0.0, 8000.0, 1, 400);
+        let fe = Frontend::outdoor(OpticalReceiver::opt101(PdGain::G2), seed);
+        let batch = fe.capture(&lux, &Spectrum::daylight());
+        let mut state = fe.streamer(&Spectrum::daylight());
+        let streamed: Vec<u16> = lux.iter().map(|&e| state.step(e)).collect();
+        assert_eq!(batch, streamed, "case {i}");
+    });
+}
 
-    #[test]
-    fn trajectories_are_monotone(
-        speed in 0.01f64..10.0,
-        factor in 0.5f64..3.0,
-        switch in 0.05f64..2.0,
-        t_probe in proptest::collection::vec(0.0f64..20.0, 2..10),
-    ) {
-        use palc_lab::scene::Trajectory;
+// ---------------- Scene --------------------------------------------------
+
+#[test]
+fn trajectories_are_monotone() {
+    use palc_lab::scene::Trajectory;
+    cases(32, 0xD1, |rng, i| {
+        let speed = rng.gen_range(0.01..10.0);
+        let factor = rng.gen_range(0.5..3.0);
+        let switch = rng.gen_range(0.05..2.0);
         let trajectories = [
             Trajectory::Constant { speed_mps: speed },
             Trajectory::StepChange { speed_mps: speed, switch_after_m: switch, factor },
             Trajectory::Jittered { speed_mps: speed, jitter: 0.3, segment_m: 0.05, seed: 1 },
         ];
-        let mut ts = t_probe.clone();
+        let mut ts = vec_f64(rng, 0.0, 20.0, 2, 9);
         ts.sort_by(f64::total_cmp);
         for tr in &trajectories {
             let mut prev = -1e-12;
             for &t in &ts {
                 let d = tr.displacement(t);
-                prop_assert!(d >= prev - 1e-9, "{tr:?} not monotone at t={t}");
+                assert!(d >= prev - 1e-9, "case {i}: {tr:?} not monotone at t={t}");
                 prev = d;
             }
         }
-    }
+    });
+}
 
-    #[test]
-    fn tag_material_lookup_total_coverage(
-        bits in proptest::collection::vec(any::<bool>(), 1..8),
-        width in 0.01f64..0.2,
-        x_frac in 0.0f64..1.0,
-    ) {
-        use palc_lab::scene::Tag;
+#[test]
+fn tag_material_lookup_total_coverage() {
+    use palc_lab::scene::Tag;
+    cases(64, 0xD2, |rng, i| {
+        let bits = vec_bool(rng, 1, 7);
+        let width = rng.gen_range(0.01..0.2);
+        let x_frac = rng.gen_range(0.0..1.0);
         let packet = Packet::new(Bits::from_bools(&bits));
         let tag = Tag::from_packet(&packet, width);
         let x = x_frac * tag.length_m() * 0.999;
-        prop_assert!(tag.material_at(x).is_some(), "gap inside the tag at {x}");
-        prop_assert!(tag.material_at(tag.length_m() + 0.01).is_none());
-        prop_assert!(tag.material_at(-0.01).is_none());
-    }
+        assert!(tag.material_at(x).is_some(), "case {i}: gap inside the tag at {x}");
+        assert!(tag.material_at(tag.length_m() + 0.01).is_none(), "case {i}");
+        assert!(tag.material_at(-0.01).is_none(), "case {i}");
+    });
+}
+
+// ---------------- Channel: streaming == batch ----------------------------
+
+/// The tentpole invariant: for any seed, the streaming `ChannelSampler`
+/// produces the batch `Scenario::run` output sample for sample, across
+/// all three paper scenario families (static lamp, mains-flicker ceiling
+/// panel, drifting overcast sun).
+#[test]
+fn streamed_output_equals_batch_run_across_scenarios() {
+    use palc_lab::core::channel::Scenario;
+    use palc_lab::optics::source::Sun;
+    use palc_lab::phy::Packet;
+    use palc_lab::scene::CarModel;
+
+    let scenarios: Vec<(&str, Scenario)> = vec![
+        ("indoor_bench", Scenario::indoor_bench(Packet::from_bits("10").unwrap(), 0.03, 0.20)),
+        ("ceiling_office", Scenario::ceiling_office(Packet::from_bits("10").unwrap(), 0.03, 500.0)),
+        (
+            "outdoor_car",
+            Scenario::outdoor_car(
+                CarModel::volvo_v40(),
+                Some(Packet::from_bits("00").unwrap()),
+                0.75,
+                Sun::cloudy_noon(1),
+            ),
+        ),
+    ];
+    cases(4, 0xE1, |rng, i| {
+        let seed = rng.gen::<u64>();
+        for (name, sc) in &scenarios {
+            let batch = sc.run(seed);
+            let streamed: Vec<f64> = sc.sampler(seed).collect();
+            assert_eq!(
+                batch.samples(),
+                &streamed[..],
+                "case {i} ({name}, seed {seed}): streamed != batch"
+            );
+        }
+    });
 }
