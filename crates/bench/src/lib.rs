@@ -1,7 +1,7 @@
 //! palc-bench: the workspace's benchmark harness and kernels.
 //!
 //! The build environment is offline (no `criterion`), so a small
-//! wall-clock harness lives here instead: [`bench`] calibrates a batch
+//! wall-clock harness lives here instead: [`bench()`] calibrates a batch
 //! size, samples batched iterations, and reports median ns/iter. The
 //! bench targets in `benches/` (run with `cargo bench --workspace`) use
 //! it, and the `channel_throughput` binary records the channel sampler's

@@ -7,7 +7,10 @@
 //! `BENCH_channel.json` so every later PR has a perf trajectory.
 
 use palc::channel::Scenario;
+use palc::decode::AdaptiveDecoder;
+use palc::stream::{StreamingDecoder, StreamingTwoPhase};
 use palc::sweep::SweepRunner;
+use palc::vehicle::TwoPhaseDecoder;
 use palc_optics::source::Sun;
 use palc_phy::Packet;
 use palc_scene::CarModel;
@@ -26,6 +29,9 @@ pub struct ChannelThroughput {
     pub full_samples_per_s: f64,
     /// staged / full.
     pub speedup: f64,
+    /// Streaming decode throughput: the staged sampler piped straight
+    /// into a push-based decoder (live-receiver path), samples/sec.
+    pub streaming_decode_samples_per_s: f64,
     /// Wall-clock speedup of `run_batch` over the same seeds serially.
     pub batch_parallel_speedup: f64,
     /// Worker threads `run_batch` used.
@@ -60,6 +66,11 @@ fn full_integral_run(sc: &Scenario, seed: u64) -> usize {
     sc.run_full_integral(seed).len()
 }
 
+/// Local `black_box` so the decoder's event count is observably used.
+fn palc_bench_black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
 fn time_reps(mut f: impl FnMut(u64) -> usize, reps: u64) -> (f64, usize) {
     let t = Instant::now();
     let mut n = 0usize;
@@ -87,6 +98,47 @@ pub fn channel_throughput(reps: u64) -> Vec<ChannelThroughput> {
             let staged_rate = total / staged_s;
             let full_rate = total / full_s;
 
+            // Streaming decode: sampler → push-based decoder, no trace
+            // materialised — the live-receiver end-to-end path.
+            let fs = sc.channel().frontend.sample_rate_hz();
+            let (stream_s, _) = time_reps(
+                |seed| {
+                    if name == "outdoor_car" {
+                        let cfg = TwoPhaseDecoder::new(CarModel::volvo_v40(), 0.10, 2);
+                        let mut dec = StreamingTwoPhase::new(cfg, fs);
+                        let mut count = 0usize;
+                        for sample in sc.sampler(seed) {
+                            if dec.push(sample).is_some() {
+                                count += 1;
+                            }
+                            while dec.poll().is_some() {
+                                count += 1;
+                            }
+                        }
+                        count += dec.finish().len();
+                        palc_bench_black_box(count);
+                        n
+                    } else {
+                        let cfg = AdaptiveDecoder::default().with_expected_bits(2);
+                        let mut dec = StreamingDecoder::new(cfg, fs);
+                        let mut count = 0usize;
+                        for sample in sc.sampler(seed) {
+                            if dec.push(sample).is_some() {
+                                count += 1;
+                            }
+                            while dec.poll().is_some() {
+                                count += 1;
+                            }
+                        }
+                        count += dec.finish().len();
+                        palc_bench_black_box(count);
+                        n
+                    }
+                },
+                reps,
+            );
+            let streaming_rate = total / stream_s;
+
             // run_batch scaling on a figure-style seed sweep.
             let runner = SweepRunner::new();
             let seeds: Vec<u64> = (0..(4 * runner.threads() as u64).max(8)).collect();
@@ -104,6 +156,7 @@ pub fn channel_throughput(reps: u64) -> Vec<ChannelThroughput> {
                 staged_samples_per_s: staged_rate,
                 full_samples_per_s: full_rate,
                 speedup: staged_rate / full_rate,
+                streaming_decode_samples_per_s: streaming_rate,
                 batch_parallel_speedup: serial_s / parallel_s,
                 batch_threads: runner.threads(),
             }
@@ -123,6 +176,7 @@ pub fn to_json(results: &[ChannelThroughput]) -> String {
                 "      \"staged_samples_per_s\": {:.0},\n",
                 "      \"full_integral_samples_per_s\": {:.0},\n",
                 "      \"staged_speedup\": {:.2},\n",
+                "      \"streaming_decode_samples_per_s\": {:.0},\n",
                 "      \"run_batch_parallel_speedup\": {:.2},\n",
                 "      \"run_batch_threads\": {}\n",
                 "    }}{}\n"
@@ -132,6 +186,7 @@ pub fn to_json(results: &[ChannelThroughput]) -> String {
             r.staged_samples_per_s,
             r.full_samples_per_s,
             r.speedup,
+            r.streaming_decode_samples_per_s,
             r.batch_parallel_speedup,
             r.batch_threads,
             if i + 1 < results.len() { "," } else { "" },
@@ -153,12 +208,14 @@ mod tests {
             staged_samples_per_s: 123456.0,
             full_samples_per_s: 12345.0,
             speedup: 10.0,
+            streaming_decode_samples_per_s: 98765.0,
             batch_parallel_speedup: 3.5,
             batch_threads: 8,
         }];
         let json = to_json(&r);
         assert!(json.contains("\"scenario\": \"indoor_bench\""));
         assert!(json.contains("\"staged_speedup\": 10.00"));
+        assert!(json.contains("\"streaming_decode_samples_per_s\": 98765"));
         assert!(json.trim_end().ends_with('}'));
     }
 }

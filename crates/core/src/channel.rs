@@ -63,9 +63,19 @@
 //!  ChannelSampler: Iterator<Item = f64> — bounded-memory traces, online
 //!                                  │       decoding
 //!                                  ▼
-//!  Trace → decoders │ sweep::SweepRunner / Scenario::run_batch fan seeds
-//!                   │ and scenario grids across cores
+//!  stream::StreamingDecoder / StreamingTwoPhase — push-based decode,
+//!                                  │  packets emitted mid-pass
+//!                                  │  (or: collect into Trace → batch decoders,
+//!                                  │   which drain the same state machines)
+//!                                  ▼
+//!  fusion::FusionStream — online multi-receiver voting
+//!                   │ sweep::SweepRunner / Scenario::run_batch /
+//!                   │ Scenario::run_streaming fan seeds and scenario
+//!                   │ grids across cores
 //! ```
+//!
+//! See `docs/ARCHITECTURE.md` for the repository-wide walk of this
+//! pipeline.
 //!
 //! The unstaged reference path ([`PassiveChannel::illuminance_at`],
 //! [`PassiveChannel::run_illuminance`]) re-integrates the full footprint
@@ -375,6 +385,17 @@ impl PassiveChannel {
         Some(StaticField { bg, dark, static_total: pedestal_base + bg_total, grid: g })
     }
 
+    /// Noise-free illuminance at time `t`, staged through `field` when one
+    /// is available and via the full per-tick integral otherwise — the one
+    /// staged/full dispatch every consumer (samplers, calibration probes,
+    /// clean runs) routes through.
+    pub fn illuminance_with(&self, field: Option<&StaticField>, t: f64) -> f64 {
+        match field {
+            Some(f) => self.illuminance_staged(f, t),
+            None => self.illuminance_at(t),
+        }
+    }
+
     /// Noise-free illuminance at time `t` through the static/dynamic
     /// split: the precomputed background scaled by the source's envelope,
     /// plus a re-integration of only the patches currently covered by
@@ -533,10 +554,7 @@ impl PassiveChannel {
         (0..probes)
             .map(|i| {
                 let t = i as f64 * duration_s / (probes - 1) as f64;
-                match field {
-                    Some(f) => self.illuminance_staged(f, t),
-                    None => self.illuminance_at(t),
-                }
+                self.illuminance_with(field, t)
             })
             .fold(0.0, f64::max)
     }
@@ -634,10 +652,7 @@ impl Iterator for ChannelSampler<'_> {
         }
         let t = self.i as f64 / self.fs;
         self.i += 1;
-        let lux = match &self.field {
-            Some(field) => self.channel.illuminance_staged(field, t),
-            None => self.channel.illuminance_at(t),
-        };
+        let lux = self.channel.illuminance_with(self.field.as_deref(), t);
         Some(self.state.step_f64(lux))
     }
 
@@ -887,12 +902,10 @@ impl Scenario {
     pub fn run_clean(&self) -> Trace {
         let fs = self.channel.frontend.sample_rate_hz();
         let n = (self.duration_s * fs).ceil() as usize;
-        let samples = match self.current_field() {
-            Some(field) => {
-                (0..n).map(|i| self.channel.illuminance_staged(&field, i as f64 / fs)).collect()
-            }
-            None => self.channel.run_illuminance(self.duration_s),
-        };
+        let field = self.current_field();
+        let samples = (0..n)
+            .map(|i| self.channel.illuminance_with(field.as_deref(), i as f64 / fs))
+            .collect();
         Trace::new(samples, fs)
     }
 }

@@ -20,12 +20,33 @@
 //! strictly more robust. [`ThresholdMode`] selects either; the default is
 //! the midpoint, and a unit test pins that both decode the clean Fig. 5
 //! traces identically.
+//!
+//! Since the streaming refactor the algorithm lives in
+//! [`crate::stream::StreamingDecoder`], a push-based state machine
+//! (preamble lock → threshold track → symbol emit) that consumes RSS
+//! codes one at a time; [`AdaptiveDecoder::decode`] drains a complete
+//! trace through it, so batch and live decoding share one code path.
+//!
+//! ## Example
+//!
+//! ```
+//! use palc::channel::Scenario;
+//! use palc::decode::AdaptiveDecoder;
+//! use palc_phy::Packet;
+//!
+//! // The Fig. 5(b) experiment: '10' on 3 cm symbols at 20 cm height.
+//! let scenario = Scenario::indoor_bench(Packet::from_bits("10").unwrap(), 0.03, 0.20);
+//! let packet = AdaptiveDecoder::default()
+//!     .with_expected_bits(2)
+//!     .decode(&scenario.run(42))
+//!     .expect("clean bench decodes");
+//! assert_eq!(packet.payload.to_string(), "10");
+//! assert_eq!(packet.notation(), "HLHL.LHHL");
+//! ```
 
+use crate::stream::{drain_trace, StreamingDecoder};
 use crate::trace::Trace;
-use palc_dsp::filter::moving_average;
-use palc_dsp::peaks::{find_peaks_persistence, find_valleys_persistence};
-use palc_dsp::stats::normalize_minmax;
-use palc_phy::{manchester_decode, Bits, ManchesterError, Symbol, PREAMBLE, PREAMBLE_LEN};
+use palc_phy::{Bits, ManchesterError, Symbol};
 
 /// How the magnitude threshold is applied.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -124,22 +145,14 @@ impl From<ManchesterError> for DecodeError {
     }
 }
 
-/// Midpoint of the half-height crossings around a peak: walk left and
-/// right from `idx` until `smooth` drops below `level`, and return the
-/// centre time of that span.
-fn refine_peak_time(trace: &Trace, smooth: &[f64], idx: usize, level: f64) -> f64 {
-    let mut left = idx;
-    while left > 0 && smooth[left - 1] >= level {
-        left -= 1;
-    }
-    let mut right = idx;
-    while right + 1 < smooth.len() && smooth[right + 1] >= level {
-        right += 1;
-    }
-    0.5 * (trace.time_of(left) + trace.time_of(right))
-}
-
 /// The Sec. 4.1 decoder.
+///
+/// Since the streaming refactor this type is a *configuration* plus a
+/// batch facade: the algorithm itself lives in
+/// [`StreamingDecoder`], a push-based
+/// state machine that consumes samples one at a time, and
+/// [`AdaptiveDecoder::decode`] simply drains a complete trace through it.
+/// There is exactly one decoding algorithm either way.
 #[derive(Debug, Clone)]
 pub struct AdaptiveDecoder {
     /// Minimum persistence (on the normalised trace) for calibration
@@ -183,162 +196,41 @@ impl AdaptiveDecoder {
         self
     }
 
+    /// A one-shot streaming decoder for a trace with this min–max range:
+    /// the span-hinted mode whose decisions replicate the historical
+    /// whole-trace decode (see [`crate::stream`]).
+    fn streamer_for(&self, trace: &Trace) -> StreamingDecoder {
+        let (lo, hi) = trace.minmax();
+        StreamingDecoder::with_scale(self.clone(), trace.sample_rate_hz(), lo, hi)
+    }
+
     /// Reads the symbol sequence from a trace without interpreting it as
     /// a packet. Returns the symbols and the derived calibration.
+    ///
+    /// A thin drain over the push-based streaming core, skipping the
+    /// preamble and Manchester validation steps.
     pub fn read_symbols(&self, trace: &Trace) -> Result<DecodedPacket, DecodeError> {
-        let fs = trace.sample_rate_hz();
-        let norm = normalize_minmax(trace.samples());
-        let window = ((self.smooth_window_s * fs).round() as usize).max(1);
-        let smooth = moving_average(&norm, window);
-
-        // --- Calibration: find A, B, C -----------------------------------
-        // Persistence-based extrema survive ADC quantisation plateaus and
-        // equal-height twin peaks (see palc_dsp::peaks).
-        let peaks = find_peaks_persistence(&smooth, self.min_prominence);
-        if peaks.len() < 2 {
-            return Err(DecodeError::NoPreamble { peaks_found: peaks.len(), valleys_found: 0 });
-        }
-        let a = peaks[0];
-        let c = peaks[1];
-        let valleys = find_valleys_persistence(&smooth, self.min_prominence);
-        let between: Vec<_> =
-            valleys.iter().filter(|v| v.index > a.index && v.index < c.index).collect();
-        let b = between.iter().min_by(|x, y| x.value.total_cmp(&y.value)).copied().copied().ok_or(
-            DecodeError::NoPreamble { peaks_found: peaks.len(), valleys_found: between.len() },
-        )?;
-
-        let (ra, rb, rc) = (a.value, b.value, c.value);
-        // On noisy flat-topped peaks, the single maximal sample can sit
-        // anywhere on the plateau; the midpoint between the half-height
-        // crossings is the robust symbol-centre estimate.
-        let half_level_a = rb + 0.5 * (ra - rb);
-        let half_level_c = rb + 0.5 * (rc - rb);
-        let ta = refine_peak_time(trace, &smooth, a.index, half_level_a);
-        let tb = trace.time_of(b.index);
-        let tc = refine_peak_time(trace, &smooth, c.index, half_level_c);
-        let tau_r = ((ra - rb) + (rc - rb)) / 2.0;
-        let tau_t = ((tb - ta) + (tc - tb)) / 2.0;
-        if tau_t <= 0.0 {
-            return Err(DecodeError::NoPreamble { peaks_found: peaks.len(), valleys_found: 1 });
-        }
-        let threshold_level = match self.threshold_mode {
-            ThresholdMode::Midpoint => rb + tau_r / 2.0,
-            ThresholdMode::PaperLiteral => tau_r,
-        };
-
-        // --- Windowed classification --------------------------------------
-        // Peak A marks the centre of symbol 0; symbol k is centred at
-        // tA + k·τt.
-        let max_symbols = match self.expected_bits {
-            Some(bits) => PREAMBLE_LEN + 2 * bits,
-            None => usize::MAX,
-        };
-        let mut symbols = Vec::new();
-        let mut k = 0usize;
-        let mut drift = 0.0; // timing-tracker phase correction, seconds
-        let mut tau_eff = tau_t; // timing-tracker period estimate
-        while symbols.len() < max_symbols {
-            let center = ta + k as f64 * tau_eff + drift;
-            let half = tau_eff * (0.5 - self.window_shrink);
-            let lo = trace.index_of(center - half);
-            let hi = trace.index_of(center + half).min(smooth.len() - 1);
-            if center - half > trace.duration_s() {
-                break; // ran off the end of the trace
-            }
-            let window = &smooth[lo..=hi];
-            let (max_i, win_max) = window
-                .iter()
-                .enumerate()
-                .max_by(|a, b| a.1.total_cmp(b.1))
-                .map(|(i, &v)| (i, v))
-                .unwrap_or((0, f64::MIN));
-            // `>=` matters: on a normalised clean trace the literal τr
-            // equals the peak value exactly.
-            let is_high = win_max >= threshold_level;
-            symbols.push(if is_high { Symbol::High } else { Symbol::Low });
-
-            // Timing tracking: a HIGH symbol's peak marks its true centre;
-            // nudge the grid towards it. LOW symbols are excluded — their
-            // blurred, flat bottoms give no reliable timing reference.
-            if self.resync_gain > 0.0 && window.len() > 2 && is_high {
-                let extremum_i = max_i;
-                let t_meas = trace.time_of(lo + extremum_i);
-                let err = (t_meas - center).clamp(-0.3 * tau_eff, 0.3 * tau_eff);
-                // Only trust interior extrema: one at the window edge is a
-                // neighbouring symbol bleeding in.
-                if extremum_i > 0 && extremum_i < window.len() - 1 && k > 0 {
-                    // Split the correction between phase and period (the
-                    // period share fixes the systematic τt estimation
-                    // error that compounds over long payloads).
-                    drift += self.resync_gain * err * 0.5;
-                    tau_eff += self.resync_gain * err * 0.5 / k as f64;
-                }
-            }
-            k += 1;
-            if self.expected_bits.is_none() {
-                // Open-ended read: stop when the next window would start
-                // beyond the trace.
-                let next_start = ta + (k as f64 - 0.5 + self.window_shrink) * tau_t;
-                if next_start >= trace.duration_s() {
-                    break;
-                }
-            }
-        }
-
-        // Trim trailing LOW padding in open-ended mode: after the tag has
-        // passed, the dark ground reads LOW forever. A trailing `LL` pair
-        // is never valid Manchester, so strip such pairs, then one last
-        // odd LOW. Valid endings (`HL` for a 0-bit, `LH` for a 1-bit)
-        // survive untouched.
-        if self.expected_bits.is_none() {
-            loop {
-                let data_len = symbols.len() - PREAMBLE_LEN.min(symbols.len());
-                if data_len >= 2
-                    && data_len % 2 == 0
-                    && symbols[symbols.len() - 2..] == [Symbol::Low, Symbol::Low]
-                {
-                    symbols.truncate(symbols.len() - 2);
-                } else if data_len % 2 == 1 && symbols.last() == Some(&Symbol::Low) {
-                    symbols.pop();
-                } else {
-                    break;
-                }
-            }
-        }
-
-        Ok(DecodedPacket {
-            symbols,
-            payload: Bits::new(),
-            tau_r,
-            tau_t,
-            threshold_level,
-            point_a: CalPoint { t: ta, r: ra },
-            point_b: CalPoint { t: tb, r: rb },
-            point_c: CalPoint { t: tc, r: rc },
-        })
+        drain_trace(self.streamer_for(trace).reading_symbols_only(), trace.samples())
     }
 
     /// Full decode: read symbols, verify the preamble, Manchester-decode
     /// the data field.
+    ///
+    /// Implemented as a thin drain over the push-based
+    /// [`StreamingDecoder`]: the trace's
+    /// samples are pushed one at a time and the first terminal event
+    /// (packet or rejection) is returned. Feeding the same samples to a
+    /// streaming decoder built with the same configuration and scale
+    /// yields a byte-identical packet.
     pub fn decode(&self, trace: &Trace) -> Result<DecodedPacket, DecodeError> {
-        let mut read = self.read_symbols(trace)?;
-        if read.symbols.len() < PREAMBLE_LEN || read.symbols[..PREAMBLE_LEN] != PREAMBLE {
-            return Err(DecodeError::BadPreamble {
-                got: Symbol::format_sequence(
-                    &read.symbols[..read.symbols.len().min(PREAMBLE_LEN)],
-                    false,
-                ),
-            });
-        }
-        let data = &read.symbols[PREAMBLE_LEN..];
-        read.payload = manchester_decode(data)?;
-        Ok(read)
+        drain_trace(self.streamer_for(trace), trace.samples())
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use palc_phy::PREAMBLE;
 
     /// Builds a clean synthetic trace for a symbol string: smooth bumps
     /// for H, near-floor for L, `sps` samples per symbol at `fs` Hz.

@@ -11,7 +11,36 @@
 //! The paper leaves *how to connect these low-end receivers* open; the
 //! fusion centre here is transport-agnostic — it consumes a stream of
 //! [`Detection`] values however they arrived.
+//!
+//! Two ingestion paths share one clustering algorithm:
+//!
+//! * **Online** ([`FusionStream`]): detections are pushed as receivers
+//!   produce them; a fused event is emitted the moment a new detection
+//!   opens the next cluster (plus one on [`FusionStream::flush`]). This
+//!   is what a live deployment runs, fed straight from
+//!   [`crate::channel::Scenario::run_streaming`] outcomes.
+//! * **Batch** ([`FusionCenter::fuse`]): sorts a complete slice and
+//!   drains it through the same stream.
+//!
+//! ```
+//! use palc::fusion::{Detection, FusionCenter, FusionStream};
+//! use palc_phy::Bits;
+//!
+//! let mut live = FusionStream::new(FusionCenter::default());
+//! let det = |rx, t| Detection {
+//!     receiver_id: rx,
+//!     time_s: t,
+//!     payload: Bits::parse("10").unwrap(),
+//!     confidence: 0.9,
+//! };
+//! assert!(live.push(det(1, 10.0)).is_none()); // opens the first cluster
+//! assert!(live.push(det(2, 10.2)).is_none()); // joins it
+//! let event = live.push(det(1, 30.0)).unwrap(); // far away: closes it
+//! assert_eq!(event.receivers, 2);
+//! assert_eq!(live.flush().unwrap().receivers, 1);
+//! ```
 
+use crate::decode::DecodedPacket;
 use palc_phy::Bits;
 
 /// A single receiver's local decode of one object pass.
@@ -55,6 +84,20 @@ impl FusedEvent {
     }
 }
 
+impl Detection {
+    /// Wraps a decoded packet as a detection: `time_s` is when the
+    /// receiver emitted it, confidence the packet's normalised magnitude
+    /// swing τr (clamped to the unit interval).
+    pub fn from_packet(receiver_id: u32, time_s: f64, packet: &DecodedPacket) -> Self {
+        Detection {
+            receiver_id,
+            time_s,
+            payload: packet.payload.clone(),
+            confidence: packet.tau_r.clamp(0.0, 1.0),
+        }
+    }
+}
+
 /// Groups detections into events and votes on payloads.
 #[derive(Debug, Clone)]
 pub struct FusionCenter {
@@ -72,27 +115,20 @@ impl Default for FusionCenter {
 impl FusionCenter {
     /// Fuses a batch of detections into events, ordered by time.
     ///
-    /// Detections are sorted by time, chained into clusters with gaps
-    /// below `window_s`, and each cluster is resolved by
+    /// Detections are sorted by time, then drained through the online
+    /// [`FusionStream`] — there is exactly one clustering algorithm:
+    /// chained clusters with gaps below `window_s`, each resolved by
     /// confidence-weighted vote over payloads.
     pub fn fuse(&self, detections: &[Detection]) -> Vec<FusedEvent> {
-        if detections.is_empty() {
-            return Vec::new();
-        }
         let mut sorted: Vec<&Detection> = detections.iter().collect();
         sorted.sort_by(|a, b| a.time_s.total_cmp(&b.time_s));
 
+        let mut stream = FusionStream::new(self.clone());
         let mut events = Vec::new();
-        let mut cluster: Vec<&Detection> = vec![sorted[0]];
-        for d in &sorted[1..] {
-            if d.time_s - cluster.last().unwrap().time_s <= self.window_s {
-                cluster.push(d);
-            } else {
-                events.push(self.resolve(&cluster));
-                cluster = vec![d];
-            }
+        for d in sorted {
+            events.extend(stream.push(d.clone()));
         }
-        events.push(self.resolve(&cluster));
+        events.extend(stream.flush());
         events
     }
 
@@ -114,6 +150,63 @@ impl FusionCenter {
             .expect("cluster is non-empty");
         let time_s = cluster.iter().map(|d| d.time_s).sum::<f64>() / cluster.len() as f64;
         FusedEvent { payload, time_s, receivers: cluster.len(), agreeing, support }
+    }
+}
+
+/// Online fusion ingestion: push detections as receivers report them, and
+/// fused events fall out as soon as their clusters close.
+///
+/// A cluster closes when a detection arrives more than
+/// [`FusionCenter::window_s`] after the open cluster's latest member;
+/// call [`FusionStream::flush`] at end-of-run (or on a timeout in a live
+/// system) to resolve the final open cluster. Detections arriving
+/// slightly out of order — loosely synchronised receiver clocks — simply
+/// join the open cluster.
+#[derive(Debug, Clone)]
+pub struct FusionStream {
+    center: FusionCenter,
+    open: Vec<Detection>,
+    /// Latest timestamp in the open cluster (arrival order need not be
+    /// time order).
+    latest_s: f64,
+}
+
+impl FusionStream {
+    /// An online ingestion front for `center`.
+    pub fn new(center: FusionCenter) -> Self {
+        FusionStream { center, open: Vec::new(), latest_s: f64::NEG_INFINITY }
+    }
+
+    /// Number of detections in the currently open cluster.
+    pub fn pending(&self) -> usize {
+        self.open.len()
+    }
+
+    /// Ingests one detection. Returns the fused event of the *previous*
+    /// cluster when this detection is the first of a new one.
+    pub fn push(&mut self, detection: Detection) -> Option<FusedEvent> {
+        let closes =
+            !self.open.is_empty() && detection.time_s - self.latest_s > self.center.window_s;
+        let event = if closes { self.flush() } else { None };
+        self.latest_s = if self.open.is_empty() {
+            detection.time_s
+        } else {
+            self.latest_s.max(detection.time_s)
+        };
+        self.open.push(detection);
+        event
+    }
+
+    /// Resolves and emits the open cluster, if any.
+    pub fn flush(&mut self) -> Option<FusedEvent> {
+        if self.open.is_empty() {
+            return None;
+        }
+        let cluster: Vec<&Detection> = self.open.iter().collect();
+        let event = self.center.resolve(&cluster);
+        self.open.clear();
+        self.latest_s = f64::NEG_INFINITY;
+        Some(event)
     }
 }
 

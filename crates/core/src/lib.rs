@@ -50,6 +50,7 @@ pub mod decode;
 pub mod fusion;
 pub mod selector;
 pub mod speed;
+pub mod stream;
 pub mod sweep;
 pub mod trace;
 pub mod vehicle;
@@ -59,8 +60,10 @@ pub use channel::{ChannelSampler, PassiveChannel, Scenario, StaticField};
 pub use classify::{DtwClassifier, TemplateDb};
 pub use collision::{CollisionAnalyzer, CollisionReport};
 pub use decode::{AdaptiveDecoder, DecodeError, DecodedPacket};
+pub use fusion::{Detection, FusedEvent, FusionCenter, FusionStream};
 pub use selector::ReceiverSelector;
-pub use sweep::SweepRunner;
+pub use stream::{DecodeEvent, StreamingDecoder, StreamingTwoPhase};
+pub use sweep::{StreamOutcome, SweepRunner, TimedEvent};
 pub use trace::Trace;
 pub use vehicle::{CarShapeDetector, TwoPhaseDecoder};
 
@@ -71,8 +74,10 @@ pub mod prelude {
     pub use crate::classify::{DtwClassifier, TemplateDb};
     pub use crate::collision::{CollisionAnalyzer, CollisionReport};
     pub use crate::decode::{AdaptiveDecoder, DecodedPacket};
+    pub use crate::fusion::{Detection, FusionCenter, FusionStream};
     pub use crate::selector::ReceiverSelector;
-    pub use crate::sweep::SweepRunner;
+    pub use crate::stream::{DecodeEvent, StreamingDecoder, StreamingTwoPhase};
+    pub use crate::sweep::{StreamOutcome, SweepRunner};
     pub use crate::trace::Trace;
     pub use crate::vehicle::{CarShapeDetector, TwoPhaseDecoder};
     pub use palc_frontend::{Frontend, OpticalReceiver, PdGain};

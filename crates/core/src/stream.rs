@@ -1,0 +1,2113 @@
+//! Push-based streaming decoders: decode *while the object is passing*.
+//!
+//! The batch decoders in [`crate::decode`] and [`crate::vehicle`] consume
+//! a complete [`Trace`](crate::trace::Trace); this module restructures the same algorithms as
+//! push-based state machines (preamble lock → threshold track → symbol
+//! emit) that consume RSS codes one at a time and emit [`DecodeEvent`]s
+//! mid-pass. Memory is O(1) in the stream length — bounded by the symbol
+//! period and a configurable hunt-buffer cap, never by the run duration —
+//! so a receiver fed by a [`crate::channel::ChannelSampler`] can run
+//! forever and report packets as objects pass.
+//!
+//! There is exactly one decoding algorithm: the trace-based
+//! [`crate::decode::AdaptiveDecoder::decode`] and
+//! [`crate::vehicle::TwoPhaseDecoder::decode`] are thin drains over these
+//! state machines.
+//!
+//! ## Magnitude scale
+//!
+//! The historical batch decoder min–max-normalises the *whole* trace
+//! before deriving its thresholds — information a live receiver does not
+//! have. The streaming core therefore runs in one of two scales:
+//!
+//! * **Span-hinted** ([`StreamingDecoder::with_scale`]): the caller
+//!   supplies the magnitude range up front (the batch facade passes the
+//!   trace's min–max; a deployment could pass its AGC calibration). Every
+//!   decision is then arithmetically identical to the batch decode of a
+//!   trace with that range.
+//! * **Self-scaling** ([`StreamingDecoder::new`]): thresholds derive from
+//!   the running min–max seen so far, with a noise-floor gate (a running
+//!   mean absolute successive difference of the smoothed stream) that
+//!   keeps the quiet lead-in of a live stream from producing spurious
+//!   locks. This is the honest live mode used by
+//!   [`crate::channel::Scenario::run_streaming`].
+//!
+//! ## Example
+//!
+//! ```
+//! use palc::channel::Scenario;
+//! use palc::decode::AdaptiveDecoder;
+//! use palc::stream::{DecodeEvent, StreamingDecoder};
+//! use palc_phy::Packet;
+//!
+//! let scenario = Scenario::indoor_bench(Packet::from_bits("10").unwrap(), 0.03, 0.20);
+//! let fs = scenario.channel().frontend.sample_rate_hz();
+//! let mut decoder =
+//!     StreamingDecoder::new(AdaptiveDecoder::default().with_expected_bits(2), fs);
+//! let mut decoded = None;
+//! for sample in scenario.sampler(42) {
+//!     // One RSS code in, at most one event out — no trace is ever built.
+//!     if let Some(DecodeEvent::Packet(p)) = decoder.push(sample) {
+//!         decoded = Some(p);
+//!         break;
+//!     }
+//! }
+//! assert_eq!(decoded.unwrap().payload.to_string(), "10");
+//! ```
+
+use crate::decode::{AdaptiveDecoder, CalPoint, DecodeError, DecodedPacket, ThresholdMode};
+use crate::vehicle::LongPreamble;
+use palc_phy::{manchester_decode, Bits, Symbol, PREAMBLE, PREAMBLE_LEN};
+use std::collections::VecDeque;
+
+/// Default cap on the preamble-hunt history, in samples. The hunt phase
+/// must keep the smoothed stream since the last quiet point so that the
+/// calibration half-crossing walks can run once A/B/C are found; this cap
+/// bounds that history (and with it the decoder's memory) when a stream
+/// idles without a preamble for a long time. At 2 kS/s it is over two
+/// minutes of signal — far beyond any plausible preamble.
+pub const MAX_HUNT_SAMPLES: usize = 1 << 18;
+
+/// Noise-gate multiplier for the self-scaling mode: a candidate extremum
+/// swing must exceed this multiple of the running mean absolute successive
+/// difference of the smoothed stream before it can take part in a preamble
+/// lock. Irrelevant in span-hinted mode.
+pub const DEFAULT_NOISE_GATE: f64 = 8.0;
+
+// ---------------------------------------------------------------------------
+// Events
+// ---------------------------------------------------------------------------
+
+/// The A/B/C calibration a preamble lock derived (Fig. 5(a) annotations).
+#[derive(Debug, Clone)]
+pub struct PreambleLock {
+    /// Preamble peak A.
+    pub point_a: CalPoint,
+    /// Preamble valley B.
+    pub point_b: CalPoint,
+    /// Preamble peak C.
+    pub point_c: CalPoint,
+    /// Magnitude threshold τr (the swing).
+    pub tau_r: f64,
+    /// Period threshold τt, seconds.
+    pub tau_t: f64,
+    /// The comparison level used for HIGH/LOW decisions.
+    pub threshold_level: f64,
+}
+
+/// One observable step of a streaming decode.
+#[derive(Debug, Clone)]
+pub enum DecodeEvent {
+    /// The short (HLHL) preamble locked; symbol emission begins.
+    PreambleLocked(PreambleLock),
+    /// The vehicular long-duration preamble (hood peak → windshield
+    /// valley) locked; the roof decode begins.
+    CarPreamble(LongPreamble),
+    /// One classified symbol. `index` counts from the first preamble
+    /// symbol of the current lock.
+    Symbol {
+        /// Symbol position within the current packet read.
+        index: usize,
+        /// The HIGH/LOW decision.
+        symbol: Symbol,
+    },
+    /// A complete, validated packet. With `expected_bits` set this fires
+    /// as soon as the last symbol window closes — mid-pass, not at the
+    /// end of the stream.
+    Packet(DecodedPacket),
+    /// The current lock (or the whole stream, at end-of-input) was
+    /// abandoned: no preamble, a non-HLHL preamble, or invalid Manchester
+    /// data. A re-arming decoder resumes hunting afterwards.
+    Reject(DecodeError),
+}
+
+impl DecodeEvent {
+    /// Whether this event ends a packet read (a packet or a rejection).
+    pub fn is_terminal(&self) -> bool {
+        matches!(self, DecodeEvent::Packet(_) | DecodeEvent::Reject(_))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Online smoother (centred moving average, batch-identical)
+// ---------------------------------------------------------------------------
+
+/// Streaming replica of [`palc_dsp::filter::moving_average`]: centred
+/// window with shrinking edges, computed from the same running prefix sums
+/// (same additions in the same order), so emitted values are bit-identical
+/// to the batch filter. `smooth[i]` becomes available `window/2` samples
+/// after sample `i`; [`OnlineSmoother::flush`] emits the trailing edge.
+#[derive(Debug, Clone)]
+struct OnlineSmoother {
+    half: usize,
+    identity: bool,
+    /// Prefix sums `prefix[base..=pushed]`, front element = `prefix[base]`.
+    prefix: VecDeque<f64>,
+    base: usize,
+    cum: f64,
+    pushed: usize,
+    emitted: usize,
+}
+
+impl OnlineSmoother {
+    fn new(window: usize) -> Self {
+        let mut prefix = VecDeque::new();
+        prefix.push_back(0.0);
+        OnlineSmoother {
+            half: window / 2,
+            identity: window <= 1,
+            prefix,
+            base: 0,
+            cum: 0.0,
+            pushed: 0,
+            emitted: 0,
+        }
+    }
+
+    /// `smooth[i]` under the current stream length `n`.
+    fn value_at(&self, i: usize, n: usize) -> f64 {
+        let lo = i.saturating_sub(self.half);
+        let hi = (i + self.half + 1).min(n);
+        let p = |j: usize| self.prefix[j - self.base];
+        (p(hi) - p(lo)) / (hi - lo) as f64
+    }
+
+    /// Pushes one raw sample, appending any newly final smoothed values.
+    fn push(&mut self, x: f64, out: &mut Vec<f64>) {
+        self.pushed += 1;
+        if self.identity {
+            self.emitted += 1;
+            out.push(x);
+            return;
+        }
+        self.cum += x;
+        self.prefix.push_back(self.cum);
+        while self.emitted + self.half < self.pushed {
+            out.push(self.value_at(self.emitted, self.pushed));
+            self.emitted += 1;
+        }
+        // Oldest prefix still needed: lo of the next value to emit.
+        let need = self.emitted.saturating_sub(self.half);
+        while self.base < need {
+            self.prefix.pop_front();
+            self.base += 1;
+        }
+    }
+
+    /// Emits the trailing `window/2` values with end-clamped windows.
+    fn flush(&mut self, out: &mut Vec<f64>) {
+        while self.emitted < self.pushed {
+            if self.identity {
+                unreachable!("identity smoother emits eagerly");
+            }
+            out.push(self.value_at(self.emitted, self.pushed));
+            self.emitted += 1;
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Smoothed-history buffer
+// ---------------------------------------------------------------------------
+
+/// A window of the smoothed stream addressed by absolute sample index.
+#[derive(Debug, Clone, Default)]
+struct SmoothBuf {
+    base: usize,
+    data: VecDeque<f64>,
+}
+
+impl SmoothBuf {
+    fn push(&mut self, v: f64) {
+        self.data.push_back(v);
+    }
+
+    /// Total smoothed samples seen (buffer base + retained length).
+    fn end(&self) -> usize {
+        self.base + self.data.len()
+    }
+
+    fn get(&self, i: usize) -> f64 {
+        self.data[i - self.base]
+    }
+
+    /// Drops history below absolute index `lo`.
+    fn trim_to(&mut self, lo: usize) {
+        while self.base < lo && !self.data.is_empty() {
+            self.data.pop_front();
+            self.base += 1;
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Hysteresis extrema tracker
+// ---------------------------------------------------------------------------
+
+/// A located extremum of the smoothed stream.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Extremum {
+    index: usize,
+    value: f64,
+}
+
+#[derive(Debug, Clone, Copy)]
+enum HuntPhase {
+    /// Direction unknown: track both the running min and max.
+    Seed { min: Extremum, max: Extremum },
+    /// Last confirmed extremum was a valley: tracking the next peak.
+    Rising { max: Extremum },
+    /// Last confirmed extremum was a peak: tracking the next valley.
+    Falling { min: Extremum },
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Confirmed {
+    Peak(Extremum),
+    Valley(Extremum),
+}
+
+/// Online alternating-extrema detection with hysteresis `delta`: a peak is
+/// confirmed once the signal drops `delta` below the running maximum, a
+/// valley once it rises `delta` above the running minimum. For 1-D signals
+/// this confirms exactly the extrema whose topographic persistence is at
+/// least `delta` — the streaming analogue of
+/// [`palc_dsp::peaks::find_peaks_persistence`] — with ties resolved to the
+/// leftmost sample, like the batch detector.
+#[derive(Debug, Clone)]
+struct AlternatingExtrema {
+    phase: Option<HuntPhase>,
+    peaks: usize,
+    valleys: usize,
+}
+
+impl AlternatingExtrema {
+    fn new() -> Self {
+        AlternatingExtrema { phase: None, peaks: 0, valleys: 0 }
+    }
+
+    fn push(&mut self, i: usize, v: f64, delta: f64) -> Option<Confirmed> {
+        let e = Extremum { index: i, value: v };
+        let confirm = delta > 0.0;
+        let phase = match self.phase {
+            None => {
+                self.phase = Some(HuntPhase::Seed { min: e, max: e });
+                return None;
+            }
+            Some(p) => p,
+        };
+        match phase {
+            HuntPhase::Seed { mut min, mut max } => {
+                if v > max.value {
+                    max = e;
+                }
+                if v < min.value {
+                    min = e;
+                }
+                let peak_ready = confirm && v <= max.value - delta;
+                let valley_ready = confirm && v >= min.value + delta;
+                // If one big zig-zag satisfies both, honour stream order.
+                if peak_ready && (!valley_ready || max.index <= min.index) {
+                    self.phase = Some(HuntPhase::Falling { min: e });
+                    self.peaks += 1;
+                    Some(Confirmed::Peak(max))
+                } else if valley_ready {
+                    self.phase = Some(HuntPhase::Rising { max: e });
+                    self.valleys += 1;
+                    Some(Confirmed::Valley(min))
+                } else {
+                    self.phase = Some(HuntPhase::Seed { min, max });
+                    None
+                }
+            }
+            HuntPhase::Rising { mut max } => {
+                if v > max.value {
+                    max = e;
+                }
+                if confirm && v <= max.value - delta {
+                    self.phase = Some(HuntPhase::Falling { min: e });
+                    self.peaks += 1;
+                    Some(Confirmed::Peak(max))
+                } else {
+                    self.phase = Some(HuntPhase::Rising { max });
+                    None
+                }
+            }
+            HuntPhase::Falling { mut min } => {
+                if v < min.value {
+                    min = e;
+                }
+                if confirm && v >= min.value + delta {
+                    self.phase = Some(HuntPhase::Rising { max: e });
+                    self.valleys += 1;
+                    Some(Confirmed::Valley(min))
+                } else {
+                    self.phase = Some(HuntPhase::Falling { min });
+                    None
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Magnitude scale
+// ---------------------------------------------------------------------------
+
+/// How the decoder maps raw samples to the unit scale its thresholds are
+/// phrased in. See the module docs.
+#[derive(Debug, Clone, Copy)]
+enum Scale {
+    /// Fixed affine map `(x − lo) / span` applied to every sample — the
+    /// batch facade, bit-compatible with whole-trace normalisation.
+    Fixed { lo: f64, span: f64 },
+    /// Raw samples with thresholds scaled by the running span.
+    Adaptive { lo: f64, hi: f64 },
+}
+
+impl Scale {
+    /// Transforms one raw sample into working units, updating the running
+    /// range in adaptive mode.
+    fn ingest(&mut self, x: f64) -> f64 {
+        match self {
+            Scale::Fixed { lo, span } => {
+                if *span <= 0.0 {
+                    0.0
+                } else {
+                    (x - *lo) / *span
+                }
+            }
+            Scale::Adaptive { lo, hi } => {
+                if *lo > *hi {
+                    // Sentinel empty range: first sample seeds both ends.
+                    *lo = x;
+                    *hi = x;
+                } else {
+                    if x < *lo {
+                        *lo = x;
+                    }
+                    if x > *hi {
+                        *hi = x;
+                    }
+                }
+                x
+            }
+        }
+    }
+
+    /// `(lo, span)` of the working-unit domain right now: `(0, 1)` in
+    /// fixed mode (values are already normalised), the running raw range
+    /// in adaptive mode.
+    fn range(&self) -> (f64, f64) {
+        match self {
+            Scale::Fixed { .. } => (0.0, 1.0),
+            Scale::Adaptive { lo, hi } => (*lo, (hi - lo).max(0.0)),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// StreamingDecoder
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone)]
+struct PendingLock {
+    a: Extremum,
+    b: Extremum,
+    c: Extremum,
+    half_level_c: f64,
+}
+
+#[derive(Debug, Clone)]
+struct Hunt {
+    tracker: AlternatingExtrema,
+    a: Option<Extremum>,
+    b: Option<Extremum>,
+    pending: Option<PendingLock>,
+}
+
+impl Hunt {
+    fn new() -> Self {
+        Hunt { tracker: AlternatingExtrema::new(), a: None, b: None, pending: None }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Track {
+    ta: f64,
+    /// HIGH/LOW comparison level in working units (normalised in fixed
+    /// mode, raw in adaptive mode) — the same units as the stream.
+    threshold: f64,
+    tau_t: f64,
+    cal: PreambleLock,
+    k: usize,
+    drift: f64,
+    tau_eff: f64,
+    symbols: Vec<Symbol>,
+    max_symbols: usize,
+}
+
+#[derive(Debug, Clone)]
+enum State {
+    Hunt(Hunt),
+    Track(Track),
+    Done,
+}
+
+/// The Sec. 4.1 adaptive-threshold decoder as a push-based state machine:
+/// preamble lock → threshold track → symbol emit, one RSS code at a time.
+///
+/// Construct with [`StreamingDecoder::new`] (self-scaling live mode,
+/// re-arming after every packet) or [`StreamingDecoder::with_scale`]
+/// (span-hinted, one-shot — the mode
+/// [`AdaptiveDecoder::decode`] drains). Feed samples through
+/// [`StreamingDecoder::push`], drain extra events with
+/// [`StreamingDecoder::poll`], and call [`StreamingDecoder::finish`] at
+/// end-of-stream to flush edge effects and the open-ended trailing trim.
+#[derive(Debug, Clone)]
+pub struct StreamingDecoder {
+    cfg: AdaptiveDecoder,
+    fs: f64,
+    read_only: bool,
+    rearm: bool,
+    scale: Scale,
+    noise_gate: f64,
+    max_hunt_samples: usize,
+    smoother: OnlineSmoother,
+    smooth: SmoothBuf,
+    /// Frozen `(lo, span)` for reporting packet fields, set at lock.
+    report: (f64, f64),
+    /// Running mean absolute successive difference of the smoothed
+    /// stream (adaptive-mode noise floor).
+    masd: Option<(f64, f64)>, // (estimate, last value)
+    n_pushed: usize,
+    finished: bool,
+    state: State,
+    events: VecDeque<DecodeEvent>,
+    scratch: Vec<f64>,
+}
+
+impl StreamingDecoder {
+    /// A live, self-scaling decoder at `sample_rate_hz` that re-arms after
+    /// every packet or rejection. Thresholds derive from the running
+    /// min–max and a noise-floor gate; packet fields are reported
+    /// normalised to the range seen at lock time.
+    pub fn new(cfg: AdaptiveDecoder, sample_rate_hz: f64) -> Self {
+        Self::build(cfg, sample_rate_hz, Scale::Adaptive { lo: 1.0, hi: 0.0 }, true)
+    }
+
+    /// A span-hinted decoder: samples are normalised with the fixed map
+    /// `(x − lo) / (hi − lo)` before any processing, making every decision
+    /// arithmetically identical to the batch decode of a trace whose
+    /// min–max is `(lo, hi)`. One-shot by default (no re-arm) — this is
+    /// the mode the trace-based [`AdaptiveDecoder::decode`] drains.
+    pub fn with_scale(cfg: AdaptiveDecoder, sample_rate_hz: f64, lo: f64, hi: f64) -> Self {
+        Self::build(cfg, sample_rate_hz, Scale::Fixed { lo, span: hi - lo }, false)
+    }
+
+    fn build(cfg: AdaptiveDecoder, fs: f64, scale: Scale, rearm: bool) -> Self {
+        assert!(fs > 0.0, "sample rate must be positive");
+        let window = ((cfg.smooth_window_s * fs).round() as usize).max(1);
+        StreamingDecoder {
+            cfg,
+            fs,
+            read_only: false,
+            rearm,
+            scale,
+            noise_gate: DEFAULT_NOISE_GATE,
+            max_hunt_samples: MAX_HUNT_SAMPLES,
+            smoother: OnlineSmoother::new(window),
+            smooth: SmoothBuf::default(),
+            report: (0.0, 1.0),
+            masd: None,
+            n_pushed: 0,
+            finished: false,
+            state: State::Hunt(Hunt::new()),
+            events: VecDeque::new(),
+            scratch: Vec::new(),
+        }
+    }
+
+    /// Sets whether the decoder re-arms (hunts for the next preamble)
+    /// after a packet or rejection instead of stopping.
+    pub fn rearming(mut self, rearm: bool) -> Self {
+        self.rearm = rearm;
+        self
+    }
+
+    /// Read symbols without validating the preamble or Manchester-decoding
+    /// the data field (the [`AdaptiveDecoder::read_symbols`] facade).
+    pub(crate) fn reading_symbols_only(mut self) -> Self {
+        self.read_only = true;
+        self
+    }
+
+    /// Overrides the self-scaling noise gate (multiples of the running
+    /// mean absolute successive difference a lock swing must exceed).
+    pub fn with_noise_gate(mut self, gate: f64) -> Self {
+        self.noise_gate = gate.max(0.0);
+        self
+    }
+
+    /// The stream's sampling rate, Hz.
+    pub fn sample_rate_hz(&self) -> f64 {
+        self.fs
+    }
+
+    /// Samples pushed so far.
+    pub fn samples_pushed(&self) -> usize {
+        self.n_pushed
+    }
+
+    /// Whether the decoder is currently emitting symbols (locked onto a
+    /// preamble), as opposed to hunting for one or finished.
+    pub fn is_locked(&self) -> bool {
+        matches!(self.state, State::Track(_))
+    }
+
+    /// Pushes one RSS code, returning the next pending event if any.
+    /// Bursts (several events from one sample) queue internally; drain
+    /// them with [`StreamingDecoder::poll`].
+    pub fn push(&mut self, sample: f64) -> Option<DecodeEvent> {
+        if !self.finished {
+            self.n_pushed += 1;
+            let y = self.scale.ingest(sample);
+            let mut emitted = std::mem::take(&mut self.scratch);
+            emitted.clear();
+            self.smoother.push(y, &mut emitted);
+            for v in emitted.drain(..) {
+                self.accept_smoothed(v);
+            }
+            self.scratch = emitted;
+        }
+        self.events.pop_front()
+    }
+
+    /// Drains one queued event without pushing a new sample.
+    pub fn poll(&mut self) -> Option<DecodeEvent> {
+        self.events.pop_front()
+    }
+
+    /// Ends the stream: flushes the smoother's trailing edge, classifies
+    /// any windows that were waiting on future samples, applies the
+    /// open-ended trailing trim, and emits the final packet or rejection.
+    /// Returns every remaining event. Idempotent.
+    pub fn finish(&mut self) -> Vec<DecodeEvent> {
+        if !self.finished {
+            // Drain the smoother's trailing edge BEFORE declaring the end:
+            // with `finished` still false the availability gates defer any
+            // window that needs samples beyond the buffer, instead of
+            // clamping against a buffer that is still filling.
+            let mut emitted = std::mem::take(&mut self.scratch);
+            emitted.clear();
+            self.smoother.flush(&mut emitted);
+            for v in emitted.drain(..) {
+                self.accept_smoothed(v);
+            }
+            self.scratch = emitted;
+            self.finished = true;
+            // End-of-stream resolution for whatever state remains.
+            loop {
+                match &mut self.state {
+                    State::Hunt(h) => {
+                        if let Some(p) = h.pending.take() {
+                            // Stream ended before the C half-crossing
+                            // resolved: complete the walk against the
+                            // final edge, exactly like the batch walk
+                            // clamping at the trace end.
+                            let (a, b, c, half_level_c) = (p.a, p.b, p.c, p.half_level_c);
+                            self.complete_lock(a, b, c, half_level_c);
+                            continue;
+                        }
+                        let (peaks, valleys) = (h.tracker.peaks, h.tracker.valleys);
+                        let (pf, vf) = if h.a.is_some() {
+                            (peaks, usize::from(h.b.is_some()))
+                        } else {
+                            (peaks.min(1), valleys.min(1))
+                        };
+                        self.events.push_back(DecodeEvent::Reject(DecodeError::NoPreamble {
+                            peaks_found: pf,
+                            valleys_found: vf,
+                        }));
+                        self.state = State::Done;
+                    }
+                    State::Track(_) => {
+                        self.advance_track();
+                        if matches!(self.state, State::Track(_)) {
+                            // advance_track must finalize once finished.
+                            unreachable!("track did not finalize at end of stream");
+                        }
+                        continue;
+                    }
+                    State::Done => break,
+                }
+            }
+        }
+        std::mem::take(&mut self.events).into()
+    }
+
+    /// Time of absolute sample index `i`, seconds.
+    fn time_of(&self, i: usize) -> f64 {
+        i as f64 / self.fs
+    }
+
+    /// Sample index nearest to time `t`, clamped below (and, once the
+    /// stream has finished, above — mirroring `Trace::index_of`).
+    fn index_of(&self, t: f64) -> usize {
+        let i = (t * self.fs).round().max(0.0) as usize;
+        if self.finished {
+            i.min(self.n_pushed.saturating_sub(1))
+        } else {
+            i
+        }
+    }
+
+    /// Maps a working-unit value into the reported (normalised) domain.
+    fn reported(&self, v: f64) -> f64 {
+        let (lo, span) = self.report;
+        if span > 0.0 {
+            (v - lo) / span
+        } else {
+            v - lo
+        }
+    }
+
+    /// The hysteresis threshold in working units right now.
+    fn delta(&self) -> f64 {
+        let (_, span) = self.scale.range();
+        match self.scale {
+            Scale::Fixed { .. } => self.cfg.min_prominence,
+            Scale::Adaptive { .. } => {
+                let floor = self.masd.map(|(m, _)| m * self.noise_gate).unwrap_or(0.0);
+                (self.cfg.min_prominence * span).max(floor)
+            }
+        }
+    }
+
+    /// Feeds one smoothed sample to the state machine.
+    fn accept_smoothed(&mut self, v: f64) {
+        let i = self.smooth.end();
+        self.smooth.push(v);
+        if let Some((m, last)) = &mut self.masd {
+            let d = (v - *last).abs();
+            *m += (d - *m) / 64.0;
+            *last = v;
+        } else if let Some(prev) = i.checked_sub(1).map(|j| self.smooth.get(j)) {
+            self.masd = Some(((v - prev).abs(), v));
+        }
+        match &mut self.state {
+            State::Done => {}
+            State::Track(_) => {
+                self.advance_track();
+                self.trim_track_history();
+            }
+            State::Hunt(_) => {
+                self.advance_hunt(i, v);
+                self.enforce_hunt_cap();
+            }
+        }
+    }
+
+    /// Hunt phase: alternating-extrema detection until A, B, C are found
+    /// and their half-crossing walks resolve.
+    fn advance_hunt(&mut self, i: usize, v: f64) {
+        let delta = self.delta();
+        let State::Hunt(hunt) = &mut self.state else { unreachable!() };
+
+        if let Some(p) = &hunt.pending {
+            // Waiting for the signal to drop through C's half level so the
+            // C centre walk is complete.
+            if v < p.half_level_c {
+                let p = hunt.pending.take().expect("checked above");
+                self.complete_lock(p.a, p.b, p.c, p.half_level_c);
+                return;
+            }
+            // Keep tracking while the walk resolves. In self-scaling mode
+            // a quiet lead-in can produce a pending lock whose tiny swings
+            // the growing span later exposes as noise — if left frozen it
+            // would swallow the real packet waiting for a crossing that
+            // only comes at the next deep LOW. Re-validate at every newly
+            // confirmed extremum and restart the hunt from it if stale.
+            let (swing_ab, swing_cb) = (p.a.value - p.b.value, p.c.value - p.b.value);
+            let confirmed = hunt.tracker.push(i, v, delta);
+            if matches!(self.scale, Scale::Adaptive { .. })
+                && (swing_ab < delta || swing_cb < delta)
+            {
+                if let Some(c) = confirmed {
+                    hunt.pending = None;
+                    hunt.b = None;
+                    hunt.a = match c {
+                        Confirmed::Peak(peak) => Some(peak),
+                        Confirmed::Valley(_) => None,
+                    };
+                }
+            }
+            return;
+        }
+
+        match hunt.tracker.push(i, v, delta) {
+            None => {}
+            // Only the valley between candidate peaks A and C matters;
+            // valleys before A are the idle floor.
+            Some(Confirmed::Valley(val)) if hunt.a.is_some() => {
+                hunt.b = Some(val);
+            }
+            Some(Confirmed::Valley(_)) => {}
+            Some(Confirmed::Peak(peak)) => {
+                if hunt.a.is_none() {
+                    hunt.a = Some(peak);
+                } else if let (Some(a), Some(b)) = (hunt.a, hunt.b) {
+                    // A, B, C found. In self-scaling mode the span may
+                    // have grown since A qualified: re-validate both
+                    // swings at today's threshold before committing.
+                    let c = peak;
+                    let delta_now = delta;
+                    let valid = matches!(self.scale, Scale::Fixed { .. })
+                        || (a.value - b.value >= delta_now && c.value - b.value >= delta_now);
+                    if !valid {
+                        // Stale lead-in candidates: restart the hunt from
+                        // the strongest recent structure.
+                        hunt.a = Some(c);
+                        hunt.b = None;
+                        return;
+                    }
+                    let half_level_c = b.value + 0.5 * (c.value - b.value);
+                    hunt.pending = Some(PendingLock { a, b, c, half_level_c });
+                    // The current sample may already complete the walk.
+                    if v < half_level_c {
+                        let p = hunt.pending.take().expect("just set");
+                        self.complete_lock(p.a, p.b, p.c, p.half_level_c);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Midpoint of the half-height crossings around `idx`: walk outward
+    /// while the smoothed signal stays at or above `level` (the streaming
+    /// replica of the batch `refine_peak_time`, saturating at the retained
+    /// history's edge).
+    fn refine_peak_time(&self, idx: usize, level: f64) -> f64 {
+        let mut left = idx;
+        while left > self.smooth.base && self.smooth.get(left - 1) >= level {
+            left -= 1;
+        }
+        let mut right = idx;
+        while right + 1 < self.smooth.end() && self.smooth.get(right + 1) >= level {
+            right += 1;
+        }
+        0.5 * (self.time_of(left) + self.time_of(right))
+    }
+
+    /// A, B, C in hand and their surroundings resolved: derive the
+    /// calibration, emit `PreambleLocked`, and move to symbol tracking.
+    fn complete_lock(&mut self, a: Extremum, b: Extremum, c: Extremum, _half_level_c: f64) {
+        let (ra, rb, rc) = (a.value, b.value, c.value);
+        let half_level_a = rb + 0.5 * (ra - rb);
+        let half_level_c = rb + 0.5 * (rc - rb);
+        let ta = self.refine_peak_time(a.index, half_level_a);
+        let tb = self.time_of(b.index);
+        let tc = self.refine_peak_time(c.index, half_level_c);
+        let tau_r = ((ra - rb) + (rc - rb)) / 2.0;
+        let tau_t = ((tb - ta) + (tc - tb)) / 2.0;
+        if tau_t <= 0.0 {
+            self.terminal(DecodeEvent::Reject(DecodeError::NoPreamble {
+                peaks_found: 2,
+                valleys_found: 1,
+            }));
+            return;
+        }
+        // Freeze the reporting range at lock time; in fixed mode this is
+        // the identity and reported fields match the batch decoder's.
+        self.report = self.scale.range();
+        let (scale_lo, _) = self.scale.range();
+        let threshold = match self.cfg.threshold_mode {
+            ThresholdMode::Midpoint => rb + tau_r / 2.0,
+            ThresholdMode::PaperLiteral => scale_lo + tau_r,
+        };
+        let max_symbols = match self.cfg.expected_bits {
+            Some(bits) => PREAMBLE_LEN + 2 * bits,
+            None => usize::MAX,
+        };
+        // In fixed mode the working units already are the reported units;
+        // keep the swing bit-exact rather than round-tripping the affine.
+        let tau_r_reported = match self.scale {
+            Scale::Fixed { .. } => tau_r,
+            Scale::Adaptive { .. } => self.reported(rb + tau_r) - self.reported(rb),
+        };
+        let cal = PreambleLock {
+            point_a: CalPoint { t: ta, r: self.reported(ra) },
+            point_b: CalPoint { t: tb, r: self.reported(rb) },
+            point_c: CalPoint { t: tc, r: self.reported(rc) },
+            tau_r: tau_r_reported,
+            tau_t,
+            threshold_level: self.reported(threshold),
+        };
+        self.events.push_back(DecodeEvent::PreambleLocked(cal.clone()));
+        self.state = State::Track(Track {
+            ta,
+            threshold,
+            tau_t,
+            cal,
+            k: 0,
+            drift: 0.0,
+            tau_eff: tau_t,
+            symbols: Vec::new(),
+            max_symbols,
+        });
+        self.advance_track();
+        self.trim_track_history();
+    }
+
+    /// Classifies every symbol window whose samples are available,
+    /// mirroring the batch windowed-classification loop (including its
+    /// stop conditions, which need the final stream length and therefore
+    /// only fire after [`StreamingDecoder::finish`]).
+    fn advance_track(&mut self) {
+        loop {
+            let State::Track(t) = &mut self.state else { return };
+            if t.symbols.len() >= t.max_symbols {
+                self.finalize_packet();
+                return;
+            }
+            let open_ended = self.cfg.expected_bits.is_none();
+            let duration = self.n_pushed as f64 / self.fs;
+            if open_ended && t.k > 0 {
+                // The batch loop stops once the next window would start
+                // beyond the trace. Mid-stream the stream length is not
+                // final, so only a *definitely interior* window may be
+                // classified before `finish`.
+                let next_start = t.ta + (t.k as f64 - 0.5 + self.cfg.window_shrink) * t.tau_t;
+                if next_start >= duration {
+                    if self.finished {
+                        self.finalize_packet();
+                    }
+                    return;
+                }
+            }
+            let center = t.ta + t.k as f64 * t.tau_eff + t.drift;
+            let half = t.tau_eff * (0.5 - self.cfg.window_shrink);
+            if self.finished && center - half > duration {
+                self.finalize_packet();
+                return;
+            }
+            let lo = self.index_of(center - half);
+            let hi = self.index_of(center + half);
+            if !self.finished && hi + 1 > self.smooth.end() {
+                return; // window not fully sampled yet
+            }
+            let hi = hi.min(self.smooth.end().saturating_sub(1));
+            let State::Track(t) = &mut self.state else { unreachable!() };
+
+            // Window maximum with the batch `max_by` tie rule (last wins).
+            let mut max_i = 0usize;
+            let mut win_max = f64::MIN;
+            let win_len = hi + 1 - lo;
+            for (j, idx) in (lo..=hi).enumerate() {
+                let v = self.smooth.get(idx);
+                if v.total_cmp(&win_max) != std::cmp::Ordering::Less {
+                    max_i = j;
+                    win_max = v;
+                }
+            }
+            // `>=` matters: on a normalised clean trace the literal τr
+            // equals the peak value exactly.
+            let is_high = win_max >= t.threshold;
+            let symbol = if is_high { Symbol::High } else { Symbol::Low };
+            t.symbols.push(symbol);
+            self.events.push_back(DecodeEvent::Symbol { index: t.symbols.len() - 1, symbol });
+
+            // Timing tracking: a HIGH symbol's peak marks its true centre;
+            // nudge the grid towards it. LOW symbols are excluded — their
+            // blurred, flat bottoms give no reliable timing reference.
+            if self.cfg.resync_gain > 0.0 && win_len > 2 && is_high {
+                let t_meas = (lo + max_i) as f64 / self.fs;
+                let err = (t_meas - center).clamp(-0.3 * t.tau_eff, 0.3 * t.tau_eff);
+                if max_i > 0 && max_i < win_len - 1 && t.k > 0 {
+                    // Split the correction between phase and period (the
+                    // period share fixes the systematic τt estimation
+                    // error that compounds over long payloads).
+                    t.drift += self.cfg.resync_gain * err * 0.5;
+                    t.tau_eff += self.cfg.resync_gain * err * 0.5 / t.k as f64;
+                }
+            }
+            t.k += 1;
+            // Early rejection: a locked read whose first four symbols are
+            // not HLHL can never become a packet; in full-decode mode the
+            // batch decoder reports the same error after reading to the
+            // end, so rejecting now changes nothing but the latency.
+            if !self.read_only
+                && t.symbols.len() == PREAMBLE_LEN
+                && t.symbols[..PREAMBLE_LEN] != PREAMBLE
+            {
+                let got = Symbol::format_sequence(&t.symbols[..PREAMBLE_LEN], false);
+                self.terminal(DecodeEvent::Reject(DecodeError::BadPreamble { got }));
+                return;
+            }
+        }
+    }
+
+    /// Drops smoothed history the tracker can no longer address.
+    fn trim_track_history(&mut self) {
+        let State::Track(t) = &self.state else { return };
+        let center = t.ta + t.k as f64 * t.tau_eff + t.drift;
+        let half = t.tau_eff * (0.5 - self.cfg.window_shrink);
+        let lo = ((center - half) * self.fs).round().max(0.0) as usize;
+        self.smooth.trim_to(lo.saturating_sub(8));
+    }
+
+    /// End of a symbol read: trailing trim (open-ended mode), preamble
+    /// check, Manchester decode, packet emission.
+    fn finalize_packet(&mut self) {
+        let State::Track(t) = &mut self.state else { unreachable!() };
+        let mut symbols = std::mem::take(&mut t.symbols);
+        let cal = t.cal.clone();
+
+        // Trim trailing LOW padding in open-ended mode: after the tag has
+        // passed, the dark ground reads LOW forever. A trailing `LL` pair
+        // is never valid Manchester, so strip such pairs, then one last
+        // odd LOW. Valid endings (`HL` for a 0-bit, `LH` for a 1-bit)
+        // survive untouched.
+        if self.cfg.expected_bits.is_none() {
+            loop {
+                let data_len = symbols.len() - PREAMBLE_LEN.min(symbols.len());
+                if data_len >= 2
+                    && data_len % 2 == 0
+                    && symbols[symbols.len() - 2..] == [Symbol::Low, Symbol::Low]
+                {
+                    symbols.truncate(symbols.len() - 2);
+                } else if data_len % 2 == 1 && symbols.last() == Some(&Symbol::Low) {
+                    symbols.pop();
+                } else {
+                    break;
+                }
+            }
+        }
+
+        let payload = if self.read_only {
+            Bits::new()
+        } else {
+            if symbols.len() < PREAMBLE_LEN || symbols[..PREAMBLE_LEN] != PREAMBLE {
+                let got =
+                    Symbol::format_sequence(&symbols[..symbols.len().min(PREAMBLE_LEN)], false);
+                self.terminal(DecodeEvent::Reject(DecodeError::BadPreamble { got }));
+                return;
+            }
+            match manchester_decode(&symbols[PREAMBLE_LEN..]) {
+                Ok(bits) => bits,
+                Err(e) => {
+                    self.terminal(DecodeEvent::Reject(e.into()));
+                    return;
+                }
+            }
+        };
+        let packet = DecodedPacket {
+            symbols,
+            payload,
+            tau_r: cal.tau_r,
+            tau_t: cal.tau_t,
+            threshold_level: cal.threshold_level,
+            point_a: cal.point_a,
+            point_b: cal.point_b,
+            point_c: cal.point_c,
+        };
+        self.terminal(DecodeEvent::Packet(packet));
+    }
+
+    /// Emits a terminal event and either re-arms or stops.
+    fn terminal(&mut self, event: DecodeEvent) {
+        self.events.push_back(event);
+        if self.rearm && !self.finished {
+            self.state = State::Hunt(Hunt::new());
+        } else {
+            self.state = State::Done;
+        }
+    }
+
+    /// Caps the hunt-phase history; candidates older than the cap are
+    /// discarded along with their samples (the decoder then simply hunts
+    /// on, keeping memory O(1) on preamble-free streams).
+    fn enforce_hunt_cap(&mut self) {
+        let State::Hunt(hunt) = &mut self.state else { return };
+        if self.smooth.data.len() <= self.max_hunt_samples {
+            return;
+        }
+        let lo = self.smooth.end() - self.max_hunt_samples;
+        self.smooth.trim_to(lo);
+        let stale = |e: &Extremum| e.index < lo;
+        if hunt.a.as_ref().is_some_and(stale)
+            || hunt.b.as_ref().is_some_and(stale)
+            || hunt.pending.as_ref().is_some_and(|p| stale(&p.a))
+        {
+            *hunt = Hunt::new();
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// StreamingTwoPhase — the Sec. 5 vehicular decoder, push-based
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone)]
+struct VehicleHunt {
+    tracker: AlternatingExtrema,
+    hood: Option<Extremum>,
+    windshield: Option<Extremum>,
+    /// Hood/windshield half level, set once both extrema are confirmed;
+    /// the lock completes when the smoothed signal rises back through it
+    /// (the roof edge), closing the windshield's half-crossing walk.
+    level: f64,
+}
+
+impl VehicleHunt {
+    fn new() -> Self {
+        VehicleHunt {
+            tracker: AlternatingExtrema::new(),
+            hood: None,
+            windshield: None,
+            level: f64::INFINITY,
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+enum RoofStage {
+    /// Waiting for the smoothed roof window `[lo_i, hi_i]` to be fully
+    /// sampled, then locating the anchor dip (the tag's first LOW).
+    FindDip,
+    /// Dip located; waiting for one more symbol of context to derive the
+    /// thresholds and re-centre the anchor.
+    Calibrate { dip_idx: usize },
+    /// Symbol windows marching over the roof.
+    Classify {
+        t_l1: f64,
+        threshold: f64,
+        ra: f64,
+        rb: f64,
+        rc: f64,
+        tau_r: f64,
+        k: usize,
+        drift: f64,
+        tau_eff: f64,
+        symbols: Vec<Symbol>,
+    },
+}
+
+#[derive(Debug, Clone)]
+struct Roof {
+    tau_t: f64,
+    sym: usize,
+    smoother: OnlineSmoother,
+    smooth: SmoothBuf,
+    lo_i: usize,
+    hi_i: usize,
+    stage: RoofStage,
+}
+
+#[derive(Debug, Clone)]
+enum VState {
+    Hunt(VehicleHunt),
+    Roof(Box<Roof>),
+    Done,
+}
+
+/// The Sec. 5 two-phase vehicular decoder as a push-based state machine:
+/// long-preamble lock (hood peak → windshield valley → speed estimate) →
+/// roof threshold track → symbol emit.
+///
+/// The trace-based [`crate::vehicle::TwoPhaseDecoder::decode`] is a thin
+/// drain over this core in span-hinted mode; [`StreamingTwoPhase::new`]
+/// gives the self-scaling live mode. Memory is bounded by the car's pass
+/// duration and the history cap, never by the stream length.
+#[derive(Debug, Clone)]
+pub struct StreamingTwoPhase {
+    cfg: crate::vehicle::TwoPhaseDecoder,
+    fs: f64,
+    rearm: bool,
+    scale: Scale,
+    noise_gate: f64,
+    max_buffer: usize,
+    /// Working-scale sample history (ring), kept so the phase-2 smoother
+    /// can be warmed from stream start once the speed estimate exists.
+    raw: SmoothBuf,
+    smoother1: OnlineSmoother,
+    smooth1: SmoothBuf,
+    /// `(lo, span)` frozen when the roof calibration locks, so reported
+    /// packet fields (and with them fusion confidence) don't shift with
+    /// light that arrives after calibration. Mirrors
+    /// [`StreamingDecoder`]'s `report`.
+    report: Option<(f64, f64)>,
+    masd: Option<(f64, f64)>,
+    n_pushed: usize,
+    finished: bool,
+    state: VState,
+    events: VecDeque<DecodeEvent>,
+    scratch: Vec<f64>,
+}
+
+impl StreamingTwoPhase {
+    /// A live, self-scaling vehicular decoder that re-arms after every
+    /// packet or rejection (each car pass is a new hunt).
+    pub fn new(cfg: crate::vehicle::TwoPhaseDecoder, sample_rate_hz: f64) -> Self {
+        Self::build(cfg, sample_rate_hz, Scale::Adaptive { lo: 1.0, hi: 0.0 }, true)
+    }
+
+    /// A span-hinted decoder whose decisions replicate the batch decode of
+    /// a trace with min–max `(lo, hi)`. One-shot — the mode the
+    /// trace-based facades drain.
+    pub fn with_scale(
+        cfg: crate::vehicle::TwoPhaseDecoder,
+        sample_rate_hz: f64,
+        lo: f64,
+        hi: f64,
+    ) -> Self {
+        Self::build(cfg, sample_rate_hz, Scale::Fixed { lo, span: hi - lo }, false)
+    }
+
+    fn build(cfg: crate::vehicle::TwoPhaseDecoder, fs: f64, scale: Scale, rearm: bool) -> Self {
+        assert!(fs > 0.0, "sample rate must be positive");
+        let window = cfg.phase1_window(fs);
+        StreamingTwoPhase {
+            cfg,
+            fs,
+            rearm,
+            scale,
+            noise_gate: DEFAULT_NOISE_GATE,
+            max_buffer: MAX_HUNT_SAMPLES,
+            raw: SmoothBuf::default(),
+            smoother1: OnlineSmoother::new(window),
+            smooth1: SmoothBuf::default(),
+            report: None,
+            masd: None,
+            n_pushed: 0,
+            finished: false,
+            state: VState::Hunt(VehicleHunt::new()),
+            events: VecDeque::new(),
+            scratch: Vec::new(),
+        }
+    }
+
+    /// Skips phase 1 entirely: decode the roof with an externally supplied
+    /// long-preamble result (the `decode_with_preamble` facade).
+    pub fn with_preamble(mut self, pre: LongPreamble) -> Self {
+        self.enter_roof(pre, false);
+        self
+    }
+
+    /// Sets whether the decoder re-arms after a terminal event.
+    pub fn rearming(mut self, rearm: bool) -> Self {
+        self.rearm = rearm;
+        self
+    }
+
+    /// Overrides the self-scaling noise gate.
+    pub fn with_noise_gate(mut self, gate: f64) -> Self {
+        self.noise_gate = gate.max(0.0);
+        self
+    }
+
+    /// The stream's sampling rate, Hz.
+    pub fn sample_rate_hz(&self) -> f64 {
+        self.fs
+    }
+
+    /// Whether the long preamble has locked and the roof decode is
+    /// running.
+    pub fn is_locked(&self) -> bool {
+        matches!(self.state, VState::Roof(_))
+    }
+
+    /// Pushes one RSS code; bursts queue internally (see
+    /// [`StreamingTwoPhase::poll`]).
+    pub fn push(&mut self, sample: f64) -> Option<DecodeEvent> {
+        if !self.finished {
+            self.n_pushed += 1;
+            let y = self.scale.ingest(sample);
+            self.raw.push(y);
+            if self.raw.data.len() > self.max_buffer {
+                let lo = self.raw.end() - self.max_buffer;
+                self.raw.trim_to(lo);
+            }
+            let mut emitted = std::mem::take(&mut self.scratch);
+            emitted.clear();
+            match &mut self.state {
+                VState::Done => {}
+                VState::Hunt(_) => self.smoother1.push(y, &mut emitted),
+                VState::Roof(r) => r.smoother.push(y, &mut emitted),
+            }
+            for v in emitted.drain(..) {
+                self.accept(v);
+            }
+            self.scratch = emitted;
+        }
+        self.events.pop_front()
+    }
+
+    /// Drains one queued event without pushing a new sample.
+    pub fn poll(&mut self) -> Option<DecodeEvent> {
+        self.events.pop_front()
+    }
+
+    /// Ends the stream, resolving whatever phase remains against the final
+    /// stream length (exactly as the batch decoder clamps at the trace
+    /// end). Returns every remaining event. Idempotent.
+    pub fn finish(&mut self) -> Vec<DecodeEvent> {
+        if !self.finished {
+            // Drain the smoother's trailing edge BEFORE declaring the end
+            // (see `StreamingDecoder::finish`): availability gates must
+            // keep deferring while the buffer is still filling.
+            let mut emitted = std::mem::take(&mut self.scratch);
+            emitted.clear();
+            match &mut self.state {
+                VState::Done => {}
+                VState::Hunt(_) => self.smoother1.flush(&mut emitted),
+                VState::Roof(r) => r.smoother.flush(&mut emitted),
+            }
+            for v in emitted.drain(..) {
+                self.accept(v);
+            }
+            self.scratch = emitted;
+            self.finished = true;
+            loop {
+                match &mut self.state {
+                    VState::Hunt(h) => {
+                        if let (Some(hood), Some(ws)) = (h.hood, h.windshield) {
+                            // The roof-edge rise never arrived: close the
+                            // walks against the stream end.
+                            self.complete_phase1(hood, ws);
+                            continue;
+                        }
+                        let (peaks, valleys) = (h.tracker.peaks, h.tracker.valleys);
+                        self.events.push_back(DecodeEvent::Reject(DecodeError::NoPreamble {
+                            peaks_found: peaks,
+                            valleys_found: valleys,
+                        }));
+                        self.state = VState::Done;
+                    }
+                    VState::Roof(r) => {
+                        // The roof smoother may only have been created
+                        // during the drain above (phase 1 resolving on the
+                        // trailing edge): close it before resolving.
+                        // `flush` is idempotent, so this is a no-op when
+                        // it already ran.
+                        let mut tail = Vec::new();
+                        r.smoother.flush(&mut tail);
+                        for v in tail {
+                            r.smooth.push(v);
+                        }
+                        self.advance_roof();
+                        if matches!(self.state, VState::Roof(_)) {
+                            unreachable!("roof decode did not resolve at end of stream");
+                        }
+                        continue;
+                    }
+                    VState::Done => break,
+                }
+            }
+        }
+        std::mem::take(&mut self.events).into()
+    }
+
+    fn index_of(&self, t: f64) -> usize {
+        let i = (t * self.fs).round().max(0.0) as usize;
+        if self.finished {
+            i.min(self.n_pushed.saturating_sub(1))
+        } else {
+            i
+        }
+    }
+
+    /// Maps a working-unit value to the reported scale: identity in
+    /// span-hinted mode, the range frozen at roof-calibration lock in
+    /// self-scaling mode.
+    fn reported(&self, v: f64) -> f64 {
+        match self.scale {
+            Scale::Fixed { .. } => v,
+            Scale::Adaptive { .. } => {
+                let (lo, span) = self.report.unwrap_or_else(|| self.scale.range());
+                if span > 0.0 {
+                    (v - lo) / span
+                } else {
+                    v - lo
+                }
+            }
+        }
+    }
+
+    fn delta(&self) -> f64 {
+        match self.scale {
+            Scale::Fixed { .. } => self.cfg.prominence(),
+            Scale::Adaptive { lo, hi } => {
+                let floor = self.masd.map(|(m, _)| m * self.noise_gate).unwrap_or(0.0);
+                (self.cfg.prominence() * (hi - lo).max(0.0)).max(floor)
+            }
+        }
+    }
+
+    /// Feeds one smoothed sample to whichever phase is active.
+    fn accept(&mut self, v: f64) {
+        match &mut self.state {
+            VState::Done => {}
+            VState::Roof(r) => {
+                r.smooth.push(v);
+                self.advance_roof();
+            }
+            VState::Hunt(_) => {
+                let i = self.smooth1.end();
+                self.smooth1.push(v);
+                if let Some((m, last)) = &mut self.masd {
+                    let d = (v - *last).abs();
+                    *m += (d - *m) / 64.0;
+                    *last = v;
+                } else if let Some(prev) = i.checked_sub(1).map(|j| self.smooth1.get(j)) {
+                    self.masd = Some(((v - prev).abs(), v));
+                }
+                self.advance_hunt(i, v);
+                // History cap: a stale hood candidate restarts the hunt.
+                if self.smooth1.data.len() > self.max_buffer {
+                    let lo = self.smooth1.end() - self.max_buffer;
+                    self.smooth1.trim_to(lo);
+                    if let VState::Hunt(h) = &mut self.state {
+                        if h.hood.is_some_and(|e| e.index < lo) {
+                            *h = VehicleHunt::new();
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Phase 1: hood peak, windshield valley, then wait for the roof edge
+    /// so both half-crossing walks are closed.
+    fn advance_hunt(&mut self, i: usize, v: f64) {
+        let delta = self.delta();
+        let VState::Hunt(h) = &mut self.state else { return };
+        if let (Some(hood), Some(ws)) = (h.hood, h.windshield) {
+            if v > h.level {
+                self.complete_phase1(hood, ws);
+                return;
+            }
+            // Same pending-lock staleness handling as the indoor core: a
+            // lead-in noise pair must not freeze the hunt once the real
+            // car arrives and the span grows past its swings.
+            let swing = hood.value - ws.value;
+            let confirmed = h.tracker.push(i, v, delta);
+            if matches!(self.scale, Scale::Adaptive { .. }) && swing < delta {
+                if let Some(c) = confirmed {
+                    h.windshield = None;
+                    h.level = f64::INFINITY;
+                    h.hood = match c {
+                        Confirmed::Peak(peak) => Some(peak),
+                        Confirmed::Valley(_) => None,
+                    };
+                }
+            }
+            return;
+        }
+        match h.tracker.push(i, v, delta) {
+            Some(Confirmed::Peak(p)) if h.hood.is_none() => {
+                h.hood = Some(p);
+            }
+            Some(Confirmed::Valley(val)) if h.hood.is_some() => {
+                let hood = h.hood.expect("checked above");
+                if matches!(self.scale, Scale::Adaptive { .. }) && hood.value - val.value < delta {
+                    // Lead-in noise pair that no longer qualifies at
+                    // today's span: restart the hunt.
+                    *h = VehicleHunt::new();
+                    return;
+                }
+                h.windshield = Some(val);
+                h.level = 0.5 * (hood.value + val.value);
+                if v > h.level {
+                    self.complete_phase1(hood, val);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    /// Half-crossing centre as a fractional index (the batch
+    /// `half_crossing_center` on the retained history).
+    fn half_crossing(&self, idx: usize, level: f64, above: bool) -> f64 {
+        let on_side = |v: f64| if above { v >= level } else { v <= level };
+        let mut left = idx;
+        while left > self.smooth1.base && on_side(self.smooth1.get(left - 1)) {
+            left -= 1;
+        }
+        let mut right = idx;
+        while right + 1 < self.smooth1.end() && on_side(self.smooth1.get(right + 1)) {
+            right += 1;
+        }
+        0.5 * (left as f64 + right as f64)
+    }
+
+    /// Hood and windshield located and their plateau walks closed: derive
+    /// the speed and roof window, emit [`DecodeEvent::CarPreamble`], and
+    /// start the roof decode.
+    fn complete_phase1(&mut self, hood: Extremum, ws: Extremum) {
+        let VState::Hunt(h) = &self.state else { unreachable!() };
+        let (peaks, valleys) = (h.tracker.peaks, h.tracker.valleys);
+        // The hood and windshield are long plateaus in the trace;
+        // half-crossing midpoints give their true centres (a single
+        // extremum sample can sit anywhere on a noisy plateau).
+        let level = 0.5 * (hood.value + ws.value);
+        let fs_inv = 1.0 / self.fs;
+        let hood_t = self.half_crossing(hood.index, level, true) * fs_inv;
+        let windshield_t = self.half_crossing(ws.index, level, false) * fs_inv;
+        match self.cfg.preamble_from_times(hood_t, windshield_t, peaks, valleys) {
+            Ok(pre) => {
+                self.events.push_back(DecodeEvent::CarPreamble(pre));
+                self.enter_roof(pre, true);
+                self.advance_roof();
+            }
+            Err(e) => self.terminal(DecodeEvent::Reject(e)),
+        }
+    }
+
+    /// Builds the phase-2 smoother (window sized from the speed estimate)
+    /// and warms it over the retained history so its output matches a
+    /// whole-stream smoothing, then switches state.
+    fn enter_roof(&mut self, pre: LongPreamble, replay: bool) {
+        let tau_t = self.cfg.symbol_width_m / pre.speed_mps;
+        let window = ((tau_t * self.fs * 0.2).round() as usize).max(1);
+        let sym = (tau_t * self.fs) as usize;
+        let mut smoother = OnlineSmoother::new(window);
+        let mut smooth = SmoothBuf { base: self.raw.base, data: VecDeque::new() };
+        if replay {
+            let mut emitted = Vec::new();
+            for j in self.raw.base..self.raw.end() {
+                smoother.push(self.raw.get(j), &mut emitted);
+            }
+            if self.finished {
+                // Phase 1 resolved at end-of-stream: there are no future
+                // samples to push the trailing half-window out, so close
+                // the smoother here.
+                smoother.flush(&mut emitted);
+            }
+            for v in emitted {
+                smooth.push(v);
+            }
+        }
+        let lo_i = self.index_of(pre.roof_start_t);
+        let hi_i = self.index_of(pre.roof_end_t);
+        // Anchor context never reaches further back than ~1.5 symbols
+        // before the roof window; earlier history can go.
+        smooth.trim_to(lo_i.saturating_sub(2 * sym + 8));
+        self.smooth1 = SmoothBuf::default();
+        self.state = VState::Roof(Box::new(Roof {
+            tau_t,
+            sym,
+            smoother,
+            smooth,
+            lo_i,
+            hi_i,
+            stage: RoofStage::FindDip,
+        }));
+    }
+
+    /// Drives the roof stages as far as the sampled history allows,
+    /// replicating the batch phase-2 arithmetic step for step.
+    fn advance_roof(&mut self) {
+        loop {
+            let VState::Roof(r) = &mut self.state else { return };
+            let available = r.smooth.end();
+            match &mut r.stage {
+                RoofStage::FindDip => {
+                    if !self.finished && available <= r.hi_i {
+                        return; // roof window not fully sampled yet
+                    }
+                    let hi_i = r.hi_i.min(available.saturating_sub(1));
+                    let (lo_i, sym) = (r.lo_i, r.sym);
+                    if hi_i <= lo_i + 4 {
+                        self.terminal(DecodeEvent::Reject(DecodeError::NoPreamble {
+                            peaks_found: 1,
+                            valleys_found: 0,
+                        }));
+                        return;
+                    }
+                    let roof: Vec<f64> = (lo_i..=hi_i).map(|j| r.smooth.get(j)).collect();
+                    let valleys = palc_dsp::peaks::find_valleys_persistence(&roof, 0.08);
+                    // The anchor dip must be the tag's first LOW (L1): a
+                    // true L1 is preceded by a bright shoulder (roof paint
+                    // merged with the H0 strip), which rejects windshield
+                    // residue leaking in at the window's leading edge.
+                    let mut sorted_roof = roof.clone();
+                    sorted_roof.sort_by(f64::total_cmp);
+                    let bright = sorted_roof[(sorted_roof.len() * 7) / 10];
+                    let first_dip = valleys.iter().find(|v| {
+                        let shoulder_hi = v.index.saturating_sub(sym / 3);
+                        let shoulder_lo = v.index.saturating_sub(sym + sym / 2);
+                        shoulder_hi > shoulder_lo
+                            && roof[shoulder_lo..shoulder_hi].iter().any(|&x| x >= bright)
+                    });
+                    match first_dip {
+                        Some(dip) => {
+                            r.stage = RoofStage::Calibrate { dip_idx: lo_i + dip.index };
+                        }
+                        None => {
+                            self.terminal(DecodeEvent::Reject(DecodeError::NoPreamble {
+                                peaks_found: 1,
+                                valleys_found: 0,
+                            }));
+                            return;
+                        }
+                    }
+                }
+                RoofStage::Calibrate { dip_idx } => {
+                    let dip_idx = *dip_idx;
+                    let t_l1 = dip_idx as f64 / self.fs;
+                    // One symbol of right context covers the C shoulder
+                    // and the dip's rising half-crossing.
+                    let need = ((t_l1 + 1.2 * r.tau_t) * self.fs).round() as usize;
+                    if !self.finished && available <= need.max(dip_idx + r.sym) {
+                        return;
+                    }
+                    // Sec. 4.1 thresholds from the dip and its shoulders:
+                    // A = max in the symbol before the dip, C = max in the
+                    // symbol after, B = dip.
+                    let fin = self.finished;
+                    let n = self.n_pushed;
+                    let fs = self.fs;
+                    let idx = |t: f64| -> usize {
+                        let i = (t * fs).round().max(0.0) as usize;
+                        if fin {
+                            i.min(n.saturating_sub(1))
+                        } else {
+                            i
+                        }
+                    };
+                    let last = available.saturating_sub(1);
+                    let seg = |r: &Roof, t0: f64, t1: f64| -> f64 {
+                        let a = idx(t0);
+                        let b = idx(t1).min(last);
+                        (a..=b).map(|j| r.smooth.get(j)).fold(f64::MIN, f64::max)
+                    };
+                    let ra = seg(r, t_l1 - 1.2 * r.tau_t, t_l1 - 0.2 * r.tau_t);
+                    let rc = seg(r, t_l1 + 0.2 * r.tau_t, t_l1 + 1.2 * r.tau_t);
+                    let rb = r.smooth.get(dip_idx);
+                    let tau_r = ((ra - rb) + (rc - rb)) / 2.0;
+                    if tau_r <= 0.0 {
+                        self.terminal(DecodeEvent::Reject(DecodeError::NoPreamble {
+                            peaks_found: 1,
+                            valleys_found: 1,
+                        }));
+                        return;
+                    }
+                    let threshold = rb + tau_r / 2.0;
+                    // Re-centre the anchor on the dip's half-crossing
+                    // midpoint: the minimum sample of a noisy dip can sit
+                    // anywhere across its width. L1 is flanked by H0 and
+                    // H2, so the below-threshold region is one symbol wide.
+                    let mut left = dip_idx;
+                    while left > r.smooth.base && r.smooth.get(left - 1) <= threshold {
+                        left -= 1;
+                    }
+                    let mut right = dip_idx;
+                    while right + 1 < available && r.smooth.get(right + 1) <= threshold {
+                        right += 1;
+                    }
+                    if !self.finished && right + 1 == available {
+                        return; // the dip's rising edge is still arriving
+                    }
+                    let t_l1 = 0.5 * (left as f64 + right as f64) / self.fs;
+                    // Calibration locked: freeze the reporting range here,
+                    // like the indoor core does at its preamble lock.
+                    self.report = Some(self.scale.range());
+                    r.stage = RoofStage::Classify {
+                        t_l1,
+                        threshold,
+                        ra,
+                        rb,
+                        rc,
+                        tau_r,
+                        k: 0,
+                        drift: 0.0,
+                        tau_eff: r.tau_t,
+                        symbols: Vec::with_capacity(PREAMBLE_LEN + 2 * self.cfg.expected_bits),
+                    };
+                }
+                RoofStage::Classify { .. } => {
+                    if !self.advance_roof_symbols() {
+                        return;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Classifies roof symbol windows while their samples exist. Returns
+    /// `false` to wait for more input, `true` when the state advanced
+    /// (including to a terminal).
+    fn advance_roof_symbols(&mut self) -> bool {
+        let n_symbols = PREAMBLE_LEN + 2 * self.cfg.expected_bits;
+        loop {
+            let VState::Roof(r) = &mut self.state else { return true };
+            let available = r.smooth.end();
+            let RoofStage::Classify { t_l1, threshold, k, drift, tau_eff, symbols, .. } =
+                &mut r.stage
+            else {
+                unreachable!()
+            };
+            if symbols.len() >= n_symbols {
+                self.finalize_roof_packet();
+                return true;
+            }
+            // Symbol grid: the dip is the centre of symbol 1 (the
+            // preamble's first LOW). Outdoors the sharp features are the
+            // LOW dips (the HIGH strips merge with the flat paint
+            // background), so the timing tracker locks onto dip minima.
+            let center = *t_l1 + (*k as f64 - 1.0) * *tau_eff + *drift;
+            let half = 0.32 * *tau_eff;
+            let a = ((center - half) * self.fs).round().max(0.0) as usize;
+            let b_raw = ((center + half) * self.fs).round().max(0.0) as usize;
+            if !self.finished && b_raw + 1 > available {
+                return false;
+            }
+            let a = if self.finished { a.min(self.n_pushed.saturating_sub(1)) } else { a };
+            let b = b_raw.min(available.saturating_sub(1));
+            assert!(
+                a <= b,
+                "window inverted: a={a} b={b} b_raw={b_raw} available={available} n={} finished={} base={}",
+                self.n_pushed,
+                self.finished,
+                r.smooth.base
+            );
+            let win_len = b + 1 - a;
+            let win_max = (a..=b).map(|j| r.smooth.get(j)).fold(f64::MIN, f64::max);
+            let is_high = win_max > *threshold;
+            let symbol = if is_high { Symbol::High } else { Symbol::Low };
+            symbols.push(symbol);
+            let index = symbols.len() - 1;
+            if !is_high && win_len > 2 && *k > 1 {
+                // First minimal element, as the batch `min_by` returns.
+                let mut min_i = 0usize;
+                let mut min_v = f64::INFINITY;
+                for (j, idx) in (a..=b).enumerate() {
+                    let v = r.smooth.get(idx);
+                    if v.total_cmp(&min_v) == std::cmp::Ordering::Less {
+                        min_i = j;
+                        min_v = v;
+                    }
+                }
+                if min_i > 0 && min_i < win_len - 1 {
+                    let t_meas = (a + min_i) as f64 / self.fs;
+                    let err = (t_meas - center).clamp(-0.3 * *tau_eff, 0.3 * *tau_eff);
+                    *drift += 0.15 * err;
+                    *tau_eff += 0.15 * err / (*k - 1) as f64;
+                }
+            }
+            *k += 1;
+            // Windows only march forward: history behind the next window's
+            // left edge (minus the anchor context) is done.
+            let next_lo = ((*t_l1 + (*k as f64 - 1.0) * *tau_eff + *drift - half) * self.fs)
+                .round()
+                .max(0.0) as usize;
+            let keep = r.lo_i.min(next_lo).saturating_sub(8);
+            r.smooth.trim_to(keep);
+            self.events.push_back(DecodeEvent::Symbol { index, symbol });
+            if index + 1 == PREAMBLE_LEN {
+                let VState::Roof(r) = &self.state else { unreachable!() };
+                let RoofStage::Classify { symbols, .. } = &r.stage else { unreachable!() };
+                if symbols[..PREAMBLE_LEN] != PREAMBLE {
+                    let got = Symbol::format_sequence(&symbols[..PREAMBLE_LEN], false);
+                    self.terminal(DecodeEvent::Reject(DecodeError::BadPreamble { got }));
+                    return true;
+                }
+            }
+        }
+    }
+
+    /// All roof symbols read: validate, Manchester-decode, emit.
+    fn finalize_roof_packet(&mut self) {
+        let VState::Roof(r) = &mut self.state else { unreachable!() };
+        let RoofStage::Classify { t_l1, threshold, ra, rb, rc, tau_r, symbols, .. } = &mut r.stage
+        else {
+            unreachable!()
+        };
+        let symbols = std::mem::take(symbols);
+        let (t_l1, threshold, ra, rb, rc, tau_r) = (*t_l1, *threshold, *ra, *rb, *rc, *tau_r);
+        let tau_t = r.tau_t;
+        if symbols.len() < PREAMBLE_LEN || symbols[..PREAMBLE_LEN] != PREAMBLE {
+            let got = Symbol::format_sequence(&symbols[..symbols.len().min(PREAMBLE_LEN)], false);
+            self.terminal(DecodeEvent::Reject(DecodeError::BadPreamble { got }));
+            return;
+        }
+        let payload = match manchester_decode(&symbols[PREAMBLE_LEN..]) {
+            Ok(bits) => bits,
+            Err(e) => {
+                self.terminal(DecodeEvent::Reject(e.into()));
+                return;
+            }
+        };
+        let tau_r_reported = match self.scale {
+            Scale::Fixed { .. } => tau_r,
+            Scale::Adaptive { .. } => self.reported(rb + tau_r) - self.reported(rb),
+        };
+        let packet = DecodedPacket {
+            symbols,
+            payload,
+            tau_r: tau_r_reported,
+            tau_t,
+            threshold_level: self.reported(threshold),
+            point_a: CalPoint { t: t_l1 - tau_t, r: self.reported(ra) },
+            point_b: CalPoint { t: t_l1, r: self.reported(rb) },
+            point_c: CalPoint { t: t_l1 + tau_t, r: self.reported(rc) },
+        };
+        self.terminal(DecodeEvent::Packet(packet));
+    }
+
+    fn terminal(&mut self, event: DecodeEvent) {
+        self.events.push_back(event);
+        self.report = None;
+        if self.rearm && !self.finished {
+            // Re-arm for the next pass: fresh phase-1 smoother warmed over
+            // one window of trailing history (emissions discarded so old
+            // samples are not re-hunted), hunting resumes on future
+            // samples only. History before the warm-up tail belongs to the
+            // pass that just resolved and can go.
+            let window = self.cfg.phase1_window(self.fs);
+            let start = self.raw.end().saturating_sub(window + 1).max(self.raw.base);
+            let mut smoother = OnlineSmoother::new(window);
+            let mut discard = Vec::new();
+            for j in start..self.raw.end() {
+                smoother.push(self.raw.get(j), &mut discard);
+            }
+            self.raw.trim_to(start);
+            self.smooth1 = SmoothBuf { base: start + discard.len(), data: VecDeque::new() };
+            self.smoother1 = smoother;
+            self.state = VState::Hunt(VehicleHunt::new());
+        } else {
+            self.state = VState::Done;
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Batch drains
+// ---------------------------------------------------------------------------
+
+/// A push-based decoder the batch facades can drain. Both streaming cores
+/// share the same sample-in/events-out surface.
+pub(crate) trait PushDecoder {
+    fn push_sample(&mut self, sample: f64) -> Option<DecodeEvent>;
+    fn poll_event(&mut self) -> Option<DecodeEvent>;
+    fn finish_stream(&mut self) -> Vec<DecodeEvent>;
+}
+
+impl PushDecoder for StreamingDecoder {
+    fn push_sample(&mut self, sample: f64) -> Option<DecodeEvent> {
+        self.push(sample)
+    }
+    fn poll_event(&mut self) -> Option<DecodeEvent> {
+        self.poll()
+    }
+    fn finish_stream(&mut self) -> Vec<DecodeEvent> {
+        self.finish()
+    }
+}
+
+impl PushDecoder for StreamingTwoPhase {
+    fn push_sample(&mut self, sample: f64) -> Option<DecodeEvent> {
+        self.push(sample)
+    }
+    fn poll_event(&mut self) -> Option<DecodeEvent> {
+        self.poll()
+    }
+    fn finish_stream(&mut self) -> Vec<DecodeEvent> {
+        self.finish()
+    }
+}
+
+/// Pushes every sample through `decoder`, collecting events until `stop`
+/// accepts one (which is included) or, failing that, until the stream
+/// finishes — the one push/poll/finish loop every trace-based facade
+/// shares.
+pub(crate) fn drain_events<D: PushDecoder>(
+    decoder: &mut D,
+    samples: &[f64],
+    stop: impl Fn(&DecodeEvent) -> bool,
+) -> Vec<DecodeEvent> {
+    let mut events = Vec::new();
+    for &x in samples {
+        if let Some(ev) = decoder.push_sample(x) {
+            let hit = stop(&ev);
+            events.push(ev);
+            if hit {
+                return events;
+            }
+        }
+        while let Some(ev) = decoder.poll_event() {
+            let hit = stop(&ev);
+            events.push(ev);
+            if hit {
+                return events;
+            }
+        }
+    }
+    events.extend(decoder.finish_stream());
+    events
+}
+
+/// Drives a one-shot streaming decoder over a full sample slice and
+/// returns its first terminal event as a `Result` — the shared body of the
+/// trace-based decode facades.
+fn drain<D: PushDecoder>(mut decoder: D, samples: &[f64]) -> Result<DecodedPacket, DecodeError> {
+    for ev in drain_events(&mut decoder, samples, DecodeEvent::is_terminal) {
+        match ev {
+            DecodeEvent::Packet(p) => return Ok(p),
+            DecodeEvent::Reject(e) => return Err(e),
+            _ => {}
+        }
+    }
+    Err(DecodeError::NoPreamble { peaks_found: 0, valleys_found: 0 })
+}
+
+/// [`drain`] for the indoor adaptive core (the
+/// [`AdaptiveDecoder::decode`] facade).
+pub(crate) fn drain_trace(
+    decoder: StreamingDecoder,
+    samples: &[f64],
+) -> Result<DecodedPacket, DecodeError> {
+    drain(decoder, samples)
+}
+
+/// [`drain`] for the vehicular core (the
+/// [`crate::vehicle::TwoPhaseDecoder::decode`] facade).
+pub(crate) fn drain_two_phase(
+    decoder: StreamingTwoPhase,
+    samples: &[f64],
+) -> Result<DecodedPacket, DecodeError> {
+    drain(decoder, samples)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::Trace;
+    use palc_dsp::filter::moving_average;
+
+    #[test]
+    fn online_smoother_matches_batch_bit_for_bit() {
+        let signal: Vec<f64> = (0..257).map(|i| ((i * 37) % 101) as f64 * 0.013 - 0.5).collect();
+        for window in [1usize, 2, 3, 7, 8, 31] {
+            let batch = moving_average(&signal, window);
+            let mut s = OnlineSmoother::new(window);
+            let mut streamed = Vec::new();
+            for &x in &signal {
+                s.push(x, &mut streamed);
+            }
+            s.flush(&mut streamed);
+            assert_eq!(streamed.len(), batch.len(), "window {window}");
+            for (i, (a, b)) in streamed.iter().zip(&batch).enumerate() {
+                assert_eq!(a.to_bits(), b.to_bits(), "window {window} sample {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn hysteresis_matches_persistence_on_structured_signal() {
+        use palc_dsp::peaks::find_peaks_persistence;
+        // HLHL-ish bumps with a quantisation notch on the first peak.
+        let mut x = Vec::new();
+        for &level in &[0.9, 0.1, 0.85, 0.08, 0.95, 0.05] {
+            for k in 0..20 {
+                let t = k as f64 / 19.0;
+                x.push(0.05 + (level - 0.05) * (std::f64::consts::PI * t).sin());
+            }
+        }
+        x[8] = x[10]; // plateau tie on the first bump
+        let delta = 0.25;
+        let batch: Vec<usize> = find_peaks_persistence(&x, delta).iter().map(|p| p.index).collect();
+        let mut tracker = AlternatingExtrema::new();
+        let mut streamed = Vec::new();
+        for (i, &v) in x.iter().enumerate() {
+            if let Some(Confirmed::Peak(p)) = tracker.push(i, v, delta) {
+                streamed.push(p.index);
+            }
+        }
+        // The batch detector also reports the final boundary summit the
+        // hysteresis tracker is still waiting to confirm; every confirmed
+        // streaming peak must match the batch sequence in order.
+        assert!(!streamed.is_empty());
+        assert_eq!(&batch[..streamed.len()], &streamed[..]);
+    }
+
+    fn synth_trace(symbols: &str, sps: usize, fs: f64) -> Trace {
+        let syms = Symbol::parse_sequence(symbols).unwrap();
+        let mut samples = vec![0.05; sps];
+        for s in syms {
+            for k in 0..sps {
+                let t = k as f64 / (sps - 1) as f64;
+                let bump = (std::f64::consts::PI * t).sin();
+                samples.push(match s {
+                    Symbol::High => 0.08 + 0.9 * bump,
+                    Symbol::Low => 0.05 + 0.04 * bump,
+                });
+            }
+        }
+        samples.extend(vec![0.05; sps]);
+        Trace::new(samples, fs)
+    }
+
+    #[test]
+    fn streaming_emits_lock_symbols_then_packet_in_order() {
+        let trace = synth_trace("HLHLLHHL", 40, 100.0);
+        let (lo, hi) = trace.minmax();
+        let mut dec = StreamingDecoder::with_scale(
+            AdaptiveDecoder::default().with_expected_bits(2),
+            trace.sample_rate_hz(),
+            lo,
+            hi,
+        );
+        let mut events = Vec::new();
+        for &x in trace.samples() {
+            if let Some(ev) = dec.push(x) {
+                events.push(ev);
+            }
+            while let Some(ev) = dec.poll() {
+                events.push(ev);
+            }
+        }
+        events.extend(dec.finish());
+        assert!(matches!(events.first(), Some(DecodeEvent::PreambleLocked(_))));
+        let symbols: Vec<Symbol> = events
+            .iter()
+            .filter_map(|e| match e {
+                DecodeEvent::Symbol { symbol, .. } => Some(*symbol),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(Symbol::format_sequence(&symbols, true), "HLHL.LHHL");
+        match events.last() {
+            Some(DecodeEvent::Packet(p)) => assert_eq!(p.payload.to_string(), "10"),
+            other => panic!("expected a packet event, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn packet_fires_mid_stream_with_expected_bits() {
+        // With the payload length known, the packet must be emitted as
+        // soon as the last symbol window closes — well before the
+        // trailing dark tail ends.
+        let trace = synth_trace("HLHLHLHL", 40, 100.0);
+        let (lo, hi) = trace.minmax();
+        let mut dec = StreamingDecoder::with_scale(
+            AdaptiveDecoder::default().with_expected_bits(2),
+            trace.sample_rate_hz(),
+            lo,
+            hi,
+        );
+        let mut packet_at = None;
+        for (i, &x) in trace.samples().iter().enumerate() {
+            if let Some(DecodeEvent::Packet(_)) = dec.push(x) {
+                packet_at = Some(i);
+                break;
+            }
+            while let Some(ev) = dec.poll() {
+                if matches!(ev, DecodeEvent::Packet(_)) {
+                    packet_at = Some(i);
+                }
+            }
+            if packet_at.is_some() {
+                break;
+            }
+        }
+        let at = packet_at.expect("packet must fire before the stream ends");
+        assert!(at < trace.len() - 20, "packet at sample {at} of {} — not mid-stream", trace.len());
+    }
+
+    #[test]
+    fn live_mode_rearms_and_decodes_two_packets() {
+        // Two passes in one stream, separated by a quiet gap.
+        let one = synth_trace("HLHLLHHL", 40, 100.0);
+        let mut samples = one.samples().to_vec();
+        samples.extend(vec![0.05; 200]);
+        samples.extend(one.samples());
+        let mut dec =
+            StreamingDecoder::new(AdaptiveDecoder::default().with_expected_bits(2), 100.0);
+        let mut payloads = Vec::new();
+        for &x in &samples {
+            if let Some(DecodeEvent::Packet(p)) = dec.push(x) {
+                payloads.push(p.payload.to_string());
+            }
+            while let Some(ev) = dec.poll() {
+                if let DecodeEvent::Packet(p) = ev {
+                    payloads.push(p.payload.to_string());
+                }
+            }
+        }
+        for ev in dec.finish() {
+            if let DecodeEvent::Packet(p) = ev {
+                payloads.push(p.payload.to_string());
+            }
+        }
+        assert_eq!(payloads, vec!["10".to_string(), "10".to_string()]);
+    }
+
+    #[test]
+    fn self_scaling_mode_survives_a_noisy_lead_in() {
+        // A long noisy idle floor before the packet: the noise gate must
+        // keep the decoder from locking onto floor wiggles and the true
+        // packet must still decode.
+        let one = synth_trace("HLHLHLHL", 40, 100.0);
+        let mut rng = 0x2545_F491_4F6C_DD1Du64;
+        let mut noise = || {
+            rng ^= rng << 13;
+            rng ^= rng >> 7;
+            rng ^= rng << 17;
+            (rng >> 11) as f64 / (1u64 << 53) as f64 - 0.5
+        };
+        let mut samples: Vec<f64> = (0..400).map(|_| 0.05 + 0.004 * noise()).collect();
+        samples.extend(one.samples().iter().map(|&v| v + 0.004 * noise()));
+        let mut dec =
+            StreamingDecoder::new(AdaptiveDecoder::default().with_expected_bits(2), 100.0);
+        let mut payloads = Vec::new();
+        for &x in &samples {
+            if let Some(DecodeEvent::Packet(p)) = dec.push(x) {
+                payloads.push(p.payload.to_string());
+            }
+            while let Some(ev) = dec.poll() {
+                if let DecodeEvent::Packet(p) = ev {
+                    payloads.push(p.payload.to_string());
+                }
+            }
+        }
+        for ev in dec.finish() {
+            if let DecodeEvent::Packet(p) = ev {
+                payloads.push(p.payload.to_string());
+            }
+        }
+        assert_eq!(payloads, vec!["00".to_string()]);
+    }
+
+    #[test]
+    fn finish_is_idempotent_and_reports_no_preamble_on_silence() {
+        let mut dec = StreamingDecoder::new(AdaptiveDecoder::default(), 100.0);
+        for _ in 0..50 {
+            assert!(dec.push(0.3).is_none());
+        }
+        let events = dec.finish();
+        assert!(
+            matches!(events.last(), Some(DecodeEvent::Reject(DecodeError::NoPreamble { .. }))),
+            "{events:?}"
+        );
+        assert!(dec.finish().is_empty());
+        assert!(dec.push(0.3).is_none(), "pushes after finish are inert");
+    }
+
+    #[test]
+    fn hunt_cap_bounds_memory_on_preamble_free_streams() {
+        let mut dec = StreamingDecoder::new(AdaptiveDecoder::default(), 100.0);
+        dec.max_hunt_samples = 512;
+        let mut rng = 1u64;
+        for i in 0..10_000 {
+            rng = rng.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let x = 0.3 + ((rng >> 33) as f64 / (1u64 << 31) as f64) * 0.01;
+            dec.push(x);
+            if i % 100 == 0 {
+                dec.enforce_hunt_cap();
+            }
+            assert!(dec.smooth.data.len() <= 512 + 128, "history grew unbounded");
+        }
+    }
+}

@@ -10,12 +10,51 @@
 //! The build environment is offline (no `rayon`), so the runner is built
 //! directly on [`std::thread::scope`]: workers pull item indices from a
 //! shared atomic counter (work-stealing, so uneven per-item cost — e.g.
-//! tall scenarios that simulate longer traces — still balances), and
+//! tall scenarios that simulate longer traces — still balances), a shared
+//! poisoned flag cancels siblings promptly when one worker panics, and
 //! results are reassembled in input order. The API is deliberately
 //! `rayon::par_iter`-shaped so a later swap is mechanical.
+//!
+//! This module also hosts the sweep-flavoured [`Scenario`] entry points:
+//! [`Scenario::run_streaming`] pipes each seed's channel sampler straight
+//! into a push-based [`StreamingDecoder`] (one live receiver per worker,
+//! no trace ever materialised), and [`Scenario::delivery_count`] is the
+//! shared "run a seed batch → decode → count accepted payloads" loop
+//! behind every delivery-ratio figure and test.
+//!
+//! ```
+//! use palc::channel::Scenario;
+//! use palc::decode::AdaptiveDecoder;
+//! use palc_phy::Packet;
+//!
+//! let scenario = Scenario::indoor_bench(Packet::from_bits("10").unwrap(), 0.03, 0.20);
+//! let outcomes = scenario.run_streaming(&[1, 2, 3], &AdaptiveDecoder::default()
+//!     .with_expected_bits(2));
+//! // Three live receivers decoded in parallel, mid-pass, in O(1) memory.
+//! assert_eq!(outcomes.len(), 3);
+//! assert!(outcomes.iter().all(|o| o.packets().any(|p| p.payload.to_string() == "10")));
+//! ```
 
-use std::sync::atomic::{AtomicUsize, Ordering};
+use crate::channel::Scenario;
+use crate::decode::{AdaptiveDecoder, DecodedPacket};
+use crate::fusion::Detection;
+use crate::stream::{DecodeEvent, StreamingDecoder};
+use crate::trace::Trace;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::mpsc;
+
+/// Sets the shared poisoned flag when its worker unwinds, so sibling
+/// workers stop pulling new items instead of running the sweep to
+/// completion under a doomed scope.
+struct PoisonOnPanic<'a>(&'a AtomicBool);
+
+impl Drop for PoisonOnPanic<'_> {
+    fn drop(&mut self) {
+        if std::thread::panicking() {
+            self.0.store(true, Ordering::Relaxed);
+        }
+    }
+}
 
 /// A thread-pool-shaped runner for embarrassingly parallel sweeps.
 #[derive(Debug, Clone, Copy)]
@@ -74,25 +113,36 @@ impl SweepRunner {
         }
 
         let next = AtomicUsize::new(0);
+        let poisoned = AtomicBool::new(false);
         let (tx, rx) = mpsc::channel::<(usize, R)>();
         std::thread::scope(|scope| {
             for _ in 0..workers {
                 let tx = tx.clone();
                 let next = &next;
+                let poisoned = &poisoned;
                 let f = &f;
                 scope.spawn(move || {
+                    let guard = PoisonOnPanic(poisoned);
                     loop {
+                        // A sibling panicked: the scope will re-raise its
+                        // panic anyway, so stop burning CPU on items whose
+                        // results can never be observed.
+                        if poisoned.load(Ordering::Relaxed) {
+                            break;
+                        }
                         let i = next.fetch_add(1, Ordering::Relaxed);
                         if i >= items.len() {
                             break;
                         }
-                        // A panic in `f` drops `tx`; the collector below then
-                        // comes up short and the scope re-raises the panic.
+                        // A panic in `f` poisons the sweep via `guard` and
+                        // drops `tx`; the collector below then comes up
+                        // short and the scope re-raises the panic.
                         let r = f(i, &items[i]);
                         if tx.send((i, r)).is_err() {
                             break;
                         }
                     }
+                    drop(guard);
                 });
             }
             drop(tx);
@@ -107,6 +157,97 @@ impl SweepRunner {
         .into_iter()
         .map(|s| s.expect("worker dropped a sweep item"))
         .collect()
+    }
+}
+
+/// A [`DecodeEvent`] stamped with the stream time it was emitted at.
+#[derive(Debug, Clone)]
+pub struct TimedEvent {
+    /// Stream time of emission, seconds (samples pushed so far / rate).
+    pub time_s: f64,
+    /// The decoder's observation.
+    pub event: DecodeEvent,
+}
+
+/// One live receiver's event log from [`Scenario::run_streaming`].
+#[derive(Debug, Clone)]
+pub struct StreamOutcome {
+    /// The noise seed this receiver ran with.
+    pub seed: u64,
+    /// Everything the push-based decoder emitted, in stream order.
+    pub events: Vec<TimedEvent>,
+}
+
+impl StreamOutcome {
+    /// The packets this receiver decoded, in stream order.
+    pub fn packets(&self) -> impl Iterator<Item = &DecodedPacket> {
+        self.events.iter().filter_map(|e| match &e.event {
+            DecodeEvent::Packet(p) => Some(p),
+            _ => None,
+        })
+    }
+
+    /// The packets as [`Detection`]s from receiver `receiver_id`, ready
+    /// for [`crate::fusion::FusionStream`] ingestion: detection time is
+    /// the emission time, confidence the packet's normalised swing τr.
+    pub fn detections(&self, receiver_id: u32) -> impl Iterator<Item = Detection> + '_ {
+        self.events.iter().filter_map(move |e| match &e.event {
+            DecodeEvent::Packet(p) => Some(Detection::from_packet(receiver_id, e.time_s, p)),
+            _ => None,
+        })
+    }
+}
+
+impl Scenario {
+    /// Streams this scenario once per seed — each seed a live receiver:
+    /// [`crate::channel::ChannelSampler`] feeding a self-scaling
+    /// [`StreamingDecoder`] sample by sample — fanned across the workspace
+    /// default [`SweepRunner`]. No trace is materialised; each receiver
+    /// runs in memory bounded by the decoder's history caps, which is what
+    /// makes arbitrarily long runs and live deployments possible.
+    pub fn run_streaming(&self, seeds: &[u64], decoder: &AdaptiveDecoder) -> Vec<StreamOutcome> {
+        self.run_streaming_on(&SweepRunner::new(), seeds, decoder)
+    }
+
+    /// Like [`Scenario::run_streaming`] with an explicit runner.
+    pub fn run_streaming_on(
+        &self,
+        runner: &SweepRunner,
+        seeds: &[u64],
+        decoder: &AdaptiveDecoder,
+    ) -> Vec<StreamOutcome> {
+        let fs = self.channel().frontend.sample_rate_hz();
+        runner.map(seeds, |&seed| {
+            let mut dec = StreamingDecoder::new(decoder.clone(), fs);
+            let mut events = Vec::new();
+            for sample in self.sampler(seed) {
+                let ev = dec.push(sample);
+                let time_s = dec.samples_pushed() as f64 / fs;
+                if let Some(event) = ev {
+                    events.push(TimedEvent { time_s, event });
+                }
+                while let Some(event) = dec.poll() {
+                    events.push(TimedEvent { time_s, event });
+                }
+            }
+            let time_s = dec.samples_pushed() as f64 / fs;
+            events.extend(dec.finish().into_iter().map(|event| TimedEvent { time_s, event }));
+            StreamOutcome { seed, events }
+        })
+    }
+
+    /// The delivery-ratio loop every outdoor figure shares: run one trace
+    /// per seed (in parallel, reusing the cached static field), test each
+    /// with `accept`, and return how many were accepted along with the
+    /// traces themselves (figures plot the first one).
+    pub fn delivery_count(
+        &self,
+        seeds: &[u64],
+        accept: impl Fn(&Trace) -> bool + Sync,
+    ) -> (usize, Vec<Trace>) {
+        let traces = self.run_batch(seeds);
+        let ok = traces.iter().filter(|t| accept(t)).count();
+        (ok, traces)
     }
 }
 
@@ -173,5 +314,28 @@ mod tests {
             assert!(x != 13, "sweep item 13");
             x
         });
+    }
+
+    #[test]
+    fn poisoned_sweep_cancels_siblings_promptly() {
+        // Item 0 panics immediately; the remaining items each sleep. With
+        // the shared poisoned flag, workers stop pulling new items as soon
+        // as the panic lands instead of draining all 64 — only the items
+        // already in flight (at most one per worker) may still run.
+        let executed = AtomicUsize::new(0);
+        let items: Vec<usize> = (0..64).collect();
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            SweepRunner::with_threads(4).map(&items, |&x| {
+                if x == 0 {
+                    panic!("sweep item 0");
+                }
+                executed.fetch_add(1, Ordering::Relaxed);
+                std::thread::sleep(std::time::Duration::from_millis(5));
+                x
+            });
+        }));
+        assert!(result.is_err(), "the panic must still propagate");
+        let ran = executed.load(Ordering::Relaxed);
+        assert!(ran < items.len() / 2, "siblings kept sweeping after the panic: {ran} items ran");
     }
 }

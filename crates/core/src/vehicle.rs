@@ -26,12 +26,11 @@
 //! Sec. 4.2.
 
 use crate::classify::{DtwClassifier, TemplateDb};
-use crate::decode::{CalPoint, DecodeError, DecodedPacket};
+use crate::decode::{DecodeError, DecodedPacket};
+use crate::stream::{DecodeEvent, StreamingTwoPhase};
 use crate::trace::Trace;
 use palc_dsp::filter::moving_average;
-use palc_dsp::peaks::{find_peaks_persistence, find_valleys_persistence, half_crossing_center};
 use palc_dsp::stats::normalize_minmax;
-use palc_phy::{manchester_decode, Symbol, PREAMBLE, PREAMBLE_LEN};
 use palc_scene::CarModel;
 
 /// Result of phase 1: the located long-duration preamble.
@@ -100,35 +99,20 @@ impl TwoPhaseDecoder {
         }
     }
 
-    /// Phase 1: locate the car's long-duration preamble in the trace.
-    pub fn find_preamble(&self, trace: &Trace) -> Result<LongPreamble, DecodeError> {
-        let fs = trace.sample_rate_hz();
-        let norm = normalize_minmax(trace.samples());
-        let window = ((self.smooth_window_s * fs).round() as usize).max(1);
-        let smooth = moving_average(&norm, window);
-        let peaks = find_peaks_persistence(&smooth, self.feature_prominence);
-        let valleys = find_valleys_persistence(&smooth, self.feature_prominence);
-        let hood = peaks
-            .first()
-            .ok_or(DecodeError::NoPreamble { peaks_found: 0, valleys_found: valleys.len() })?;
-        let windshield = valleys
-            .iter()
-            .find(|v| v.index > hood.index)
-            .ok_or(DecodeError::NoPreamble { peaks_found: peaks.len(), valleys_found: 0 })?;
-
-        // The hood and windshield are long plateaus in the trace;
-        // half-crossing midpoints give their true centres (a persistence
-        // extremum can sit anywhere on a noisy plateau).
-        let level = 0.5 * (hood.value + windshield.value);
-        let fs_inv = 1.0 / fs;
-        let hood_t = half_crossing_center(&smooth, hood.index, level, true) * fs_inv;
-        let windshield_t = half_crossing_center(&smooth, windshield.index, level, false) * fs_inv;
+    /// Derives the phase-1 result from located hood/windshield centre
+    /// times and the car geometry — the one place speed and roof extent
+    /// are computed, shared by the batch facade and the streaming core.
+    /// `peaks`/`valleys` only flavour the error on a degenerate ordering.
+    pub(crate) fn preamble_from_times(
+        &self,
+        hood_t: f64,
+        windshield_t: f64,
+        peaks: usize,
+        valleys: usize,
+    ) -> Result<LongPreamble, DecodeError> {
         let dt = windshield_t - hood_t;
         if dt <= 0.0 {
-            return Err(DecodeError::NoPreamble {
-                peaks_found: peaks.len(),
-                valleys_found: valleys.len(),
-            });
+            return Err(DecodeError::NoPreamble { peaks_found: peaks, valleys_found: valleys });
         }
         let speed_mps = self.hood_to_windshield_m() / dt;
 
@@ -148,10 +132,48 @@ impl TwoPhaseDecoder {
         Ok(LongPreamble { hood_t, windshield_t, speed_mps, roof_start_t, roof_end_t })
     }
 
+    /// Phase-1 smoothing window for a stream at `fs` Hz.
+    pub(crate) fn phase1_window(&self, fs: f64) -> usize {
+        ((self.smooth_window_s * fs).round() as usize).max(1)
+    }
+
+    /// Phase-1 feature threshold on the normalised scale.
+    pub(crate) fn prominence(&self) -> f64 {
+        self.feature_prominence
+    }
+
+    /// A one-shot streaming core for a trace with this min–max range.
+    fn streamer_for(&self, trace: &Trace) -> StreamingTwoPhase {
+        let (lo, hi) = trace.minmax();
+        StreamingTwoPhase::with_scale(self.clone(), trace.sample_rate_hz(), lo, hi)
+    }
+
+    /// Phase 1: locate the car's long-duration preamble in the trace.
+    ///
+    /// A thin drain over [`StreamingTwoPhase`]: samples are pushed until
+    /// the streaming core reports the hood/windshield lock.
+    pub fn find_preamble(&self, trace: &Trace) -> Result<LongPreamble, DecodeError> {
+        let mut core = self.streamer_for(trace);
+        let events = crate::stream::drain_events(&mut core, trace.samples(), |ev| {
+            matches!(ev, DecodeEvent::CarPreamble(_)) || ev.is_terminal()
+        });
+        for ev in events {
+            match ev {
+                DecodeEvent::CarPreamble(pre) => return Ok(pre),
+                DecodeEvent::Reject(e) => return Err(e),
+                _ => {}
+            }
+        }
+        Err(DecodeError::NoPreamble { peaks_found: 0, valleys_found: 0 })
+    }
+
     /// Phase 2: decode the roof tag using the speed estimate from phase 1.
+    ///
+    /// A thin drain over the push-based [`StreamingTwoPhase`] state
+    /// machine — the same decode a live receiver performs while the car
+    /// is still passing.
     pub fn decode(&self, trace: &Trace) -> Result<DecodedPacket, DecodeError> {
-        let pre = self.find_preamble(trace)?;
-        self.decode_with_preamble(trace, &pre)
+        crate::stream::drain_two_phase(self.streamer_for(trace), trace.samples())
     }
 
     /// Phase 2 with an explicit phase-1 result.
@@ -160,110 +182,10 @@ impl TwoPhaseDecoder {
         trace: &Trace,
         pre: &LongPreamble,
     ) -> Result<DecodedPacket, DecodeError> {
-        let fs = trace.sample_rate_hz();
-        let tau_t = self.symbol_width_m / pre.speed_mps;
-        let norm = normalize_minmax(trace.samples());
-        let window = ((tau_t * fs * 0.2).round() as usize).max(1);
-        let smooth = moving_average(&norm, window);
-
-        // Find the tag's first LOW dip inside the roof region. Restrict to
-        // the roof window with a margin of one symbol.
-        let lo_i = trace.index_of(pre.roof_start_t);
-        let hi_i = trace.index_of(pre.roof_end_t);
-        if hi_i <= lo_i + 4 {
-            return Err(DecodeError::NoPreamble { peaks_found: 1, valleys_found: 0 });
-        }
-        let roof = &smooth[lo_i..=hi_i];
-        let valleys = find_valleys_persistence(roof, 0.08);
-        // The anchor dip must be the tag's first LOW (L1): a true L1 is
-        // preceded by a bright shoulder (roof paint merged with the H0
-        // strip), which rejects windshield residue leaking in at the
-        // window's leading edge.
-        let mut sorted_roof = roof.to_vec();
-        sorted_roof.sort_by(f64::total_cmp);
-        let bright = sorted_roof[(sorted_roof.len() * 7) / 10];
-        let sym = (tau_t * fs) as usize;
-        let first_dip = valleys
-            .iter()
-            .find(|v| {
-                let shoulder_hi = v.index.saturating_sub(sym / 3);
-                let shoulder_lo = v.index.saturating_sub(sym + sym / 2);
-                shoulder_hi > shoulder_lo
-                    && roof[shoulder_lo..shoulder_hi].iter().any(|&x| x >= bright)
-            })
-            .ok_or(DecodeError::NoPreamble { peaks_found: 1, valleys_found: 0 })?;
-        let dip_idx = lo_i + first_dip.index;
-        let t_l1 = trace.time_of(dip_idx);
-
-        // Sec. 4.1 thresholds from the dip and its shoulders: A = max in
-        // the symbol before the dip, C = max in the symbol after, B = dip.
-        let seg = |t0: f64, t1: f64| -> f64 {
-            let a = trace.index_of(t0);
-            let b = trace.index_of(t1).min(smooth.len() - 1);
-            smooth[a..=b].iter().cloned().fold(f64::MIN, f64::max)
-        };
-        let ra = seg(t_l1 - 1.2 * tau_t, t_l1 - 0.2 * tau_t);
-        let rc = seg(t_l1 + 0.2 * tau_t, t_l1 + 1.2 * tau_t);
-        let rb = smooth[dip_idx];
-        let tau_r = ((ra - rb) + (rc - rb)) / 2.0;
-        if tau_r <= 0.0 {
-            return Err(DecodeError::NoPreamble { peaks_found: 1, valleys_found: 1 });
-        }
-        let threshold = rb + tau_r / 2.0;
-        // Re-centre the anchor on the dip's half-crossing midpoint: the
-        // minimum sample of a noisy dip can sit anywhere across its width.
-        // L1 is flanked by H0 and H2, so the below-threshold region is
-        // exactly one symbol wide.
-        let t_l1 = half_crossing_center(&smooth, dip_idx, threshold, false) / fs;
-
-        // Symbol grid: the dip is the centre of symbol 1 (the preamble's
-        // first LOW). Outdoors the sharp features are the LOW dips (the
-        // HIGH strips merge with the flat paint background), so the
-        // timing tracker locks onto dip minima.
-        let n_symbols = PREAMBLE_LEN + 2 * self.expected_bits;
-        let mut symbols = Vec::with_capacity(n_symbols);
-        let mut drift = 0.0;
-        let mut tau_eff = tau_t;
-        for k in 0..n_symbols {
-            let center = t_l1 + (k as f64 - 1.0) * tau_eff + drift;
-            let half = 0.32 * tau_eff;
-            let a = trace.index_of(center - half);
-            let b = trace.index_of(center + half).min(smooth.len() - 1);
-            let window = &smooth[a..=b];
-            let win_max = window.iter().cloned().fold(f64::MIN, f64::max);
-            let is_high = win_max > threshold;
-            symbols.push(if is_high { Symbol::High } else { Symbol::Low });
-            if !is_high && window.len() > 2 && k > 1 {
-                let (min_i, _) = window
-                    .iter()
-                    .enumerate()
-                    .min_by(|x, y| x.1.total_cmp(y.1))
-                    .expect("window non-empty");
-                if min_i > 0 && min_i < window.len() - 1 {
-                    let t_meas = trace.time_of(a + min_i);
-                    let err = (t_meas - center).clamp(-0.3 * tau_eff, 0.3 * tau_eff);
-                    drift += 0.15 * err;
-                    tau_eff += 0.15 * err / (k - 1) as f64;
-                }
-            }
-        }
-
-        if symbols[..PREAMBLE_LEN] != PREAMBLE {
-            return Err(DecodeError::BadPreamble {
-                got: Symbol::format_sequence(&symbols[..PREAMBLE_LEN], false),
-            });
-        }
-        let payload = manchester_decode(&symbols[PREAMBLE_LEN..])?;
-        Ok(DecodedPacket {
-            symbols,
-            payload,
-            tau_r,
-            tau_t,
-            threshold_level: threshold,
-            point_a: CalPoint { t: t_l1 - tau_t, r: ra },
-            point_b: CalPoint { t: t_l1, r: rb },
-            point_c: CalPoint { t: t_l1 + tau_t, r: rc },
-        })
+        let (lo, hi) = trace.minmax();
+        let core = StreamingTwoPhase::with_scale(self.clone(), trace.sample_rate_hz(), lo, hi)
+            .with_preamble(*pre);
+        crate::stream::drain_two_phase(core, trace.samples())
     }
 }
 

@@ -4,9 +4,9 @@
 //! CoNEXT'16 paper *“Passive Communication with Ambient Light”* relies on,
 //! implemented from scratch with no external dependencies:
 //!
-//! * [`fft`] — iterative radix-2 Cooley–Tukey FFT and power spectra, used for
+//! * [`fft`](mod@fft) — iterative radix-2 Cooley–Tukey FFT and power spectra, used for
 //!   the frequency-domain collision analysis of Sec. 4.3 (Fig. 10).
-//! * [`dtw`] — Dynamic Time Warping (full, banded, and normalised variants),
+//! * [`dtw`](mod@dtw) — Dynamic Time Warping (full, banded, and normalised variants),
 //!   used for classifying distorted variable-speed signals in Sec. 4.2
 //!   (Fig. 8).
 //! * [`peaks`] — prominence-aware peak/valley detection, the first stage of

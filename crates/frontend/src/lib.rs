@@ -17,7 +17,7 @@
 //!   Fig. 16.
 //! * [`chain`] — the composed frontend: illuminance series in, RSS
 //!   samples out.
-//! * [`characterize`] — the lux-sweep experiment that regenerates the
+//! * [`characterize`](mod@characterize) — the lux-sweep experiment that regenerates the
 //!   Fig. 11 table from the models.
 //! * [`power`] — energy and bill-of-materials model backing the paper's
 //!   sustainability claims (1.5 mW photodiode vs >1 W camera; ~$50

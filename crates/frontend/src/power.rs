@@ -3,11 +3,11 @@
 //! The paper's pitch is a *low-footprint* monitoring infrastructure:
 //!
 //! * energy: the photodiode consumes ~1.5 mW (measured by the authors)
-//!   versus >1000 mW for a smartphone camera pipeline [3], so *“a small
-//!   solar panel — the size of a credit card — [could] harvest enough
+//!   versus >1000 mW for a smartphone camera pipeline \[3\], so *“a small
+//!   solar panel — the size of a credit card — \[could\] harvest enough
 //!   energy … to work autonomously”*;
 //! * cost: *“our prototype costs around 50 dollars”* versus a $220 000
-//!   dedicated radio reader for wireless barcodes [15].
+//!   dedicated radio reader for wireless barcodes \[15\].
 //!
 //! This module encodes those budgets so examples and the repro harness can
 //! print the comparison table and check the solar-autonomy claim.
@@ -37,7 +37,7 @@ impl PowerBudget {
     }
 
     /// A camera-based reader (the alternative the paper argues against):
-    /// ≥1000 mW for the imaging pipeline alone [3].
+    /// ≥1000 mW for the imaging pipeline alone \[3\].
     pub fn camera_receiver() -> Self {
         PowerBudget { sensor_mw: 1000.0, conversion_mw: 150.0, logic_mw: 350.0 }
     }

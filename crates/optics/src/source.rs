@@ -128,7 +128,7 @@ impl LightSource for PointLamp {
 /// panel that produces near-uniform illuminance with a 100 Hz
 /// rectified-sine ripple — the cause of the “larger variance in the
 /// signal, ‘thicker lines’” of Fig. 7 (the paper cites the AC power
-/// supply [7]).
+/// supply \[7\]).
 #[derive(Debug, Clone)]
 pub struct CeilingPanel {
     /// Panel height above the ground plane, metres (2.3 m in Fig. 7).

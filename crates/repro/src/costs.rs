@@ -3,7 +3,7 @@
 //! * photodiode receiver ~1.5 mW sensor power vs >1000 mW for a camera;
 //! * a credit-card solar panel can sustain the receiver outdoors;
 //! * the prototype costs ≈ $50 (vs $220 000 for a dedicated-radio
-//!   wireless-barcode reader [15]).
+//!   wireless-barcode reader \[15\]).
 
 use crate::common;
 use palc_frontend::power::{prototype_bom, prototype_cost_usd, PowerBudget};

@@ -25,13 +25,9 @@ fn decode_rate(noise_floor_lux: f64) -> (usize, Trace) {
     );
     let decoder = TwoPhaseDecoder::new(CarModel::volvo_v40(), 0.10, 2);
     let seeds: Vec<u64> = (0..TRIALS).collect();
-    let mut traces = scenario.run_batch(&seeds);
-    let ok = traces
-        .iter()
-        .filter(|trace| {
-            decoder.decode(trace).map(|out| out.payload.to_string() == code).unwrap_or(false)
-        })
-        .count();
+    let (ok, mut traces) = scenario.delivery_count(&seeds, |trace| {
+        decoder.decode(trace).map(|out| out.payload.to_string() == code).unwrap_or(false)
+    });
     (ok, traces.swap_remove(0))
 }
 

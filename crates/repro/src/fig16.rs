@@ -29,11 +29,9 @@ fn decode_rate(capped: bool) -> (usize, Trace, f64) {
     let sc = scenario(capped);
     let decoder = TwoPhaseDecoder::new(CarModel::volvo_v40(), 0.10, 2);
     let seeds: Vec<u64> = (0..TRIALS).collect();
-    let mut traces = sc.run_batch(&seeds);
-    let ok = traces
-        .iter()
-        .filter(|t| decoder.decode(t).map(|out| out.payload.to_string() == "00").unwrap_or(false))
-        .count();
+    let (ok, mut traces) = sc.delivery_count(&seeds, |t| {
+        decoder.decode(t).map(|out| out.payload.to_string() == "00").unwrap_or(false)
+    });
     // Aperture-level light (pre-AGC) to quantify the cap's RSS drop.
     let peak_lux = sc.channel().peak_illuminance(sc.duration_s(), 64);
     (ok, traces.swap_remove(0), peak_lux)

@@ -126,8 +126,8 @@ impl Tag {
         None
     }
 
-    /// Applies dirt: `coverage` ∈ [0,1] of the tag's length is covered by
-    /// patches whose reflectance is scaled by `severity` ∈ [0,1]
+    /// Applies dirt: `coverage` ∈ \[0,1\] of the tag's length is covered by
+    /// patches whose reflectance is scaled by `severity` ∈ \[0,1\]
     /// (0 = opaque mud). Patch placement is seeded and patches are placed
     /// per-strip so symbol boundaries remain aligned (dirt does not move
     /// symbols, it degrades their contrast).
@@ -164,7 +164,7 @@ impl Tag {
 
 /// A dynamic tag: an LCD shutter stack over a retro-reflective backing,
 /// able to change its code over time (the paper's Sec. 6 extension,
-/// borrowed from Retro-VLC [9]). Electrically it still has a tiny
+/// borrowed from Retro-VLC \[9\]). Electrically it still has a tiny
 /// footprint; optically it is a [`Tag`] whose strips switch between two
 /// states at `switch_period_s`.
 #[derive(Debug, Clone)]

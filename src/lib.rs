@@ -1,16 +1,70 @@
-//! # palc-lab — workspace facade
+//! # palc-lab — passive communication with ambient light
 //!
-//! One-stop import for the whole `palc` workspace: the reproduction of
-//! *“Passive Communication with Ambient Light”* (Wang, Zuniga,
-//! Giustiniano — ACM CoNEXT 2016). The repository-level `examples/` and
-//! `tests/` build against this crate, exercising the public API exactly
-//! as a downstream user would.
+//! One-stop import for the whole `palc` workspace: a simulation-backed
+//! reproduction of *“Passive Communication with Ambient Light”* (Wang,
+//! Zuniga, Giustiniano — ACM CoNEXT 2016), grown into a streaming,
+//! multi-core system. The repository-level `examples/` and `tests/`
+//! build against this crate, exercising the public API exactly as a
+//! downstream user would.
+//!
+//! ## Quickstart
+//!
+//! Encode two bits into a reflective tag, drive it under the receiver on
+//! the paper's indoor bench, decode the RSS trace:
 //!
 //! ```
+//! use palc_lab::core::channel::Scenario;
 //! use palc_lab::prelude::*;
+//!
+//! let scenario = Scenario::indoor_bench(Packet::from_bits("10").unwrap(), 0.03, 0.20);
+//! let decoded = AdaptiveDecoder::default()
+//!     .with_expected_bits(2)
+//!     .decode(&scenario.run(42))
+//!     .unwrap();
+//! assert_eq!(decoded.payload.to_string(), "10");
 //! ```
 //!
-//! Re-exported crates:
+//! Or decode *live*, while the object is still passing — the batch
+//! decoder above is a thin drain over the same push-based state machine:
+//!
+//! ```
+//! use palc_lab::core::channel::Scenario;
+//! use palc_lab::core::stream::{DecodeEvent, StreamingDecoder};
+//! use palc_lab::prelude::*;
+//!
+//! let scenario = Scenario::indoor_bench(Packet::from_bits("10").unwrap(), 0.03, 0.20);
+//! let fs = scenario.channel().frontend.sample_rate_hz();
+//! let mut rx = StreamingDecoder::new(AdaptiveDecoder::default().with_expected_bits(2), fs);
+//! let packet = scenario
+//!     .sampler(42)
+//!     .find_map(|sample| match rx.push(sample) {
+//!         Some(DecodeEvent::Packet(p)) => Some(p),
+//!         _ => None,
+//!     })
+//!     .expect("decoded mid-pass");
+//! assert_eq!(packet.payload.to_string(), "10");
+//! ```
+//!
+//! ## Tour
+//!
+//! Runnable examples (`cargo run --release --example <name>`):
+//!
+//! * `quickstart` — the smallest end-to-end round trip (above).
+//! * `live_decode` — three live receivers streaming push-based decoders
+//!   into an online fusion centre, packets reported mid-pass.
+//! * `car_gate` — the Sec. 5 vehicular link: car-shape long preamble,
+//!   speed estimate, roof-tag decode.
+//! * `food_truck`, `hospital_trolleys` — deployment-flavoured scenarios
+//!   over the indoor link.
+//! * `collision_lab` — the Sec. 4.3 FFT collision analysis.
+//!
+//! The figure-by-figure paper reproduction lives in the `palc_repro`
+//! binary: `cargo run --release -p palc_repro`. The architecture
+//! handbook — crate map, pipeline stages, the static/dynamic and
+//! batch/streaming splits, testing strategy — is `docs/ARCHITECTURE.md`
+//! at the repository root.
+//!
+//! ## Re-exported crates
 //!
 //! * [`dsp`] — FFT, DTW, filters, peak detection ([`palc_dsp`]).
 //! * [`optics`] — photometry, spectra, materials, sources, FoV
@@ -20,8 +74,9 @@
 //! * [`scene`] — tags, trajectories, cars, environments ([`palc_scene`]).
 //! * [`phy`] — symbols, Manchester coding, packets, codebooks
 //!   ([`palc_phy`]).
-//! * [`core`] — the paper's algorithms: channel simulation, decoding,
-//!   classification, collision analysis, capacity ([`palc`]).
+//! * [`core`] — the paper's algorithms: channel simulation, batch and
+//!   streaming decoding, classification, collision analysis, capacity,
+//!   sweeps, fusion ([`palc`]).
 
 #![forbid(unsafe_code)]
 

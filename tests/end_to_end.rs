@@ -78,12 +78,10 @@ fn fig15_boundary_led_works_at_450_not_100_lux() {
         let decoder = TwoPhaseDecoder::new(CarModel::volvo_v40(), 0.10, 2);
         let seeds: Vec<u64> = (0..trials).collect();
         scenario
-            .run_batch(&seeds)
-            .iter()
-            .filter(|trace| {
+            .delivery_count(&seeds, |trace| {
                 decoder.decode(trace).map(|o| o.payload.to_string() == "00").unwrap_or(false)
             })
-            .count()
+            .0
     };
     let at_450 = decode_rate(450.0);
     let at_100 = decode_rate(100.0);
@@ -112,14 +110,11 @@ fn fig16_cap_rescues_the_pd() {
         )
         .with_receiver(rx);
         let decoder = TwoPhaseDecoder::new(CarModel::volvo_v40(), 0.10, 2);
-        (0..3u64)
-            .filter(|&s| {
-                decoder
-                    .decode(&scenario.run(s))
-                    .map(|o| o.payload.to_string() == "00")
-                    .unwrap_or(false)
+        scenario
+            .delivery_count(&[0, 1, 2], |trace| {
+                decoder.decode(trace).map(|o| o.payload.to_string() == "00").unwrap_or(false)
             })
-            .count()
+            .0
     };
     assert_eq!(run(false), 0, "bare wide-FoV PD must fail on roof interference");
     assert!(run(true) >= 2, "capped PD must decode");

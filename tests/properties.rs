@@ -325,6 +325,247 @@ fn tag_material_lookup_total_coverage() {
     });
 }
 
+// ---------------- Decode: streaming == batch ------------------------------
+
+mod decode_equivalence {
+    use super::cases;
+    use palc_lab::core::channel::Scenario;
+    use palc_lab::core::decode::{AdaptiveDecoder, DecodeError, DecodedPacket};
+    use palc_lab::core::stream::{DecodeEvent, StreamingDecoder, StreamingTwoPhase};
+    use palc_lab::core::vehicle::TwoPhaseDecoder;
+    use palc_lab::core::Trace;
+    use palc_lab::optics::source::Sun;
+    use palc_lab::phy::Packet;
+    use palc_lab::scene::CarModel;
+    use rand::Rng;
+
+    /// Collects a streaming run's first terminal event into the same
+    /// `Result` shape the batch facade returns.
+    fn first_terminal(
+        events: impl IntoIterator<Item = DecodeEvent>,
+    ) -> Option<Result<DecodedPacket, DecodeError>> {
+        for ev in events {
+            match ev {
+                DecodeEvent::Packet(p) => return Some(Ok(p)),
+                DecodeEvent::Reject(e) => return Some(Err(e)),
+                _ => {}
+            }
+        }
+        None
+    }
+
+    /// Feeds `trace` sample by sample into a span-hinted adaptive
+    /// streaming decoder, exactly as a live receiver would.
+    fn stream_adaptive(cfg: &AdaptiveDecoder, trace: &Trace) -> Result<DecodedPacket, DecodeError> {
+        let (lo, hi) = trace.minmax();
+        let mut dec = StreamingDecoder::with_scale(cfg.clone(), trace.sample_rate_hz(), lo, hi);
+        let mut events = Vec::new();
+        for &x in trace.samples() {
+            if let Some(ev) = dec.push(x) {
+                events.push(ev);
+            }
+            while let Some(ev) = dec.poll() {
+                events.push(ev);
+            }
+        }
+        events.extend(dec.finish());
+        first_terminal(events).expect("a finished stream always resolves")
+    }
+
+    /// Same for the vehicular two-phase core.
+    fn stream_two_phase(
+        cfg: &TwoPhaseDecoder,
+        trace: &Trace,
+    ) -> Result<DecodedPacket, DecodeError> {
+        let (lo, hi) = trace.minmax();
+        let mut dec = StreamingTwoPhase::with_scale(cfg.clone(), trace.sample_rate_hz(), lo, hi);
+        let mut events = Vec::new();
+        for &x in trace.samples() {
+            if let Some(ev) = dec.push(x) {
+                events.push(ev);
+            }
+            while let Some(ev) = dec.poll() {
+                events.push(ev);
+            }
+        }
+        events.extend(dec.finish());
+        first_terminal(events).expect("a finished stream always resolves")
+    }
+
+    /// Byte-level packet equality: identical symbols, payload bits, and
+    /// bit-for-bit identical derived calibration.
+    fn assert_identical(
+        a: &Result<DecodedPacket, DecodeError>,
+        b: &Result<DecodedPacket, DecodeError>,
+        label: &str,
+    ) {
+        match (a, b) {
+            (Ok(x), Ok(y)) => {
+                assert_eq!(x.symbols, y.symbols, "{label}: symbols");
+                assert_eq!(x.payload, y.payload, "{label}: payload");
+                for (u, v, field) in [
+                    (x.tau_r, y.tau_r, "tau_r"),
+                    (x.tau_t, y.tau_t, "tau_t"),
+                    (x.threshold_level, y.threshold_level, "threshold_level"),
+                    (x.point_a.t, y.point_a.t, "point_a.t"),
+                    (x.point_a.r, y.point_a.r, "point_a.r"),
+                    (x.point_b.t, y.point_b.t, "point_b.t"),
+                    (x.point_b.r, y.point_b.r, "point_b.r"),
+                    (x.point_c.t, y.point_c.t, "point_c.t"),
+                    (x.point_c.r, y.point_c.r, "point_c.r"),
+                ] {
+                    assert_eq!(u.to_bits(), v.to_bits(), "{label}: {field}: {u} vs {v}");
+                }
+            }
+            (Err(x), Err(y)) => assert_eq!(x, y, "{label}: errors differ"),
+            _ => panic!("{label}: outcome mismatch: batch {a:?} vs streaming {b:?}"),
+        }
+    }
+
+    fn indoor_cfg() -> AdaptiveDecoder {
+        AdaptiveDecoder::default().with_expected_bits(2)
+    }
+
+    fn ceiling_cfg() -> AdaptiveDecoder {
+        AdaptiveDecoder { smooth_window_s: 0.012, ..AdaptiveDecoder::default() }
+            .with_expected_bits(2)
+    }
+
+    fn outdoor_cfg() -> TwoPhaseDecoder {
+        TwoPhaseDecoder::new(CarModel::volvo_v40(), 0.10, 2)
+    }
+
+    /// The tentpole acceptance invariant: on every scenario family, for
+    /// any seed, a `StreamingDecoder` fed sample by sample produces a
+    /// byte-identical packet (or the identical error) to the trace-based
+    /// `decode()` — which is itself a drain over the same state machine,
+    /// so this pins the push-path against the drain-path forever.
+    #[test]
+    fn streaming_decode_equals_batch_decode_across_scenarios() {
+        let indoor = Scenario::indoor_bench(Packet::from_bits("10").unwrap(), 0.03, 0.20);
+        let ceiling = Scenario::ceiling_office(Packet::from_bits("10").unwrap(), 0.03, 500.0);
+        let outdoor = Scenario::outdoor_car(
+            CarModel::volvo_v40(),
+            Some(Packet::from_bits("00").unwrap()),
+            0.75,
+            Sun::cloudy_noon(4),
+        );
+        cases(4, 0xF1, |rng, i| {
+            let seed = rng.gen::<u64>();
+            for (name, sc, cfg) in [
+                ("indoor_bench", &indoor, indoor_cfg()),
+                ("ceiling_office", &ceiling, ceiling_cfg()),
+            ] {
+                let trace = sc.run(seed);
+                let batch = cfg.decode(&trace);
+                let streamed = stream_adaptive(&cfg, &trace);
+                assert_identical(&batch, &streamed, &format!("case {i} ({name}, seed {seed})"));
+            }
+            let trace = outdoor.run(seed);
+            let cfg = outdoor_cfg();
+            let batch = cfg.decode(&trace);
+            let streamed = stream_two_phase(&cfg, &trace);
+            assert_identical(&batch, &streamed, &format!("case {i} (outdoor_car, seed {seed})"));
+        });
+    }
+
+    /// Truncated streams: cutting the trace anywhere — mid lead-in, mid
+    /// preamble, mid payload — must leave streaming and batch in byte
+    /// agreement (both see the same shortened world).
+    #[test]
+    fn streaming_equals_batch_on_truncated_streams() {
+        let indoor = Scenario::indoor_bench(Packet::from_bits("10").unwrap(), 0.03, 0.20);
+        let outdoor = Scenario::outdoor_car(
+            CarModel::volvo_v40(),
+            Some(Packet::from_bits("00").unwrap()),
+            0.75,
+            Sun::cloudy_noon(4),
+        );
+        cases(3, 0xF2, |rng, i| {
+            let seed = rng.gen::<u64>();
+            let full = indoor.run(seed);
+            let out_full = outdoor.run(seed);
+            for frac in [0.12, 0.35, 0.6, 0.85] {
+                let cut = (full.len() as f64 * frac) as usize;
+                let trace = Trace::new(full.samples()[..cut].to_vec(), full.sample_rate_hz());
+                let cfg = indoor_cfg();
+                assert_identical(
+                    &cfg.decode(&trace),
+                    &stream_adaptive(&cfg, &trace),
+                    &format!("case {i} (indoor truncated at {frac}, seed {seed})"),
+                );
+                let cut = (out_full.len() as f64 * frac) as usize;
+                let trace =
+                    Trace::new(out_full.samples()[..cut].to_vec(), out_full.sample_rate_hz());
+                let cfg = outdoor_cfg();
+                assert_identical(
+                    &cfg.decode(&trace),
+                    &stream_two_phase(&cfg, &trace),
+                    &format!("case {i} (outdoor truncated at {frac}, seed {seed})"),
+                );
+            }
+        });
+    }
+
+    /// Mid-preamble starts: a receiver switched on while the object is
+    /// already passing sees a stream whose first samples sit inside the
+    /// preamble. Streaming and batch must again agree byte for byte.
+    #[test]
+    fn streaming_equals_batch_on_mid_preamble_starts() {
+        let indoor = Scenario::indoor_bench(Packet::from_bits("10").unwrap(), 0.03, 0.20);
+        cases(3, 0xF3, |rng, i| {
+            let seed = rng.gen::<u64>();
+            let full = indoor.run(seed);
+            // The indoor preamble occupies roughly the second quarter of
+            // the trace; start anywhere in the first half.
+            for frac in [0.18, 0.28, 0.4] {
+                let skip = (full.len() as f64 * frac) as usize + (rng.gen::<u64>() % 32) as usize;
+                let trace = Trace::new(full.samples()[skip..].to_vec(), full.sample_rate_hz());
+                let cfg = indoor_cfg();
+                assert_identical(
+                    &cfg.decode(&trace),
+                    &stream_adaptive(&cfg, &trace),
+                    &format!("case {i} (mid-preamble start at {frac}, seed {seed})"),
+                );
+            }
+        });
+    }
+
+    /// The honest live path: a *self-scaling* streaming decoder (no span
+    /// hint, running min–max + noise gate) decodes the same payloads the
+    /// batch decoder reads from the completed traces.
+    #[test]
+    fn self_scaling_live_decode_agrees_with_batch_payloads() {
+        let indoor = Scenario::indoor_bench(Packet::from_bits("10").unwrap(), 0.03, 0.20);
+        for seed in [1u64, 7, 42, 99] {
+            let trace = indoor.run(seed);
+            let batch = indoor_cfg().decode(&trace).expect("indoor bench decodes");
+            let mut dec = StreamingDecoder::new(indoor_cfg(), trace.sample_rate_hz());
+            let mut payloads = Vec::new();
+            for &x in trace.samples() {
+                if let Some(DecodeEvent::Packet(p)) = dec.push(x) {
+                    payloads.push(p.payload.to_string());
+                }
+                while let Some(ev) = dec.poll() {
+                    if let DecodeEvent::Packet(p) = ev {
+                        payloads.push(p.payload.to_string());
+                    }
+                }
+            }
+            for ev in dec.finish() {
+                if let DecodeEvent::Packet(p) = ev {
+                    payloads.push(p.payload.to_string());
+                }
+            }
+            assert_eq!(
+                payloads,
+                vec![batch.payload.to_string()],
+                "seed {seed}: live decode must yield exactly the batch payload"
+            );
+        }
+    }
+}
+
 // ---------------- Channel: streaming == batch ----------------------------
 
 /// The tentpole invariant: for any seed, the streaming `ChannelSampler`
