@@ -1,29 +1,43 @@
 //! Records the channel sampler's samples/sec baseline.
 //!
 //! ```text
-//! cargo run --release -p palc_bench --bin channel_throughput [-- out.json [reps]]
+//! cargo run --release -p palc_bench --bin channel_throughput [-- [--smoke] [out.json [reps]]]
 //! ```
 //!
 //! Writes `BENCH_channel.json` (or the given path) and prints it.
+//! `--smoke` is the CI bit-rot guard: one rep per scenario, results
+//! printed but written only when a path is given explicitly — a smoke
+//! run never clobbers the recorded baseline.
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let path = args.first().map(String::as_str).unwrap_or("BENCH_channel.json");
-    let reps: u64 = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(5);
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let rest: Vec<&String> = args.iter().filter(|a| a.as_str() != "--smoke").collect();
+    let path = rest.first().map(|s| s.as_str());
+    let reps: u64 = rest.get(1).and_then(|s| s.parse().ok()).unwrap_or(if smoke { 1 } else { 5 });
 
     let results = palc_bench::throughput::channel_throughput(reps);
     for r in &results {
         println!(
-            "{:<16} staged {:>12.0} samples/s | full {:>12.0} samples/s | speedup {:>5.2}x | run_batch {:>4.2}x on {} threads",
+            "{:<18} incr {:>10.0}/s | staged {:>10.0}/s | full {:>10.0}/s | staged/full {:>5.2}x | incr/staged {:>5.2}x | run_batch {:>4.2}x on {} threads",
             r.scenario,
+            r.incremental_samples_per_s,
             r.staged_samples_per_s,
             r.full_samples_per_s,
             r.speedup,
+            r.incremental_speedup,
             r.batch_parallel_speedup,
             r.batch_threads,
         );
     }
     let json = palc_bench::throughput::to_json(&results);
-    std::fs::write(path, &json).unwrap_or_else(|e| panic!("writing {path}: {e}"));
-    println!("\nwrote {path}");
+    // A smoke run only writes when a path was given explicitly, so it can
+    // never clobber the recorded baseline.
+    match path.or(if smoke { None } else { Some("BENCH_channel.json") }) {
+        Some(p) => {
+            std::fs::write(p, &json).unwrap_or_else(|e| panic!("writing {p}: {e}"));
+            println!("\nwrote {p}");
+        }
+        None => println!("\nsmoke run: nothing written"),
+    }
 }

@@ -19,16 +19,23 @@ use std::time::Instant;
 /// Throughput measurement for one scenario family.
 #[derive(Debug, Clone)]
 pub struct ChannelThroughput {
-    /// Scenario family id (`indoor_bench`, `ceiling_office`, `outdoor_car`).
+    /// Scenario family id (`indoor_bench`, `ceiling_office`,
+    /// `outdoor_car`, `outdoor_car_long`).
     pub scenario: String,
     /// Samples per trace at this scenario's ADC rate.
     pub trace_samples: usize,
-    /// Staged sampler (static-field reuse) throughput, samples/sec.
+    /// Incremental sampler (DeltaField, the default tier) throughput,
+    /// samples/sec.
+    pub incremental_samples_per_s: f64,
+    /// Staged sampler (static-field reuse, incremental disabled)
+    /// throughput, samples/sec.
     pub staged_samples_per_s: f64,
     /// Full per-tick integral throughput, samples/sec.
     pub full_samples_per_s: f64,
     /// staged / full.
     pub speedup: f64,
+    /// incremental / staged — the O(boundary) win.
+    pub incremental_speedup: f64,
     /// Streaming decode throughput: the staged sampler piped straight
     /// into a push-based decoder (live-receiver path), samples/sec.
     pub streaming_decode_samples_per_s: f64,
@@ -55,6 +62,20 @@ fn scenarios() -> Vec<(String, Scenario)> {
                 Some(Packet::from_bits("00").unwrap()),
                 0.75,
                 Sun::cloudy_noon(1),
+            ),
+        ),
+        (
+            // A traffic-jam crawl past a gate reader (5 km/h): the car
+            // sits inside the footprint for most of the run, which is
+            // where O(covered area) vs O(boundary) per tick shows.
+            "outdoor_car_long".into(),
+            Scenario::outdoor_car_pass(
+                CarModel::volvo_v40(),
+                Some(Packet::from_bits("00").unwrap()),
+                0.75,
+                Sun::cloudy_noon(1),
+                palc_scene::Trajectory::Constant { speed_mps: 1.4 },
+                1.0,
             ),
         ),
     ]
@@ -92,9 +113,14 @@ pub fn channel_throughput(reps: u64) -> Vec<ChannelThroughput> {
             let _ = sc.run(0);
             let _ = full_integral_run(&sc, 0);
 
-            let (staged_s, n) = time_reps(|seed| sc.run(seed).len(), reps);
+            // Scenario::run rides the incremental DeltaField tier by
+            // default; the staged tier is measured with it disabled.
+            let (incremental_s, n) = time_reps(|seed| sc.run(seed).len(), reps);
+            let (staged_s, _) =
+                time_reps(|seed| sc.sampler(seed).without_incremental().into_trace().len(), reps);
             let (full_s, _) = time_reps(|seed| full_integral_run(&sc, seed), reps);
             let total = (n as u64 * reps) as f64;
+            let incremental_rate = total / incremental_s;
             let staged_rate = total / staged_s;
             let full_rate = total / full_s;
 
@@ -153,9 +179,11 @@ pub fn channel_throughput(reps: u64) -> Vec<ChannelThroughput> {
             ChannelThroughput {
                 scenario: name,
                 trace_samples: n,
+                incremental_samples_per_s: incremental_rate,
                 staged_samples_per_s: staged_rate,
                 full_samples_per_s: full_rate,
                 speedup: staged_rate / full_rate,
+                incremental_speedup: incremental_rate / staged_rate,
                 streaming_decode_samples_per_s: streaming_rate,
                 batch_parallel_speedup: serial_s / parallel_s,
                 batch_threads: runner.threads(),
@@ -173,9 +201,11 @@ pub fn to_json(results: &[ChannelThroughput]) -> String {
                 "    {{\n",
                 "      \"scenario\": \"{}\",\n",
                 "      \"trace_samples\": {},\n",
+                "      \"incremental_samples_per_s\": {:.0},\n",
                 "      \"staged_samples_per_s\": {:.0},\n",
                 "      \"full_integral_samples_per_s\": {:.0},\n",
                 "      \"staged_speedup\": {:.2},\n",
+                "      \"incremental_speedup\": {:.2},\n",
                 "      \"streaming_decode_samples_per_s\": {:.0},\n",
                 "      \"run_batch_parallel_speedup\": {:.2},\n",
                 "      \"run_batch_threads\": {}\n",
@@ -183,9 +213,11 @@ pub fn to_json(results: &[ChannelThroughput]) -> String {
             ),
             r.scenario,
             r.trace_samples,
+            r.incremental_samples_per_s,
             r.staged_samples_per_s,
             r.full_samples_per_s,
             r.speedup,
+            r.incremental_speedup,
             r.streaming_decode_samples_per_s,
             r.batch_parallel_speedup,
             r.batch_threads,
@@ -205,9 +237,11 @@ mod tests {
         let r = vec![ChannelThroughput {
             scenario: "indoor_bench".into(),
             trace_samples: 1300,
+            incremental_samples_per_s: 654321.0,
             staged_samples_per_s: 123456.0,
             full_samples_per_s: 12345.0,
             speedup: 10.0,
+            incremental_speedup: 5.3,
             streaming_decode_samples_per_s: 98765.0,
             batch_parallel_speedup: 3.5,
             batch_threads: 8,
@@ -215,7 +249,27 @@ mod tests {
         let json = to_json(&r);
         assert!(json.contains("\"scenario\": \"indoor_bench\""));
         assert!(json.contains("\"staged_speedup\": 10.00"));
+        assert!(json.contains("\"incremental_samples_per_s\": 654321"));
+        assert!(json.contains("\"incremental_speedup\": 5.30"));
         assert!(json.contains("\"streaming_decode_samples_per_s\": 98765"));
         assert!(json.trim_end().ends_with('}'));
+    }
+
+    /// The incremental tier must agree with the staged tier on every
+    /// bench scenario family — the guard that keeps the recorded
+    /// speedups honest (a fast-but-wrong kernel fails here first).
+    #[test]
+    fn incremental_agrees_with_staged_on_every_family() {
+        for (name, sc) in scenarios() {
+            let seed = 42;
+            let sampler = sc.sampler(seed);
+            assert!(sampler.is_incremental(), "{name}: incremental tier must engage");
+            let incremental: Vec<f64> = sampler.collect();
+            let staged: Vec<f64> = sc.sampler(seed).without_incremental().collect();
+            assert_eq!(incremental.len(), staged.len(), "{name}");
+            for (i, (a, b)) in incremental.iter().zip(&staged).enumerate() {
+                assert!((a - b).abs() <= 1e-9, "{name}: sample {i}: incremental {a} vs staged {b}");
+            }
+        }
     }
 }

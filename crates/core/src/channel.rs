@@ -47,13 +47,16 @@
 //!        │ surface_at(x, y, t)                │ illuminance / envelope
 //!        ▼                                    ▼
 //!  ┌───────────────────────────────────────────────────────────────────┐
-//!  │ channel — static/dynamic split                                    │
+//!  │ channel — three-tier integrator (full → staged → incremental)     │
 //!  │   StaticField: background footprint integral (ground + stray      │
 //!  │   pedestal), integrated ONCE per scene, valid whenever the source │
 //!  │   factorises as profile(p) × envelope(t)                          │
-//!  │   per tick: static_total × envelope(t)                            │
+//!  │   staged tick: static_total × envelope(t)                         │
 //!  │           + Σ over patches covered by objects (x_extent_at /      │
 //!  │             lane_band bounds) of (object patch − background patch)│
+//!  │   DeltaField tick: cached per-column deltas; re-integrates ONLY   │
+//!  │           the patches a surface breakpoint swept since the last   │
+//!  │           tick — O(boundary), with exact staged/full fallbacks    │
 //!  └───────────────────────────────┬───────────────────────────────────┘
 //!                                  │ E_rx(t), one sample at a time
 //!                                  ▼
@@ -385,6 +388,35 @@ impl PassiveChannel {
         Some(StaticField { bg, dark, static_total: pedestal_base + bg_total, grid: g })
     }
 
+    /// Builds the incremental (third-tier) integrator over `field`, or
+    /// `None` when any object's surface is not piecewise-static in its
+    /// own frame (an LCD shutter tag switches materials over time), in
+    /// which case consumers stay on the staged tier.
+    ///
+    /// `field` must come from [`PassiveChannel::static_field`] on this
+    /// same channel configuration; the [`DeltaField`] is then valid for
+    /// exactly as long as the field itself.
+    pub fn delta_field(&self, field: Arc<StaticField>) -> Option<DeltaField> {
+        let steps = field.grid.steps;
+        let mut objects = Vec::with_capacity(self.objects.len());
+        for obj in &self.objects {
+            let breakpoints = obj.profile_breakpoints()?;
+            let (y_lo, y_hi) = obj.lane_band();
+            objects.push(ObjectDeltaState {
+                breakpoints,
+                length: obj.length_m(),
+                stationary: obj.is_stationary(),
+                y_lo,
+                y_hi,
+                last_lead: None,
+                lo: 0,
+                hi: 0,
+                col_delta: vec![0.0; steps],
+            });
+        }
+        Some(DeltaField { field, objects, spans: Vec::new(), pending: Vec::new() })
+    }
+
     /// Noise-free illuminance at time `t`, staged through `field` when one
     /// is available and via the full per-tick integral otherwise — the one
     /// staged/full dispatch every consumer (samplers, calibration probes,
@@ -424,12 +456,7 @@ impl PassiveChannel {
         for obj in &self.objects {
             let (x_lo, x_hi) = obj.x_extent_at(t);
             let (y_lo, y_hi) = obj.lane_band();
-            let lo = (((x_lo + g.r_max) / g.dx - 1.0).floor()).max(0.0) as usize;
-            let hi_f = ((x_hi + g.r_max) / g.dx + 1.0).ceil();
-            if hi_f <= 0.0 {
-                continue;
-            }
-            let hi = (hi_f as usize).min(g.steps);
+            let (lo, hi) = column_range(g, x_lo, x_hi);
             if lo >= hi {
                 continue;
             }
@@ -512,9 +539,11 @@ impl PassiveChannel {
         fe.amplifier = self.frontend.amplifier;
         let state = fe.streamer(self.source.spectrum());
         let fs = self.frontend.sample_rate_hz();
+        let delta = field.clone().and_then(|f| self.delta_field(f));
         ChannelSampler {
             channel: self,
             field,
+            delta,
             state,
             fs,
             i: 0,
@@ -606,6 +635,265 @@ impl StaticField {
     }
 }
 
+/// Per-object state of a [`DeltaField`]: the covered column interval and
+/// the cached per-column contribution deltas.
+#[derive(Debug, Clone)]
+struct ObjectDeltaState {
+    /// Local breakpoints of the object's piecewise-static surface,
+    /// ascending from 0 to the object length
+    /// ([`MobileObject::profile_breakpoints`]).
+    breakpoints: Vec<f64>,
+    /// Object length along the track, metres (the last breakpoint).
+    length: f64,
+    /// Never moves ([`MobileObject::is_stationary`]): the displacement
+    /// query is skipped once the leading edge is cached.
+    stationary: bool,
+    /// Lane band `[y_lo, y_hi]`, fixed for the object's lifetime.
+    y_lo: f64,
+    y_hi: f64,
+    /// Leading edge at the last incremental tick (`None` before the
+    /// first). Fallback ticks leave it pinned, so resuming re-integrates
+    /// exactly the columns swept in between.
+    last_lead: Option<f64>,
+    /// Cached covered column interval `[lo, hi)`; empty when `lo == hi`.
+    lo: usize,
+    hi: usize,
+    /// Per-column `Σ_slices (object patch − background patch)` at unit
+    /// envelope, indexed by grid column; meaningful only in `[lo, hi)`.
+    col_delta: Vec<f64>,
+}
+
+/// The incremental (third) tier of the footprint integrator: a stateful
+/// delta-field that re-integrates only the patches whose resolved surface
+/// *changed* since the previous tick, instead of every object-covered
+/// patch the staged tier walks.
+///
+/// ## Why caching is sound
+///
+/// For an envelope-separable source the contribution of a patch with a
+/// fixed resolved surface factorises as `G(x, y, material, height) ×
+/// envelope(t)`: the probe gate uses the time-invariant unit-envelope
+/// probe, the patch illuminance is `profile(p) × envelope(t)`, and every
+/// remaining factor (FoV weight, mirror geometry, path transmission) is
+/// pure geometry. So `contribution(t) / envelope(t)` is a constant as
+/// long as the same surface covers the patch. An object's surface is
+/// piecewise static in its *own* frame ([`MobileObject::profile_breakpoints`]);
+/// as the object translates, the resolved surface at a fixed world patch
+/// changes only when a breakpoint sweeps across the patch centre. Objects
+/// move a fraction of a patch per ADC tick, so per tick only a handful of
+/// boundary patches need re-integration — O(boundary), not O(covered
+/// area) — and a parked object (`speed_mps: 0`) stops paying the dynamic
+/// path entirely after its first tick.
+///
+/// ## Exact fallbacks
+///
+/// Every tick that cannot be served incrementally routes to the exact
+/// lower tier, and the cache stays pinned at the last incremental tick so
+/// resuming re-integrates precisely the columns swept in the gap:
+///
+/// * envelope break (`flicker_envelope` → `None`) → full per-tick
+///   integral, exactly like [`PassiveChannel::illuminance_staged`];
+/// * degenerate envelope (≤ 1e-12) → staged integral;
+/// * two objects overlapping in both column range and lane band
+///   (occlusion / double-count hazard) → staged integral until they
+///   separate;
+/// * a scene with any non-piecewise-static surface (an LCD shutter tag)
+///   never builds a `DeltaField` at all
+///   ([`PassiveChannel::delta_field`] returns `None`).
+///
+/// Trajectory discontinuities and direction reversals need no fallback:
+/// the swept-column computation covers `[min(lead), max(lead)]` per
+/// breakpoint, so a jump or reversal just re-integrates a wider band that
+/// one tick.
+///
+/// Built by [`PassiveChannel::delta_field`]; owned by [`ChannelSampler`]
+/// (every sampler- and streaming-based run rides it by default).
+/// Equivalence with the staged and full tiers to ≤ 1e-9 is pinned by
+/// golden tests here and property tests in `tests/properties.rs`.
+#[derive(Debug, Clone)]
+pub struct DeltaField {
+    field: Arc<StaticField>,
+    objects: Vec<ObjectDeltaState>,
+    /// Scratch: per-tick `(lead, lo, hi)` of every object.
+    spans: Vec<(f64, usize, usize)>,
+    /// Scratch: columns scheduled for re-integration.
+    pending: Vec<usize>,
+}
+
+/// The staged walk's widened column interval for world extent
+/// `[x_lo, x_hi]` — one definition shared with
+/// [`PassiveChannel::illuminance_staged`] so the two tiers can never
+/// disagree about which columns an object may touch.
+fn column_range(g: &FootprintGrid, x_lo: f64, x_hi: f64) -> (usize, usize) {
+    let lo = (((x_lo + g.r_max) / g.dx - 1.0).floor()).max(0.0) as usize;
+    let hi_f = ((x_hi + g.r_max) / g.dx + 1.0).ceil();
+    if hi_f <= 0.0 {
+        return (0, 0);
+    }
+    let hi = (hi_f as usize).min(g.steps);
+    if lo >= hi {
+        (0, 0)
+    } else {
+        (lo, hi)
+    }
+}
+
+/// One column's object-minus-background delta at unit envelope: the
+/// quantity [`DeltaField`] caches. Mirrors the staged walk's per-patch
+/// arithmetic (same centre-inclusion test, same dark-patch skip) divided
+/// by the envelope.
+fn column_delta(
+    channel: &PassiveChannel,
+    field: &StaticField,
+    st: &ObjectDeltaState,
+    ix: usize,
+    lead: f64,
+    t: f64,
+    env: f64,
+) -> f64 {
+    let g = &field.grid;
+    let x = g.x(ix);
+    if x < lead - st.length || x > lead {
+        return 0.0; // inside the widened interval but not yet covered
+    }
+    let rx_pos = Vec3::new(0.0, 0.0, channel.receiver_z_m);
+    let mut acc = 0.0;
+    for iy in 0..g.slices {
+        let idx = ix * g.slices + iy;
+        if field.dark[idx] {
+            continue;
+        }
+        let y = g.y(iy);
+        if y < st.y_lo || y > st.y_hi {
+            continue;
+        }
+        acc += channel.patch_contribution(x, y, g.dx, g.dy, t, rx_pos, Some(env)) / env
+            - field.bg[idx];
+    }
+    acc
+}
+
+impl DeltaField {
+    /// Noise-free illuminance at time `t`, incrementally: the static
+    /// total plus the cached per-column deltas, re-integrating only the
+    /// columns that entered coverage or were swept by a surface
+    /// breakpoint since the last call. Falls back to the exact staged or
+    /// full tier per tick as described on [`DeltaField`].
+    ///
+    /// `channel` must be the channel this field was built from (same
+    /// objects, same grid).
+    pub fn illuminance(&mut self, channel: &PassiveChannel, t: f64) -> f64 {
+        debug_assert_eq!(
+            self.objects.len(),
+            channel.objects.len(),
+            "delta field built for a different scene"
+        );
+        let Some(env) = channel.source.flicker_envelope(t) else {
+            return channel.illuminance_at(t); // envelope break: full tier
+        };
+        if !env.is_finite() || env <= 1e-12 {
+            // Degenerate envelope: unit-envelope deltas cannot rescale.
+            return channel.illuminance_staged(&self.field, t);
+        }
+        let g = self.field.grid;
+
+        // Leading edges and covered column intervals this tick. Parked
+        // objects skip even the displacement query once cached.
+        let mut spans = std::mem::take(&mut self.spans);
+        spans.clear();
+        for (st, obj) in self.objects.iter().zip(&channel.objects) {
+            let lead = match st.last_lead {
+                Some(l) if st.stationary => l,
+                _ => obj.leading_edge_at(t),
+            };
+            let (lo, hi) = column_range(&g, lead - st.length, lead);
+            spans.push((lead, lo, hi));
+        }
+
+        // Two objects overlapping in both column range and lane band can
+        // occlude or double-count each other; take the exact staged walk
+        // (which merges spans) until they separate. Caches stay pinned at
+        // the last incremental tick and resume exactly.
+        for i in 0..spans.len() {
+            for j in (i + 1)..spans.len() {
+                let (_, lo_i, hi_i) = spans[i];
+                let (_, lo_j, hi_j) = spans[j];
+                if lo_i < hi_j
+                    && lo_j < hi_i
+                    && self.objects[i].y_lo <= self.objects[j].y_hi
+                    && self.objects[j].y_lo <= self.objects[i].y_hi
+                {
+                    self.spans = spans;
+                    return channel.illuminance_staged(&self.field, t);
+                }
+            }
+        }
+
+        let mut pending = std::mem::take(&mut self.pending);
+        let mut dynamic = 0.0;
+        for (k, st) in self.objects.iter_mut().enumerate() {
+            let (lead, new_lo, new_hi) = spans[k];
+            pending.clear();
+            match st.last_lead {
+                // Frozen world: every cached column is still valid.
+                Some(prev) if prev == lead => {}
+                Some(prev) => {
+                    // Columns a breakpoint swept since the last
+                    // incremental tick, either direction of travel,
+                    // widened by one patch against edge rounding.
+                    let (a, b) = if prev <= lead { (prev, lead) } else { (lead, prev) };
+                    for &c in &st.breakpoints {
+                        let x0 = a - c - g.dx;
+                        let x1 = b - c + g.dx;
+                        let i0 = (((x0 + g.r_max) / g.dx - 0.5).floor()).max(0.0) as usize;
+                        let i1 =
+                            ((((x1 + g.r_max) / g.dx + 0.5).ceil()).max(0.0) as usize).min(g.steps);
+                        for ix in i0.max(new_lo)..i1.min(new_hi) {
+                            pending.push(ix);
+                        }
+                    }
+                    // Columns entering the covered interval.
+                    for ix in new_lo..new_hi {
+                        if ix < st.lo || ix >= st.hi {
+                            pending.push(ix);
+                        }
+                    }
+                }
+                None => pending.extend(new_lo..new_hi),
+            }
+            // Columns leaving the interval stop contributing.
+            for ix in st.lo..st.hi {
+                if ix < new_lo || ix >= new_hi {
+                    st.col_delta[ix] = 0.0;
+                }
+            }
+            pending.sort_unstable();
+            pending.dedup();
+            for &ix in &pending {
+                st.col_delta[ix] = column_delta(channel, &self.field, st, ix, lead, t, env);
+            }
+            st.last_lead = Some(lead);
+            st.lo = new_lo;
+            st.hi = new_hi;
+            // The running dynamic total is re-summed from the caches each
+            // tick (a few hundred additions) rather than maintained by
+            // add/subtract, so rounding error cannot accumulate over a
+            // long run.
+            for ix in st.lo..st.hi {
+                dynamic += st.col_delta[ix];
+            }
+        }
+        self.spans = spans;
+        self.pending = pending;
+        (self.field.static_total + dynamic) * env
+    }
+
+    /// The static field this integrator layers its deltas on.
+    pub fn static_field(&self) -> &StaticField {
+        &self.field
+    }
+}
+
 /// A streaming channel run: staged per-tick illuminance fed one sample at
 /// a time through a stateful frontend ([`FrontendState`]), yielding RSS
 /// codes as `f64`. Traces of arbitrary duration run in bounded memory,
@@ -618,6 +906,7 @@ impl StaticField {
 pub struct ChannelSampler<'a> {
     channel: &'a PassiveChannel,
     field: Option<Arc<StaticField>>,
+    delta: Option<DeltaField>,
     state: FrontendState,
     fs: f64,
     i: usize,
@@ -636,6 +925,21 @@ impl ChannelSampler<'_> {
         self.field.is_some()
     }
 
+    /// Whether the incremental [`DeltaField`] tier is active (staged
+    /// field available *and* every object piecewise-static).
+    pub fn is_incremental(&self) -> bool {
+        self.delta.is_some()
+    }
+
+    /// Drops the incremental tier, forcing every tick through the staged
+    /// covered-patch re-integration (or the full integral when no static
+    /// field exists). Used to benchmark the tiers against each other and
+    /// to pin their equivalence in tests.
+    pub fn without_incremental(mut self) -> Self {
+        self.delta = None;
+        self
+    }
+
     /// Drains the sampler into a [`Trace`].
     pub fn into_trace(self) -> Trace {
         let fs = self.fs;
@@ -652,7 +956,10 @@ impl Iterator for ChannelSampler<'_> {
         }
         let t = self.i as f64 / self.fs;
         self.i += 1;
-        let lux = self.channel.illuminance_with(self.field.as_deref(), t);
+        let lux = match &mut self.delta {
+            Some(df) => df.illuminance(self.channel, t),
+            None => self.channel.illuminance_with(self.field.as_deref(), t),
+        };
         Some(self.state.step_f64(lux))
     }
 
@@ -783,11 +1090,25 @@ impl Scenario {
         height_above_roof_m: f64,
         sun: Sun,
     ) -> Self {
+        Self::outdoor_car_pass(car, packet, height_above_roof_m, sun, Trajectory::car_18kmh(), 1.0)
+    }
+
+    /// [`Scenario::outdoor_car`] with an explicit trajectory and lead
+    /// distance — long or slow passes (a traffic-jam crawl past a gate
+    /// reader) where the car sits in the footprint for most of the run,
+    /// the workload the incremental integrator is built for.
+    pub fn outdoor_car_pass(
+        car: CarModel,
+        packet: Option<Packet>,
+        height_above_roof_m: f64,
+        sun: Sun,
+        trajectory: Trajectory,
+        lead_m: f64,
+    ) -> Self {
         let tag = packet.map(|p| Tag::from_packet(&p, 0.10).with_lateral(0.5));
         let roof_z = car.max_height_m();
         let car_len = car.length_m();
-        let lead_m = 1.0;
-        let object = MobileObject::car(car, tag, Trajectory::car_18kmh()).starting_at(-lead_m);
+        let object = MobileObject::car(car, tag, trajectory).starting_at(-lead_m);
         let duration = object.trajectory().time_to_travel(car_len + 2.0 * lead_m) + 0.1;
         let receiver = OpticalReceiver::rx_led();
         let frontend = Frontend::outdoor(receiver, 0);
@@ -898,13 +1219,20 @@ impl Scenario {
     }
 
     /// Runs without noise/quantisation: the noise-free illuminance trace
-    /// (staged when the source permits).
+    /// (incremental when the scene permits, staged otherwise).
     pub fn run_clean(&self) -> Trace {
         let fs = self.channel.frontend.sample_rate_hz();
         let n = (self.duration_s * fs).ceil() as usize;
         let field = self.current_field();
+        let mut delta = field.clone().and_then(|f| self.channel.delta_field(f));
         let samples = (0..n)
-            .map(|i| self.channel.illuminance_with(field.as_deref(), i as f64 / fs))
+            .map(|i| {
+                let t = i as f64 / fs;
+                match &mut delta {
+                    Some(df) => df.illuminance(&self.channel, t),
+                    None => self.channel.illuminance_with(field.as_deref(), t),
+                }
+            })
             .collect();
         Trace::new(samples, fs)
     }
@@ -1007,11 +1335,24 @@ mod tests {
     fn assert_golden(sc: &Scenario, seed: u64, label: &str) {
         let sampler = sc.sampler(seed);
         assert!(sampler.is_staged(), "{label}: staged path must engage");
+        assert!(sampler.is_incremental(), "{label}: incremental tier must engage");
         let streamed: Vec<f64> = sampler.collect();
         let reference = reference_run(sc, seed);
         assert_eq!(streamed.len(), reference.len(), "{label}: length");
         for (i, (s, r)) in streamed.iter().zip(&reference).enumerate() {
-            assert!((s - r).abs() <= 1e-9, "{label}: sample {i} diverged: staged {s} vs full {r}");
+            assert!(
+                (s - r).abs() <= 1e-9,
+                "{label}: sample {i} diverged: incremental {s} vs full {r}"
+            );
+        }
+        // The middle tier agrees too: staged-only (incremental disabled)
+        // must stay within the same envelope of the incremental stream.
+        let staged: Vec<f64> = sc.sampler(seed).without_incremental().collect();
+        for (i, (s, r)) in streamed.iter().zip(&staged).enumerate() {
+            assert!(
+                (s - r).abs() <= 1e-9,
+                "{label}: sample {i} diverged: incremental {s} vs staged {r}"
+            );
         }
         // And the batch Scenario::run is the very same stream.
         assert_eq!(sc.run(seed).samples(), &streamed[..], "{label}: run == sampler");
@@ -1120,6 +1461,111 @@ mod tests {
         for (i, (s, r)) in streamed.iter().zip(&reference).enumerate() {
             assert!((s - r).abs() <= 1e-9, "sample {i}: {s} vs {r}");
         }
+    }
+
+    #[test]
+    fn matched_panel_composite_rides_the_staged_path() {
+        use palc_optics::source::CompositeSource;
+        // Two fluorescent fixtures on the same mains phase: identical
+        // ripple envelopes, so the composite is separable and the staged
+        // (and incremental) tiers engage — pinned against the full
+        // integral like every other golden scene.
+        let mut sc = Scenario::ceiling_office(packet("10"), 0.03, 500.0);
+        sc.channel_mut().source = Box::new(CompositeSource::new(vec![
+            Box::new(CeilingPanel::fluorescent(2.3, 350.0)),
+            Box::new(CeilingPanel::fluorescent(2.3, 150.0)),
+        ]));
+        sc.calibrate_gain();
+        assert!(sc.channel().static_field().is_some(), "matched envelopes are separable");
+        assert_golden(&sc, 11, "matched_panels");
+    }
+
+    #[test]
+    fn lcd_scene_stays_on_the_staged_tier() {
+        use palc_scene::LcdShutterTag;
+        // A time-switching surface has no piecewise-static decomposition:
+        // the delta field must refuse to build and the staged tier (which
+        // resolves surfaces per tick) must carry the scene, still exact.
+        let lcd = LcdShutterTag::new(
+            vec![
+                palc_scene::Tag::from_packet(&packet("00"), 0.05),
+                palc_scene::Tag::from_packet(&packet("11"), 0.05),
+            ],
+            0.5,
+        );
+        let mut sc = Scenario::indoor_bench(packet("0"), 0.03, 0.2);
+        sc.channel_mut().objects =
+            vec![MobileObject::lcd_cart(lcd, Trajectory::indoor_bench()).starting_at(-0.08)];
+        sc.calibrate_gain();
+        let sampler = sc.sampler(3);
+        assert!(sampler.is_staged());
+        assert!(!sampler.is_incremental(), "time-switching surface: no delta field");
+        let streamed: Vec<f64> = sampler.collect();
+        let reference = reference_run(&sc, 3);
+        for (i, (s, r)) in streamed.iter().zip(&reference).enumerate() {
+            assert!((s - r).abs() <= 1e-9, "sample {i}: staged {s} vs full {r}");
+        }
+    }
+
+    #[test]
+    fn incremental_handles_parked_neighbour_in_another_lane() {
+        // A parked (speed 0) elevated tag in a disjoint lane: both
+        // objects stay on the incremental path (no overlap in lane
+        // bands), and the parked one's columns are integrated exactly
+        // once — pinned against the full integral over the whole run.
+        let mut sc = Scenario::indoor_bench(packet("10"), 0.03, 0.25);
+        let parked = {
+            let tag = palc_scene::Tag::from_packet(&packet("0"), 0.05);
+            MobileObject::cart(tag, Trajectory::Constant { speed_mps: 0.0 })
+                .starting_at(0.1)
+                .in_lane(0.31)
+                .at_height(0.06)
+        };
+        sc.channel_mut().objects.push(parked);
+        sc.calibrate_gain();
+        assert_golden(&sc, 6, "parked_neighbour");
+    }
+
+    #[test]
+    fn incremental_falls_back_and_resumes_on_same_lane_overlap() {
+        // Two carts in the SAME lane whose extents overlap mid-run: the
+        // incremental tier must detect the occlusion hazard, serve those
+        // ticks from the staged walk, and resume its caches exactly once
+        // the objects separate. The second cart is faster, so the pass
+        // has distinct phases: apart → overlapping → apart.
+        let mut sc = Scenario::indoor_bench(packet("10"), 0.03, 0.25);
+        let chaser = {
+            let tag = palc_scene::Tag::from_packet(&packet("0"), 0.04);
+            MobileObject::cart(tag, Trajectory::Constant { speed_mps: 0.16 }).starting_at(-0.30)
+        };
+        sc.channel_mut().objects.push(chaser);
+        sc.calibrate_gain();
+        assert_golden(&sc, 9, "same_lane_overlap");
+    }
+
+    #[test]
+    fn incremental_handles_direction_reversals() {
+        // A shuttling cart (triangle-wave displacement) sweeps its
+        // breakpoints back and forth across the footprint; the
+        // swept-column computation must stay exact in both directions.
+        let tag = palc_scene::Tag::from_packet(&packet("10"), 0.03);
+        let object = MobileObject::cart(tag, Trajectory::Shuttle { speed_mps: 0.12, span_m: 0.35 })
+            .starting_at(-0.20);
+        let order = palc_optics::photometry::lambertian_order_from_half_angle(6.0);
+        let lamp = PointLamp::new(Vec3::new(0.0, 0.0, 0.25), 10.0).with_order(order);
+        let receiver = palc_frontend::OpticalReceiver::opt101(PdGain::G1);
+        let sc = Scenario::custom(
+            PassiveChannel {
+                environment: Environment::dark_room(),
+                source: Box::new(lamp),
+                objects: vec![object],
+                receiver_z_m: 0.25,
+                frontend: Frontend::indoor(receiver, 0),
+                resolution: Resolution { along_m: 0.004, lateral_slices: 3 },
+            },
+            7.0, // > one full shuttle period (2 · 0.35 / 0.12 ≈ 5.8 s)
+        );
+        assert_golden(&sc, 13, "shuttle_reversal");
     }
 
     #[test]

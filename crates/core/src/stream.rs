@@ -407,6 +407,95 @@ impl Scale {
 }
 
 // ---------------------------------------------------------------------------
+// Shared streaming-core plumbing
+// ---------------------------------------------------------------------------
+
+/// The plumbing both push-based decoders ([`StreamingDecoder`] and
+/// [`StreamingTwoPhase`]) share: the magnitude [`Scale`], the MASD noise
+/// floor behind the self-scaling hysteresis threshold, the sample/stream
+/// bookkeeping, the outgoing event queue, and the smoother scratch
+/// buffer. The decoders differ only in their state machines; everything
+/// about *how samples arrive and events leave* lives here.
+#[derive(Debug, Clone)]
+struct StreamCore {
+    fs: f64,
+    scale: Scale,
+    noise_gate: f64,
+    /// Running mean absolute successive difference of the smoothed
+    /// stream (adaptive-mode noise floor): `(estimate, last value)`.
+    masd: Option<(f64, f64)>,
+    n_pushed: usize,
+    finished: bool,
+    events: VecDeque<DecodeEvent>,
+    scratch: Vec<f64>,
+}
+
+impl StreamCore {
+    fn new(fs: f64, scale: Scale) -> Self {
+        assert!(fs > 0.0, "sample rate must be positive");
+        StreamCore {
+            fs,
+            scale,
+            noise_gate: DEFAULT_NOISE_GATE,
+            masd: None,
+            n_pushed: 0,
+            finished: false,
+            events: VecDeque::new(),
+            scratch: Vec::new(),
+        }
+    }
+
+    /// Counts one raw sample and maps it into working units.
+    fn ingest(&mut self, sample: f64) -> f64 {
+        self.n_pushed += 1;
+        self.scale.ingest(sample)
+    }
+
+    /// Time of absolute sample index `i`, seconds.
+    fn time_of(&self, i: usize) -> f64 {
+        i as f64 / self.fs
+    }
+
+    /// Sample index nearest to time `t`, clamped below (and, once the
+    /// stream has finished, above — mirroring `Trace::index_of`).
+    fn index_of(&self, t: f64) -> usize {
+        let i = (t * self.fs).round().max(0.0) as usize;
+        if self.finished {
+            i.min(self.n_pushed.saturating_sub(1))
+        } else {
+            i
+        }
+    }
+
+    /// Feeds one smoothed value into the running MASD noise floor;
+    /// `prev` is the preceding smoothed value, if any.
+    fn track_masd(&mut self, v: f64, prev: Option<f64>) {
+        if let Some((m, last)) = &mut self.masd {
+            let d = (v - *last).abs();
+            *m += (d - *m) / 64.0;
+            *last = v;
+        } else if let Some(prev) = prev {
+            self.masd = Some(((v - prev).abs(), v));
+        }
+    }
+
+    /// The hysteresis threshold in working units right now, for a
+    /// configured prominence: the prominence itself in span-hinted mode,
+    /// the running-span-scaled prominence floored by the MASD noise gate
+    /// in self-scaling mode.
+    fn hysteresis_delta(&self, prominence: f64) -> f64 {
+        match self.scale {
+            Scale::Fixed { .. } => prominence,
+            Scale::Adaptive { .. } => {
+                let (_, span) = self.scale.range();
+                let floor = self.masd.map(|(m, _)| m * self.noise_gate).unwrap_or(0.0);
+                (prominence * span).max(floor)
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
 // StreamingDecoder
 // ---------------------------------------------------------------------------
 
@@ -467,24 +556,15 @@ enum State {
 #[derive(Debug, Clone)]
 pub struct StreamingDecoder {
     cfg: AdaptiveDecoder,
-    fs: f64,
+    core: StreamCore,
     read_only: bool,
     rearm: bool,
-    scale: Scale,
-    noise_gate: f64,
     max_hunt_samples: usize,
     smoother: OnlineSmoother,
     smooth: SmoothBuf,
     /// Frozen `(lo, span)` for reporting packet fields, set at lock.
     report: (f64, f64),
-    /// Running mean absolute successive difference of the smoothed
-    /// stream (adaptive-mode noise floor).
-    masd: Option<(f64, f64)>, // (estimate, last value)
-    n_pushed: usize,
-    finished: bool,
     state: State,
-    events: VecDeque<DecodeEvent>,
-    scratch: Vec<f64>,
 }
 
 impl StreamingDecoder {
@@ -506,25 +586,17 @@ impl StreamingDecoder {
     }
 
     fn build(cfg: AdaptiveDecoder, fs: f64, scale: Scale, rearm: bool) -> Self {
-        assert!(fs > 0.0, "sample rate must be positive");
         let window = ((cfg.smooth_window_s * fs).round() as usize).max(1);
         StreamingDecoder {
             cfg,
-            fs,
+            core: StreamCore::new(fs, scale),
             read_only: false,
             rearm,
-            scale,
-            noise_gate: DEFAULT_NOISE_GATE,
             max_hunt_samples: MAX_HUNT_SAMPLES,
             smoother: OnlineSmoother::new(window),
             smooth: SmoothBuf::default(),
             report: (0.0, 1.0),
-            masd: None,
-            n_pushed: 0,
-            finished: false,
             state: State::Hunt(Hunt::new()),
-            events: VecDeque::new(),
-            scratch: Vec::new(),
         }
     }
 
@@ -545,18 +617,18 @@ impl StreamingDecoder {
     /// Overrides the self-scaling noise gate (multiples of the running
     /// mean absolute successive difference a lock swing must exceed).
     pub fn with_noise_gate(mut self, gate: f64) -> Self {
-        self.noise_gate = gate.max(0.0);
+        self.core.noise_gate = gate.max(0.0);
         self
     }
 
     /// The stream's sampling rate, Hz.
     pub fn sample_rate_hz(&self) -> f64 {
-        self.fs
+        self.core.fs
     }
 
     /// Samples pushed so far.
     pub fn samples_pushed(&self) -> usize {
-        self.n_pushed
+        self.core.n_pushed
     }
 
     /// Whether the decoder is currently emitting symbols (locked onto a
@@ -569,23 +641,22 @@ impl StreamingDecoder {
     /// Bursts (several events from one sample) queue internally; drain
     /// them with [`StreamingDecoder::poll`].
     pub fn push(&mut self, sample: f64) -> Option<DecodeEvent> {
-        if !self.finished {
-            self.n_pushed += 1;
-            let y = self.scale.ingest(sample);
-            let mut emitted = std::mem::take(&mut self.scratch);
+        if !self.core.finished {
+            let y = self.core.ingest(sample);
+            let mut emitted = std::mem::take(&mut self.core.scratch);
             emitted.clear();
             self.smoother.push(y, &mut emitted);
             for v in emitted.drain(..) {
                 self.accept_smoothed(v);
             }
-            self.scratch = emitted;
+            self.core.scratch = emitted;
         }
-        self.events.pop_front()
+        self.core.events.pop_front()
     }
 
     /// Drains one queued event without pushing a new sample.
     pub fn poll(&mut self) -> Option<DecodeEvent> {
-        self.events.pop_front()
+        self.core.events.pop_front()
     }
 
     /// Ends the stream: flushes the smoother's trailing edge, classifies
@@ -593,19 +664,19 @@ impl StreamingDecoder {
     /// open-ended trailing trim, and emits the final packet or rejection.
     /// Returns every remaining event. Idempotent.
     pub fn finish(&mut self) -> Vec<DecodeEvent> {
-        if !self.finished {
+        if !self.core.finished {
             // Drain the smoother's trailing edge BEFORE declaring the end:
             // with `finished` still false the availability gates defer any
             // window that needs samples beyond the buffer, instead of
             // clamping against a buffer that is still filling.
-            let mut emitted = std::mem::take(&mut self.scratch);
+            let mut emitted = std::mem::take(&mut self.core.scratch);
             emitted.clear();
             self.smoother.flush(&mut emitted);
             for v in emitted.drain(..) {
                 self.accept_smoothed(v);
             }
-            self.scratch = emitted;
-            self.finished = true;
+            self.core.scratch = emitted;
+            self.core.finished = true;
             // End-of-stream resolution for whatever state remains.
             loop {
                 match &mut self.state {
@@ -625,7 +696,7 @@ impl StreamingDecoder {
                         } else {
                             (peaks.min(1), valleys.min(1))
                         };
-                        self.events.push_back(DecodeEvent::Reject(DecodeError::NoPreamble {
+                        self.core.events.push_back(DecodeEvent::Reject(DecodeError::NoPreamble {
                             peaks_found: pf,
                             valleys_found: vf,
                         }));
@@ -643,23 +714,12 @@ impl StreamingDecoder {
                 }
             }
         }
-        std::mem::take(&mut self.events).into()
+        std::mem::take(&mut self.core.events).into()
     }
 
     /// Time of absolute sample index `i`, seconds.
     fn time_of(&self, i: usize) -> f64 {
-        i as f64 / self.fs
-    }
-
-    /// Sample index nearest to time `t`, clamped below (and, once the
-    /// stream has finished, above — mirroring `Trace::index_of`).
-    fn index_of(&self, t: f64) -> usize {
-        let i = (t * self.fs).round().max(0.0) as usize;
-        if self.finished {
-            i.min(self.n_pushed.saturating_sub(1))
-        } else {
-            i
-        }
+        self.core.time_of(i)
     }
 
     /// Maps a working-unit value into the reported (normalised) domain.
@@ -672,29 +732,15 @@ impl StreamingDecoder {
         }
     }
 
-    /// The hysteresis threshold in working units right now.
-    fn delta(&self) -> f64 {
-        let (_, span) = self.scale.range();
-        match self.scale {
-            Scale::Fixed { .. } => self.cfg.min_prominence,
-            Scale::Adaptive { .. } => {
-                let floor = self.masd.map(|(m, _)| m * self.noise_gate).unwrap_or(0.0);
-                (self.cfg.min_prominence * span).max(floor)
-            }
-        }
-    }
-
     /// Feeds one smoothed sample to the state machine.
     fn accept_smoothed(&mut self, v: f64) {
         let i = self.smooth.end();
+        // The seed lookup only happens while `masd` is unset (the first
+        // two samples), before any trimming can have emptied the buffer.
+        let prev =
+            (self.core.masd.is_none() && i > self.smooth.base).then(|| self.smooth.get(i - 1));
         self.smooth.push(v);
-        if let Some((m, last)) = &mut self.masd {
-            let d = (v - *last).abs();
-            *m += (d - *m) / 64.0;
-            *last = v;
-        } else if let Some(prev) = i.checked_sub(1).map(|j| self.smooth.get(j)) {
-            self.masd = Some(((v - prev).abs(), v));
-        }
+        self.core.track_masd(v, prev);
         match &mut self.state {
             State::Done => {}
             State::Track(_) => {
@@ -711,7 +757,7 @@ impl StreamingDecoder {
     /// Hunt phase: alternating-extrema detection until A, B, C are found
     /// and their half-crossing walks resolve.
     fn advance_hunt(&mut self, i: usize, v: f64) {
-        let delta = self.delta();
+        let delta = self.core.hysteresis_delta(self.cfg.min_prominence);
         let State::Hunt(hunt) = &mut self.state else { unreachable!() };
 
         if let Some(p) = &hunt.pending {
@@ -730,7 +776,7 @@ impl StreamingDecoder {
             // confirmed extremum and restart the hunt from it if stale.
             let (swing_ab, swing_cb) = (p.a.value - p.b.value, p.c.value - p.b.value);
             let confirmed = hunt.tracker.push(i, v, delta);
-            if matches!(self.scale, Scale::Adaptive { .. })
+            if matches!(self.core.scale, Scale::Adaptive { .. })
                 && (swing_ab < delta || swing_cb < delta)
             {
                 if let Some(c) = confirmed {
@@ -762,7 +808,7 @@ impl StreamingDecoder {
                     // swings at today's threshold before committing.
                     let c = peak;
                     let delta_now = delta;
-                    let valid = matches!(self.scale, Scale::Fixed { .. })
+                    let valid = matches!(self.core.scale, Scale::Fixed { .. })
                         || (a.value - b.value >= delta_now && c.value - b.value >= delta_now);
                     if !valid {
                         // Stale lead-in candidates: restart the hunt from
@@ -819,8 +865,8 @@ impl StreamingDecoder {
         }
         // Freeze the reporting range at lock time; in fixed mode this is
         // the identity and reported fields match the batch decoder's.
-        self.report = self.scale.range();
-        let (scale_lo, _) = self.scale.range();
+        self.report = self.core.scale.range();
+        let (scale_lo, _) = self.core.scale.range();
         let threshold = match self.cfg.threshold_mode {
             ThresholdMode::Midpoint => rb + tau_r / 2.0,
             ThresholdMode::PaperLiteral => scale_lo + tau_r,
@@ -831,7 +877,7 @@ impl StreamingDecoder {
         };
         // In fixed mode the working units already are the reported units;
         // keep the swing bit-exact rather than round-tripping the affine.
-        let tau_r_reported = match self.scale {
+        let tau_r_reported = match self.core.scale {
             Scale::Fixed { .. } => tau_r,
             Scale::Adaptive { .. } => self.reported(rb + tau_r) - self.reported(rb),
         };
@@ -843,7 +889,7 @@ impl StreamingDecoder {
             tau_t,
             threshold_level: self.reported(threshold),
         };
-        self.events.push_back(DecodeEvent::PreambleLocked(cal.clone()));
+        self.core.events.push_back(DecodeEvent::PreambleLocked(cal.clone()));
         self.state = State::Track(Track {
             ta,
             threshold,
@@ -871,7 +917,7 @@ impl StreamingDecoder {
                 return;
             }
             let open_ended = self.cfg.expected_bits.is_none();
-            let duration = self.n_pushed as f64 / self.fs;
+            let duration = self.core.n_pushed as f64 / self.core.fs;
             if open_ended && t.k > 0 {
                 // The batch loop stops once the next window would start
                 // beyond the trace. Mid-stream the stream length is not
@@ -879,7 +925,7 @@ impl StreamingDecoder {
                 // classified before `finish`.
                 let next_start = t.ta + (t.k as f64 - 0.5 + self.cfg.window_shrink) * t.tau_t;
                 if next_start >= duration {
-                    if self.finished {
+                    if self.core.finished {
                         self.finalize_packet();
                     }
                     return;
@@ -887,13 +933,13 @@ impl StreamingDecoder {
             }
             let center = t.ta + t.k as f64 * t.tau_eff + t.drift;
             let half = t.tau_eff * (0.5 - self.cfg.window_shrink);
-            if self.finished && center - half > duration {
+            if self.core.finished && center - half > duration {
                 self.finalize_packet();
                 return;
             }
-            let lo = self.index_of(center - half);
-            let hi = self.index_of(center + half);
-            if !self.finished && hi + 1 > self.smooth.end() {
+            let lo = self.core.index_of(center - half);
+            let hi = self.core.index_of(center + half);
+            if !self.core.finished && hi + 1 > self.smooth.end() {
                 return; // window not fully sampled yet
             }
             let hi = hi.min(self.smooth.end().saturating_sub(1));
@@ -915,13 +961,13 @@ impl StreamingDecoder {
             let is_high = win_max >= t.threshold;
             let symbol = if is_high { Symbol::High } else { Symbol::Low };
             t.symbols.push(symbol);
-            self.events.push_back(DecodeEvent::Symbol { index: t.symbols.len() - 1, symbol });
+            self.core.events.push_back(DecodeEvent::Symbol { index: t.symbols.len() - 1, symbol });
 
             // Timing tracking: a HIGH symbol's peak marks its true centre;
             // nudge the grid towards it. LOW symbols are excluded — their
             // blurred, flat bottoms give no reliable timing reference.
             if self.cfg.resync_gain > 0.0 && win_len > 2 && is_high {
-                let t_meas = (lo + max_i) as f64 / self.fs;
+                let t_meas = (lo + max_i) as f64 / self.core.fs;
                 let err = (t_meas - center).clamp(-0.3 * t.tau_eff, 0.3 * t.tau_eff);
                 if max_i > 0 && max_i < win_len - 1 && t.k > 0 {
                     // Split the correction between phase and period (the
@@ -952,7 +998,7 @@ impl StreamingDecoder {
         let State::Track(t) = &self.state else { return };
         let center = t.ta + t.k as f64 * t.tau_eff + t.drift;
         let half = t.tau_eff * (0.5 - self.cfg.window_shrink);
-        let lo = ((center - half) * self.fs).round().max(0.0) as usize;
+        let lo = ((center - half) * self.core.fs).round().max(0.0) as usize;
         self.smooth.trim_to(lo.saturating_sub(8));
     }
 
@@ -1016,8 +1062,8 @@ impl StreamingDecoder {
 
     /// Emits a terminal event and either re-arms or stops.
     fn terminal(&mut self, event: DecodeEvent) {
-        self.events.push_back(event);
-        if self.rearm && !self.finished {
+        self.core.events.push_back(event);
+        if self.rearm && !self.core.finished {
             self.state = State::Hunt(Hunt::new());
         } else {
             self.state = State::Done;
@@ -1122,10 +1168,8 @@ enum VState {
 #[derive(Debug, Clone)]
 pub struct StreamingTwoPhase {
     cfg: crate::vehicle::TwoPhaseDecoder,
-    fs: f64,
+    core: StreamCore,
     rearm: bool,
-    scale: Scale,
-    noise_gate: f64,
     max_buffer: usize,
     /// Working-scale sample history (ring), kept so the phase-2 smoother
     /// can be warmed from stream start once the speed estimate exists.
@@ -1137,12 +1181,7 @@ pub struct StreamingTwoPhase {
     /// light that arrives after calibration. Mirrors
     /// [`StreamingDecoder`]'s `report`.
     report: Option<(f64, f64)>,
-    masd: Option<(f64, f64)>,
-    n_pushed: usize,
-    finished: bool,
     state: VState,
-    events: VecDeque<DecodeEvent>,
-    scratch: Vec<f64>,
 }
 
 impl StreamingTwoPhase {
@@ -1165,25 +1204,17 @@ impl StreamingTwoPhase {
     }
 
     fn build(cfg: crate::vehicle::TwoPhaseDecoder, fs: f64, scale: Scale, rearm: bool) -> Self {
-        assert!(fs > 0.0, "sample rate must be positive");
         let window = cfg.phase1_window(fs);
         StreamingTwoPhase {
             cfg,
-            fs,
+            core: StreamCore::new(fs, scale),
             rearm,
-            scale,
-            noise_gate: DEFAULT_NOISE_GATE,
             max_buffer: MAX_HUNT_SAMPLES,
             raw: SmoothBuf::default(),
             smoother1: OnlineSmoother::new(window),
             smooth1: SmoothBuf::default(),
             report: None,
-            masd: None,
-            n_pushed: 0,
-            finished: false,
             state: VState::Hunt(VehicleHunt::new()),
-            events: VecDeque::new(),
-            scratch: Vec::new(),
         }
     }
 
@@ -1202,13 +1233,13 @@ impl StreamingTwoPhase {
 
     /// Overrides the self-scaling noise gate.
     pub fn with_noise_gate(mut self, gate: f64) -> Self {
-        self.noise_gate = gate.max(0.0);
+        self.core.noise_gate = gate.max(0.0);
         self
     }
 
     /// The stream's sampling rate, Hz.
     pub fn sample_rate_hz(&self) -> f64 {
-        self.fs
+        self.core.fs
     }
 
     /// Whether the long preamble has locked and the roof decode is
@@ -1220,15 +1251,14 @@ impl StreamingTwoPhase {
     /// Pushes one RSS code; bursts queue internally (see
     /// [`StreamingTwoPhase::poll`]).
     pub fn push(&mut self, sample: f64) -> Option<DecodeEvent> {
-        if !self.finished {
-            self.n_pushed += 1;
-            let y = self.scale.ingest(sample);
+        if !self.core.finished {
+            let y = self.core.ingest(sample);
             self.raw.push(y);
             if self.raw.data.len() > self.max_buffer {
                 let lo = self.raw.end() - self.max_buffer;
                 self.raw.trim_to(lo);
             }
-            let mut emitted = std::mem::take(&mut self.scratch);
+            let mut emitted = std::mem::take(&mut self.core.scratch);
             emitted.clear();
             match &mut self.state {
                 VState::Done => {}
@@ -1238,25 +1268,25 @@ impl StreamingTwoPhase {
             for v in emitted.drain(..) {
                 self.accept(v);
             }
-            self.scratch = emitted;
+            self.core.scratch = emitted;
         }
-        self.events.pop_front()
+        self.core.events.pop_front()
     }
 
     /// Drains one queued event without pushing a new sample.
     pub fn poll(&mut self) -> Option<DecodeEvent> {
-        self.events.pop_front()
+        self.core.events.pop_front()
     }
 
     /// Ends the stream, resolving whatever phase remains against the final
     /// stream length (exactly as the batch decoder clamps at the trace
     /// end). Returns every remaining event. Idempotent.
     pub fn finish(&mut self) -> Vec<DecodeEvent> {
-        if !self.finished {
+        if !self.core.finished {
             // Drain the smoother's trailing edge BEFORE declaring the end
             // (see `StreamingDecoder::finish`): availability gates must
             // keep deferring while the buffer is still filling.
-            let mut emitted = std::mem::take(&mut self.scratch);
+            let mut emitted = std::mem::take(&mut self.core.scratch);
             emitted.clear();
             match &mut self.state {
                 VState::Done => {}
@@ -1266,8 +1296,8 @@ impl StreamingTwoPhase {
             for v in emitted.drain(..) {
                 self.accept(v);
             }
-            self.scratch = emitted;
-            self.finished = true;
+            self.core.scratch = emitted;
+            self.core.finished = true;
             loop {
                 match &mut self.state {
                     VState::Hunt(h) => {
@@ -1278,7 +1308,7 @@ impl StreamingTwoPhase {
                             continue;
                         }
                         let (peaks, valleys) = (h.tracker.peaks, h.tracker.valleys);
-                        self.events.push_back(DecodeEvent::Reject(DecodeError::NoPreamble {
+                        self.core.events.push_back(DecodeEvent::Reject(DecodeError::NoPreamble {
                             peaks_found: peaks,
                             valleys_found: valleys,
                         }));
@@ -1305,41 +1335,22 @@ impl StreamingTwoPhase {
                 }
             }
         }
-        std::mem::take(&mut self.events).into()
-    }
-
-    fn index_of(&self, t: f64) -> usize {
-        let i = (t * self.fs).round().max(0.0) as usize;
-        if self.finished {
-            i.min(self.n_pushed.saturating_sub(1))
-        } else {
-            i
-        }
+        std::mem::take(&mut self.core.events).into()
     }
 
     /// Maps a working-unit value to the reported scale: identity in
     /// span-hinted mode, the range frozen at roof-calibration lock in
     /// self-scaling mode.
     fn reported(&self, v: f64) -> f64 {
-        match self.scale {
+        match self.core.scale {
             Scale::Fixed { .. } => v,
             Scale::Adaptive { .. } => {
-                let (lo, span) = self.report.unwrap_or_else(|| self.scale.range());
+                let (lo, span) = self.report.unwrap_or_else(|| self.core.scale.range());
                 if span > 0.0 {
                     (v - lo) / span
                 } else {
                     v - lo
                 }
-            }
-        }
-    }
-
-    fn delta(&self) -> f64 {
-        match self.scale {
-            Scale::Fixed { .. } => self.cfg.prominence(),
-            Scale::Adaptive { lo, hi } => {
-                let floor = self.masd.map(|(m, _)| m * self.noise_gate).unwrap_or(0.0);
-                (self.cfg.prominence() * (hi - lo).max(0.0)).max(floor)
             }
         }
     }
@@ -1354,14 +1365,12 @@ impl StreamingTwoPhase {
             }
             VState::Hunt(_) => {
                 let i = self.smooth1.end();
+                // Seed lookup only while `masd` is unset (see
+                // `StreamingDecoder::accept_smoothed`).
+                let prev = (self.core.masd.is_none() && i > self.smooth1.base)
+                    .then(|| self.smooth1.get(i - 1));
                 self.smooth1.push(v);
-                if let Some((m, last)) = &mut self.masd {
-                    let d = (v - *last).abs();
-                    *m += (d - *m) / 64.0;
-                    *last = v;
-                } else if let Some(prev) = i.checked_sub(1).map(|j| self.smooth1.get(j)) {
-                    self.masd = Some(((v - prev).abs(), v));
-                }
+                self.core.track_masd(v, prev);
                 self.advance_hunt(i, v);
                 // History cap: a stale hood candidate restarts the hunt.
                 if self.smooth1.data.len() > self.max_buffer {
@@ -1380,7 +1389,7 @@ impl StreamingTwoPhase {
     /// Phase 1: hood peak, windshield valley, then wait for the roof edge
     /// so both half-crossing walks are closed.
     fn advance_hunt(&mut self, i: usize, v: f64) {
-        let delta = self.delta();
+        let delta = self.core.hysteresis_delta(self.cfg.prominence());
         let VState::Hunt(h) = &mut self.state else { return };
         if let (Some(hood), Some(ws)) = (h.hood, h.windshield) {
             if v > h.level {
@@ -1392,7 +1401,7 @@ impl StreamingTwoPhase {
             // car arrives and the span grows past its swings.
             let swing = hood.value - ws.value;
             let confirmed = h.tracker.push(i, v, delta);
-            if matches!(self.scale, Scale::Adaptive { .. }) && swing < delta {
+            if matches!(self.core.scale, Scale::Adaptive { .. }) && swing < delta {
                 if let Some(c) = confirmed {
                     h.windshield = None;
                     h.level = f64::INFINITY;
@@ -1410,7 +1419,9 @@ impl StreamingTwoPhase {
             }
             Some(Confirmed::Valley(val)) if h.hood.is_some() => {
                 let hood = h.hood.expect("checked above");
-                if matches!(self.scale, Scale::Adaptive { .. }) && hood.value - val.value < delta {
+                if matches!(self.core.scale, Scale::Adaptive { .. })
+                    && hood.value - val.value < delta
+                {
                     // Lead-in noise pair that no longer qualifies at
                     // today's span: restart the hunt.
                     *h = VehicleHunt::new();
@@ -1451,12 +1462,12 @@ impl StreamingTwoPhase {
         // half-crossing midpoints give their true centres (a single
         // extremum sample can sit anywhere on a noisy plateau).
         let level = 0.5 * (hood.value + ws.value);
-        let fs_inv = 1.0 / self.fs;
+        let fs_inv = 1.0 / self.core.fs;
         let hood_t = self.half_crossing(hood.index, level, true) * fs_inv;
         let windshield_t = self.half_crossing(ws.index, level, false) * fs_inv;
         match self.cfg.preamble_from_times(hood_t, windshield_t, peaks, valleys) {
             Ok(pre) => {
-                self.events.push_back(DecodeEvent::CarPreamble(pre));
+                self.core.events.push_back(DecodeEvent::CarPreamble(pre));
                 self.enter_roof(pre, true);
                 self.advance_roof();
             }
@@ -1469,8 +1480,8 @@ impl StreamingTwoPhase {
     /// whole-stream smoothing, then switches state.
     fn enter_roof(&mut self, pre: LongPreamble, replay: bool) {
         let tau_t = self.cfg.symbol_width_m / pre.speed_mps;
-        let window = ((tau_t * self.fs * 0.2).round() as usize).max(1);
-        let sym = (tau_t * self.fs) as usize;
+        let window = ((tau_t * self.core.fs * 0.2).round() as usize).max(1);
+        let sym = (tau_t * self.core.fs) as usize;
         let mut smoother = OnlineSmoother::new(window);
         let mut smooth = SmoothBuf { base: self.raw.base, data: VecDeque::new() };
         if replay {
@@ -1478,7 +1489,7 @@ impl StreamingTwoPhase {
             for j in self.raw.base..self.raw.end() {
                 smoother.push(self.raw.get(j), &mut emitted);
             }
-            if self.finished {
+            if self.core.finished {
                 // Phase 1 resolved at end-of-stream: there are no future
                 // samples to push the trailing half-window out, so close
                 // the smoother here.
@@ -1488,8 +1499,8 @@ impl StreamingTwoPhase {
                 smooth.push(v);
             }
         }
-        let lo_i = self.index_of(pre.roof_start_t);
-        let hi_i = self.index_of(pre.roof_end_t);
+        let lo_i = self.core.index_of(pre.roof_start_t);
+        let hi_i = self.core.index_of(pre.roof_end_t);
         // Anchor context never reaches further back than ~1.5 symbols
         // before the roof window; earlier history can go.
         smooth.trim_to(lo_i.saturating_sub(2 * sym + 8));
@@ -1513,7 +1524,7 @@ impl StreamingTwoPhase {
             let available = r.smooth.end();
             match &mut r.stage {
                 RoofStage::FindDip => {
-                    if !self.finished && available <= r.hi_i {
+                    if !self.core.finished && available <= r.hi_i {
                         return; // roof window not fully sampled yet
                     }
                     let hi_i = r.hi_i.min(available.saturating_sub(1));
@@ -1555,19 +1566,19 @@ impl StreamingTwoPhase {
                 }
                 RoofStage::Calibrate { dip_idx } => {
                     let dip_idx = *dip_idx;
-                    let t_l1 = dip_idx as f64 / self.fs;
+                    let t_l1 = dip_idx as f64 / self.core.fs;
                     // One symbol of right context covers the C shoulder
                     // and the dip's rising half-crossing.
-                    let need = ((t_l1 + 1.2 * r.tau_t) * self.fs).round() as usize;
-                    if !self.finished && available <= need.max(dip_idx + r.sym) {
+                    let need = ((t_l1 + 1.2 * r.tau_t) * self.core.fs).round() as usize;
+                    if !self.core.finished && available <= need.max(dip_idx + r.sym) {
                         return;
                     }
                     // Sec. 4.1 thresholds from the dip and its shoulders:
                     // A = max in the symbol before the dip, C = max in the
                     // symbol after, B = dip.
-                    let fin = self.finished;
-                    let n = self.n_pushed;
-                    let fs = self.fs;
+                    let fin = self.core.finished;
+                    let n = self.core.n_pushed;
+                    let fs = self.core.fs;
                     let idx = |t: f64| -> usize {
                         let i = (t * fs).round().max(0.0) as usize;
                         if fin {
@@ -1606,13 +1617,13 @@ impl StreamingTwoPhase {
                     while right + 1 < available && r.smooth.get(right + 1) <= threshold {
                         right += 1;
                     }
-                    if !self.finished && right + 1 == available {
+                    if !self.core.finished && right + 1 == available {
                         return; // the dip's rising edge is still arriving
                     }
-                    let t_l1 = 0.5 * (left as f64 + right as f64) / self.fs;
+                    let t_l1 = 0.5 * (left as f64 + right as f64) / self.core.fs;
                     // Calibration locked: freeze the reporting range here,
                     // like the indoor core does at its preamble lock.
-                    self.report = Some(self.scale.range());
+                    self.report = Some(self.core.scale.range());
                     r.stage = RoofStage::Classify {
                         t_l1,
                         threshold,
@@ -1658,18 +1669,19 @@ impl StreamingTwoPhase {
             // background), so the timing tracker locks onto dip minima.
             let center = *t_l1 + (*k as f64 - 1.0) * *tau_eff + *drift;
             let half = 0.32 * *tau_eff;
-            let a = ((center - half) * self.fs).round().max(0.0) as usize;
-            let b_raw = ((center + half) * self.fs).round().max(0.0) as usize;
-            if !self.finished && b_raw + 1 > available {
+            let a = ((center - half) * self.core.fs).round().max(0.0) as usize;
+            let b_raw = ((center + half) * self.core.fs).round().max(0.0) as usize;
+            if !self.core.finished && b_raw + 1 > available {
                 return false;
             }
-            let a = if self.finished { a.min(self.n_pushed.saturating_sub(1)) } else { a };
+            let a =
+                if self.core.finished { a.min(self.core.n_pushed.saturating_sub(1)) } else { a };
             let b = b_raw.min(available.saturating_sub(1));
             assert!(
                 a <= b,
                 "window inverted: a={a} b={b} b_raw={b_raw} available={available} n={} finished={} base={}",
-                self.n_pushed,
-                self.finished,
+                self.core.n_pushed,
+                self.core.finished,
                 r.smooth.base
             );
             let win_len = b + 1 - a;
@@ -1690,7 +1702,7 @@ impl StreamingTwoPhase {
                     }
                 }
                 if min_i > 0 && min_i < win_len - 1 {
-                    let t_meas = (a + min_i) as f64 / self.fs;
+                    let t_meas = (a + min_i) as f64 / self.core.fs;
                     let err = (t_meas - center).clamp(-0.3 * *tau_eff, 0.3 * *tau_eff);
                     *drift += 0.15 * err;
                     *tau_eff += 0.15 * err / (*k - 1) as f64;
@@ -1699,12 +1711,12 @@ impl StreamingTwoPhase {
             *k += 1;
             // Windows only march forward: history behind the next window's
             // left edge (minus the anchor context) is done.
-            let next_lo = ((*t_l1 + (*k as f64 - 1.0) * *tau_eff + *drift - half) * self.fs)
+            let next_lo = ((*t_l1 + (*k as f64 - 1.0) * *tau_eff + *drift - half) * self.core.fs)
                 .round()
                 .max(0.0) as usize;
             let keep = r.lo_i.min(next_lo).saturating_sub(8);
             r.smooth.trim_to(keep);
-            self.events.push_back(DecodeEvent::Symbol { index, symbol });
+            self.core.events.push_back(DecodeEvent::Symbol { index, symbol });
             if index + 1 == PREAMBLE_LEN {
                 let VState::Roof(r) = &self.state else { unreachable!() };
                 let RoofStage::Classify { symbols, .. } = &r.stage else { unreachable!() };
@@ -1739,7 +1751,7 @@ impl StreamingTwoPhase {
                 return;
             }
         };
-        let tau_r_reported = match self.scale {
+        let tau_r_reported = match self.core.scale {
             Scale::Fixed { .. } => tau_r,
             Scale::Adaptive { .. } => self.reported(rb + tau_r) - self.reported(rb),
         };
@@ -1757,15 +1769,15 @@ impl StreamingTwoPhase {
     }
 
     fn terminal(&mut self, event: DecodeEvent) {
-        self.events.push_back(event);
+        self.core.events.push_back(event);
         self.report = None;
-        if self.rearm && !self.finished {
+        if self.rearm && !self.core.finished {
             // Re-arm for the next pass: fresh phase-1 smoother warmed over
             // one window of trailing history (emissions discarded so old
             // samples are not re-hunted), hunting resumes on future
             // samples only. History before the warm-up tail belongs to the
             // pass that just resolved and can go.
-            let window = self.cfg.phase1_window(self.fs);
+            let window = self.cfg.phase1_window(self.core.fs);
             let start = self.raw.end().saturating_sub(window + 1).max(self.raw.base);
             let mut smoother = OnlineSmoother::new(window);
             let mut discard = Vec::new();

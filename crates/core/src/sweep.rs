@@ -204,7 +204,11 @@ impl Scenario {
     /// [`StreamingDecoder`] sample by sample — fanned across the workspace
     /// default [`SweepRunner`]. No trace is materialised; each receiver
     /// runs in memory bounded by the decoder's history caps, which is what
-    /// makes arbitrarily long runs and live deployments possible.
+    /// makes arbitrarily long runs and live deployments possible. Each
+    /// worker's sampler carries its own incremental
+    /// [`crate::channel::DeltaField`], so long passes cost O(boundary)
+    /// per tick — the per-receiver state a future multi-receiver sharding
+    /// layer will distribute.
     pub fn run_streaming(&self, seeds: &[u64], decoder: &AdaptiveDecoder) -> Vec<StreamOutcome> {
         self.run_streaming_on(&SweepRunner::new(), seeds, decoder)
     }

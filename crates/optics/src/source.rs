@@ -386,11 +386,34 @@ impl LightSource for CompositeSource {
     }
 
     fn is_time_invariant(&self) -> bool {
-        // A sum of time-invariant fields is time-invariant; mixed-envelope
-        // members (ripple + drift) do not factorise, so the default
-        // `flicker_envelope` correctly reports `None` unless all members
-        // are static.
+        // A sum of time-invariant fields is time-invariant.
         self.members.iter().all(|s| s.is_time_invariant())
+    }
+
+    fn flicker_envelope(&self, t: f64) -> Option<f64> {
+        // A sum of separable fields `Σ pᵢ(x)·eᵢ(t)` factorises exactly
+        // when every member shares one envelope: `e(t)·Σ pᵢ(x)`. That
+        // covers all-static composites (every envelope ≡ 1) and matched
+        // fixtures (two identical ceiling panels ripple identically). A
+        // time-invariant member next to a rippling one does NOT factorise
+        // (`p₁(x) + e(t)·p₂(x)`), and its constant envelope 1 correctly
+        // fails the equality check below at almost every `t`.
+        //
+        // The check is per-call, which is sound for the staged/incremental
+        // consumers: they derive the spatial profile at `t = 0` and apply
+        // `envelope(t)` per tick, and whenever *both* calls return `Some`
+        // with members agreeing, `illuminance_at(p, t) ==
+        // illuminance_at(p, 0) / envelope(0) × envelope(t)` holds exactly;
+        // any `None` tick falls back to the full integral.
+        let mut members = self.members.iter();
+        let first = members.next()?.flicker_envelope(t)?;
+        for m in members {
+            let e = m.flicker_envelope(t)?;
+            if (e - first).abs() > 1e-12 * first.abs().max(1.0) {
+                return None; // envelopes out of phase: not separable
+            }
+        }
+        Some(first)
     }
 }
 
@@ -586,5 +609,44 @@ mod tests {
         ]);
         assert!(still.is_time_invariant());
         assert_eq!(still.flicker_envelope(3.0), Some(1.0));
+    }
+
+    #[test]
+    fn matched_panel_composite_reports_the_common_envelope() {
+        // Two fluorescent fixtures on the same mains phase: identical
+        // ripple, so the sum is separable with that very envelope —
+        // different brightnesses do not matter.
+        let a = CeilingPanel::fluorescent(2.3, 500.0);
+        let comp = CompositeSource::new(vec![
+            Box::new(CeilingPanel::fluorescent(2.3, 500.0)),
+            Box::new(CeilingPanel::fluorescent(2.3, 320.0)),
+        ]);
+        assert!(!comp.is_time_invariant());
+        let points = [Vec3::ZERO, Vec3::ground(0.4, -0.2), Vec3::ground(1.3, 0.8)];
+        let times: Vec<f64> = (0..40).map(|i| i as f64 * 0.0013).collect();
+        for &t in &times {
+            assert_eq!(comp.flicker_envelope(t), a.flicker_envelope(t), "t={t}");
+        }
+        check_envelope_factorisation(&comp, &points, &times);
+    }
+
+    #[test]
+    fn unmatched_ripple_composite_stays_unseparable() {
+        // Same fixture type, different mains frequency (50 vs 60 Hz
+        // grids): envelopes disagree at almost every instant.
+        let mut us_panel = CeilingPanel::fluorescent(2.3, 500.0);
+        us_panel.mains_hz = 60.0;
+        let comp = CompositeSource::new(vec![
+            Box::new(CeilingPanel::fluorescent(2.3, 500.0)),
+            Box::new(us_panel),
+        ]);
+        assert!(comp.flicker_envelope(0.0033).is_none());
+        // A lamp (envelope ≡ 1) beside a rippling panel is not separable
+        // either: the constant envelope fails the equality check.
+        let mixed = CompositeSource::new(vec![
+            Box::new(PointLamp::bench_lamp(2.0)),
+            Box::new(CeilingPanel::fluorescent(2.3, 500.0)),
+        ]);
+        assert!(mixed.flicker_envelope(0.0033).is_none());
     }
 }

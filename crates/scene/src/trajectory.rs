@@ -59,6 +59,17 @@ pub enum Trajectory {
         /// RNG seed.
         seed: u64,
     },
+    /// Back-and-forth shuttling: forward at `speed_mps` for `span_m`
+    /// metres, then back to the start, repeating (a scanning cart, a
+    /// floor polisher). The only non-monotone profile — displacement is a
+    /// triangle wave — used to exercise direction reversals in the
+    /// incremental channel integrator.
+    Shuttle {
+        /// Speed in both directions, m/s (must be positive).
+        speed_mps: f64,
+        /// One-way travel before reversing, metres (must be positive).
+        span_m: f64,
+    },
 }
 
 impl Trajectory {
@@ -80,6 +91,14 @@ impl Trajectory {
             switch_after_m: packet_len_m / 2.0,
             factor: 2.0,
         }
+    }
+
+    /// Whether this profile never moves the object at all
+    /// (`Constant { speed_mps: 0 }` — a parked car, placed furniture).
+    /// Stationary objects let the incremental channel integrator cache
+    /// their covered patches once and skip the dynamic path entirely.
+    pub fn is_stationary(&self) -> bool {
+        matches!(self, Trajectory::Constant { speed_mps } if *speed_mps == 0.0)
     }
 
     /// Displacement (metres) after `t` seconds; 0 for negative `t`.
@@ -110,6 +129,16 @@ impl Trajectory {
                     over_m + v1_mps * (t - t_ramp)
                 }
             }
+            Trajectory::Shuttle { speed_mps, span_m } => {
+                // Triangle wave with period 2·span/v: forward leg then
+                // backward leg, both at `speed_mps`.
+                let phase = (speed_mps * t) % (2.0 * span_m);
+                if phase <= span_m {
+                    phase
+                } else {
+                    2.0 * span_m - phase
+                }
+            }
             Trajectory::Jittered { speed_mps, jitter, segment_m, seed } => {
                 // Integrate segment by segment, redrawing speed per segment.
                 let jitter = jitter.clamp(0.0, 0.9);
@@ -137,11 +166,17 @@ impl Trajectory {
     }
 
     /// Time needed to travel `distance_m` metres (bisection against the
-    /// monotone displacement function).
+    /// monotone displacement function; for the non-monotone
+    /// [`Trajectory::Shuttle`] this is the *first* time the displacement
+    /// reaches the distance, which must lie within the shuttle span).
     pub fn time_to_travel(&self, distance_m: f64) -> f64 {
         assert!(distance_m >= 0.0);
         if distance_m == 0.0 {
             return 0.0;
+        }
+        if let Trajectory::Shuttle { speed_mps, span_m } = *self {
+            assert!(distance_m <= span_m, "shuttle never travels past its {span_m} m span");
+            return distance_m / speed_mps;
         }
         let mut hi = 1.0;
         while self.displacement(hi) < distance_m {
@@ -239,6 +274,33 @@ mod tests {
         let tr = Trajectory::Jittered { speed_mps: 0.1, jitter: 0.3, segment_m: 0.01, seed: 3 };
         let d = tr.displacement(100.0);
         assert!((d / 100.0 - 0.1).abs() < 0.02, "mean speed {}", d / 100.0);
+    }
+
+    #[test]
+    fn shuttle_reverses_and_repeats() {
+        let tr = Trajectory::Shuttle { speed_mps: 0.1, span_m: 0.3 };
+        assert!((tr.displacement(1.0) - 0.1).abs() < 1e-12); // outbound
+        assert!((tr.displacement(3.0) - 0.3).abs() < 1e-12); // turn point
+        assert!((tr.displacement(4.0) - 0.2).abs() < 1e-12); // coming back
+        assert!((tr.displacement(6.0) - 0.0).abs() < 1e-12); // home again
+        assert!((tr.displacement(7.0) - 0.1).abs() < 1e-12); // next lap
+        assert!((tr.time_to_travel(0.2) - 2.0).abs() < 1e-9);
+        assert!(!tr.is_stationary());
+    }
+
+    #[test]
+    #[should_panic(expected = "shuttle never travels past")]
+    fn shuttle_rejects_out_of_span_travel() {
+        Trajectory::Shuttle { speed_mps: 0.1, span_m: 0.3 }.time_to_travel(0.5);
+    }
+
+    #[test]
+    fn stationarity_is_exactly_zero_constant_speed() {
+        assert!(Trajectory::Constant { speed_mps: 0.0 }.is_stationary());
+        assert!(!Trajectory::Constant { speed_mps: 0.08 }.is_stationary());
+        assert!(!Trajectory::Shuttle { speed_mps: 0.1, span_m: 1.0 }.is_stationary());
+        assert!(!Trajectory::Jittered { speed_mps: 0.1, jitter: 0.2, segment_m: 0.1, seed: 1 }
+            .is_stationary());
     }
 
     #[test]

@@ -566,6 +566,151 @@ mod decode_equivalence {
     }
 }
 
+// ---------------- Channel: incremental == staged == full -----------------
+
+/// The three-tier integrator invariant: at every tick, the incremental
+/// [`DeltaField`] agrees with the staged integral and with the full
+/// per-tick integral to ≤ 1e-9 (relative), on every scenario family and
+/// on the adversarial scenes (overlapping objects, direction reversals,
+/// parked objects) where the incremental tier must fall back or freeze
+/// its caches.
+mod three_tier_equivalence {
+    use palc_lab::core::channel::{PassiveChannel, Resolution, Scenario};
+    use palc_lab::optics::source::{PointLamp, Sun};
+    use palc_lab::optics::Vec3;
+    use palc_lab::phy::Packet;
+    use palc_lab::scene::{CarModel, Environment, MobileObject, Tag, Trajectory};
+    use std::sync::Arc;
+
+    fn packet(bits: &str) -> Packet {
+        Packet::from_bits(bits).unwrap()
+    }
+
+    /// Walks every ADC tick of `sc`, comparing the three tiers patchwise.
+    fn assert_three_tiers_agree(sc: &Scenario, label: &str) {
+        let ch = sc.channel();
+        let field = Arc::new(ch.static_field().unwrap_or_else(|| panic!("{label}: separable")));
+        let mut delta =
+            ch.delta_field(field.clone()).unwrap_or_else(|| panic!("{label}: piecewise-static"));
+        let fs = ch.frontend.sample_rate_hz();
+        let n = (sc.duration_s() * fs).ceil() as usize;
+        for i in 0..n {
+            let t = i as f64 / fs;
+            let incremental = delta.illuminance(ch, t);
+            let staged = ch.illuminance_staged(&field, t);
+            let full = ch.illuminance_at(t);
+            let tol = 1e-9 * full.abs().max(1.0);
+            assert!(
+                (incremental - staged).abs() <= tol,
+                "{label}: t={t}: incremental {incremental} vs staged {staged}"
+            );
+            assert!((staged - full).abs() <= tol, "{label}: t={t}: staged {staged} vs full {full}");
+        }
+    }
+
+    #[test]
+    fn agrees_on_indoor_bench() {
+        assert_three_tiers_agree(&Scenario::indoor_bench(packet("10"), 0.03, 0.20), "indoor");
+    }
+
+    #[test]
+    fn agrees_on_ceiling_office() {
+        assert_three_tiers_agree(&Scenario::ceiling_office(packet("10"), 0.03, 500.0), "ceiling");
+    }
+
+    #[test]
+    fn agrees_on_outdoor_car() {
+        let sc = Scenario::outdoor_car(
+            CarModel::volvo_v40(),
+            Some(packet("00")),
+            0.75,
+            Sun::cloudy_noon(3),
+        );
+        assert_three_tiers_agree(&sc, "outdoor");
+    }
+
+    #[test]
+    fn agrees_with_same_lane_overlap() {
+        // A faster cart catches up with and overtakes a slower one in the
+        // same lane: apart → occluding → apart, exercising the fallback
+        // ticks and the exact cache resume.
+        let mut sc = Scenario::indoor_bench(packet("10"), 0.03, 0.25);
+        let chaser = MobileObject::cart(
+            Tag::from_packet(&packet("0"), 0.04),
+            Trajectory::Constant { speed_mps: 0.18 },
+        )
+        .starting_at(-0.34);
+        sc.channel_mut().objects.push(chaser);
+        sc.calibrate_gain();
+        assert_three_tiers_agree(&sc, "same-lane overlap");
+    }
+
+    #[test]
+    fn agrees_with_disjoint_lane_neighbours() {
+        // Column ranges overlap but lane bands are disjoint: both objects
+        // stay incremental throughout.
+        let mut sc = Scenario::indoor_bench(packet("10"), 0.03, 0.25);
+        let neighbour =
+            MobileObject::cart(Tag::from_packet(&packet("0"), 0.05), Trajectory::indoor_bench())
+                .starting_at(-0.12)
+                .in_lane(0.31);
+        sc.channel_mut().objects.push(neighbour);
+        sc.calibrate_gain();
+        assert_three_tiers_agree(&sc, "disjoint lanes");
+    }
+
+    #[test]
+    fn agrees_on_direction_reversing_shuttle() {
+        let object = MobileObject::cart(
+            Tag::from_packet(&packet("10"), 0.03),
+            Trajectory::Shuttle { speed_mps: 0.12, span_m: 0.35 },
+        )
+        .starting_at(-0.20);
+        let order = palc_lab::optics::photometry::lambertian_order_from_half_angle(6.0);
+        let lamp = PointLamp::new(Vec3::new(0.0, 0.0, 0.25), 10.0).with_order(order);
+        let receiver = palc_lab::frontend::OpticalReceiver::opt101(palc_lab::frontend::PdGain::G1);
+        let sc = Scenario::custom(
+            PassiveChannel {
+                environment: Environment::dark_room(),
+                source: Box::new(lamp),
+                objects: vec![object],
+                receiver_z_m: 0.25,
+                frontend: palc_lab::frontend::Frontend::indoor(receiver, 0),
+                resolution: Resolution { along_m: 0.004, lateral_slices: 3 },
+            },
+            7.0, // > one full shuttle period
+        );
+        assert_three_tiers_agree(&sc, "shuttle");
+    }
+
+    #[test]
+    fn agrees_on_parked_car_scene() {
+        // A parked car under a drifting overcast sky: the staged tier
+        // re-integrates the whole (fully covered) footprint every tick,
+        // the incremental tier integrates it exactly once — and both must
+        // match the full integral for the entire run.
+        let parked =
+            MobileObject::car(CarModel::bmw_3(), None, Trajectory::Constant { speed_mps: 0.0 })
+                .starting_at(2.3); // centred over the receiver nadir
+        let receiver_z = CarModel::bmw_3().max_height_m() + 0.75;
+        let sc = Scenario::custom(
+            PassiveChannel {
+                environment: Environment::parking_lot(),
+                source: Box::new(Sun::cloudy_noon(8)),
+                objects: vec![parked],
+                receiver_z_m: receiver_z,
+                frontend: palc_lab::frontend::Frontend::outdoor(
+                    palc_lab::frontend::OpticalReceiver::rx_led(),
+                    0,
+                ),
+                resolution: Resolution { along_m: 0.02, lateral_slices: 5 },
+            },
+            1.5,
+        );
+        assert_three_tiers_agree(&sc, "parked car");
+    }
+}
+
 // ---------------- Channel: streaming == batch ----------------------------
 
 /// The tentpole invariant: for any seed, the streaming `ChannelSampler`
