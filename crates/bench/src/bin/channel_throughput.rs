@@ -19,13 +19,15 @@ fn main() {
     let results = palc_bench::throughput::channel_throughput(reps);
     for r in &results {
         println!(
-            "{:<18} incr {:>10.0}/s | staged {:>10.0}/s | full {:>10.0}/s | staged/full {:>5.2}x | incr/staged {:>5.2}x | run_batch {:>4.2}x on {} threads",
+            "{:<18} incr {:>10.0}/s | staged {:>10.0}/s | full {:>10.0}/s | staged/full {:>5.2}x | incr/staged {:>5.2}x | array×{} {:>10.0}/s | run_batch {:>4.2}x on {} threads",
             r.scenario,
             r.incremental_samples_per_s,
             r.staged_samples_per_s,
             r.full_samples_per_s,
             r.speedup,
             r.incremental_speedup,
+            r.array_receivers,
+            r.array_samples_per_s,
             r.batch_parallel_speedup,
             r.batch_threads,
         );

@@ -6,10 +6,11 @@
 //! The binary `channel_throughput` records these numbers to
 //! `BENCH_channel.json` so every later PR has a perf trajectory.
 
-use palc::channel::Scenario;
+use palc::channel::{ReceiverPose, Scenario};
 use palc::decode::AdaptiveDecoder;
+use palc::fusion::FusionCenter;
 use palc::stream::{StreamingDecoder, StreamingTwoPhase};
-use palc::sweep::SweepRunner;
+use palc::sweep::{ArrayReceiver, SweepRunner};
 use palc::vehicle::TwoPhaseDecoder;
 use palc_optics::source::Sun;
 use palc_phy::Packet;
@@ -39,6 +40,14 @@ pub struct ChannelThroughput {
     /// Streaming decode throughput: the staged sampler piped straight
     /// into a push-based decoder (live-receiver path), samples/sec.
     pub streaming_decode_samples_per_s: f64,
+    /// Array-sharding throughput: one shared scene fanned across
+    /// `array_receivers` staggered poses on the `SweepRunner`, each
+    /// shard owning its pose-relative static/delta fields and a push
+    /// decoder, detections fused online — total samples across all
+    /// shards per second of wall clock.
+    pub array_samples_per_s: f64,
+    /// Receiver poses in the array-sharding measurement.
+    pub array_receivers: usize,
     /// Wall-clock speedup of `run_batch` over the same seeds serially.
     pub batch_parallel_speedup: f64,
     /// Worker threads `run_batch` used.
@@ -165,8 +174,44 @@ pub fn channel_throughput(reps: u64) -> Vec<ChannelThroughput> {
             );
             let streaming_rate = total / stream_s;
 
-            // run_batch scaling on a figure-style seed sweep.
+            // Array sharding: the same scene fanned across three
+            // staggered receiver poses (one worker per pose, online
+            // fusion). Offsets are scaled to each family's footprint so
+            // every shard still sees the pass.
+            let z = sc.channel().receiver_z_m;
+            let dx = if name.starts_with("outdoor") { 0.5 } else { 0.02 };
+            let poses = [
+                ReceiverPose::new(-dx, 0.0, z),
+                ReceiverPose::origin(z),
+                ReceiverPose::new(dx, 0.0, z),
+            ];
+            let receivers: Vec<ArrayReceiver> = poses
+                .iter()
+                .enumerate()
+                .map(|(i, &pose)| ArrayReceiver { id: i as u32, pose, seed: i as u64 })
+                .collect();
+            let array_samples: usize =
+                poses.iter().map(|&p| (sc.shard_duration_for(p) * fs).ceil() as usize).sum();
             let runner = SweepRunner::new();
+            let t = Instant::now();
+            for _ in 0..reps {
+                let run = if name.starts_with("outdoor") {
+                    sc.run_array_streaming_on(&runner, &receivers, FusionCenter::default(), |_| {
+                        StreamingTwoPhase::new(
+                            TwoPhaseDecoder::new(CarModel::volvo_v40(), 0.10, 2),
+                            fs,
+                        )
+                    })
+                } else {
+                    sc.run_array_streaming_on(&runner, &receivers, FusionCenter::default(), |_| {
+                        StreamingDecoder::new(AdaptiveDecoder::default().with_expected_bits(2), fs)
+                    })
+                };
+                palc_bench_black_box(run.fused.len() + run.outcomes.len());
+            }
+            let array_rate = (array_samples as u64 * reps) as f64 / t.elapsed().as_secs_f64();
+
+            // run_batch scaling on a figure-style seed sweep.
             let seeds: Vec<u64> = (0..(4 * runner.threads() as u64).max(8)).collect();
             let t = Instant::now();
             let serial: Vec<_> = seeds.iter().map(|&s| sc.run(s)).collect();
@@ -185,6 +230,8 @@ pub fn channel_throughput(reps: u64) -> Vec<ChannelThroughput> {
                 speedup: staged_rate / full_rate,
                 incremental_speedup: incremental_rate / staged_rate,
                 streaming_decode_samples_per_s: streaming_rate,
+                array_samples_per_s: array_rate,
+                array_receivers: receivers.len(),
                 batch_parallel_speedup: serial_s / parallel_s,
                 batch_threads: runner.threads(),
             }
@@ -207,6 +254,8 @@ pub fn to_json(results: &[ChannelThroughput]) -> String {
                 "      \"staged_speedup\": {:.2},\n",
                 "      \"incremental_speedup\": {:.2},\n",
                 "      \"streaming_decode_samples_per_s\": {:.0},\n",
+                "      \"array_shard_samples_per_s\": {:.0},\n",
+                "      \"array_receivers\": {},\n",
                 "      \"run_batch_parallel_speedup\": {:.2},\n",
                 "      \"run_batch_threads\": {}\n",
                 "    }}{}\n"
@@ -219,6 +268,8 @@ pub fn to_json(results: &[ChannelThroughput]) -> String {
             r.speedup,
             r.incremental_speedup,
             r.streaming_decode_samples_per_s,
+            r.array_samples_per_s,
+            r.array_receivers,
             r.batch_parallel_speedup,
             r.batch_threads,
             if i + 1 < results.len() { "," } else { "" },
@@ -243,6 +294,8 @@ mod tests {
             speedup: 10.0,
             incremental_speedup: 5.3,
             streaming_decode_samples_per_s: 98765.0,
+            array_samples_per_s: 222333.0,
+            array_receivers: 3,
             batch_parallel_speedup: 3.5,
             batch_threads: 8,
         }];
@@ -252,6 +305,8 @@ mod tests {
         assert!(json.contains("\"incremental_samples_per_s\": 654321"));
         assert!(json.contains("\"incremental_speedup\": 5.30"));
         assert!(json.contains("\"streaming_decode_samples_per_s\": 98765"));
+        assert!(json.contains("\"array_shard_samples_per_s\": 222333"));
+        assert!(json.contains("\"array_receivers\": 3"));
         assert!(json.trim_end().ends_with('}'));
     }
 

@@ -1,9 +1,11 @@
 //! The end-to-end passive channel simulator.
 //!
 //! This is the replacement for the paper's physical testbed (see
-//! DESIGN.md §2). The receiver looks straight down from `receiver_z_m`;
-//! at every ADC tick the simulator integrates the reflected light over the
-//! receiver's ground footprint:
+//! DESIGN.md §2). The receiver looks straight down from its
+//! [`ReceiverPose`] (the channel's own pose sits over the origin at
+//! `receiver_z_m`; array layers pass offset poses); at every ADC tick the
+//! simulator integrates the reflected light over the receiver's ground
+//! footprint:
 //!
 //! ```text
 //! E_rx(t) = stray(t) + Σ_patches  K(φ) · T_fog · ρ_eff · E(patch, t)
@@ -74,7 +76,8 @@
 //!  fusion::FusionStream — online multi-receiver voting
 //!                   │ sweep::SweepRunner / Scenario::run_batch /
 //!                   │ Scenario::run_streaming fan seeds and scenario
-//!                   │ grids across cores
+//!                   │ grids across cores; Scenario::run_array_streaming
+//!                   │ shards one scene across ReceiverPose arrays
 //! ```
 //!
 //! See `docs/ARCHITECTURE.md` for the repository-wide walk of this
@@ -93,6 +96,43 @@ use palc_optics::{LightSource, Vec3};
 use palc_phy::Packet;
 use palc_scene::{CarModel, Environment, MobileObject, Tag, Trajectory};
 use std::sync::Arc;
+
+/// A receiver's position in the scene: lateral offset from the world
+/// origin plus aperture height. Every geometry query of the channel —
+/// footprint grid placement, patch contributions, the specular mirror
+/// test, stray-light pedestal — is relative to a pose; a pose at the
+/// origin reproduces the historical origin-pinned receiver bit for bit.
+///
+/// Multi-receiver deployments give each receiver its own pose and shard
+/// one shared scene across them (see `Scenario::run_array_streaming` in
+/// [`crate::sweep`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ReceiverPose {
+    /// Along-track offset of the receiver's nadir, metres.
+    pub x_m: f64,
+    /// Cross-track offset of the receiver's nadir, metres.
+    pub y_m: f64,
+    /// Aperture height above the ground plane, metres.
+    pub z_m: f64,
+}
+
+impl ReceiverPose {
+    /// A pose at an explicit position.
+    pub const fn new(x_m: f64, y_m: f64, z_m: f64) -> Self {
+        ReceiverPose { x_m, y_m, z_m }
+    }
+
+    /// The historical receiver position: straight down from `z_m` over
+    /// the world origin.
+    pub const fn origin(z_m: f64) -> Self {
+        ReceiverPose::new(0.0, 0.0, z_m)
+    }
+
+    /// The aperture position as a vector.
+    pub fn vec3(&self) -> Vec3 {
+        Vec3::new(self.x_m, self.y_m, self.z_m)
+    }
+}
 
 /// Spatial integration settings.
 #[derive(Debug, Clone, Copy)]
@@ -171,9 +211,19 @@ pub struct PassiveChannel {
 }
 
 impl PassiveChannel {
-    /// The footprint grid for the current receiver geometry/resolution.
-    fn grid(&self) -> FootprintGrid {
-        let h = self.receiver_z_m;
+    /// The receiver pose of this channel's own (single-receiver) setup:
+    /// straight down from [`PassiveChannel::receiver_z_m`] over the world
+    /// origin. Array layers pass explicit offset poses to the `_at_pose`
+    /// geometry entry points instead.
+    pub fn pose(&self) -> ReceiverPose {
+        ReceiverPose::origin(self.receiver_z_m)
+    }
+
+    /// The footprint grid for an explicit receiver pose/resolution. The
+    /// grid's patch lattice is receiver-local (centred on the pose's
+    /// nadir); world coordinates are `pose.{x,y}_m + grid coordinate`.
+    fn grid_for(&self, pose: ReceiverPose) -> FootprintGrid {
+        let h = pose.z_m;
         let fov = self.frontend.receiver.fov();
         let r_max = fov.footprint_radius(h).max(self.resolution.along_m);
         let dx = self.resolution.along_m;
@@ -185,9 +235,16 @@ impl PassiveChannel {
 
     /// Noise-free illuminance (lux) at the receiver aperture at time `t`.
     pub fn illuminance_at(&self, t: f64) -> f64 {
-        let h = self.receiver_z_m;
+        self.illuminance_at_pose(self.pose(), t)
+    }
+
+    /// Noise-free illuminance (lux) at time `t` for a receiver at an
+    /// explicit [`ReceiverPose`], via the full per-tick footprint
+    /// integral. The footprint is centred on the pose's nadir; surface
+    /// and source queries use world coordinates.
+    pub fn illuminance_at_pose(&self, pose: ReceiverPose, t: f64) -> f64 {
         let fov = self.frontend.receiver.fov();
-        let rx_pos = Vec3::new(0.0, 0.0, h);
+        let rx_pos = pose.vec3();
 
         // Unmodulated pedestal: skylight / room scatter leaking into the
         // aperture. Scales with the acceptance solid angle — a narrow
@@ -199,12 +256,12 @@ impl PassiveChannel {
             * self.source.illuminance_at(rx_pos, t).max(0.0);
 
         // Footprint bounds on the ground plane.
-        let g = self.grid();
+        let g = self.grid_for(pose);
         let env = self.source.flicker_envelope(t);
         for ix in 0..g.steps {
-            let x = g.x(ix);
+            let x = pose.x_m + g.x(ix);
             for iy in 0..g.slices {
-                let y = g.y(iy);
+                let y = pose.y_m + g.y(iy);
                 total += self.patch_contribution(x, y, g.dx, g.dy, t, rx_pos, env);
             }
         }
@@ -328,13 +385,23 @@ impl PassiveChannel {
     /// source, receiver geometry, or resolution of this channel changes —
     /// object *motion* never invalidates it; that is the whole point.
     pub fn static_field(&self) -> Option<StaticField> {
+        self.static_field_at(self.pose())
+    }
+
+    /// [`PassiveChannel::static_field`] for a receiver at an explicit
+    /// [`ReceiverPose`]: the footprint grid is centred on the pose's
+    /// nadir and the background integral probed at world coordinates, so
+    /// each receiver of an array owns its own field over the shared
+    /// scene. The pose travels with the returned field — every staged or
+    /// incremental consumer reads it back from there.
+    pub fn static_field_at(&self, pose: ReceiverPose) -> Option<StaticField> {
         let env0 = self.source.flicker_envelope(0.0)?;
         if !env0.is_finite() || env0 <= 1e-12 {
             return None; // degenerate envelope; keep the full path
         }
-        let h = self.receiver_z_m;
+        let h = pose.z_m;
         let fov = self.frontend.receiver.fov();
-        let rx_pos = Vec3::new(0.0, 0.0, h);
+        let rx_pos = pose.vec3();
         let omega_frac = fov.effective_solid_angle() / (2.0 * std::f64::consts::PI);
         let pedestal_base = self.environment.stray_fraction
             * omega_frac
@@ -342,14 +409,16 @@ impl PassiveChannel {
             / env0;
 
         // The same grid the full integral walks, in the same order.
-        let g = self.grid();
+        let g = self.grid_for(pose);
         let mut bg = Vec::with_capacity(g.steps * g.slices);
         let mut dark = Vec::with_capacity(g.steps * g.slices);
         let mut bg_total = 0.0;
         for ix in 0..g.steps {
-            let x = g.x(ix);
+            let gx = g.x(ix);
+            let x = pose.x_m + gx;
             for iy in 0..g.slices {
-                let y = g.y(iy);
+                let gy = g.y(iy);
+                let y = pose.y_m + gy;
                 let probe = self.source.illuminance_at(Vec3::new(x, y, 0.0), 0.0).max(0.0);
                 // A patch is *dark* on material-independent grounds alone:
                 // no ground-level light, or outside the FoV cone even at
@@ -362,7 +431,9 @@ impl PassiveChannel {
                 // the same time-invariant quantity `patch_contribution`
                 // gates on at every tick — so staged and full paths can
                 // never disagree about which patches are dark.
-                let d = (x * x + y * y + h * h).sqrt();
+                // Receiver-local offsets: the cone test is relative to
+                // the receiver's own -z axis, wherever the pose sits.
+                let d = (gx * gx + gy * gy + h * h).sqrt();
                 let in_cone = d > 0.0 && fov.angular_weight((h / d).acos()) > 0.0;
                 let unlit = probe / env0 < 1e-7;
                 let is_dark = unlit || !in_cone;
@@ -385,7 +456,7 @@ impl PassiveChannel {
                 bg_total += contribution;
             }
         }
-        Some(StaticField { bg, dark, static_total: pedestal_base + bg_total, grid: g })
+        Some(StaticField { bg, dark, static_total: pedestal_base + bg_total, grid: g, pose })
     }
 
     /// Builds the incremental (third-tier) integrator over `field`, or
@@ -437,10 +508,11 @@ impl PassiveChannel {
     /// `field` must come from [`PassiveChannel::static_field`] on this
     /// same channel configuration.
     pub fn illuminance_staged(&self, field: &StaticField, t: f64) -> f64 {
+        let pose = field.pose;
         let Some(env) = self.source.flicker_envelope(t) else {
-            return self.illuminance_at(t);
+            return self.illuminance_at_pose(pose, t);
         };
-        let rx_pos = Vec3::new(0.0, 0.0, self.receiver_z_m);
+        let rx_pos = pose.vec3();
         let g = &field.grid;
         let mut total = field.static_total * env;
 
@@ -456,7 +528,9 @@ impl PassiveChannel {
         for obj in &self.objects {
             let (x_lo, x_hi) = obj.x_extent_at(t);
             let (y_lo, y_hi) = obj.lane_band();
-            let (lo, hi) = column_range(g, x_lo, x_hi);
+            // Column indices are receiver-local: shift the object's world
+            // extent into the pose's frame before clipping to the grid.
+            let (lo, hi) = column_range(g, x_lo - pose.x_m, x_hi - pose.x_m);
             if lo >= hi {
                 continue;
             }
@@ -484,7 +558,7 @@ impl PassiveChannel {
         for &ObjectSpan { lo, hi, .. } in spans.iter() {
             let start = lo.max(cursor);
             for ix in start..hi {
-                let x = g.x(ix);
+                let x = pose.x_m + g.x(ix);
                 for iy in 0..g.slices {
                     let idx = ix * g.slices + iy;
                     if field.dark[idx] {
@@ -494,7 +568,7 @@ impl PassiveChannel {
                         // object delta is zero as well.
                         continue;
                     }
-                    let y = g.y(iy);
+                    let y = pose.y_m + g.y(iy);
                     let covered = spans
                         .iter()
                         .any(|s| x >= s.x_lo && x <= s.x_hi && y >= s.y_lo && y <= s.y_hi);
@@ -527,12 +601,45 @@ impl PassiveChannel {
 
     /// Like [`PassiveChannel::sampler`] with a pre-built static field
     /// (e.g. [`Scenario`]'s cache), avoiding the per-run precomputation.
+    /// The sampler runs at the field's pose (the channel's own origin
+    /// pose when no field is available).
     pub fn sampler_with_field(
         &self,
         duration_s: f64,
         seed: u64,
         field: Option<Arc<StaticField>>,
     ) -> ChannelSampler<'_> {
+        let pose = field.as_ref().map(|f| f.pose()).unwrap_or_else(|| self.pose());
+        self.sampler_pose_field(duration_s, seed, pose, field)
+    }
+
+    /// A streaming sampler for a receiver at an explicit
+    /// [`ReceiverPose`]: precomputes that pose's own [`StaticField`] (and
+    /// incremental [`DeltaField`], when the scene permits) over the
+    /// shared scene objects — the per-shard state a receiver-array worker
+    /// owns.
+    pub fn sampler_at_pose(
+        &self,
+        duration_s: f64,
+        seed: u64,
+        pose: ReceiverPose,
+    ) -> ChannelSampler<'_> {
+        self.sampler_pose_field(duration_s, seed, pose, self.static_field_at(pose).map(Arc::new))
+    }
+
+    /// The one sampler constructor: explicit pose, optional pre-built
+    /// field (which must have been built at that same pose).
+    fn sampler_pose_field(
+        &self,
+        duration_s: f64,
+        seed: u64,
+        pose: ReceiverPose,
+        field: Option<Arc<StaticField>>,
+    ) -> ChannelSampler<'_> {
+        debug_assert!(
+            field.as_ref().is_none_or(|f| f.pose() == pose),
+            "static field built for a different pose"
+        );
         // Same frontend configuration (incl. any calibrated gain), fresh
         // noise seed — mirrors what Scenario::run always did.
         let mut fe = Frontend::new(self.frontend.receiver.clone(), self.frontend.adc, seed);
@@ -542,6 +649,7 @@ impl PassiveChannel {
         let delta = field.clone().and_then(|f| self.delta_field(f));
         ChannelSampler {
             channel: self,
+            pose,
             field,
             delta,
             state,
@@ -617,8 +725,14 @@ pub struct StaticField {
     dark: Vec<bool>,
     /// Stray pedestal + Σ `bg`, unit envelope.
     static_total: f64,
-    /// The patch lattice this field was integrated on.
+    /// The patch lattice this field was integrated on (receiver-local,
+    /// centred on `pose`'s nadir).
     grid: FootprintGrid,
+    /// The receiver pose this field was integrated for. Staged and
+    /// incremental consumers read the pose back from here, so a field
+    /// can never be walked under a different receiver position than it
+    /// was built for.
+    pose: ReceiverPose,
 }
 
 impl StaticField {
@@ -632,6 +746,11 @@ impl StaticField {
     /// envelope, lux.
     pub fn static_total(&self) -> f64 {
         self.static_total
+    }
+
+    /// The receiver pose this field was integrated for.
+    pub fn pose(&self) -> ReceiverPose {
+        self.pose
     }
 }
 
@@ -752,18 +871,19 @@ fn column_delta(
     env: f64,
 ) -> f64 {
     let g = &field.grid;
-    let x = g.x(ix);
+    let pose = field.pose;
+    let x = pose.x_m + g.x(ix);
     if x < lead - st.length || x > lead {
         return 0.0; // inside the widened interval but not yet covered
     }
-    let rx_pos = Vec3::new(0.0, 0.0, channel.receiver_z_m);
+    let rx_pos = pose.vec3();
     let mut acc = 0.0;
     for iy in 0..g.slices {
         let idx = ix * g.slices + iy;
         if field.dark[idx] {
             continue;
         }
-        let y = g.y(iy);
+        let y = pose.y_m + g.y(iy);
         if y < st.y_lo || y > st.y_hi {
             continue;
         }
@@ -789,16 +909,20 @@ impl DeltaField {
             "delta field built for a different scene"
         );
         let Some(env) = channel.source.flicker_envelope(t) else {
-            return channel.illuminance_at(t); // envelope break: full tier
+            // Envelope break: full tier, at this field's pose.
+            return channel.illuminance_at_pose(self.field.pose, t);
         };
         if !env.is_finite() || env <= 1e-12 {
             // Degenerate envelope: unit-envelope deltas cannot rescale.
             return channel.illuminance_staged(&self.field, t);
         }
         let g = self.field.grid;
+        let pose = self.field.pose;
 
         // Leading edges and covered column intervals this tick. Parked
-        // objects skip even the displacement query once cached.
+        // objects skip even the displacement query once cached. Column
+        // indices are receiver-local: world extents shift into the
+        // pose's frame before clipping to the grid.
         let mut spans = std::mem::take(&mut self.spans);
         spans.clear();
         for (st, obj) in self.objects.iter().zip(&channel.objects) {
@@ -806,7 +930,7 @@ impl DeltaField {
                 Some(l) if st.stationary => l,
                 _ => obj.leading_edge_at(t),
             };
-            let (lo, hi) = column_range(&g, lead - st.length, lead);
+            let (lo, hi) = column_range(&g, lead - st.length - pose.x_m, lead - pose.x_m);
             spans.push((lead, lo, hi));
         }
 
@@ -843,8 +967,10 @@ impl DeltaField {
                     // widened by one patch against edge rounding.
                     let (a, b) = if prev <= lead { (prev, lead) } else { (lead, prev) };
                     for &c in &st.breakpoints {
-                        let x0 = a - c - g.dx;
-                        let x1 = b - c + g.dx;
+                        // Swept world band, shifted receiver-local before
+                        // the column-index mapping.
+                        let x0 = a - c - g.dx - pose.x_m;
+                        let x1 = b - c + g.dx - pose.x_m;
                         let i0 = (((x0 + g.r_max) / g.dx - 0.5).floor()).max(0.0) as usize;
                         let i1 =
                             ((((x1 + g.r_max) / g.dx + 0.5).ceil()).max(0.0) as usize).min(g.steps);
@@ -905,6 +1031,10 @@ impl DeltaField {
 /// `scenario.run(seed).samples()`.
 pub struct ChannelSampler<'a> {
     channel: &'a PassiveChannel,
+    /// The receiver pose this sampler integrates for (matches the static
+    /// field's pose when one is present; used directly on the full-tier
+    /// fallback when none is).
+    pose: ReceiverPose,
     field: Option<Arc<StaticField>>,
     delta: Option<DeltaField>,
     state: FrontendState,
@@ -917,6 +1047,11 @@ impl ChannelSampler<'_> {
     /// Sampling rate of the produced RSS stream, Hz.
     pub fn sample_rate_hz(&self) -> f64 {
         self.fs
+    }
+
+    /// The receiver pose this sampler integrates for.
+    pub fn pose(&self) -> ReceiverPose {
+        self.pose
     }
 
     /// Whether the staged (static-field) path is active, as opposed to
@@ -956,9 +1091,10 @@ impl Iterator for ChannelSampler<'_> {
         }
         let t = self.i as f64 / self.fs;
         self.i += 1;
-        let lux = match &mut self.delta {
-            Some(df) => df.illuminance(self.channel, t),
-            None => self.channel.illuminance_with(self.field.as_deref(), t),
+        let lux = match (&mut self.delta, &self.field) {
+            (Some(df), _) => df.illuminance(self.channel, t),
+            (None, Some(f)) => self.channel.illuminance_staged(f, t),
+            (None, None) => self.channel.illuminance_at_pose(self.pose, t),
         };
         Some(self.state.step_f64(lux))
     }
@@ -1600,6 +1736,130 @@ mod tests {
         let f2 = empty.channel().static_field().unwrap();
         let staged = empty.channel().illuminance_staged(&f2, 1.0);
         assert_eq!(staged, f2.static_total());
+    }
+
+    #[test]
+    fn origin_pose_is_bitwise_neutral() {
+        // The pose threading must not perturb a single bit of the
+        // historical origin-pinned geometry: the explicit origin pose
+        // and the channel's own entry points agree exactly (==).
+        let sc = Scenario::outdoor_car(
+            CarModel::volvo_v40(),
+            Some(packet("00")),
+            0.75,
+            Sun::cloudy_noon(1),
+        );
+        let ch = sc.channel();
+        let origin = ReceiverPose::origin(ch.receiver_z_m);
+        assert_eq!(ch.pose(), origin);
+        let field = ch.static_field().expect("separable");
+        let field_at = ch.static_field_at(origin).expect("separable");
+        assert_eq!(field.static_total(), field_at.static_total());
+        assert_eq!(field.bg, field_at.bg);
+        assert_eq!(field.dark, field_at.dark);
+        let fs = ch.frontend.sample_rate_hz();
+        let n = (sc.duration_s() * fs).ceil() as usize;
+        for i in (0..n).step_by(97) {
+            let t = i as f64 / fs;
+            assert_eq!(ch.illuminance_at(t), ch.illuminance_at_pose(origin, t), "t={t}");
+        }
+        // And the pose-explicit sampler is the batch run, sample for
+        // sample.
+        let posed: Vec<f64> = ch.sampler_at_pose(sc.duration_s(), 5, origin).collect();
+        assert_eq!(sc.run(5).samples(), &posed[..]);
+    }
+
+    /// Walks the run comparing all three tiers at an explicit pose.
+    fn assert_pose_tiers_agree(sc: &Scenario, pose: ReceiverPose, label: &str) {
+        let ch = sc.channel();
+        let field =
+            Arc::new(ch.static_field_at(pose).unwrap_or_else(|| panic!("{label}: separable")));
+        assert_eq!(field.pose(), pose, "{label}: pose travels with the field");
+        let mut delta = ch
+            .delta_field(field.clone())
+            .unwrap_or_else(|| panic!("{label}: piecewise-static scene"));
+        let fs = ch.frontend.sample_rate_hz();
+        let n = (sc.duration_s() * fs).ceil() as usize;
+        let mut saw_signal = false;
+        for i in 0..n {
+            let t = i as f64 / fs;
+            let incremental = delta.illuminance(ch, t);
+            let staged = ch.illuminance_staged(&field, t);
+            let full = ch.illuminance_at_pose(pose, t);
+            let tol = 1e-9 * full.abs().max(1.0);
+            assert!(
+                (incremental - staged).abs() <= tol,
+                "{label}: t={t}: incremental {incremental} vs staged {staged}"
+            );
+            assert!((staged - full).abs() <= tol, "{label}: t={t}: staged {staged} vs full {full}");
+            if full > 1.02 * field.static_total() {
+                saw_signal = true;
+            }
+        }
+        assert!(saw_signal, "{label}: the pass must modulate the offset receiver too");
+    }
+
+    #[test]
+    fn offset_pose_three_tiers_agree_outdoor() {
+        // A receiver displaced along and across the track still sees the
+        // car pass (uniform overcast sky), and all three integrator
+        // tiers agree at that pose — the pin for the pose threading of
+        // spans, column ranges, swept bands, and the mirror geometry.
+        let sc = Scenario::outdoor_car(
+            CarModel::volvo_v40(),
+            Some(packet("00")),
+            0.75,
+            Sun::cloudy_noon(2),
+        );
+        let z = sc.channel().receiver_z_m;
+        assert_pose_tiers_agree(&sc, ReceiverPose::new(1.3, 0.4, z), "offset outdoor");
+    }
+
+    #[test]
+    fn offset_pose_three_tiers_agree_ceiling() {
+        // A ceiling-panel office with the receiver displaced from the
+        // panel axis: the lateral falloff makes the background genuinely
+        // pose-dependent, and the specular mirror geometry (panel has a
+        // direction) is exercised off-axis.
+        let sc = Scenario::ceiling_office(packet("10"), 0.03, 500.0);
+        let z = sc.channel().receiver_z_m;
+        assert_pose_tiers_agree(&sc, ReceiverPose::new(-0.28, 0.07, z), "offset ceiling");
+    }
+
+    #[test]
+    fn offset_pose_sees_the_pass_later() {
+        // Staggered poses are the whole point of the array layer: a
+        // receiver further along the track must see the modulation peak
+        // later than one at the origin.
+        let sc = Scenario::outdoor_car(
+            CarModel::volvo_v40(),
+            Some(packet("00")),
+            0.75,
+            Sun::cloudy_noon(3),
+        );
+        let ch = sc.channel();
+        let z = ch.receiver_z_m;
+        let extra = 1.5 / 5.0; // 1.5 m stagger at 5 m/s
+        let peak_time = |pose: ReceiverPose| {
+            let field = ch.static_field_at(pose).expect("separable");
+            let fs = ch.frontend.sample_rate_hz();
+            let n = ((sc.duration_s() + extra) * fs).ceil() as usize;
+            let mut best = (0.0, f64::MIN);
+            for i in 0..n {
+                let t = i as f64 / fs;
+                let v = ch.illuminance_staged(&field, t);
+                if v > best.1 {
+                    best = (t, v);
+                }
+            }
+            best.0
+        };
+        let t0 = peak_time(ReceiverPose::origin(z));
+        let t1 = peak_time(ReceiverPose::new(1.5, 0.0, z));
+        assert!(
+            t1 > t0 + 0.15,
+            "downstream receiver must peak later: origin {t0:.3}s vs offset {t1:.3}s"
+        );
     }
 
     #[test]

@@ -59,15 +59,21 @@ pub struct Detection {
 }
 
 /// One fused object-pass event.
+///
+/// Votes are per *distinct* receiver: when one receiver contributed
+/// several detections to the cluster (a re-armed decoder seeing the pass
+/// twice), only its highest-confidence detection counts, so `receivers`,
+/// `agreeing`, `support`, and `time_s` are all over one voter per
+/// receiver id.
 #[derive(Debug, Clone, PartialEq)]
 pub struct FusedEvent {
     /// Consensus payload.
     pub payload: Bits,
-    /// Mean timestamp of the contributing detections.
+    /// Mean timestamp of the voting detections (one per receiver).
     pub time_s: f64,
-    /// Number of receivers that contributed.
+    /// Number of distinct receivers that contributed.
     pub receivers: usize,
-    /// Number of receivers that agreed with the consensus.
+    /// Number of distinct receivers that agreed with the consensus.
     pub agreeing: usize,
     /// Total confidence mass behind the consensus.
     pub support: f64,
@@ -88,12 +94,28 @@ impl Detection {
     /// Wraps a decoded packet as a detection: `time_s` is when the
     /// receiver emitted it, confidence the packet's normalised magnitude
     /// swing τr (clamped to the unit interval).
+    ///
+    /// A non-finite τr (a degenerate calibration upstream) maps to
+    /// confidence 0 rather than clamping: `NaN.clamp(0.0, 1.0)` is NaN,
+    /// which would silently poison every `support` sum downstream.
     pub fn from_packet(receiver_id: u32, time_s: f64, packet: &DecodedPacket) -> Self {
-        Detection {
-            receiver_id,
-            time_s,
-            payload: packet.payload.clone(),
-            confidence: packet.tau_r.clamp(0.0, 1.0),
+        debug_assert!(
+            packet.tau_r.is_finite(),
+            "receiver {receiver_id}: non-finite tau_r {} at t={time_s}",
+            packet.tau_r
+        );
+        let confidence = if packet.tau_r.is_finite() { packet.tau_r.clamp(0.0, 1.0) } else { 0.0 };
+        Detection { receiver_id, time_s, payload: packet.payload.clone(), confidence }
+    }
+
+    /// This detection's voting weight: confidence sanitised to a finite
+    /// non-negative value (hand-built detections can still carry NaN or
+    /// negative confidences; they vote with weight 0, never poison).
+    fn weight(&self) -> f64 {
+        if self.confidence.is_finite() {
+            self.confidence.max(0.0)
+        } else {
+            0.0
         }
     }
 }
@@ -133,23 +155,41 @@ impl FusionCenter {
     }
 
     fn resolve(&self, cluster: &[&Detection]) -> FusedEvent {
-        // Confidence-weighted vote per distinct payload.
-        let mut tallies: Vec<(Bits, f64, usize)> = Vec::new();
+        // One voter per receiver: a re-armed decoder can emit the same
+        // pass twice (or more) from one receiver, and counting those as
+        // independent voters would let a single chatty receiver out-vote
+        // the honest majority. Keep each receiver's highest-confidence
+        // detection (earliest on ties, so arrival order cannot matter).
+        let mut voters: Vec<&&Detection> = Vec::new();
         for d in cluster {
+            match voters.iter_mut().find(|v| v.receiver_id == d.receiver_id) {
+                Some(v) => {
+                    if d.weight() > v.weight() {
+                        *v = d;
+                    }
+                }
+                None => voters.push(d),
+            }
+        }
+
+        // Confidence-weighted vote per distinct payload over the deduped
+        // voters.
+        let mut tallies: Vec<(Bits, f64, usize)> = Vec::new();
+        for d in &voters {
             match tallies.iter_mut().find(|(p, _, _)| p == &d.payload) {
                 Some((_, support, count)) => {
-                    *support += d.confidence.max(0.0);
+                    *support += d.weight();
                     *count += 1;
                 }
-                None => tallies.push((d.payload.clone(), d.confidence.max(0.0), 1)),
+                None => tallies.push((d.payload.clone(), d.weight(), 1)),
             }
         }
         let (payload, support, agreeing) = tallies
             .into_iter()
             .max_by(|a, b| a.1.total_cmp(&b.1).then(a.2.cmp(&b.2)))
             .expect("cluster is non-empty");
-        let time_s = cluster.iter().map(|d| d.time_s).sum::<f64>() / cluster.len() as f64;
-        FusedEvent { payload, time_s, receivers: cluster.len(), agreeing, support }
+        let time_s = voters.iter().map(|d| d.time_s).sum::<f64>() / voters.len() as f64;
+        FusedEvent { payload, time_s, receivers: voters.len(), agreeing, support }
     }
 }
 
@@ -161,7 +201,9 @@ impl FusionCenter {
 /// call [`FusionStream::flush`] at end-of-run (or on a timeout in a live
 /// system) to resolve the final open cluster. Detections arriving
 /// slightly out of order — loosely synchronised receiver clocks — simply
-/// join the open cluster.
+/// join the open cluster; detections arriving *far* before it (more than
+/// the window behind its latest member) resolve alone instead of joining
+/// (see [`FusionStream::push`]).
 #[derive(Debug, Clone)]
 pub struct FusionStream {
     center: FusionCenter,
@@ -184,7 +226,18 @@ impl FusionStream {
 
     /// Ingests one detection. Returns the fused event of the *previous*
     /// cluster when this detection is the first of a new one.
+    ///
+    /// A *straggler* — a detection older than the open cluster's latest
+    /// member by more than the window (gross clock skew, a shard
+    /// delivering an earlier pass very late) — must not join: its time
+    /// belongs to a pass whose cluster already closed, and admitting it
+    /// would widen the open cluster without bound and skew its mean
+    /// `time_s`. It is resolved immediately as its own singleton event
+    /// instead, leaving the open cluster untouched.
     pub fn push(&mut self, detection: Detection) -> Option<FusedEvent> {
+        if !self.open.is_empty() && self.latest_s - detection.time_s > self.center.window_s {
+            return Some(self.center.resolve(&[&detection]));
+        }
         let closes =
             !self.open.is_empty() && detection.time_s - self.latest_s > self.center.window_s;
         let event = if closes { self.flush() } else { None };
@@ -286,5 +339,97 @@ mod tests {
             FusionCenter::default().fuse(&[det(2, 30.0, "11", 0.9), det(1, 10.0, "10", 0.9)]);
         assert_eq!(events.len(), 2);
         assert_eq!(events[0].payload.to_string(), "10");
+    }
+
+    #[test]
+    fn duplicate_detections_from_one_receiver_vote_once() {
+        // Regression: a re-armed decoder on receiver 1 emits the same
+        // (wrong) payload three times in one pass. Counted naively its
+        // 3 × 0.5 support out-votes the two honest receivers' 2 × 0.7;
+        // deduped per receiver it must lose.
+        let events = FusionCenter::default().fuse(&[
+            det(1, 10.0, "11", 0.5),
+            det(1, 10.1, "11", 0.5),
+            det(1, 10.2, "11", 0.5),
+            det(2, 10.3, "10", 0.7),
+            det(3, 10.4, "10", 0.7),
+        ]);
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].payload.to_string(), "10", "chatty receiver must not out-vote");
+        assert_eq!(events[0].receivers, 3, "three distinct receivers");
+        assert_eq!(events[0].agreeing, 2);
+        assert!((events[0].support - 1.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dedupe_keeps_the_highest_confidence_detection() {
+        let events = FusionCenter::default().fuse(&[
+            det(1, 10.0, "10", 0.3),
+            det(1, 10.4, "10", 0.9),
+            det(1, 10.8, "10", 0.2),
+        ]);
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].receivers, 1);
+        assert_eq!(events[0].agreeing, 1);
+        assert!((events[0].support - 0.9).abs() < 1e-12, "keep the best, not the sum");
+        // Mean time is over the single voter, not the chatter.
+        assert!((events[0].time_s - 10.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn straggler_does_not_widen_the_open_cluster() {
+        // Regression: with the signed-gap test a detection far *before*
+        // the open cluster always joined, dragging the mean time and
+        // keeping the cluster open forever. It must resolve alone.
+        let mut live = FusionStream::new(FusionCenter::default());
+        assert!(live.push(det(1, 100.0, "10", 0.9)).is_none());
+        assert!(live.push(det(2, 100.3, "10", 0.8)).is_none());
+        let straggler = live.push(det(3, 10.0, "11", 0.7)).expect("straggler resolves alone");
+        assert_eq!(straggler.payload.to_string(), "11");
+        assert_eq!(straggler.receivers, 1);
+        assert!((straggler.time_s - 10.0).abs() < 1e-12);
+        // The open cluster is untouched and resolves with its own mean.
+        assert_eq!(live.pending(), 2);
+        let event = live.flush().expect("open cluster still resolves");
+        assert_eq!(event.payload.to_string(), "10");
+        assert_eq!(event.receivers, 2);
+        assert!((event.time_s - 100.15).abs() < 1e-12, "mean not skewed by the straggler");
+    }
+
+    #[test]
+    fn mild_out_of_order_still_joins_the_cluster() {
+        // Loosely synchronised clocks: a detection slightly behind the
+        // cluster's latest member (within the window) still belongs.
+        let mut live = FusionStream::new(FusionCenter::default());
+        assert!(live.push(det(1, 10.5, "10", 0.9)).is_none());
+        assert!(live.push(det(2, 10.0, "10", 0.8)).is_none());
+        let event = live.flush().unwrap();
+        assert_eq!(event.receivers, 2);
+    }
+
+    #[test]
+    fn non_finite_confidence_votes_with_zero_weight() {
+        // Hand-built detections can carry NaN/infinite confidences; they
+        // must not poison the support sums or win the vote.
+        let events = FusionCenter::default().fuse(&[
+            det(1, 5.0, "11", f64::NAN),
+            det(2, 5.1, "11", f64::INFINITY),
+            det(3, 5.2, "10", 0.4),
+        ]);
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].payload.to_string(), "10");
+        assert!(events[0].support.is_finite());
+        assert!((events[0].support - 0.4).abs() < 1e-12);
+        assert_eq!(events[0].receivers, 3);
+    }
+
+    #[test]
+    fn nan_confidence_duplicates_cannot_displace_a_real_vote() {
+        // NaN never compares greater, so the deduped voter stays the
+        // finite-confidence detection regardless of arrival order.
+        let events =
+            FusionCenter::default().fuse(&[det(1, 5.0, "10", 0.6), det(1, 5.1, "10", f64::NAN)]);
+        assert_eq!(events[0].receivers, 1);
+        assert!((events[0].support - 0.6).abs() < 1e-12);
     }
 }

@@ -56,28 +56,28 @@ pub mod trace;
 pub mod vehicle;
 
 pub use capacity::{CapacityAnalyzer, CapacitySweep};
-pub use channel::{ChannelSampler, PassiveChannel, Scenario, StaticField};
+pub use channel::{ChannelSampler, PassiveChannel, ReceiverPose, Scenario, StaticField};
 pub use classify::{DtwClassifier, TemplateDb};
 pub use collision::{CollisionAnalyzer, CollisionReport};
 pub use decode::{AdaptiveDecoder, DecodeError, DecodedPacket};
 pub use fusion::{Detection, FusedEvent, FusionCenter, FusionStream};
 pub use selector::ReceiverSelector;
-pub use stream::{DecodeEvent, StreamingDecoder, StreamingTwoPhase};
-pub use sweep::{StreamOutcome, SweepRunner, TimedEvent};
+pub use stream::{DecodeEvent, PushDecoder, StreamingDecoder, StreamingTwoPhase};
+pub use sweep::{ArrayOutcome, ArrayReceiver, ArrayRun, StreamOutcome, SweepRunner, TimedEvent};
 pub use trace::Trace;
 pub use vehicle::{CarShapeDetector, TwoPhaseDecoder};
 
 /// Commonly used items across the workspace, importable in one line.
 pub mod prelude {
     pub use crate::capacity::CapacityAnalyzer;
-    pub use crate::channel::{ChannelSampler, PassiveChannel, Scenario};
+    pub use crate::channel::{ChannelSampler, PassiveChannel, ReceiverPose, Scenario};
     pub use crate::classify::{DtwClassifier, TemplateDb};
     pub use crate::collision::{CollisionAnalyzer, CollisionReport};
     pub use crate::decode::{AdaptiveDecoder, DecodedPacket};
     pub use crate::fusion::{Detection, FusionCenter, FusionStream};
     pub use crate::selector::ReceiverSelector;
-    pub use crate::stream::{DecodeEvent, StreamingDecoder, StreamingTwoPhase};
-    pub use crate::sweep::{StreamOutcome, SweepRunner};
+    pub use crate::stream::{DecodeEvent, PushDecoder, StreamingDecoder, StreamingTwoPhase};
+    pub use crate::sweep::{ArrayOutcome, ArrayReceiver, ArrayRun, StreamOutcome, SweepRunner};
     pub use crate::trace::Trace;
     pub use crate::vehicle::{CarShapeDetector, TwoPhaseDecoder};
     pub use palc_frontend::{Frontend, OpticalReceiver, PdGain};

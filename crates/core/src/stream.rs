@@ -1798,11 +1798,18 @@ impl StreamingTwoPhase {
 // Batch drains
 // ---------------------------------------------------------------------------
 
-/// A push-based decoder the batch facades can drain. Both streaming cores
-/// share the same sample-in/events-out surface.
-pub(crate) trait PushDecoder {
+/// A push-based decoder: the sample-in/events-out surface both streaming
+/// cores ([`StreamingDecoder`], [`StreamingTwoPhase`]) share. The batch
+/// facades drain trait objects of it, and receiver-array shards
+/// (`Scenario::run_array_streaming` in [`crate::sweep`]) are generic over
+/// it so one array can run either the indoor adaptive or the vehicular
+/// two-phase core.
+pub trait PushDecoder {
+    /// Ingests one RSS sample; may emit the next decode event.
     fn push_sample(&mut self, sample: f64) -> Option<DecodeEvent>;
+    /// Drains further events queued behind the last push.
     fn poll_event(&mut self) -> Option<DecodeEvent>;
+    /// Ends the stream, flushing any terminal events.
     fn finish_stream(&mut self) -> Vec<DecodeEvent>;
 }
 

@@ -18,7 +18,10 @@
 //! This module also hosts the sweep-flavoured [`Scenario`] entry points:
 //! [`Scenario::run_streaming`] pipes each seed's channel sampler straight
 //! into a push-based [`StreamingDecoder`] (one live receiver per worker,
-//! no trace ever materialised), and [`Scenario::delivery_count`] is the
+//! no trace ever materialised), [`Scenario::run_array_streaming`] shards
+//! one scene across an array of receiver *poses* (one worker per
+//! [`ArrayReceiver`], each owning its pose-relative static/delta fields,
+//! detections fused online), and [`Scenario::delivery_count`] is the
 //! shared "run a seed batch → decode → count accepted payloads" loop
 //! behind every delivery-ratio figure and test.
 //!
@@ -35,13 +38,13 @@
 //! assert!(outcomes.iter().all(|o| o.packets().any(|p| p.payload.to_string() == "10")));
 //! ```
 
-use crate::channel::Scenario;
+use crate::channel::{ReceiverPose, Scenario};
 use crate::decode::{AdaptiveDecoder, DecodedPacket};
-use crate::fusion::Detection;
-use crate::stream::{DecodeEvent, StreamingDecoder};
+use crate::fusion::{Detection, FusedEvent, FusionCenter, FusionStream};
+use crate::stream::{DecodeEvent, PushDecoder, StreamingDecoder};
 use crate::trace::Trace;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::mpsc;
+use std::sync::{mpsc, Mutex};
 
 /// Sets the shared poisoned flag when its worker unwinds, so sibling
 /// workers stop pulling new items instead of running the sweep to
@@ -198,6 +201,97 @@ impl StreamOutcome {
     }
 }
 
+/// One receiver of a shared-scene array: its identity for fusion, its
+/// [`ReceiverPose`] in the scene, and its private noise seed.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ArrayReceiver {
+    /// Receiver identity, stamped onto every [`Detection`] this shard
+    /// emits (fusion dedupes voters by it).
+    pub id: u32,
+    /// Where this receiver sits over the shared scene.
+    pub pose: ReceiverPose,
+    /// Frontend noise seed for this receiver's shard.
+    pub seed: u64,
+}
+
+/// One shard's event log from [`Scenario::run_array_streaming`] /
+/// [`Scenario::run_shard`].
+#[derive(Debug, Clone)]
+pub struct ArrayOutcome {
+    /// The receiver this shard simulated.
+    pub receiver: ArrayReceiver,
+    /// Everything its push-based decoder emitted, in stream order.
+    pub events: Vec<TimedEvent>,
+}
+
+impl ArrayOutcome {
+    /// The packets this receiver decoded, in stream order.
+    pub fn packets(&self) -> impl Iterator<Item = &DecodedPacket> {
+        self.events.iter().filter_map(|e| match &e.event {
+            DecodeEvent::Packet(p) => Some(p),
+            _ => None,
+        })
+    }
+
+    /// The packets as [`Detection`]s stamped with this shard's receiver
+    /// id — the same values the online fusion feed saw.
+    pub fn detections(&self) -> impl Iterator<Item = Detection> + '_ {
+        self.events.iter().filter_map(|e| match &e.event {
+            DecodeEvent::Packet(p) => Some(Detection::from_packet(self.receiver.id, e.time_s, p)),
+            _ => None,
+        })
+    }
+}
+
+/// The result of one receiver-array run: the online-fused events plus
+/// every shard's raw event log (input order).
+#[derive(Debug, Clone)]
+pub struct ArrayRun {
+    /// Fused events, in the order the online [`FusionStream`] emitted
+    /// them as detections arrived from the shards.
+    pub fused: Vec<FusedEvent>,
+    /// Per-receiver event logs, in `receivers` input order.
+    pub outcomes: Vec<ArrayOutcome>,
+}
+
+/// The one timed push/poll/finish drain: feeds `sampler` into `decoder`
+/// sample by sample, stamping every emitted event with the stream time
+/// (samples pushed so far / rate) and surfacing decoded packets to
+/// `on_packet` the moment they appear. The per-seed streaming runs and
+/// the receiver-array shards both ride this loop, so their timestamps
+/// can never diverge.
+fn drain_timed<D: PushDecoder>(
+    sampler: impl Iterator<Item = f64>,
+    fs: f64,
+    mut decoder: D,
+    mut on_packet: impl FnMut(f64, &DecodedPacket),
+) -> Vec<TimedEvent> {
+    let mut events: Vec<TimedEvent> = Vec::new();
+    let mut pushed = 0usize;
+    let mut record = |time_s: f64, event: DecodeEvent, events: &mut Vec<TimedEvent>| {
+        if let DecodeEvent::Packet(p) = &event {
+            on_packet(time_s, p);
+        }
+        events.push(TimedEvent { time_s, event });
+    };
+    for sample in sampler {
+        let ev = decoder.push_sample(sample);
+        pushed += 1;
+        let time_s = pushed as f64 / fs;
+        if let Some(event) = ev {
+            record(time_s, event, &mut events);
+        }
+        while let Some(event) = decoder.poll_event() {
+            record(time_s, event, &mut events);
+        }
+    }
+    let time_s = pushed as f64 / fs;
+    for event in decoder.finish_stream() {
+        record(time_s, event, &mut events);
+    }
+    events
+}
+
 impl Scenario {
     /// Streams this scenario once per seed — each seed a live receiver:
     /// [`crate::channel::ChannelSampler`] feeding a self-scaling
@@ -222,21 +316,126 @@ impl Scenario {
     ) -> Vec<StreamOutcome> {
         let fs = self.channel().frontend.sample_rate_hz();
         runner.map(seeds, |&seed| {
-            let mut dec = StreamingDecoder::new(decoder.clone(), fs);
-            let mut events = Vec::new();
-            for sample in self.sampler(seed) {
-                let ev = dec.push(sample);
-                let time_s = dec.samples_pushed() as f64 / fs;
-                if let Some(event) = ev {
-                    events.push(TimedEvent { time_s, event });
+            let dec = StreamingDecoder::new(decoder.clone(), fs);
+            StreamOutcome { seed, events: drain_timed(self.sampler(seed), fs, dec, |_, _| {}) }
+        })
+    }
+
+    /// How long the shard for a receiver at `pose` must run so the pass
+    /// clears its staggered footprint: the scenario's base duration plus
+    /// the slowest object's travel time to the pose's along-track offset
+    /// ([`palc_scene::MobileObject::pass_delay_to`]; upstream poses add
+    /// nothing).
+    pub fn shard_duration_for(&self, pose: ReceiverPose) -> f64 {
+        let extra =
+            self.channel().objects.iter().map(|o| o.pass_delay_to(pose.x_m)).fold(0.0, f64::max);
+        self.duration_s() + extra
+    }
+
+    /// One receiver shard, serially: a pose-relative sampler (its own
+    /// `StaticField` + `DeltaField` over the shared scene objects) piped
+    /// into `decoder`, packets surfaced to `on_detection` the moment they
+    /// are emitted. This is the exact loop every array worker runs.
+    fn shard_events<D: PushDecoder>(
+        &self,
+        receiver: ArrayReceiver,
+        decoder: D,
+        mut on_detection: impl FnMut(Detection),
+    ) -> Vec<TimedEvent> {
+        let fs = self.channel().frontend.sample_rate_hz();
+        let duration = self.shard_duration_for(receiver.pose);
+        let sampler = self.channel().sampler_at_pose(duration, receiver.seed, receiver.pose);
+        drain_timed(sampler, fs, decoder, |time_s, p| {
+            on_detection(Detection::from_packet(receiver.id, time_s, p))
+        })
+    }
+
+    /// Runs one receiver of an array serially — the per-pose reference
+    /// the sharded run is property-tested against, and a convenient way
+    /// to replay a single receiver's view of the scene.
+    pub fn run_shard<D: PushDecoder>(&self, receiver: ArrayReceiver, decoder: D) -> ArrayOutcome {
+        let events = self.shard_events(receiver, decoder, |_| {});
+        ArrayOutcome { receiver, events }
+    }
+
+    /// The multi-receiver sharding layer: one scene, its objects shared,
+    /// sharded across the workspace default [`SweepRunner`] with one
+    /// worker per receiver pose. Each worker owns its own pose-relative
+    /// `StaticField` + incremental `DeltaField` and a self-scaling
+    /// [`StreamingDecoder`], and every decoded packet is pushed into an
+    /// online [`FusionStream`] *as the workers emit it* — the fused
+    /// verdicts are available without waiting for slower shards to
+    /// finish. Receiver `i` gets id `i` and noise seed `i`.
+    ///
+    /// `center.window_s` must cover the pass's stagger across the poses
+    /// (downstream receivers detect the same pass later). This is a hard
+    /// requirement, not a tuning knob: detections reach the fusion
+    /// stream in cross-thread *arrival* order, so with a window smaller
+    /// than the stagger an early detection landing after a late one
+    /// would be treated as a straggler and one pass could fragment into
+    /// several events depending on worker scheduling.
+    pub fn run_array_streaming(
+        &self,
+        poses: &[ReceiverPose],
+        decoder: &AdaptiveDecoder,
+        center: FusionCenter,
+    ) -> ArrayRun {
+        let fs = self.channel().frontend.sample_rate_hz();
+        let receivers: Vec<ArrayReceiver> = poses
+            .iter()
+            .enumerate()
+            .map(|(i, &pose)| ArrayReceiver { id: i as u32, pose, seed: i as u64 })
+            .collect();
+        self.run_array_streaming_on(&SweepRunner::new(), &receivers, center, |_| {
+            StreamingDecoder::new(decoder.clone(), fs)
+        })
+    }
+
+    /// Like [`Scenario::run_array_streaming`] with an explicit runner,
+    /// explicit receiver identities/seeds, and a per-receiver decoder
+    /// factory — generic over [`PushDecoder`], so vehicular arrays run
+    /// [`crate::stream::StreamingTwoPhase`] shards with the same
+    /// machinery.
+    pub fn run_array_streaming_on<D, F>(
+        &self,
+        runner: &SweepRunner,
+        receivers: &[ArrayReceiver],
+        center: FusionCenter,
+        make_decoder: F,
+    ) -> ArrayRun
+    where
+        D: PushDecoder,
+        F: Fn(&ArrayReceiver) -> D + Sync,
+    {
+        let (tx, detections) = mpsc::channel::<Detection>();
+        // Workers share one sender behind a mutex; detections are rare
+        // (a handful per pass per receiver), so contention is nil.
+        let tx = Mutex::new(tx);
+        std::thread::scope(|scope| {
+            // The fusion collector drains detections online, concurrent
+            // with the shard workers: fused events are resolved the
+            // moment their clusters close, not after the sweep.
+            let fuser = scope.spawn(move || {
+                let mut stream = FusionStream::new(center);
+                let mut fused = Vec::new();
+                for det in detections {
+                    fused.extend(stream.push(det));
                 }
-                while let Some(event) = dec.poll() {
-                    events.push(TimedEvent { time_s, event });
-                }
-            }
-            let time_s = dec.samples_pushed() as f64 / fs;
-            events.extend(dec.finish().into_iter().map(|event| TimedEvent { time_s, event }));
-            StreamOutcome { seed, events }
+                fused.extend(stream.flush());
+                fused
+            });
+            let outcomes = runner.map(receivers, |&receiver| {
+                let decoder = make_decoder(&receiver);
+                let events = self.shard_events(receiver, decoder, |det| {
+                    // The collector only disconnects after every sender
+                    // is gone, so this send cannot fail mid-sweep.
+                    let _ = tx.lock().expect("detection sink poisoned").send(det);
+                });
+                ArrayOutcome { receiver, events }
+            });
+            drop(tx); // last sender gone: the collector's loop ends
+            let fused = fuser.join().expect("fusion collector panicked");
+            ArrayRun { fused, outcomes }
         })
     }
 
@@ -318,6 +517,57 @@ mod tests {
             assert!(x != 13, "sweep item 13");
             x
         });
+    }
+
+    #[test]
+    fn origin_shard_replays_the_single_receiver_stream() {
+        use crate::channel::ReceiverPose;
+        use palc_phy::Packet;
+
+        // A shard at the origin pose is exactly the historical
+        // single-receiver streaming run: same sampler, same decoder,
+        // same event log.
+        let sc = Scenario::indoor_bench(Packet::from_bits("10").unwrap(), 0.03, 0.20);
+        let decoder = AdaptiveDecoder::default().with_expected_bits(2);
+        let fs = sc.channel().frontend.sample_rate_hz();
+        let seed = 7u64;
+        let single = &sc.run_streaming(&[seed], &decoder)[0];
+        let shard = sc.run_shard(
+            ArrayReceiver { id: 0, pose: ReceiverPose::origin(sc.channel().receiver_z_m), seed },
+            StreamingDecoder::new(decoder, fs),
+        );
+        assert_eq!(shard.events.len(), single.events.len());
+        for (a, b) in shard.events.iter().zip(&single.events) {
+            assert_eq!(a.time_s.to_bits(), b.time_s.to_bits());
+            assert_eq!(format!("{:?}", a.event), format!("{:?}", b.event));
+        }
+    }
+
+    #[test]
+    fn shard_duration_tolerates_parked_objects() {
+        use crate::channel::ReceiverPose;
+        use palc_phy::Packet;
+        use palc_scene::{MobileObject, Tag, Trajectory};
+
+        // Regression: a parked object (a first-class scene family since
+        // the incremental integrator) plus a downstream pose used to
+        // panic inside the trajectory's displacement search.
+        let mut sc = Scenario::indoor_bench(Packet::from_bits("10").unwrap(), 0.03, 0.25);
+        let parked = MobileObject::cart(
+            Tag::from_packet(&Packet::from_bits("0").unwrap(), 0.05),
+            Trajectory::Constant { speed_mps: 0.0 },
+        )
+        .starting_at(0.1)
+        .in_lane(0.31);
+        sc.channel_mut().objects.push(parked);
+        sc.calibrate_gain();
+        let z = sc.channel().receiver_z_m;
+        let base = sc.duration_s();
+        let stretched = sc.shard_duration_for(ReceiverPose::new(0.08, 0.0, z));
+        // The moving cart (8 cm/s) pays 1 s of stagger; the parked one
+        // contributes nothing.
+        assert!((stretched - base - 1.0).abs() < 1e-6, "{stretched} vs {base}");
+        assert_eq!(sc.shard_duration_for(ReceiverPose::new(-0.5, 0.0, z)), base);
     }
 
     #[test]

@@ -171,6 +171,33 @@ impl MobileObject {
         self.trajectory.time_to_travel((x_m - self.start_x_m).max(0.0))
     }
 
+    /// How much later this object's pass plays out for a receiver whose
+    /// nadir sits `dx_m` further along the track than the origin (0 for
+    /// upstream receivers, which see it no later). Receiver-array layers
+    /// use this to size each shard's run so the pass clears the
+    /// footprint of every staggered pose.
+    ///
+    /// The delay is measured over the *actual* origin→offset segment of
+    /// the trajectory — `time_to_reach(dx) − time_to_reach(0)` — so a
+    /// trajectory that decelerates past the gantry (a ramp, a step-down)
+    /// is not underestimated from its faster launch speed. An object
+    /// that never reaches the offset (parked, or a shuttle span that
+    /// ends short of it) has no later pass to wait for and contributes
+    /// 0.
+    pub fn pass_delay_to(&self, dx_m: f64) -> f64 {
+        if dx_m <= 0.0 || self.is_stationary() {
+            return 0.0;
+        }
+        let to_origin = (-self.start_x_m).max(0.0);
+        match (
+            self.trajectory.time_to_travel_checked(to_origin),
+            self.trajectory.time_to_travel_checked(to_origin + dx_m),
+        ) {
+            (Some(t0), Some(t1)) => t1 - t0,
+            _ => 0.0,
+        }
+    }
+
     /// Whether the object never moves (see [`Trajectory::is_stationary`]).
     /// A stationary object's footprint coverage is frozen, so incremental
     /// integrators can cache its covered patches once per scene.
@@ -422,6 +449,46 @@ mod tests {
         let lcd = crate::tag::LcdShutterTag::new(vec![tag("00", 0.05), tag("11", 0.05)], 0.5);
         let obj = MobileObject::lcd_cart(lcd, Trajectory::indoor_bench());
         assert!(obj.profile_breakpoints().is_none());
+    }
+
+    #[test]
+    fn pass_delay_measures_the_origin_to_offset_segment() {
+        // Constant speed: the delay is simply dx / v, wherever the
+        // object starts.
+        let obj = MobileObject::cart(tag("00", 0.03), Trajectory::Constant { speed_mps: 0.5 })
+            .starting_at(-2.0);
+        assert!((obj.pass_delay_to(1.0) - 2.0).abs() < 1e-6);
+        assert_eq!(obj.pass_delay_to(-1.0), 0.0, "upstream poses add nothing");
+        assert_eq!(obj.pass_delay_to(0.0), 0.0);
+
+        // Decelerating past the gantry: the object launches at 2 m/s
+        // but has slowed to 0.4 m/s by the origin, so the origin→offset
+        // leg takes 1.0 / 0.4 = 2.5 s — NOT the 0.5 s its launch speed
+        // would suggest.
+        let slowing = MobileObject::cart(
+            tag("00", 0.03),
+            Trajectory::StepChange { speed_mps: 2.0, switch_after_m: 1.0, factor: 0.2 },
+        )
+        .starting_at(-3.0);
+        assert!(
+            (slowing.pass_delay_to(1.0) - 2.5).abs() < 1e-6,
+            "delay must use the post-deceleration speed: {}",
+            slowing.pass_delay_to(1.0)
+        );
+    }
+
+    #[test]
+    fn pass_delay_is_zero_when_the_object_never_arrives() {
+        // Regression: these used to panic inside time_to_travel's
+        // displacement search, aborting any array run over the scene.
+        let parked = MobileObject::cart(tag("00", 0.03), Trajectory::Constant { speed_mps: 0.0 })
+            .starting_at(0.1);
+        assert_eq!(parked.pass_delay_to(0.5), 0.0, "parked objects never pass anywhere");
+        let shuttle = MobileObject::cart(
+            tag("00", 0.03),
+            Trajectory::Shuttle { speed_mps: 0.1, span_m: 0.3 },
+        );
+        assert_eq!(shuttle.pass_delay_to(2.0), 0.0, "pose beyond the shuttle span");
     }
 
     #[test]

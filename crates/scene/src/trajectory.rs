@@ -170,18 +170,39 @@ impl Trajectory {
     /// [`Trajectory::Shuttle`] this is the *first* time the displacement
     /// reaches the distance, which must lie within the shuttle span).
     pub fn time_to_travel(&self, distance_m: f64) -> f64 {
+        match self.time_to_travel_checked(distance_m) {
+            Some(t) => t,
+            None => {
+                if let Trajectory::Shuttle { span_m, .. } = *self {
+                    panic!("shuttle never travels past its {span_m} m span");
+                }
+                panic!("trajectory never covers {distance_m} m");
+            }
+        }
+    }
+
+    /// Like [`Trajectory::time_to_travel`], but `None` when this
+    /// trajectory never covers `distance_m` (a parked object, a shuttle
+    /// span shorter than the distance) instead of panicking — the query
+    /// receiver-array layers use to size shards for poses an object may
+    /// never reach.
+    pub fn time_to_travel_checked(&self, distance_m: f64) -> Option<f64> {
         assert!(distance_m >= 0.0);
         if distance_m == 0.0 {
-            return 0.0;
+            return Some(0.0);
         }
         if let Trajectory::Shuttle { speed_mps, span_m } = *self {
-            assert!(distance_m <= span_m, "shuttle never travels past its {span_m} m span");
-            return distance_m / speed_mps;
+            if distance_m > span_m {
+                return None;
+            }
+            return Some(distance_m / speed_mps);
         }
         let mut hi = 1.0;
         while self.displacement(hi) < distance_m {
             hi *= 2.0;
-            assert!(hi < 1e9, "trajectory never covers {distance_m} m");
+            if hi >= 1e9 {
+                return None;
+            }
         }
         let mut lo = 0.0;
         for _ in 0..80 {
@@ -192,7 +213,7 @@ impl Trajectory {
                 hi = mid;
             }
         }
-        0.5 * (lo + hi)
+        Some(0.5 * (lo + hi))
     }
 }
 

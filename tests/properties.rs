@@ -711,6 +711,183 @@ mod three_tier_equivalence {
     }
 }
 
+// ---------------- Receiver arrays: shards == serial, fusion ---------------
+
+/// The sharding invariants: a multi-receiver array run fans one scene's
+/// shared objects across workers, and each shard's decode is
+/// byte-identical to the same receiver simulated serially; staggered
+/// poses see the pass at different times, and the online fusion layer
+/// still resolves one event with one *distinct* vote per receiver.
+mod receiver_arrays {
+    use palc_lab::core::channel::{PassiveChannel, ReceiverPose, Resolution, Scenario};
+    use palc_lab::core::decode::AdaptiveDecoder;
+    use palc_lab::core::fusion::FusionCenter;
+    use palc_lab::core::stream::{DecodeEvent, StreamingTwoPhase};
+    use palc_lab::core::sweep::{ArrayOutcome, ArrayReceiver, SweepRunner};
+    use palc_lab::core::vehicle::TwoPhaseDecoder;
+    use palc_lab::optics::source::Sun;
+    use palc_lab::phy::Packet;
+    use palc_lab::scene::{CarModel, Environment, MobileObject, Tag, Trajectory};
+
+    /// The Sec. 5 vehicular link: one car pass shared by a gantry of
+    /// receivers running two-phase shards.
+    fn outdoor() -> Scenario {
+        Scenario::outdoor_car(
+            CarModel::volvo_v40(),
+            Some(Packet::from_bits("00").unwrap()),
+            0.75,
+            Sun::cloudy_noon(5),
+        )
+    }
+
+    /// Distinct staggered gantry poses over the car lane: one across the
+    /// lane, one on-axis, two downstream (the last well past the base
+    /// scenario's duration, so shard-duration stretching is exercised).
+    fn gantry(z: f64) -> [ReceiverPose; 4] {
+        [
+            ReceiverPose::new(0.0, -0.35, z),
+            ReceiverPose::origin(z),
+            ReceiverPose::new(1.2, 0.35, z),
+            ReceiverPose::new(2.5, 0.0, z),
+        ]
+    }
+
+    /// An RX-LED line of sky-lit readers (the paper's Fig. 17 receiver,
+    /// outdoors under a uniform overcast sky): a tag cart rolls past
+    /// three staggered narrow-FoV receivers, each seeing the pass
+    /// seconds apart — the adaptive-decoder convenience path.
+    fn sky_readers() -> Scenario {
+        let tag = Tag::from_packet(&Packet::from_bits("10").unwrap(), 0.04);
+        let len = tag.length_m();
+        let object =
+            MobileObject::cart(tag, Trajectory::Constant { speed_mps: 0.25 }).starting_at(-0.15);
+        let duration = (len + 0.9) / 0.25 + 0.2;
+        let receiver = palc_lab::frontend::OpticalReceiver::rx_led();
+        let frontend = palc_lab::frontend::Frontend::indoor(receiver, 0);
+        Scenario::custom(
+            PassiveChannel {
+                environment: Environment::parking_lot(),
+                source: Box::new(Sun::cloudy_noon(6)),
+                objects: vec![object],
+                receiver_z_m: 0.35,
+                frontend,
+                resolution: Resolution { along_m: 0.005, lateral_slices: 3 },
+            },
+            duration,
+        )
+    }
+
+    /// Byte-level equality of two shard event logs: same events at the
+    /// same stream times, packets identical down to the calibration bits.
+    fn assert_events_identical(a: &ArrayOutcome, b: &ArrayOutcome, label: &str) {
+        assert_eq!(a.events.len(), b.events.len(), "{label}: event count");
+        for (i, (x, y)) in a.events.iter().zip(&b.events).enumerate() {
+            assert_eq!(x.time_s.to_bits(), y.time_s.to_bits(), "{label}: event {i} time");
+            match (&x.event, &y.event) {
+                (DecodeEvent::Packet(p), DecodeEvent::Packet(q)) => {
+                    assert_eq!(p.symbols, q.symbols, "{label}: event {i} symbols");
+                    assert_eq!(p.payload, q.payload, "{label}: event {i} payload");
+                    for (u, v, f) in [
+                        (p.tau_r, q.tau_r, "tau_r"),
+                        (p.tau_t, q.tau_t, "tau_t"),
+                        (p.threshold_level, q.threshold_level, "threshold_level"),
+                    ] {
+                        assert_eq!(u.to_bits(), v.to_bits(), "{label}: event {i} {f}");
+                    }
+                }
+                (ev_a, ev_b) => {
+                    assert_eq!(format!("{ev_a:?}"), format!("{ev_b:?}"), "{label}: event {i} kind");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_array_equals_per_receiver_serial_runs() {
+        let sc = outdoor();
+        let z = sc.channel().receiver_z_m;
+        let receivers: Vec<ArrayReceiver> = gantry(z)
+            .iter()
+            .enumerate()
+            .map(|(i, &pose)| ArrayReceiver { id: i as u32, pose, seed: i as u64 })
+            .collect();
+        let fs = sc.channel().frontend.sample_rate_hz();
+        let mk = |_: &ArrayReceiver| {
+            StreamingTwoPhase::new(TwoPhaseDecoder::new(CarModel::volvo_v40(), 0.10, 2), fs)
+        };
+        let run =
+            sc.run_array_streaming_on(&SweepRunner::new(), &receivers, FusionCenter::default(), mk);
+        assert_eq!(run.outcomes.len(), receivers.len());
+        for (rx, outcome) in receivers.iter().zip(&run.outcomes) {
+            assert_eq!(outcome.receiver, *rx, "outcomes keep input order");
+            let serial = sc.run_shard(*rx, mk(rx));
+            assert_events_identical(outcome, &serial, &format!("receiver {}", rx.id));
+            let n: usize = outcome.packets().count();
+            assert!(n >= 1, "receiver {} at {:?} must decode the pass", rx.id, rx.pose);
+            assert!(
+                outcome.packets().all(|p| p.payload.to_string() == "00"),
+                "receiver {} payload",
+                rx.id
+            );
+        }
+        // Downstream receivers see the pass later, in pose order.
+        let first_detection =
+            |o: &ArrayOutcome| o.detections().next().map(|d| d.time_s).expect("decoded");
+        let t_origin = first_detection(&run.outcomes[1]);
+        let t_mid = first_detection(&run.outcomes[2]);
+        let t_far = first_detection(&run.outcomes[3]);
+        assert!(
+            t_origin < t_mid && t_mid < t_far,
+            "stagger must order detections: {t_origin} {t_mid} {t_far}"
+        );
+        // One pass, one fused event, one vote per distinct receiver.
+        assert_eq!(run.fused.len(), 1);
+        assert_eq!(run.fused[0].payload.to_string(), "00");
+        assert_eq!(run.fused[0].receivers, 4);
+    }
+
+    #[test]
+    fn staggered_array_fuses_one_event_with_distinct_receivers() {
+        let sc = sky_readers();
+        let z = sc.channel().receiver_z_m;
+        let poses = [
+            ReceiverPose::new(0.0, -0.05, z),
+            ReceiverPose::new(0.3, 0.0, z),
+            ReceiverPose::new(0.62, 0.06, z),
+        ];
+        let cfg = AdaptiveDecoder::default().with_expected_bits(2);
+        // The window must cover the pass's full ~2.5 s stagger across
+        // the poses (the documented contract): detections reach the
+        // online fusion stream in cross-thread arrival order, so a
+        // window smaller than the stagger could fragment the pass
+        // depending on worker scheduling.
+        let run = sc.run_array_streaming(&poses, &cfg, FusionCenter { window_s: 4.0 });
+        assert_eq!(
+            run.fused.len(),
+            1,
+            "one pass, one fused event (got {:?})",
+            run.fused.iter().map(|e| (e.payload.to_string(), e.time_s)).collect::<Vec<_>>()
+        );
+        let event = &run.fused[0];
+        assert_eq!(event.payload.to_string(), "10");
+        assert_eq!(event.receivers, 3, "distinct receivers, not detection count");
+        assert_eq!(event.agreeing, 3);
+        // The stagger is real: 0.62 m at 0.25 m/s is ~2.5 s of spread
+        // between the first and last receiver's view of the same pass.
+        let times: Vec<f64> = run
+            .outcomes
+            .iter()
+            .flat_map(|o| o.detections().map(|d| d.time_s).collect::<Vec<_>>())
+            .collect();
+        let (lo, hi) = times.iter().fold((f64::MAX, f64::MIN), |(l, h), &t| (l.min(t), h.max(t)));
+        assert!(
+            hi - lo > 2.0,
+            "staggered poses must detect the pass at different times: spread {}",
+            hi - lo
+        );
+    }
+}
+
 // ---------------- Channel: streaming == batch ----------------------------
 
 /// The tentpole invariant: for any seed, the streaming `ChannelSampler`
