@@ -1,31 +1,44 @@
 //! Records the channel sampler's samples/sec baseline.
 //!
 //! ```text
-//! cargo run --release -p palc_bench --bin channel_throughput [-- [--smoke] [out.json [reps]]]
+//! cargo run --release -p palc_bench --bin channel_throughput \
+//!     [-- [--smoke] [--check] [out.json [reps]]]
 //! ```
 //!
 //! Writes `BENCH_channel.json` (or the given path) and prints it.
 //! `--smoke` is the CI bit-rot guard: one rep per scenario, results
 //! printed but written only when a path is given explicitly — a smoke
-//! run never clobbers the recorded baseline.
+//! run never clobbers the recorded baseline. `--check` asserts the
+//! ROADMAP performance floors on the freshly measured numbers (indoor
+//! staged ≥ 5×, outdoor incremental ≥ 3×, the footprint-kernel floors)
+//! and exits non-zero on any violation, so CI fails on a perf
+//! regression instead of letting the ledger erode silently. A violation
+//! seen on a single-rep smoke measurement is re-measured at the full
+//! rep count before failing: floor ratios wobble ~10 % on a noisy
+//! runner, and only a regression that survives the confirmation run is
+//! real.
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let smoke = args.iter().any(|a| a == "--smoke");
-    let rest: Vec<&String> = args.iter().filter(|a| a.as_str() != "--smoke").collect();
+    let check = args.iter().any(|a| a == "--check");
+    let rest: Vec<&String> =
+        args.iter().filter(|a| a.as_str() != "--smoke" && a.as_str() != "--check").collect();
     let path = rest.first().map(|s| s.as_str());
     let reps: u64 = rest.get(1).and_then(|s| s.parse().ok()).unwrap_or(if smoke { 1 } else { 5 });
 
     let results = palc_bench::throughput::channel_throughput(reps);
     for r in &results {
         println!(
-            "{:<18} incr {:>10.0}/s | staged {:>10.0}/s | full {:>10.0}/s | staged/full {:>5.2}x | incr/staged {:>5.2}x | array×{} {:>10.0}/s | run_batch {:>4.2}x on {} threads",
+            "{:<18} kernel {:>10.0}/s | incr {:>10.0}/s | staged {:>10.0}/s | full {:>10.0}/s | staged/full {:>5.2}x | incr/staged {:>5.2}x | kernel/staged {:>5.2}x | array×{} {:>10.0}/s | run_batch {:>4.2}x on {} threads",
             r.scenario,
+            r.kernel_samples_per_s,
             r.incremental_samples_per_s,
             r.staged_samples_per_s,
             r.full_samples_per_s,
             r.speedup,
             r.incremental_speedup,
+            r.kernel_speedup,
             r.array_receivers,
             r.array_samples_per_s,
             r.batch_parallel_speedup,
@@ -41,5 +54,28 @@ fn main() {
             println!("\nwrote {p}");
         }
         None => println!("\nsmoke run: nothing written"),
+    }
+    if check {
+        let mut violations = palc_bench::throughput::check_floors(&results);
+        if !violations.is_empty() && reps < 5 {
+            // Low-rep measurements (the CI smoke run) can wobble a
+            // ratio a few percent below its floor; confirm the
+            // regression on a fresh 5-rep measurement before failing.
+            eprintln!("floor violation at {reps} rep(s); re-measuring at 5 reps to confirm:");
+            for v in &violations {
+                eprintln!("  {v}");
+            }
+            violations = palc_bench::throughput::check_floors(
+                &palc_bench::throughput::channel_throughput(5),
+            );
+        }
+        if violations.is_empty() {
+            println!("all performance floors hold");
+        } else {
+            for v in &violations {
+                eprintln!("FLOOR VIOLATED: {v}");
+            }
+            std::process::exit(1);
+        }
     }
 }

@@ -49,7 +49,8 @@
 //!        │ surface_at(x, y, t)                │ illuminance / envelope
 //!        ▼                                    ▼
 //!  ┌───────────────────────────────────────────────────────────────────┐
-//!  │ channel — three-tier integrator (full → staged → incremental)     │
+//!  │ channel — four-tier integrator                                    │
+//!  │          (full → staged → incremental → kernel)                   │
 //!  │   StaticField: background footprint integral (ground + stray      │
 //!  │   pedestal), integrated ONCE per scene, valid whenever the source │
 //!  │   factorises as profile(p) × envelope(t)                          │
@@ -59,6 +60,9 @@
 //!  │   DeltaField tick: cached per-column deltas; re-integrates ONLY   │
 //!  │           the patches a surface breakpoint swept since the last   │
 //!  │           tick — O(boundary), with exact staged/full fallbacks    │
+//!  │   FootprintKernel tick: per-object per-(height, material)-bin     │
+//!  │           column-geometry tables precomputed at build; a tick is  │
+//!  │           pure lookups — no acos/powf/exp/sqrt, no surface scans  │
 //!  └───────────────────────────────┬───────────────────────────────────┘
 //!                                  │ E_rx(t), one sample at a time
 //!                                  ▼
@@ -258,19 +262,47 @@ impl PassiveChannel {
         // Footprint bounds on the ground plane.
         let g = self.grid_for(pose);
         let env = self.source.flicker_envelope(t);
+        // Lane coverage per slice, hoisted out of the per-patch surface
+        // scan: each object's band test runs once per tick per slice,
+        // not once per patch, and off-lane objects are never touched.
+        let masks = self.slice_masks(&g, pose);
         for ix in 0..g.steps {
             let x = pose.x_m + g.x(ix);
-            for iy in 0..g.slices {
+            for (iy, &mask) in masks.iter().enumerate() {
                 let y = pose.y_m + g.y(iy);
-                total += self.patch_contribution(x, y, g.dx, g.dy, t, rx_pos, env);
+                total += self.patch_contribution(x, y, g.dx, g.dy, t, rx_pos, env, mask);
             }
         }
         total
     }
 
+    /// Which objects' lane bands cover each cross-track slice of grid
+    /// `g`: bit `i` of entry `iy` is set when object `i` (for the first
+    /// 64 objects) passes the `(y - lane_y).abs() <= lateral/2` test at
+    /// slice `iy`'s y — the exact test [`PassiveChannel::surface_at`]
+    /// used to run per *patch*. Lane bands are time-invariant, so one
+    /// computation per tick serves every patch of that tick (objects
+    /// beyond 64 keep the per-patch test; no scene comes close).
+    fn slice_masks(&self, g: &FootprintGrid, pose: ReceiverPose) -> Vec<u64> {
+        (0..g.slices)
+            .map(|iy| {
+                let y = pose.y_m + g.y(iy);
+                let mut mask = 0u64;
+                for (i, obj) in self.objects.iter().enumerate().take(64) {
+                    if (y - obj.lane_y_m()).abs() <= obj.lateral_m() / 2.0 {
+                        mask |= 1 << i;
+                    }
+                }
+                mask
+            })
+            .collect()
+    }
+
     /// Contribution of the ground/object patch at `(x, y)` (size dx×dy).
-    /// `env` is the source's flicker envelope at `t` (hoisted out of the
-    /// per-patch loop by the callers — this is the hot path).
+    /// `env` is the source's flicker envelope at `t` and `lane_mask` the
+    /// slice's precomputed object-coverage bits
+    /// ([`PassiveChannel::slice_masks`]) — both hoisted out of the
+    /// per-patch loop by the callers; this is the hot path.
     #[allow(clippy::too_many_arguments)]
     fn patch_contribution(
         &self,
@@ -281,6 +313,7 @@ impl PassiveChannel {
         t: f64,
         rx_pos: Vec3,
         env: Option<f64>,
+        lane_mask: u64,
     ) -> f64 {
         // Fast reject: a patch that receives (almost) no light contributes
         // nothing regardless of its material. Under a narrow bench lamp
@@ -298,17 +331,25 @@ impl PassiveChannel {
         if gate < 1e-7 {
             return 0.0;
         }
-        let (material, surf_z) = self.surface_at(x, y, t);
+        let (material, surf_z) = self.surface_at(x, y, t, lane_mask);
         self.patch_from_surface(x, y, dx, dy, t, rx_pos, material, surf_z)
     }
 
     /// Top-most surface at `(x, y)` at time `t`: objects occlude the
-    /// ground and lower objects.
-    fn surface_at(&self, x: f64, y: f64, t: f64) -> (Material, f64) {
+    /// ground and lower objects. `lane_mask` carries the slice's
+    /// precomputed lane-band decisions ([`PassiveChannel::slice_masks`]):
+    /// masked-out objects are skipped without touching their state, and
+    /// only objects beyond the 64-bit mask fall back to the per-patch
+    /// band test.
+    fn surface_at(&self, x: f64, y: f64, t: f64, lane_mask: u64) -> (Material, f64) {
         let mut material = self.environment.ground;
         let mut surf_z = 0.0;
-        for obj in &self.objects {
-            if (y - obj.lane_y_m()).abs() > obj.lateral_m() / 2.0 {
+        for (i, obj) in self.objects.iter().enumerate() {
+            if i < 64 {
+                if lane_mask & (1 << i) == 0 {
+                    continue;
+                }
+            } else if (y - obj.lane_y_m()).abs() > obj.lateral_m() / 2.0 {
                 continue;
             }
             if let Some(s) = obj.sample_at(x, t) {
@@ -342,7 +383,7 @@ impl PassiveChannel {
         let to_rx = rx_pos - patch;
         let d = to_rx.norm();
         let cos_in = dz / d; // angle off the receiver's -z axis == off patch normal
-        let weight = self.frontend.receiver.fov().angular_weight(cos_in.acos());
+        let weight = self.frontend.receiver.fov().weight_from_cos(cos_in);
         if weight <= 0.0 {
             return 0.0;
         }
@@ -434,7 +475,7 @@ impl PassiveChannel {
                 // Receiver-local offsets: the cone test is relative to
                 // the receiver's own -z axis, wherever the pose sits.
                 let d = (gx * gx + gy * gy + h * h).sqrt();
-                let in_cone = d > 0.0 && fov.angular_weight((h / d).acos()) > 0.0;
+                let in_cone = d > 0.0 && fov.weight_from_cos(h / d) > 0.0;
                 let unlit = probe / env0 < 1e-7;
                 let is_dark = unlit || !in_cone;
                 let contribution = if unlit {
@@ -486,6 +527,106 @@ impl PassiveChannel {
             });
         }
         Some(DeltaField { field, objects, spans: Vec::new(), pending: Vec::new() })
+    }
+
+    /// Builds the table-driven (fourth-tier) integrator over `field`, or
+    /// `None` when the scene cannot be represented by time-invariant
+    /// geometry tables: a non-separable or degenerate envelope (no
+    /// static field exists then anyway), or any object without a
+    /// piecewise-static surface profile (an LCD shutter tag switches
+    /// materials over time — [`palc_scene::MobileObject::surface_profile`]
+    /// returns `None` and those scenes stay on the staged/incremental
+    /// tiers).
+    ///
+    /// Build cost is one footprint sweep per distinct `(height,
+    /// material)` surface bin per object — a handful of staged ticks —
+    /// after which per-tick evaluation performs no transcendental math
+    /// and no surface scans at all (see [`FootprintKernel`]).
+    ///
+    /// `field` must come from [`PassiveChannel::static_field`] /
+    /// [`PassiveChannel::static_field_at`] on this same channel
+    /// configuration; the kernel is valid for exactly as long as the
+    /// field itself *and* the object list it was built from.
+    pub fn footprint_kernel(&self, field: Arc<StaticField>) -> Option<FootprintKernel> {
+        // Same envelope policy the per-tick paths apply: a source whose
+        // t=0 envelope the tiers would refuse cannot seed the tables.
+        let env0 = envelope_or_fallback(self, 0.0).ok()?;
+        let g = field.grid;
+        let pose = field.pose;
+        let rx_pos = pose.vec3();
+        let mut objects = Vec::with_capacity(self.objects.len());
+        for obj in &self.objects {
+            let profile = obj.surface_profile()?;
+            let (y_lo, y_hi) = obj.lane_band();
+            let lane_y = obj.lane_y_m();
+            let half_lat = obj.lateral_m() / 2.0;
+
+            // Deduplicate the pieces into distinct (material, height)
+            // bins: alternating HIGH/LOW strips share two bins however
+            // many strips the tag has.
+            let mut bins: Vec<palc_scene::SurfaceSample> = Vec::new();
+            let piece_bin: Vec<usize> = profile
+                .pieces()
+                .iter()
+                .map(|p| {
+                    bins.iter().position(|b| *b == p.surface).unwrap_or_else(|| {
+                        bins.push(p.surface);
+                        bins.len() - 1
+                    })
+                })
+                .collect();
+
+            // One column table per bin: the exact unit-envelope
+            // object-minus-background delta of the whole column, had
+            // this bin's surface covered it — the same arithmetic
+            // `column_delta` performs per tick, done once at build. A
+            // slice is included only when BOTH lane tests the per-tick
+            // paths apply agree (`lane_band` in the covered test,
+            // `(y - lane_y).abs() <= lateral/2` in the surface scan);
+            // where they straddle a boundary ulp apart, the per-tick
+            // tiers resolve the patch to the ground and its delta is
+            // zero, which is exactly what skipping it here encodes.
+            let mut colgeom = vec![0.0; bins.len() * g.steps];
+            for (b, surf) in bins.iter().enumerate() {
+                for ix in 0..g.steps {
+                    let x = pose.x_m + g.x(ix);
+                    let mut acc = 0.0;
+                    for iy in 0..g.slices {
+                        let idx = ix * g.slices + iy;
+                        if field.dark[idx] {
+                            continue;
+                        }
+                        let y = pose.y_m + g.y(iy);
+                        if y < y_lo || y > y_hi || (y - lane_y).abs() > half_lat {
+                            continue;
+                        }
+                        acc += self.patch_from_surface(
+                            x,
+                            y,
+                            g.dx,
+                            g.dy,
+                            0.0,
+                            rx_pos,
+                            surf.material,
+                            surf.height_m,
+                        ) / env0
+                            - field.bg[idx];
+                    }
+                    colgeom[b * g.steps + ix] = acc;
+                }
+            }
+            objects.push(ObjectKernel {
+                profile,
+                length: obj.length_m(),
+                stationary: obj.is_stationary(),
+                y_lo,
+                y_hi,
+                piece_bin,
+                colgeom,
+                frozen: None,
+            });
+        }
+        Some(FootprintKernel { field, objects, spans: Vec::new() })
     }
 
     /// Noise-free illuminance at time `t`, staged through `field` when one
@@ -553,13 +694,16 @@ impl PassiveChannel {
         spans.sort_unstable_by_key(|s| s.lo);
 
         // Walk merged index intervals so overlapping objects never
-        // double-count a patch.
+        // double-count a patch. Lane masks are hoisted per tick (see
+        // `slice_masks`), so the surface scan inside `patch_contribution`
+        // touches only objects whose band covers the slice.
+        let masks = self.slice_masks(g, pose);
         let mut cursor = 0usize;
         for &ObjectSpan { lo, hi, .. } in spans.iter() {
             let start = lo.max(cursor);
             for ix in start..hi {
                 let x = pose.x_m + g.x(ix);
-                for iy in 0..g.slices {
+                for (iy, &mask) in masks.iter().enumerate() {
                     let idx = ix * g.slices + iy;
                     if field.dark[idx] {
                         // Material-independently dark patch (no ground
@@ -573,8 +717,9 @@ impl PassiveChannel {
                         .iter()
                         .any(|s| x >= s.x_lo && x <= s.x_hi && y >= s.y_lo && y <= s.y_hi);
                     if covered {
-                        total += self.patch_contribution(x, y, g.dx, g.dy, t, rx_pos, Some(env))
-                            - field.bg[idx] * env;
+                        total +=
+                            self.patch_contribution(x, y, g.dx, g.dy, t, rx_pos, Some(env), mask)
+                                - field.bg[idx] * env;
                     }
                 }
             }
@@ -614,10 +759,11 @@ impl PassiveChannel {
     }
 
     /// A streaming sampler for a receiver at an explicit
-    /// [`ReceiverPose`]: precomputes that pose's own [`StaticField`] (and
-    /// incremental [`DeltaField`], when the scene permits) over the
-    /// shared scene objects — the per-shard state a receiver-array worker
-    /// owns.
+    /// [`ReceiverPose`]: precomputes that pose's own [`StaticField`]
+    /// (plus the incremental [`DeltaField`] and the pose-relative
+    /// [`FootprintKernel`] geometry tables, when the scene permits) over
+    /// the shared scene objects — the per-shard state a receiver-array
+    /// worker owns.
     pub fn sampler_at_pose(
         &self,
         duration_s: f64,
@@ -647,11 +793,13 @@ impl PassiveChannel {
         let state = fe.streamer(self.source.spectrum());
         let fs = self.frontend.sample_rate_hz();
         let delta = field.clone().and_then(|f| self.delta_field(f));
+        let kernel = field.clone().and_then(|f| self.footprint_kernel(f));
         ChannelSampler {
             channel: self,
             pose,
             field,
             delta,
+            kernel,
             state,
             fs,
             i: 0,
@@ -782,6 +930,21 @@ struct ObjectDeltaState {
     col_delta: Vec<f64>,
 }
 
+impl TickObject for ObjectDeltaState {
+    fn cached_lead(&self) -> Option<f64> {
+        self.last_lead
+    }
+    fn stationary(&self) -> bool {
+        self.stationary
+    }
+    fn length(&self) -> f64 {
+        self.length
+    }
+    fn band(&self) -> (f64, f64) {
+        (self.y_lo, self.y_hi)
+    }
+}
+
 /// The incremental (third) tier of the footprint integrator: a stateful
 /// delta-field that re-integrates only the patches whose resolved surface
 /// *changed* since the previous tick, instead of every object-covered
@@ -857,10 +1020,91 @@ fn column_range(g: &FootprintGrid, x_lo: f64, x_hi: f64) -> (usize, usize) {
     }
 }
 
+/// The exact lower tier that must serve a tick whose envelope the
+/// stateful tiers' unit-envelope state cannot rescale — see
+/// [`envelope_or_fallback`].
+enum EnvelopeFallback {
+    /// Envelope break (`flicker_envelope` → `None`): full per-tick
+    /// integral.
+    Full,
+    /// Degenerate envelope (non-finite or ≤ 1e-12): staged integral.
+    Staged,
+}
+
+/// The per-tick envelope decision the stateful tiers ([`DeltaField`] and
+/// [`FootprintKernel`]) share: `Ok(env)` when the tick can be served from
+/// unit-envelope caches/tables, `Err` naming the exact lower tier
+/// otherwise. One definition so the tiers can never diverge on the
+/// fallback policy.
+fn envelope_or_fallback(channel: &PassiveChannel, t: f64) -> Result<f64, EnvelopeFallback> {
+    match channel.source.flicker_envelope(t) {
+        None => Err(EnvelopeFallback::Full),
+        Some(env) if !env.is_finite() || env <= 1e-12 => Err(EnvelopeFallback::Staged),
+        Some(env) => Ok(env),
+    }
+}
+
+/// The per-object tick state both stateful tiers carry — enough for
+/// [`resolve_spans`] to compute covered column intervals and the
+/// overlap-fallback decision from one definition.
+trait TickObject {
+    /// The lead cached by a previous tick, when one exists.
+    fn cached_lead(&self) -> Option<f64>;
+    /// Never moves ([`MobileObject::is_stationary`]): the cached lead is
+    /// reused without even a displacement query.
+    fn stationary(&self) -> bool;
+    /// Object length along the track, metres.
+    fn length(&self) -> f64;
+    /// Lane band `[y_lo, y_hi]`, fixed for the object's lifetime.
+    fn band(&self) -> (f64, f64);
+}
+
+/// The span preamble the [`DeltaField`] and [`FootprintKernel`] tiers
+/// share: resolves each object's leading edge (stationary objects reuse
+/// their cached lead) and covered column interval into `spans`, then
+/// reports whether any two objects overlap in both column range and lane
+/// band — the occlusion case (max height wins) that neither per-column
+/// caches nor per-object tables can express. `true` means the caller
+/// must serve the tick from the exact staged walk (which merges spans)
+/// until the objects separate.
+fn resolve_spans<O: TickObject>(
+    g: &FootprintGrid,
+    pose: ReceiverPose,
+    states: &[O],
+    objects: &[MobileObject],
+    t: f64,
+    spans: &mut Vec<(f64, usize, usize)>,
+) -> bool {
+    spans.clear();
+    for (st, obj) in states.iter().zip(objects) {
+        let lead = match st.cached_lead() {
+            Some(l) if st.stationary() => l,
+            _ => obj.leading_edge_at(t),
+        };
+        // Column indices are receiver-local: world extents shift into
+        // the pose's frame before clipping to the grid.
+        let (lo, hi) = column_range(g, lead - st.length() - pose.x_m, lead - pose.x_m);
+        spans.push((lead, lo, hi));
+    }
+    for i in 0..spans.len() {
+        for j in (i + 1)..spans.len() {
+            let (_, lo_i, hi_i) = spans[i];
+            let (_, lo_j, hi_j) = spans[j];
+            let (y_lo_i, y_hi_i) = states[i].band();
+            let (y_lo_j, y_hi_j) = states[j].band();
+            if lo_i < hi_j && lo_j < hi_i && y_lo_i <= y_hi_j && y_lo_j <= y_hi_i {
+                return true;
+            }
+        }
+    }
+    false
+}
+
 /// One column's object-minus-background delta at unit envelope: the
 /// quantity [`DeltaField`] caches. Mirrors the staged walk's per-patch
-/// arithmetic (same centre-inclusion test, same dark-patch skip) divided
-/// by the envelope.
+/// arithmetic (same centre-inclusion test, same dark-patch skip, same
+/// hoisted lane masks) divided by the envelope.
+#[allow(clippy::too_many_arguments)]
 fn column_delta(
     channel: &PassiveChannel,
     field: &StaticField,
@@ -869,6 +1113,7 @@ fn column_delta(
     lead: f64,
     t: f64,
     env: f64,
+    masks: &[u64],
 ) -> f64 {
     let g = &field.grid;
     let pose = field.pose;
@@ -878,7 +1123,7 @@ fn column_delta(
     }
     let rx_pos = pose.vec3();
     let mut acc = 0.0;
-    for iy in 0..g.slices {
+    for (iy, &mask) in masks.iter().enumerate() {
         let idx = ix * g.slices + iy;
         if field.dark[idx] {
             continue;
@@ -887,7 +1132,7 @@ fn column_delta(
         if y < st.y_lo || y > st.y_hi {
             continue;
         }
-        acc += channel.patch_contribution(x, y, g.dx, g.dy, t, rx_pos, Some(env)) / env
+        acc += channel.patch_contribution(x, y, g.dx, g.dy, t, rx_pos, Some(env), mask) / env
             - field.bg[idx];
     }
     acc
@@ -908,52 +1153,28 @@ impl DeltaField {
             channel.objects.len(),
             "delta field built for a different scene"
         );
-        let Some(env) = channel.source.flicker_envelope(t) else {
-            // Envelope break: full tier, at this field's pose.
-            return channel.illuminance_at_pose(self.field.pose, t);
+        let env = match envelope_or_fallback(channel, t) {
+            Ok(env) => env,
+            Err(EnvelopeFallback::Full) => return channel.illuminance_at_pose(self.field.pose, t),
+            Err(EnvelopeFallback::Staged) => return channel.illuminance_staged(&self.field, t),
         };
-        if !env.is_finite() || env <= 1e-12 {
-            // Degenerate envelope: unit-envelope deltas cannot rescale.
-            return channel.illuminance_staged(&self.field, t);
-        }
         let g = self.field.grid;
         let pose = self.field.pose;
 
-        // Leading edges and covered column intervals this tick. Parked
-        // objects skip even the displacement query once cached. Column
-        // indices are receiver-local: world extents shift into the
-        // pose's frame before clipping to the grid.
         let mut spans = std::mem::take(&mut self.spans);
-        spans.clear();
-        for (st, obj) in self.objects.iter().zip(&channel.objects) {
-            let lead = match st.last_lead {
-                Some(l) if st.stationary => l,
-                _ => obj.leading_edge_at(t),
-            };
-            let (lo, hi) = column_range(&g, lead - st.length - pose.x_m, lead - pose.x_m);
-            spans.push((lead, lo, hi));
-        }
-
-        // Two objects overlapping in both column range and lane band can
-        // occlude or double-count each other; take the exact staged walk
-        // (which merges spans) until they separate. Caches stay pinned at
-        // the last incremental tick and resume exactly.
-        for i in 0..spans.len() {
-            for j in (i + 1)..spans.len() {
-                let (_, lo_i, hi_i) = spans[i];
-                let (_, lo_j, hi_j) = spans[j];
-                if lo_i < hi_j
-                    && lo_j < hi_i
-                    && self.objects[i].y_lo <= self.objects[j].y_hi
-                    && self.objects[j].y_lo <= self.objects[i].y_hi
-                {
-                    self.spans = spans;
-                    return channel.illuminance_staged(&self.field, t);
-                }
-            }
+        if resolve_spans(&g, pose, &self.objects, &channel.objects, t, &mut spans) {
+            // Overlap fallback: caches stay pinned at the last
+            // incremental tick and resume exactly.
+            self.spans = spans;
+            return channel.illuminance_staged(&self.field, t);
         }
 
         let mut pending = std::mem::take(&mut self.pending);
+        // Hoisted lane coverage for the swept-column re-integrations
+        // (identical decisions to the staged walk's masks), computed
+        // only on ticks that actually re-integrate a column — a frozen
+        // tick stays allocation-free.
+        let mut masks: Option<Vec<u64>> = None;
         let mut dynamic = 0.0;
         for (k, st) in self.objects.iter_mut().enumerate() {
             let (lead, new_lo, new_hi) = spans[k];
@@ -996,7 +1217,8 @@ impl DeltaField {
             pending.sort_unstable();
             pending.dedup();
             for &ix in &pending {
-                st.col_delta[ix] = column_delta(channel, &self.field, st, ix, lead, t, env);
+                let masks = masks.get_or_insert_with(|| channel.slice_masks(&g, pose));
+                st.col_delta[ix] = column_delta(channel, &self.field, st, ix, lead, t, env, masks);
             }
             st.last_lead = Some(lead);
             st.lo = new_lo;
@@ -1020,6 +1242,186 @@ impl DeltaField {
     }
 }
 
+/// Per-object state of a [`FootprintKernel`]: the object's exact surface
+/// decomposition plus its precomputed per-bin column-geometry tables.
+#[derive(Debug, Clone)]
+struct ObjectKernel {
+    /// Exact piecewise-static decomposition of the surface
+    /// ([`palc_scene::MobileObject::surface_profile`]); the per-tick
+    /// piece resolver is transcendental-free.
+    profile: palc_scene::SurfaceProfile,
+    /// Object length along the track, metres.
+    length: f64,
+    /// Never moves ([`palc_scene::MobileObject::is_stationary`]): the
+    /// whole per-tick sum is frozen after the first evaluation.
+    stationary: bool,
+    /// Lane band `[y_lo, y_hi]`, fixed for the object's lifetime.
+    y_lo: f64,
+    y_hi: f64,
+    /// Piece index → geometry-bin row: pieces sharing a `(material,
+    /// height)` pair share one table row.
+    piece_bin: Vec<usize>,
+    /// `bins × steps` column-geometry table, row-major: entry
+    /// `[b * steps + ix]` is column `ix`'s full unit-envelope
+    /// object-minus-background delta, had bin `b`'s surface covered it —
+    /// FoV weight (incl. the `powf` rolloff), mirror-geometry specular
+    /// lobe, path transmission, patch illuminance profile and background
+    /// subtraction all baked in at build time.
+    colgeom: Vec<f64>,
+    /// Cached `(leading edge, dynamic sum)` for stationary objects: a
+    /// parked object costs one addition per tick.
+    frozen: Option<(f64, f64)>,
+}
+
+impl TickObject for ObjectKernel {
+    fn cached_lead(&self) -> Option<f64> {
+        self.frozen.map(|(lead, _)| lead)
+    }
+    fn stationary(&self) -> bool {
+        self.stationary
+    }
+    fn length(&self) -> f64 {
+        self.length
+    }
+    fn band(&self) -> (f64, f64) {
+        (self.y_lo, self.y_hi)
+    }
+}
+
+/// The table-driven (fourth) tier of the footprint integrator: per-tick
+/// patch evaluation as pure lookups over precomputed, contiguous
+/// per-column geometry tables — no `acos`/`cos`/`powf` (FoV weight), no
+/// `exp` (path transmission), no `sqrt` (distance), no specular mirror
+/// reflection, and no O(objects) surface scan inside the per-tick loop.
+///
+/// ## Why the tables are sound
+///
+/// The same factorisation [`DeltaField`] exploits, taken to its
+/// conclusion: for an envelope-separable source, the contribution of a
+/// patch resolved to a fixed `(material, height)` surface is
+/// `G(x, y, material, height) × envelope(t)` with `G` pure
+/// time-invariant geometry. The set of surfaces an object can present is
+/// finite and enumerable ([`palc_scene::MobileObject::surface_profile`]:
+/// one *bin* per distinct `(material, height)` pair), so `G` summed over
+/// a column's slices can be tabulated per `(object, bin, column)` at
+/// build time. A tick then reduces, per object, to: resolve the leading
+/// edge, and for each covered column look up
+/// `colgeom[bin_of(piece under the column)][column]` — the piece
+/// resolver being [`palc_scene::SurfaceProfile::piece_at`], a
+/// `partition_point` over the same floats the reference surface sampler
+/// compares, so the binning can never disagree with the channel's
+/// per-patch surface scan (`PassiveChannel::surface_at`), even exactly
+/// on a strip boundary.
+///
+/// ## Exact fallbacks
+///
+/// Mirrors [`DeltaField`]'s discipline — any tick the tables cannot
+/// represent is served exactly by a lower tier:
+///
+/// * envelope break (`flicker_envelope` → `None`) → full per-tick
+///   integral;
+/// * degenerate envelope (≤ 1e-12) → staged integral;
+/// * two objects overlapping in both column range and lane band (the
+///   occlusion resolution picks the max height, which no per-object
+///   table can express) → staged integral until they separate;
+/// * a scene with any non-piecewise-static surface (LCD shutter tag)
+///   never builds a kernel at all ([`PassiveChannel::footprint_kernel`]
+///   returns `None`) and rides the staged/incremental tiers.
+///
+/// The kernel is stateless across ticks (no caches to resume), so
+/// fallback ticks need no pinning; stationary objects carry the only
+/// memo (their frozen per-tick sum).
+///
+/// Built by [`PassiveChannel::footprint_kernel`]; owned by
+/// [`ChannelSampler`] (every sampler- and streaming-based run rides it
+/// by default; [`ChannelSampler::without_kernel`] opts out onto the
+/// incremental tier). Equivalence with the incremental, staged and full
+/// tiers to ≤ 1e-9 is pinned by golden tests here, property tests in
+/// `tests/properties.rs`, and a bench-side guard per scenario family.
+#[derive(Debug, Clone)]
+pub struct FootprintKernel {
+    field: Arc<StaticField>,
+    objects: Vec<ObjectKernel>,
+    /// Scratch: per-tick `(lead, lo, hi)` of every object.
+    spans: Vec<(f64, usize, usize)>,
+}
+
+impl FootprintKernel {
+    /// Noise-free illuminance at time `t` through the geometry tables:
+    /// `(static_total + Σ per-object column lookups) × envelope(t)`,
+    /// falling back to the exact staged or full tier per tick as
+    /// described on [`FootprintKernel`].
+    ///
+    /// `channel` must be the channel this kernel was built from (same
+    /// objects, same grid).
+    pub fn illuminance(&mut self, channel: &PassiveChannel, t: f64) -> f64 {
+        debug_assert_eq!(
+            self.objects.len(),
+            channel.objects.len(),
+            "footprint kernel built for a different scene"
+        );
+        let env = match envelope_or_fallback(channel, t) {
+            Ok(env) => env,
+            Err(EnvelopeFallback::Full) => return channel.illuminance_at_pose(self.field.pose, t),
+            Err(EnvelopeFallback::Staged) => return channel.illuminance_staged(&self.field, t),
+        };
+        let g = self.field.grid;
+        let pose = self.field.pose;
+
+        let mut spans = std::mem::take(&mut self.spans);
+        if resolve_spans(&g, pose, &self.objects, &channel.objects, t, &mut spans) {
+            // Overlap fallback: the kernel is stateless across ticks,
+            // so nothing needs pinning.
+            self.spans = spans;
+            return channel.illuminance_staged(&self.field, t);
+        }
+
+        let mut dynamic = 0.0;
+        for (k, ok) in self.objects.iter_mut().enumerate() {
+            let (lead, lo, hi) = spans[k];
+            if let Some((frozen_lead, sum)) = ok.frozen {
+                if frozen_lead == lead {
+                    dynamic += sum;
+                    continue;
+                }
+            }
+            // The object's covered columns, each a single table lookup:
+            // local coordinate → piece (exact partition_point) → bin row
+            // → precomputed column delta. This loop is the entire
+            // per-tick cost of a moving object.
+            let mut sum = 0.0;
+            for ix in lo..hi {
+                let x = pose.x_m + g.x(ix);
+                let local = lead - x;
+                if !(0.0..=ok.length).contains(&local) {
+                    continue; // widened interval edge, not covered
+                }
+                if let Some(p) = ok.profile.piece_at(local) {
+                    sum += ok.colgeom[ok.piece_bin[p] * g.steps + ix];
+                }
+            }
+            if ok.stationary {
+                ok.frozen = Some((lead, sum));
+            }
+            dynamic += sum;
+        }
+        self.spans = spans;
+        (self.field.static_total + dynamic) * env
+    }
+
+    /// The static field these tables layer on.
+    pub fn static_field(&self) -> &StaticField {
+        &self.field
+    }
+
+    /// Total precomputed table entries across all objects and bins — the
+    /// build-time footprint the per-tick loop trades transcendentals
+    /// for.
+    pub fn table_entries(&self) -> usize {
+        self.objects.iter().map(|o| o.colgeom.len()).sum()
+    }
+}
+
 /// A streaming channel run: staged per-tick illuminance fed one sample at
 /// a time through a stateful frontend ([`FrontendState`]), yielding RSS
 /// codes as `f64`. Traces of arbitrary duration run in bounded memory,
@@ -1037,6 +1439,7 @@ pub struct ChannelSampler<'a> {
     pose: ReceiverPose,
     field: Option<Arc<StaticField>>,
     delta: Option<DeltaField>,
+    kernel: Option<FootprintKernel>,
     state: FrontendState,
     fs: f64,
     i: usize,
@@ -1060,17 +1463,36 @@ impl ChannelSampler<'_> {
         self.field.is_some()
     }
 
-    /// Whether the incremental [`DeltaField`] tier is active (staged
-    /// field available *and* every object piecewise-static).
+    /// Whether the incremental [`DeltaField`] tier is available (staged
+    /// field exists *and* every object piecewise-static). Note the
+    /// kernel tier outranks it: when [`ChannelSampler::is_kernel`] is
+    /// also true, ticks are served from the tables, with the delta field
+    /// standing by for [`ChannelSampler::without_kernel`].
     pub fn is_incremental(&self) -> bool {
         self.delta.is_some()
     }
 
-    /// Drops the incremental tier, forcing every tick through the staged
-    /// covered-patch re-integration (or the full integral when no static
-    /// field exists). Used to benchmark the tiers against each other and
-    /// to pin their equivalence in tests.
+    /// Whether the table-driven [`FootprintKernel`] (fourth) tier is
+    /// active — the default whenever the scene permits.
+    pub fn is_kernel(&self) -> bool {
+        self.kernel.is_some()
+    }
+
+    /// Drops the kernel tier, forcing every tick through the incremental
+    /// [`DeltaField`] (or lower). Mirrors
+    /// [`ChannelSampler::without_incremental`]; used to benchmark the
+    /// tiers against each other and to pin their equivalence in tests.
+    pub fn without_kernel(mut self) -> Self {
+        self.kernel = None;
+        self
+    }
+
+    /// Drops the kernel *and* incremental tiers, forcing every tick
+    /// through the staged covered-patch re-integration (or the full
+    /// integral when no static field exists). Used to benchmark the
+    /// tiers against each other and to pin their equivalence in tests.
     pub fn without_incremental(mut self) -> Self {
+        self.kernel = None;
         self.delta = None;
         self
     }
@@ -1091,10 +1513,11 @@ impl Iterator for ChannelSampler<'_> {
         }
         let t = self.i as f64 / self.fs;
         self.i += 1;
-        let lux = match (&mut self.delta, &self.field) {
-            (Some(df), _) => df.illuminance(self.channel, t),
-            (None, Some(f)) => self.channel.illuminance_staged(f, t),
-            (None, None) => self.channel.illuminance_at_pose(self.pose, t),
+        let lux = match (&mut self.kernel, &mut self.delta, &self.field) {
+            (Some(k), _, _) => k.illuminance(self.channel, t),
+            (None, Some(df), _) => df.illuminance(self.channel, t),
+            (None, None, Some(f)) => self.channel.illuminance_staged(f, t),
+            (None, None, None) => self.channel.illuminance_at_pose(self.pose, t),
         };
         Some(self.state.step_f64(lux))
     }
@@ -1355,18 +1778,24 @@ impl Scenario {
     }
 
     /// Runs without noise/quantisation: the noise-free illuminance trace
-    /// (incremental when the scene permits, staged otherwise).
+    /// (kernel tables when the scene permits, incremental/staged
+    /// otherwise).
     pub fn run_clean(&self) -> Trace {
         let fs = self.channel.frontend.sample_rate_hz();
         let n = (self.duration_s * fs).ceil() as usize;
         let field = self.current_field();
-        let mut delta = field.clone().and_then(|f| self.channel.delta_field(f));
+        let mut kernel = field.clone().and_then(|f| self.channel.footprint_kernel(f));
+        let mut delta = match kernel {
+            Some(_) => None,
+            None => field.clone().and_then(|f| self.channel.delta_field(f)),
+        };
         let samples = (0..n)
             .map(|i| {
                 let t = i as f64 / fs;
-                match &mut delta {
-                    Some(df) => df.illuminance(&self.channel, t),
-                    None => self.channel.illuminance_with(field.as_deref(), t),
+                match (&mut kernel, &mut delta) {
+                    (Some(k), _) => k.illuminance(&self.channel, t),
+                    (None, Some(df)) => df.illuminance(&self.channel, t),
+                    (None, None) => self.channel.illuminance_with(field.as_deref(), t),
                 }
             })
             .collect();
@@ -1472,22 +1901,28 @@ mod tests {
         let sampler = sc.sampler(seed);
         assert!(sampler.is_staged(), "{label}: staged path must engage");
         assert!(sampler.is_incremental(), "{label}: incremental tier must engage");
+        assert!(sampler.is_kernel(), "{label}: kernel tier must engage");
         let streamed: Vec<f64> = sampler.collect();
         let reference = reference_run(sc, seed);
         assert_eq!(streamed.len(), reference.len(), "{label}: length");
         for (i, (s, r)) in streamed.iter().zip(&reference).enumerate() {
+            assert!((s - r).abs() <= 1e-9, "{label}: sample {i} diverged: kernel {s} vs full {r}");
+        }
+        // Every intermediate tier agrees too: the incremental stream
+        // (kernel disabled) and the staged-only stream (kernel and
+        // incremental disabled) must stay within the same envelope.
+        let incremental: Vec<f64> = sc.sampler(seed).without_kernel().collect();
+        for (i, (s, r)) in streamed.iter().zip(&incremental).enumerate() {
             assert!(
                 (s - r).abs() <= 1e-9,
-                "{label}: sample {i} diverged: incremental {s} vs full {r}"
+                "{label}: sample {i} diverged: kernel {s} vs incremental {r}"
             );
         }
-        // The middle tier agrees too: staged-only (incremental disabled)
-        // must stay within the same envelope of the incremental stream.
         let staged: Vec<f64> = sc.sampler(seed).without_incremental().collect();
         for (i, (s, r)) in streamed.iter().zip(&staged).enumerate() {
             assert!(
                 (s - r).abs() <= 1e-9,
-                "{label}: sample {i} diverged: incremental {s} vs staged {r}"
+                "{label}: sample {i} diverged: kernel {s} vs staged {r}"
             );
         }
         // And the batch Scenario::run is the very same stream.
@@ -1636,6 +2071,7 @@ mod tests {
         let sampler = sc.sampler(3);
         assert!(sampler.is_staged());
         assert!(!sampler.is_incremental(), "time-switching surface: no delta field");
+        assert!(!sampler.is_kernel(), "time-switching surface: no geometry tables");
         let streamed: Vec<f64> = sampler.collect();
         let reference = reference_run(&sc, 3);
         for (i, (s, r)) in streamed.iter().zip(&reference).enumerate() {
@@ -1769,7 +2205,7 @@ mod tests {
         assert_eq!(sc.run(5).samples(), &posed[..]);
     }
 
-    /// Walks the run comparing all three tiers at an explicit pose.
+    /// Walks the run comparing all four tiers at an explicit pose.
     fn assert_pose_tiers_agree(sc: &Scenario, pose: ReceiverPose, label: &str) {
         let ch = sc.channel();
         let field =
@@ -1778,15 +2214,23 @@ mod tests {
         let mut delta = ch
             .delta_field(field.clone())
             .unwrap_or_else(|| panic!("{label}: piecewise-static scene"));
+        let mut kernel = ch
+            .footprint_kernel(field.clone())
+            .unwrap_or_else(|| panic!("{label}: kernel-representable scene"));
         let fs = ch.frontend.sample_rate_hz();
         let n = (sc.duration_s() * fs).ceil() as usize;
         let mut saw_signal = false;
         for i in 0..n {
             let t = i as f64 / fs;
+            let tabled = kernel.illuminance(ch, t);
             let incremental = delta.illuminance(ch, t);
             let staged = ch.illuminance_staged(&field, t);
             let full = ch.illuminance_at_pose(pose, t);
             let tol = 1e-9 * full.abs().max(1.0);
+            assert!(
+                (tabled - incremental).abs() <= tol,
+                "{label}: t={t}: kernel {tabled} vs incremental {incremental}"
+            );
             assert!(
                 (incremental - staged).abs() <= tol,
                 "{label}: t={t}: incremental {incremental} vs staged {staged}"

@@ -299,9 +299,11 @@ impl Scenario {
     /// default [`SweepRunner`]. No trace is materialised; each receiver
     /// runs in memory bounded by the decoder's history caps, which is what
     /// makes arbitrarily long runs and live deployments possible. Each
-    /// worker's sampler carries its own incremental
-    /// [`crate::channel::DeltaField`], so long passes cost O(boundary)
-    /// per tick — the per-receiver state a future multi-receiver sharding
+    /// worker's sampler carries its own
+    /// [`crate::channel::FootprintKernel`] geometry tables (incremental
+    /// [`crate::channel::DeltaField`] where the scene rules the kernel
+    /// out), so long passes cost transcendental-free table lookups per
+    /// tick — the per-receiver state a future multi-receiver sharding
     /// layer will distribute.
     pub fn run_streaming(&self, seeds: &[u64], decoder: &AdaptiveDecoder) -> Vec<StreamOutcome> {
         self.run_streaming_on(&SweepRunner::new(), seeds, decoder)
@@ -333,9 +335,10 @@ impl Scenario {
     }
 
     /// One receiver shard, serially: a pose-relative sampler (its own
-    /// `StaticField` + `DeltaField` over the shared scene objects) piped
-    /// into `decoder`, packets surfaced to `on_detection` the moment they
-    /// are emitted. This is the exact loop every array worker runs.
+    /// `StaticField` + `FootprintKernel` tables / `DeltaField` over the
+    /// shared scene objects) piped into `decoder`, packets surfaced to
+    /// `on_detection` the moment they are emitted. This is the exact
+    /// loop every array worker runs.
     fn shard_events<D: PushDecoder>(
         &self,
         receiver: ArrayReceiver,
@@ -361,7 +364,7 @@ impl Scenario {
     /// The multi-receiver sharding layer: one scene, its objects shared,
     /// sharded across the workspace default [`SweepRunner`] with one
     /// worker per receiver pose. Each worker owns its own pose-relative
-    /// `StaticField` + incremental `DeltaField` and a self-scaling
+    /// `StaticField` + `FootprintKernel` geometry tables and a self-scaling
     /// [`StreamingDecoder`], and every decoded packet is pushed into an
     /// online [`FusionStream`] *as the workers emit it* — the fused
     /// verdicts are available without waiting for slower shards to
@@ -458,6 +461,25 @@ impl Scenario {
 mod tests {
     use super::*;
     use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn array_shards_pick_up_pose_relative_kernels() {
+        // Every worker of a receiver array owns its own pose-relative
+        // FootprintKernel: the exact sampler `shard_events` builds must
+        // ride the kernel tier at offset poses, not just at the origin.
+        let sc = crate::channel::Scenario::outdoor_car(
+            palc_scene::CarModel::volvo_v40(),
+            Some(palc_phy::Packet::from_bits("00").unwrap()),
+            0.75,
+            palc_optics::source::Sun::cloudy_noon(1),
+        );
+        let z = sc.channel().receiver_z_m;
+        for pose in [ReceiverPose::origin(z), ReceiverPose::new(0.5, 0.1, z)] {
+            let sampler = sc.channel().sampler_at_pose(sc.shard_duration_for(pose), 0, pose);
+            assert!(sampler.is_kernel(), "shard at {pose:?} must ride the kernel tier");
+            assert_eq!(sampler.pose(), pose);
+        }
+    }
 
     #[test]
     fn map_preserves_input_order() {

@@ -26,19 +26,40 @@ pub struct FieldOfView {
     /// Exponent of the raised-cosine rolloff; higher = flatter centre with
     /// steeper edges. 2.0 is a good fit for bare photodiodes.
     rolloff: f64,
+    /// `cos(half_angle_rad)`, cached so the hot cone test
+    /// ([`FieldOfView::weight_from_cos`]) is a plain comparison instead
+    /// of an `acos` round-trip per ray.
+    cos_half: f64,
+    /// Memoized [`FieldOfView::effective_solid_angle`]: the 256-step
+    /// numeric integral runs once per constructed FoV, not once per
+    /// query (the channel asks per tick on the full path and per static
+    /// field build).
+    solid_angle_sr: f64,
 }
 
 impl FieldOfView {
+    /// The one constructor: derives the cached cone cosine and the
+    /// memoized solid angle from the physical parameters.
+    fn build(half_angle_rad: f64, rolloff: f64) -> Self {
+        let mut fov = FieldOfView {
+            half_angle_rad,
+            rolloff,
+            cos_half: half_angle_rad.cos(),
+            solid_angle_sr: 0.0,
+        };
+        fov.solid_angle_sr = fov.integrate_solid_angle();
+        fov
+    }
+
     /// Creates a FoV from a half-angle in degrees (must be in (0°, 90°)).
     pub fn from_half_angle_deg(deg: f64) -> Self {
         assert!(deg > 0.0 && deg < 90.0, "half-angle {deg}° outside (0°, 90°)");
-        FieldOfView { half_angle_rad: deg.to_radians(), rolloff: 2.0 }
+        FieldOfView::build(deg.to_radians(), 2.0)
     }
 
     /// Overrides the rolloff exponent.
-    pub fn with_rolloff(mut self, rolloff: f64) -> Self {
-        self.rolloff = rolloff.max(0.5);
-        self
+    pub fn with_rolloff(self, rolloff: f64) -> Self {
+        FieldOfView::build(self.half_angle_rad, rolloff.max(0.5))
     }
 
     /// Bare OPT101 photodiode: very wide acceptance (~±60°).
@@ -59,7 +80,7 @@ impl FieldOfView {
     pub fn from_aperture_tube(side_m: f64, depth_m: f64) -> Self {
         assert!(side_m > 0.0 && depth_m > 0.0);
         let half = (side_m / depth_m).atan();
-        FieldOfView { half_angle_rad: half.min(89f64.to_radians()), rolloff: 1.5 }
+        FieldOfView::build(half.min(89f64.to_radians()), 1.5)
     }
 
     /// Half-angle in radians.
@@ -91,21 +112,49 @@ impl FieldOfView {
         x.cos().powf(self.rolloff)
     }
 
+    /// [`FieldOfView::angular_weight`] taking the ray's *cosine* off the
+    /// optical axis — the quantity geometry code already holds (`dz / d`)
+    /// — so callers skip the `acos` round-trip: out-of-cone rays are
+    /// rejected by a plain comparison against the cached `cos θ_half`,
+    /// and only in-cone rays pay the inverse trig. For any `φ ∈ [0, π]`,
+    /// `weight_from_cos(φ.cos()) == angular_weight(φ)`.
+    pub fn weight_from_cos(&self, cos_off_axis: f64) -> f64 {
+        if cos_off_axis <= self.cos_half {
+            return 0.0; // at or outside the cone edge
+        }
+        if cos_off_axis >= 1.0 {
+            return 1.0; // on-axis (guards acos domain on 1 + ulp inputs)
+        }
+        let x = std::f64::consts::FRAC_PI_2 * cos_off_axis.acos() / self.half_angle_rad;
+        x.cos().powf(self.rolloff)
+    }
+
     /// Weight of a ground point at lateral distance `lateral_m` from the
     /// receiver's nadir, for a receiver at height `height_m`. Convenience
-    /// over [`FieldOfView::angular_weight`].
+    /// over [`FieldOfView::weight_from_cos`]: the cosine comes straight
+    /// from the right triangle (`h / √(l² + h²)`), so no `atan` is paid
+    /// and out-of-cone points never touch inverse trig at all.
     pub fn ground_weight(&self, lateral_m: f64, height_m: f64) -> f64 {
         if height_m <= 0.0 {
             return if lateral_m.abs() < 1e-12 { 1.0 } else { 0.0 };
         }
-        self.angular_weight((lateral_m / height_m).atan())
+        let cos = height_m / lateral_m.hypot(height_m);
+        self.weight_from_cos(cos)
     }
 
     /// Effective solid angle of the acceptance cone, steradians:
-    /// `∫ weight(φ)·sinφ dφ dψ` (numerically integrated). Wider FoV ⇒ more
-    /// ambient light collected ⇒ earlier saturation — the other half of
-    /// the Sec. 4.4 trade-off.
+    /// `∫ weight(φ)·sinφ dφ dψ`. Wider FoV ⇒ more ambient light collected
+    /// ⇒ earlier saturation — the other half of the Sec. 4.4 trade-off.
+    ///
+    /// The 256-step numeric integral is evaluated once at construction
+    /// and memoized; this accessor is a field read.
     pub fn effective_solid_angle(&self) -> f64 {
+        self.solid_angle_sr
+    }
+
+    /// The numeric integral behind [`FieldOfView::effective_solid_angle`]
+    /// (run once per constructed FoV).
+    fn integrate_solid_angle(&self) -> f64 {
         let steps = 256;
         let dphi = self.half_angle_rad / steps as f64;
         let mut acc = 0.0;
@@ -201,6 +250,42 @@ mod tests {
     #[should_panic(expected = "outside")]
     fn rejects_bad_half_angle() {
         FieldOfView::from_half_angle_deg(95.0);
+    }
+
+    #[test]
+    fn weight_from_cos_matches_angular_weight_across_the_cone() {
+        // Dense sweep across the cone for several FoVs, INCLUDING the
+        // exact boundary and beyond: the cosine entry point must agree
+        // with the angle entry point everywhere.
+        for fov in [
+            FieldOfView::photodiode_bare(),
+            FieldOfView::rx_led(),
+            FieldOfView::from_aperture_tube(0.012, 0.028),
+            FieldOfView::from_half_angle_deg(30.0).with_rolloff(1.0),
+        ] {
+            let half = fov.half_angle_rad();
+            for i in 0..=1000 {
+                let phi = i as f64 / 1000.0 * 1.2 * half; // overshoots the cone by 20 %
+                let a = fov.angular_weight(phi);
+                let c = fov.weight_from_cos(phi.cos());
+                assert!((a - c).abs() < 1e-12, "phi={phi}: angular {a} vs cos {c}");
+            }
+            // Exact boundary and on-axis.
+            assert_eq!(fov.weight_from_cos(half.cos()), 0.0);
+            assert_eq!(fov.weight_from_cos(1.0), 1.0);
+            assert_eq!(fov.weight_from_cos(1.0 + 1e-15), 1.0, "clamps past-1 cosines");
+            assert_eq!(fov.weight_from_cos(-0.3), 0.0, "behind the aperture plane");
+        }
+    }
+
+    #[test]
+    fn solid_angle_is_memoized_consistently() {
+        // The cached value must equal a fresh numeric integration — i.e.
+        // with_rolloff and the constructors all refresh the memo.
+        let fov = FieldOfView::from_half_angle_deg(42.0).with_rolloff(3.0);
+        assert_eq!(fov.effective_solid_angle(), fov.integrate_solid_angle());
+        let capped = FieldOfView::from_aperture_tube(0.012, 0.028);
+        assert_eq!(capped.effective_solid_angle(), capped.integrate_solid_angle());
     }
 
     #[test]

@@ -13,6 +13,20 @@ use crate::tag::{LcdShutterTag, Tag};
 use crate::trajectory::Trajectory;
 use palc_optics::Material;
 
+/// Height a roof tag rides above the body segment under it, metres.
+///
+/// [`MobileObject::sample_at`] and [`MobileObject::surface_profile`]
+/// must derive tag heights from the *same* constants bit for bit — the
+/// channel's table-driven kernel resolves surfaces through the profile
+/// and its exactness contract against the per-patch scan depends on it.
+const ROOF_TAG_LIFT_M: f64 = 0.002;
+
+/// Roof height assumed for a tag sliver overhanging the car body by
+/// float slack (no segment below the queried point). Shared by
+/// [`MobileObject::sample_at`] and [`MobileObject::surface_profile`] for
+/// the same exactness reason as [`ROOF_TAG_LIFT_M`].
+const FALLBACK_ROOF_HEIGHT_M: f64 = 1.4;
+
 /// What the simulator sees at a queried point of an object.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SurfaceSample {
@@ -250,6 +264,112 @@ impl MobileObject {
         Some(cuts)
     }
 
+    /// The full piecewise-static decomposition of this object's surface:
+    /// every constant `(material, height)` piece in local coordinates
+    /// plus an exact piece resolver, or `None` when the surface is not
+    /// piecewise-static in the object frame (an [`LcdShutterTag`]).
+    ///
+    /// This is the build-time query behind the channel's table-driven
+    /// footprint kernel: [`SurfaceProfile::pieces`] enumerates the finite
+    /// set of surfaces the object can present (so per-patch geometry can
+    /// be precomputed per piece), and [`SurfaceProfile::piece_at`]
+    /// resolves a local coordinate to its piece using *the same float
+    /// comparisons* as [`MobileObject::sample_at`] — the two can never
+    /// disagree, even when a query lands exactly on a strip or segment
+    /// boundary.
+    pub fn surface_profile(&self) -> Option<SurfaceProfile> {
+        match &self.surface {
+            Surface::Lcd(_) => None,
+            Surface::Tag(tag) => {
+                let mut cuts = Vec::with_capacity(tag.strips().len());
+                let mut pieces = Vec::with_capacity(tag.strips().len());
+                let mut acc = 0.0;
+                for s in tag.strips() {
+                    let start = acc;
+                    acc += s.width_m;
+                    cuts.push(acc);
+                    pieces.push(ProfilePiece {
+                        start_m: start,
+                        end_m: acc,
+                        surface: SurfaceSample {
+                            material: s.material,
+                            height_m: self.tag_height_m,
+                        },
+                    });
+                }
+                Some(SurfaceProfile { pieces, kind: PieceResolver::Strips { cuts } })
+            }
+            Surface::Car { model, roof_tag } => {
+                let mut seg_cuts = Vec::with_capacity(model.segments().len());
+                let mut pieces = Vec::with_capacity(model.segments().len());
+                let mut acc = 0.0;
+                for s in model.segments() {
+                    let start = acc;
+                    acc += s.length_m;
+                    seg_cuts.push(acc);
+                    pieces.push(ProfilePiece {
+                        start_m: start,
+                        end_m: acc,
+                        surface: SurfaceSample { material: s.material, height_m: s.height_m },
+                    });
+                }
+                let tag = roof_tag.as_ref().map(|tag| {
+                    let (a, b) = model.roof_span();
+                    let start_m = a + ((b - a) - tag.length_m()) / 2.0;
+                    let n_seg = model.segments().len();
+                    let mut cuts = Vec::with_capacity(tag.strips().len());
+                    let mut piece_of = vec![usize::MAX; tag.strips().len() * (n_seg + 1)];
+                    let mut tacc = 0.0;
+                    for (j, strip) in tag.strips().iter().enumerate() {
+                        let strip_lo = start_m + tacc;
+                        tacc += strip.width_m;
+                        cuts.push(tacc);
+                        let strip_hi = start_m + tacc;
+                        // Every segment this strip can possibly resolve
+                        // over, widened well past float rounding so an
+                        // exact-boundary query can never miss its piece.
+                        // sample_at derives the strip's height from the
+                        // segment *under* the queried point, so a strip
+                        // straddling a segment cut yields one piece per
+                        // (strip, segment) pair.
+                        let mut seg_lo = 0.0;
+                        for (s, seg) in model.segments().iter().enumerate() {
+                            let seg_hi = seg_cuts[s];
+                            if strip_lo - 1e-9 < seg_hi && seg_lo < strip_hi + 1e-9 {
+                                piece_of[j * (n_seg + 1) + s] = pieces.len();
+                                pieces.push(ProfilePiece {
+                                    start_m: strip_lo.max(seg_lo),
+                                    end_m: strip_hi.min(seg_hi),
+                                    surface: SurfaceSample {
+                                        material: strip.material,
+                                        height_m: seg.height_m + ROOF_TAG_LIFT_M,
+                                    },
+                                });
+                            }
+                            seg_lo = seg_hi;
+                        }
+                        // The "past the last segment" sentinel sample_at
+                        // reaches through `unwrap_or(1.4)` (a tag sliver
+                        // overhanging the car by float slack).
+                        if strip_hi + 1e-9 > model.length_m() {
+                            piece_of[j * (n_seg + 1) + n_seg] = pieces.len();
+                            pieces.push(ProfilePiece {
+                                start_m: strip_lo.max(model.length_m()),
+                                end_m: strip_hi,
+                                surface: SurfaceSample {
+                                    material: strip.material,
+                                    height_m: FALLBACK_ROOF_HEIGHT_M + ROOF_TAG_LIFT_M,
+                                },
+                            });
+                        }
+                    }
+                    TagOverlay { start_m, cuts, piece_of, n_seg }
+                });
+                Some(SurfaceProfile { pieces, kind: PieceResolver::Car { seg_cuts, tag } })
+            }
+        }
+    }
+
     /// Surface sample at world coordinate `x` at time `t`, or `None` where
     /// this object is not present.
     pub fn sample_at(&self, world_x: f64, t: f64) -> Option<SurfaceSample> {
@@ -273,13 +393,141 @@ impl MobileObject {
                     let (a, b) = model.roof_span();
                     let tag_start = a + ((b - a) - tag.length_m()) / 2.0;
                     if let Some(m) = tag.material_at(local - tag_start) {
-                        let roof_h = model.segment_at(local).map(|s| s.height_m).unwrap_or(1.4);
-                        return Some(SurfaceSample { material: m, height_m: roof_h + 0.002 });
+                        let roof_h = model
+                            .segment_at(local)
+                            .map(|s| s.height_m)
+                            .unwrap_or(FALLBACK_ROOF_HEIGHT_M);
+                        return Some(SurfaceSample {
+                            material: m,
+                            height_m: roof_h + ROOF_TAG_LIFT_M,
+                        });
                     }
                 }
                 model
                     .segment_at(local)
                     .map(|s| SurfaceSample { material: s.material, height_m: s.height_m })
+            }
+        }
+    }
+}
+
+/// One constant piece of a piecewise-static surface profile: over
+/// `[start_m, end_m)` (local coordinates, 0 = leading edge) the object
+/// resolves to exactly this `(material, height)` pair at every time.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ProfilePiece {
+    /// Local coordinate where the piece begins, metres.
+    pub start_m: f64,
+    /// Local coordinate where the piece ends, metres.
+    pub end_m: f64,
+    /// The surface presented over the piece.
+    pub surface: SurfaceSample,
+}
+
+/// How [`SurfaceProfile::piece_at`] maps a local coordinate to a piece.
+/// Each variant replays the corresponding [`MobileObject::sample_at`]
+/// branch with the *same accumulated floats* and the *same comparison
+/// order*, which is what makes the resolver exact at piece boundaries.
+#[derive(Debug, Clone)]
+enum PieceResolver {
+    /// A bare tag: piece `i` is strip `i`; `cuts[i]` is the accumulated
+    /// width after strip `i` — the very floats `Tag::material_at`
+    /// compares against.
+    Strips { cuts: Vec<f64> },
+    /// A car: pieces `0..n_seg` are the body segments (`seg_cuts` are
+    /// `CarModel::segment_at`'s accumulated floats); the optional roof
+    /// tag overlays them and is consulted first, exactly as `sample_at`
+    /// does.
+    Car { seg_cuts: Vec<f64>, tag: Option<TagOverlay> },
+}
+
+/// The roof-tag overlay of a car profile. The tag is resolved in its own
+/// local frame (`local - start_m` against `cuts`, mirroring
+/// `Tag::material_at`), and its height comes from the body segment under
+/// the queried point, so each `(strip, segment)` pair that can co-occur
+/// has its own piece, indexed through `piece_of`.
+#[derive(Debug, Clone)]
+struct TagOverlay {
+    /// Car-local coordinate of the tag's leading edge.
+    start_m: f64,
+    /// Accumulated strip widths in *tag-local* coordinates — the floats
+    /// `Tag::material_at` accumulates.
+    cuts: Vec<f64>,
+    /// Piece index for `(strip j, segment s)`, flattened as
+    /// `j * (n_seg + 1) + s`; column `n_seg` is the "no segment below"
+    /// sentinel (`sample_at`'s `unwrap_or(1.4)` height fallback).
+    /// `usize::MAX` marks pairs that cannot co-occur.
+    piece_of: Vec<usize>,
+    /// Number of body segments.
+    n_seg: usize,
+}
+
+/// The piecewise-static decomposition of a [`MobileObject`]'s surface:
+/// the finite set of `(material, height)` pieces it can present, plus an
+/// exact local-coordinate → piece resolver.
+///
+/// Built by [`MobileObject::surface_profile`]. The enumeration is what
+/// lets the channel's footprint kernel precompute per-patch geometry for
+/// every surface the scene can show; the resolver is what it calls per
+/// tick — no transcendental functions, just `partition_point` over the
+/// same accumulated floats [`MobileObject::sample_at`] compares against.
+#[derive(Debug, Clone)]
+pub struct SurfaceProfile {
+    pieces: Vec<ProfilePiece>,
+    kind: PieceResolver,
+}
+
+impl SurfaceProfile {
+    /// The constant pieces, in resolver index order. Spans are
+    /// informational (piece lookup goes through
+    /// [`SurfaceProfile::piece_at`]); surfaces are exact.
+    pub fn pieces(&self) -> &[ProfilePiece] {
+        &self.pieces
+    }
+
+    /// The piece index under local coordinate `local` (0 = leading
+    /// edge), or `None` where the object presents no surface (outside
+    /// `[0, length)`).
+    ///
+    /// Exactness contract (property-tested): for every `local`,
+    /// `self.piece_at(local).map(|i| self.pieces()[i].surface)` equals
+    /// the surface [`MobileObject::sample_at`] resolves for the same
+    /// local coordinate — including queries exactly on a boundary.
+    pub fn piece_at(&self, local: f64) -> Option<usize> {
+        if local < 0.0 {
+            return None;
+        }
+        match &self.kind {
+            PieceResolver::Strips { cuts } => {
+                // Tag::material_at returns the first strip with
+                // `local < acc`; partition_point counts the cuts ≤ local,
+                // which is the same index over the same floats.
+                let j = cuts.partition_point(|c| *c <= local);
+                (j < cuts.len()).then_some(j)
+            }
+            PieceResolver::Car { seg_cuts, tag } => {
+                if let Some(tp) = tag {
+                    // sample_at consults the roof tag first, in tag-local
+                    // coordinates; Tag::material_at rejects negatives.
+                    let shifted = local - tp.start_m;
+                    if shifted >= 0.0 {
+                        let j = tp.cuts.partition_point(|c| *c <= shifted);
+                        if j < tp.cuts.len() {
+                            // Height comes from the segment *under* the
+                            // point (sentinel column = no segment).
+                            let s = seg_cuts.partition_point(|c| *c <= local).min(tp.n_seg);
+                            let idx = tp.piece_of[j * (tp.n_seg + 1) + s];
+                            debug_assert_ne!(
+                                idx,
+                                usize::MAX,
+                                "roof-tag piece enumeration missed (strip {j}, segment {s})"
+                            );
+                            return (idx != usize::MAX).then_some(idx);
+                        }
+                    }
+                }
+                let s = seg_cuts.partition_point(|c| *c <= local);
+                (s < seg_cuts.len()).then_some(s)
             }
         }
     }
@@ -489,6 +737,103 @@ mod tests {
             Trajectory::Shuttle { speed_mps: 0.1, span_m: 0.3 },
         );
         assert_eq!(shuttle.pass_delay_to(2.0), 0.0, "pose beyond the shuttle span");
+    }
+
+    /// The surface a profile piece reports for `local`, through the
+    /// exact resolver.
+    fn profile_surface(profile: &SurfaceProfile, local: f64) -> Option<SurfaceSample> {
+        profile.piece_at(local).map(|i| profile.pieces()[i].surface)
+    }
+
+    #[test]
+    fn surface_profile_matches_sample_at_everywhere() {
+        // The contract the channel's footprint kernel stands on: the
+        // piece resolver and sample_at can NEVER disagree — dense
+        // interior probes, probes exactly on every breakpoint, and
+        // probes one ulp either side of every breakpoint.
+        let objects = [
+            MobileObject::cart(tag("10", 0.03), Trajectory::indoor_bench()).at_height(0.05),
+            MobileObject::car(
+                CarModel::volvo_v40(),
+                Some(tag("00", 0.10)),
+                Trajectory::car_18kmh(),
+            ),
+            MobileObject::car(CarModel::bmw_3(), None, Trajectory::car_18kmh()),
+        ];
+        for obj in &objects {
+            let profile = obj.surface_profile().expect("piecewise-static surface");
+            let lead = obj.leading_edge_at(0.0);
+            let len = obj.length_m();
+            let mut locals: Vec<f64> = (0..2000).map(|i| i as f64 / 1999.0 * len).collect();
+            for c in obj.profile_breakpoints().unwrap() {
+                locals.extend([c, f64::from_bits(c.to_bits().wrapping_sub(1)), {
+                    let up = f64::from_bits(c.to_bits().wrapping_add(1));
+                    if up.is_finite() {
+                        up
+                    } else {
+                        c
+                    }
+                }]);
+            }
+            locals.extend([-0.001, len, len + 0.001]);
+            for &local in &locals {
+                // sample_at reconstructs local from world coordinates; to
+                // compare the SAME local, query its surface resolution
+                // directly through the object's own decomposition: the
+                // world point is chosen so lead - world == local exactly.
+                let world = lead - local;
+                let reconstructed = lead - world;
+                if reconstructed != local {
+                    continue; // float round-trip moved the probe; skip
+                }
+                let expect = obj.sample_at(world, 0.0);
+                let got = profile_surface(&profile, local);
+                assert_eq!(got, expect, "{obj:?} local {local}");
+            }
+        }
+    }
+
+    #[test]
+    fn surface_profile_pieces_are_constant_and_cover_the_object() {
+        for obj in [
+            MobileObject::cart(tag("10", 0.03), Trajectory::indoor_bench()),
+            MobileObject::car(
+                CarModel::volvo_v40(),
+                Some(tag("00", 0.10)),
+                Trajectory::car_18kmh(),
+            ),
+        ] {
+            let profile = obj.surface_profile().expect("piecewise-static surface");
+            let lead = obj.leading_edge_at(0.0);
+            for (i, piece) in profile.pieces().iter().enumerate() {
+                if piece.end_m <= piece.start_m {
+                    continue; // degenerate informational span (unused pair)
+                }
+                for frac in [0.25, 0.5, 0.75] {
+                    let local = piece.start_m + frac * (piece.end_m - piece.start_m);
+                    if profile.piece_at(local) != Some(i) {
+                        continue; // boundary-adjacent float; resolver owns it
+                    }
+                    assert_eq!(
+                        obj.sample_at(lead - local, 0.0),
+                        Some(piece.surface),
+                        "piece {i} not constant at {local}"
+                    );
+                }
+            }
+            // Every in-extent probe resolves to some piece.
+            for k in 0..500 {
+                let local = (k as f64 + 0.5) / 500.0 * obj.length_m();
+                assert!(profile.piece_at(local).is_some(), "gap at {local}");
+            }
+        }
+    }
+
+    #[test]
+    fn lcd_surface_has_no_profile() {
+        let lcd = crate::tag::LcdShutterTag::new(vec![tag("00", 0.05), tag("11", 0.05)], 0.5);
+        let obj = MobileObject::lcd_cart(lcd, Trajectory::indoor_bench());
+        assert!(obj.surface_profile().is_none());
     }
 
     #[test]

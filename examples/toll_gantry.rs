@@ -5,8 +5,8 @@
 //! lane, one on the lane axis, one 1.2 m downstream on the far side.
 //! The car (roof tag `00`) passes at 18 km/h; every receiver runs as its
 //! own shard on the `SweepRunner`, owning a pose-relative `StaticField`
-//! and incremental `DeltaField` over the *shared* scene objects plus a
-//! push-based two-phase decoder. Decoded packets stream into an online
+//! and `FootprintKernel` geometry tables over the *shared* scene objects
+//! plus a push-based two-phase decoder. Decoded packets stream into an online
 //! `FusionStream` as the shards emit them, and the fused verdict — one
 //! vote per distinct receiver — is the gantry's answer.
 //!

@@ -566,16 +566,17 @@ mod decode_equivalence {
     }
 }
 
-// ---------------- Channel: incremental == staged == full -----------------
+// ---------------- Channel: kernel == incremental == staged == full -------
 
-/// The three-tier integrator invariant: at every tick, the incremental
-/// [`DeltaField`] agrees with the staged integral and with the full
-/// per-tick integral to ≤ 1e-9 (relative), on every scenario family and
-/// on the adversarial scenes (overlapping objects, direction reversals,
-/// parked objects) where the incremental tier must fall back or freeze
-/// its caches.
-mod three_tier_equivalence {
-    use palc_lab::core::channel::{PassiveChannel, Resolution, Scenario};
+/// The four-tier integrator invariant: at every tick, the table-driven
+/// [`FootprintKernel`], the incremental [`DeltaField`], the staged
+/// integral, and the full per-tick integral agree to ≤ 1e-9 (relative),
+/// on every scenario family (including the long outdoor crawl) and on
+/// the adversarial scenes (overlapping objects, direction reversals,
+/// parked objects, offset receiver poses) where the upper tiers must
+/// fall back or freeze their caches.
+mod four_tier_equivalence {
+    use palc_lab::core::channel::{PassiveChannel, ReceiverPose, Resolution, Scenario};
     use palc_lab::optics::source::{PointLamp, Sun};
     use palc_lab::optics::Vec3;
     use palc_lab::phy::Packet;
@@ -586,20 +587,30 @@ mod three_tier_equivalence {
         Packet::from_bits(bits).unwrap()
     }
 
-    /// Walks every ADC tick of `sc`, comparing the three tiers patchwise.
-    fn assert_three_tiers_agree(sc: &Scenario, label: &str) {
+    /// Walks every ADC tick of `sc` at `pose`, comparing all four tiers
+    /// patchwise.
+    fn assert_tiers_agree_at(sc: &Scenario, pose: ReceiverPose, label: &str) {
         let ch = sc.channel();
-        let field = Arc::new(ch.static_field().unwrap_or_else(|| panic!("{label}: separable")));
+        let field =
+            Arc::new(ch.static_field_at(pose).unwrap_or_else(|| panic!("{label}: separable")));
         let mut delta =
             ch.delta_field(field.clone()).unwrap_or_else(|| panic!("{label}: piecewise-static"));
+        let mut kernel = ch
+            .footprint_kernel(field.clone())
+            .unwrap_or_else(|| panic!("{label}: kernel-representable"));
         let fs = ch.frontend.sample_rate_hz();
         let n = (sc.duration_s() * fs).ceil() as usize;
         for i in 0..n {
             let t = i as f64 / fs;
+            let tabled = kernel.illuminance(ch, t);
             let incremental = delta.illuminance(ch, t);
             let staged = ch.illuminance_staged(&field, t);
-            let full = ch.illuminance_at(t);
+            let full = ch.illuminance_at_pose(pose, t);
             let tol = 1e-9 * full.abs().max(1.0);
+            assert!(
+                (tabled - incremental).abs() <= tol,
+                "{label}: t={t}: kernel {tabled} vs incremental {incremental}"
+            );
             assert!(
                 (incremental - staged).abs() <= tol,
                 "{label}: t={t}: incremental {incremental} vs staged {staged}"
@@ -608,14 +619,19 @@ mod three_tier_equivalence {
         }
     }
 
+    /// [`assert_tiers_agree_at`] at the channel's own origin pose.
+    fn assert_four_tiers_agree(sc: &Scenario, label: &str) {
+        assert_tiers_agree_at(sc, sc.channel().pose(), label);
+    }
+
     #[test]
     fn agrees_on_indoor_bench() {
-        assert_three_tiers_agree(&Scenario::indoor_bench(packet("10"), 0.03, 0.20), "indoor");
+        assert_four_tiers_agree(&Scenario::indoor_bench(packet("10"), 0.03, 0.20), "indoor");
     }
 
     #[test]
     fn agrees_on_ceiling_office() {
-        assert_three_tiers_agree(&Scenario::ceiling_office(packet("10"), 0.03, 500.0), "ceiling");
+        assert_four_tiers_agree(&Scenario::ceiling_office(packet("10"), 0.03, 500.0), "ceiling");
     }
 
     #[test]
@@ -626,7 +642,41 @@ mod three_tier_equivalence {
             0.75,
             Sun::cloudy_noon(3),
         );
-        assert_three_tiers_agree(&sc, "outdoor");
+        assert_four_tiers_agree(&sc, "outdoor");
+    }
+
+    #[test]
+    fn agrees_on_outdoor_car_long_crawl() {
+        // The 5 km/h traffic-jam crawl: the car sits inside the footprint
+        // for most of the run, so nearly every tick exercises the kernel's
+        // covered-column lookups rather than entry/exit edges.
+        let sc = Scenario::outdoor_car_pass(
+            CarModel::volvo_v40(),
+            Some(packet("00")),
+            0.75,
+            Sun::cloudy_noon(5),
+            Trajectory::Constant { speed_mps: 1.4 },
+            1.0,
+        );
+        assert_four_tiers_agree(&sc, "outdoor long crawl");
+    }
+
+    #[test]
+    fn agrees_at_offset_receiver_poses() {
+        // A receiver displaced along and across the track: pose-relative
+        // geometry tables (column mappings shifted by the pose offset,
+        // mirror geometry off-axis) must stay exact too.
+        let sc = Scenario::outdoor_car(
+            CarModel::volvo_v40(),
+            Some(packet("00")),
+            0.75,
+            Sun::cloudy_noon(4),
+        );
+        let z = sc.channel().receiver_z_m;
+        assert_tiers_agree_at(&sc, ReceiverPose::new(1.3, 0.4, z), "offset outdoor");
+        let office = Scenario::ceiling_office(packet("10"), 0.03, 500.0);
+        let z = office.channel().receiver_z_m;
+        assert_tiers_agree_at(&office, ReceiverPose::new(-0.28, 0.07, z), "offset ceiling");
     }
 
     #[test]
@@ -642,7 +692,7 @@ mod three_tier_equivalence {
         .starting_at(-0.34);
         sc.channel_mut().objects.push(chaser);
         sc.calibrate_gain();
-        assert_three_tiers_agree(&sc, "same-lane overlap");
+        assert_four_tiers_agree(&sc, "same-lane overlap");
     }
 
     #[test]
@@ -656,7 +706,7 @@ mod three_tier_equivalence {
                 .in_lane(0.31);
         sc.channel_mut().objects.push(neighbour);
         sc.calibrate_gain();
-        assert_three_tiers_agree(&sc, "disjoint lanes");
+        assert_four_tiers_agree(&sc, "disjoint lanes");
     }
 
     #[test]
@@ -680,7 +730,7 @@ mod three_tier_equivalence {
             },
             7.0, // > one full shuttle period
         );
-        assert_three_tiers_agree(&sc, "shuttle");
+        assert_four_tiers_agree(&sc, "shuttle");
     }
 
     #[test]
@@ -707,7 +757,7 @@ mod three_tier_equivalence {
             },
             1.5,
         );
-        assert_three_tiers_agree(&sc, "parked car");
+        assert_four_tiers_agree(&sc, "parked car");
     }
 }
 
