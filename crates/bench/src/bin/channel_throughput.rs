@@ -2,28 +2,34 @@
 //!
 //! ```text
 //! cargo run --release -p palc_bench --bin channel_throughput \
-//!     [-- [--smoke] [--check] [out.json [reps]]]
+//!     [-- [--smoke] [--check] [--verbose] [out.json [reps]]]
 //! ```
 //!
 //! Writes `BENCH_channel.json` (or the given path) and prints it.
 //! `--smoke` is the CI bit-rot guard: one rep per scenario, results
 //! printed but written only when a path is given explicitly — a smoke
-//! run never clobbers the recorded baseline. `--check` asserts the
-//! ROADMAP performance floors on the freshly measured numbers (indoor
-//! staged ≥ 5×, outdoor incremental ≥ 3×, the footprint-kernel floors)
-//! and exits non-zero on any violation, so CI fails on a perf
-//! regression instead of letting the ledger erode silently. A violation
-//! seen on a single-rep smoke measurement is re-measured at the full
-//! rep count before failing: floor ratios wobble ~10 % on a noisy
-//! runner, and only a regression that survives the confirmation run is
-//! real.
+//! run never clobbers the recorded baseline. `--verbose` prints the
+//! kernel build statistics (tables built vs interned, pool bytes, the
+//! culled/parked/mover split) for every fleet scaling point. `--check`
+//! asserts the ROADMAP performance floors on the freshly measured
+//! numbers (indoor staged ≥ 5×, outdoor incremental ≥ 3×, the
+//! footprint-kernel floors, and the fleet sublinearity floor: the
+//! 1000-object per-tick cost within 3× of the 100-object cost) and
+//! exits non-zero on any violation, so CI fails on a perf regression
+//! instead of letting the ledger erode silently. A violation seen on a
+//! single-rep smoke measurement is re-measured at the full rep count
+//! before failing: floor ratios wobble ~10 % on a noisy runner, and
+//! only a regression that survives the confirmation run is real.
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let smoke = args.iter().any(|a| a == "--smoke");
     let check = args.iter().any(|a| a == "--check");
-    let rest: Vec<&String> =
-        args.iter().filter(|a| a.as_str() != "--smoke" && a.as_str() != "--check").collect();
+    let verbose = args.iter().any(|a| a == "--verbose");
+    let rest: Vec<&String> = args
+        .iter()
+        .filter(|a| !matches!(a.as_str(), "--smoke" | "--check" | "--verbose"))
+        .collect();
     let path = rest.first().map(|s| s.as_str());
     let reps: u64 = rest.get(1).and_then(|s| s.parse().ok()).unwrap_or(if smoke { 1 } else { 5 });
 
@@ -45,7 +51,26 @@ fn main() {
             r.batch_threads,
         );
     }
-    let json = palc_bench::throughput::to_json(&results);
+    let scaling = palc_bench::throughput::scaling_sweep(reps);
+    for p in &scaling {
+        println!(
+            "{:<18} {:>4} objects ({} movers) | {:>8.0} ns/tick over {} samples",
+            p.scenario, p.objects, p.movers, p.per_tick_ns, p.trace_samples,
+        );
+        if verbose {
+            println!(
+                "{:<18} tables: {} built, {} interned, {} bytes | objects: {} culled, {} parked, {} movers",
+                "",
+                p.stats.tables_built,
+                p.stats.tables_interned,
+                p.stats.table_bytes,
+                p.stats.objects_culled,
+                p.stats.objects_parked,
+                p.stats.objects_movers,
+            );
+        }
+    }
+    let json = palc_bench::throughput::to_json(&results, &scaling);
     // A smoke run only writes when a path was given explicitly, so it can
     // never clobber the recorded baseline.
     match path.or(if smoke { None } else { Some("BENCH_channel.json") }) {
@@ -57,6 +82,7 @@ fn main() {
     }
     if check {
         let mut violations = palc_bench::throughput::check_floors(&results);
+        violations.extend(palc_bench::throughput::check_scaling_floors(&scaling));
         if !violations.is_empty() && reps < 5 {
             // Low-rep measurements (the CI smoke run) can wobble a
             // ratio a few percent below its floor; confirm the
@@ -68,6 +94,9 @@ fn main() {
             violations = palc_bench::throughput::check_floors(
                 &palc_bench::throughput::channel_throughput(5),
             );
+            violations.extend(palc_bench::throughput::check_scaling_floors(
+                &palc_bench::throughput::scaling_sweep(5),
+            ));
         }
         if violations.is_empty() {
             println!("all performance floors hold");

@@ -253,8 +253,57 @@ pub fn channel_throughput(reps: u64) -> Vec<ChannelThroughput> {
         .collect()
 }
 
+/// One point of the fleet scaling sweep: per-tick cost of the default
+/// (kernel) sampler on a `parking_structure` scene at one object count,
+/// plus the kernel's build-time statistics. Sublinearity across points —
+/// the 1000-object tick costing ≤ 3× the 100-object tick — is the floor
+/// `--check` gates on.
+#[derive(Debug, Clone)]
+pub struct ScalingPoint {
+    /// Scenario family id (`parking_structure`).
+    pub scenario: String,
+    /// Total objects in the scene.
+    pub objects: usize,
+    /// Moving objects among them.
+    pub movers: usize,
+    /// Samples per trace at the family's ADC rate.
+    pub trace_samples: usize,
+    /// Wall-clock nanoseconds per sample, end to end (sampler build
+    /// amortised over the trace).
+    pub per_tick_ns: f64,
+    /// Kernel build stats at this object count.
+    pub stats: palc::KernelStats,
+}
+
+/// Measures the default sampler's per-tick cost on the
+/// `parking_structure` family at 10, 100 and 1000 objects (3 movers
+/// each; the movers, the footprint and the run duration are identical
+/// across points, so any cost growth is attributable to scene size).
+pub fn scaling_sweep(reps: u64) -> Vec<ScalingPoint> {
+    let reps = reps.max(1);
+    [10usize, 100, 1000]
+        .iter()
+        .map(|&n| {
+            let sc = Scenario::parking_structure(n, 3, Some(Packet::from_bits("10").unwrap()));
+            let _ = sc.run(0); // warm-up
+            let sampler = sc.sampler(0);
+            debug_assert!(sampler.is_kernel(), "fleet family must ride the kernel tier");
+            let stats = sampler.kernel_stats().expect("kernel stats");
+            let (secs, samples) = time_reps(|seed| sc.run(seed).len(), reps);
+            ScalingPoint {
+                scenario: "parking_structure".into(),
+                objects: n,
+                movers: 3,
+                trace_samples: samples,
+                per_tick_ns: secs * 1e9 / (samples as u64 * reps) as f64,
+                stats,
+            }
+        })
+        .collect()
+}
+
 /// Renders the measurements as the `BENCH_channel.json` document.
-pub fn to_json(results: &[ChannelThroughput]) -> String {
+pub fn to_json(results: &[ChannelThroughput], scaling: &[ScalingPoint]) -> String {
     let mut out = String::from("{\n  \"bench\": \"channel_throughput\",\n  \"unit\": \"samples/sec\",\n  \"scenarios\": [\n");
     for (i, r) in results.iter().enumerate() {
         out.push_str(&format!(
@@ -291,6 +340,38 @@ pub fn to_json(results: &[ChannelThroughput]) -> String {
             r.batch_parallel_speedup,
             r.batch_threads,
             if i + 1 < results.len() { "," } else { "" },
+        ));
+    }
+    out.push_str("  ],\n  \"scaling\": [\n");
+    for (i, p) in scaling.iter().enumerate() {
+        out.push_str(&format!(
+            concat!(
+                "    {{\n",
+                "      \"scenario\": \"{}\",\n",
+                "      \"objects\": {},\n",
+                "      \"movers\": {},\n",
+                "      \"trace_samples\": {},\n",
+                "      \"per_tick_ns\": {:.1},\n",
+                "      \"tables_built\": {},\n",
+                "      \"tables_interned\": {},\n",
+                "      \"table_bytes\": {},\n",
+                "      \"objects_culled\": {},\n",
+                "      \"objects_parked\": {},\n",
+                "      \"objects_movers\": {}\n",
+                "    }}{}\n"
+            ),
+            p.scenario,
+            p.objects,
+            p.movers,
+            p.trace_samples,
+            p.per_tick_ns,
+            p.stats.tables_built,
+            p.stats.tables_interned,
+            p.stats.table_bytes,
+            p.stats.objects_culled,
+            p.stats.objects_parked,
+            p.stats.objects_movers,
+            if i + 1 < scaling.len() { "," } else { "" },
         ));
     }
     out.push_str("  ]\n}\n");
@@ -339,6 +420,36 @@ pub fn check_floors(results: &[ChannelThroughput]) -> Vec<String> {
     violations
 }
 
+/// The scaling floors `--check` asserts on the fleet sweep: per-tick
+/// cost at 1000 objects stays within 3× of the 100-object cost (the
+/// sublinearity gate — a per-object tick loop would blow through this at
+/// ~10×), and the 1000-object kernel actually exercises the scaling
+/// machinery (tables interned, out-of-footprint objects culled).
+pub fn check_scaling_floors(points: &[ScalingPoint]) -> Vec<String> {
+    let mut violations = Vec::new();
+    let at = |n: usize| points.iter().find(|p| p.objects == n);
+    match (at(100), at(1000)) {
+        (Some(mid), Some(big)) => {
+            let ratio = big.per_tick_ns / mid.per_tick_ns;
+            if ratio > 3.0 {
+                violations.push(format!(
+                    "parking_structure per-tick cost 1000 vs 100 objects {ratio:.2}x > 3x \
+                     ({:.0} ns vs {:.0} ns)",
+                    big.per_tick_ns, mid.per_tick_ns
+                ));
+            }
+            if big.stats.tables_interned == 0 {
+                violations.push("1000-object kernel interned no tables".into());
+            }
+            if big.stats.objects_culled == 0 {
+                violations.push("1000-object kernel culled no objects".into());
+            }
+        }
+        _ => violations.push("scaling sweep missing the 100- or 1000-object point".into()),
+    }
+    violations
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -362,9 +473,46 @@ mod tests {
         }
     }
 
+    fn sample_scaling() -> Vec<ScalingPoint> {
+        let stats = |built, interned, culled, parked| palc::KernelStats {
+            tables_built: built,
+            tables_interned: interned,
+            table_bytes: 1234,
+            objects_culled: culled,
+            objects_parked: parked,
+            objects_movers: 3,
+        };
+        vec![
+            ScalingPoint {
+                scenario: "parking_structure".into(),
+                objects: 10,
+                movers: 3,
+                trace_samples: 13000,
+                per_tick_ns: 400.0,
+                stats: stats(10, 8, 0, 7),
+            },
+            ScalingPoint {
+                scenario: "parking_structure".into(),
+                objects: 100,
+                movers: 3,
+                trace_samples: 13000,
+                per_tick_ns: 420.0,
+                stats: stats(10, 20, 80, 17),
+            },
+            ScalingPoint {
+                scenario: "parking_structure".into(),
+                objects: 1000,
+                movers: 3,
+                trace_samples: 13000,
+                per_tick_ns: 450.0,
+                stats: stats(10, 20, 980, 17),
+            },
+        ]
+    }
+
     #[test]
     fn json_shape_is_stable() {
-        let json = to_json(&[sample_result()]);
+        let json = to_json(&[sample_result()], &sample_scaling());
         assert!(json.contains("\"scenario\": \"indoor_bench\""));
         assert!(json.contains("\"staged_speedup\": 10.00"));
         assert!(json.contains("\"kernel_samples_per_s\": 987654"));
@@ -374,7 +522,33 @@ mod tests {
         assert!(json.contains("\"streaming_decode_samples_per_s\": 98765"));
         assert!(json.contains("\"array_shard_samples_per_s\": 222333"));
         assert!(json.contains("\"array_receivers\": 3"));
+        assert!(json.contains("\"scaling\": ["));
+        assert!(json.contains("\"objects\": 1000"));
+        assert!(json.contains("\"per_tick_ns\": 450.0"));
+        assert!(json.contains("\"tables_interned\": 20"));
+        assert!(json.contains("\"objects_culled\": 980"));
         assert!(json.trim_end().ends_with('}'));
+    }
+
+    #[test]
+    fn scaling_floors_pass_and_fail_where_expected() {
+        assert!(check_scaling_floors(&sample_scaling()).is_empty());
+
+        let mut linear = sample_scaling();
+        linear[2].per_tick_ns = 10.0 * linear[1].per_tick_ns;
+        let v = check_scaling_floors(&linear);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].contains("per-tick cost"), "{v:?}");
+
+        let mut no_intern = sample_scaling();
+        no_intern[2].stats.tables_interned = 0;
+        no_intern[2].stats.objects_culled = 0;
+        let v = check_scaling_floors(&no_intern);
+        assert_eq!(v.len(), 2, "{v:?}");
+
+        let v = check_scaling_floors(&sample_scaling()[..1]);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].contains("missing"), "{v:?}");
     }
 
     #[test]

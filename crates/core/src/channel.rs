@@ -99,6 +99,7 @@ use palc_optics::Material;
 use palc_optics::{LightSource, Vec3};
 use palc_phy::Packet;
 use palc_scene::{CarModel, Environment, MobileObject, Tag, Trajectory};
+use std::collections::HashMap;
 use std::sync::Arc;
 
 /// A receiver's position in the scene: lateral offset from the world
@@ -198,6 +199,26 @@ impl ObjectSpan {
         ObjectSpan { lo: 0, hi: 0, x_lo: 0.0, x_hi: 0.0, y_lo: 0.0, y_hi: 0.0 };
 }
 
+/// Per-slice object membership, CSR-flattened: slice `iy`'s members are
+/// `members[offsets[iy]..offsets[iy + 1]]`, each an index into the
+/// channel's object list whose lane band covers that slice's y. Built
+/// once per tick by [`PassiveChannel::slice_members`]; replaces the old
+/// 64-bit lane mask (and its silent per-patch fallback past the 64th
+/// object) with a structure that holds at any object count.
+#[derive(Debug, Clone)]
+struct SliceMembers {
+    offsets: Vec<u32>,
+    members: Vec<u32>,
+}
+
+impl SliceMembers {
+    /// The object indices whose lane band covers slice `iy`.
+    #[inline]
+    fn of(&self, iy: usize) -> &[u32] {
+        &self.members[self.offsets[iy] as usize..self.offsets[iy + 1] as usize]
+    }
+}
+
 /// A complete passive-communication scene.
 pub struct PassiveChannel {
     /// Static surroundings (ground material, fog, stray-light fraction).
@@ -265,43 +286,47 @@ impl PassiveChannel {
         // Lane coverage per slice, hoisted out of the per-patch surface
         // scan: each object's band test runs once per tick per slice,
         // not once per patch, and off-lane objects are never touched.
-        let masks = self.slice_masks(&g, pose);
+        let members = self.slice_members(&g, pose);
         for ix in 0..g.steps {
             let x = pose.x_m + g.x(ix);
-            for (iy, &mask) in masks.iter().enumerate() {
+            for iy in 0..g.slices {
                 let y = pose.y_m + g.y(iy);
-                total += self.patch_contribution(x, y, g.dx, g.dy, t, rx_pos, env, mask);
+                total += self.patch_contribution(x, y, g.dx, g.dy, t, rx_pos, env, members.of(iy));
             }
         }
         total
     }
 
     /// Which objects' lane bands cover each cross-track slice of grid
-    /// `g`: bit `i` of entry `iy` is set when object `i` (for the first
-    /// 64 objects) passes the `(y - lane_y).abs() <= lateral/2` test at
-    /// slice `iy`'s y — the exact test [`PassiveChannel::surface_at`]
-    /// used to run per *patch*. Lane bands are time-invariant, so one
-    /// computation per tick serves every patch of that tick (objects
-    /// beyond 64 keep the per-patch test; no scene comes close).
-    fn slice_masks(&self, g: &FootprintGrid, pose: ReceiverPose) -> Vec<u64> {
-        (0..g.slices)
-            .map(|iy| {
-                let y = pose.y_m + g.y(iy);
-                let mut mask = 0u64;
-                for (i, obj) in self.objects.iter().enumerate().take(64) {
-                    if (y - obj.lane_y_m()).abs() <= obj.lateral_m() / 2.0 {
-                        mask |= 1 << i;
-                    }
+    /// `g`: slice `iy`'s member list holds exactly the object indices
+    /// passing the `(y - lane_y).abs() <= lateral/2` test at slice `iy`'s
+    /// y — the exact test [`PassiveChannel::surface_at`] used to run per
+    /// *patch*. Lane bands are time-invariant, so one computation per
+    /// tick serves every patch of that tick, and — unlike the 64-bit
+    /// lane mask this replaces, which silently fell back to the
+    /// per-patch test beyond its 64th object — the member lists hold for
+    /// any object count: a thousand-car scene pays per patch only for
+    /// the objects whose band actually covers the patch's slice.
+    fn slice_members(&self, g: &FootprintGrid, pose: ReceiverPose) -> SliceMembers {
+        let mut offsets = Vec::with_capacity(g.slices + 1);
+        let mut members = Vec::new();
+        offsets.push(0u32);
+        for iy in 0..g.slices {
+            let y = pose.y_m + g.y(iy);
+            for (i, obj) in self.objects.iter().enumerate() {
+                if (y - obj.lane_y_m()).abs() <= obj.lateral_m() / 2.0 {
+                    members.push(i as u32);
                 }
-                mask
-            })
-            .collect()
+            }
+            offsets.push(members.len() as u32);
+        }
+        SliceMembers { offsets, members }
     }
 
     /// Contribution of the ground/object patch at `(x, y)` (size dx×dy).
-    /// `env` is the source's flicker envelope at `t` and `lane_mask` the
-    /// slice's precomputed object-coverage bits
-    /// ([`PassiveChannel::slice_masks`]) — both hoisted out of the
+    /// `env` is the source's flicker envelope at `t` and `members` the
+    /// slice's precomputed object-coverage list
+    /// ([`PassiveChannel::slice_members`]) — both hoisted out of the
     /// per-patch loop by the callers; this is the hot path.
     #[allow(clippy::too_many_arguments)]
     fn patch_contribution(
@@ -313,7 +338,7 @@ impl PassiveChannel {
         t: f64,
         rx_pos: Vec3,
         env: Option<f64>,
-        lane_mask: u64,
+        members: &[u32],
     ) -> f64 {
         // Fast reject: a patch that receives (almost) no light contributes
         // nothing regardless of its material. Under a narrow bench lamp
@@ -331,27 +356,25 @@ impl PassiveChannel {
         if gate < 1e-7 {
             return 0.0;
         }
-        let (material, surf_z) = self.surface_at(x, y, t, lane_mask);
+        let (material, surf_z) = self.surface_at(x, y, t, members);
         self.patch_from_surface(x, y, dx, dy, t, rx_pos, material, surf_z)
     }
 
     /// Top-most surface at `(x, y)` at time `t`: objects occlude the
-    /// ground and lower objects. `lane_mask` carries the slice's
-    /// precomputed lane-band decisions ([`PassiveChannel::slice_masks`]):
-    /// masked-out objects are skipped without touching their state, and
-    /// only objects beyond the 64-bit mask fall back to the per-patch
-    /// band test.
-    fn surface_at(&self, x: f64, y: f64, t: f64, lane_mask: u64) -> (Material, f64) {
+    /// ground and lower objects. `members` carries the slice's
+    /// precomputed lane-band decisions
+    /// ([`PassiveChannel::slice_members`]): only objects whose band
+    /// covers the patch's slice are scanned, however many objects the
+    /// scene holds.
+    fn surface_at(&self, x: f64, y: f64, t: f64, members: &[u32]) -> (Material, f64) {
         let mut material = self.environment.ground;
         let mut surf_z = 0.0;
-        for (i, obj) in self.objects.iter().enumerate() {
-            if i < 64 {
-                if lane_mask & (1 << i) == 0 {
-                    continue;
-                }
-            } else if (y - obj.lane_y_m()).abs() > obj.lateral_m() / 2.0 {
-                continue;
-            }
+        for &i in members {
+            let obj = &self.objects[i as usize];
+            debug_assert!(
+                (y - obj.lane_y_m()).abs() <= obj.lateral_m() / 2.0,
+                "slice member {i} fails its own lane-band test at y={y}"
+            );
             if let Some(s) = obj.sample_at(x, t) {
                 if s.height_m >= surf_z {
                     material = s.material;
@@ -532,16 +555,23 @@ impl PassiveChannel {
     /// Builds the table-driven (fourth-tier) integrator over `field`, or
     /// `None` when the scene cannot be represented by time-invariant
     /// geometry tables: a non-separable or degenerate envelope (no
-    /// static field exists then anyway), or any object without a
-    /// piecewise-static surface profile (an LCD shutter tag switches
-    /// materials over time — [`palc_scene::MobileObject::surface_profile`]
-    /// returns `None` and those scenes stay on the staged/incremental
-    /// tiers).
+    /// static field exists then anyway), or any *reachable* object
+    /// without a piecewise-static surface profile (an LCD shutter tag
+    /// switches materials over time —
+    /// [`palc_scene::MobileObject::surface_profile`] returns `None` and
+    /// those scenes stay on the staged/incremental tiers; an LCD tag the
+    /// build-time index proves can never touch this pose's footprint is
+    /// harmless and does not disable the kernel).
     ///
-    /// Build cost is one footprint sweep per distinct `(height,
-    /// material)` surface bin per object — a handful of staged ticks —
-    /// after which per-tick evaluation performs no transcendental math
-    /// and no surface scans at all (see [`FootprintKernel`]).
+    /// Build cost is one footprint sweep per distinct **interned**
+    /// `(lane, lateral, material, height)` geometry bin — identical
+    /// objects in the same lane share tables through a hash-cons pool,
+    /// so a parking row of 250 identical cars costs the same sweeps as
+    /// one car ([`FootprintKernel::stats`]). Per-tick evaluation then
+    /// performs no transcendental math, no surface scans, and — through
+    /// the build-time spatial index and the entry/exit event queue —
+    /// work proportional to the objects whose footprint actually
+    /// intersects the receiver *now*, not to the scene's object count.
     ///
     /// `field` must come from [`PassiveChannel::static_field`] /
     /// [`PassiveChannel::static_field_at`] on this same channel
@@ -554,12 +584,47 @@ impl PassiveChannel {
         let g = field.grid;
         let pose = field.pose;
         let rx_pos = pose.vec3();
+        // Build-time reach margin: `column_range` widens an interval by
+        // one column per side, and the mover entry/exit solver brackets
+        // its crossing by bisection; 2·dx absorbs both, so "outside the
+        // margin" proves the covered-column interval is empty.
+        let margin = 2.0 * g.dx;
+        let mut stats = KernelStats::default();
+        let mut pool: Vec<f64> = Vec::new();
+        let mut intern: HashMap<[u64; 6], usize> = HashMap::new();
         let mut objects = Vec::with_capacity(self.objects.len());
         for obj in &self.objects {
-            let profile = obj.surface_profile()?;
             let (y_lo, y_hi) = obj.lane_band();
             let lane_y = obj.lane_y_m();
             let half_lat = obj.lateral_m() / 2.0;
+
+            // --- Spatial index, build-time half: cull objects that can
+            // never contribute at this pose. Lane test: if no slice
+            // centre passes the surface-scan band test, every tier
+            // resolves every patch past this object. Reach test: if the
+            // object's whole-trajectory x-extent misses the footprint
+            // window (plus margin), its covered-column interval is empty
+            // at every t. Both are conservative, so culling changes no
+            // tier's value — only how much work a tick performs.
+            let in_lane = (0..g.slices).any(|iy| (pose.y_m + g.y(iy) - lane_y).abs() <= half_lat);
+            let (reach_lo, reach_hi) = obj.reachable_x_extent();
+            let in_reach =
+                reach_hi - pose.x_m >= -g.r_max - margin && reach_lo - pose.x_m <= g.r_max + margin;
+            if !in_lane || !in_reach {
+                stats.objects_culled += 1;
+                objects.push(ObjectKernel {
+                    profile: None,
+                    length: obj.length_m(),
+                    stationary: obj.is_stationary(),
+                    y_lo,
+                    y_hi,
+                    piece_bin: Vec::new(),
+                    bin_row: Vec::new(),
+                    culled: true,
+                });
+                continue;
+            }
+            let profile = obj.surface_profile()?;
 
             // Deduplicate the pieces into distinct (material, height)
             // bins: alternating HIGH/LOW strips share two bins however
@@ -576,18 +641,39 @@ impl PassiveChannel {
                 })
                 .collect();
 
-            // One column table per bin: the exact unit-envelope
+            // One interned pool row per bin: the exact unit-envelope
             // object-minus-background delta of the whole column, had
             // this bin's surface covered it — the same arithmetic
-            // `column_delta` performs per tick, done once at build. A
-            // slice is included only when BOTH lane tests the per-tick
-            // paths apply agree (`lane_band` in the covered test,
-            // `(y - lane_y).abs() <= lateral/2` in the surface scan);
-            // where they straddle a boundary ulp apart, the per-tick
-            // tiers resolve the patch to the ground and its delta is
-            // zero, which is exactly what skipping it here encodes.
-            let mut colgeom = vec![0.0; bins.len() * g.steps];
-            for (b, surf) in bins.iter().enumerate() {
+            // `column_delta` performs per tick, done once per *distinct*
+            // geometry. The row depends only on the object's lane band
+            // and the bin's numeric surface (position enters per tick
+            // through the leading edge), so the hash-cons key is exactly
+            // those six floats, bit-for-bit: identical objects in the
+            // same lane share one row however many of them the scene
+            // holds. A slice is included only when BOTH lane tests the
+            // per-tick paths apply agree (`lane_band` in the covered
+            // test, `(y - lane_y).abs() <= lateral/2` in the surface
+            // scan); where they straddle a boundary ulp apart, the
+            // per-tick tiers resolve the patch to the ground and its
+            // delta is zero, which is exactly what skipping it here
+            // encodes.
+            let mut bin_row = Vec::with_capacity(bins.len());
+            for surf in &bins {
+                let key = [
+                    lane_y.to_bits(),
+                    half_lat.to_bits(),
+                    surf.material.diffuse.to_bits(),
+                    surf.material.specular.to_bits(),
+                    surf.material.gloss.to_bits(),
+                    surf.height_m.to_bits(),
+                ];
+                if let Some(&row) = intern.get(&key) {
+                    stats.tables_interned += 1;
+                    bin_row.push(row);
+                    continue;
+                }
+                let row = pool.len() / g.steps;
+                pool.resize(pool.len() + g.steps, 0.0);
                 for ix in 0..g.steps {
                     let x = pose.x_m + g.x(ix);
                     let mut acc = 0.0;
@@ -612,21 +698,127 @@ impl PassiveChannel {
                         ) / env0
                             - field.bg[idx];
                     }
-                    colgeom[b * g.steps + ix] = acc;
+                    pool[row * g.steps + ix] = acc;
                 }
+                stats.tables_built += 1;
+                intern.insert(key, row);
+                bin_row.push(row);
             }
             objects.push(ObjectKernel {
-                profile,
+                profile: Some(profile),
                 length: obj.length_m(),
                 stationary: obj.is_stationary(),
                 y_lo,
                 y_hi,
                 piece_bin,
-                colgeom,
-                frozen: None,
+                bin_row,
+                culled: false,
             });
         }
-        Some(FootprintKernel { field, objects, spans: Vec::new() })
+        stats.table_bytes = pool.len() * std::mem::size_of::<f64>();
+
+        // --- Event-driven freezing: split the survivors into a parked
+        // aggregate (one scalar, summed once at build) and a mover event
+        // queue (entry/exit times into the margin-widened footprint
+        // window), so a tick touches only the movers currently inside.
+        let mut parked_sum = 0.0;
+        let mut parked_cols: Vec<(u32, usize, usize)> = Vec::new();
+        let mut events: Vec<(f64, u32, bool)> = Vec::new();
+        let w_enter = pose.x_m - g.r_max - margin;
+        let w_exit = pose.x_m + g.r_max + margin;
+        for (oi, ok) in objects.iter().enumerate() {
+            if ok.culled {
+                continue;
+            }
+            let obj = &self.objects[oi];
+            if ok.stationary {
+                stats.objects_parked += 1;
+                // A parked object's leading edge, spans and table sum
+                // never change: fold it into one build-time scalar —
+                // the same arithmetic the per-tick loop would perform,
+                // performed zero times per tick.
+                let lead = obj.leading_edge_at(0.0);
+                let (lo, hi) = column_range(&g, lead - ok.length - pose.x_m, lead - pose.x_m);
+                if lo < hi {
+                    parked_sum += ok.table_sum(&pool, &g, pose, lead, lo, hi);
+                    parked_cols.push((oi as u32, lo, hi));
+                }
+            } else {
+                stats.objects_movers += 1;
+                if matches!(obj.trajectory(), Trajectory::Shuttle { .. }) {
+                    // Non-monotone displacement: the object may re-enter
+                    // at any time, so it is simply always active.
+                    events.push((0.0, oi as u32, true));
+                    continue;
+                }
+                // Monotone trajectories: active on [t_enter, t_exit)
+                // where the leading edge first crosses the window's near
+                // side and the trailing edge last crosses its far side.
+                let lead0 = obj.leading_edge_at(0.0);
+                if w_exit + ok.length - lead0 <= 0.0 {
+                    continue; // starts past the far edge, never returns
+                }
+                let t_enter = if lead0 >= w_enter {
+                    Some(0.0)
+                } else {
+                    obj.trajectory().time_to_travel_checked(w_enter - lead0)
+                };
+                let Some(te) = t_enter else {
+                    continue; // never reaches the window
+                };
+                events.push((te, oi as u32, true));
+                if let Some(tx) =
+                    obj.trajectory().time_to_travel_checked(w_exit + ok.length - lead0)
+                {
+                    events.push((tx, oi as u32, false));
+                }
+            }
+        }
+        events.sort_unstable_by(|a, b| a.0.total_cmp(&b.0));
+
+        // Two parked objects overlapping in both columns and lane band
+        // would need per-patch max-height occlusion forever: detect it
+        // once here and route *every* tick to the staged tier, exactly
+        // as the per-tick pairwise test used to.
+        let mut parked_overlap = false;
+        'pp: for i in 0..parked_cols.len() {
+            for j in (i + 1)..parked_cols.len() {
+                let (a, alo, ahi) = parked_cols[i];
+                let (b, blo, bhi) = parked_cols[j];
+                if alo < bhi && blo < ahi {
+                    let (oa, ob) = (&objects[a as usize], &objects[b as usize]);
+                    if oa.y_lo <= ob.y_hi && ob.y_lo <= oa.y_hi {
+                        parked_overlap = true;
+                        break 'pp;
+                    }
+                }
+            }
+        }
+        // Column → parked objects covering it, so a mover checks the
+        // parked objects under *its own* columns instead of all of them.
+        let mut parked_by_column = vec![Vec::new(); if parked_overlap { 0 } else { g.steps }];
+        if !parked_overlap {
+            for &(oi, lo, hi) in &parked_cols {
+                for col in &mut parked_by_column[lo..hi] {
+                    col.push(oi);
+                }
+            }
+        }
+
+        Some(FootprintKernel {
+            field,
+            objects,
+            pool,
+            stats,
+            parked_sum,
+            parked_overlap,
+            parked_by_column,
+            events,
+            cursor: 0,
+            active: Vec::new(),
+            last_t: f64::NEG_INFINITY,
+            spans: Vec::new(),
+        })
     }
 
     /// Noise-free illuminance at time `t`, staged through `field` when one
@@ -694,16 +886,17 @@ impl PassiveChannel {
         spans.sort_unstable_by_key(|s| s.lo);
 
         // Walk merged index intervals so overlapping objects never
-        // double-count a patch. Lane masks are hoisted per tick (see
-        // `slice_masks`), so the surface scan inside `patch_contribution`
-        // touches only objects whose band covers the slice.
-        let masks = self.slice_masks(g, pose);
+        // double-count a patch. Lane membership is hoisted per tick (see
+        // `slice_members`), so the surface scan inside
+        // `patch_contribution` touches only objects whose band covers the
+        // slice.
+        let members = self.slice_members(g, pose);
         let mut cursor = 0usize;
         for &ObjectSpan { lo, hi, .. } in spans.iter() {
             let start = lo.max(cursor);
             for ix in start..hi {
                 let x = pose.x_m + g.x(ix);
-                for (iy, &mask) in masks.iter().enumerate() {
+                for iy in 0..g.slices {
                     let idx = ix * g.slices + iy;
                     if field.dark[idx] {
                         // Material-independently dark patch (no ground
@@ -717,9 +910,16 @@ impl PassiveChannel {
                         .iter()
                         .any(|s| x >= s.x_lo && x <= s.x_hi && y >= s.y_lo && y <= s.y_hi);
                     if covered {
-                        total +=
-                            self.patch_contribution(x, y, g.dx, g.dy, t, rx_pos, Some(env), mask)
-                                - field.bg[idx] * env;
+                        total += self.patch_contribution(
+                            x,
+                            y,
+                            g.dx,
+                            g.dy,
+                            t,
+                            rx_pos,
+                            Some(env),
+                            members.of(iy),
+                        ) - field.bg[idx] * env;
                     }
                 }
             }
@@ -1103,7 +1303,7 @@ fn resolve_spans<O: TickObject>(
 /// One column's object-minus-background delta at unit envelope: the
 /// quantity [`DeltaField`] caches. Mirrors the staged walk's per-patch
 /// arithmetic (same centre-inclusion test, same dark-patch skip, same
-/// hoisted lane masks) divided by the envelope.
+/// hoisted lane membership) divided by the envelope.
 #[allow(clippy::too_many_arguments)]
 fn column_delta(
     channel: &PassiveChannel,
@@ -1113,7 +1313,7 @@ fn column_delta(
     lead: f64,
     t: f64,
     env: f64,
-    masks: &[u64],
+    members: &SliceMembers,
 ) -> f64 {
     let g = &field.grid;
     let pose = field.pose;
@@ -1123,7 +1323,7 @@ fn column_delta(
     }
     let rx_pos = pose.vec3();
     let mut acc = 0.0;
-    for (iy, &mask) in masks.iter().enumerate() {
+    for iy in 0..g.slices {
         let idx = ix * g.slices + iy;
         if field.dark[idx] {
             continue;
@@ -1132,7 +1332,8 @@ fn column_delta(
         if y < st.y_lo || y > st.y_hi {
             continue;
         }
-        acc += channel.patch_contribution(x, y, g.dx, g.dy, t, rx_pos, Some(env), mask) / env
+        acc += channel.patch_contribution(x, y, g.dx, g.dy, t, rx_pos, Some(env), members.of(iy))
+            / env
             - field.bg[idx];
     }
     acc
@@ -1171,10 +1372,10 @@ impl DeltaField {
 
         let mut pending = std::mem::take(&mut self.pending);
         // Hoisted lane coverage for the swept-column re-integrations
-        // (identical decisions to the staged walk's masks), computed
-        // only on ticks that actually re-integrate a column — a frozen
-        // tick stays allocation-free.
-        let mut masks: Option<Vec<u64>> = None;
+        // (identical decisions to the staged walk's member lists),
+        // computed only on ticks that actually re-integrate a column — a
+        // frozen tick stays allocation-free.
+        let mut members: Option<SliceMembers> = None;
         let mut dynamic = 0.0;
         for (k, st) in self.objects.iter_mut().enumerate() {
             let (lead, new_lo, new_hi) = spans[k];
@@ -1217,8 +1418,9 @@ impl DeltaField {
             pending.sort_unstable();
             pending.dedup();
             for &ix in &pending {
-                let masks = masks.get_or_insert_with(|| channel.slice_masks(&g, pose));
-                st.col_delta[ix] = column_delta(channel, &self.field, st, ix, lead, t, env, masks);
+                let members = members.get_or_insert_with(|| channel.slice_members(&g, pose));
+                st.col_delta[ix] =
+                    column_delta(channel, &self.field, st, ix, lead, t, env, members);
             }
             st.last_lead = Some(lead);
             st.lo = new_lo;
@@ -1243,49 +1445,94 @@ impl DeltaField {
 }
 
 /// Per-object state of a [`FootprintKernel`]: the object's exact surface
-/// decomposition plus its precomputed per-bin column-geometry tables.
+/// decomposition plus its bin → interned-pool-row mapping.
 #[derive(Debug, Clone)]
 struct ObjectKernel {
     /// Exact piecewise-static decomposition of the surface
     /// ([`palc_scene::MobileObject::surface_profile`]); the per-tick
-    /// piece resolver is transcendental-free.
-    profile: palc_scene::SurfaceProfile,
+    /// piece resolver is transcendental-free. `None` iff `culled` — the
+    /// build-time index proved the object can never touch this pose's
+    /// footprint, so no decomposition (and no table) is needed.
+    profile: Option<palc_scene::SurfaceProfile>,
     /// Object length along the track, metres.
     length: f64,
-    /// Never moves ([`palc_scene::MobileObject::is_stationary`]): the
-    /// whole per-tick sum is frozen after the first evaluation.
+    /// Never moves ([`palc_scene::MobileObject::is_stationary`]): folded
+    /// into the kernel's build-time parked aggregate.
     stationary: bool,
     /// Lane band `[y_lo, y_hi]`, fixed for the object's lifetime.
     y_lo: f64,
     y_hi: f64,
-    /// Piece index → geometry-bin row: pieces sharing a `(material,
-    /// height)` pair share one table row.
+    /// Piece index → geometry-bin index: pieces sharing a `(material,
+    /// height)` pair share one bin.
     piece_bin: Vec<usize>,
-    /// `bins × steps` column-geometry table, row-major: entry
-    /// `[b * steps + ix]` is column `ix`'s full unit-envelope
-    /// object-minus-background delta, had bin `b`'s surface covered it —
-    /// FoV weight (incl. the `powf` rolloff), mirror-geometry specular
-    /// lobe, path transmission, patch illuminance profile and background
-    /// subtraction all baked in at build time.
-    colgeom: Vec<f64>,
-    /// Cached `(leading edge, dynamic sum)` for stationary objects: a
-    /// parked object costs one addition per tick.
-    frozen: Option<(f64, f64)>,
+    /// Geometry-bin index → row of the kernel's interned table pool.
+    /// Row `r` spans `pool[r * steps..(r + 1) * steps]`: entry `ix` is
+    /// column `ix`'s full unit-envelope object-minus-background delta,
+    /// had the bin's surface covered it — FoV weight (incl. the `powf`
+    /// rolloff), mirror-geometry specular lobe, path transmission, patch
+    /// illuminance profile and background subtraction all baked in at
+    /// build time. Identical (lane, lateral, material, height) bins map
+    /// to the *same* row across objects.
+    bin_row: Vec<usize>,
+    /// Proven unable to contribute at this pose (lane band covers no
+    /// slice centre, or whole-trajectory reach misses the footprint):
+    /// carries no tables and is skipped by every per-tick structure.
+    culled: bool,
 }
 
-impl TickObject for ObjectKernel {
-    fn cached_lead(&self) -> Option<f64> {
-        self.frozen.map(|(lead, _)| lead)
+impl ObjectKernel {
+    /// The object's dynamic contribution with its leading edge at
+    /// `lead`, columns `lo..hi`: one pool lookup per covered column —
+    /// local coordinate → piece (exact `partition_point`) → bin → pool
+    /// row. This loop is the entire per-tick cost of an active mover,
+    /// and the build-time cost of a parked object.
+    fn table_sum(
+        &self,
+        pool: &[f64],
+        g: &FootprintGrid,
+        pose: ReceiverPose,
+        lead: f64,
+        lo: usize,
+        hi: usize,
+    ) -> f64 {
+        let profile = self.profile.as_ref().expect("culled objects carry no tables");
+        let mut sum = 0.0;
+        for ix in lo..hi {
+            let x = pose.x_m + g.x(ix);
+            let local = lead - x;
+            if !(0.0..=self.length).contains(&local) {
+                continue; // widened interval edge, not covered
+            }
+            if let Some(p) = profile.piece_at(local) {
+                sum += pool[self.bin_row[self.piece_bin[p]] * g.steps + ix];
+            }
+        }
+        sum
     }
-    fn stationary(&self) -> bool {
-        self.stationary
-    }
-    fn length(&self) -> f64 {
-        self.length
-    }
-    fn band(&self) -> (f64, f64) {
-        (self.y_lo, self.y_hi)
-    }
+}
+
+/// Build-time statistics of a [`FootprintKernel`]: how much work the
+/// interning pool and the spatial index actually avoided. Surfaced by
+/// [`FootprintKernel::stats`] / `ChannelSampler::kernel_stats` and
+/// printed by `channel_throughput --verbose`.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct KernelStats {
+    /// Distinct geometry tables integrated (footprint sweeps performed).
+    pub tables_built: usize,
+    /// Table requests served from the hash-cons pool instead — each one
+    /// a full footprint sweep the build skipped.
+    pub tables_interned: usize,
+    /// Resident bytes of the interned table pool.
+    pub table_bytes: usize,
+    /// Objects the build-time spatial index proved unable to touch this
+    /// pose's footprint: no tables, no per-tick work, ever.
+    pub objects_culled: usize,
+    /// Stationary in-footprint objects folded into the build-time parked
+    /// aggregate: zero per-tick work.
+    pub objects_parked: usize,
+    /// Moving in-footprint objects on the entry/exit event queue: the
+    /// only objects a tick can spend per-column work on.
+    pub objects_movers: usize,
 }
 
 /// The table-driven (fourth) tier of the footprint integrator: per-tick
@@ -1328,9 +1575,29 @@ impl TickObject for ObjectKernel {
 ///   never builds a kernel at all ([`PassiveChannel::footprint_kernel`]
 ///   returns `None`) and rides the staged/incremental tiers.
 ///
-/// The kernel is stateless across ticks (no caches to resume), so
-/// fallback ticks need no pinning; stationary objects carry the only
-/// memo (their frozen per-tick sum).
+/// The only per-tick mutable state is the event cursor and the active
+/// mover list — both reset deterministically when time runs backwards —
+/// so fallback ticks need no pinning.
+///
+/// ## Scaling layer
+///
+/// Three build-time structures make per-tick cost track the objects
+/// whose footprint intersects the receiver *now*, not the scene size:
+///
+/// * **Spatial index** — each object's lane band × whole-trajectory
+///   reachable x-extent ([`palc_scene::MobileObject::reachable_x_extent`])
+///   is tested against this pose's footprint window once at build;
+///   objects that can never touch it are culled from every per-tick
+///   structure. Per-`ReceiverPose`, so array shards index only their own
+///   neighbourhood.
+/// * **Event queue** — in-reach movers get entry/exit times (exact
+///   monotone-trajectory inversion, [`palc_scene::Trajectory::time_to_travel_checked`]);
+///   a cursor sweep keeps the active set current, and stationary objects
+///   are folded into one build-time scalar. A 1000-object parking lot
+///   with 3 movers costs ~3 objects of work per tick.
+/// * **Interned tables** — column-geometry rows are hash-consed on
+///   (lane, lateral, material, height), so identical parked cars share
+///   one table ([`FootprintKernel::stats`]).
 ///
 /// Built by [`PassiveChannel::footprint_kernel`]; owned by
 /// [`ChannelSampler`] (every sampler- and streaming-based run rides it
@@ -1342,15 +1609,35 @@ impl TickObject for ObjectKernel {
 pub struct FootprintKernel {
     field: Arc<StaticField>,
     objects: Vec<ObjectKernel>,
-    /// Scratch: per-tick `(lead, lo, hi)` of every object.
-    spans: Vec<(f64, usize, usize)>,
+    /// Interned column-geometry pool; row `r` spans
+    /// `[r * steps, (r + 1) * steps)`.
+    pool: Vec<f64>,
+    stats: KernelStats,
+    /// Build-time sum of every parked in-footprint object's table sum.
+    parked_sum: f64,
+    /// Two parked objects overlap in both columns and lane band: the
+    /// conflict never clears, so every tick is served staged.
+    parked_overlap: bool,
+    /// Column `ix` → parked objects covering it (empty when
+    /// `parked_overlap`; the per-tick path is never reached then).
+    parked_by_column: Vec<Vec<u32>>,
+    /// Mover entry/exit events `(time, object, is_entry)`, time-sorted.
+    events: Vec<(f64, u32, bool)>,
+    /// First event not yet applied to `active`.
+    cursor: usize,
+    /// Movers currently inside the footprint window.
+    active: Vec<u32>,
+    /// Last tick time, to detect non-monotone sampling and rewind.
+    last_t: f64,
+    /// Scratch: per-tick `(object, lead, lo, hi)` of active movers.
+    spans: Vec<(u32, f64, usize, usize)>,
 }
 
 impl FootprintKernel {
     /// Noise-free illuminance at time `t` through the geometry tables:
-    /// `(static_total + Σ per-object column lookups) × envelope(t)`,
-    /// falling back to the exact staged or full tier per tick as
-    /// described on [`FootprintKernel`].
+    /// `(static_total + parked aggregate + Σ active-mover column
+    /// lookups) × envelope(t)`, falling back to the exact staged or full
+    /// tier per tick as described on [`FootprintKernel`].
     ///
     /// `channel` must be the channel this kernel was built from (same
     /// objects, same grid).
@@ -1365,45 +1652,83 @@ impl FootprintKernel {
             Err(EnvelopeFallback::Full) => return channel.illuminance_at_pose(self.field.pose, t),
             Err(EnvelopeFallback::Staged) => return channel.illuminance_staged(&self.field, t),
         };
+        if self.parked_overlap {
+            return channel.illuminance_staged(&self.field, t);
+        }
         let g = self.field.grid;
         let pose = self.field.pose;
 
+        // Event cursor: samplers tick monotonically, so this is O(events
+        // crossed since the last tick), amortised O(1). A rewind (golden
+        // tests, repeated probes) resets and replays — still exact.
+        if t < self.last_t {
+            self.cursor = 0;
+            self.active.clear();
+        }
+        self.last_t = t;
+        while self.cursor < self.events.len() && self.events[self.cursor].0 <= t {
+            let (_, oi, entry) = self.events[self.cursor];
+            self.cursor += 1;
+            if entry {
+                self.active.push(oi);
+            } else {
+                self.active.retain(|&o| o != oi);
+            }
+        }
+
+        // Covered-column spans of the active movers only.
         let mut spans = std::mem::take(&mut self.spans);
-        if resolve_spans(&g, pose, &self.objects, &channel.objects, t, &mut spans) {
-            // Overlap fallback: the kernel is stateless across ticks,
-            // so nothing needs pinning.
+        spans.clear();
+        for &oi in &self.active {
+            let ok = &self.objects[oi as usize];
+            let lead = channel.objects[oi as usize].leading_edge_at(t);
+            let (lo, hi) = column_range(&g, lead - ok.length - pose.x_m, lead - pose.x_m);
+            if lo < hi {
+                spans.push((oi, lead, lo, hi));
+            }
+        }
+
+        // Overlap hazard → staged fallback, decomposed by motion class:
+        // mover–mover pairwise over the (few) active movers, and
+        // mover–parked through the per-column buckets so only parked
+        // objects under a mover's own columns are consulted.
+        // Parked–parked was settled for good at build time.
+        let mut overlap = false;
+        'mm: for i in 0..spans.len() {
+            for j in (i + 1)..spans.len() {
+                let (a, _, alo, ahi) = spans[i];
+                let (b, _, blo, bhi) = spans[j];
+                if alo < bhi && blo < ahi {
+                    let (oa, ob) = (&self.objects[a as usize], &self.objects[b as usize]);
+                    if oa.y_lo <= ob.y_hi && ob.y_lo <= oa.y_hi {
+                        overlap = true;
+                        break 'mm;
+                    }
+                }
+            }
+        }
+        if !overlap {
+            'mp: for &(oi, _, lo, hi) in &spans {
+                let om = &self.objects[oi as usize];
+                for bucket in &self.parked_by_column[lo..hi] {
+                    for &p in bucket {
+                        let op = &self.objects[p as usize];
+                        if om.y_lo <= op.y_hi && op.y_lo <= om.y_hi {
+                            overlap = true;
+                            break 'mp;
+                        }
+                    }
+                }
+            }
+        }
+        if overlap {
             self.spans = spans;
             return channel.illuminance_staged(&self.field, t);
         }
 
-        let mut dynamic = 0.0;
-        for (k, ok) in self.objects.iter_mut().enumerate() {
-            let (lead, lo, hi) = spans[k];
-            if let Some((frozen_lead, sum)) = ok.frozen {
-                if frozen_lead == lead {
-                    dynamic += sum;
-                    continue;
-                }
-            }
-            // The object's covered columns, each a single table lookup:
-            // local coordinate → piece (exact partition_point) → bin row
-            // → precomputed column delta. This loop is the entire
-            // per-tick cost of a moving object.
-            let mut sum = 0.0;
-            for ix in lo..hi {
-                let x = pose.x_m + g.x(ix);
-                let local = lead - x;
-                if !(0.0..=ok.length).contains(&local) {
-                    continue; // widened interval edge, not covered
-                }
-                if let Some(p) = ok.profile.piece_at(local) {
-                    sum += ok.colgeom[ok.piece_bin[p] * g.steps + ix];
-                }
-            }
-            if ok.stationary {
-                ok.frozen = Some((lead, sum));
-            }
-            dynamic += sum;
+        let mut dynamic = self.parked_sum;
+        for &(oi, lead, lo, hi) in &spans {
+            dynamic += self.objects[oi as usize].table_sum(&self.pool, &g, pose, lead, lo, hi);
         }
         self.spans = spans;
         (self.field.static_total + dynamic) * env
@@ -1414,11 +1739,18 @@ impl FootprintKernel {
         &self.field
     }
 
-    /// Total precomputed table entries across all objects and bins — the
-    /// build-time footprint the per-tick loop trades transcendentals
-    /// for.
+    /// Build-time statistics: tables built vs interned, pool bytes, and
+    /// the culled/parked/mover split of the scene's objects.
+    pub fn stats(&self) -> KernelStats {
+        self.stats
+    }
+
+    /// Total precomputed table entries resident in the interned pool —
+    /// the build-time footprint the per-tick loop trades transcendentals
+    /// for. Shared rows count once; see [`FootprintKernel::stats`] for
+    /// how many requests the pool deduplicated.
     pub fn table_entries(&self) -> usize {
-        self.objects.iter().map(|o| o.colgeom.len()).sum()
+        self.pool.len()
     }
 }
 
@@ -1476,6 +1808,13 @@ impl ChannelSampler<'_> {
     /// active — the default whenever the scene permits.
     pub fn is_kernel(&self) -> bool {
         self.kernel.is_some()
+    }
+
+    /// Build-time statistics of the kernel tier (tables built vs
+    /// interned, pool bytes, culled/parked/mover split), or `None` when
+    /// the kernel tier is unavailable or dropped.
+    pub fn kernel_stats(&self) -> Option<KernelStats> {
+        self.kernel.as_ref().map(|k| k.stats())
     }
 
     /// Drops the kernel tier, forcing every tick through the incremental
@@ -1679,6 +2018,108 @@ impl Scenario {
                 receiver_z_m: roof_z + height_above_roof_m,
                 frontend,
                 resolution: Resolution { along_m: 0.02, lateral_slices: 5 },
+            },
+            duration,
+        )
+    }
+
+    /// A parking-structure fleet: `n_objects` cars under a cloudy-noon
+    /// sun, all but `n_movers` parked in rows flanking the receiver's
+    /// lane, the movers driving down lane 0 past a bare-PD gate reader
+    /// at 18 km/h (each carrying a roof tag compiled from `packet`, when
+    /// one is given). The parked rows extend far past the receiver's
+    /// footprint in both directions, so the scene's *active* content —
+    /// the handful of cars the footprint can see — is identical at 10,
+    /// 100 and 1000 objects: the workload the kernel's scaling layer
+    /// (build-time culling, parked aggregate, event queue, interned
+    /// tables) is built for, and the family `channel_throughput`'s
+    /// sublinearity floor is gated on.
+    ///
+    /// Geometry is chosen so no fallback ever fires: row pitch exceeds a
+    /// car's lateral extent (disjoint lane bands) and slot pitch leaves
+    /// a gap wider than the grid's column widening (no column overlap).
+    pub fn parking_structure(n_objects: usize, n_movers: usize, packet: Option<Packet>) -> Self {
+        Self::fleet_scene(n_objects, n_movers, false, packet)
+    }
+
+    /// A multi-lane highway fleet: `n_objects` cars all moving at
+    /// 18 km/h, round-robined over five lanes and staggered within each
+    /// lane so the convoy streams past the receiver indefinitely.
+    /// Exercises the kernel's event queue (every object enters and
+    /// leaves the footprint window) and table interning (identical cars
+    /// in the same lane share one geometry table); the run's duration is
+    /// fixed, so only the leading waves transit — exactly the "almost
+    /// everything is elsewhere" regime the spatial index targets.
+    pub fn highway_multilane(n_objects: usize, packet: Option<Packet>) -> Self {
+        Self::fleet_scene(n_objects, n_objects, true, packet)
+    }
+
+    /// Shared builder of the thousand-object fleet families: a bare
+    /// PD(G1) gate reader 0.9 m above roof height (60° half-angle, so
+    /// the footprint spans the flanking rows), outdoor 2 kHz frontend,
+    /// cloudy-noon sun over a parking lot.
+    fn fleet_scene(
+        n_objects: usize,
+        n_movers: usize,
+        multilane: bool,
+        packet: Option<Packet>,
+    ) -> Self {
+        assert!(n_movers <= n_objects, "more movers than objects");
+        let car = CarModel::volvo_v40();
+        let car_len = car.length_m();
+        let rx_z = car.max_height_m() + 0.9;
+        let receiver = OpticalReceiver::opt101(PdGain::G1);
+        let r_max = receiver.fov().footprint_radius(rx_z);
+        // Row pitch > car lateral extent (1.8 m): adjacent rows' lane
+        // bands are disjoint, so cross-row overlap can never fire.
+        let lane_pitch = 1.95;
+        // Slot gap ≫ the grid's ±1-column widening: same-row parked
+        // cars never share a covered column.
+        let x_pitch = car_len + 0.8;
+        // Same-lane movers at equal speed keep this separation forever.
+        let stagger = 2.0 * car_len + 0.5;
+        // Movers start outside the footprint window so their entry (and
+        // exit) events fire mid-run rather than degenerating to t = 0.
+        let lead = r_max + 0.5;
+        let mover_lanes: &[f64] = if multilane { &[0.0, 1.0, -1.0, 2.0, -2.0] } else { &[0.0] };
+        let mut objects = Vec::with_capacity(n_objects);
+        for i in 0..n_movers {
+            let tag = packet.as_ref().map(|p| Tag::from_packet(p, 0.10).with_lateral(0.5));
+            let slot = (i / mover_lanes.len()) as f64;
+            objects.push(
+                MobileObject::car(car.clone(), tag, Trajectory::car_18kmh())
+                    .starting_at(-(lead + slot * stagger))
+                    .in_lane(mover_lanes[i % mover_lanes.len()] * lane_pitch),
+            );
+        }
+        for j in 0..n_objects - n_movers {
+            // Rows ±1 and ±2, slots alternating outward from the
+            // receiver: the near-field core of the parked fleet is
+            // identical at every n, and everything beyond the footprint
+            // is exactly what the build-time index proves irrelevant.
+            let row = [1.0, -1.0, 2.0, -2.0][j % 4];
+            let slot = j / 4;
+            let m = slot.div_ceil(2) as f64;
+            let x_idx = if slot % 2 == 0 { m } else { -m };
+            objects.push(
+                MobileObject::car(car.clone(), None, Trajectory::Constant { speed_mps: 0.0 })
+                    .starting_at(x_idx * x_pitch + car_len / 2.0)
+                    .in_lane(row * lane_pitch),
+            );
+        }
+        // Long enough for the lead wave plus two stagger periods to
+        // transit; independent of n_objects so per-tick costs compare
+        // across fleet sizes.
+        let duration = (2.0 * lead + car_len + 2.0 * stagger) / 5.0 + 0.5;
+        let frontend = Frontend::outdoor(receiver, 0);
+        Scenario::custom(
+            PassiveChannel {
+                environment: Environment::parking_lot(),
+                source: Box::new(Sun::cloudy_noon(1)),
+                objects,
+                receiver_z_m: rx_z,
+                frontend,
+                resolution: Resolution { along_m: 0.05, lateral_slices: 5 },
             },
             duration,
         )
@@ -2138,6 +2579,104 @@ mod tests {
             7.0, // > one full shuttle period (2 · 0.35 / 0.12 ≈ 5.8 s)
         );
         assert_golden(&sc, 13, "shuttle_reversal");
+    }
+
+    /// Four-tier agreement on every `stride`-th tick of the scenario —
+    /// the sparse variant of [`assert_golden`] for fleet scenes whose
+    /// full per-tick reference would dominate the test suite.
+    fn assert_tiers_agree_sparse(sc: &Scenario, stride: usize, label: &str) {
+        let ch = sc.channel();
+        let field = Arc::new(ch.static_field().unwrap_or_else(|| panic!("{label}: separable")));
+        let mut delta = ch
+            .delta_field(field.clone())
+            .unwrap_or_else(|| panic!("{label}: piecewise-static scene"));
+        let mut kernel = ch
+            .footprint_kernel(field.clone())
+            .unwrap_or_else(|| panic!("{label}: kernel-representable scene"));
+        let fs = ch.frontend.sample_rate_hz();
+        let n = (sc.duration_s() * fs).ceil() as usize;
+        for i in (0..n).step_by(stride) {
+            let t = i as f64 / fs;
+            let tabled = kernel.illuminance(ch, t);
+            let incremental = delta.illuminance(ch, t);
+            let staged = ch.illuminance_staged(&field, t);
+            let full = ch.illuminance_at(t);
+            let tol = 1e-9 * full.abs().max(1.0);
+            assert!(
+                (tabled - incremental).abs() <= tol,
+                "{label}: t={t}: kernel {tabled} vs incremental {incremental}"
+            );
+            assert!(
+                (incremental - staged).abs() <= tol,
+                "{label}: t={t}: incremental {incremental} vs staged {staged}"
+            );
+            assert!((staged - full).abs() <= tol, "{label}: t={t}: staged {staged} vs full {full}");
+        }
+    }
+
+    #[test]
+    fn parking_structure_tiers_agree() {
+        // Small fleet, full event lifecycle: parked rows flanking the
+        // lane, two movers entering and leaving the footprint window.
+        let sc = Scenario::parking_structure(24, 2, Some(packet("10")));
+        assert_tiers_agree_sparse(&sc, 37, "parking_structure");
+    }
+
+    #[test]
+    fn highway_multilane_tiers_agree() {
+        let sc = Scenario::highway_multilane(30, Some(packet("10")));
+        assert_tiers_agree_sparse(&sc, 37, "highway_multilane");
+    }
+
+    #[test]
+    fn fleet_kernel_stats_cull_park_and_intern() {
+        // The 1000-object parking lot: almost everything is culled at
+        // build time, the rest splits into the parked aggregate and the
+        // three movers, and identical cars share interned tables.
+        let sc = Scenario::parking_structure(1000, 3, Some(packet("10")));
+        let sampler = sc.sampler(1);
+        assert!(sampler.is_kernel(), "fleet scene must ride the kernel tier");
+        let stats = sampler.kernel_stats().expect("kernel stats");
+        assert_eq!(
+            stats.objects_culled + stats.objects_parked + stats.objects_movers,
+            1000,
+            "every object classified exactly once: {stats:?}"
+        );
+        assert_eq!(stats.objects_movers, 3, "{stats:?}");
+        assert!(stats.objects_culled > 900, "out-of-footprint parked rows culled: {stats:?}");
+        assert!(stats.tables_interned > 0, "identical in-reach cars must share tables: {stats:?}");
+        assert!(stats.tables_built <= 40, "a handful of distinct geometries: {stats:?}");
+        assert!(stats.table_bytes > 0, "{stats:?}");
+
+        // The highway variant: nothing is culled (every car transits the
+        // footprint), so interning carries the entire dedup load —
+        // hundreds of identical cars, a handful of distinct tables.
+        let hw = Scenario::highway_multilane(200, Some(packet("10")));
+        let stats = hw.sampler(1).kernel_stats().expect("kernel stats");
+        assert_eq!(stats.objects_culled, 0, "{stats:?}");
+        assert_eq!(stats.objects_movers, 200, "{stats:?}");
+        assert!(
+            stats.tables_interned >= 10 * stats.tables_built,
+            "interning must dominate at fleet scale: {stats:?}"
+        );
+    }
+
+    #[test]
+    fn kernel_event_queue_rewinds_exactly() {
+        // The event cursor assumes monotone time but must survive a
+        // rewind (repeated probes, reused kernels) by replaying from
+        // t = 0 — pinned against the stateless staged tier.
+        let sc = Scenario::parking_structure(40, 2, Some(packet("10")));
+        let ch = sc.channel();
+        let field = Arc::new(ch.static_field().expect("separable"));
+        let mut kernel = ch.footprint_kernel(field.clone()).expect("kernel");
+        let dur = sc.duration_s();
+        for &t in &[0.0, 0.6 * dur, 0.9 * dur, 0.2 * dur, 0.7 * dur, 0.0] {
+            let tabled = kernel.illuminance(ch, t);
+            let staged = ch.illuminance_staged(&field, t);
+            let tol = 1e-9 * staged.abs().max(1.0);
+            assert!((tabled - staged).abs() <= tol, "t={t}: kernel {tabled} vs staged {staged}");
+        }
     }
 
     #[test]

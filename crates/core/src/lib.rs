@@ -56,7 +56,9 @@ pub mod trace;
 pub mod vehicle;
 
 pub use capacity::{CapacityAnalyzer, CapacitySweep};
-pub use channel::{ChannelSampler, PassiveChannel, ReceiverPose, Scenario, StaticField};
+pub use channel::{
+    ChannelSampler, KernelStats, PassiveChannel, ReceiverPose, Scenario, StaticField,
+};
 pub use classify::{DtwClassifier, TemplateDb};
 pub use collision::{CollisionAnalyzer, CollisionReport};
 pub use decode::{AdaptiveDecoder, DecodeError, DecodedPacket};

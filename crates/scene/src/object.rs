@@ -172,6 +172,21 @@ impl MobileObject {
         (lead - self.length_m(), lead)
     }
 
+    /// The world-x interval this object can *ever* occupy, over all
+    /// times: `[start_x − length, start_x + max_displacement]`, with an
+    /// infinite upper end for unbounded trajectories. The time-free
+    /// counterpart of [`MobileObject::x_extent_at`]: for every `t`,
+    /// `x_extent_at(t)` is contained in this interval.
+    ///
+    /// The channel's spatial tick index intersects this interval with a
+    /// receiver's footprint columns at build time; an object whose
+    /// reachable extent misses the footprint entirely can be dropped
+    /// from every per-tick scan without changing any sample.
+    pub fn reachable_x_extent(&self) -> (f64, f64) {
+        let (_, max_disp) = self.trajectory.displacement_bounds();
+        (self.start_x_m - self.length_m(), self.start_x_m + max_disp)
+    }
+
     /// Lateral band `[y_lo, y_hi]` the object sweeps: its lane offset
     /// plus/minus half its lateral extent. The cross-track counterpart of
     /// [`MobileObject::x_extent_at`].
@@ -646,6 +661,34 @@ mod tests {
             assert!(obj.sample_at(lo - 1e-6, t).is_none());
             assert!(obj.sample_at(hi + 1e-6, t).is_none());
         }
+    }
+
+    #[test]
+    fn reachable_extent_contains_every_instantaneous_extent() {
+        let cases = [
+            MobileObject::cart(tag("00", 0.03), Trajectory::Constant { speed_mps: 0.0 })
+                .starting_at(0.4),
+            MobileObject::cart(
+                tag("00", 0.03),
+                Trajectory::Shuttle { speed_mps: 0.1, span_m: 0.3 },
+            )
+            .starting_at(-0.2),
+            MobileObject::cart(tag("10", 0.10), Trajectory::indoor_bench()).starting_at(-0.5),
+        ];
+        for obj in &cases {
+            let (r_lo, r_hi) = obj.reachable_x_extent();
+            for i in 0..100 {
+                let t = i as f64 * 0.25;
+                let (lo, hi) = obj.x_extent_at(t);
+                assert!(r_lo <= lo + 1e-12 && hi <= r_hi + 1e-12, "{obj:?} escaped at t={t}");
+            }
+        }
+        // Parked: the reachable extent IS the instantaneous extent.
+        let (r_lo, r_hi) = cases[0].reachable_x_extent();
+        let (lo, hi) = cases[0].x_extent_at(3.0);
+        assert_eq!((r_lo, r_hi), (lo, hi));
+        // Movers with unbounded trajectories reach arbitrarily far +x.
+        assert_eq!(cases[2].reachable_x_extent().1, f64::INFINITY);
     }
 
     #[test]

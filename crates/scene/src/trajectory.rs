@@ -181,6 +181,25 @@ impl Trajectory {
         }
     }
 
+    /// The closed range of displacements this trajectory can ever
+    /// produce, as `(min_m, max_m)` with `max_m = f64::INFINITY` for
+    /// profiles that travel without bound.
+    ///
+    /// Every profile starts at displacement 0 and — except
+    /// [`Trajectory::Shuttle`] — is monotone nondecreasing, so the
+    /// minimum is always 0; the maximum is `span_m` for a shuttle, 0 for
+    /// a parked object, and unbounded otherwise. The channel's spatial
+    /// tick index uses this to bound the world-x interval an object can
+    /// ever cover, which is what makes build-time culling of
+    /// never-in-footprint objects *exact* rather than heuristic.
+    pub fn displacement_bounds(&self) -> (f64, f64) {
+        match *self {
+            Trajectory::Constant { speed_mps: 0.0 } => (0.0, 0.0),
+            Trajectory::Shuttle { span_m, .. } => (0.0, span_m),
+            _ => (0.0, f64::INFINITY),
+        }
+    }
+
     /// Like [`Trajectory::time_to_travel`], but `None` when this
     /// trajectory never covers `distance_m` (a parked object, a shuttle
     /// span shorter than the distance) instead of panicking — the query
@@ -322,6 +341,31 @@ mod tests {
         assert!(!Trajectory::Shuttle { speed_mps: 0.1, span_m: 1.0 }.is_stationary());
         assert!(!Trajectory::Jittered { speed_mps: 0.1, jitter: 0.2, segment_m: 0.1, seed: 1 }
             .is_stationary());
+    }
+
+    #[test]
+    fn displacement_bounds_bracket_the_profile() {
+        // Parked: pinned at 0. Shuttle: capped at its span. Everything
+        // else: unbounded above, never negative.
+        assert_eq!(Trajectory::Constant { speed_mps: 0.0 }.displacement_bounds(), (0.0, 0.0));
+        let sh = Trajectory::Shuttle { speed_mps: 0.1, span_m: 0.3 };
+        assert_eq!(sh.displacement_bounds(), (0.0, 0.3));
+        for tr in [
+            Trajectory::Constant { speed_mps: 0.5 },
+            Trajectory::StepChange { speed_mps: 0.5, switch_after_m: 1.0, factor: 2.0 },
+            Trajectory::Ramp { v0_mps: 0.2, v1_mps: 1.0, over_m: 2.0 },
+            Trajectory::Jittered { speed_mps: 0.1, jitter: 0.2, segment_m: 0.05, seed: 1 },
+        ] {
+            let (lo, hi) = tr.displacement_bounds();
+            assert_eq!(lo, 0.0, "{tr:?}");
+            assert_eq!(hi, f64::INFINITY, "{tr:?}");
+        }
+        // The bounds really do bracket sampled displacements.
+        for i in 0..200 {
+            let t = i as f64 * 0.1;
+            let d = sh.displacement(t);
+            assert!((0.0..=0.3 + 1e-12).contains(&d), "shuttle escaped its bounds at t={t}");
+        }
     }
 
     #[test]

@@ -761,6 +761,169 @@ mod four_tier_equivalence {
     }
 }
 
+// ---------------- Fleet scaling: indexed vs unindexed tiers ---------------
+
+/// The scaling layer's exactness contract: the kernel's build-time
+/// culling, parked aggregate, event queue and interned tables are pure
+/// work-avoidance — on thousand-object fleets and on adversarial
+/// geometries (everything in one lane band, objects straddling the index
+/// window boundary, movers crossing a frozen cluster) every tick must
+/// match the unindexed tiers to ≤ 1e-9.
+mod fleet_scaling {
+    use palc_lab::core::channel::{ReceiverPose, Scenario};
+    use palc_lab::phy::Packet;
+    use palc_lab::scene::{CarModel, MobileObject, Tag, Trajectory};
+    use std::sync::Arc;
+
+    fn packet(bits: &str) -> Packet {
+        Packet::from_bits(bits).unwrap()
+    }
+
+    /// Four-tier agreement on every `stride`-th ADC tick at `pose` —
+    /// fleet scenes are too large to walk the full per-tick reference
+    /// densely, and the kernel's event cursor only needs monotone time.
+    fn assert_tiers_agree_sparse_at(sc: &Scenario, pose: ReceiverPose, stride: usize, label: &str) {
+        let ch = sc.channel();
+        let field =
+            Arc::new(ch.static_field_at(pose).unwrap_or_else(|| panic!("{label}: separable")));
+        let mut delta =
+            ch.delta_field(field.clone()).unwrap_or_else(|| panic!("{label}: piecewise-static"));
+        let mut kernel = ch
+            .footprint_kernel(field.clone())
+            .unwrap_or_else(|| panic!("{label}: kernel-representable"));
+        let fs = ch.frontend.sample_rate_hz();
+        let n = (sc.duration_s() * fs).ceil() as usize;
+        for i in (0..n).step_by(stride) {
+            let t = i as f64 / fs;
+            let tabled = kernel.illuminance(ch, t);
+            let incremental = delta.illuminance(ch, t);
+            let staged = ch.illuminance_staged(&field, t);
+            let full = ch.illuminance_at_pose(pose, t);
+            let tol = 1e-9 * full.abs().max(1.0);
+            assert!(
+                (tabled - incremental).abs() <= tol,
+                "{label}: t={t}: kernel {tabled} vs incremental {incremental}"
+            );
+            assert!(
+                (incremental - staged).abs() <= tol,
+                "{label}: t={t}: incremental {incremental} vs staged {staged}"
+            );
+            assert!((staged - full).abs() <= tol, "{label}: t={t}: staged {staged} vs full {full}");
+        }
+    }
+
+    fn assert_tiers_agree_sparse(sc: &Scenario, stride: usize, label: &str) {
+        assert_tiers_agree_sparse_at(sc, sc.channel().pose(), stride, label);
+    }
+
+    #[test]
+    fn parking_structure_1000_objects_indexed_matches_unindexed() {
+        let sc = Scenario::parking_structure(1000, 3, Some(packet("10")));
+        let stats = sc.sampler(0).kernel_stats().expect("kernel stats");
+        assert!(stats.objects_culled > 900, "index must prune the far rows: {stats:?}");
+        assert_tiers_agree_sparse(&sc, 457, "parking 1000");
+    }
+
+    #[test]
+    fn highway_multilane_indexed_matches_unindexed() {
+        // Every object transits the footprint: the event queue (not
+        // culling) carries the whole scaling load here.
+        let sc = Scenario::highway_multilane(300, Some(packet("10")));
+        let stats = sc.sampler(0).kernel_stats().expect("kernel stats");
+        assert_eq!(stats.objects_culled, 0, "{stats:?}");
+        assert!(stats.tables_interned > stats.tables_built, "{stats:?}");
+        assert_tiers_agree_sparse(&sc, 457, "highway 300");
+    }
+
+    #[test]
+    fn fleet_agrees_at_offset_receiver_pose() {
+        // The index is built per pose: a displaced receiver culls a
+        // *different* neighbourhood and must stay exact there.
+        let sc = Scenario::parking_structure(120, 2, Some(packet("10")));
+        let z = sc.channel().receiver_z_m;
+        assert_tiers_agree_sparse_at(&sc, ReceiverPose::new(2.6, 0.3, z), 229, "offset fleet");
+    }
+
+    #[test]
+    fn mover_crossing_a_frozen_single_lane_cluster() {
+        // Adversarial: every object in ONE lane band. Parked tags spaced
+        // along lane 0 form a frozen cluster; a mover drives straight
+        // through, so its span enters and leaves each parked object's
+        // columns in turn — the mover–parked overlap fallback must fire
+        // exactly while they overlap and hand back to the fast path in
+        // between, bit-exact throughout.
+        let mut sc = Scenario::indoor_bench(packet("10"), 0.03, 0.25);
+        for k in 0..4 {
+            let parked = MobileObject::cart(
+                Tag::from_packet(&packet("0"), 0.04),
+                Trajectory::Constant { speed_mps: 0.0 },
+            )
+            .starting_at(-0.15 + 0.16 * k as f64)
+            .at_height(0.015);
+            sc.channel_mut().objects.push(parked);
+        }
+        sc.calibrate_gain();
+        let stats = sc.sampler(0).kernel_stats().expect("kernel stats");
+        assert_eq!(stats.objects_parked + stats.objects_movers + stats.objects_culled, 5);
+        assert_tiers_agree_sparse(&sc, 1, "single-lane cluster");
+    }
+
+    #[test]
+    fn overlapping_parked_cluster_serves_every_tick_staged() {
+        // Adversarial: two parked tags overlap in both columns and lane
+        // band, a conflict that never clears — the kernel must detect it
+        // at build time and serve the whole run from the staged tier,
+        // still within tolerance of every other tier.
+        let mut sc = Scenario::indoor_bench(packet("10"), 0.03, 0.25);
+        for start in [0.05, 0.09] {
+            let parked = MobileObject::cart(
+                Tag::from_packet(&packet("0"), 0.04),
+                Trajectory::Constant { speed_mps: 0.0 },
+            )
+            .starting_at(start)
+            .at_height(0.015);
+            sc.channel_mut().objects.push(parked);
+        }
+        sc.calibrate_gain();
+        assert_tiers_agree_sparse(&sc, 1, "overlapping parked cluster");
+    }
+
+    #[test]
+    fn objects_straddling_the_index_window_boundary() {
+        // Adversarial: parked cars placed right at the footprint
+        // window's edges — just inside (kept, near-zero tables) and
+        // clearly outside (culled) — plus the culled-count bookkeeping.
+        let mut sc = Scenario::parking_structure(5, 1, Some(packet("10")));
+        let z = sc.channel().receiver_z_m;
+        let r = sc.channel().frontend.receiver.fov().footprint_radius(z);
+        let len = CarModel::volvo_v40().length_m();
+        let lane = 1.95;
+        let edge = r + 2.0 * 0.05; // grid r_max + the build-time margin
+        let straddlers = [
+            // Leading edge a hair inside the near boundary.
+            (-(edge) + 0.01, lane),
+            // Trailing edge a hair inside the far boundary.
+            (edge + len - 0.01, lane),
+            // Fully beyond the far boundary: must be culled.
+            (edge + len + 0.5, -lane),
+        ];
+        for (start, y) in straddlers {
+            let car = MobileObject::car(
+                CarModel::volvo_v40(),
+                None,
+                Trajectory::Constant { speed_mps: 0.0 },
+            )
+            .starting_at(start)
+            .in_lane(y);
+            sc.channel_mut().objects.push(car);
+        }
+        sc.calibrate_gain();
+        let stats = sc.sampler(0).kernel_stats().expect("kernel stats");
+        assert!(stats.objects_culled >= 1, "the fully-outside car must be culled: {stats:?}");
+        assert_tiers_agree_sparse(&sc, 23, "window straddlers");
+    }
+}
+
 // ---------------- Receiver arrays: shards == serial, fusion ---------------
 
 /// The sharding invariants: a multi-receiver array run fans one scene's
