@@ -6,8 +6,12 @@
 //! bench targets in `benches/` (run with `cargo bench --workspace`) use
 //! it, and the `channel_throughput` binary records the channel sampler's
 //! samples/sec baseline to `BENCH_channel.json` so future changes have a
-//! perf trajectory to compare against.
+//! perf trajectory to compare against. The `impair_conformance` binary
+//! ([`conformance`]) records every decoder's delivery-ratio curves under
+//! the channel impairment layer to `BENCH_impair.json` and gates CI on
+//! their floors.
 
+pub mod conformance;
 pub mod throughput;
 
 pub use std::hint::black_box;

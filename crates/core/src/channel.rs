@@ -91,6 +91,7 @@
 //! [`PassiveChannel::run_illuminance`]) re-integrates the full footprint
 //! every tick; golden-equivalence tests pin the staged sampler to it.
 
+use crate::impair::ImpairmentStack;
 use crate::sweep::SweepRunner;
 use crate::trace::Trace;
 use palc_frontend::{Frontend, FrontendState, OpticalReceiver, PdGain};
@@ -1978,6 +1979,76 @@ impl Scenario {
         )
     }
 
+    /// The Sec. 4.3 contention bench: two tags cross the same footprint
+    /// simultaneously, so both modulate one receiver at their own strip
+    /// rates. The victim (carrying `packet`) passes under the spot in
+    /// lane 0; the rival (carrying `rival_packet`) rides a slightly
+    /// taller cart in lane `rival_lane_y_m`, occluding whatever slice of
+    /// the spot its lane band covers. That band overlap is the power
+    /// split: a rival grazing the footprint edge leaves one dominant
+    /// transmitter (the analyzer's Case 2 — victim still decodes); a
+    /// rival covering about half the spot shares the channel evenly and
+    /// jams it (Case 3, multiple transmitters).
+    pub fn two_tag_contention(
+        packet: Packet,
+        symbol_width_m: f64,
+        rival_packet: Packet,
+        rival_symbol_width_m: f64,
+        rival_lane_y_m: f64,
+    ) -> Self {
+        // Contention needs a *graded* power split across the footprint,
+        // which the bench geometry cannot give: its glossy tape returns
+        // light through a retro-reflective Phong lobe that concentrates
+        // the whole link budget in the few square centimetres at nadir,
+        // collapsing any lane-share contest into all-or-nothing. So this
+        // scene uses the paper's other hardware: diffuse white/black
+        // paper strips under a wide (35° half-power) lamp, read through
+        // the Sec. 4.1 aperture cap (1.2 × 2.8 cm tube, ≈23° FoV) whose
+        // raised-cosine acceptance weights the footprint gently around
+        // nadir — spatial resolution from the receiver, not the spot.
+        let height_m = 0.25;
+        let order = palc_optics::photometry::lambertian_order_from_half_angle(35.0);
+        let lamp = PointLamp::new(Vec3::new(0.0, 0.0, height_m), 10.0).with_order(order);
+        let receiver = OpticalReceiver::opt101(PdGain::G1)
+            .with_fov(palc_optics::FieldOfView::from_aperture_tube(0.012, 0.028));
+        let frontend = Frontend::indoor(receiver, 0);
+        let (high, low) = (Material::white_paper(), Material::black_napkin());
+        let victim = Tag::from_packet_with_materials(&packet, symbol_width_m, high, low);
+        let rival = Tag::from_packet_with_materials(&rival_packet, rival_symbol_width_m, high, low);
+        let lead_m = 0.08;
+        let victim_len = victim.length_m();
+        let rival_len = rival.length_m();
+        // Centre the two passes on each other so the rival keeps
+        // modulating for the whole victim pass (`starting_at` places the
+        // leading edge; a tag extends behind it).
+        let rival_start = -lead_m + (rival_len - victim_len) / 2.0;
+        let victim_obj =
+            MobileObject::cart(victim, Trajectory::indoor_bench()).starting_at(-lead_m);
+        // 2 cm taller, so where the lane bands overlap the rival is the
+        // visible surface.
+        let rival_obj = MobileObject::cart(rival, Trajectory::indoor_bench())
+            .starting_at(rival_start)
+            .in_lane(rival_lane_y_m)
+            .at_height(0.02);
+        let travel = victim_len.max(rival_len) + 2.0 * lead_m;
+        let duration = victim_obj.trajectory().time_to_travel(travel) + 0.2;
+        Scenario::custom(
+            PassiveChannel {
+                environment: Environment::dark_room(),
+                source: Box::new(lamp),
+                objects: vec![victim_obj, rival_obj],
+                receiver_z_m: height_m,
+                frontend,
+                // 43 slices over the ±0.43 m FoV footprint puts ~5
+                // slices inside the lit spot, so the rival's lane band
+                // resolves to a fractional power share instead of an
+                // all-or-nothing slice.
+                resolution: Resolution { along_m: 0.002, lateral_slices: 43 },
+            },
+            duration,
+        )
+    }
+
     /// The Sec. 5 outdoor car pass: `car` with `packet` on the roof at
     /// 10 cm symbols, receiver `height_above_roof_m` above the roof, under
     /// `sun`. Receiver defaults to the RX-LED; see
@@ -2241,6 +2312,26 @@ impl Scenario {
             })
             .collect();
         Trace::new(samples, fs)
+    }
+
+    /// Runs the scenario through an impairment stack: the seeded sampler
+    /// feeds the stack, which perturbs the RSS stream before any decoder
+    /// sees it. The same `seed` drives both the channel noise and every
+    /// stack layer, so one number reproduces the whole impaired run; an
+    /// empty stack makes this identical to [`Scenario::run`].
+    pub fn run_impaired(&self, seed: u64, stack: &ImpairmentStack) -> Trace {
+        let fs = self.channel.frontend.sample_rate_hz();
+        Trace::new(stack.apply(seed, self.sampler(seed)).collect(), fs)
+    }
+
+    /// [`Scenario::run_clean`] through an impairment stack: the
+    /// noise-free illuminance trace with only the stack's perturbations
+    /// on top (amplitudes are then in lux, not RSS codes). Isolates an
+    /// impairment's effect from frontend noise and quantisation.
+    pub fn run_clean_impaired(&self, stack: &ImpairmentStack, seed: u64) -> Trace {
+        let clean = self.run_clean();
+        let fs = clean.sample_rate_hz();
+        Trace::new(stack.apply_slice(seed, clean.samples()), fs)
     }
 }
 

@@ -126,11 +126,18 @@ pub struct FusionCenter {
     /// Detections within this window (seconds) of each other belong to
     /// the same physical pass.
     pub window_s: f64,
+    /// Extra backward tolerance (seconds) before a late detection is
+    /// declared a straggler and resolved alone. `window_s` describes the
+    /// *physics* (how far apart one pass's detections can be); this
+    /// describes the *transport* — network jitter and batched shard
+    /// delivery push a legitimate member's arrival-side timestamp past
+    /// the window edge without its pass having been a different event.
+    pub straggler_slack_s: f64,
 }
 
 impl Default for FusionCenter {
     fn default() -> Self {
-        FusionCenter { window_s: 1.0 }
+        FusionCenter { window_s: 1.0, straggler_slack_s: 0.25 }
     }
 }
 
@@ -228,14 +235,19 @@ impl FusionStream {
     /// cluster when this detection is the first of a new one.
     ///
     /// A *straggler* — a detection older than the open cluster's latest
-    /// member by more than the window (gross clock skew, a shard
-    /// delivering an earlier pass very late) — must not join: its time
-    /// belongs to a pass whose cluster already closed, and admitting it
-    /// would widen the open cluster without bound and skew its mean
-    /// `time_s`. It is resolved immediately as its own singleton event
-    /// instead, leaving the open cluster untouched.
+    /// member by more than the window plus the centre's
+    /// [`straggler_slack_s`](FusionCenter::straggler_slack_s) (gross
+    /// clock skew, a shard delivering an earlier pass very late) — must
+    /// not join: its time belongs to a pass whose cluster already
+    /// closed, and admitting it would widen the open cluster without
+    /// bound and skew its mean `time_s`. It is resolved immediately as
+    /// its own singleton event instead, leaving the open cluster
+    /// untouched. The slack keeps a merely *jittered* member — delivered
+    /// out of order just past the window edge — inside its rightful
+    /// cluster instead of fragmenting the pass into singletons.
     pub fn push(&mut self, detection: Detection) -> Option<FusedEvent> {
-        if !self.open.is_empty() && self.latest_s - detection.time_s > self.center.window_s {
+        let cutoff = self.center.window_s + self.center.straggler_slack_s;
+        if !self.open.is_empty() && self.latest_s - detection.time_s > cutoff {
             return Some(self.center.resolve(&[&detection]));
         }
         let closes =
@@ -394,6 +406,36 @@ mod tests {
         assert_eq!(event.payload.to_string(), "10");
         assert_eq!(event.receivers, 2);
         assert!((event.time_s - 100.15).abs() < 1e-12, "mean not skewed by the straggler");
+    }
+
+    #[test]
+    fn jittered_member_past_the_window_edge_still_fuses() {
+        // Regression: the straggler cutoff was tuned for clean timing —
+        // a remote receiver's detection delivered out of order just past
+        // the window edge (transport jitter, not a different pass) was
+        // resolved as a spurious singleton, fragmenting the event. With
+        // the slack it joins its rightful cluster.
+        let center = FusionCenter { window_s: 1.0, straggler_slack_s: 0.25 };
+        let mut live = FusionStream::new(center);
+        assert!(live.push(det(1, 10.0, "10", 0.9)).is_none());
+        assert!(live.push(det(2, 10.4, "10", 0.8)).is_none());
+        // 1.15 s behind the latest member: beyond the window, within the
+        // slack — a jittered member, not a straggler.
+        assert!(live.push(det(3, 9.25, "10", 0.7)).is_none(), "jittered member must join");
+        let event = live.flush().expect("one fused event");
+        assert_eq!(event.receivers, 3, "all three receivers fuse into one event");
+        assert_eq!(event.payload.to_string(), "10");
+    }
+
+    #[test]
+    fn true_straggler_beyond_the_slack_still_resolves_alone() {
+        let center = FusionCenter { window_s: 1.0, straggler_slack_s: 0.25 };
+        let mut live = FusionStream::new(center);
+        assert!(live.push(det(1, 10.0, "10", 0.9)).is_none());
+        // 1.26 s behind: past window + slack, a genuine straggler.
+        let lone = live.push(det(2, 8.74, "11", 0.7)).expect("straggler resolves alone");
+        assert_eq!(lone.receivers, 1);
+        assert_eq!(live.pending(), 1, "open cluster untouched");
     }
 
     #[test]

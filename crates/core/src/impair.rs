@@ -1,0 +1,677 @@
+//! Channel impairments: deterministic, seeded adaptors between sampler
+//! and decoder.
+//!
+//! Every scene the simulator produces is clean single-link physics; a
+//! deployment is not. Neighbouring tags bleed into the footprint, the
+//! electrical chain picks up bursty interference, cheap receivers drop
+//! sample runs, and remote receivers deliver their streams through
+//! networks that jitter and locally reorder. This module models those
+//! effects as composable *impairments*: each one wraps an
+//! `Iterator<Item = f64>` of RSS codes (the exact stream a
+//! [`crate::channel::ChannelSampler`] produces and a
+//! [`crate::stream::PushDecoder`] consumes) and yields the impaired
+//! stream, deterministically per seed.
+//!
+//! ```text
+//! ChannelSampler ── Interference ── BurstNoise ── Dropout ── Jitter ──▶ decoder
+//!                   (optical)       (electrical)  (sampling) (transport)
+//! ```
+//!
+//! The stack order above is the physical order of the real chain and the
+//! order [`ImpairmentStack`] applies layers in: co-channel light adds
+//! before the electronics misbehave, and the network reorders whatever
+//! the receiver managed to sample.
+//!
+//! **Determinism contract.** An impairment owns no hidden state: its
+//! randomness comes from one [`rand::rngs::StdRng`] seeded from the
+//! stack's seed and the layer's position, so the same `(stack, seed,
+//! input)` triple always produces the byte-identical output stream —
+//! the property the conformance harness and the streamed==batch
+//! equivalence tests are built on. A stack with no layers (or rails-only
+//! clamping of in-range samples) is byte-identical to the clean input.
+//!
+//! ```
+//! use palc::impair::{BurstNoise, ImpairmentStack};
+//!
+//! let stack = ImpairmentStack::clean().with(BurstNoise::with_severity(0.5, 100.0));
+//! let clean: Vec<f64> = (0..64).map(|i| 500.0 + (i % 2) as f64 * 80.0).collect();
+//! let impaired: Vec<f64> = stack.apply(7, clean.iter().copied()).collect();
+//! assert_eq!(impaired.len(), clean.len());
+//! let again: Vec<f64> = stack.apply(7, clean.iter().copied()).collect();
+//! assert_eq!(impaired, again); // same seed, same bytes
+//! ```
+
+use crate::channel::Scenario;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::Arc;
+
+/// Markov (Gilbert–Elliott) burst noise: the channel alternates between a
+/// quiet state and a burst state; while bursting, every sample gains
+/// uniform noise in `±amplitude` (in RSS code units).
+///
+/// Burst entry/exit are memoryless per sample, so burst lengths are
+/// geometric with mean `mean_run` and the long-run burst duty is
+/// `p_enter·mean_run / (p_enter·mean_run + 1)`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BurstNoise {
+    /// Per-sample probability of entering a burst from the quiet state.
+    pub p_enter: f64,
+    /// Mean burst length, samples (exit probability is `1/mean_run`).
+    pub mean_run: f64,
+    /// Peak additive noise while bursting, RSS code units.
+    pub amplitude: f64,
+}
+
+impl BurstNoise {
+    /// The conformance harness's severity knob: `severity` in `[0, 1]`
+    /// scales both how often bursts fire (linearly) and the burst
+    /// amplitude (quadratically, up to 80 % of `ref_swing`, the victim
+    /// trace's clean peak-to-peak swing). The quadratic amplitude makes
+    /// the low end genuinely mild — the decoders' windowed-maximum
+    /// classification flips a LOW window on a single positive spike, so
+    /// linear amplitude scaling would cost most of the delivery budget
+    /// in the first quarter of the knob. Severity 0 is a structural
+    /// no-op.
+    pub fn with_severity(severity: f64, ref_swing: f64) -> Self {
+        let severity = severity.clamp(0.0, 1.0);
+        BurstNoise {
+            p_enter: 0.02 * severity,
+            mean_run: 10.0,
+            amplitude: 0.8 * severity * severity * ref_swing,
+        }
+    }
+
+    /// Whether this configuration cannot change any sample.
+    pub fn is_noop(&self) -> bool {
+        self.p_enter <= 0.0 || self.amplitude == 0.0
+    }
+}
+
+/// Co-channel interference: a neighbouring tag's *real* footprint signal
+/// (rendered once through the channel's kernel tier) leaking into the
+/// victim's stream.
+///
+/// The interferer waveform is stored zero-mean and normalised to unit
+/// peak, so `gain` is the leaked peak amplitude in the victim's RSS code
+/// units. Each application draws a random start phase into the waveform
+/// (cycled when shorter than the victim stream), modelling the
+/// uncontrolled relative timing of two tags sharing spectrum.
+#[derive(Debug, Clone)]
+pub struct Interference {
+    /// Zero-mean, unit-peak interferer waveform.
+    pub signal: Arc<Vec<f64>>,
+    /// Peak leaked amplitude, RSS code units.
+    pub gain: f64,
+}
+
+impl PartialEq for Interference {
+    fn eq(&self, other: &Self) -> bool {
+        self.gain == other.gain && self.signal == other.signal
+    }
+}
+
+impl Interference {
+    /// Renders `interferer`'s noise-free trace (through the kernel tier
+    /// when the scene permits — [`Scenario::run_clean`]), removes its
+    /// mean and normalises to unit peak. Scenes whose signal never moves
+    /// (no modulation at all) yield an all-zero waveform.
+    pub fn from_scenario(interferer: &Scenario, gain: f64) -> Self {
+        let trace = interferer.run_clean();
+        let mean = trace.mean();
+        let mut signal: Vec<f64> = trace.samples().iter().map(|&x| x - mean).collect();
+        let peak = signal.iter().fold(0.0_f64, |m, &x| m.max(x.abs()));
+        if peak > 0.0 {
+            for x in &mut signal {
+                *x /= peak;
+            }
+        }
+        Interference { signal: Arc::new(signal), gain }
+    }
+
+    /// Wraps an explicit waveform (tests, pre-rendered libraries). The
+    /// waveform is used as given — callers wanting the zero-mean
+    /// unit-peak convention should normalise first.
+    pub fn from_waveform(signal: Vec<f64>, gain: f64) -> Self {
+        Interference { signal: Arc::new(signal), gain }
+    }
+
+    /// Whether this configuration cannot change any sample.
+    pub fn is_noop(&self) -> bool {
+        self.gain == 0.0 || self.signal.is_empty()
+    }
+}
+
+/// Receiver dropout: erasure runs during which the receiver produces no
+/// fresh sample and the stream holds its last delivered value (the
+/// sample-and-hold a polling reader observes when the ADC stalls).
+///
+/// Dropout never reorders and never changes the stream length: every
+/// delivered sample keeps its original position, erased positions repeat
+/// the most recent delivered value. Entry/exit are memoryless per sample
+/// (geometric run lengths with mean `mean_run`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Dropout {
+    /// Per-sample probability of an erasure run starting.
+    pub p_enter: f64,
+    /// Mean erasure run length, samples.
+    pub mean_run: f64,
+}
+
+impl Dropout {
+    /// Severity knob: `severity` in `[0, 1]` scales the erased fraction
+    /// of the stream up to roughly 25 %. Severity 0 is a structural
+    /// no-op.
+    pub fn with_severity(severity: f64) -> Self {
+        let severity = severity.clamp(0.0, 1.0);
+        Dropout { p_enter: 0.02 * severity, mean_run: 4.0 + 12.0 * severity }
+    }
+
+    /// Whether this configuration cannot change any sample.
+    pub fn is_noop(&self) -> bool {
+        self.p_enter <= 0.0
+    }
+}
+
+/// Sample jitter with bounded reordering: the transport delivers the
+/// stream in blocks of `window` samples, each block's samples permuted
+/// uniformly at random — the bounded local reordering a remote
+/// receiver's UDP-like feed exhibits.
+///
+/// The output is always a permutation of the input in which no sample is
+/// displaced by `window` or more positions from where it was produced
+/// (`window` ≤ 1 is the identity).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Jitter {
+    /// Reordering window, samples. Displacement is strictly below this.
+    pub window: usize,
+}
+
+impl Jitter {
+    /// Severity knob: the window grows to half a symbol at severity 1 —
+    /// `samples_per_symbol` is the victim family's symbol duration in
+    /// samples. Severity 0 is a structural no-op (window 1).
+    pub fn with_severity(severity: f64, samples_per_symbol: f64) -> Self {
+        let severity = severity.clamp(0.0, 1.0);
+        Jitter { window: 1 + (0.5 * severity * samples_per_symbol).round() as usize }
+    }
+
+    /// Whether this configuration cannot change any sample.
+    pub fn is_noop(&self) -> bool {
+        self.window <= 1
+    }
+}
+
+/// One impairment layer of an [`ImpairmentStack`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum Impairment {
+    /// Markov burst noise (electrical).
+    BurstNoise(BurstNoise),
+    /// Co-channel interference from a neighbouring tag (optical).
+    Interference(Interference),
+    /// Receiver dropout / erasure runs (sampling).
+    Dropout(Dropout),
+    /// Bounded jitter/reordering (transport).
+    Jitter(Jitter),
+}
+
+impl Impairment {
+    /// Stable snake_case kind name (`BENCH_impair.json` rows key on it).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Impairment::BurstNoise(_) => "burst_noise",
+            Impairment::Interference(_) => "interference",
+            Impairment::Dropout(_) => "dropout",
+            Impairment::Jitter(_) => "jitter",
+        }
+    }
+
+    /// Whether this layer cannot change any sample.
+    pub fn is_noop(&self) -> bool {
+        match self {
+            Impairment::BurstNoise(c) => c.is_noop(),
+            Impairment::Interference(c) => c.is_noop(),
+            Impairment::Dropout(c) => c.is_noop(),
+            Impairment::Jitter(c) => c.is_noop(),
+        }
+    }
+}
+
+impl From<BurstNoise> for Impairment {
+    fn from(c: BurstNoise) -> Self {
+        Impairment::BurstNoise(c)
+    }
+}
+impl From<Interference> for Impairment {
+    fn from(c: Interference) -> Self {
+        Impairment::Interference(c)
+    }
+}
+impl From<Dropout> for Impairment {
+    fn from(c: Dropout) -> Self {
+        Impairment::Dropout(c)
+    }
+}
+impl From<Jitter> for Impairment {
+    fn from(c: Jitter) -> Self {
+        Impairment::Jitter(c)
+    }
+}
+
+/// An ordered stack of impairments plus optional rails, applied between
+/// a sampler and a decoder.
+///
+/// Layers apply in push order — [`ImpairmentStack::with`] appends, and
+/// the first layer added sits closest to the sampler. Build stacks in
+/// the physical order of the module docs (interference → burst noise →
+/// dropout → jitter) unless modelling something deliberately different.
+///
+/// `rails`, when set, clamps every output sample into `[lo, hi]` after
+/// all layers — additive impairments cannot push a 10-bit RSS stream
+/// outside what the ADC could have produced. In-range samples pass
+/// through bit-identical, so rails alone are still a no-op on clean
+/// streams.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ImpairmentStack {
+    layers: Vec<Impairment>,
+    rails: Option<(f64, f64)>,
+}
+
+/// Per-layer RNG: one independent deterministic stream per `(seed,
+/// layer index)`, so inserting a layer never perturbs the draws of the
+/// layers after it being re-seeded identically.
+fn layer_rng(seed: u64, layer: usize) -> StdRng {
+    StdRng::seed_from_u64(seed ^ (layer as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+}
+
+impl ImpairmentStack {
+    /// The empty (identity) stack.
+    pub fn clean() -> Self {
+        ImpairmentStack::default()
+    }
+
+    /// Appends a layer (builder style).
+    pub fn with(mut self, layer: impl Into<Impairment>) -> Self {
+        self.layers.push(layer.into());
+        self
+    }
+
+    /// Clamps every output sample into `[lo, hi]` after all layers —
+    /// typically the ADC code range, e.g. `(0.0, 1023.0)` for the
+    /// MCP3008 ([`palc_frontend::Mcp3008::max_code`]).
+    pub fn with_rails(mut self, lo: f64, hi: f64) -> Self {
+        assert!(lo <= hi, "rails must be ordered");
+        self.rails = Some((lo, hi));
+        self
+    }
+
+    /// The layers, in application order.
+    pub fn layers(&self) -> &[Impairment] {
+        &self.layers
+    }
+
+    /// Whether applying this stack is guaranteed byte-identical to the
+    /// input for in-rail streams (every layer a no-op).
+    pub fn is_noop(&self) -> bool {
+        self.layers.iter().all(Impairment::is_noop)
+    }
+
+    /// Wraps `inner` with every layer of the stack, seeded by `seed`.
+    /// The returned iterator yields exactly as many samples as `inner`
+    /// (impairments erase, perturb, or locally permute — never insert or
+    /// delete). No-op layers are skipped structurally, so an identity
+    /// stack returns the inner samples bit-for-bit.
+    pub fn apply<'a>(
+        &self,
+        seed: u64,
+        inner: impl Iterator<Item = f64> + 'a,
+    ) -> Box<dyn Iterator<Item = f64> + 'a> {
+        let mut stream: Box<dyn Iterator<Item = f64> + 'a> = Box::new(inner);
+        for (i, layer) in self.layers.iter().enumerate() {
+            if layer.is_noop() {
+                continue;
+            }
+            let rng = layer_rng(seed, i);
+            stream = match layer {
+                Impairment::BurstNoise(cfg) => Box::new(BurstNoiseIter {
+                    inner: stream,
+                    cfg: cfg.clone(),
+                    rng,
+                    bursting: false,
+                }),
+                Impairment::Interference(cfg) => {
+                    let mut rng = rng;
+                    let phase = rng.gen_range(0..cfg.signal.len().max(1) as u64) as usize;
+                    Box::new(InterferenceIter { inner: stream, cfg: cfg.clone(), i: phase })
+                }
+                Impairment::Dropout(cfg) => Box::new(DropoutIter {
+                    inner: stream,
+                    cfg: cfg.clone(),
+                    rng,
+                    held: None,
+                    dropping: false,
+                }),
+                Impairment::Jitter(cfg) => Box::new(JitterIter {
+                    inner: stream,
+                    window: cfg.window,
+                    rng,
+                    block: Vec::new(),
+                    next: 0,
+                }),
+            };
+        }
+        if let Some((lo, hi)) = self.rails {
+            stream = Box::new(stream.map(move |x| x.clamp(lo, hi)));
+        }
+        stream
+    }
+
+    /// Applies the stack to a whole slice — the batch convenience the
+    /// conformance harness and trace-based decoders use.
+    pub fn apply_slice(&self, seed: u64, samples: &[f64]) -> Vec<f64> {
+        self.apply(seed, samples.iter().copied()).collect()
+    }
+}
+
+struct BurstNoiseIter<'a> {
+    inner: Box<dyn Iterator<Item = f64> + 'a>,
+    cfg: BurstNoise,
+    rng: StdRng,
+    bursting: bool,
+}
+
+impl Iterator for BurstNoiseIter<'_> {
+    type Item = f64;
+
+    fn next(&mut self) -> Option<f64> {
+        let x = self.inner.next()?;
+        // One transition draw per sample regardless of state keeps the
+        // RNG stream's alignment independent of the trajectory taken.
+        let u: f64 = self.rng.gen();
+        if self.bursting {
+            if u < 1.0 / self.cfg.mean_run.max(1.0) {
+                self.bursting = false;
+            }
+        } else if u < self.cfg.p_enter {
+            self.bursting = true;
+        }
+        if self.bursting {
+            let n: f64 = self.rng.gen();
+            Some(x + (2.0 * n - 1.0) * self.cfg.amplitude)
+        } else {
+            Some(x)
+        }
+    }
+}
+
+struct InterferenceIter<'a> {
+    inner: Box<dyn Iterator<Item = f64> + 'a>,
+    cfg: Interference,
+    i: usize,
+}
+
+impl Iterator for InterferenceIter<'_> {
+    type Item = f64;
+
+    fn next(&mut self) -> Option<f64> {
+        let x = self.inner.next()?;
+        let w = self.cfg.signal[self.i % self.cfg.signal.len()];
+        self.i += 1;
+        Some(x + self.cfg.gain * w)
+    }
+}
+
+struct DropoutIter<'a> {
+    inner: Box<dyn Iterator<Item = f64> + 'a>,
+    cfg: Dropout,
+    rng: StdRng,
+    held: Option<f64>,
+    dropping: bool,
+}
+
+impl Iterator for DropoutIter<'_> {
+    type Item = f64;
+
+    fn next(&mut self) -> Option<f64> {
+        let x = self.inner.next()?;
+        let u: f64 = self.rng.gen();
+        if self.dropping {
+            if u < 1.0 / self.cfg.mean_run.max(1.0) {
+                self.dropping = false;
+            }
+        } else if u < self.cfg.p_enter {
+            self.dropping = true;
+        }
+        // An erasure with nothing yet delivered (a drop at stream start)
+        // has no held value to repeat; the sample passes through.
+        match (self.dropping, self.held) {
+            (true, Some(h)) => Some(h),
+            _ => {
+                self.held = Some(x);
+                Some(x)
+            }
+        }
+    }
+}
+
+struct JitterIter<'a> {
+    inner: Box<dyn Iterator<Item = f64> + 'a>,
+    window: usize,
+    rng: StdRng,
+    block: Vec<f64>,
+    next: usize,
+}
+
+impl Iterator for JitterIter<'_> {
+    type Item = f64;
+
+    fn next(&mut self) -> Option<f64> {
+        if self.next >= self.block.len() {
+            self.block.clear();
+            self.next = 0;
+            while self.block.len() < self.window {
+                match self.inner.next() {
+                    Some(x) => self.block.push(x),
+                    None => break,
+                }
+            }
+            // Fisher–Yates within the block: every sample stays inside
+            // its window, so displacement is strictly below `window`.
+            for i in (1..self.block.len()).rev() {
+                let j = self.rng.gen_range(0..(i + 1) as u64) as usize;
+                self.block.swap(i, j);
+            }
+            if self.block.is_empty() {
+                return None;
+            }
+        }
+        let x = self.block[self.next];
+        self.next += 1;
+        Some(x)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ramp(n: usize) -> Vec<f64> {
+        (0..n).map(|i| i as f64).collect()
+    }
+
+    fn severe_stack() -> ImpairmentStack {
+        ImpairmentStack::clean()
+            .with(Interference::from_waveform(vec![1.0, -1.0, 0.5, -0.5], 5.0))
+            .with(BurstNoise::with_severity(1.0, 100.0))
+            .with(Dropout::with_severity(1.0))
+            .with(Jitter { window: 7 })
+    }
+
+    #[test]
+    fn empty_stack_is_identity() {
+        let input = ramp(257);
+        let out: Vec<f64> = ImpairmentStack::clean().apply(3, input.iter().copied()).collect();
+        assert_eq!(out, input);
+    }
+
+    #[test]
+    fn severity_zero_of_every_layer_is_identity() {
+        let input = ramp(300);
+        let stack = ImpairmentStack::clean()
+            .with(BurstNoise::with_severity(0.0, 100.0))
+            .with(Interference::from_waveform(vec![1.0, -1.0], 0.0))
+            .with(Dropout::with_severity(0.0))
+            .with(Jitter::with_severity(0.0, 40.0));
+        assert!(stack.is_noop());
+        let out = stack.apply_slice(9, &input);
+        assert_eq!(out, input);
+    }
+
+    #[test]
+    fn rails_alone_pass_in_range_samples_bit_identically() {
+        let input = ramp(100);
+        let out = ImpairmentStack::clean().with_rails(0.0, 1023.0).apply_slice(1, &input);
+        for (a, b) in input.iter().zip(&out) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn rails_clamp_additive_excursions() {
+        let stack = ImpairmentStack::clean()
+            .with(Interference::from_waveform(vec![1.0, -1.0], 4000.0))
+            .with_rails(0.0, 1023.0);
+        let out = stack.apply_slice(5, &vec![500.0; 64]);
+        assert!(out.iter().all(|&x| (0.0..=1023.0).contains(&x)));
+        assert!(out.iter().any(|&x| x == 0.0 || x == 1023.0), "gain 4000 must hit the rails");
+    }
+
+    #[test]
+    fn same_seed_same_output_different_seed_differs() {
+        let input = ramp(800);
+        let stack = severe_stack();
+        let a = stack.apply_slice(42, &input);
+        let b = stack.apply_slice(42, &input);
+        assert_eq!(a, b);
+        let c = stack.apply_slice(43, &input);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn stream_length_is_always_preserved() {
+        for n in [0usize, 1, 5, 63, 64, 65, 1000] {
+            let out = severe_stack().apply_slice(7, &ramp(n));
+            assert_eq!(out.len(), n, "length changed at n={n}");
+        }
+    }
+
+    #[test]
+    fn burst_noise_is_bursty_not_white() {
+        // With p_enter small and amplitude large, most samples are
+        // untouched and the touched ones cluster in runs.
+        let cfg = BurstNoise { p_enter: 0.01, mean_run: 10.0, amplitude: 50.0 };
+        let input = vec![100.0; 20_000];
+        let out = ImpairmentStack::clean().with(cfg).apply_slice(11, &input);
+        let touched: Vec<bool> = out.iter().map(|&x| x != 100.0).collect();
+        let frac = touched.iter().filter(|&&t| t).count() as f64 / touched.len() as f64;
+        assert!(frac > 0.02 && frac < 0.35, "burst duty {frac}");
+        // Touched samples must chain: count transitions vs touched count.
+        let transitions = touched.windows(2).filter(|w| w[0] != w[1]).count();
+        let touched_n = touched.iter().filter(|&&t| t).count();
+        assert!(
+            transitions < touched_n,
+            "bursts must run ({transitions} transitions for {touched_n} touched)"
+        );
+    }
+
+    #[test]
+    fn dropout_never_reorders_and_holds_last_value() {
+        let input = ramp(5000);
+        let out =
+            ImpairmentStack::clean().with(Dropout::with_severity(1.0)).apply_slice(21, &input);
+        let mut erased = 0usize;
+        for (i, &y) in out.iter().enumerate() {
+            if y == input[i] {
+                continue; // delivered in place
+            }
+            erased += 1;
+            // An erased position repeats the previous output value…
+            assert_eq!(y, out[i - 1], "position {i} neither delivered nor held");
+            // …which is always an earlier *delivered* sample, never a
+            // future one: on a strictly increasing ramp that means y < i.
+            assert!(y < input[i], "held value from the future at {i}");
+        }
+        assert!(erased > 100, "severity 1 must actually erase ({erased} erased)");
+    }
+
+    #[test]
+    fn jitter_is_a_permutation_with_bounded_displacement() {
+        for window in [2usize, 5, 16] {
+            let input = ramp(1000);
+            let out = ImpairmentStack::clean().with(Jitter { window }).apply_slice(13, &input);
+            let mut sorted = out.clone();
+            sorted.sort_by(f64::total_cmp);
+            assert_eq!(sorted, input, "window {window}: not a permutation");
+            let mut displaced = 0usize;
+            for (i, &y) in out.iter().enumerate() {
+                let from = y as usize; // ramp value == original index
+                assert!(
+                    from.abs_diff(i) < window,
+                    "window {window}: sample {from} displaced to {i}"
+                );
+                displaced += usize::from(from != i);
+            }
+            assert!(displaced > 0, "window {window} must actually reorder");
+        }
+    }
+
+    #[test]
+    fn interference_adds_the_scaled_waveform_cyclically() {
+        let wave = vec![1.0, -1.0, 0.0];
+        let stack = ImpairmentStack::clean().with(Interference::from_waveform(wave.clone(), 10.0));
+        let out = stack.apply_slice(2, &[0.0; 9]);
+        // Some seeded start phase into the cycle; the output must be the
+        // waveform cycled from that phase, scaled by the gain.
+        let phase = wave
+            .iter()
+            .position(|&w| (10.0 * w - out[0]).abs() < 1e-12)
+            .expect("output starts on the waveform");
+        for (i, &y) in out.iter().enumerate() {
+            assert!((y - 10.0 * wave[(phase + i) % wave.len()]).abs() < 1e-12, "sample {i}");
+        }
+    }
+
+    #[test]
+    fn interference_from_scenario_is_zero_mean_unit_peak() {
+        let sc = Scenario::indoor_bench(palc_phy::Packet::from_bits("10").unwrap(), 0.03, 0.20);
+        let imp = Interference::from_scenario(&sc, 1.0);
+        let mean: f64 = imp.signal.iter().sum::<f64>() / imp.signal.len() as f64;
+        let peak = imp.signal.iter().fold(0.0_f64, |m, &x| m.max(x.abs()));
+        assert!(mean.abs() < 1e-9, "mean {mean}");
+        assert!((peak - 1.0).abs() < 1e-12, "peak {peak}");
+    }
+
+    #[test]
+    fn inserting_an_earlier_noop_layer_does_not_shift_later_draws() {
+        // Per-layer RNG is keyed on the layer index, so the *same* layer
+        // at the same index draws the same stream; a no-op layer ahead
+        // of it is skipped structurally and must not change anything.
+        let input = ramp(500);
+        let jitter_only =
+            ImpairmentStack::clean().with(Dropout::with_severity(0.0)).with(Jitter { window: 5 });
+        let with_noop_swapped =
+            ImpairmentStack::clean().with(Dropout::with_severity(0.0)).with(Jitter { window: 5 });
+        assert_eq!(jitter_only.apply_slice(17, &input), with_noop_swapped.apply_slice(17, &input));
+    }
+
+    #[test]
+    fn kind_names_are_stable() {
+        assert_eq!(Impairment::from(BurstNoise::with_severity(1.0, 1.0)).kind(), "burst_noise");
+        assert_eq!(
+            Impairment::from(Interference::from_waveform(vec![1.0], 1.0)).kind(),
+            "interference"
+        );
+        assert_eq!(Impairment::from(Dropout::with_severity(1.0)).kind(), "dropout");
+        assert_eq!(Impairment::from(Jitter { window: 3 }).kind(), "jitter");
+    }
+}

@@ -22,6 +22,8 @@
 //! * [`speed`] — maximal supported object speed (Sec. 6 item 3, the
 //!   paper's deferred follow-up analysis).
 //! * [`fusion`] — networked receivers sharing detections (Sec. 6 item 5).
+//! * [`impair`] — deterministic channel impairments (burst noise,
+//!   co-channel interference, dropout, jitter) between sampler and decoder.
 //!
 //! ## Quickstart
 //!
@@ -48,6 +50,7 @@ pub mod classify;
 pub mod collision;
 pub mod decode;
 pub mod fusion;
+pub mod impair;
 pub mod selector;
 pub mod speed;
 pub mod stream;
@@ -63,6 +66,7 @@ pub use classify::{DtwClassifier, TemplateDb};
 pub use collision::{CollisionAnalyzer, CollisionReport};
 pub use decode::{AdaptiveDecoder, DecodeError, DecodedPacket};
 pub use fusion::{Detection, FusedEvent, FusionCenter, FusionStream};
+pub use impair::{BurstNoise, Dropout, Impairment, ImpairmentStack, Interference, Jitter};
 pub use selector::ReceiverSelector;
 pub use stream::{DecodeEvent, PushDecoder, StreamingDecoder, StreamingTwoPhase};
 pub use sweep::{ArrayOutcome, ArrayReceiver, ArrayRun, StreamOutcome, SweepRunner, TimedEvent};
@@ -77,6 +81,9 @@ pub mod prelude {
     pub use crate::collision::{CollisionAnalyzer, CollisionReport};
     pub use crate::decode::{AdaptiveDecoder, DecodedPacket};
     pub use crate::fusion::{Detection, FusionCenter, FusionStream};
+    pub use crate::impair::{
+        BurstNoise, Dropout, Impairment, ImpairmentStack, Interference, Jitter,
+    };
     pub use crate::selector::ReceiverSelector;
     pub use crate::stream::{DecodeEvent, PushDecoder, StreamingDecoder, StreamingTwoPhase};
     pub use crate::sweep::{ArrayOutcome, ArrayReceiver, ArrayRun, StreamOutcome, SweepRunner};

@@ -943,6 +943,12 @@ impl StreamingDecoder {
                 return; // window not fully sampled yet
             }
             let hi = hi.min(self.smooth.end().saturating_sub(1));
+            // The window may reach below the retained history — a τt
+            // stretched by erasure runs puts the first post-lock window
+            // half a (huge) symbol before peak A, past the hunt cap's
+            // trim. Saturate at the buffer base like `refine_peak_time`
+            // does rather than indexing below it.
+            let lo = lo.max(self.smooth.base).min(hi);
             let State::Track(t) = &mut self.state else { unreachable!() };
 
             // Window maximum with the batch `max_by` tie rule (last wins).
@@ -1840,8 +1846,9 @@ impl PushDecoder for StreamingTwoPhase {
 /// Pushes every sample through `decoder`, collecting events until `stop`
 /// accepts one (which is included) or, failing that, until the stream
 /// finishes — the one push/poll/finish loop every trace-based facade
-/// shares.
-pub(crate) fn drain_events<D: PushDecoder>(
+/// shares. Public so conformance harnesses can drive a push decoder over
+/// an impaired sample slice and inspect the full event log.
+pub fn drain_events<D: PushDecoder>(
     decoder: &mut D,
     samples: &[f64],
     stop: impl Fn(&DecodeEvent) -> bool,

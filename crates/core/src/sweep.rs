@@ -41,6 +41,7 @@
 use crate::channel::{ReceiverPose, Scenario};
 use crate::decode::{AdaptiveDecoder, DecodedPacket};
 use crate::fusion::{Detection, FusedEvent, FusionCenter, FusionStream};
+use crate::impair::ImpairmentStack;
 use crate::stream::{DecodeEvent, PushDecoder, StreamingDecoder};
 use crate::trace::Trace;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
@@ -316,10 +317,37 @@ impl Scenario {
         seeds: &[u64],
         decoder: &AdaptiveDecoder,
     ) -> Vec<StreamOutcome> {
+        self.run_streaming_impaired_on(runner, seeds, decoder, &ImpairmentStack::clean())
+    }
+
+    /// [`Scenario::run_streaming`] with an [`ImpairmentStack`] between
+    /// each receiver's sampler and its decoder: every seed's stream is
+    /// wrapped by the stack (seeded with that same seed) before a single
+    /// sample reaches the push decoder — the live-receiver counterpart
+    /// of [`Scenario::run_impaired`]. An empty stack reproduces
+    /// [`Scenario::run_streaming`] byte for byte.
+    pub fn run_streaming_impaired(
+        &self,
+        seeds: &[u64],
+        decoder: &AdaptiveDecoder,
+        stack: &ImpairmentStack,
+    ) -> Vec<StreamOutcome> {
+        self.run_streaming_impaired_on(&SweepRunner::new(), seeds, decoder, stack)
+    }
+
+    /// Like [`Scenario::run_streaming_impaired`] with an explicit runner.
+    pub fn run_streaming_impaired_on(
+        &self,
+        runner: &SweepRunner,
+        seeds: &[u64],
+        decoder: &AdaptiveDecoder,
+        stack: &ImpairmentStack,
+    ) -> Vec<StreamOutcome> {
         let fs = self.channel().frontend.sample_rate_hz();
         runner.map(seeds, |&seed| {
             let dec = StreamingDecoder::new(decoder.clone(), fs);
-            StreamOutcome { seed, events: drain_timed(self.sampler(seed), fs, dec, |_, _| {}) }
+            let sampler = stack.apply(seed, self.sampler(seed));
+            StreamOutcome { seed, events: drain_timed(sampler, fs, dec, |_, _| {}) }
         })
     }
 
@@ -343,11 +371,15 @@ impl Scenario {
         &self,
         receiver: ArrayReceiver,
         decoder: D,
+        stack: &ImpairmentStack,
         mut on_detection: impl FnMut(Detection),
     ) -> Vec<TimedEvent> {
         let fs = self.channel().frontend.sample_rate_hz();
         let duration = self.shard_duration_for(receiver.pose);
         let sampler = self.channel().sampler_at_pose(duration, receiver.seed, receiver.pose);
+        // Each shard's impairments are seeded with its private noise
+        // seed, so receivers of one array degrade independently.
+        let sampler = stack.apply(receiver.seed, sampler);
         drain_timed(sampler, fs, decoder, |time_s, p| {
             on_detection(Detection::from_packet(receiver.id, time_s, p))
         })
@@ -357,7 +389,19 @@ impl Scenario {
     /// the sharded run is property-tested against, and a convenient way
     /// to replay a single receiver's view of the scene.
     pub fn run_shard<D: PushDecoder>(&self, receiver: ArrayReceiver, decoder: D) -> ArrayOutcome {
-        let events = self.shard_events(receiver, decoder, |_| {});
+        self.run_shard_impaired(receiver, decoder, &ImpairmentStack::clean())
+    }
+
+    /// [`Scenario::run_shard`] with an [`ImpairmentStack`] between the
+    /// shard's pose-relative sampler and its decoder, seeded with the
+    /// shard's noise seed.
+    pub fn run_shard_impaired<D: PushDecoder>(
+        &self,
+        receiver: ArrayReceiver,
+        decoder: D,
+        stack: &ImpairmentStack,
+    ) -> ArrayOutcome {
+        let events = self.shard_events(receiver, decoder, stack, |_| {});
         ArrayOutcome { receiver, events }
     }
 
@@ -383,13 +427,28 @@ impl Scenario {
         decoder: &AdaptiveDecoder,
         center: FusionCenter,
     ) -> ArrayRun {
+        self.run_array_streaming_impaired(poses, decoder, center, &ImpairmentStack::clean())
+    }
+
+    /// [`Scenario::run_array_streaming`] with an [`ImpairmentStack`]
+    /// applied inside every shard (between its pose-relative sampler and
+    /// its push decoder, seeded with the shard's noise seed) — the whole
+    /// array degrades the way a fleet of real receivers does, each
+    /// independently, while fusion still consumes the detections online.
+    pub fn run_array_streaming_impaired(
+        &self,
+        poses: &[ReceiverPose],
+        decoder: &AdaptiveDecoder,
+        center: FusionCenter,
+        stack: &ImpairmentStack,
+    ) -> ArrayRun {
         let fs = self.channel().frontend.sample_rate_hz();
         let receivers: Vec<ArrayReceiver> = poses
             .iter()
             .enumerate()
             .map(|(i, &pose)| ArrayReceiver { id: i as u32, pose, seed: i as u64 })
             .collect();
-        self.run_array_streaming_on(&SweepRunner::new(), &receivers, center, |_| {
+        self.run_array_streaming_impaired_on(&SweepRunner::new(), &receivers, center, stack, |_| {
             StreamingDecoder::new(decoder.clone(), fs)
         })
     }
@@ -404,6 +463,31 @@ impl Scenario {
         runner: &SweepRunner,
         receivers: &[ArrayReceiver],
         center: FusionCenter,
+        make_decoder: F,
+    ) -> ArrayRun
+    where
+        D: PushDecoder,
+        F: Fn(&ArrayReceiver) -> D + Sync,
+    {
+        self.run_array_streaming_impaired_on(
+            runner,
+            receivers,
+            center,
+            &ImpairmentStack::clean(),
+            make_decoder,
+        )
+    }
+
+    /// Like [`Scenario::run_array_streaming_impaired`] with an explicit
+    /// runner, explicit receiver identities/seeds, and a per-receiver
+    /// decoder factory — the fully general array entry point every other
+    /// array variant delegates to.
+    pub fn run_array_streaming_impaired_on<D, F>(
+        &self,
+        runner: &SweepRunner,
+        receivers: &[ArrayReceiver],
+        center: FusionCenter,
+        stack: &ImpairmentStack,
         make_decoder: F,
     ) -> ArrayRun
     where
@@ -429,7 +513,7 @@ impl Scenario {
             });
             let outcomes = runner.map(receivers, |&receiver| {
                 let decoder = make_decoder(&receiver);
-                let events = self.shard_events(receiver, decoder, |det| {
+                let events = self.shard_events(receiver, decoder, stack, |det| {
                     // The collector only disconnects after every sender
                     // is gone, so this send cannot fail mid-sweep.
                     let _ = tx.lock().expect("detection sink poisoned").send(det);

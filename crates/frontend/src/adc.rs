@@ -60,6 +60,12 @@ impl Mcp3008 {
         self.vref / LEVELS as f64
     }
 
+    /// The largest code this converter can emit (`LEVELS - 1`). Harnesses
+    /// use it to express clip margins without reaching for the raw constant.
+    pub fn max_code(&self) -> u16 {
+        LEVELS - 1
+    }
+
     /// Samples per symbol for an object moving at `speed_mps` with symbols
     /// `symbol_width_m` wide. The decoder needs several samples per symbol;
     /// below ~4 the windowed-maximum rule of Sec. 4.1 becomes unreliable.

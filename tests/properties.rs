@@ -1074,7 +1074,11 @@ mod receiver_arrays {
         // online fusion stream in cross-thread arrival order, so a
         // window smaller than the stagger could fragment the pass
         // depending on worker scheduling.
-        let run = sc.run_array_streaming(&poses, &cfg, FusionCenter { window_s: 4.0 });
+        let run = sc.run_array_streaming(
+            &poses,
+            &cfg,
+            FusionCenter { window_s: 4.0, ..FusionCenter::default() },
+        );
         assert_eq!(
             run.fused.len(),
             1,
@@ -1139,4 +1143,263 @@ fn streamed_output_equals_batch_run_across_scenarios() {
             );
         }
     });
+}
+
+// ---------------- Impairments: structure, determinism, conformance --------
+
+mod impairments {
+    use super::cases;
+    use palc_lab::core::channel::Scenario;
+    use palc_lab::core::decode::AdaptiveDecoder;
+    use palc_lab::core::impair::{BurstNoise, Dropout, ImpairmentStack, Interference, Jitter};
+    use palc_lab::core::stream::{DecodeEvent, StreamingDecoder, StreamingTwoPhase};
+    use palc_lab::core::vehicle::TwoPhaseDecoder;
+    use palc_lab::optics::source::Sun;
+    use palc_lab::phy::Packet;
+    use palc_lab::scene::CarModel;
+    use rand::Rng;
+
+    fn indoor() -> Scenario {
+        Scenario::indoor_bench(Packet::from_bits("10").unwrap(), 0.03, 0.20)
+    }
+
+    fn outdoor() -> Scenario {
+        Scenario::outdoor_car(
+            CarModel::volvo_v40(),
+            Some(Packet::from_bits("00").unwrap()),
+            0.75,
+            Sun::cloudy_noon(1),
+        )
+    }
+
+    /// A representative non-trivial stack: one layer of every kind, on
+    /// top of the scenario's own clean swing.
+    fn full_stack(sc: &Scenario) -> ImpairmentStack {
+        let (lo, hi) = sc.run_clean().minmax();
+        let swing = hi - lo;
+        let rival = Scenario::indoor_bench(Packet::from_bits("01").unwrap(), 0.05, 0.20);
+        ImpairmentStack::clean()
+            .with(Interference::from_scenario(&rival, 0.1 * swing))
+            .with(BurstNoise::with_severity(0.5, swing))
+            .with(Dropout::with_severity(0.5))
+            .with(Jitter::with_severity(0.5, 94.0))
+    }
+
+    /// The identity stack leaves a real channel stream byte-identical:
+    /// `run_impaired` with no layers IS `run` — same noise draws, same
+    /// order, no resampling.
+    #[test]
+    fn identity_stack_is_byte_identical_on_the_real_channel() {
+        let sc = indoor();
+        cases(4, 0xA70, |rng, i| {
+            let seed = rng.gen::<u64>();
+            let plain = sc.run(seed);
+            let stacked = sc.run_impaired(seed, &ImpairmentStack::clean());
+            assert_eq!(plain.samples(), stacked.samples(), "case {i} seed {seed}");
+        });
+    }
+
+    /// Severity 0 of every layer is a structural no-op, so a stack of
+    /// them is still the identity — not merely "small" perturbations.
+    #[test]
+    fn severity_zero_stack_is_a_noop_on_the_real_channel() {
+        let sc = indoor();
+        let stack = ImpairmentStack::clean()
+            .with(BurstNoise::with_severity(0.0, 100.0))
+            .with(Dropout::with_severity(0.0))
+            .with(Jitter::with_severity(0.0, 94.0));
+        assert!(stack.is_noop());
+        cases(3, 0xA71, |rng, i| {
+            let seed = rng.gen::<u64>();
+            assert_eq!(
+                sc.run(seed).samples(),
+                sc.run_impaired(seed, &stack).samples(),
+                "case {i} seed {seed}"
+            );
+        });
+    }
+
+    /// One seed, one output: the full stack re-applied to the same
+    /// scenario and seed reproduces itself bit for bit, and a different
+    /// seed diverges (the layers actually draw from their RNGs).
+    #[test]
+    fn same_seed_reproduces_different_seed_diverges() {
+        let sc = indoor();
+        let stack = full_stack(&sc);
+        cases(3, 0xA72, |rng, i| {
+            let seed = rng.gen::<u64>();
+            let a = sc.run_impaired(seed, &stack);
+            let b = sc.run_impaired(seed, &stack);
+            assert_eq!(a.samples(), b.samples(), "case {i} seed {seed}: not reproducible");
+            let c = sc.run_impaired(seed ^ 1, &stack);
+            assert_ne!(a.samples(), c.samples(), "case {i} seed {seed}: seed ignored");
+        });
+    }
+
+    /// Dropout on a strictly increasing probe stream never reorders:
+    /// hold-last erasures repeat values but the output stays
+    /// non-decreasing, and every output value appeared in the input.
+    #[test]
+    fn dropout_never_reorders_a_monotone_stream() {
+        cases(4, 0xA73, |rng, i| {
+            let n = 4000usize;
+            let probe: Vec<f64> = (0..n).map(|k| k as f64).collect();
+            let stack =
+                ImpairmentStack::clean().with(Dropout::with_severity(rng.gen_range(0.1..1.0)));
+            let out = stack.apply_slice(rng.gen::<u64>(), &probe);
+            assert_eq!(out.len(), n, "case {i}: length changed");
+            for w in out.windows(2) {
+                assert!(w[1] >= w[0], "case {i}: reordered: {} then {}", w[0], w[1]);
+            }
+            assert!(out.iter().all(|v| v.fract() == 0.0 && *v >= 0.0 && *v < n as f64));
+        });
+    }
+
+    /// Jitter displaces every sample strictly less than its window, and
+    /// the output is a permutation of the input (an index probe makes
+    /// both checks exact).
+    #[test]
+    fn jitter_displacement_is_bounded_by_the_window() {
+        cases(4, 0xA74, |rng, i| {
+            let n = 3000usize;
+            let window = rng.gen_range(2..80usize);
+            let probe: Vec<f64> = (0..n).map(|k| k as f64).collect();
+            let stack = ImpairmentStack::clean().with(Jitter { window });
+            let out = stack.apply_slice(rng.gen::<u64>(), &probe);
+            assert_eq!(out.len(), n, "case {i}: length changed");
+            let mut seen = vec![false; n];
+            for (pos, v) in out.iter().enumerate() {
+                let orig = *v as usize;
+                assert!(
+                    pos.abs_diff(orig) < window,
+                    "case {i}: sample {orig} moved to {pos}, window {window}"
+                );
+                assert!(!seen[orig], "case {i}: sample {orig} duplicated");
+                seen[orig] = true;
+            }
+        });
+    }
+
+    /// Satellite conformance: under every impairment kind, the streaming
+    /// decoders still agree with their batch twins event for event —
+    /// same packets, same payloads, in the same order. The impairment
+    /// layer sits before the decoder, so both paths see identical
+    /// samples and must stay bit-compatible no matter how mangled the
+    /// stream is.
+    #[test]
+    fn streaming_equals_batch_under_every_impairment_kind() {
+        let indoor = indoor();
+        let outdoor = outdoor();
+        let indoor_swing = {
+            let (lo, hi) = indoor.run_clean().minmax();
+            hi - lo
+        };
+        let outdoor_swing = {
+            let (lo, hi) = outdoor.run_clean().minmax();
+            hi - lo
+        };
+        let rival = Scenario::indoor_bench(Packet::from_bits("01").unwrap(), 0.05, 0.20);
+        type MakeStack = fn(f64, f64, &Scenario) -> ImpairmentStack;
+        let kinds: Vec<(&str, f64, MakeStack)> = vec![
+            ("burst_noise", indoor_swing, |sev, swing, _| {
+                ImpairmentStack::clean().with(BurstNoise::with_severity(sev, swing))
+            }),
+            ("interference", indoor_swing, |sev, swing, rival| {
+                ImpairmentStack::clean().with(Interference::from_scenario(rival, sev * swing))
+            }),
+            ("dropout", indoor_swing, |sev, _, _| {
+                ImpairmentStack::clean().with(Dropout::with_severity(sev))
+            }),
+            ("jitter", indoor_swing, |sev, _, _| {
+                ImpairmentStack::clean().with(Jitter::with_severity(sev, 94.0))
+            }),
+        ];
+        cases(2, 0xA75, |rng, i| {
+            let seed = rng.gen::<u64>();
+            let sev = rng.gen_range(0.2..1.0);
+            for (kind, _, make) in &kinds {
+                // Indoor: adaptive batch vs streaming, full event parity.
+                let stack = make(sev, indoor_swing, &rival);
+                let trace = indoor.run_impaired(seed, &stack);
+                let cfg = AdaptiveDecoder::default().with_expected_bits(2);
+                let batch = cfg.decode(&trace);
+                let (lo, hi) = trace.minmax();
+                let mut dec =
+                    StreamingDecoder::with_scale(cfg.clone(), trace.sample_rate_hz(), lo, hi);
+                let events =
+                    palc_lab::core::stream::drain_events(&mut dec, trace.samples(), |_| false);
+                let streamed: Vec<_> = events
+                    .iter()
+                    .filter_map(|ev| match ev {
+                        DecodeEvent::Packet(p) => Some(Ok(p.clone())),
+                        DecodeEvent::Reject(e) => Some(Err(e.clone())),
+                        _ => None,
+                    })
+                    .collect();
+                match (&batch, streamed.first()) {
+                    (Ok(b), Some(Ok(s))) => {
+                        assert_eq!(b.symbols, s.symbols, "case {i} {kind} seed {seed}");
+                        assert_eq!(b.payload, s.payload, "case {i} {kind} seed {seed}");
+                        assert_eq!(
+                            b.tau_t.to_bits(),
+                            s.tau_t.to_bits(),
+                            "case {i} {kind} seed {seed}"
+                        );
+                    }
+                    (Err(b), Some(Err(s))) => {
+                        assert_eq!(b, s, "case {i} {kind} seed {seed}: errors differ")
+                    }
+                    (b, s) => {
+                        panic!("case {i} {kind} seed {seed}: batch {b:?} vs streamed {s:?}")
+                    }
+                }
+
+                // Outdoor: the two-phase pair, first terminal event.
+                let stack = make(sev, outdoor_swing, &rival);
+                let trace = outdoor.run_impaired(seed, &stack);
+                let cfg = TwoPhaseDecoder::new(CarModel::volvo_v40(), 0.10, 2);
+                let batch = cfg.decode(&trace);
+                let (lo, hi) = trace.minmax();
+                let mut dec =
+                    StreamingTwoPhase::with_scale(cfg.clone(), trace.sample_rate_hz(), lo, hi);
+                let events =
+                    palc_lab::core::stream::drain_events(&mut dec, trace.samples(), |_| false);
+                let streamed = events.iter().find_map(|ev| match ev {
+                    DecodeEvent::Packet(p) => Some(Ok(p.clone())),
+                    DecodeEvent::Reject(e) => Some(Err(e.clone())),
+                    _ => None,
+                });
+                match (&batch, &streamed) {
+                    (Ok(b), Some(Ok(s))) => {
+                        assert_eq!(b.symbols, s.symbols, "case {i} {kind} outdoor seed {seed}");
+                        assert_eq!(b.payload, s.payload, "case {i} {kind} outdoor seed {seed}");
+                    }
+                    (Err(b), Some(Err(s))) => {
+                        assert_eq!(b, s, "case {i} {kind} outdoor seed {seed}")
+                    }
+                    (b, s) => {
+                        panic!("case {i} {kind} outdoor seed {seed}: batch {b:?} vs streamed {s:?}")
+                    }
+                }
+            }
+        });
+    }
+
+    /// The erasure-run crash regression: a dropout-stretched τt used to
+    /// put the first post-lock symbol window before the smoothed
+    /// history's retained base, panicking `SmoothBuf::get`. The exact
+    /// trace that found it must decode (to anything) without panicking.
+    #[test]
+    fn streaming_decoder_survives_long_erasure_runs() {
+        let sc = Scenario::ceiling_office(Packet::from_bits("10").unwrap(), 0.03, 500.0);
+        let stack = ImpairmentStack::clean().with(Dropout::with_severity(0.5));
+        let cfg = AdaptiveDecoder { smooth_window_s: 0.012, ..AdaptiveDecoder::default() }
+            .with_expected_bits(2);
+        for seed in 0..4u64 {
+            let trace = sc.run_impaired(seed, &stack);
+            let mut dec = StreamingDecoder::new(cfg.clone(), trace.sample_rate_hz());
+            let events = palc_lab::core::stream::drain_events(&mut dec, trace.samples(), |_| false);
+            assert!(!events.is_empty(), "seed {seed}: stream produced no events at all");
+        }
+    }
 }
