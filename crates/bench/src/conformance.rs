@@ -21,11 +21,13 @@
 //! The binary `impair_conformance` records all of this to
 //! `BENCH_impair.json`.
 
-use palc::channel::Scenario;
+use palc::channel::{ReceiverPose, Scenario};
 use palc::collision::{CollisionAnalyzer, Occupancy};
 use palc::decode::{AdaptiveDecoder, DecodedPacket};
+use palc::fusion::FusionCenter;
 use palc::impair::{BurstNoise, Dropout, Impairment, ImpairmentStack, Interference, Jitter};
 use palc::stream::{DecodeEvent, StreamingDecoder, StreamingTwoPhase};
+use palc::sweep::{ArrayReceiver, SweepRunner};
 use palc::trace::Trace;
 use palc::vehicle::TwoPhaseDecoder;
 use palc_optics::source::Sun;
@@ -338,6 +340,84 @@ pub fn conformance_matrix(seeds: usize) -> Vec<ConformanceCell> {
     cells
 }
 
+/// Receiver x-offsets of the fused indoor array row, metres. Three
+/// photodiodes strung along the tag's travel direction: at 8 cm/s the
+/// 4 cm spacing staggers each receiver's pass by half a second, so the
+/// fusion window genuinely has to align detections across time.
+pub const ARRAY_OFFSETS_M: [f64; 3] = [0.0, 0.04, 0.08];
+
+/// Runs the fused receiver-array row of the matrix: the indoor family
+/// sharded across [`ARRAY_OFFSETS_M`] poses via
+/// [`Scenario::run_array_streaming_impaired_on`], every shard
+/// independently impaired (per-shard seeds), detections fused online by
+/// a [`FusionCenter`]. A cell delivers when any *fused* event carries
+/// the transmitted payload — so these curves characterise what fusion
+/// voting buys over a single impaired receiver, under the exact same
+/// impairment stacks and gates as the solo rows.
+pub fn array_fusion_cells(seeds: usize) -> Vec<ConformanceCell> {
+    let seeds = seeds.max(1);
+    let family = families().remove(0); // indoor_bench
+    let DecoderKind::Adaptive(decoder) = &family.decoder else {
+        unreachable!("indoor family decodes adaptively")
+    };
+    let sc = &family.scenario;
+    let fs = sc.channel().frontend.sample_rate_hz();
+    let z = sc.channel().receiver_z_m;
+    let poses: Vec<ReceiverPose> =
+        ARRAY_OFFSETS_M.iter().map(|&x| ReceiverPose::new(x, 0.0, z)).collect();
+    // Window sized to the pass stagger (0.08 m at 0.08 m/s = 1 s end to
+    // end) with slack on both sides.
+    let center = || FusionCenter { window_s: 2.0, straggler_slack_s: 0.25 };
+    let runner = SweepRunner::new();
+
+    let mut plan: Vec<(String, f64)> = vec![("clean".into(), 0.0)];
+    for kind in ["burst_noise", "interference", "dropout", "jitter"] {
+        for &sev in &SEVERITIES {
+            plan.push((kind.to_string(), sev));
+        }
+    }
+    let mut cells = Vec::new();
+    for (kind, severity) in plan {
+        let stack = if kind == "clean" {
+            ImpairmentStack::clean()
+        } else {
+            stack_for(&family, &kind, severity)
+        };
+        let mut delivered = 0usize;
+        for run in 0..seeds as u64 {
+            // The stock `run_array_streaming_impaired` seeds shard i
+            // with i, which would make every run identical — derive the
+            // shard seeds from the run index instead so the curve
+            // averages over independent noise/impairment draws.
+            let receivers: Vec<ArrayReceiver> = poses
+                .iter()
+                .enumerate()
+                .map(|(i, &pose)| ArrayReceiver {
+                    id: i as u32,
+                    pose,
+                    seed: run * poses.len() as u64 + i as u64,
+                })
+                .collect();
+            let out =
+                sc.run_array_streaming_impaired_on(&runner, &receivers, center(), &stack, |_| {
+                    StreamingDecoder::new(decoder.clone(), fs)
+                });
+            if out.fused.iter().any(|f| f.payload.to_string() == family.expected) {
+                delivered += 1;
+            }
+        }
+        cells.push(ConformanceCell {
+            scenario: "indoor_array".into(),
+            decoder: "fusion_vote".into(),
+            impairment: kind,
+            severity,
+            seeds,
+            delivered,
+        });
+    }
+    cells
+}
+
 /// The two calibrated contention lanes: a rival at 0.20 m grazes the
 /// aperture's acceptance edge and leaves the victim dominant; at 0.16 m
 /// the lane bands split the lit spot and the channel jams.
@@ -396,10 +476,15 @@ pub fn contention_cases(seeds: usize) -> Vec<ContentionCell> {
         .collect()
 }
 
-/// Runs the whole harness: the impairment matrix plus the contention
-/// cases.
+/// Runs the whole harness: the impairment matrix, the fused
+/// receiver-array row, and the contention cases. The array cells join
+/// `cells` under scenario `indoor_array` / decoder `fusion_vote`, so
+/// every matrix gate (clean 100 %, exact monotonicity, mild floors,
+/// kind × severity coverage) applies to fusion voting too.
 pub fn conformance_report(seeds: usize) -> ConformanceReport {
-    ConformanceReport { cells: conformance_matrix(seeds), contention: contention_cases(seeds) }
+    let mut cells = conformance_matrix(seeds);
+    cells.extend(array_fusion_cells(seeds));
+    ConformanceReport { cells, contention: contention_cases(seeds) }
 }
 
 /// The delivery floors `--check` asserts. All of them are exact

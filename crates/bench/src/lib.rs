@@ -9,9 +9,13 @@
 //! perf trajectory to compare against. The `impair_conformance` binary
 //! ([`conformance`]) records every decoder's delivery-ratio curves under
 //! the channel impairment layer to `BENCH_impair.json` and gates CI on
-//! their floors.
+//! their floors. The `server_soak` binary ([`soak`]) drives the decode
+//! server with ~1000 concurrent sessions under injected faults and
+//! records throughput and event-latency percentiles to
+//! `BENCH_server.json`.
 
 pub mod conformance;
+pub mod soak;
 pub mod throughput;
 
 pub use std::hint::black_box;

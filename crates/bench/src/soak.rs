@@ -1,0 +1,511 @@
+//! Soak harness for the multi-session decode server.
+//!
+//! Drives a [`DecodeServer`] with ~1000 concurrent sessions fed by a
+//! small set of producer threads while injecting every fault class the
+//! server claims to survive:
+//!
+//! * **panicking sessions** — decoders that unwind mid-stream; they must
+//!   quarantine into [`SessionEvent::SessionFault`] without perturbing
+//!   siblings,
+//! * **stalled feeders** — sessions whose producer goes silent; they
+//!   must be reaped past the idle deadline,
+//! * **burst overload** — tiny `ShedOldest` queues hammered far past
+//!   capacity; shed counters must record the loss and nobody else may
+//!   shed a single sample,
+//! * **mid-stream closes** — sessions closed halfway through their
+//!   trace; they must drain cleanly.
+//!
+//! Every *normal* session decodes the same pre-rendered clean indoor
+//! trace, so the ground truth is exact: its event stream must carry the
+//! reference packet list **byte-identically** (timestamps compared as
+//! `f64` bit patterns). [`check_soak`] gates on that — zero packet loss
+//! on non-faulted sessions — plus fault/reap/shed accounting, and
+//! [`to_json`] records throughput and feed-to-visibility latency
+//! percentiles to `BENCH_server.json`.
+
+use palc::channel::Scenario;
+use palc::decode::AdaptiveDecoder;
+use palc::server::{
+    BackpressurePolicy, DecodeServer, ServerConfig, SessionConfig, SessionEvent, SessionId,
+};
+use palc::stream::{DecodeEvent, PushDecoder, StreamingDecoder};
+use palc_phy::Packet;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Soak run shape. [`SoakConfig::full`] is the recorded baseline
+/// (≥ 1000 sessions); [`SoakConfig::smoke`] is the CI guard.
+#[derive(Debug, Clone, Copy)]
+pub struct SoakConfig {
+    /// Total concurrent sessions.
+    pub sessions: usize,
+    /// Producer threads feeding the sessions round-robin.
+    pub feeders: usize,
+    /// Decode workers (0 = auto).
+    pub workers: usize,
+    /// Samples per feed call on healthy sessions.
+    pub chunk: usize,
+}
+
+impl SoakConfig {
+    /// The recorded baseline: 1024 sessions, 4 feeders.
+    pub fn full() -> Self {
+        SoakConfig { sessions: 1024, feeders: 4, workers: 0, chunk: 512 }
+    }
+
+    /// The CI smoke shape: 64 sessions, 2 feeders.
+    pub fn smoke() -> Self {
+        SoakConfig { sessions: 64, feeders: 2, workers: 0, chunk: 512 }
+    }
+}
+
+/// Fault class a session is assigned by index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Role {
+    /// Feeds the full trace; must deliver the reference packets exactly.
+    Normal,
+    /// Decoder panics mid-stream; must end in `SessionFault`.
+    Panic,
+    /// Producer goes silent after a prefix; must be reaped.
+    Stall,
+    /// Tiny `ShedOldest` queue hammered with a DC burst; must shed.
+    Overload,
+    /// Closed halfway through the trace; must drain cleanly.
+    MidClose,
+}
+
+/// One in `FAULT_STRIDE` sessions gets each fault class; the rest are
+/// normal. With 1024 sessions that is 64 of each fault and 768 normal.
+const FAULT_STRIDE: usize = 16;
+
+fn role_of(i: usize) -> Role {
+    match i % FAULT_STRIDE {
+        3 => Role::Panic,
+        7 => Role::Stall,
+        11 => Role::Overload,
+        13 => Role::MidClose,
+        _ => Role::Normal,
+    }
+}
+
+/// A decoder that panics on its `at`-th pushed sample — the soak's
+/// fault injector.
+struct PanicDecoder {
+    inner: StreamingDecoder,
+    pushed: usize,
+    at: usize,
+}
+
+impl PushDecoder for PanicDecoder {
+    fn push_sample(&mut self, sample: f64) -> Option<DecodeEvent> {
+        self.pushed += 1;
+        assert!(self.pushed < self.at, "soak-injected decoder fault");
+        self.inner.push_sample(sample)
+    }
+    fn poll_event(&mut self) -> Option<DecodeEvent> {
+        self.inner.poll_event()
+    }
+    fn finish_stream(&mut self) -> Vec<DecodeEvent> {
+        self.inner.finish_stream()
+    }
+}
+
+/// What one soak run measured. Counters come in expected/observed pairs
+/// so [`check_soak`] can assert exact accounting.
+#[derive(Debug, Clone)]
+pub struct SoakReport {
+    /// Concurrent sessions driven.
+    pub sessions: usize,
+    /// Decode workers in the pool.
+    pub workers: usize,
+    /// Producer threads.
+    pub feeders: usize,
+    /// Trace length each healthy session decodes, samples.
+    pub trace_samples: usize,
+    /// Wall-clock time for the feed+drain phase, seconds.
+    pub wall_s: f64,
+    /// Samples decoded per second across the whole pool.
+    pub throughput_sps: f64,
+    /// Feed-to-visibility latency: feeds measured.
+    pub latency_count: u64,
+    /// Median feed-to-visibility latency, microseconds.
+    pub p50_us: u64,
+    /// 99th-percentile feed-to-visibility latency, microseconds.
+    pub p99_us: u64,
+    /// Worst observed latency bucket, microseconds.
+    pub max_us: u64,
+    /// Normal sessions (the zero-loss population).
+    pub normal_sessions: usize,
+    /// Normal sessions whose packet list differed from the reference.
+    pub normal_losses: usize,
+    /// Reference packets each normal session must deliver.
+    pub packets_expected_each: usize,
+    /// Panic sessions injected / observed ending in `SessionFault`.
+    pub faults_expected: usize,
+    /// Panic sessions whose final event was `SessionFault`.
+    pub faults_observed: usize,
+    /// Stalled sessions injected / observed reaped.
+    pub reaps_expected: usize,
+    /// Stalled sessions that were reaped.
+    pub reaps_observed: usize,
+    /// Mid-close sessions that drained to a clean `Closed`.
+    pub midcloses_clean: usize,
+    /// Mid-close sessions injected.
+    pub midcloses_expected: usize,
+    /// Overload sessions injected.
+    pub overloads_expected: usize,
+    /// Overload sessions that shed at least one sample.
+    pub overloads_shedding: usize,
+    /// Total samples shed across the server (must all come from
+    /// overload sessions).
+    pub shed_total: u64,
+    /// Samples shed by non-overload sessions (must be zero).
+    pub shed_elsewhere: u64,
+    /// Total samples pushed through decoders.
+    pub samples_decoded: u64,
+    /// Total events emitted.
+    pub events_emitted: u64,
+    /// Workers respawned after escaping panics (informational).
+    pub workers_respawned: u64,
+}
+
+/// Runs the soak and audits every session's final event stream.
+pub fn run_soak(cfg: SoakConfig) -> SoakReport {
+    // Quiet the injected faults: the default hook would print one
+    // backtrace per panicking session straight to stderr, burying the
+    // harness's own output under dozens of expected unwinds. Any other
+    // panic still prints through the previous hook.
+    let prev = std::panic::take_hook();
+    std::panic::set_hook(Box::new(move |info| {
+        let msg = info
+            .payload()
+            .downcast_ref::<&str>()
+            .copied()
+            .or_else(|| info.payload().downcast_ref::<String>().map(String::as_str))
+            .unwrap_or("");
+        if !msg.contains("soak-injected decoder fault") {
+            prev(info);
+        }
+    }));
+
+    let scenario = Scenario::indoor_bench(Packet::from_bits("10").unwrap(), 0.03, 0.20);
+    let fs = scenario.channel().frontend.sample_rate_hz();
+    let trace: Arc<Vec<f64>> = Arc::new(scenario.run(7).samples().to_vec());
+
+    // Reference: the packets a solo streaming decoder extracts from this
+    // trace, with server-convention timestamps. Normal sessions must
+    // reproduce these bit-for-bit.
+    let reference: Vec<(u64, String)> = {
+        let outcomes =
+            scenario.run_streaming(&[7], &AdaptiveDecoder::default().with_expected_bits(2));
+        outcomes[0]
+            .events
+            .iter()
+            .filter_map(|te| match &te.event {
+                DecodeEvent::Packet(p) => Some((te.time_s.to_bits(), p.payload.to_string())),
+                _ => None,
+            })
+            .collect()
+    };
+    assert!(!reference.is_empty(), "soak trace must contain at least one packet");
+
+    let server = Arc::new(DecodeServer::new(ServerConfig::default().with_workers(cfg.workers)));
+    let decoder = || StreamingDecoder::new(AdaptiveDecoder::default().with_expected_bits(2), fs);
+
+    // Create every session up front so the concurrency claim is honest:
+    // all of them are registered and live before the first feed.
+    let ids: Vec<(SessionId, Role)> = (0..cfg.sessions)
+        .map(|i| {
+            let role = role_of(i);
+            let id = match role {
+                Role::Panic => server.create_session(
+                    // Panic one third of the way through the stream.
+                    PanicDecoder { inner: decoder(), pushed: 0, at: trace.len() / 3 },
+                    SessionConfig::new(fs),
+                ),
+                Role::Overload => server.create_session(
+                    decoder(),
+                    SessionConfig::new(fs)
+                        .with_queue_capacity(64)
+                        .with_policy(BackpressurePolicy::ShedOldest),
+                ),
+                _ => server.create_session(decoder(), SessionConfig::new(fs)),
+            };
+            (id, role)
+        })
+        .collect();
+
+    let t0 = Instant::now();
+
+    // Feeders: each owns a stripe of sessions and walks its stripe
+    // chunk-by-chunk, so every session's stream interleaves with its
+    // neighbours' — the adversarial schedule the determinism property
+    // demands the server tolerate.
+    std::thread::scope(|scope| {
+        for f in 0..cfg.feeders {
+            let server = Arc::clone(&server);
+            let trace = Arc::clone(&trace);
+            let stripe: Vec<(SessionId, Role)> = ids
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| i % cfg.feeders == f)
+                .map(|(_, v)| *v)
+                .collect();
+            let chunk = cfg.chunk;
+            scope.spawn(move || {
+                let n_chunks = trace.len().div_ceil(chunk);
+                for c in 0..n_chunks {
+                    let lo = c * chunk;
+                    let hi = (lo + chunk).min(trace.len());
+                    for &(id, role) in &stripe {
+                        match role {
+                            Role::Stall if c >= n_chunks / 4 => continue,
+                            Role::MidClose if c == n_chunks / 2 => {
+                                let _ = server.close(id);
+                                continue;
+                            }
+                            Role::MidClose if c > n_chunks / 2 => continue,
+                            Role::Overload => {
+                                // DC burst far past the 64-slot queue:
+                                // guaranteed shedding, no packets to lose.
+                                let _ = server.feed_samples(id, &[0.5; 256]);
+                                continue;
+                            }
+                            _ => {}
+                        }
+                        // Panic sessions start rejecting feeds once the
+                        // injected fault lands; that is the point.
+                        let _ = server.feed_samples(id, &trace[lo..hi]);
+                    }
+                }
+            });
+        }
+    });
+
+    // Drain everything except the stalled sessions, which are left for
+    // the reaper.
+    let mut normal_losses = 0usize;
+    let mut faults_observed = 0usize;
+    let mut midcloses_clean = 0usize;
+    let mut overloads_shedding = 0usize;
+    let mut shed_elsewhere = 0u64;
+    for &(id, role) in &ids {
+        if role == Role::Stall {
+            continue;
+        }
+        let shed = server.shed_samples(id).unwrap_or(0);
+        match role {
+            Role::Overload => {
+                if shed > 0 {
+                    overloads_shedding += 1;
+                }
+            }
+            _ => shed_elsewhere += shed,
+        }
+        let events = server.close_and_drain(id).expect("drain of a live session");
+        match role {
+            Role::Normal => {
+                let got: Vec<(u64, String)> = events
+                    .iter()
+                    .filter_map(|e| match e {
+                        SessionEvent::Decode(te) => match &te.event {
+                            DecodeEvent::Packet(p) => {
+                                Some((te.time_s.to_bits(), p.payload.to_string()))
+                            }
+                            _ => None,
+                        },
+                        _ => None,
+                    })
+                    .collect();
+                if got != reference {
+                    normal_losses += 1;
+                }
+            }
+            Role::Panic => {
+                if matches!(events.last(), Some(SessionEvent::SessionFault { .. })) {
+                    faults_observed += 1;
+                }
+            }
+            Role::MidClose => {
+                if matches!(events.last(), Some(SessionEvent::Closed { .. })) {
+                    midcloses_clean += 1;
+                }
+            }
+            _ => {}
+        }
+    }
+
+    // Reap the stalled sessions: their producers went silent a while
+    // ago, so a zero idle deadline reaps exactly that population.
+    let mut reaps_observed = 0usize;
+    let reap_deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        reaps_observed += server.reap_idle(Duration::from_millis(0));
+        if server.session_count() == 0 || Instant::now() > reap_deadline {
+            break;
+        }
+        // Reaped sessions drain through the normal service path; give
+        // the pool a beat, then drain their event streams.
+        for &(id, role) in &ids {
+            if role == Role::Stall {
+                let _ = server.poll_events(id);
+            }
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+
+    let wall_s = t0.elapsed().as_secs_f64();
+    let stats = server.stats();
+
+    let count = |r: Role| ids.iter().filter(|(_, role)| *role == r).count();
+    SoakReport {
+        sessions: cfg.sessions,
+        workers: server.worker_count(),
+        feeders: cfg.feeders,
+        trace_samples: trace.len(),
+        wall_s,
+        throughput_sps: stats.samples_decoded as f64 / wall_s.max(1e-9),
+        latency_count: stats.latency.count,
+        p50_us: stats.latency.p50_us,
+        p99_us: stats.latency.p99_us,
+        max_us: stats.latency.max_us,
+        normal_sessions: count(Role::Normal),
+        normal_losses,
+        packets_expected_each: reference.len(),
+        faults_expected: count(Role::Panic),
+        faults_observed,
+        reaps_expected: count(Role::Stall),
+        reaps_observed,
+        midcloses_expected: count(Role::MidClose),
+        midcloses_clean,
+        overloads_expected: count(Role::Overload),
+        overloads_shedding,
+        shed_total: stats.samples_shed,
+        shed_elsewhere,
+        samples_decoded: stats.samples_decoded,
+        events_emitted: stats.events_emitted,
+        workers_respawned: stats.workers_respawned,
+    }
+}
+
+/// The soak's hard gates. Empty = pass.
+pub fn check_soak(r: &SoakReport) -> Vec<String> {
+    let mut v = Vec::new();
+    if r.normal_losses != 0 {
+        v.push(format!(
+            "{} of {} non-faulted sessions lost packets (zero loss required)",
+            r.normal_losses, r.normal_sessions
+        ));
+    }
+    if r.faults_observed != r.faults_expected {
+        v.push(format!(
+            "only {}/{} panicking sessions ended in SessionFault",
+            r.faults_observed, r.faults_expected
+        ));
+    }
+    if r.reaps_observed != r.reaps_expected {
+        v.push(format!(
+            "only {}/{} stalled sessions were reaped",
+            r.reaps_observed, r.reaps_expected
+        ));
+    }
+    if r.midcloses_clean != r.midcloses_expected {
+        v.push(format!(
+            "only {}/{} mid-stream closes drained cleanly",
+            r.midcloses_clean, r.midcloses_expected
+        ));
+    }
+    if r.overloads_expected > 0 && r.overloads_shedding == 0 {
+        v.push("overloaded ShedOldest sessions shed nothing — burst did not overload".into());
+    }
+    if r.shed_elsewhere != 0 {
+        v.push(format!(
+            "{} samples shed outside ShedOldest overload sessions (must be 0)",
+            r.shed_elsewhere
+        ));
+    }
+    if r.latency_count == 0 {
+        v.push("no feed-to-visibility latency samples recorded".into());
+    }
+    if r.throughput_sps <= 0.0 || r.throughput_sps.is_nan() {
+        v.push("zero decode throughput".into());
+    }
+    v
+}
+
+/// Serialises the report as the `BENCH_server.json` baseline.
+pub fn to_json(r: &SoakReport) -> String {
+    format!(
+        concat!(
+            "{{\n",
+            "  \"bench\": \"server_soak\",\n",
+            "  \"sessions\": {},\n",
+            "  \"workers\": {},\n",
+            "  \"feeders\": {},\n",
+            "  \"trace_samples\": {},\n",
+            "  \"wall_s\": {:.3},\n",
+            "  \"throughput_samples_per_s\": {:.0},\n",
+            "  \"latency_us\": {{ \"count\": {}, \"p50\": {}, \"p99\": {}, \"max\": {} }},\n",
+            "  \"normal\": {{ \"sessions\": {}, \"losses\": {}, \"packets_each\": {} }},\n",
+            "  \"faults\": {{ \"injected\": {}, \"quarantined\": {} }},\n",
+            "  \"reaps\": {{ \"stalled\": {}, \"reaped\": {} }},\n",
+            "  \"midclose\": {{ \"injected\": {}, \"clean\": {} }},\n",
+            "  \"overload\": {{ \"sessions\": {}, \"shedding\": {}, ",
+            "\"shed_samples\": {}, \"shed_elsewhere\": {} }},\n",
+            "  \"samples_decoded\": {},\n",
+            "  \"events_emitted\": {},\n",
+            "  \"workers_respawned\": {}\n",
+            "}}\n"
+        ),
+        r.sessions,
+        r.workers,
+        r.feeders,
+        r.trace_samples,
+        r.wall_s,
+        r.throughput_sps,
+        r.latency_count,
+        r.p50_us,
+        r.p99_us,
+        r.max_us,
+        r.normal_sessions,
+        r.normal_losses,
+        r.packets_expected_each,
+        r.faults_expected,
+        r.faults_observed,
+        r.reaps_expected,
+        r.reaps_observed,
+        r.midcloses_expected,
+        r.midcloses_clean,
+        r.overloads_expected,
+        r.overloads_shedding,
+        r.shed_total,
+        r.shed_elsewhere,
+        r.samples_decoded,
+        r.events_emitted,
+        r.workers_respawned,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roles_tile_all_classes() {
+        let roles: Vec<Role> = (0..FAULT_STRIDE).map(role_of).collect();
+        for r in [Role::Normal, Role::Panic, Role::Stall, Role::Overload, Role::MidClose] {
+            assert!(roles.contains(&r), "{r:?} missing from the stride");
+        }
+        assert_eq!(roles.iter().filter(|r| **r == Role::Normal).count(), FAULT_STRIDE - 4);
+    }
+
+    #[test]
+    fn tiny_soak_passes_its_own_gates() {
+        let report = run_soak(SoakConfig { sessions: 16, feeders: 2, workers: 2, chunk: 512 });
+        let violations = check_soak(&report);
+        assert!(violations.is_empty(), "{violations:?}");
+        let json = to_json(&report);
+        assert!(json.contains("\"bench\": \"server_soak\""));
+        assert!(json.contains("\"sessions\": 16"));
+    }
+}

@@ -194,6 +194,11 @@ impl FusionCenter {
         let (payload, support, agreeing) = tallies
             .into_iter()
             .max_by(|a, b| a.1.total_cmp(&b.1).then(a.2.cmp(&b.2)))
+            // Invariant: `resolve` is only reached from `push` (with a
+            // one-element cluster) or `flush` (which returns early on an
+            // empty open cluster), so `cluster` — and therefore
+            // `tallies` — is never empty. Single-threaded state machine;
+            // no cross-thread path can race the emptiness check.
             .expect("cluster is non-empty");
         let time_s = voters.iter().map(|d| d.time_s).sum::<f64>() / voters.len() as f64;
         FusedEvent { payload, time_s, receivers: voters.len(), agreeing, support }

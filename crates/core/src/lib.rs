@@ -24,6 +24,10 @@
 //! * [`fusion`] — networked receivers sharing detections (Sec. 6 item 5).
 //! * [`impair`] — deterministic channel impairments (burst noise,
 //!   co-channel interference, dropout, jitter) between sampler and decoder.
+//! * [`server`] — the fault-tolerant multi-session decode server:
+//!   thousands of concurrent receiver sessions over a supervised worker
+//!   pool, with panic quarantine, bounded-queue backpressure, and
+//!   stale-session reaping.
 //!
 //! ## Quickstart
 //!
@@ -52,6 +56,7 @@ pub mod decode;
 pub mod fusion;
 pub mod impair;
 pub mod selector;
+pub mod server;
 pub mod speed;
 pub mod stream;
 pub mod sweep;
@@ -68,6 +73,10 @@ pub use decode::{AdaptiveDecoder, DecodeError, DecodedPacket};
 pub use fusion::{Detection, FusedEvent, FusionCenter, FusionStream};
 pub use impair::{BurstNoise, Dropout, Impairment, ImpairmentStack, Interference, Jitter};
 pub use selector::ReceiverSelector;
+pub use server::{
+    BackpressurePolicy, DecodeServer, ServerConfig, ServerStats, SessionConfig, SessionEvent,
+    SessionId, SessionStatus,
+};
 pub use stream::{DecodeEvent, PushDecoder, StreamingDecoder, StreamingTwoPhase};
 pub use sweep::{ArrayOutcome, ArrayReceiver, ArrayRun, StreamOutcome, SweepRunner, TimedEvent};
 pub use trace::Trace;
@@ -85,6 +94,9 @@ pub mod prelude {
         BurstNoise, Dropout, Impairment, ImpairmentStack, Interference, Jitter,
     };
     pub use crate::selector::ReceiverSelector;
+    pub use crate::server::{
+        BackpressurePolicy, DecodeServer, ServerConfig, SessionConfig, SessionEvent, SessionId,
+    };
     pub use crate::stream::{DecodeEvent, PushDecoder, StreamingDecoder, StreamingTwoPhase};
     pub use crate::sweep::{ArrayOutcome, ArrayReceiver, ArrayRun, StreamOutcome, SweepRunner};
     pub use crate::trace::Trace;

@@ -1819,6 +1819,21 @@ pub trait PushDecoder {
     fn finish_stream(&mut self) -> Vec<DecodeEvent>;
 }
 
+/// Boxed decoders forward transparently, so heterogeneous collections —
+/// the decode server holds one `Box<dyn PushDecoder + Send>` per
+/// session — drive the same trait surface as concrete decoders.
+impl<D: PushDecoder + ?Sized> PushDecoder for Box<D> {
+    fn push_sample(&mut self, sample: f64) -> Option<DecodeEvent> {
+        (**self).push_sample(sample)
+    }
+    fn poll_event(&mut self) -> Option<DecodeEvent> {
+        (**self).poll_event()
+    }
+    fn finish_stream(&mut self) -> Vec<DecodeEvent> {
+        (**self).finish_stream()
+    }
+}
+
 impl PushDecoder for StreamingDecoder {
     fn push_sample(&mut self, sample: f64) -> Option<DecodeEvent> {
         self.push(sample)

@@ -156,8 +156,14 @@ impl SweepRunner {
             }
             slots
         })
-        // A panicked worker is re-raised by the scope exit above, so a
-        // missing slot here is unreachable; the expect is a backstop.
+        // Invariant: every index below `items.len()` is claimed by
+        // exactly one worker (the atomic fetch_add hands them out
+        // uniquely), and a worker either sends its `(i, r)` pair or
+        // panics — in which case `thread::scope` re-raises that panic
+        // at the closing brace above and this line is never reached. A
+        // missing slot is therefore unreachable; the expect is a
+        // backstop, not a reachable failure mode, and converting it to
+        // a recovery path would silently hide a lost result.
         .into_iter()
         .map(|s| s.expect("worker dropped a sweep item"))
         .collect()
@@ -291,6 +297,23 @@ fn drain_timed<D: PushDecoder>(
         record(time_s, event, &mut events);
     }
     events
+}
+
+/// Sends one detection into the array run's shared fusion sink,
+/// tolerating a poisoned mutex.
+///
+/// Regression guard for the poisoning cascade: if any worker unwinds
+/// while holding this lock, `.expect("detection sink poisoned")` in
+/// every *other* worker's packet callback would convert one panic into
+/// a panic per sibling shard — and the scope would then re-raise an
+/// arbitrary sibling's secondary panic instead of the original. The
+/// mutex only guards an [`mpsc::Sender`] clone, which a panicked
+/// critical section cannot leave half-updated (`send` either enqueued
+/// the detection or didn't; the sender itself stays valid either way),
+/// so recovering the inner value is sound and lets the original panic
+/// propagate alone.
+fn send_detection(sink: &Mutex<mpsc::Sender<Detection>>, det: Detection) {
+    let _ = sink.lock().unwrap_or_else(|poisoned| poisoned.into_inner()).send(det);
 }
 
 impl Scenario {
@@ -516,12 +539,16 @@ impl Scenario {
                 let events = self.shard_events(receiver, decoder, stack, |det| {
                     // The collector only disconnects after every sender
                     // is gone, so this send cannot fail mid-sweep.
-                    let _ = tx.lock().expect("detection sink poisoned").send(det);
+                    send_detection(&tx, det);
                 });
                 ArrayOutcome { receiver, events }
             });
             drop(tx); // last sender gone: the collector's loop ends
-            let fused = fuser.join().expect("fusion collector panicked");
+                      // `runner.map` re-raises any shard worker's panic before we
+                      // get here, so on the success path the collector is healthy;
+                      // if the *collector* itself panicked, re-raise its original
+                      // payload instead of masking it behind a fresh expect panic.
+            let fused = fuser.join().unwrap_or_else(|payload| std::panic::resume_unwind(payload));
             ArrayRun { fused, outcomes }
         })
     }
@@ -563,6 +590,80 @@ mod tests {
             assert!(sampler.is_kernel(), "shard at {pose:?} must ride the kernel tier");
             assert_eq!(sampler.pose(), pose);
         }
+    }
+
+    #[test]
+    fn send_detection_survives_a_poisoned_sink() {
+        // Regression: the array-run fusion sink used to be sent through
+        // `.expect("detection sink poisoned")`, so one shard's panic
+        // (poisoning the sink mutex mid-send) re-panicked every sibling
+        // shard and the scope aborted with a cascade of secondary
+        // panics instead of the original one.
+        let (tx, rx) = mpsc::channel::<Detection>();
+        let sink = Mutex::new(tx);
+        // Poison the sink the way a panicking shard would: unwind while
+        // holding the guard.
+        let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _guard = sink.lock().unwrap();
+            panic!("shard decoder blew up");
+        }));
+        assert!(sink.is_poisoned());
+        let det = Detection {
+            receiver_id: 3,
+            time_s: 1.5,
+            payload: palc_phy::Bits::parse("10").unwrap(),
+            confidence: 0.8,
+        };
+        send_detection(&sink, det);
+        let got = rx.try_recv().expect("sibling's detection must still arrive");
+        assert_eq!(got.receiver_id, 3);
+    }
+
+    #[test]
+    fn sibling_shards_outlive_a_panicking_shard() {
+        // The scoped-thread shape of `run_array_streaming_impaired_on`
+        // in miniature: one shard panics while siblings keep sending.
+        // The siblings' detections must all land and the scope must
+        // re-raise the *original* panic payload, not a poison cascade.
+        let (tx, rx) = mpsc::channel::<Detection>();
+        let sink = Mutex::new(tx);
+        let det = |id: u32| Detection {
+            receiver_id: id,
+            time_s: 0.1,
+            payload: palc_phy::Bits::parse("10").unwrap(),
+            confidence: 1.0,
+        };
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            std::thread::scope(|scope| {
+                for id in 0..4u32 {
+                    let sink = &sink;
+                    let det = det(id);
+                    scope.spawn(move || {
+                        if id == 2 {
+                            // Poison first so the siblings' sends all see
+                            // a poisoned mutex, then unwind the shard.
+                            let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                                let _guard = sink.lock().unwrap();
+                                panic!("poison the sink");
+                            }));
+                            panic!("original shard panic");
+                        }
+                        // Give the poisoner a chance to run first; the
+                        // send must succeed either way.
+                        std::thread::sleep(std::time::Duration::from_millis(10));
+                        send_detection(sink, det);
+                    });
+                }
+            });
+        }));
+        // The faulted shard's panic propagates out of the scope; the
+        // siblings must NOT have panicked on the poisoned sink — every
+        // one of their detections arrives. (Before the fix, the
+        // `.expect("detection sink poisoned")` send turned this into
+        // four panics and zero or partial sibling detections.)
+        assert!(outcome.is_err(), "the shard panic must propagate");
+        drop(sink);
+        assert_eq!(rx.iter().count(), 3, "every sibling detection must arrive");
     }
 
     #[test]

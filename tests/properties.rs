@@ -1403,3 +1403,203 @@ mod impairments {
         }
     }
 }
+
+// ---------------- Decode server: replay, determinism, quarantine ----------
+
+mod decode_server {
+    use super::*;
+    use palc_lab::core::channel::Scenario;
+    use palc_lab::core::decode::AdaptiveDecoder;
+    use palc_lab::core::server::{DecodeServer, ServerConfig, SessionConfig, SessionEvent};
+    use palc_lab::core::stream::{DecodeEvent, PushDecoder, StreamingDecoder};
+
+    fn indoor() -> Scenario {
+        Scenario::indoor_bench(Packet::from_bits("10").unwrap(), 0.03, 0.20)
+    }
+
+    fn decoder() -> AdaptiveDecoder {
+        AdaptiveDecoder::default().with_expected_bits(2)
+    }
+
+    /// An event stream collapsed to comparable atoms: the timestamp's
+    /// exact bit pattern plus the event's full debug rendering — if two
+    /// streams agree on this they agree byte-identically.
+    fn fingerprint(events: &[SessionEvent]) -> Vec<(u64, String)> {
+        events
+            .iter()
+            .filter_map(|e| match e {
+                SessionEvent::Decode(te) => Some((te.time_s.to_bits(), format!("{:?}", te.event))),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Feeds one session in rng-sized chunks and drains it.
+    fn feed_in_chunks(
+        server: &DecodeServer,
+        id: palc_lab::core::server::SessionId,
+        samples: &[f64],
+        rng: &mut StdRng,
+    ) -> Vec<SessionEvent> {
+        let mut offset = 0;
+        while offset < samples.len() {
+            let take = rng.gen_range(1..700).min(samples.len() - offset);
+            server.feed_samples(id, &samples[offset..offset + take]).unwrap();
+            offset += take;
+        }
+        server.close_and_drain(id).unwrap()
+    }
+
+    /// A single-session server replays `run_streaming` byte-identically:
+    /// the same events with the same `f64` timestamps, regardless of how
+    /// the samples were chunked across feed calls.
+    #[test]
+    fn single_session_replays_run_streaming_byte_identically() {
+        let sc = indoor();
+        let fs = sc.channel().frontend.sample_rate_hz();
+        let seed = 7u64;
+        let trace = sc.run(seed);
+        let reference: Vec<(u64, String)> = sc.run_streaming(&[seed], &decoder())[0]
+            .events
+            .iter()
+            .map(|te| (te.time_s.to_bits(), format!("{:?}", te.event)))
+            .collect();
+        assert!(
+            reference.iter().any(|(_, e)| e.starts_with("Packet")),
+            "reference stream must decode a packet"
+        );
+        cases(4, 0xD1, |rng, i| {
+            let server = DecodeServer::new(ServerConfig::default().with_workers(2));
+            let id =
+                server.create_session(StreamingDecoder::new(decoder(), fs), SessionConfig::new(fs));
+            let events = feed_in_chunks(&server, id, trace.samples(), rng);
+            assert_eq!(fingerprint(&events), reference, "case {i}: replay diverged");
+        });
+    }
+
+    /// N sessions fed the same samples produce identical per-session
+    /// event streams no matter how the feeds interleave or how many
+    /// workers serve them.
+    #[test]
+    fn session_streams_deterministic_under_interleaving() {
+        let sc = indoor();
+        let fs = sc.channel().frontend.sample_rate_hz();
+        let trace = sc.run(3);
+        let reference = {
+            let server = DecodeServer::new(ServerConfig::default().with_workers(1));
+            let id =
+                server.create_session(StreamingDecoder::new(decoder(), fs), SessionConfig::new(fs));
+            server.feed_samples(id, trace.samples()).unwrap();
+            fingerprint(&server.close_and_drain(id).unwrap())
+        };
+        cases(3, 0xD2, |rng, i| {
+            let workers = rng.gen_range(1..5);
+            let server = DecodeServer::new(ServerConfig::default().with_workers(workers));
+            let ids: Vec<_> = (0..4)
+                .map(|_| {
+                    server.create_session(
+                        StreamingDecoder::new(decoder(), fs),
+                        SessionConfig::new(fs),
+                    )
+                })
+                .collect();
+            // Interleave: walk the trace in chunks, feeding the sessions
+            // in a shuffled order each round.
+            let mut offset = 0;
+            while offset < trace.samples().len() {
+                let take = rng.gen_range(1..600).min(trace.samples().len() - offset);
+                let mut order: Vec<usize> = (0..ids.len()).collect();
+                for k in (1..order.len()).rev() {
+                    order.swap(k, rng.gen_range(0..k + 1));
+                }
+                for &s in &order {
+                    server.feed_samples(ids[s], &trace.samples()[offset..offset + take]).unwrap();
+                }
+                offset += take;
+            }
+            for (s, &id) in ids.iter().enumerate() {
+                let events = server.close_and_drain(id).unwrap();
+                assert_eq!(
+                    fingerprint(&events),
+                    reference,
+                    "case {i}: session {s} of {workers}-worker server diverged"
+                );
+            }
+        });
+    }
+
+    /// A decoder that panics partway through the stream.
+    struct PanicAt {
+        inner: StreamingDecoder,
+        left: usize,
+    }
+
+    impl PushDecoder for PanicAt {
+        fn push_sample(&mut self, sample: f64) -> Option<DecodeEvent> {
+            assert!(self.left > 0, "property-injected decoder panic");
+            self.left -= 1;
+            self.inner.push_sample(sample)
+        }
+        fn poll_event(&mut self) -> Option<DecodeEvent> {
+            self.inner.poll_event()
+        }
+        fn finish_stream(&mut self) -> Vec<DecodeEvent> {
+            self.inner.finish_stream()
+        }
+    }
+
+    /// A quarantined session's fault never perturbs its siblings: their
+    /// streams stay byte-identical to a solo run, wherever the panic
+    /// lands in the stream.
+    #[test]
+    fn quarantined_faults_never_perturb_siblings() {
+        let sc = indoor();
+        let fs = sc.channel().frontend.sample_rate_hz();
+        let trace = sc.run(5);
+        let reference = {
+            let server = DecodeServer::new(ServerConfig::default().with_workers(1));
+            let id =
+                server.create_session(StreamingDecoder::new(decoder(), fs), SessionConfig::new(fs));
+            server.feed_samples(id, trace.samples()).unwrap();
+            fingerprint(&server.close_and_drain(id).unwrap())
+        };
+        cases(4, 0xD3, |rng, i| {
+            let server = DecodeServer::new(ServerConfig::default().with_workers(2));
+            let bad = server.create_session(
+                PanicAt {
+                    inner: StreamingDecoder::new(decoder(), fs),
+                    left: rng.gen_range(1..trace.samples().len()),
+                },
+                SessionConfig::new(fs),
+            );
+            let good: Vec<_> = (0..3)
+                .map(|_| {
+                    server.create_session(
+                        StreamingDecoder::new(decoder(), fs),
+                        SessionConfig::new(fs),
+                    )
+                })
+                .collect();
+            let mut offset = 0;
+            while offset < trace.samples().len() {
+                let take = rng.gen_range(1..500).min(trace.samples().len() - offset);
+                let chunk = &trace.samples()[offset..offset + take];
+                let _ = server.feed_samples(bad, chunk); // rejected once faulted
+                for &id in &good {
+                    server.feed_samples(id, chunk).unwrap();
+                }
+                offset += take;
+            }
+            for (s, &id) in good.iter().enumerate() {
+                let events = server.close_and_drain(id).unwrap();
+                assert_eq!(fingerprint(&events), reference, "case {i}: sibling {s} perturbed");
+            }
+            let fault = server.close_and_drain(bad).unwrap();
+            assert!(
+                matches!(fault.last(), Some(SessionEvent::SessionFault { .. })),
+                "case {i}: faulted session must end in SessionFault, got {:?}",
+                fault.last()
+            );
+        });
+    }
+}
