@@ -14,6 +14,8 @@
 //! records throughput and event-latency percentiles to
 //! `BENCH_server.json`.
 
+#![forbid(unsafe_code)]
+
 pub mod conformance;
 pub mod soak;
 pub mod throughput;

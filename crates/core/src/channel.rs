@@ -100,7 +100,7 @@ use palc_optics::Material;
 use palc_optics::{LightSource, Vec3};
 use palc_phy::Packet;
 use palc_scene::{CarModel, Environment, MobileObject, Tag, Trajectory};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::sync::Arc;
 
 /// A receiver's position in the scene: lateral offset from the world
@@ -592,7 +592,7 @@ impl PassiveChannel {
         let margin = 2.0 * g.dx;
         let mut stats = KernelStats::default();
         let mut pool: Vec<f64> = Vec::new();
-        let mut intern: HashMap<[u64; 6], usize> = HashMap::new();
+        let mut intern: BTreeMap<[u64; 6], usize> = BTreeMap::new();
         let mut objects = Vec::with_capacity(self.objects.len());
         for obj in &self.objects {
             let (y_lo, y_hi) = obj.lane_band();
@@ -1487,6 +1487,7 @@ impl ObjectKernel {
     /// local coordinate → piece (exact `partition_point`) → bin → pool
     /// row. This loop is the entire per-tick cost of an active mover,
     /// and the build-time cost of a parked object.
+    // palc_lint: hot-path
     fn table_sum(
         &self,
         pool: &[f64],
@@ -1510,6 +1511,7 @@ impl ObjectKernel {
         }
         sum
     }
+    // palc_lint: end hot-path
 }
 
 /// Build-time statistics of a [`FootprintKernel`]: how much work the
@@ -1642,6 +1644,7 @@ impl FootprintKernel {
     ///
     /// `channel` must be the channel this kernel was built from (same
     /// objects, same grid).
+    // palc_lint: hot-path
     pub fn illuminance(&mut self, channel: &PassiveChannel, t: f64) -> f64 {
         debug_assert_eq!(
             self.objects.len(),
@@ -1734,6 +1737,7 @@ impl FootprintKernel {
         self.spans = spans;
         (self.field.static_total + dynamic) * env
     }
+    // palc_lint: end hot-path
 
     /// The static field these tables layer on.
     pub fn static_field(&self) -> &StaticField {

@@ -94,6 +94,7 @@ impl Classification {
     /// distances (≥ 1; higher = more confident). 1.0 when there is only
     /// one template.
     pub fn margin(&self) -> f64 {
+        // palc_lint: allow(float-eq) -- exact-zero sentinel: a zero best distance means a perfect match
         if self.ranking.len() < 2 || self.ranking[0].normalized == 0.0 {
             return f64::INFINITY;
         }

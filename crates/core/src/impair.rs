@@ -84,6 +84,7 @@ impl BurstNoise {
 
     /// Whether this configuration cannot change any sample.
     pub fn is_noop(&self) -> bool {
+        // palc_lint: allow(float-eq) -- exact-zero no-op sentinel
         self.p_enter <= 0.0 || self.amplitude == 0.0
     }
 }
@@ -138,6 +139,7 @@ impl Interference {
 
     /// Whether this configuration cannot change any sample.
     pub fn is_noop(&self) -> bool {
+        // palc_lint: allow(float-eq) -- exact-zero no-op sentinel
         self.gain == 0.0 || self.signal.is_empty()
     }
 }

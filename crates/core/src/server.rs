@@ -70,10 +70,11 @@ use crate::decode::DecodedPacket;
 use crate::fusion::{Detection, FusedEvent, FusionCenter, FusionStream};
 use crate::stream::{DecodeEvent, PushDecoder};
 use crate::sweep::TimedEvent;
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+// palc_lint: allow(determinism) -- Instant is confined to SystemClock below; everything else reads time through the Clock trait
 use std::time::{Duration, Instant};
 
 /// Locks poison-tolerantly: a panic while a previous holder had the
@@ -87,6 +88,69 @@ use std::time::{Duration, Instant};
 /// half-updated decoder.
 fn lock_recover<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
     m.lock().unwrap_or_else(|p| p.into_inner())
+}
+
+/// Time source for the server's idle/reap and latency bookkeeping.
+///
+/// The server never reads the wall clock directly: every timestamp is a
+/// [`Duration`] since the clock's epoch, obtained through this trait.
+/// Production uses [`SystemClock`]; tests drive a [`MockClock`] so
+/// stale-session reaping is exercised deterministically, without
+/// wall-clock sleeps.
+pub trait Clock: Send + Sync {
+    /// Monotonic time elapsed since the clock's epoch.
+    fn now(&self) -> Duration;
+}
+
+/// The default wall clock: a monotonic [`Instant`] anchored when the
+/// clock is created.
+#[derive(Debug)]
+pub struct SystemClock {
+    // palc_lint: allow(determinism) -- this is the one sanctioned wall-clock read; everything else goes through Clock
+    epoch: Instant,
+}
+
+impl SystemClock {
+    /// A wall clock whose epoch is now.
+    pub fn new() -> Self {
+        // palc_lint: allow(determinism) -- anchoring the sanctioned wall clock
+        SystemClock { epoch: Instant::now() }
+    }
+}
+
+impl Default for SystemClock {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Clock for SystemClock {
+    fn now(&self) -> Duration {
+        self.epoch.elapsed()
+    }
+}
+
+/// A manually-advanced clock for deterministic tests: time moves only
+/// when [`MockClock::advance`] is called. Clones share the same time.
+#[derive(Debug, Clone, Default)]
+pub struct MockClock(Arc<AtomicU64>);
+
+impl MockClock {
+    /// A mock clock at time zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Moves time forward by `d`.
+    pub fn advance(&self, d: Duration) {
+        self.0.fetch_add(d.as_nanos() as u64, Ordering::SeqCst);
+    }
+}
+
+impl Clock for MockClock {
+    fn now(&self) -> Duration {
+        Duration::from_nanos(self.0.load(Ordering::SeqCst))
+    }
 }
 
 /// Handle to one receiver session on a [`DecodeServer`].
@@ -392,9 +456,10 @@ struct SessionCore {
     /// A worker currently holds the decoder.
     running: bool,
     /// Feed watermarks for the latency histogram: `(ingested_mark,
-    /// enqueue_instant)`; resolved when decode progress passes the mark.
-    feed_marks: VecDeque<(u64, Instant)>,
-    last_activity: Instant,
+    /// enqueue_time)`; resolved when decode progress passes the mark.
+    /// Times are [`Clock`] readings (durations since the clock epoch).
+    feed_marks: VecDeque<(u64, Duration)>,
+    last_activity: Duration,
 }
 
 struct Session {
@@ -438,6 +503,7 @@ impl Histogram {
     fn record(&self, d: Duration) {
         let us = d.as_micros() as u64;
         let b = (64 - us.leading_zeros() as usize).min(39);
+        // invariant: b is clamped to ..=39 and buckets has 40 entries.
         self.buckets[b].fetch_add(1, Ordering::Relaxed);
     }
 
@@ -478,8 +544,11 @@ struct Inner {
     /// and running a reap scan.
     tick: Duration,
     shutdown: std::sync::atomic::AtomicBool,
-    sessions: Mutex<HashMap<u64, Arc<Session>>>,
-    groups: Mutex<HashMap<u64, Arc<Group>>>,
+    /// Ordered maps so every registry iteration (reap scans, Debug,
+    /// draining) visits sessions in id order — no run-to-run scramble.
+    sessions: Mutex<BTreeMap<u64, Arc<Session>>>,
+    groups: Mutex<BTreeMap<u64, Arc<Group>>>,
+    clock: Arc<dyn Clock>,
     ready: Mutex<VecDeque<u64>>,
     ready_cv: Condvar,
     next_session: AtomicU64,
@@ -539,8 +608,15 @@ impl Drop for RespawnGuard {
 }
 
 impl DecodeServer {
-    /// Starts a server with `config`'s worker pool.
+    /// Starts a server with `config`'s worker pool on the wall clock.
     pub fn new(config: ServerConfig) -> Self {
+        Self::with_clock(config, Arc::new(SystemClock::new()))
+    }
+
+    /// Starts a server reading time from `clock` — the deterministic
+    /// entry point: tests pass a [`MockClock`] and advance it manually
+    /// instead of sleeping past [`ServerConfig::idle_deadline`].
+    pub fn with_clock(config: ServerConfig, clock: Arc<dyn Clock>) -> Self {
         let workers = if config.workers > 0 {
             config.workers
         } else {
@@ -557,8 +633,9 @@ impl DecodeServer {
             idle_deadline: config.idle_deadline,
             tick,
             shutdown: std::sync::atomic::AtomicBool::new(false),
-            sessions: Mutex::new(HashMap::new()),
-            groups: Mutex::new(HashMap::new()),
+            sessions: Mutex::new(BTreeMap::new()),
+            groups: Mutex::new(BTreeMap::new()),
+            clock,
             ready: Mutex::new(VecDeque::new()),
             ready_cv: Condvar::new(),
             next_session: AtomicU64::new(0),
@@ -573,6 +650,11 @@ impl DecodeServer {
                 std::thread::Builder::new()
                     .name("palc-server-worker".into())
                     .spawn(move || worker_loop(inner))
+                    // invariant: construction-time failure, before any
+                    // session exists — the panic propagates straight to
+                    // the constructing caller, no sibling session or
+                    // worker can be cascaded into. The runtime respawn
+                    // path (RespawnGuard) tolerates spawn failure.
                     .expect("spawning a server worker thread")
             })
             .collect();
@@ -629,7 +711,7 @@ impl DecodeServer {
                 scheduled: false,
                 running: false,
                 feed_marks: VecDeque::new(),
-                last_activity: Instant::now(),
+                last_activity: self.inner.clock.now(),
             }),
             cv: Condvar::new(),
         });
@@ -719,12 +801,14 @@ impl DecodeServer {
                 }
             }
             let take = room.min(samples.len() - offset);
+            // invariant: take = room.min(samples.len() - offset), so
+            // offset + take <= samples.len().
             st.ingress.extend(samples[offset..offset + take].iter().copied());
             offset += take;
             report.accepted += take as u64;
         }
         st.ingested += report.accepted;
-        st.last_activity = Instant::now();
+        st.last_activity = self.inner.clock.now();
         if report.accepted > 0 {
             let mark = st.ingested + st.shed;
             let at = st.last_activity;
@@ -919,12 +1003,12 @@ impl Inner {
     /// it; the regular service path performs the flush. Returns how
     /// many sessions were newly marked.
     fn reap_scan(&self, deadline: Duration) -> usize {
-        let now = Instant::now();
+        let now = self.clock.now();
         let sessions: Vec<Arc<Session>> = lock_recover(&self.sessions).values().cloned().collect();
         let mut reaped = 0usize;
         for session in sessions {
             let mut st = lock_recover(&session.state);
-            let idle = now.saturating_duration_since(st.last_activity);
+            let idle = now.saturating_sub(st.last_activity);
             if st.status == Status::Active
                 && !st.running
                 && st.ingress.is_empty()
@@ -1105,10 +1189,13 @@ impl Inner {
     /// events (none) are fully visible.
     fn resolve_feed_marks(&self, st: &mut SessionCore) {
         let progress = st.pushed + st.shed;
-        let now = Instant::now();
-        while st.feed_marks.front().is_some_and(|&(mark, _)| mark <= progress) {
-            let (_, enqueued) = st.feed_marks.pop_front().expect("front checked above");
-            self.latency.record(now.saturating_duration_since(enqueued));
+        let now = self.clock.now();
+        while let Some(&(mark, enqueued)) = st.feed_marks.front() {
+            if mark > progress {
+                break;
+            }
+            let _ = st.feed_marks.pop_front();
+            self.latency.record(now.saturating_sub(enqueued));
         }
     }
 
@@ -1322,23 +1409,35 @@ mod tests {
 
     #[test]
     fn idle_sessions_are_reaped_and_closed() {
-        let srv = DecodeServer::new(
-            ServerConfig::default().with_workers(2).with_idle_deadline(Duration::from_millis(20)),
+        // A mock clock makes the idle measurement exact: no wall-clock
+        // sleeps, no scheduler-dependent flakiness.
+        let clock = MockClock::new();
+        let srv = DecodeServer::with_clock(
+            ServerConfig::default().with_workers(2),
+            Arc::new(clock.clone()),
         );
         let sc = indoor();
         let (dec, fs) = streaming(&sc);
         let id = srv.create_session(dec, SessionConfig::new(fs));
         srv.feed_samples(id, &[0.5; 100]).unwrap();
-        // Wait out the deadline; the background scan (or the explicit
-        // one) flushes and closes the session.
-        let deadline = Instant::now() + Duration::from_secs(10);
+        // Let the pool drain the feed first — reaping requires an empty
+        // ingress queue and a parked decoder. Pure synchronisation, no
+        // timing dependence.
+        while srv.stats().samples_decoded < 100 {
+            std::thread::yield_now();
+        }
+        let deadline = Duration::from_millis(20);
+        // One nanosecond short of the deadline: nothing is stale yet.
+        clock.advance(deadline - Duration::from_nanos(1));
+        assert_eq!(srv.reap_idle(deadline), 0, "deadline not yet crossed");
+        // Crossing the deadline reaps exactly this session.
+        clock.advance(Duration::from_nanos(1));
+        assert_eq!(srv.reap_idle(deadline), 1, "idle session must be marked");
+        // The flush itself runs on a worker; wait for the transition.
         loop {
-            std::thread::sleep(Duration::from_millis(10));
-            srv.reap_idle(Duration::from_millis(20));
             match srv.status(id) {
                 Ok(SessionStatus::Closed) | Err(SessionError::UnknownSession) => break,
-                _ if Instant::now() > deadline => panic!("session never reaped"),
-                _ => {}
+                _ => std::thread::yield_now(),
             }
         }
         let events = srv.poll_events(id).unwrap();

@@ -141,6 +141,7 @@ impl SweepRunner {
                         // A panic in `f` poisons the sweep via `guard` and
                         // drops `tx`; the collector below then comes up
                         // short and the scope re-raises the panic.
+                        // invariant: `i < items.len()` is checked above.
                         let r = f(i, &items[i]);
                         if tx.send((i, r)).is_err() {
                             break;
@@ -152,11 +153,15 @@ impl SweepRunner {
             drop(tx);
             let mut slots: Vec<Option<R>> = (0..items.len()).map(|_| None).collect();
             for (i, r) in rx {
+                // invariant: workers only send `i < items.len()` (the
+                // fetch_add claim is bounds-checked before `f` runs),
+                // and `slots` has exactly `items.len()` entries.
                 slots[i] = Some(r);
             }
             slots
         })
-        // Invariant: every index below `items.len()` is claimed by
+        .into_iter()
+        // invariant: every index below `items.len()` is claimed by
         // exactly one worker (the atomic fetch_add hands them out
         // uniquely), and a worker either sends its `(i, r)` pair or
         // panics — in which case `thread::scope` re-raises that panic
@@ -164,7 +169,6 @@ impl SweepRunner {
         // missing slot is therefore unreachable; the expect is a
         // backstop, not a reachable failure mode, and converting it to
         // a recovery path would silently hide a lost result.
-        .into_iter()
         .map(|s| s.expect("worker dropped a sweep item"))
         .collect()
     }

@@ -115,6 +115,7 @@ impl PowerSpectrum {
     /// Bin index closest to frequency `f_hz` (clamped to the valid range).
     #[inline]
     pub fn bin_of_freq(&self, f_hz: f64) -> usize {
+        // palc_lint: allow(float-eq) -- exact-zero guard against dividing by bin width
         if self.bin_hz == 0.0 {
             return 0;
         }

@@ -101,7 +101,9 @@ pub fn modulation_depth(x: &[f64]) -> f64 {
 pub fn snr_db(signal: &[f64], noise: &[f64]) -> f64 {
     let ps = variance(signal);
     let pn = variance(noise);
+    // palc_lint: allow(float-eq) -- exact-zero guard against dividing by noise power
     if pn == 0.0 {
+        // palc_lint: allow(float-eq) -- exact-zero sentinel distinguishes silence from zero SNR
         return if ps == 0.0 { 0.0 } else { f64::INFINITY };
     }
     10.0 * (ps / pn).log10()

@@ -48,6 +48,7 @@ impl NoiseModel {
     /// Draws one noise sample appropriate for mean illuminance `e_lux`.
     pub fn sample(&mut self, e_lux: f64) -> f64 {
         let sigma = self.rms_at(e_lux);
+        // palc_lint: allow(float-eq) -- exact-zero sentinel: noiseless configs draw nothing
         if sigma == 0.0 {
             return 0.0;
         }

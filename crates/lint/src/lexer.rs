@@ -1,0 +1,452 @@
+//! A minimal Rust lexer: just enough token structure for line-grained
+//! invariant rules.
+//!
+//! The workspace builds offline, so `syn`/`proc-macro2` are out of
+//! reach; this lexer is the dependency-free substitute. It produces a
+//! stream of *code tokens* (identifiers, literals, operators) with the
+//! contents of strings, characters, and comments stripped out, plus a
+//! parallel list of comments — which is exactly the split the rules
+//! need: patterns are matched over code tokens only (so `"unwrap()"`
+//! inside a string can never fire a rule), while annotations and
+//! `// invariant:` justifications are read from the comment list.
+//!
+//! Handled faithfully because real sources in this tree use them:
+//! nested block comments, raw strings with arbitrary `#` fences, byte
+//! and raw-byte strings, char literals vs lifetimes, raw identifiers,
+//! float literals vs range expressions (`1.5` vs `1..5`), and multi-char
+//! operators (`==` / `!=` are single tokens so the float-eq rule cannot
+//! misread `<=`). Everything carries a 1-based line number.
+
+/// What kind of code token this is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// An identifier or keyword (raw identifiers are unprefixed: `r#fn`
+    /// lexes as `fn` with `raw = true` semantics folded away — rules
+    /// match on the name).
+    Ident,
+    /// A lifetime such as `'a` (text excludes the quote).
+    Lifetime,
+    /// An integer literal.
+    Int,
+    /// A floating-point literal (`1.5`, `1.`, `2e8`, `1.0f32`).
+    Float,
+    /// A string / byte-string / char literal (contents dropped; text is
+    /// the empty string).
+    Literal,
+    /// An operator or punctuation token; `text` holds the exact spelling
+    /// (`==`, `!=`, `::`, `..`, single punctuation, …).
+    Op,
+}
+
+/// One code token.
+#[derive(Debug, Clone)]
+pub struct Token {
+    /// The token's class.
+    pub kind: TokenKind,
+    /// Identifier name, operator spelling, or literal text (empty for
+    /// string/char literals).
+    pub text: String,
+    /// 1-based source line the token starts on.
+    pub line: u32,
+}
+
+/// One comment (line or block).
+#[derive(Debug, Clone)]
+pub struct Comment {
+    /// 1-based line the comment starts on.
+    pub line: u32,
+    /// 1-based line the comment ends on (same as `line` for `//`).
+    pub end_line: u32,
+    /// Comment text without the `//` / `/*` framing.
+    pub text: String,
+}
+
+/// The lexed view of one source file.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// Code tokens in source order; no comments, no literal contents.
+    pub tokens: Vec<Token>,
+    /// Comments in source order.
+    pub comments: Vec<Comment>,
+}
+
+impl Lexed {
+    /// 1-based lines that carry at least one code token.
+    pub fn code_lines(&self) -> std::collections::BTreeSet<u32> {
+        self.tokens.iter().map(|t| t.line).collect()
+    }
+}
+
+/// Multi-character operators, longest first so greedy matching is
+/// unambiguous. Only the ones whose *absence* could corrupt a rule
+/// matter (`<=` must not lex as `<`, `=` and then read as part of an
+/// equality chain), but carrying the standard set keeps token streams
+/// predictable for future rules.
+const OPERATORS: &[&str] = &[
+    "..=", "...", "<<=", ">>=", "->", "=>", "==", "!=", "<=", ">=", "&&", "||", "..", "::", "+=",
+    "-=", "*=", "/=", "%=", "^=", "&=", "|=", "<<", ">>",
+];
+
+/// Lexes `source` into code tokens and comments. Never fails: on
+/// malformed input (unterminated string, stray byte) it degrades by
+/// emitting what it saw and moving on — a linter must not crash on the
+/// code it polices.
+pub fn lex(source: &str) -> Lexed {
+    let bytes = source.as_bytes();
+    let mut out = Lexed::default();
+    let mut i = 0usize;
+    let mut line = 1u32;
+
+    while i < bytes.len() {
+        let c = bytes[i];
+        match c {
+            b'\n' => {
+                line += 1;
+                i += 1;
+            }
+            c if c.is_ascii_whitespace() => i += 1,
+            b'/' if bytes.get(i + 1) == Some(&b'/') => {
+                let start = i + 2;
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+                let text = source[start..i].trim_start_matches(['/', '!']).to_string();
+                out.comments.push(Comment { line, end_line: line, text });
+            }
+            b'/' if bytes.get(i + 1) == Some(&b'*') => {
+                let start_line = line;
+                let start = i + 2;
+                i += 2;
+                let mut depth = 1u32;
+                while i < bytes.len() && depth > 0 {
+                    if bytes[i] == b'\n' {
+                        line += 1;
+                        i += 1;
+                    } else if bytes[i] == b'/' && bytes.get(i + 1) == Some(&b'*') {
+                        depth += 1;
+                        i += 2;
+                    } else if bytes[i] == b'*' && bytes.get(i + 1) == Some(&b'/') {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                }
+                let end = i.saturating_sub(2).max(start);
+                let text = source[start..end].trim_start_matches(['*', '!']).to_string();
+                out.comments.push(Comment { line: start_line, end_line: line, text });
+            }
+            b'"' => i = skip_string(bytes, i, &mut line, &mut out),
+            b'r' | b'b' if starts_raw_or_byte_string(bytes, i) => {
+                i = skip_raw_or_byte(bytes, i, &mut line, &mut out)
+            }
+            b'\'' => i = lex_quote(source, bytes, i, &mut line, &mut out),
+            c if c.is_ascii_digit() => i = lex_number(source, bytes, i, line, &mut out),
+            c if c.is_ascii_alphabetic() || c == b'_' => {
+                let start = i;
+                while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
+                    i += 1;
+                }
+                let mut text = &source[start..i];
+                // Raw identifier: the `r#` prefix was consumed as ident
+                // start only when `r` begins the token; handle `r#name`.
+                if text == "r" && bytes.get(i) == Some(&b'#') && ident_start(bytes.get(i + 1)) {
+                    let s2 = i + 1;
+                    i += 1;
+                    while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_')
+                    {
+                        i += 1;
+                    }
+                    text = &source[s2..i];
+                }
+                out.tokens.push(Token { kind: TokenKind::Ident, text: text.to_string(), line });
+            }
+            _ => {
+                // Operator / punctuation: greedy multi-char match first.
+                let rest = &source[i..];
+                let op = OPERATORS.iter().find(|op| rest.starts_with(**op));
+                match op {
+                    Some(op) => {
+                        out.tokens.push(Token {
+                            kind: TokenKind::Op,
+                            text: (*op).to_string(),
+                            line,
+                        });
+                        i += op.len();
+                    }
+                    None => {
+                        let ch_len = source[i..].chars().next().map_or(1, char::len_utf8);
+                        out.tokens.push(Token {
+                            kind: TokenKind::Op,
+                            text: source[i..i + ch_len].to_string(),
+                            line,
+                        });
+                        i += ch_len;
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+fn ident_start(b: Option<&u8>) -> bool {
+    matches!(b, Some(c) if c.is_ascii_alphabetic() || *c == b'_')
+}
+
+/// Is `r"`, `r#"`, `b"`, `br"`, `rb`? (`rb` is not Rust; `br` is.)
+fn starts_raw_or_byte_string(bytes: &[u8], i: usize) -> bool {
+    let mut j = i;
+    if bytes[j] == b'b' {
+        j += 1;
+    }
+    if bytes.get(j) == Some(&b'r') {
+        j += 1;
+        while bytes.get(j) == Some(&b'#') {
+            j += 1;
+        }
+    }
+    // Plain `b"..."` byte string, or raw with fences.
+    j > i && bytes.get(j) == Some(&b'"')
+}
+
+/// Skips a normal (escaped) string literal starting at `"`; emits a
+/// Literal token.
+fn skip_string(bytes: &[u8], start: usize, line: &mut u32, out: &mut Lexed) -> usize {
+    let tok_line = *line;
+    let mut i = start + 1;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'\\' => i += 2,
+            b'\n' => {
+                *line += 1;
+                i += 1;
+            }
+            b'"' => {
+                i += 1;
+                break;
+            }
+            _ => i += 1,
+        }
+    }
+    out.tokens.push(Token { kind: TokenKind::Literal, text: String::new(), line: tok_line });
+    i
+}
+
+/// Skips `b"…"`, `r"…"`, `r#"…"#`, `br##"…"##` literals.
+fn skip_raw_or_byte(bytes: &[u8], start: usize, line: &mut u32, out: &mut Lexed) -> usize {
+    let tok_line = *line;
+    let mut i = start;
+    if bytes[i] == b'b' {
+        i += 1;
+    }
+    let raw = bytes.get(i) == Some(&b'r');
+    if raw {
+        i += 1;
+    }
+    let mut fences = 0usize;
+    while bytes.get(i) == Some(&b'#') {
+        fences += 1;
+        i += 1;
+    }
+    debug_assert_eq!(bytes.get(i), Some(&b'"'));
+    i += 1;
+    if raw {
+        // Raw: ends at `"` followed by `fences` hashes; no escapes.
+        while i < bytes.len() {
+            if bytes[i] == b'\n' {
+                *line += 1;
+                i += 1;
+            } else if bytes[i] == b'"' && bytes[i + 1..].iter().take(fences).all(|&b| b == b'#') {
+                i += 1 + fences;
+                break;
+            } else {
+                i += 1;
+            }
+        }
+        out.tokens.push(Token { kind: TokenKind::Literal, text: String::new(), line: tok_line });
+        i
+    } else {
+        // `b"…"`: same escape rules as a normal string.
+        skip_string(bytes, i - 1, line, out)
+    }
+}
+
+/// `'` starts either a lifetime (`'a`) or a char literal (`'x'`,
+/// `'\n'`). Standard disambiguation: an identifier after the quote with
+/// no closing quote right behind it is a lifetime.
+fn lex_quote(source: &str, bytes: &[u8], start: usize, line: &mut u32, out: &mut Lexed) -> usize {
+    let i = start + 1;
+    if ident_start(bytes.get(i)) {
+        let mut j = i;
+        while j < bytes.len() && (bytes[j].is_ascii_alphanumeric() || bytes[j] == b'_') {
+            j += 1;
+        }
+        if bytes.get(j) != Some(&b'\'') {
+            out.tokens.push(Token {
+                kind: TokenKind::Lifetime,
+                text: source[i..j].to_string(),
+                line: *line,
+            });
+            return j;
+        }
+    }
+    // Char literal. Walk to the closing quote, honouring escapes.
+    let tok_line = *line;
+    let mut j = i;
+    while j < bytes.len() {
+        match bytes[j] {
+            b'\\' => j += 2,
+            b'\'' => {
+                j += 1;
+                break;
+            }
+            b'\n' => {
+                *line += 1;
+                j += 1;
+            }
+            _ => j += 1,
+        }
+    }
+    out.tokens.push(Token { kind: TokenKind::Literal, text: String::new(), line: tok_line });
+    j
+}
+
+/// Lexes a numeric literal; classifies int vs float. A `.` belongs to
+/// the number only when it is not the start of `..` and not a method
+/// call on the literal (`1.max(…)` — which rustc rejects anyway, but a
+/// linter should not mistokenise the attempt).
+fn lex_number(source: &str, bytes: &[u8], start: usize, line: u32, out: &mut Lexed) -> usize {
+    let mut i = start;
+    let mut float = false;
+    // Radix prefixes never have fractional parts.
+    let radix = i + 1 < bytes.len()
+        && bytes[i] == b'0'
+        && matches!(bytes[i + 1], b'x' | b'o' | b'b' | b'X' | b'O' | b'B');
+    if radix {
+        i += 2;
+        while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
+            i += 1;
+        }
+    } else {
+        while i < bytes.len() && (bytes[i].is_ascii_digit() || bytes[i] == b'_') {
+            i += 1;
+        }
+        if i < bytes.len() && bytes[i] == b'.' && bytes.get(i + 1) != Some(&b'.') {
+            let after = bytes.get(i + 1);
+            let method = ident_start(after);
+            if !method {
+                float = true;
+                i += 1;
+                while i < bytes.len() && (bytes[i].is_ascii_digit() || bytes[i] == b'_') {
+                    i += 1;
+                }
+            }
+        }
+        if i < bytes.len() && (bytes[i] == b'e' || bytes[i] == b'E') {
+            let mut j = i + 1;
+            if matches!(bytes.get(j), Some(b'+') | Some(b'-')) {
+                j += 1;
+            }
+            if matches!(bytes.get(j), Some(d) if d.is_ascii_digit()) {
+                float = true;
+                i = j;
+                while i < bytes.len() && (bytes[i].is_ascii_digit() || bytes[i] == b'_') {
+                    i += 1;
+                }
+            }
+        }
+        // Type suffix: `1f64` / `2.5f32` are floats; `1u32` stays int.
+        let suffix_start = i;
+        while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
+            i += 1;
+        }
+        match &source[suffix_start..i] {
+            "f32" | "f64" => float = true,
+            _ => {}
+        }
+    }
+    let kind = if float { TokenKind::Float } else { TokenKind::Int };
+    out.tokens.push(Token { kind, text: source[start..i].to_string(), line });
+    i
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokenKind, String)> {
+        lex(src).tokens.into_iter().map(|t| (t.kind, t.text)).collect()
+    }
+
+    #[test]
+    fn idents_and_operators() {
+        let t = kinds("let x = a.unwrap();");
+        let names: Vec<&str> = t.iter().map(|(_, s)| s.as_str()).collect();
+        assert_eq!(names, vec!["let", "x", "=", "a", ".", "unwrap", "(", ")", ";"]);
+    }
+
+    #[test]
+    fn equality_operators_are_single_tokens() {
+        let t = kinds("a == b != c <= d => e");
+        let ops: Vec<&str> =
+            t.iter().filter(|(k, _)| *k == TokenKind::Op).map(|(_, s)| s.as_str()).collect();
+        assert_eq!(ops, vec!["==", "!=", "<=", "=>"]);
+    }
+
+    #[test]
+    fn string_contents_never_become_tokens() {
+        let t = kinds(r#"let s = "x.unwrap() // not a comment";"#);
+        assert!(t.iter().all(|(_, s)| s != "unwrap"));
+        let lexed = lex(r#"let s = "x.unwrap() // not a comment";"#);
+        assert!(lexed.comments.is_empty());
+    }
+
+    #[test]
+    fn raw_strings_with_fences() {
+        let src = r####"let s = r#"inner "quote" and sqrt( stays put"#; x.sqrt()"####;
+        let t = kinds(src);
+        let sqrts = t.iter().filter(|(_, s)| s == "sqrt").count();
+        assert_eq!(sqrts, 1, "only the real call tokenises");
+    }
+
+    #[test]
+    fn byte_strings_and_chars_and_lifetimes() {
+        let t = kinds(r#"fn f<'a>(x: &'a u8) { let c = '\''; let b = b"//"; }"#);
+        let lifetimes = t.iter().filter(|(k, _)| *k == TokenKind::Lifetime).count();
+        assert_eq!(lifetimes, 2);
+        assert!(lex(r#"let c = '\''; // trailing"#).comments.len() == 1);
+    }
+
+    #[test]
+    fn floats_vs_ranges_vs_ints() {
+        let t = kinds("let a = 1.5; let b = 1..5; let c = 2e8; let d = 1f64; let e = 7;");
+        let floats: Vec<&str> =
+            t.iter().filter(|(k, _)| *k == TokenKind::Float).map(|(_, s)| s.as_str()).collect();
+        assert_eq!(floats, vec!["1.5", "2e8", "1f64"]);
+        assert!(t.iter().any(|(k, s)| *k == TokenKind::Op && s == ".."));
+    }
+
+    #[test]
+    fn nested_block_comments_and_line_numbers() {
+        let src = "/* outer /* inner */ still comment */\nfn f() {}\n// tail\n";
+        let lexed = lex(src);
+        assert_eq!(lexed.comments.len(), 2);
+        assert_eq!(lexed.tokens[0].text, "fn");
+        assert_eq!(lexed.tokens[0].line, 2);
+        assert_eq!(lexed.comments[1].line, 3);
+    }
+
+    #[test]
+    fn doc_comment_markers_are_stripped() {
+        let lexed = lex("/// doc line\n//! inner doc\n");
+        assert_eq!(lexed.comments[0].text.trim(), "doc line");
+        assert_eq!(lexed.comments[1].text.trim(), "inner doc");
+    }
+
+    #[test]
+    fn raw_identifiers() {
+        let t = kinds("let r#fn = 1;");
+        assert!(t.iter().any(|(k, s)| *k == TokenKind::Ident && s == "fn"));
+    }
+}

@@ -1,0 +1,562 @@
+#![forbid(unsafe_code)]
+//! `palc_lint` — the workspace's in-tree invariant checker.
+//!
+//! The codebase rests on contracts that `rustc` cannot see: kernel-tier
+//! tick loops must stay transcendental-free, decode paths must be
+//! seed-reproducible, cross-thread modules must justify every panic
+//! site. This crate turns those conventions into a CI gate. It is
+//! dependency-free by necessity (the build environment is offline, so
+//! `syn` is unavailable): [`lexer`] is a mini Rust lexer producing a
+//! token stream with string/comment contents stripped, [`rules`] holds
+//! the five path-scoped rules, and this module is the engine —
+//! annotation parsing, test-region exemption, suppression bookkeeping,
+//! and the tree walk.
+//!
+//! # Annotation grammar
+//!
+//! Every exception is a reviewed, justified line in the diff:
+//!
+//! ```text
+//! // palc_lint: allow(<rule>[, <rule>...]) -- <reason>
+//! ```
+//!
+//! A trailing annotation suppresses findings on its own line; an
+//! annotation on a comment-only line suppresses findings on the next
+//! code line. The reason after `--` is mandatory, unknown rule names
+//! are errors, and an allow that suppresses nothing is itself flagged —
+//! annotations cannot rot silently.
+//!
+//! Hot-path regions are bracketed by a marker pair:
+//!
+//! ```text
+//! // palc_lint: hot-path
+//! ...per-tick code...
+//! // palc_lint: end hot-path
+//! ```
+//!
+//! Panic-audit justifications use a plain comment containing
+//! `invariant:` on the offending line or on the comment block
+//! immediately above it.
+
+pub mod lexer;
+pub mod rules;
+
+use std::collections::BTreeSet;
+use std::fmt;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use lexer::{lex, Comment, Lexed, Token};
+use rules::RuleCx;
+pub use rules::{Rule, RULES};
+
+/// Pseudo-rule name used for problems with the annotations themselves
+/// (malformed grammar, unknown rule names, unused allows, unbalanced
+/// hot-path markers).
+pub const ANNOTATION_RULE: &str = "annotation";
+
+/// One diagnostic: file, line, rule, message, fix hint.
+#[derive(Debug, Clone)]
+pub struct Violation {
+    /// Repo-relative path (forward slashes).
+    pub path: String,
+    /// 1-based line.
+    pub line: u32,
+    /// Rule name, or [`ANNOTATION_RULE`] for annotation problems.
+    pub rule: &'static str,
+    /// What is wrong.
+    pub message: String,
+    /// How to fix it.
+    pub hint: &'static str,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}\n    hint: {}",
+            self.path, self.line, self.rule, self.message, self.hint
+        )
+    }
+}
+
+/// Result of linting a whole tree.
+#[derive(Debug, Default)]
+pub struct TreeReport {
+    /// Number of `.rs` files examined.
+    pub files: usize,
+    /// All diagnostics, ordered by path then line.
+    pub violations: Vec<Violation>,
+}
+
+// ---------------------------------------------------------------------------
+// Annotation directives
+// ---------------------------------------------------------------------------
+
+/// One parsed `allow(...)` annotation.
+struct Allow {
+    /// Line of the annotation comment (for unused-allow reporting).
+    comment_line: u32,
+    /// Code line the allow applies to (`None` if no code follows).
+    target: Option<u32>,
+    /// `(rule name, consumed)` — consumed flips when a finding is
+    /// suppressed, so leftovers can be flagged.
+    entries: Vec<(&'static str, bool)>,
+}
+
+/// Everything extracted from `palc_lint:` comments in one file.
+struct Directives {
+    allows: Vec<Allow>,
+    /// Inclusive `(start, end)` line ranges of hot-path regions.
+    hot_ranges: Vec<(u32, u32)>,
+    /// Grammar problems, as `(line, message)`.
+    errors: Vec<(u32, String)>,
+}
+
+fn parse_directives(lexed: &Lexed, code_lines: &BTreeSet<u32>) -> Directives {
+    let mut dirs = Directives { allows: Vec::new(), hot_ranges: Vec::new(), errors: Vec::new() };
+    let mut open_hot: Vec<u32> = Vec::new();
+
+    for c in &lexed.comments {
+        let text = c.text.trim();
+        let Some(rest) = text.strip_prefix("palc_lint:") else {
+            continue;
+        };
+        let rest = rest.trim();
+        if rest == "hot-path" {
+            open_hot.push(c.line);
+        } else if rest == "end hot-path" {
+            match open_hot.pop() {
+                Some(start) => dirs.hot_ranges.push((start, c.line)),
+                None => dirs.errors.push((
+                    c.line,
+                    "`end hot-path` without a matching `// palc_lint: hot-path`".to_string(),
+                )),
+            }
+        } else if let Some(body) = rest.strip_prefix("allow(") {
+            match parse_allow(body) {
+                Ok(entries) => dirs.allows.push(Allow {
+                    comment_line: c.line,
+                    target: allow_target(c, code_lines),
+                    entries,
+                }),
+                Err(msg) => dirs.errors.push((c.line, msg)),
+            }
+        } else {
+            dirs.errors.push((
+                c.line,
+                format!(
+                    "unknown `palc_lint:` directive `{rest}` (expected `allow(<rule>) -- \
+                     <reason>`, `hot-path`, or `end hot-path`)"
+                ),
+            ));
+        }
+    }
+    for start in open_hot {
+        dirs.errors
+            .push((start, "`hot-path` region is never closed with `end hot-path`".to_string()));
+    }
+    dirs
+}
+
+/// Parses the `<rules>) -- <reason>` tail of an allow directive.
+fn parse_allow(body: &str) -> Result<Vec<(&'static str, bool)>, String> {
+    let Some(close) = body.find(')') else {
+        return Err("`allow(` is missing its closing `)`".to_string());
+    };
+    let (names, tail) = body.split_at(close);
+    let tail = tail[1..].trim();
+    let reason = tail.strip_prefix("--").map(str::trim);
+    match reason {
+        None => {
+            return Err("`allow(...)` needs a justification: `-- <reason>` after the closing paren"
+                .to_string())
+        }
+        Some("") => return Err("the `--` justification must not be empty".to_string()),
+        Some(_) => {}
+    }
+    let mut entries = Vec::new();
+    for name in names.split(',') {
+        let name = name.trim();
+        match rules::rule_by_name(name) {
+            Some(rule) => entries.push((rule.name, false)),
+            None => {
+                let known: Vec<&str> = RULES.iter().map(|r| r.name).collect();
+                return Err(format!(
+                    "unknown rule `{name}` in allow(...); known rules: {}",
+                    known.join(", ")
+                ));
+            }
+        }
+    }
+    if entries.is_empty() {
+        return Err("`allow()` lists no rules".to_string());
+    }
+    Ok(entries)
+}
+
+/// A trailing annotation targets its own line; a standalone one targets
+/// the next code line after the comment.
+fn allow_target(c: &Comment, code_lines: &BTreeSet<u32>) -> Option<u32> {
+    if code_lines.contains(&c.line) {
+        return Some(c.line);
+    }
+    code_lines.range(c.end_line + 1..).next().copied()
+}
+
+// ---------------------------------------------------------------------------
+// Test-region detection
+// ---------------------------------------------------------------------------
+
+/// Inclusive line ranges of `#[cfg(test)]`-gated items and `#[test]`
+/// functions, found by brace-matching over the token stream.
+fn test_regions(lexed: &Lexed) -> Vec<(u32, u32)> {
+    let t = &lexed.tokens;
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    while i < t.len() {
+        if !(t[i].text == "#" && t.get(i + 1).is_some_and(|x| x.text == "[")) {
+            i += 1;
+            continue;
+        }
+        let attr_line = t[i].line;
+        // Find the matching `]` of the attribute.
+        let mut j = i + 2;
+        let mut depth = 1u32;
+        while j < t.len() && depth > 0 {
+            match t[j].text.as_str() {
+                "[" => depth += 1,
+                "]" => depth -= 1,
+                _ => {}
+            }
+            j += 1;
+        }
+        let inner = &t[i + 2..j.saturating_sub(1).max(i + 2)];
+        let is_cfg_test = inner.first().is_some_and(|x| x.text == "cfg")
+            && inner.iter().any(|x| x.text == "test")
+            && !inner.iter().any(|x| x.text == "not");
+        let is_plain_test = inner.len() == 1 && inner[0].text == "test";
+        if is_cfg_test || is_plain_test {
+            if let Some(end_line) = item_end_line(t, j) {
+                out.push((attr_line, end_line));
+            }
+        }
+        i = j.max(i + 1);
+    }
+    out
+}
+
+/// From just past an attribute, the line of the `}` closing the
+/// annotated item's body. `None` for brace-less items (`mod tests;`).
+fn item_end_line(t: &[Token], mut i: usize) -> Option<u32> {
+    while i < t.len() && t[i].text != "{" {
+        if t[i].text == ";" {
+            return None;
+        }
+        i += 1;
+    }
+    let mut depth = 0u32;
+    while i < t.len() {
+        match t[i].text.as_str() {
+            "{" => depth += 1,
+            "}" => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(t[i].line);
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    // Unterminated (malformed source): treat the rest of the file as
+    // the item.
+    t.last().map(|tok| tok.line)
+}
+
+fn line_in(ranges: &[(u32, u32)], line: u32) -> bool {
+    ranges.iter().any(|&(lo, hi)| (lo..=hi).contains(&line))
+}
+
+// ---------------------------------------------------------------------------
+// Panic-audit justification
+// ---------------------------------------------------------------------------
+
+/// Is there an `invariant:` comment on `line` or on the comment block
+/// directly above it? Case-insensitive; a code line without one breaks
+/// the upward scan.
+fn has_invariant_justification(lexed: &Lexed, code_lines: &BTreeSet<u32>, line: u32) -> bool {
+    let justifies = |c: &Comment| c.text.to_ascii_lowercase().contains("invariant:");
+    let covering = |l: u32| lexed.comments.iter().find(|c| c.line <= l && l <= c.end_line);
+    if covering(line).is_some_and(&justifies) {
+        return true;
+    }
+    let mut l = line.saturating_sub(1);
+    while l >= 1 {
+        match covering(l) {
+            Some(c) => {
+                if justifies(c) {
+                    return true;
+                }
+                if code_lines.contains(&l) {
+                    // A trailing comment on the code line above was the
+                    // last candidate.
+                    return false;
+                }
+                l = c.line.saturating_sub(1);
+            }
+            // Blank or comment-free code line: the contiguous comment
+            // block has ended.
+            None => return false,
+        }
+    }
+    false
+}
+
+// ---------------------------------------------------------------------------
+// Engine
+// ---------------------------------------------------------------------------
+
+/// Is this file exempt from test-skipping rules wholesale (an
+/// integration-test file under a `tests/` directory)?
+fn is_test_path(path: &str) -> bool {
+    path.split('/').any(|seg| seg == "tests")
+}
+
+/// Lints one file's source. `path` is the repo-relative path with
+/// forward slashes; rule scoping matches on its prefix.
+pub fn lint_source(path: &str, source: &str) -> Vec<Violation> {
+    let lexed = lex(source);
+    let code_lines = lexed.code_lines();
+    let mut dirs = parse_directives(&lexed, &code_lines);
+    let tests = test_regions(&lexed);
+    let test_file = is_test_path(path);
+
+    let mut out: Vec<Violation> = dirs
+        .errors
+        .iter()
+        .map(|(line, message)| Violation {
+            path: path.to_string(),
+            line: *line,
+            rule: ANNOTATION_RULE,
+            message: message.clone(),
+            hint: "see the annotation grammar in docs/ARCHITECTURE.md §Static analysis",
+        })
+        .collect();
+
+    for rule in RULES {
+        if !rule.include.iter().any(|prefix| path.starts_with(prefix)) {
+            continue;
+        }
+        if rule.skip_tests && test_file {
+            continue;
+        }
+        let cx = RuleCx { lexed: &lexed, hot_ranges: &dirs.hot_ranges };
+        for finding in (rule.check)(&cx) {
+            if rule.skip_tests && line_in(&tests, finding.line) {
+                continue;
+            }
+            if rule.name == "panic-audit"
+                && has_invariant_justification(&lexed, &code_lines, finding.line)
+            {
+                continue;
+            }
+            if consume_allow(&mut dirs.allows, rule.name, finding.line) {
+                continue;
+            }
+            out.push(Violation {
+                path: path.to_string(),
+                line: finding.line,
+                rule: rule.name,
+                message: finding.message,
+                hint: rule.hint,
+            });
+        }
+    }
+
+    // Allows that suppressed nothing are stale — flag them so
+    // annotations track the code they excuse.
+    for allow in &dirs.allows {
+        for (name, used) in &allow.entries {
+            if !used {
+                out.push(Violation {
+                    path: path.to_string(),
+                    line: allow.comment_line,
+                    rule: ANNOTATION_RULE,
+                    message: format!(
+                        "unused `allow({name})` — no {name} finding on the annotated line"
+                    ),
+                    hint: "remove the stale annotation or move it next to the code it excuses",
+                });
+            }
+        }
+    }
+
+    out.sort_by_key(|v| (v.line, v.rule));
+    out
+}
+
+fn consume_allow(allows: &mut [Allow], rule: &str, line: u32) -> bool {
+    for allow in allows.iter_mut() {
+        if allow.target == Some(line) {
+            for entry in &mut allow.entries {
+                if entry.0 == rule {
+                    entry.1 = true;
+                    return true;
+                }
+            }
+        }
+    }
+    false
+}
+
+// ---------------------------------------------------------------------------
+// Tree walk
+// ---------------------------------------------------------------------------
+
+/// All `.rs` files under `root`, sorted, skipping build output
+/// (`target/`), hidden directories, and lint fixture corpora
+/// (`fixtures/` — those files *contain* violations on purpose).
+pub fn collect_files(root: &Path) -> io::Result<Vec<PathBuf>> {
+    fn walk(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+        for entry in fs::read_dir(dir)? {
+            let entry = entry?;
+            let name = entry.file_name();
+            let name = name.to_string_lossy();
+            let ty = entry.file_type()?;
+            if ty.is_dir() {
+                if name.starts_with('.') || name == "target" || name == "fixtures" {
+                    continue;
+                }
+                walk(&entry.path(), out)?;
+            } else if name.ends_with(".rs") {
+                out.push(entry.path());
+            }
+        }
+        Ok(())
+    }
+    let mut out = Vec::new();
+    walk(root, &mut out)?;
+    out.sort();
+    Ok(out)
+}
+
+/// Lints every Rust source under `root` (the workspace root).
+pub fn lint_tree(root: &Path) -> io::Result<TreeReport> {
+    let mut report = TreeReport::default();
+    for file in collect_files(root)? {
+        let rel = file.strip_prefix(root).unwrap_or(&file).to_string_lossy().replace('\\', "/");
+        // Non-UTF-8 sources cannot be Rust; skip rather than fail the
+        // whole run.
+        let Ok(source) = fs::read_to_string(&file) else {
+            continue;
+        };
+        report.files += 1;
+        report.violations.extend(lint_source(&rel, &source));
+    }
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const CORE: &str = "crates/core/src/server.rs";
+
+    fn rules_fired(path: &str, src: &str) -> Vec<&'static str> {
+        lint_source(path, src).into_iter().map(|v| v.rule).collect()
+    }
+
+    #[test]
+    fn trailing_allow_suppresses_same_line() {
+        let src = "fn f(a: f64) -> bool {\n    a == 1.5 // palc_lint: allow(float-eq) -- exact \
+                   sentinel\n}\n";
+        assert!(lint_source("crates/x/src/lib.rs", src).is_empty());
+    }
+
+    #[test]
+    fn standalone_allow_targets_next_code_line() {
+        let src = "fn f(a: f64) -> bool {\n    // palc_lint: allow(float-eq) -- exact \
+                   sentinel\n    a == 1.5\n}\n";
+        assert!(lint_source("crates/x/src/lib.rs", src).is_empty());
+    }
+
+    #[test]
+    fn allow_without_reason_is_an_error() {
+        let src = "// palc_lint: allow(float-eq)\nfn f(a: f64) -> bool { a == 1.5 }\n";
+        let v = lint_source("crates/x/src/lib.rs", src);
+        assert!(v.iter().any(|v| v.rule == ANNOTATION_RULE && v.message.contains("reason")));
+        // And the finding itself still fires: a malformed allow
+        // suppresses nothing.
+        assert!(v.iter().any(|v| v.rule == "float-eq"));
+    }
+
+    #[test]
+    fn unknown_rule_name_is_an_error() {
+        let src = "// palc_lint: allow(no-such-rule) -- whatever\nfn f() {}\n";
+        let v = lint_source("crates/x/src/lib.rs", src);
+        assert_eq!(v.len(), 1);
+        assert!(v[0].message.contains("unknown rule"));
+    }
+
+    #[test]
+    fn unused_allow_is_flagged() {
+        let src = "// palc_lint: allow(float-eq) -- nothing here needs it\nfn f() {}\n";
+        let v = lint_source("crates/x/src/lib.rs", src);
+        assert_eq!(v.len(), 1);
+        assert!(v[0].message.contains("unused"));
+    }
+
+    #[test]
+    fn unbalanced_hot_path_markers_are_errors() {
+        let open = "// palc_lint: hot-path\nfn f() {}\n";
+        assert_eq!(rules_fired("crates/x/src/lib.rs", open), vec![ANNOTATION_RULE]);
+        let close = "fn f() {}\n// palc_lint: end hot-path\n";
+        assert_eq!(rules_fired("crates/x/src/lib.rs", close), vec![ANNOTATION_RULE]);
+    }
+
+    #[test]
+    fn cfg_test_regions_are_exempt_for_skipping_rules() {
+        let src = "#[cfg(test)]\nmod tests {\n    fn helper(a: f64) -> bool { a == 1.5 }\n}\n";
+        assert!(lint_source("crates/x/src/lib.rs", src).is_empty());
+    }
+
+    #[test]
+    fn cfg_not_test_is_not_a_test_region() {
+        let src = "#[cfg(not(test))]\nmod real {\n    fn f(a: f64) -> bool { a == 1.5 }\n}\n";
+        assert_eq!(rules_fired("crates/x/src/lib.rs", src), vec!["float-eq"]);
+    }
+
+    #[test]
+    fn tests_directory_files_are_exempt_wholesale() {
+        let src = "fn f(a: f64) -> bool { a == 1.5 }\n";
+        assert!(lint_source("crates/x/tests/conformance.rs", src).is_empty());
+        assert_eq!(rules_fired("crates/x/src/lib.rs", src), vec!["float-eq"]);
+    }
+
+    #[test]
+    fn invariant_comment_justifies_panic_site() {
+        let clean = "fn f(v: &[u8]) -> u8 {\n    // invariant: caller bounds-checks `0`\n    \
+                     v[0]\n}\n";
+        assert!(lint_source(CORE, clean).is_empty());
+        let dirty = "fn f(v: &[u8]) -> u8 {\n    v[0]\n}\n";
+        assert_eq!(rules_fired(CORE, dirty), vec!["panic-audit"]);
+    }
+
+    #[test]
+    fn invariant_scan_stops_at_intervening_code() {
+        let src = "fn f(v: &[u8]) -> u8 {\n    // invariant: stale, talks about `a`\n    let a = \
+                   1;\n    v[a]\n}\n";
+        assert_eq!(rules_fired(CORE, src), vec!["panic-audit"]);
+    }
+
+    #[test]
+    fn scope_boundaries_respected() {
+        // `Instant` is a determinism finding in core's server.rs but
+        // not in a bench crate.
+        let src = "use std::time::Instant;\nfn f() { let _ = Instant::now(); }\n";
+        assert!(rules_fired(CORE, src).iter().all(|r| *r == "determinism"));
+        assert!(lint_source("crates/bench/src/lib.rs", src).is_empty());
+    }
+}

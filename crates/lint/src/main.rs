@@ -1,0 +1,98 @@
+#![forbid(unsafe_code)]
+//! CLI for `palc_lint`.
+//!
+//! ```text
+//! palc_lint [--check] [--list-rules] [ROOT]
+//! ```
+//!
+//! Without `ROOT` the workspace root is discovered by walking up from
+//! the current directory to the first `Cargo.toml` with a
+//! `[workspace]` table. Without `--check` the run is report-only
+//! (exit 0 regardless); with it, any violation sets exit code 1 so CI
+//! fails the build.
+
+use std::fs;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use palc_lint::{lint_tree, RULES};
+
+fn main() -> ExitCode {
+    let mut check = false;
+    let mut list_rules = false;
+    let mut root: Option<PathBuf> = None;
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--check" => check = true,
+            "--list-rules" => list_rules = true,
+            "--help" | "-h" => {
+                println!("usage: palc_lint [--check] [--list-rules] [ROOT]");
+                return ExitCode::SUCCESS;
+            }
+            other if !other.starts_with('-') => root = Some(PathBuf::from(other)),
+            other => {
+                eprintln!("palc_lint: unknown flag `{other}` (try --help)");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    if list_rules {
+        for rule in RULES {
+            println!("{}", rule.name);
+            println!("    contract: {}", rule.contract);
+            println!("    scope:    {}", rule.include.join(", "));
+            println!("    hint:     {}", rule.hint);
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    let root = match root {
+        Some(r) => r,
+        None => discover_workspace_root(),
+    };
+    let report = match lint_tree(&root) {
+        Ok(report) => report,
+        Err(err) => {
+            eprintln!("palc_lint: cannot walk {}: {err}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+
+    for violation in &report.violations {
+        println!("{violation}");
+    }
+    if report.violations.is_empty() {
+        println!("palc_lint: clean — {} files, {} rules", report.files, RULES.len());
+        ExitCode::SUCCESS
+    } else {
+        println!(
+            "palc_lint: {} violation(s) across {} files",
+            report.violations.len(),
+            report.files
+        );
+        if check {
+            ExitCode::FAILURE
+        } else {
+            ExitCode::SUCCESS
+        }
+    }
+}
+
+/// Walks up from the current directory to the first `Cargo.toml`
+/// declaring `[workspace]`; falls back to `.` so an odd invocation
+/// still lints something rather than erroring.
+fn discover_workspace_root() -> PathBuf {
+    let mut dir = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if let Ok(text) = fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return dir;
+            }
+        }
+        if !dir.pop() {
+            return PathBuf::from(".");
+        }
+    }
+}

@@ -1,0 +1,296 @@
+//! The rule set: each rule encodes one contract the workspace's PRs
+//! established, scoped to the paths where the contract holds.
+//!
+//! Rules are deliberately *lexical* — they match token patterns, not
+//! types — so each one documents the approximation it makes. The
+//! engine ([`crate::lint_source`]) handles scoping, test-region
+//! exemption, and `palc_lint: allow` suppression; a rule only reports
+//! raw findings.
+
+use crate::lexer::{Lexed, Token, TokenKind};
+
+/// A raw finding before allow-suppression.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    /// 1-based line of the offending token.
+    pub line: u32,
+    /// What is wrong, concretely.
+    pub message: String,
+}
+
+/// Static description of one rule.
+pub struct Rule {
+    /// Machine name, used in diagnostics and `allow(...)`.
+    pub name: &'static str,
+    /// The contract this rule protects (one sentence, shown by
+    /// `--list-rules` and in the docs).
+    pub contract: &'static str,
+    /// Repo-relative path prefixes the rule applies to.
+    pub include: &'static [&'static str],
+    /// One-line fix hint attached to every diagnostic.
+    pub hint: &'static str,
+    /// Whether findings inside `#[cfg(test)]` / `#[test]` regions (and
+    /// whole integration-test files) are exempt.
+    pub skip_tests: bool,
+    /// The matcher.
+    pub check: fn(&RuleCx) -> Vec<Finding>,
+}
+
+/// Everything a matcher can see about one file.
+pub struct RuleCx<'a> {
+    /// The lexed file.
+    pub lexed: &'a Lexed,
+    /// `// palc_lint: hot-path` … `end hot-path` line ranges.
+    pub hot_ranges: &'a [(u32, u32)],
+}
+
+/// Method names whose presence in a hot-path region breaks the
+/// kernel-tier contract (PR 5): a per-tick loop of pure table lookups.
+const TRANSCENDENTALS: &[&str] = &[
+    "acos", "asin", "atan", "atan2", "powf", "exp", "exp2", "exp_m1", "ln", "ln_1p", "log", "log2",
+    "log10", "sqrt", "cbrt", "sin", "cos", "tan", "sin_cos", "sinh", "cosh", "tanh", "hypot",
+];
+
+/// Identifiers that smuggle ambient nondeterminism into a
+/// seed-reproducible path, with the reason each is banned.
+const NONDETERMINISM: &[(&str, &str)] = &[
+    ("Instant", "ambient wall-clock reads break seed-reproducibility"),
+    ("SystemTime", "ambient wall-clock reads break seed-reproducibility"),
+    ("thread_rng", "ambient RNG breaks seed-reproducibility"),
+    ("from_entropy", "OS-entropy seeding breaks seed-reproducibility"),
+    ("HashMap", "unordered iteration can reorder results between runs"),
+    ("HashSet", "unordered iteration can reorder results between runs"),
+];
+
+/// The registry, in reporting order.
+pub const RULES: &[Rule] = &[
+    Rule {
+        name: "hot-path-transcendental",
+        contract: "kernel-tier per-tick loops stay transcendental-free (PR 5): regions marked \
+                   `// palc_lint: hot-path` must be pure table lookups",
+        include: &["crates/", "src/"],
+        hint: "precompute the value into a build-time table, or move the call out of the marked \
+               region",
+        skip_tests: false,
+        check: check_hot_path,
+    },
+    Rule {
+        name: "determinism",
+        contract: "result-producing channel/stream/decode/fusion/impair/server paths are \
+                   deterministic and seed-reproducible (PRs 7-8 replay byte-identically)",
+        include: &[
+            "crates/core/src/channel.rs",
+            "crates/core/src/stream.rs",
+            "crates/core/src/decode.rs",
+            "crates/core/src/fusion.rs",
+            "crates/core/src/impair.rs",
+            "crates/core/src/server.rs",
+        ],
+        hint: "thread a seed or a Clock through instead; use BTreeMap/sorted Vec for iterated \
+               maps",
+        skip_tests: true,
+        check: check_determinism,
+    },
+    Rule {
+        name: "panic-audit",
+        contract: "cross-thread modules (server/sweep/fusion) justify every panic site — an \
+                   unjustified unwind cascades through sibling sessions and shards (PR 8)",
+        include: &[
+            "crates/core/src/server.rs",
+            "crates/core/src/sweep.rs",
+            "crates/core/src/fusion.rs",
+        ],
+        hint: "convert to a recoverable error (quarantine path), or justify with an adjacent \
+               `// invariant: ...` comment",
+        skip_tests: true,
+        check: check_panic_audit,
+    },
+    Rule {
+        name: "float-eq",
+        contract: "bare f64/f32 == / != is reserved for the byte-identity replay contracts; \
+                   everywhere else it is a tolerance bug waiting to happen",
+        include: &["crates/", "src/"],
+        hint: "compare with an explicit tolerance or total_cmp/to_bits; annotate when exact \
+               equality is the contract",
+        skip_tests: true,
+        check: check_float_eq,
+    },
+    Rule {
+        name: "lock-hygiene",
+        contract: "`lock().unwrap()` turns one panic into a poison cascade across every thread \
+                   touching the mutex (PR 8's sweep-sink bug); cross-thread locks recover",
+        include: &["crates/", "src/"],
+        hint: "use a poison-tolerant helper (`lock_recover`, or \
+               `.unwrap_or_else(|p| p.into_inner())`) when plain-old-data state stays consistent",
+        skip_tests: true,
+        check: check_lock_hygiene,
+    },
+];
+
+/// Looks up a rule by name (for `allow(...)` validation).
+pub fn rule_by_name(name: &str) -> Option<&'static Rule> {
+    RULES.iter().find(|r| r.name == name)
+}
+
+fn in_ranges(ranges: &[(u32, u32)], line: u32) -> bool {
+    ranges.iter().any(|&(lo, hi)| (lo..=hi).contains(&line))
+}
+
+/// Is token `i` a call of an identifier in `names` — `name(` — optionally
+/// reached as a method (`.name(`) or path segment (`::name(`)?
+fn is_call(tokens: &[Token], i: usize, names: &[&str]) -> bool {
+    tokens[i].kind == TokenKind::Ident
+        && names.contains(&tokens[i].text.as_str())
+        && matches!(tokens.get(i + 1), Some(t) if t.kind == TokenKind::Op && t.text == "(")
+}
+
+fn check_hot_path(cx: &RuleCx) -> Vec<Finding> {
+    let tokens = &cx.lexed.tokens;
+    let mut out = Vec::new();
+    for i in 0..tokens.len() {
+        if in_ranges(cx.hot_ranges, tokens[i].line) && is_call(tokens, i, TRANSCENDENTALS) {
+            out.push(Finding {
+                line: tokens[i].line,
+                message: format!(
+                    "transcendental call `{}()` inside a `palc_lint: hot-path` region",
+                    tokens[i].text
+                ),
+            });
+        }
+    }
+    out
+}
+
+fn check_determinism(cx: &RuleCx) -> Vec<Finding> {
+    let mut out = Vec::new();
+    for t in &cx.lexed.tokens {
+        if t.kind != TokenKind::Ident {
+            continue;
+        }
+        if let Some((name, why)) = NONDETERMINISM.iter().find(|(n, _)| *n == t.text) {
+            out.push(Finding {
+                line: t.line,
+                message: format!("`{name}` in a deterministic path: {why}"),
+            });
+        }
+    }
+    out
+}
+
+fn check_panic_audit(cx: &RuleCx) -> Vec<Finding> {
+    let tokens = &cx.lexed.tokens;
+    let mut out = Vec::new();
+    let mut push = |line: u32, what: &str| {
+        out.push(Finding {
+            line,
+            message: format!(
+                "{what} in a cross-thread module without an `// invariant:` \
+                              justification"
+            ),
+        });
+    };
+    for i in 0..tokens.len() {
+        let t = &tokens[i];
+        if is_call(tokens, i, &["unwrap", "expect"]) {
+            push(t.line, &format!("`{}()`", t.text));
+            continue;
+        }
+        // panic! / unreachable! / todo! / unimplemented!
+        if t.kind == TokenKind::Ident
+            && matches!(t.text.as_str(), "panic" | "unreachable" | "todo" | "unimplemented")
+            && matches!(tokens.get(i + 1), Some(n) if n.kind == TokenKind::Op && n.text == "!")
+        {
+            push(t.line, &format!("`{}!`", t.text));
+            continue;
+        }
+        // Direct indexing: `expr[...]` — a `[` directly after an
+        // expression-ending token. Attributes (`#[`, `#![`) have `#`/`!`
+        // before the bracket and array types/literals have `:`/`=`/`(`,
+        // so they never match. Keywords before `[` mean a slice type
+        // (`&mut [f64]`) or a pattern/literal position (`let [a, b]`,
+        // `for x in [..]`), not indexing. Full-range slices `[..]`
+        // cannot panic and are skipped.
+        if t.kind == TokenKind::Op && t.text == "[" && i > 0 {
+            const NON_EXPR_KEYWORDS: &[&str] = &[
+                "mut", "dyn", "in", "return", "else", "match", "move", "ref", "break", "let",
+                "const", "static", "as", "where", "impl", "for", "type", "if", "while", "loop",
+                "yield", "box",
+            ];
+            let prev = &tokens[i - 1];
+            let expr_end = (prev.kind == TokenKind::Ident
+                && !NON_EXPR_KEYWORDS.contains(&prev.text.as_str()))
+                || prev.kind == TokenKind::Literal
+                || (prev.kind == TokenKind::Op && matches!(prev.text.as_str(), ")" | "]"));
+            let full_range = matches!(tokens.get(i + 1), Some(a) if a.text == "..")
+                && matches!(tokens.get(i + 2), Some(b) if b.text == "]");
+            if expr_end && !full_range {
+                push(t.line, "direct indexing (`[...]`)");
+            }
+        }
+    }
+    out
+}
+
+/// Lexical approximation: equality where one operand is visibly a float
+/// — a float literal, or an `f64::`/`f32::` associated constant. Typed
+/// comparisons of float *variables* are invisible to a lexer; the
+/// byte-identity tests that legitimately compare floats exactly do it
+/// through `to_bits()`, which this never flags.
+fn check_float_eq(cx: &RuleCx) -> Vec<Finding> {
+    let tokens = &cx.lexed.tokens;
+    let mut out = Vec::new();
+    for i in 0..tokens.len() {
+        let t = &tokens[i];
+        if !(t.kind == TokenKind::Op && (t.text == "==" || t.text == "!=")) {
+            continue;
+        }
+        let float_literal = |j: Option<&Token>| matches!(j, Some(x) if x.kind == TokenKind::Float);
+        // `f64::NAN == x` (backwards: ident `::` f64 right of the
+        // constant name) / `x == f64::INFINITY`.
+        let float_path_ahead = matches!(tokens.get(i + 1), Some(a) if a.text == "f64" || a.text == "f32")
+            && matches!(tokens.get(i + 2), Some(b) if b.text == "::");
+        let float_path_behind = i >= 3
+            && tokens[i - 2].text == "::"
+            && (tokens[i - 3].text == "f64" || tokens[i - 3].text == "f32");
+        if float_literal(i.checked_sub(1).map(|j| &tokens[j]))
+            || float_literal(tokens.get(i + 1))
+            || float_path_ahead
+            || float_path_behind
+        {
+            out.push(Finding {
+                line: t.line,
+                message: format!("bare floating-point `{}` comparison", t.text),
+            });
+        }
+    }
+    out
+}
+
+fn check_lock_hygiene(cx: &RuleCx) -> Vec<Finding> {
+    let tokens = &cx.lexed.tokens;
+    let mut out = Vec::new();
+    // `lock ( ) . unwrap|expect (`
+    for i in 0..tokens.len().saturating_sub(5) {
+        let t = &tokens[i];
+        if t.kind == TokenKind::Ident
+            && matches!(t.text.as_str(), "lock" | "try_lock" | "read" | "write")
+            && tokens[i + 1].text == "("
+            && tokens[i + 2].text == ")"
+            && tokens[i + 3].text == "."
+            && matches!(tokens[i + 4].text.as_str(), "unwrap" | "expect")
+            && tokens[i + 5].text == "("
+        {
+            // `read()`/`write()` also cover RwLock; io::Read::read(buf)
+            // takes arguments, so the `()` shape keeps io out.
+            out.push(Finding {
+                line: t.line,
+                message: format!(
+                    "`{}().{}()` propagates mutex poisoning as a panic cascade",
+                    t.text,
+                    tokens[i + 4].text
+                ),
+            });
+        }
+    }
+    out
+}

@@ -1,0 +1,20 @@
+// Fixture: every way an annotation can be wrong.
+
+pub fn missing_reason(x: f64) -> bool {
+    x == 0.0 // palc_lint: allow(float-eq)
+}
+
+pub fn unknown_rule() {
+    // palc_lint: allow(no-such-rule) -- misremembered name
+    let _ = 1;
+}
+
+// palc_lint: allow(float-eq) -- nothing on the next line compares floats
+pub fn unused_allow() {}
+
+pub fn unknown_directive() {
+    // palc_lint: hot-loop
+    let _ = 2;
+}
+
+// palc_lint: end hot-path

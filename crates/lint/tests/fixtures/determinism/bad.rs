@@ -1,0 +1,14 @@
+// Fixture: ambient nondeterminism in a result-producing path.
+
+use std::collections::HashMap;
+use std::time::Instant;
+
+pub fn decode(samples: &[f64]) -> Vec<u64> {
+    let started = Instant::now();
+    let mut seen: HashMap<u64, usize> = HashMap::new();
+    for (i, &s) in samples.iter().enumerate() {
+        seen.insert(s.to_bits(), i);
+    }
+    let _ = started;
+    seen.keys().copied().collect()
+}

@@ -1,0 +1,22 @@
+// Fixture: the deterministic shape of the same path — ordered map, no
+// wall clock, and test-only nondeterminism stays exempt.
+
+use std::collections::BTreeMap;
+
+pub fn decode(samples: &[f64]) -> Vec<u64> {
+    let mut seen: BTreeMap<u64, usize> = BTreeMap::new();
+    for (i, &s) in samples.iter().enumerate() {
+        seen.insert(s.to_bits(), i);
+    }
+    seen.keys().copied().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use std::time::Instant;
+
+    #[test]
+    fn timing_harness_may_use_the_wall_clock() {
+        let _ = Instant::now();
+    }
+}

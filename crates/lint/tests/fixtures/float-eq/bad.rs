@@ -1,0 +1,13 @@
+// Fixture: bare float equality without annotation.
+
+pub fn is_zero(x: f64) -> bool {
+    x == 0.0 // violation
+}
+
+pub fn is_full(gain: f32) -> bool {
+    1.0 == gain // violation (literal on the left)
+}
+
+pub fn is_inf(x: f64) -> bool {
+    x == f64::INFINITY // violation (f64:: path operand)
+}

@@ -1,0 +1,21 @@
+// Fixture: tolerated, annotated, or bit-exact float comparisons.
+
+pub fn is_zero(x: f64) -> bool {
+    x == 0.0 // palc_lint: allow(float-eq) -- exact-zero sentinel
+}
+
+pub fn close(a: f64, b: f64) -> bool {
+    (a - b).abs() < 1e-9
+}
+
+pub fn byte_identical(a: f64, b: f64) -> bool {
+    a.to_bits() == b.to_bits()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn byte_identity_tests_compare_exactly() {
+        assert!(super::is_zero(0.0) == (0.0 == 0.0));
+    }
+}

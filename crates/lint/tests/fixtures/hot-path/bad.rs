@@ -1,0 +1,13 @@
+// Fixture: transcendental calls inside a marked hot-path region.
+
+pub fn build_table(theta: f64) -> f64 {
+    theta.acos() // fine: outside any region
+}
+
+// palc_lint: hot-path
+pub fn tick(x: f64, y: f64) -> f64 {
+    let r = x.sqrt(); // violation
+    let a = (y / r).atan(); // violation
+    a.powf(2.0) + r.sin() // violations
+}
+// palc_lint: end hot-path

@@ -1,0 +1,16 @@
+// Fixture: a clean hot-path region — pure table lookups — with the
+// transcendental work done outside it.
+
+pub fn build_table(n: usize) -> Vec<f64> {
+    (0..n).map(|i| (i as f64).sqrt()).collect()
+}
+
+// palc_lint: hot-path
+pub fn tick(table: &[f64], ix: usize) -> f64 {
+    // A mention of sqrt in a comment, or "x.sqrt()" in a string, is not
+    // a call.
+    let label = "uses sqrt() offline";
+    let _ = label;
+    table.get(ix).copied().unwrap_or(0.0)
+}
+// palc_lint: end hot-path

@@ -1,0 +1,12 @@
+// Fixture: poison-cascading lock acquisition.
+
+use std::sync::Mutex;
+
+pub fn drain(m: &Mutex<Vec<u64>>) -> Vec<u64> {
+    let mut g = m.lock().unwrap(); // violation
+    g.drain(..).collect()
+}
+
+pub fn peek(m: &Mutex<Vec<u64>>) -> usize {
+    m.try_lock().expect("uncontended").len() // violation
+}

@@ -1,0 +1,22 @@
+// Fixture: poison-tolerant lock acquisition.
+
+use std::sync::{Mutex, MutexGuard};
+
+fn lock_recover<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|p| p.into_inner())
+}
+
+pub fn drain(m: &Mutex<Vec<u64>>) -> Vec<u64> {
+    lock_recover(m).drain(..).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::Mutex;
+
+    #[test]
+    fn tests_may_assume_no_poison() {
+        let m = Mutex::new(1u64);
+        assert_eq!(*m.lock().unwrap(), 1);
+    }
+}

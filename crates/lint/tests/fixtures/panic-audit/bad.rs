@@ -1,0 +1,15 @@
+// Fixture: unjustified panic sites in a cross-thread module.
+
+pub fn service(queue: &mut Vec<u64>, lanes: &[u64]) -> u64 {
+    let head = queue.pop().unwrap(); // violation: no justification
+    if lanes.is_empty() {
+        panic!("no lanes"); // violation
+    }
+    head + lanes[0] // violation: direct indexing
+}
+
+pub fn stale_comment(v: &[u8]) -> u8 {
+    // invariant: talks about something else entirely
+    let offset = 1;
+    v[offset] // violation: a code line separates it from the comment
+}

@@ -1,0 +1,22 @@
+// Fixture: every panic site justified, converted, or in a test.
+
+pub fn service(queue: &mut Vec<u64>, lanes: &[u64]) -> Option<u64> {
+    // invariant: `pop` is checked by the caller holding the schedule
+    // lock; an empty queue here would be a scheduler bug.
+    let head = queue.pop().expect("scheduled session has a queue entry");
+    let lane = lanes.first()?; // converted: recoverable instead of indexing
+    Some(head + lane)
+}
+
+pub fn trailing(v: &[u8]) -> u8 {
+    v[0] // invariant: callers validate `v` is non-empty at the API edge
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_unwrap_freely() {
+        let v = vec![1u64];
+        assert_eq!(v.first().copied().unwrap(), v[0]);
+    }
+}

@@ -1,0 +1,107 @@
+//! Fixture tests: every rule in both directions (fires on the bad
+//! fixture, silent on the good one), plus the annotation grammar's
+//! failure modes. Fixtures live under `tests/fixtures/` — a directory
+//! the tree walker skips precisely because these files *contain*
+//! violations on purpose.
+
+use palc_lint::{lint_source, Violation, ANNOTATION_RULE};
+
+/// Lints a fixture as if it sat at `path` in the repo (rule scoping is
+/// path-prefix based, so the virtual path selects which rules apply).
+fn run(path: &str, fixture: &str) -> Vec<Violation> {
+    lint_source(path, fixture)
+}
+
+fn lines_of(violations: &[Violation], rule: &str) -> Vec<u32> {
+    violations.iter().filter(|v| v.rule == rule).map(|v| v.line).collect()
+}
+
+#[test]
+fn hot_path_bad_fires_inside_region_only() {
+    let v = run("crates/x/src/kernel.rs", include_str!("fixtures/hot-path/bad.rs"));
+    assert_eq!(lines_of(&v, "hot-path-transcendental"), vec![9, 10, 11, 11]);
+    // The acos() outside the region (line 4) is untouched.
+    assert!(v.iter().all(|v| v.rule == "hot-path-transcendental"));
+}
+
+#[test]
+fn hot_path_good_is_clean() {
+    let v = run("crates/x/src/kernel.rs", include_str!("fixtures/hot-path/good.rs"));
+    assert!(v.is_empty(), "{v:#?}");
+}
+
+#[test]
+fn determinism_bad_fires_in_scoped_path() {
+    let v = run("crates/core/src/stream.rs", include_str!("fixtures/determinism/bad.rs"));
+    assert_eq!(lines_of(&v, "determinism"), vec![3, 4, 7, 8, 8]);
+}
+
+#[test]
+fn determinism_good_is_clean_and_test_mod_is_exempt() {
+    let v = run("crates/core/src/stream.rs", include_str!("fixtures/determinism/good.rs"));
+    assert!(v.is_empty(), "{v:#?}");
+}
+
+#[test]
+fn determinism_is_scoped_to_result_producing_paths() {
+    // The same nondeterminism in a bench crate is out of scope.
+    let v = run("crates/bench/src/soak.rs", include_str!("fixtures/determinism/bad.rs"));
+    assert!(lines_of(&v, "determinism").is_empty());
+}
+
+#[test]
+fn panic_audit_bad_fires_without_justification() {
+    let v = run("crates/core/src/server.rs", include_str!("fixtures/panic-audit/bad.rs"));
+    assert_eq!(lines_of(&v, "panic-audit"), vec![4, 6, 8, 14]);
+}
+
+#[test]
+fn panic_audit_good_honours_invariant_comments() {
+    let v = run("crates/core/src/server.rs", include_str!("fixtures/panic-audit/good.rs"));
+    assert!(v.is_empty(), "{v:#?}");
+}
+
+#[test]
+fn float_eq_bad_fires_on_literal_and_path_operands() {
+    let v = run("crates/x/src/lib.rs", include_str!("fixtures/float-eq/bad.rs"));
+    assert_eq!(lines_of(&v, "float-eq"), vec![4, 8, 12]);
+}
+
+#[test]
+fn float_eq_good_is_clean_with_allow_and_to_bits() {
+    let v = run("crates/x/src/lib.rs", include_str!("fixtures/float-eq/good.rs"));
+    assert!(v.is_empty(), "{v:#?}");
+}
+
+#[test]
+fn lock_hygiene_bad_fires_on_unwrap_and_expect() {
+    let v = run("crates/x/src/lib.rs", include_str!("fixtures/lock-hygiene/bad.rs"));
+    assert_eq!(lines_of(&v, "lock-hygiene"), vec![6, 11]);
+}
+
+#[test]
+fn lock_hygiene_good_is_clean_with_recovering_helper() {
+    let v = run("crates/x/src/lib.rs", include_str!("fixtures/lock-hygiene/good.rs"));
+    assert!(v.is_empty(), "{v:#?}");
+}
+
+#[test]
+fn malformed_annotations_are_each_reported() {
+    let v = run("crates/x/src/lib.rs", include_str!("fixtures/annotations/malformed.rs"));
+    // Missing reason (4), unknown rule (8), unused allow (12), unknown
+    // directive (16), unmatched end marker (20).
+    assert_eq!(lines_of(&v, ANNOTATION_RULE), vec![4, 8, 12, 16, 20]);
+    // A malformed allow suppresses nothing: the float-eq finding on its
+    // line still fires.
+    assert_eq!(lines_of(&v, "float-eq"), vec![4]);
+}
+
+#[test]
+fn diagnostics_carry_file_line_rule_and_hint() {
+    let v = run("crates/x/src/lib.rs", include_str!("fixtures/float-eq/bad.rs"));
+    let first = &v[0];
+    let rendered = first.to_string();
+    assert!(rendered.contains("crates/x/src/lib.rs:4"), "{rendered}");
+    assert!(rendered.contains("[float-eq]"), "{rendered}");
+    assert!(rendered.contains("hint:"), "{rendered}");
+}

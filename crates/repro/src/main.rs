@@ -12,6 +12,8 @@
 //! series/trace, and explicit `[PASS]`/`[FAIL]` verdicts on the
 //! qualitative claims (who wins, what decodes, which way curves bend).
 
+#![forbid(unsafe_code)]
+
 mod common;
 mod costs;
 mod fig05;

@@ -508,6 +508,7 @@ impl SurfaceProfile {
     /// `self.piece_at(local).map(|i| self.pieces()[i].surface)` equals
     /// the surface [`MobileObject::sample_at`] resolves for the same
     /// local coordinate — including queries exactly on a boundary.
+    // palc_lint: hot-path
     pub fn piece_at(&self, local: f64) -> Option<usize> {
         if local < 0.0 {
             return None;
@@ -546,6 +547,7 @@ impl SurfaceProfile {
             }
         }
     }
+    // palc_lint: end hot-path
 }
 
 #[cfg(test)]

@@ -98,6 +98,7 @@ impl Trajectory {
     /// Stationary objects let the incremental channel integrator cache
     /// their covered patches once and skip the dynamic path entirely.
     pub fn is_stationary(&self) -> bool {
+        // palc_lint: allow(float-eq) -- exact-zero speed is the stationary contract, not a tolerance check
         matches!(self, Trajectory::Constant { speed_mps } if *speed_mps == 0.0)
     }
 
@@ -207,6 +208,7 @@ impl Trajectory {
     /// never reach.
     pub fn time_to_travel_checked(&self, distance_m: f64) -> Option<f64> {
         assert!(distance_m >= 0.0);
+        // palc_lint: allow(float-eq) -- exact-zero distance short-circuits before the speed division
         if distance_m == 0.0 {
             return Some(0.0);
         }
